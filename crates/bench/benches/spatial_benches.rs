@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks of the spatial substrates: the hexagonal index and
+//! the mobility-graph approximation.
+
+use corgi_bench::ExperimentContext;
+use corgi_graph::HexMobilityGraph;
+use corgi_hexgrid::{HexGrid, HexGridConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_hexgrid(c: &mut Criterion) {
+    let grid = HexGrid::new(HexGridConfig::san_francisco()).expect("grid");
+    let point = grid.cell_center(&grid.leaves()[200]);
+    let mut group = c.benchmark_group("hexgrid");
+    group.bench_function("build_height3_grid", |b| {
+        b.iter(|| HexGrid::new(HexGridConfig::san_francisco()).expect("grid"));
+    });
+    group.bench_function("leaf_lookup", |b| {
+        b.iter(|| grid.leaf_containing(&point).expect("leaf"));
+    });
+    group.bench_function("descendant_leaves_of_root", |b| {
+        b.iter(|| grid.root().descendant_leaves());
+    });
+    group.finish();
+}
+
+fn bench_mobility_graph(c: &mut Criterion) {
+    let ctx = ExperimentContext::standard();
+    let cells = ctx.level2_subtree().leaves().to_vec();
+    let mut group = c.benchmark_group("mobility_graph_49");
+    group.bench_function("build", |b| {
+        b.iter(|| HexMobilityGraph::new(ctx.grid(), &cells));
+    });
+    let graph = HexMobilityGraph::new(ctx.grid(), &cells);
+    group.bench_function("all_pairs_shortest_paths", |b| {
+        b.iter(|| graph.shortest_path_matrix());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hexgrid, bench_mobility_graph);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Bayesian adversary metrics (extension beyond the paper's evaluation).
+//!
+//! Geo-Ind bounds what an attacker can *learn* relative to the prior; a
+//! complementary, widely used privacy metric (Shokri et al., S&P 2011) is the
+//! *expected inference error* of a Bayesian adversary who observes the reported
+//! location, computes the posterior over real locations, and guesses optimally.
+//! These metrics make the privacy/utility trade-off of CORGI matrices visible in
+//! the examples and give the test-suite an independent sanity check: a more
+//! private matrix can only increase the adversary's error.
+
+use crate::{CorgiError, ObfuscationMatrix, Result};
+
+/// The posterior distribution `Pr(X = v_i | Y = v_l)` for every reported column.
+///
+/// Returned as `posterior[l][i]`; columns with zero reporting probability get a
+/// uniform posterior (they are never observed).
+pub fn posterior(matrix: &ObfuscationMatrix, prior: &[f64]) -> Result<Vec<Vec<f64>>> {
+    let k = matrix.size();
+    if prior.len() != k {
+        return Err(CorgiError::InvalidPrior(format!(
+            "prior has {} entries for a {k}-cell matrix",
+            prior.len()
+        )));
+    }
+    let prior_total: f64 = prior.iter().sum();
+    if prior_total <= 0.0 {
+        return Err(CorgiError::InvalidPrior("prior mass is zero".to_string()));
+    }
+    let mut post = vec![vec![0.0; k]; k];
+    for l in 0..k {
+        let mut denom = 0.0;
+        for i in 0..k {
+            let joint = prior[i] / prior_total * matrix.get(i, l);
+            post[l][i] = joint;
+            denom += joint;
+        }
+        if denom > 0.0 {
+            for v in post[l].iter_mut() {
+                *v /= denom;
+            }
+        } else {
+            for v in post[l].iter_mut() {
+                *v = 1.0 / k as f64;
+            }
+        }
+    }
+    Ok(post)
+}
+
+/// Expected inference error (km) of a Bayesian adversary performing an optimal
+/// remapping attack: for every observed report the adversary guesses the cell
+/// minimizing the posterior-expected distance to the true location.
+pub fn expected_inference_error(
+    matrix: &ObfuscationMatrix,
+    prior: &[f64],
+    distances: &[Vec<f64>],
+) -> Result<f64> {
+    let k = matrix.size();
+    let post = posterior(matrix, prior)?;
+    let reported = matrix.reported_distribution(&normalize(prior))?;
+    let mut total = 0.0;
+    for l in 0..k {
+        // Optimal guess for this observation.
+        let mut best = f64::INFINITY;
+        for guess in 0..k {
+            let expected: f64 = (0..k).map(|i| post[l][i] * distances[i][guess]).sum();
+            if expected < best {
+                best = expected;
+            }
+        }
+        total += reported[l] * best;
+    }
+    Ok(total)
+}
+
+/// Probability that the adversary's maximum-a-posteriori guess equals the true
+/// location (lower is more private).
+pub fn map_attack_success(matrix: &ObfuscationMatrix, prior: &[f64]) -> Result<f64> {
+    let k = matrix.size();
+    let post = posterior(matrix, prior)?;
+    let norm_prior = normalize(prior);
+    let mut success = 0.0;
+    for l in 0..k {
+        let guess = post[l]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("posteriors are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        // Pr(correct, Y=l) = Pr(X=guess)·z_{guess,l}
+        success += norm_prior[guess] * matrix.get(guess, l);
+    }
+    Ok(success)
+}
+
+fn normalize(prior: &[f64]) -> Vec<f64> {
+    let total: f64 = prior.iter().sum();
+    prior.iter().map(|p| p / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_hexgrid::{HexGrid, HexGridConfig};
+
+    fn setup(k: usize) -> (Vec<corgi_hexgrid::CellId>, Vec<Vec<f64>>) {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let cells = grid.leaves()[..k].to_vec();
+        let mut d = vec![vec![0.0; k]; k];
+        for i in 0..k {
+            for j in 0..k {
+                d[i][j] = grid.cell_distance_km(&cells[i], &cells[j]);
+            }
+        }
+        (cells, d)
+    }
+
+    #[test]
+    fn posterior_rows_are_distributions() {
+        let (cells, _d) = setup(4);
+        let m = ObfuscationMatrix::uniform(cells).unwrap();
+        let prior = vec![0.4, 0.3, 0.2, 0.1];
+        let post = posterior(&m, &prior).unwrap();
+        for row in &post {
+            let total: f64 = row.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+        // With a uniform matrix the posterior equals the prior.
+        for row in &post {
+            for (i, &p) in row.iter().enumerate() {
+                assert!((p - prior[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_matrix_gives_zero_inference_error() {
+        let (cells, d) = setup(3);
+        let mut data = vec![0.0; 9];
+        for i in 0..3 {
+            data[i * 3 + i] = 1.0;
+        }
+        let identity = ObfuscationMatrix::new(cells, data).unwrap();
+        let prior = vec![1.0, 1.0, 1.0];
+        let err = expected_inference_error(&identity, &prior, &d).unwrap();
+        assert!(err < 1e-12);
+        let success = map_attack_success(&identity, &prior).unwrap();
+        assert!((success - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_matrix_confuses_the_adversary() {
+        let (cells, d) = setup(7);
+        let uniform = ObfuscationMatrix::uniform(cells.clone()).unwrap();
+        let prior = vec![1.0; 7];
+        let err_uniform = expected_inference_error(&uniform, &prior, &d).unwrap();
+        assert!(err_uniform > 0.0);
+        let success = map_attack_success(&uniform, &prior).unwrap();
+        assert!(success < 0.5, "MAP success {success} should be low for uniform");
+
+        // A nearly-deterministic matrix leaks more: lower error, higher success.
+        let mut data = vec![0.01; 49];
+        for i in 0..7 {
+            data[i * 7 + i] = 1.0 - 0.06;
+        }
+        let leaky = ObfuscationMatrix::new(cells, data).unwrap();
+        let err_leaky = expected_inference_error(&leaky, &prior, &d).unwrap();
+        assert!(err_leaky < err_uniform);
+        assert!(map_attack_success(&leaky, &prior).unwrap() > success);
+    }
+
+    #[test]
+    fn invalid_prior_rejected() {
+        let (cells, d) = setup(3);
+        let m = ObfuscationMatrix::uniform(cells).unwrap();
+        assert!(posterior(&m, &[1.0, 1.0]).is_err());
+        assert!(expected_inference_error(&m, &[0.0, 0.0, 0.0], &d).is_err());
+    }
+}

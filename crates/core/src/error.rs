@@ -1,0 +1,67 @@
+//! Error type for the CORGI core algorithms.
+
+use corgi_hexgrid::{CellId, HexGridError};
+use corgi_lp::LpError;
+use std::fmt;
+
+/// Errors produced by the CORGI core algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorgiError {
+    /// A policy referenced a privacy or precision level outside the tree.
+    InvalidPolicy(String),
+    /// The privacy budget ε must be strictly positive.
+    InvalidEpsilon(f64),
+    /// The prior distribution is malformed (wrong length, negative mass, zero total).
+    InvalidPrior(String),
+    /// The obfuscation matrix is malformed or incompatible with the operation.
+    InvalidMatrix(String),
+    /// Pruning removed too much: a row lost (almost) all of its probability mass
+    /// or every location was pruned.
+    OverPruned {
+        /// Number of cells that were requested to be pruned.
+        requested: usize,
+        /// Number of cells in the matrix before pruning.
+        available: usize,
+    },
+    /// A cell involved in the operation does not belong to the expected set.
+    UnknownCell(CellId),
+    /// The LP generating the matrix could not be solved to optimality.
+    Solver(String),
+    /// Error bubbled up from the spatial index.
+    Grid(String),
+}
+
+impl fmt::Display for CorgiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorgiError::InvalidPolicy(msg) => write!(f, "invalid policy: {msg}"),
+            CorgiError::InvalidEpsilon(e) => write!(f, "invalid privacy budget epsilon = {e}"),
+            CorgiError::InvalidPrior(msg) => write!(f, "invalid prior distribution: {msg}"),
+            CorgiError::InvalidMatrix(msg) => write!(f, "invalid obfuscation matrix: {msg}"),
+            CorgiError::OverPruned {
+                requested,
+                available,
+            } => write!(
+                f,
+                "pruning {requested} of {available} locations leaves no usable obfuscation range"
+            ),
+            CorgiError::UnknownCell(c) => write!(f, "cell {c} is not part of the obfuscation range"),
+            CorgiError::Solver(msg) => write!(f, "LP solver failure: {msg}"),
+            CorgiError::Grid(msg) => write!(f, "spatial index error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CorgiError {}
+
+impl From<LpError> for CorgiError {
+    fn from(e: LpError) -> Self {
+        CorgiError::Solver(e.to_string())
+    }
+}
+
+impl From<HexGridError> for CorgiError {
+    fn from(e: HexGridError) -> Self {
+        CorgiError::Grid(e.to_string())
+    }
+}

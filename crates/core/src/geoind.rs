@@ -1,0 +1,201 @@
+//! ε-Geo-Indistinguishability constraints and violation counting.
+//!
+//! Definition 2.1 of the paper requires, for every pair of real locations
+//! `(v_i, v_j)` and every reported location `v_l`,
+//!
+//! ```text
+//! Pr(X = v_i | Y = v_l) / Pr(X = v_j | Y = v_l) ≤ e^{ε·d_{i,j}} · p_{v_i} / p_{v_j}
+//! ```
+//!
+//! which, after applying Bayes' rule, is equivalent to the prior-free matrix form
+//! used throughout Section 4 (Eq. 4):  `z_{i,l} ≤ e^{ε·d_{i,j}} · z_{j,l}`.
+//! This module checks that condition over arbitrary pair sets and produces the
+//! violation percentages reported in the paper's Fig. 12.
+
+use crate::ObfuscationMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Result of checking the ε-Geo-Ind constraints of a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoIndReport {
+    /// Number of (ordered pair, column) constraints checked.
+    pub total_constraints: usize,
+    /// Number of violated constraints.
+    pub violated: usize,
+    /// The largest violation margin `z_{i,l} − e^{ε·d}·z_{j,l}` observed (≤ 0 when
+    /// every constraint holds).
+    pub worst_margin: f64,
+}
+
+impl GeoIndReport {
+    /// Percentage of violated constraints (0–100).
+    pub fn violation_percentage(&self) -> f64 {
+        if self.total_constraints == 0 {
+            0.0
+        } else {
+            100.0 * self.violated as f64 / self.total_constraints as f64
+        }
+    }
+
+    /// Whether the matrix satisfies ε-Geo-Ind on the checked constraint set.
+    pub fn is_satisfied(&self) -> bool {
+        self.violated == 0
+    }
+}
+
+/// Check ε-Geo-Ind over **all** ordered pairs of locations (the full Definition
+/// 2.1), using the given pairwise distances (km) and ε (1/km).
+///
+/// `tolerance` absorbs floating-point noise: a constraint counts as violated only
+/// if `z_{i,l} > e^{ε·d}·z_{j,l} + tolerance`.
+pub fn check_all_pairs(
+    matrix: &ObfuscationMatrix,
+    distances: &[Vec<f64>],
+    epsilon: f64,
+    tolerance: f64,
+) -> GeoIndReport {
+    let k = matrix.size();
+    let pairs: Vec<(usize, usize)> = (0..k)
+        .flat_map(|i| (0..k).filter(move |&j| j != i).map(move |j| (i, j)))
+        .collect();
+    check_pairs(matrix, distances, epsilon, tolerance, &pairs)
+}
+
+/// Check ε-Geo-Ind over an explicit set of ordered pairs (e.g. only the
+/// neighboring peers of the mobility graph, Section 4.2).
+pub fn check_pairs(
+    matrix: &ObfuscationMatrix,
+    distances: &[Vec<f64>],
+    epsilon: f64,
+    tolerance: f64,
+    pairs: &[(usize, usize)],
+) -> GeoIndReport {
+    let k = matrix.size();
+    let mut violated = 0usize;
+    let mut worst: f64 = f64::NEG_INFINITY;
+    for &(i, j) in pairs {
+        let bound = (epsilon * distances[i][j]).exp();
+        for l in 0..k {
+            let margin = matrix.get(i, l) - bound * matrix.get(j, l);
+            if margin > worst {
+                worst = margin;
+            }
+            if margin > tolerance {
+                violated += 1;
+            }
+        }
+    }
+    GeoIndReport {
+        total_constraints: pairs.len() * k,
+        violated,
+        worst_margin: if pairs.is_empty() { 0.0 } else { worst },
+    }
+}
+
+/// Number of Geo-Ind constraints the LP needs **without** the graph
+/// approximation: one per ordered pair of distinct locations and column,
+/// i.e. `K·(K−1)·K` (the paper's `O(K³)`).
+pub fn full_constraint_count(k: usize) -> usize {
+    k * k.saturating_sub(1) * k
+}
+
+/// Number of Geo-Ind constraints **with** the graph approximation: one per
+/// directed neighbor-pair and column (the paper's `O(12·K²)` bound).
+pub fn approx_constraint_count(k: usize, undirected_neighbor_pairs: usize) -> usize {
+    2 * undirected_neighbor_pairs * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_hexgrid::{HexGrid, HexGridConfig};
+
+    fn setup(k: usize) -> (ObfuscationMatrix, Vec<Vec<f64>>) {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let cells = grid.leaves()[..k].to_vec();
+        let mut distances = vec![vec![0.0; k]; k];
+        for i in 0..k {
+            for j in 0..k {
+                distances[i][j] = grid.cell_distance_km(&cells[i], &cells[j]);
+            }
+        }
+        (ObfuscationMatrix::uniform(cells).unwrap(), distances)
+    }
+
+    #[test]
+    fn uniform_matrix_satisfies_geo_ind() {
+        let (m, d) = setup(7);
+        let report = check_all_pairs(&m, &d, 10.0, 1e-9);
+        assert!(report.is_satisfied());
+        assert_eq!(report.violation_percentage(), 0.0);
+        assert_eq!(report.total_constraints, 7 * 6 * 7);
+        assert!(report.worst_margin <= 1e-12);
+    }
+
+    #[test]
+    fn deterministic_matrix_violates_geo_ind() {
+        // Identity-like matrix: reporting the true location with probability 1.
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let cells = grid.leaves()[..3].to_vec();
+        let mut data = vec![0.0; 9];
+        for i in 0..3 {
+            data[i * 3 + i] = 1.0;
+        }
+        let m = ObfuscationMatrix::new(cells.clone(), data).unwrap();
+        let mut d = vec![vec![0.0; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                d[i][j] = grid.cell_distance_km(&cells[i], &cells[j]);
+            }
+        }
+        let report = check_all_pairs(&m, &d, 1.0, 1e-9);
+        assert!(!report.is_satisfied());
+        // Every ordered pair violates exactly the column of the first location:
+        // z_{i,i} = 1 > e^{εd}·z_{j,i} = 0.
+        assert_eq!(report.violated, 6);
+        assert!(report.worst_margin > 0.9);
+    }
+
+    #[test]
+    fn violation_counts_depend_on_epsilon() {
+        // A mildly skewed matrix: with a generous ε it passes, with a tiny ε it fails.
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let cells = grid.leaves()[..2].to_vec();
+        let m = ObfuscationMatrix::new(cells.clone(), vec![0.7, 0.3, 0.3, 0.7]).unwrap();
+        let d = vec![
+            vec![0.0, grid.cell_distance_km(&cells[0], &cells[1])],
+            vec![grid.cell_distance_km(&cells[0], &cells[1]), 0.0],
+        ];
+        let strict = check_all_pairs(&m, &d, 0.05, 1e-9);
+        let loose = check_all_pairs(&m, &d, 15.0, 1e-9);
+        assert!(!strict.is_satisfied());
+        assert!(loose.is_satisfied());
+    }
+
+    #[test]
+    fn pair_subset_checks_fewer_constraints() {
+        let (m, d) = setup(7);
+        let pairs = vec![(0, 1), (1, 0), (2, 3)];
+        let report = check_pairs(&m, &d, 10.0, 1e-9, &pairs);
+        assert_eq!(report.total_constraints, 3 * 7);
+        assert!(report.is_satisfied());
+    }
+
+    #[test]
+    fn constraint_count_formulas() {
+        assert_eq!(full_constraint_count(7), 7 * 6 * 7);
+        assert_eq!(full_constraint_count(49), 49 * 48 * 49);
+        // 49 cells with, say, 240 undirected neighbor pairs → 2·240·49 constraints.
+        assert_eq!(approx_constraint_count(49, 240), 2 * 240 * 49);
+        assert!(approx_constraint_count(49, 240) < full_constraint_count(49));
+    }
+
+    #[test]
+    fn empty_pair_set_reports_zero() {
+        let (m, d) = setup(3);
+        let report = check_pairs(&m, &d, 1.0, 1e-9, &[]);
+        assert_eq!(report.total_constraints, 0);
+        assert_eq!(report.violation_percentage(), 0.0);
+        assert!(report.is_satisfied());
+    }
+}

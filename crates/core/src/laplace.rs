@@ -1,0 +1,205 @@
+//! Planar-Laplace mechanism (Andrés et al., CCS 2013) as an additional baseline.
+//!
+//! The original Geo-Ind mechanism — the one deployed in the Location Guard
+//! browser extension — adds continuous 2-D Laplace noise to the true position:
+//! the angle is uniform and the radius follows the distribution with CDF
+//! `C_ε(r) = 1 − (1 + εr)·e^{−εr}`, sampled by inverting the CDF with the
+//! Lambert-W function (branch `W_{−1}`).  CORGI's matrix mechanisms are compared
+//! against this continuous baseline in the examples and ablation benches; the
+//! planar Laplace satisfies ε-Geo-Ind by construction but offers no
+//! customization, no tree granularity, and no robustness to pruning.
+
+use corgi_geo::{destination_point, LatLng};
+use corgi_hexgrid::{CellId, HexGrid};
+use rand::Rng;
+
+/// The planar-Laplace Geo-Ind mechanism with privacy budget ε (1/km).
+#[derive(Debug, Clone, Copy)]
+pub struct PlanarLaplace {
+    epsilon: f64,
+}
+
+impl PlanarLaplace {
+    /// Create a mechanism with the given privacy budget (must be positive).
+    ///
+    /// # Panics
+    /// Panics if ε is not strictly positive and finite.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive, got {epsilon}"
+        );
+        Self { epsilon }
+    }
+
+    /// The privacy budget ε (1/km).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Sample a noisy location for the given real position.
+    pub fn sample<R: Rng>(&self, real: &LatLng, rng: &mut R) -> LatLng {
+        let theta = rng.gen::<f64>() * 360.0;
+        let p = rng.gen::<f64>();
+        let radius = self.inverse_cdf(p);
+        destination_point(real, theta, radius)
+    }
+
+    /// Sample a noisy location and snap it to the nearest leaf cell of a grid
+    /// (clamping to the grid if the noise falls outside), so the output is
+    /// comparable with CORGI's cell-level reports.
+    pub fn sample_cell<R: Rng>(&self, grid: &HexGrid, real: &LatLng, rng: &mut R) -> CellId {
+        let noisy = self.sample(real, rng);
+        if let Ok(cell) = grid.leaf_containing(&noisy) {
+            return cell;
+        }
+        // Outside the grid: fall back to the closest leaf by center distance.
+        let mut best = grid.leaves()[0];
+        let mut best_d = f64::INFINITY;
+        for leaf in grid.leaves() {
+            let d = corgi_geo::haversine_km(&grid.cell_center(leaf), &noisy);
+            if d < best_d {
+                best_d = d;
+                best = *leaf;
+            }
+        }
+        best
+    }
+
+    /// Inverse CDF of the radial distribution:
+    /// `C_ε^{-1}(p) = −(1/ε)·(W_{−1}((p−1)/e) + 1)`.
+    pub fn inverse_cdf(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0 - 1e-15);
+        let z = (p - 1.0) / std::f64::consts::E;
+        let w = lambert_w_minus1(z);
+        -(w + 1.0) / self.epsilon
+    }
+
+    /// CDF of the radial distribution, `C_ε(r) = 1 − (1 + εr)·e^{−εr}`.
+    pub fn cdf(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (1.0 + self.epsilon * r) * (-self.epsilon * r).exp()
+    }
+}
+
+/// The `W_{−1}` branch of the Lambert W function on `[−1/e, 0)`.
+///
+/// Solved by bisection (the function `w·e^w` is strictly decreasing on
+/// `(−∞, −1]`) followed by a few Newton refinement steps.
+pub fn lambert_w_minus1(z: f64) -> f64 {
+    let min_z = -1.0 / std::f64::consts::E;
+    assert!(
+        (min_z..0.0).contains(&z) || (z - min_z).abs() < 1e-15,
+        "W_-1 is defined on [-1/e, 0), got {z}"
+    );
+    if (z - min_z).abs() < 1e-15 {
+        return -1.0;
+    }
+    // Bisection on [lo, hi] with f(w) = w·e^w decreasing: f(hi = -1) = -1/e ≤ z,
+    // f(lo → -∞) → 0⁻ ≥ z.
+    let mut lo: f64 = -746.0; // below this e^w underflows to zero
+    let mut hi: f64 = -1.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let f = mid * mid.exp();
+        if f > z {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-14 * hi.abs().max(1.0) {
+            break;
+        }
+    }
+    let mut w = 0.5 * (lo + hi);
+    // Newton polish: g(w) = w e^w − z, g'(w) = e^w (1 + w).
+    for _ in 0..4 {
+        let ew = w.exp();
+        let g = w * ew - z;
+        let dg = ew * (1.0 + w);
+        if dg.abs() < 1e-300 {
+            break;
+        }
+        let next = w - g / dg;
+        if next.is_finite() && next < -1.0 {
+            w = next;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_geo::haversine_km;
+    use corgi_hexgrid::HexGridConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lambert_w_satisfies_defining_equation() {
+        for &z in &[-0.3, -0.2, -0.1, -0.01, -1e-6] {
+            let w = lambert_w_minus1(z);
+            assert!(w <= -1.0);
+            assert!((w * w.exp() - z).abs() < 1e-10, "z={z}, w={w}");
+        }
+        assert!((lambert_w_minus1(-1.0 / std::f64::consts::E) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_cdf_inverts_cdf() {
+        let mech = PlanarLaplace::new(2.0);
+        for &p in &[0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let r = mech.inverse_cdf(p);
+            assert!(r > 0.0);
+            assert!((mech.cdf(r) - p).abs() < 1e-8, "p={p}, r={r}");
+        }
+        // Monotone.
+        assert!(mech.inverse_cdf(0.9) > mech.inverse_cdf(0.5));
+    }
+
+    #[test]
+    fn higher_epsilon_means_less_noise() {
+        let tight = PlanarLaplace::new(10.0);
+        let loose = PlanarLaplace::new(1.0);
+        assert!(tight.inverse_cdf(0.9) < loose.inverse_cdf(0.9));
+    }
+
+    #[test]
+    fn sampled_radius_matches_cdf_quantiles() {
+        let mech = PlanarLaplace::new(4.0);
+        let real = LatLng::new(37.7749, -122.4194).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let median_expected = mech.inverse_cdf(0.5);
+        let mut below = 0usize;
+        for _ in 0..n {
+            let noisy = mech.sample(&real, &mut rng);
+            if haversine_km(&real, &noisy) <= median_expected {
+                below += 1;
+            }
+        }
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "median check failed: {frac}");
+    }
+
+    #[test]
+    fn cell_sampling_returns_grid_cells() {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let mech = PlanarLaplace::new(1.0);
+        let real = grid.cell_center(&grid.leaves()[171]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let cell = mech.sample_cell(&grid, &real, &mut rng);
+            assert!(grid.leaf_index(&cell).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        let _ = PlanarLaplace::new(0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The obfuscation matrix (paper Section 2.1).
+//!
+//! An obfuscation strategy over a finite location set `V = {v_1, …, v_K}` is a
+//! row-stochastic matrix `Z = {z_{i,j}}` where `z_{i,j}` is the probability of
+//! reporting `v_j` when the real location is `v_i` (Eq. 1).
+
+use crate::{CorgiError, Result};
+use corgi_hexgrid::CellId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A row-stochastic obfuscation matrix over an ordered set of cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObfuscationMatrix {
+    cells: Vec<CellId>,
+    /// Row-major probabilities, `data[i * k + j] = z_{i,j}`.
+    data: Vec<f64>,
+}
+
+impl ObfuscationMatrix {
+    /// Build a matrix from cells and row-major data.
+    ///
+    /// Validates dimensions, non-negativity (within tolerance) and row sums.
+    pub fn new(cells: Vec<CellId>, data: Vec<f64>) -> Result<Self> {
+        let k = cells.len();
+        if k == 0 {
+            return Err(CorgiError::InvalidMatrix("empty cell set".to_string()));
+        }
+        if data.len() != k * k {
+            return Err(CorgiError::InvalidMatrix(format!(
+                "expected {}x{} = {} entries, got {}",
+                k,
+                k,
+                k * k,
+                data.len()
+            )));
+        }
+        if data.iter().any(|v| !v.is_finite()) {
+            return Err(CorgiError::InvalidMatrix(
+                "matrix contains non-finite entries".to_string(),
+            ));
+        }
+        let matrix = Self { cells, data };
+        matrix.check_stochastic(1e-6)?;
+        Ok(matrix)
+    }
+
+    /// Build a matrix without validating row sums (used internally when entries
+    /// will be normalized right after, e.g. raw LP output).  Entries are clamped
+    /// to be non-negative and each row is renormalized.
+    pub fn from_lp_solution(cells: Vec<CellId>, mut data: Vec<f64>) -> Result<Self> {
+        let k = cells.len();
+        if k == 0 || data.len() != k * k {
+            return Err(CorgiError::InvalidMatrix(
+                "LP solution has the wrong dimensions".to_string(),
+            ));
+        }
+        for row in 0..k {
+            let slice = &mut data[row * k..(row + 1) * k];
+            for v in slice.iter_mut() {
+                if !v.is_finite() || *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            let sum: f64 = slice.iter().sum();
+            if sum <= 0.0 {
+                return Err(CorgiError::InvalidMatrix(format!(
+                    "row {row} of the LP solution has no probability mass"
+                )));
+            }
+            for v in slice.iter_mut() {
+                *v /= sum;
+            }
+        }
+        Ok(Self { cells, data })
+    }
+
+    /// The uniform obfuscation matrix over the given cells (every row is uniform).
+    pub fn uniform(cells: Vec<CellId>) -> Result<Self> {
+        let k = cells.len();
+        if k == 0 {
+            return Err(CorgiError::InvalidMatrix("empty cell set".to_string()));
+        }
+        Ok(Self {
+            data: vec![1.0 / k as f64; k * k],
+            cells,
+        })
+    }
+
+    /// The cells covered by the matrix, in row/column order.
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Number of locations `K`.
+    pub fn size(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Entry `z_{i,j}`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.size() + j]
+    }
+
+    /// A full row (the obfuscation distribution of real location `i`).
+    pub fn row(&self, i: usize) -> &[f64] {
+        let k = self.size();
+        &self.data[i * k..(i + 1) * k]
+    }
+
+    /// Row-major data slice.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Index of a cell within the matrix.
+    pub fn index_of(&self, cell: &CellId) -> Option<usize> {
+        self.cells.iter().position(|c| c == cell)
+    }
+
+    /// Verify every row sums to 1 and entries are non-negative, within `tol`.
+    pub fn check_stochastic(&self, tol: f64) -> Result<()> {
+        let k = self.size();
+        for i in 0..k {
+            let row = self.row(i);
+            if let Some(v) = row.iter().find(|&&v| v < -tol) {
+                return Err(CorgiError::InvalidMatrix(format!(
+                    "row {i} has a negative entry {v}"
+                )));
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > tol {
+                return Err(CorgiError::InvalidMatrix(format!(
+                    "row {i} sums to {sum}, expected 1"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Sample an obfuscated location for the real location `real` (Fig. 8 step ⑧).
+    pub fn sample<R: Rng>(&self, real: &CellId, rng: &mut R) -> Result<CellId> {
+        let i = self
+            .index_of(real)
+            .ok_or(CorgiError::UnknownCell(*real))?;
+        Ok(self.cells[self.sample_row(i, rng)])
+    }
+
+    /// Sample a column index from row `i`.
+    pub fn sample_row<R: Rng>(&self, i: usize, rng: &mut R) -> usize {
+        let row = self.row(i);
+        let mut u: f64 = rng.gen::<f64>() * row.iter().sum::<f64>();
+        for (j, &p) in row.iter().enumerate() {
+            u -= p;
+            if u <= 0.0 {
+                return j;
+            }
+        }
+        row.len() - 1
+    }
+
+    /// The probability `Pr(Y = j)` of each reported location under a prior over
+    /// the real locations.
+    pub fn reported_distribution(&self, prior: &[f64]) -> Result<Vec<f64>> {
+        let k = self.size();
+        if prior.len() != k {
+            return Err(CorgiError::InvalidPrior(format!(
+                "prior has {} entries, matrix covers {k} cells",
+                prior.len()
+            )));
+        }
+        let mut out = vec![0.0; k];
+        for i in 0..k {
+            for j in 0..k {
+                out[j] += prior[i] * self.get(i, j);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_hexgrid::{HexGrid, HexGridConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cells(n: usize) -> Vec<CellId> {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        grid.leaves()[..n].to_vec()
+    }
+
+    #[test]
+    fn uniform_matrix_is_stochastic() {
+        let m = ObfuscationMatrix::uniform(cells(7)).unwrap();
+        assert_eq!(m.size(), 7);
+        m.check_stochastic(1e-12).unwrap();
+        assert!((m.get(3, 4) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rows() {
+        let c = cells(2);
+        assert!(ObfuscationMatrix::new(c.clone(), vec![0.5, 0.4, 0.5, 0.5]).is_err());
+        assert!(ObfuscationMatrix::new(c.clone(), vec![1.2, -0.2, 0.5, 0.5]).is_err());
+        assert!(ObfuscationMatrix::new(c.clone(), vec![0.5, 0.5, 0.5]).is_err());
+        assert!(ObfuscationMatrix::new(c, vec![0.5, 0.5, 0.25, 0.75]).is_ok());
+        assert!(ObfuscationMatrix::new(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn lp_solution_is_cleaned_and_normalized() {
+        let c = cells(2);
+        // Slightly negative and slightly off-sum rows get repaired.
+        let m =
+            ObfuscationMatrix::from_lp_solution(c, vec![0.6, 0.42, -1e-9, 1.0000001]).unwrap();
+        m.check_stochastic(1e-9).unwrap();
+        assert!((m.get(1, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lp_solution_with_empty_row_rejected() {
+        let c = cells(2);
+        assert!(matches!(
+            ObfuscationMatrix::from_lp_solution(c, vec![0.0, 0.0, 0.5, 0.5]),
+            Err(CorgiError::InvalidMatrix(_))
+        ));
+    }
+
+    #[test]
+    fn sampling_follows_the_row_distribution() {
+        let c = cells(3);
+        let m = ObfuscationMatrix::new(
+            c.clone(),
+            vec![0.8, 0.2, 0.0, 0.1, 0.1, 0.8, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            let obf = m.sample(&c[0], &mut rng).unwrap();
+            counts[m.index_of(&obf).unwrap()] += 1;
+        }
+        let f0 = counts[0] as f64 / 30_000.0;
+        let f1 = counts[1] as f64 / 30_000.0;
+        assert!((f0 - 0.8).abs() < 0.02, "{f0}");
+        assert!((f1 - 0.2).abs() < 0.02, "{f1}");
+        assert_eq!(counts[2], 0);
+    }
+
+    #[test]
+    fn sampling_unknown_cell_fails() {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let m = ObfuscationMatrix::uniform(grid.leaves()[..5].to_vec()).unwrap();
+        let outside = grid.leaves()[100];
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            m.sample(&outside, &mut rng),
+            Err(CorgiError::UnknownCell(_))
+        ));
+    }
+
+    #[test]
+    fn reported_distribution_is_probability_vector() {
+        let c = cells(3);
+        let m = ObfuscationMatrix::new(
+            c,
+            vec![0.8, 0.2, 0.0, 0.1, 0.1, 0.8, 0.3, 0.3, 0.4],
+        )
+        .unwrap();
+        let prior = vec![0.5, 0.25, 0.25];
+        let reported = m.reported_distribution(&prior).unwrap();
+        let total: f64 = reported.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((reported[0] - (0.5 * 0.8 + 0.25 * 0.1 + 0.25 * 0.3)).abs() < 1e-12);
+        assert!(m.reported_distribution(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! User customization policies (paper Section 3.2).
+//!
+//! A policy is the triple `<Privacy_l, Precision_l, User_Preferences>`:
+//!
+//! * **Privacy level** selects the privacy forest: the subtree rooted at that
+//!   level which contains the user's real location is the obfuscation range.
+//! * **Precision level** is the granularity of the reported location (a level of
+//!   the tree, at most the privacy level).
+//! * **User preferences** are Boolean predicates `<var, op, val>` over location
+//!   attributes (home, office, popular, outlier, distance, ...).  Locations of
+//!   the obfuscation range that *fail* a predicate are pruned from the
+//!   obfuscation matrix on the user side.
+
+use crate::{CorgiError, Result, Subtree};
+use corgi_hexgrid::CellId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Value of a location attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttributeValue {
+    /// Boolean attribute, e.g. `popular = true`.
+    Bool(bool),
+    /// Numeric attribute, e.g. `distance ≤ 5.0` (kilometres) or `traffic ≥ 3`.
+    Number(f64),
+    /// Textual attribute, e.g. `weather = "rain"`.
+    Text(String),
+}
+
+impl fmt::Display for AttributeValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttributeValue::Bool(b) => write!(f, "{b}"),
+            AttributeValue::Number(n) => write!(f, "{n}"),
+            AttributeValue::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Comparison operator of a predicate (`op ∈ {=, ≠, <, >, ≤, ≥}` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComparisonOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Strictly less than (numbers only).
+    Lt,
+    /// Strictly greater than (numbers only).
+    Gt,
+    /// Less than or equal (numbers only).
+    Le,
+    /// Greater than or equal (numbers only).
+    Ge,
+}
+
+/// A Boolean predicate `<var, op, val>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Attribute name, e.g. `"popular"`, `"home"`, `"distance"`.
+    pub var: String,
+    /// Comparison operator.
+    pub op: ComparisonOp,
+    /// Reference value.
+    pub value: AttributeValue,
+}
+
+impl Predicate {
+    /// Convenience constructor.
+    pub fn new(var: impl Into<String>, op: ComparisonOp, value: AttributeValue) -> Self {
+        Self {
+            var: var.into(),
+            op,
+            value,
+        }
+    }
+
+    /// `var = true` predicate.
+    pub fn is_true(var: impl Into<String>) -> Self {
+        Self::new(var, ComparisonOp::Eq, AttributeValue::Bool(true))
+    }
+
+    /// `var = false` predicate.
+    pub fn is_false(var: impl Into<String>) -> Self {
+        Self::new(var, ComparisonOp::Eq, AttributeValue::Bool(false))
+    }
+
+    /// Evaluate the predicate against an attribute value.
+    ///
+    /// A missing attribute (`None`) fails the predicate, and ordering operators
+    /// applied to non-numeric values fail as well — a location without the
+    /// required metadata is conservatively treated as not satisfying the
+    /// user's preference.
+    pub fn matches(&self, actual: Option<&AttributeValue>) -> bool {
+        let Some(actual) = actual else {
+            return false;
+        };
+        use AttributeValue as V;
+        use ComparisonOp as Op;
+        match (self.op, actual, &self.value) {
+            (Op::Eq, a, b) => a == b,
+            (Op::Ne, a, b) => a != b,
+            (Op::Lt, V::Number(a), V::Number(b)) => a < b,
+            (Op::Gt, V::Number(a), V::Number(b)) => a > b,
+            (Op::Le, V::Number(a), V::Number(b)) => a <= b,
+            (Op::Ge, V::Number(a), V::Number(b)) => a >= b,
+            _ => false,
+        }
+    }
+}
+
+/// Provides attribute values for leaf cells.
+///
+/// The user-side middleware implements this over its private metadata (check-in
+/// history, labelled home/office cells, live context such as distance from the
+/// real location).  The attributes never leave the user device — only the *count*
+/// of pruned locations is shared with the server (Section 5.2).
+pub trait AttributeProvider {
+    /// The value of attribute `var` for `cell`, or `None` if unknown.
+    fn attribute(&self, cell: &CellId, var: &str) -> Option<AttributeValue>;
+}
+
+/// A simple in-memory attribute provider backed by a map; useful for tests and
+/// examples.
+#[derive(Debug, Clone, Default)]
+pub struct MapAttributeProvider {
+    values: BTreeMap<(CellId, String), AttributeValue>,
+}
+
+impl MapAttributeProvider {
+    /// Create an empty provider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set an attribute for a cell.
+    pub fn set(&mut self, cell: CellId, var: impl Into<String>, value: AttributeValue) {
+        self.values.insert((cell, var.into()), value);
+    }
+}
+
+impl AttributeProvider for MapAttributeProvider {
+    fn attribute(&self, cell: &CellId, var: &str) -> Option<AttributeValue> {
+        self.values.get(&(*cell, var.to_string())).cloned()
+    }
+}
+
+/// A user customization policy `<Privacy_l, Precision_l, User_Preferences>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Policy {
+    /// Privacy level: level of the tree whose nodes root the privacy forest.
+    pub privacy_level: u8,
+    /// Precision level: granularity of the reported location (≤ privacy level).
+    pub precision_level: u8,
+    /// User preferences as Boolean predicates; locations failing any predicate
+    /// are pruned from the obfuscation range.
+    pub preferences: Vec<Predicate>,
+}
+
+impl Policy {
+    /// Create a policy, validating that the precision level does not exceed the
+    /// privacy level (the paper requires precision < privacy; equal levels would
+    /// make the reported location the subtree root itself, which is allowed here
+    /// as the degenerate "report the whole range" case is still meaningful).
+    pub fn new(
+        privacy_level: u8,
+        precision_level: u8,
+        preferences: Vec<Predicate>,
+    ) -> Result<Self> {
+        if precision_level > privacy_level {
+            return Err(CorgiError::InvalidPolicy(format!(
+                "precision level {precision_level} exceeds privacy level {privacy_level}"
+            )));
+        }
+        Ok(Self {
+            privacy_level,
+            precision_level,
+            preferences,
+        })
+    }
+
+    /// Validate the policy against a tree of the given height.
+    pub fn validate_for_height(&self, height: u8) -> Result<()> {
+        if self.privacy_level > height {
+            return Err(CorgiError::InvalidPolicy(format!(
+                "privacy level {} exceeds the tree height {height}",
+                self.privacy_level
+            )));
+        }
+        Ok(())
+    }
+
+    /// Evaluate the preferences on the leaves of a subtree and return the set of
+    /// cells to prune (step ② of the user-side flow, Fig. 8): every leaf that
+    /// fails at least one predicate.
+    ///
+    /// With no preferences nothing is pruned.
+    pub fn cells_to_prune<P: AttributeProvider>(
+        &self,
+        subtree: &Subtree,
+        provider: &P,
+    ) -> Vec<CellId> {
+        if self.preferences.is_empty() {
+            return Vec::new();
+        }
+        subtree
+            .leaves()
+            .iter()
+            .filter(|cell| {
+                self.preferences
+                    .iter()
+                    .any(|pred| !pred.matches(provider.attribute(cell, &pred.var).as_ref()))
+            })
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocationTree;
+    use corgi_hexgrid::{HexGrid, HexGridConfig};
+
+    fn tree() -> LocationTree {
+        LocationTree::new(HexGrid::new(HexGridConfig::san_francisco()).unwrap())
+    }
+
+    #[test]
+    fn predicate_boolean_matching() {
+        let p = Predicate::is_true("popular");
+        assert!(p.matches(Some(&AttributeValue::Bool(true))));
+        assert!(!p.matches(Some(&AttributeValue::Bool(false))));
+        assert!(!p.matches(None), "missing attribute fails the predicate");
+        let p = Predicate::is_false("home");
+        assert!(p.matches(Some(&AttributeValue::Bool(false))));
+        assert!(!p.matches(Some(&AttributeValue::Bool(true))));
+    }
+
+    #[test]
+    fn predicate_numeric_comparisons() {
+        let le = Predicate::new("distance", ComparisonOp::Le, AttributeValue::Number(5.0));
+        assert!(le.matches(Some(&AttributeValue::Number(3.0))));
+        assert!(le.matches(Some(&AttributeValue::Number(5.0))));
+        assert!(!le.matches(Some(&AttributeValue::Number(5.1))));
+        let gt = Predicate::new("traffic", ComparisonOp::Gt, AttributeValue::Number(2.0));
+        assert!(gt.matches(Some(&AttributeValue::Number(3.0))));
+        assert!(!gt.matches(Some(&AttributeValue::Number(2.0))));
+        // Ordering against a non-number fails.
+        assert!(!le.matches(Some(&AttributeValue::Text("near".into()))));
+    }
+
+    #[test]
+    fn predicate_text_equality() {
+        let eq = Predicate::new(
+            "weather",
+            ComparisonOp::Eq,
+            AttributeValue::Text("sunny".into()),
+        );
+        assert!(eq.matches(Some(&AttributeValue::Text("sunny".into()))));
+        assert!(!eq.matches(Some(&AttributeValue::Text("rain".into()))));
+        let ne = Predicate::new(
+            "weather",
+            ComparisonOp::Ne,
+            AttributeValue::Text("rain".into()),
+        );
+        assert!(ne.matches(Some(&AttributeValue::Text("sunny".into()))));
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(Policy::new(3, 0, vec![]).is_ok());
+        assert!(Policy::new(2, 2, vec![]).is_ok());
+        assert!(matches!(
+            Policy::new(1, 2, vec![]),
+            Err(CorgiError::InvalidPolicy(_))
+        ));
+        let p = Policy::new(3, 0, vec![]).unwrap();
+        assert!(p.validate_for_height(3).is_ok());
+        assert!(p.validate_for_height(2).is_err());
+    }
+
+    #[test]
+    fn paper_example_policy_prunes_unpopular_and_far_cells() {
+        // <privacy_l = 2, precision_l = 0, preferences = [popular = true, distance ≤ 5 km]>
+        let t = tree();
+        let subtree = t.privacy_forest(2).unwrap()[0].clone();
+        let mut provider = MapAttributeProvider::new();
+        // Mark every cell popular except two, and two cells as far away.
+        let leaves = subtree.leaves().to_vec();
+        for (i, cell) in leaves.iter().enumerate() {
+            provider.set(*cell, "popular", AttributeValue::Bool(i != 3 && i != 10));
+            let distance = if i == 10 || i == 20 { 9.0 } else { 1.0 };
+            provider.set(*cell, "distance", AttributeValue::Number(distance));
+        }
+        let policy = Policy::new(
+            2,
+            0,
+            vec![
+                Predicate::is_true("popular"),
+                Predicate::new("distance", ComparisonOp::Le, AttributeValue::Number(5.0)),
+            ],
+        )
+        .unwrap();
+        let pruned = policy.cells_to_prune(&subtree, &provider);
+        // Cells 3 (unpopular), 10 (unpopular and far) and 20 (far) are pruned.
+        assert_eq!(pruned.len(), 3);
+        assert!(pruned.contains(&leaves[3]));
+        assert!(pruned.contains(&leaves[10]));
+        assert!(pruned.contains(&leaves[20]));
+    }
+
+    #[test]
+    fn empty_preferences_prune_nothing() {
+        let t = tree();
+        let subtree = t.privacy_forest(1).unwrap()[0].clone();
+        let provider = MapAttributeProvider::new();
+        let policy = Policy::new(1, 0, vec![]).unwrap();
+        assert!(policy.cells_to_prune(&subtree, &provider).is_empty());
+    }
+
+    #[test]
+    fn missing_attributes_prune_conservatively() {
+        // If a predicate references an attribute the provider does not know, the
+        // cell fails the predicate and is pruned.
+        let t = tree();
+        let subtree = t.privacy_forest(1).unwrap()[0].clone();
+        let provider = MapAttributeProvider::new();
+        let policy = Policy::new(1, 0, vec![Predicate::is_true("popular")]).unwrap();
+        let pruned = policy.cells_to_prune(&subtree, &provider);
+        assert_eq!(pruned.len(), subtree.leaf_count());
+    }
+}

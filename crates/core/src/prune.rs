@@ -1,0 +1,184 @@
+//! Matrix pruning: user-side customization by removing locations (Section 4.3).
+//!
+//! Given the set `S` of locations that fail the user's preferences, pruning
+//! removes the corresponding rows and columns from `Z⁰` and renormalizes every
+//! remaining row by `1 / (1 − Σ_{l∈S} z_{i,l})`, which restores the probability
+//! unit measure (Eq. 1) but — for a non-robust matrix — may break ε-Geo-Ind
+//! (hence Section 4.4's robust generation).
+
+use crate::{CorgiError, ObfuscationMatrix, Result};
+use corgi_hexgrid::CellId;
+use std::collections::HashSet;
+
+/// Minimum probability mass a row must keep after pruning for the
+/// renormalization to be numerically meaningful.
+const MIN_SURVIVING_MASS: f64 = 1e-9;
+
+/// Prune the given cells from an obfuscation matrix (rows and columns) and
+/// renormalize the remaining rows.
+///
+/// Cells in `to_prune` that are not part of the matrix are ignored (the caller's
+/// preference evaluation may cover a larger area than this subtree).  Errors if
+/// pruning would remove every location or leave a row with (almost) no mass.
+pub fn prune_matrix(matrix: &ObfuscationMatrix, to_prune: &[CellId]) -> Result<ObfuscationMatrix> {
+    let prune_set: HashSet<CellId> = to_prune.iter().copied().collect();
+    let k = matrix.size();
+    let keep: Vec<usize> = (0..k)
+        .filter(|&i| !prune_set.contains(&matrix.cells()[i]))
+        .collect();
+    if keep.is_empty() {
+        return Err(CorgiError::OverPruned {
+            requested: to_prune.len(),
+            available: k,
+        });
+    }
+    if keep.len() == k {
+        // Nothing to prune.
+        return Ok(matrix.clone());
+    }
+
+    let kept_cells: Vec<CellId> = keep.iter().map(|&i| matrix.cells()[i]).collect();
+    let m = keep.len();
+    let mut data = vec![0.0; m * m];
+    for (new_i, &old_i) in keep.iter().enumerate() {
+        let surviving_mass: f64 = keep.iter().map(|&old_j| matrix.get(old_i, old_j)).sum();
+        if surviving_mass < MIN_SURVIVING_MASS {
+            return Err(CorgiError::OverPruned {
+                requested: to_prune.len(),
+                available: k,
+            });
+        }
+        for (new_j, &old_j) in keep.iter().enumerate() {
+            data[new_i * m + new_j] = matrix.get(old_i, old_j) / surviving_mass;
+        }
+    }
+    ObfuscationMatrix::new(kept_cells, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_hexgrid::{HexGrid, HexGridConfig};
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn cells(n: usize) -> Vec<CellId> {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        grid.leaves()[..n].to_vec()
+    }
+
+    fn random_stochastic_matrix(n: usize, seed: u64) -> ObfuscationMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            let mut row: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..1.0)).collect();
+            let sum: f64 = row.iter().sum();
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+            data[i * n..(i + 1) * n].copy_from_slice(&row);
+        }
+        ObfuscationMatrix::new(cells(n), data).unwrap()
+    }
+
+    #[test]
+    fn pruning_removes_rows_and_columns() {
+        let m = random_stochastic_matrix(5, 1);
+        let prune = vec![m.cells()[1], m.cells()[3]];
+        let pruned = prune_matrix(&m, &prune).unwrap();
+        assert_eq!(pruned.size(), 3);
+        assert!(!pruned.cells().contains(&prune[0]));
+        assert!(!pruned.cells().contains(&prune[1]));
+    }
+
+    #[test]
+    fn pruned_matrix_stays_row_stochastic() {
+        // This is the paper's explicit claim at the end of Section 4.3.
+        let m = random_stochastic_matrix(7, 2);
+        let prune = vec![m.cells()[0], m.cells()[4], m.cells()[6]];
+        let pruned = prune_matrix(&m, &prune).unwrap();
+        pruned.check_stochastic(1e-9).unwrap();
+    }
+
+    #[test]
+    fn renormalization_matches_formula() {
+        // z'_{i,k} = z_{i,k} / (1 − Σ_{l∈S} z_{i,l})
+        let m = random_stochastic_matrix(4, 3);
+        let prune = vec![m.cells()[2]];
+        let pruned = prune_matrix(&m, &prune).unwrap();
+        let removed_mass = m.get(0, 2);
+        let expected = m.get(0, 1) / (1.0 - removed_mass);
+        let new_col = pruned.index_of(&m.cells()[1]).unwrap();
+        let new_row = pruned.index_of(&m.cells()[0]).unwrap();
+        assert!((pruned.get(new_row, new_col) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_nothing_returns_clone() {
+        let m = random_stochastic_matrix(4, 4);
+        let pruned = prune_matrix(&m, &[]).unwrap();
+        assert_eq!(pruned, m);
+        // Unknown cells are ignored.
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let outside = grid.leaves()[300];
+        let pruned = prune_matrix(&m, &[outside]).unwrap();
+        assert_eq!(pruned, m);
+    }
+
+    #[test]
+    fn pruning_everything_fails() {
+        let m = random_stochastic_matrix(3, 5);
+        let all: Vec<CellId> = m.cells().to_vec();
+        assert!(matches!(
+            prune_matrix(&m, &all),
+            Err(CorgiError::OverPruned { .. })
+        ));
+    }
+
+    #[test]
+    fn pruning_all_mass_of_a_row_fails() {
+        // Row 0 puts all its probability on cell 1; pruning cell 1 leaves row 0 empty.
+        let c = cells(3);
+        let data = vec![
+            0.0, 1.0, 0.0, //
+            0.3, 0.4, 0.3, //
+            0.2, 0.2, 0.6,
+        ];
+        let m = ObfuscationMatrix::new(c.clone(), data).unwrap();
+        assert!(matches!(
+            prune_matrix(&m, &[c[1]]),
+            Err(CorgiError::OverPruned { .. })
+        ));
+    }
+
+    proptest! {
+        /// Pruning any strict subset of a strictly-positive matrix preserves row
+        /// stochasticity and the relative proportions of surviving entries.
+        #[test]
+        fn prop_pruning_preserves_stochasticity(seed in 0u64..300, prune_mask in 1u8..31) {
+            let n = 5usize;
+            let m = random_stochastic_matrix(n, seed);
+            let prune: Vec<CellId> = (0..n)
+                .filter(|i| prune_mask & (1 << i) != 0)
+                .map(|i| m.cells()[i])
+                .collect();
+            prop_assume!(prune.len() < n);
+            let pruned = prune_matrix(&m, &prune).unwrap();
+            pruned.check_stochastic(1e-9).unwrap();
+            prop_assert_eq!(pruned.size(), n - prune.len());
+            // Relative proportions within a surviving row are unchanged.
+            let survivors: Vec<usize> = (0..n)
+                .filter(|i| prune_mask & (1 << i) == 0)
+                .collect();
+            let (a, b) = (survivors[0], *survivors.last().unwrap());
+            if a != b {
+                let old_ratio = m.get(a, a) / m.get(a, b);
+                let na = pruned.index_of(&m.cells()[a]).unwrap();
+                let nb = pruned.index_of(&m.cells()[b]).unwrap();
+                let new_ratio = pruned.get(na, na) / pruned.get(na, nb);
+                prop_assert!((old_ratio - new_ratio).abs() < 1e-9 * (1.0 + old_ratio.abs()));
+            }
+        }
+    }
+}

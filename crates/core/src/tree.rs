@@ -1,0 +1,244 @@
+//! The location tree (paper Section 3.1, Definition 3.1).
+//!
+//! A location tree is a balanced rooted tree over a region where every level is a
+//! granularity of location reporting, sibling nodes partition their parent, and
+//! leaves are the finest cells.  [`LocationTree`] wraps a [`HexGrid`] (which
+//! provides the aperture-7 hierarchy) and adds the paper's vocabulary: levels,
+//! privacy forests, and subtrees rooted at a privacy level.
+
+use crate::{CorgiError, Result};
+use corgi_geo::LatLng;
+use corgi_hexgrid::{CellId, HexGrid};
+use serde::{Deserialize, Serialize};
+
+/// A location tree over a geographic area of interest.
+#[derive(Debug, Clone)]
+pub struct LocationTree {
+    grid: HexGrid,
+}
+
+/// A subtree of the location tree rooted at a node of the privacy level, i.e. one
+/// tree of the *privacy forest* (paper Fig. 3).  The subtree's leaf cells are the
+/// user's obfuscation range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subtree {
+    root: CellId,
+    leaves: Vec<CellId>,
+}
+
+impl Subtree {
+    /// Root node of the subtree.
+    pub fn root(&self) -> CellId {
+        self.root
+    }
+
+    /// Leaf cells of the subtree (the obfuscation range), in stable digit order.
+    pub fn leaves(&self) -> &[CellId] {
+        &self.leaves
+    }
+
+    /// Number of leaf cells.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Position of a leaf cell inside this subtree, if present.
+    pub fn index_of(&self, cell: &CellId) -> Option<usize> {
+        self.leaves.iter().position(|c| c == cell)
+    }
+
+    /// Whether a cell belongs to the subtree (at any level).
+    pub fn contains(&self, cell: &CellId) -> bool {
+        self.root.is_ancestor_of(cell)
+    }
+}
+
+impl LocationTree {
+    /// Build a location tree over the given grid.
+    pub fn new(grid: HexGrid) -> Self {
+        Self { grid }
+    }
+
+    /// The underlying spatial index.
+    pub fn grid(&self) -> &HexGrid {
+        &self.grid
+    }
+
+    /// Height of the tree (level of the root).
+    pub fn height(&self) -> u8 {
+        self.grid.height()
+    }
+
+    /// The root node covering the whole area of interest.
+    pub fn root(&self) -> CellId {
+        self.grid.root()
+    }
+
+    /// All nodes at a given level (`V_k` in the paper), in stable digit order.
+    pub fn nodes_at_level(&self, level: u8) -> Result<Vec<CellId>> {
+        if level > self.height() {
+            return Err(CorgiError::InvalidPolicy(format!(
+                "level {level} exceeds the tree height {}",
+                self.height()
+            )));
+        }
+        Ok(self.grid.cells_at_level(level))
+    }
+
+    /// The leaf nodes (`V_0`), in stable digit order.
+    pub fn leaves(&self) -> &[CellId] {
+        self.grid.leaves()
+    }
+
+    /// The privacy forest for a privacy level: all subtrees rooted at that level.
+    pub fn privacy_forest(&self, privacy_level: u8) -> Result<Vec<Subtree>> {
+        let roots = self.nodes_at_level(privacy_level)?;
+        Ok(roots
+            .into_iter()
+            .map(|root| Subtree {
+                leaves: root.descendant_leaves(),
+                root,
+            })
+            .collect())
+    }
+
+    /// The subtree of the privacy forest that contains the given leaf cell.
+    pub fn subtree_containing(&self, leaf: &CellId, privacy_level: u8) -> Result<Subtree> {
+        if !leaf.is_leaf() {
+            return Err(CorgiError::InvalidMatrix(format!(
+                "expected a leaf cell, got level {}",
+                leaf.level()
+            )));
+        }
+        if privacy_level > self.height() {
+            return Err(CorgiError::InvalidPolicy(format!(
+                "privacy level {privacy_level} exceeds the tree height {}",
+                self.height()
+            )));
+        }
+        if self.grid.leaf_index(leaf).is_err() {
+            return Err(CorgiError::UnknownCell(*leaf));
+        }
+        let root = leaf.ancestor_at(privacy_level);
+        Ok(Subtree {
+            leaves: root.descendant_leaves(),
+            root,
+        })
+    }
+
+    /// The subtree of the privacy forest containing a geographic point.
+    pub fn subtree_containing_point(&self, point: &LatLng, privacy_level: u8) -> Result<Subtree> {
+        let leaf = self.grid.leaf_containing(point)?;
+        self.subtree_containing(&leaf, privacy_level)
+    }
+
+    /// The leaf cell containing a geographic point.
+    pub fn leaf_containing(&self, point: &LatLng) -> Result<CellId> {
+        Ok(self.grid.leaf_containing(point)?)
+    }
+
+    /// Haversine distance (km) between the centers of two cells (`d_{i,j}`).
+    pub fn distance_km(&self, a: &CellId, b: &CellId) -> f64 {
+        self.grid.cell_distance_km(a, b)
+    }
+
+    /// Pairwise haversine distance matrix for a list of cells.
+    pub fn distance_matrix(&self, cells: &[CellId]) -> Vec<Vec<f64>> {
+        let centers: Vec<LatLng> = cells.iter().map(|c| self.grid.cell_center(c)).collect();
+        let n = cells.len();
+        let mut d = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist = corgi_geo::haversine_km(&centers[i], &centers[j]);
+                d[i][j] = dist;
+                d[j][i] = dist;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_hexgrid::HexGridConfig;
+
+    fn tree() -> LocationTree {
+        LocationTree::new(HexGrid::new(HexGridConfig::san_francisco()).unwrap())
+    }
+
+    #[test]
+    fn levels_match_paper_setup() {
+        // Paper Section 6.2.5: level 3 = root covering 343 locations; a level-2
+        // subtree covers 49 locations, level-1 covers 7, level-0 covers 1.
+        let t = tree();
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.leaves().len(), 343);
+        assert_eq!(t.privacy_forest(2).unwrap().len(), 7);
+        assert_eq!(t.privacy_forest(2).unwrap()[0].leaf_count(), 49);
+        assert_eq!(t.privacy_forest(1).unwrap()[0].leaf_count(), 7);
+        assert_eq!(t.privacy_forest(3).unwrap()[0].leaf_count(), 343);
+    }
+
+    #[test]
+    fn privacy_forest_partitions_leaves() {
+        let t = tree();
+        let forest = t.privacy_forest(2).unwrap();
+        let total: usize = forest.iter().map(Subtree::leaf_count).sum();
+        assert_eq!(total, 343);
+        // Each leaf is in exactly one subtree.
+        for leaf in t.leaves() {
+            let owners = forest.iter().filter(|s| s.contains(leaf)).count();
+            assert_eq!(owners, 1);
+        }
+    }
+
+    #[test]
+    fn subtree_containing_leaf_is_consistent() {
+        let t = tree();
+        let leaf = t.leaves()[200];
+        let sub = t.subtree_containing(&leaf, 2).unwrap();
+        assert!(sub.contains(&leaf));
+        assert_eq!(sub.root().level(), 2);
+        assert!(sub.index_of(&leaf).is_some());
+        assert_eq!(sub.leaf_count(), 49);
+    }
+
+    #[test]
+    fn subtree_containing_point_matches_leaf_lookup() {
+        let t = tree();
+        let leaf = t.leaves()[137];
+        let point = t.grid().cell_center(&leaf);
+        let sub = t.subtree_containing_point(&point, 1).unwrap();
+        assert!(sub.contains(&leaf));
+        assert_eq!(sub.leaf_count(), 7);
+        assert_eq!(t.leaf_containing(&point).unwrap(), leaf);
+    }
+
+    #[test]
+    fn invalid_levels_rejected() {
+        let t = tree();
+        assert!(t.nodes_at_level(9).is_err());
+        assert!(t.privacy_forest(9).is_err());
+        let leaf = t.leaves()[0];
+        assert!(t.subtree_containing(&leaf, 9).is_err());
+        assert!(t.subtree_containing(&t.root(), 2).is_err(), "non-leaf rejected");
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_metric_like() {
+        let t = tree();
+        let sub = t.privacy_forest(1).unwrap()[0].clone();
+        let d = t.distance_matrix(sub.leaves());
+        let n = sub.leaf_count();
+        for i in 0..n {
+            assert_eq!(d[i][i], 0.0);
+            for j in 0..n {
+                assert!((d[i][j] - d[j][i]).abs() < 1e-12);
+                if i != j {
+                    assert!(d[i][j] > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Utility / quality-loss metrics (paper Eq. 3, 6, 7).
+//!
+//! The utility of reporting `v_l` instead of the real location `v_i` towards a
+//! target `v_n` is the absolute estimation error of the travelling distance,
+//! `U(v_i, v_l, v_n) = |d(v_i, v_n) − d(v_l, v_n)|` with haversine distances.
+
+use crate::ObfuscationMatrix;
+use corgi_geo::{haversine_km, LatLng};
+
+/// Estimation error between two already-computed distances (Eq. 3 with the
+/// distances precomputed): `|d(real, target) − d(reported, target)|`.
+pub fn estimation_error(d_real_target: f64, d_reported_target: f64) -> f64 {
+    (d_real_target - d_reported_target).abs()
+}
+
+/// Utility of a single report towards a single target (Eq. 3), in km.
+pub fn single_target_utility(real: &LatLng, reported: &LatLng, target: &LatLng) -> f64 {
+    estimation_error(haversine_km(real, target), haversine_km(reported, target))
+}
+
+/// Mean utility over several targets (the paper averages over `N` targets).
+pub fn multi_target_utility(real: &LatLng, reported: &LatLng, targets: &[LatLng]) -> f64 {
+    if targets.is_empty() {
+        return 0.0;
+    }
+    targets
+        .iter()
+        .map(|t| single_target_utility(real, reported, t))
+        .sum::<f64>()
+        / targets.len() as f64
+}
+
+/// Expected quality loss Δ(Z) of an obfuscation matrix (Eq. 6–7): the expectation
+/// of the estimation error over the prior of real locations, the rows of the
+/// matrix, and the distribution of targets.
+///
+/// * `distances[i][j]` — pairwise distance (km) between matrix cells.
+/// * `prior[i]` — `Pr(X = v_i)`, normalized internally.
+/// * `targets` / `target_probs` — indices (into the matrix cells) and
+///   probabilities of the places of interest.
+pub fn expected_quality_loss(
+    matrix: &ObfuscationMatrix,
+    distances: &[Vec<f64>],
+    prior: &[f64],
+    targets: &[usize],
+    target_probs: &[f64],
+) -> f64 {
+    let k = matrix.size();
+    assert_eq!(prior.len(), k, "prior length mismatch");
+    assert_eq!(targets.len(), target_probs.len(), "target weights mismatch");
+    let prior_total: f64 = prior.iter().sum();
+    let mut loss = 0.0;
+    for (t_pos, &q) in targets.iter().enumerate() {
+        let mut per_target = 0.0;
+        for real in 0..k {
+            let mut row_error = 0.0;
+            for reported in 0..k {
+                row_error += matrix.get(real, reported)
+                    * estimation_error(distances[real][q], distances[reported][q]);
+            }
+            per_target += (prior[real] / prior_total) * row_error;
+        }
+        loss += target_probs[t_pos] * per_target;
+    }
+    loss
+}
+
+/// Empirical quality loss: draw `samples` (real location, obfuscated location)
+/// pairs from the prior and the matrix and average the estimation error towards
+/// the targets.  Converges to [`expected_quality_loss`] as `samples → ∞`.
+pub fn empirical_quality_loss<R: rand::Rng>(
+    matrix: &ObfuscationMatrix,
+    distances: &[Vec<f64>],
+    prior: &[f64],
+    targets: &[usize],
+    target_probs: &[f64],
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let k = matrix.size();
+    let prior_total: f64 = prior.iter().sum();
+    let mut total = 0.0;
+    for _ in 0..samples {
+        // Sample a real location from the prior.
+        let mut u: f64 = rng.gen::<f64>() * prior_total;
+        let mut real = k - 1;
+        for (i, &p) in prior.iter().enumerate() {
+            u -= p;
+            if u <= 0.0 {
+                real = i;
+                break;
+            }
+        }
+        let reported = matrix.sample_row(real, rng);
+        // Sample a target.
+        let mut ut: f64 = rng.gen::<f64>() * target_probs.iter().sum::<f64>();
+        let mut target = targets[targets.len() - 1];
+        for (pos, &tp) in target_probs.iter().enumerate() {
+            ut -= tp;
+            if ut <= 0.0 {
+                target = targets[pos];
+                break;
+            }
+        }
+        total += estimation_error(distances[real][target], distances[reported][target]);
+    }
+    total / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_hexgrid::{HexGrid, HexGridConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(k: usize) -> (ObfuscationMatrix, Vec<Vec<f64>>) {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let cells = grid.leaves()[..k].to_vec();
+        let mut d = vec![vec![0.0; k]; k];
+        for i in 0..k {
+            for j in 0..k {
+                d[i][j] = grid.cell_distance_km(&cells[i], &cells[j]);
+            }
+        }
+        (ObfuscationMatrix::uniform(cells).unwrap(), d)
+    }
+
+    #[test]
+    fn estimation_error_basics() {
+        assert_eq!(estimation_error(5.0, 5.0), 0.0);
+        assert_eq!(estimation_error(5.0, 3.0), 2.0);
+        assert_eq!(estimation_error(3.0, 5.0), 2.0);
+    }
+
+    #[test]
+    fn single_target_utility_is_zero_for_truthful_report() {
+        let a = LatLng::new(37.77, -122.42).unwrap();
+        let t = LatLng::new(37.80, -122.40).unwrap();
+        assert!(single_target_utility(&a, &a, &t) < 1e-12);
+    }
+
+    #[test]
+    fn multi_target_utility_averages() {
+        let real = LatLng::new(37.77, -122.42).unwrap();
+        let reported = LatLng::new(37.78, -122.42).unwrap();
+        let t1 = LatLng::new(37.80, -122.40).unwrap();
+        let t2 = LatLng::new(37.70, -122.45).unwrap();
+        let avg = multi_target_utility(&real, &reported, &[t1, t2]);
+        let manual = (single_target_utility(&real, &reported, &t1)
+            + single_target_utility(&real, &reported, &t2))
+            / 2.0;
+        assert!((avg - manual).abs() < 1e-12);
+        assert_eq!(multi_target_utility(&real, &reported, &[]), 0.0);
+    }
+
+    #[test]
+    fn truthful_matrix_has_zero_quality_loss() {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let cells = grid.leaves()[..4].to_vec();
+        let mut data = vec![0.0; 16];
+        for i in 0..4 {
+            data[i * 4 + i] = 1.0;
+        }
+        let identity = ObfuscationMatrix::new(cells.clone(), data).unwrap();
+        let mut d = vec![vec![0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                d[i][j] = grid.cell_distance_km(&cells[i], &cells[j]);
+            }
+        }
+        let loss =
+            expected_quality_loss(&identity, &d, &[0.25; 4], &[0, 1, 2], &[0.4, 0.3, 0.3]);
+        assert!(loss < 1e-12);
+    }
+
+    #[test]
+    fn uniform_matrix_has_positive_quality_loss() {
+        let (m, d) = setup(7);
+        let loss = expected_quality_loss(&m, &d, &[1.0; 7], &[0, 3], &[0.5, 0.5]);
+        assert!(loss > 0.0);
+    }
+
+    #[test]
+    fn empirical_matches_expected_quality_loss() {
+        let (m, d) = setup(7);
+        let prior = vec![1.0, 2.0, 1.0, 3.0, 1.0, 1.0, 2.0];
+        let targets = [0usize, 4];
+        let tp = [0.3, 0.7];
+        let expected = expected_quality_loss(&m, &d, &prior, &targets, &tp);
+        let mut rng = StdRng::seed_from_u64(3);
+        let empirical = empirical_quality_loss(&m, &d, &prior, &targets, &tp, 60_000, &mut rng);
+        assert!(
+            (expected - empirical).abs() < 0.03 * (1.0 + expected),
+            "expected {expected}, empirical {empirical}"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Check-in records and datasets.
+
+use corgi_geo::LatLng;
+use corgi_hexgrid::{CellId, HexGrid};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single check-in, mirroring the Gowalla schema
+/// `[user, check-in time, latitude, longitude, location id]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckIn {
+    /// Numeric user identifier.
+    pub user_id: u32,
+    /// Check-in time as seconds since the Unix epoch.
+    pub timestamp: i64,
+    /// Geographic position of the check-in.
+    pub location: LatLng,
+    /// Identifier of the venue / point of interest.
+    pub location_id: u32,
+}
+
+impl CheckIn {
+    /// Hour of day (0–23) in the dataset's local time (UTC offset baked into the
+    /// generator), used by the labelling heuristics.
+    pub fn hour_of_day(&self) -> u8 {
+        ((self.timestamp / 3600).rem_euclid(24)) as u8
+    }
+}
+
+/// A collection of check-ins with convenience queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CheckInDataset {
+    checkins: Vec<CheckIn>,
+}
+
+impl CheckInDataset {
+    /// Wrap a vector of check-ins.
+    pub fn new(checkins: Vec<CheckIn>) -> Self {
+        Self { checkins }
+    }
+
+    /// All check-ins.
+    pub fn checkins(&self) -> &[CheckIn] {
+        &self.checkins
+    }
+
+    /// Number of check-ins.
+    pub fn len(&self) -> usize {
+        self.checkins.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.checkins.is_empty()
+    }
+
+    /// Number of distinct users.
+    pub fn num_users(&self) -> usize {
+        let mut users: Vec<u32> = self.checkins.iter().map(|c| c.user_id).collect();
+        users.sort_unstable();
+        users.dedup();
+        users.len()
+    }
+
+    /// Check-ins of one user.
+    pub fn for_user(&self, user_id: u32) -> Vec<&CheckIn> {
+        self.checkins
+            .iter()
+            .filter(|c| c.user_id == user_id)
+            .collect()
+    }
+
+    /// Count check-ins per leaf cell of a grid; check-ins outside the grid are
+    /// ignored (the Gowalla sample is clipped to the region in the same way).
+    pub fn counts_per_leaf(&self, grid: &HexGrid) -> Vec<usize> {
+        let mut counts = vec![0usize; grid.leaf_count()];
+        for c in &self.checkins {
+            if let Ok(leaf) = grid.leaf_containing(&c.location) {
+                if let Ok(idx) = grid.leaf_index(&leaf) {
+                    counts[idx] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The leaf cell of every check-in that falls inside the grid, in order.
+    pub fn leaves(&self, grid: &HexGrid) -> Vec<(CheckIn, CellId)> {
+        self.checkins
+            .iter()
+            .filter_map(|c| grid.leaf_containing(&c.location).ok().map(|l| (*c, l)))
+            .collect()
+    }
+
+    /// Split into train/test portions (the paper uses 90% / 10%): the split is by
+    /// check-in, shuffled with the provided RNG for reproducibility.
+    pub fn split<R: Rng>(&self, train_fraction: f64, rng: &mut R) -> TrainTestSplit {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train fraction must be within [0, 1]"
+        );
+        let mut shuffled = self.checkins.clone();
+        shuffled.shuffle(rng);
+        let cut = ((shuffled.len() as f64) * train_fraction).round() as usize;
+        let (train, test) = shuffled.split_at(cut.min(shuffled.len()));
+        TrainTestSplit {
+            train: CheckInDataset::new(train.to_vec()),
+            test: CheckInDataset::new(test.to_vec()),
+        }
+    }
+}
+
+/// Result of a train/test split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainTestSplit {
+    /// Training portion (priors are computed from this part).
+    pub train: CheckInDataset,
+    /// Testing portion ("real locations" are sampled from this part).
+    pub test: CheckInDataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> CheckInDataset {
+        let p = |lat: f64, lng: f64| LatLng::new(lat, lng).unwrap();
+        CheckInDataset::new(vec![
+            CheckIn { user_id: 1, timestamp: 3_600 * 10, location: p(37.7749, -122.4194), location_id: 7 },
+            CheckIn { user_id: 1, timestamp: 3_600 * 23, location: p(37.7755, -122.4180), location_id: 8 },
+            CheckIn { user_id: 2, timestamp: 3_600 * 14, location: p(37.7800, -122.4100), location_id: 7 },
+        ])
+    }
+
+    #[test]
+    fn basic_queries() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.num_users(), 2);
+        assert_eq!(ds.for_user(1).len(), 2);
+        assert_eq!(ds.checkins()[0].hour_of_day(), 10);
+        assert_eq!(ds.checkins()[1].hour_of_day(), 23);
+    }
+
+    #[test]
+    fn counts_per_leaf_sum_to_inside_checkins() {
+        let grid = HexGrid::new(corgi_hexgrid::HexGridConfig::san_francisco()).unwrap();
+        let ds = tiny_dataset();
+        let counts = ds.counts_per_leaf(&grid);
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 3, "all tiny-dataset check-ins are inside the SF grid");
+        assert_eq!(ds.leaves(&grid).len(), 3);
+    }
+
+    #[test]
+    fn split_preserves_total() {
+        let ds = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = ds.split(0.67, &mut rng);
+        assert_eq!(split.train.len() + split.test.len(), ds.len());
+        assert_eq!(split.train.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn invalid_split_fraction_panics() {
+        let ds = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = ds.split(1.5, &mut rng);
+    }
+}

@@ -1,0 +1,227 @@
+//! Prior probability distributions over grid cells.
+//!
+//! The paper computes the prior of every leaf node by counting check-ins inside
+//! it and aggregates priors of intermediate nodes from their children
+//! (Section 6.1, "Priors").  A small smoothing mass keeps cells with zero
+//! check-ins from having an exactly-zero prior, which would make the Geo-Ind
+//! ratio in Eq. (2) degenerate.
+
+use crate::CheckInDataset;
+use corgi_hexgrid::{CellId, HexGrid};
+use serde::{Deserialize, Serialize};
+
+/// A prior probability distribution over the leaf cells of a grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriorDistribution {
+    probs: Vec<f64>,
+}
+
+impl PriorDistribution {
+    /// Uniform prior over `n` leaves.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "prior over zero cells");
+        Self {
+            probs: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Build a prior from per-leaf check-in counts with additive smoothing
+    /// (`smoothing` pseudo-counts per cell; the paper's counting corresponds to
+    /// `smoothing = 0`, we default to a small value to avoid zero-mass cells).
+    pub fn from_counts(counts: &[usize], smoothing: f64) -> Self {
+        assert!(!counts.is_empty(), "prior over zero cells");
+        assert!(smoothing >= 0.0 && smoothing.is_finite(), "invalid smoothing");
+        let total: f64 = counts.iter().map(|&c| c as f64 + smoothing).sum();
+        assert!(total > 0.0, "all counts are zero and smoothing is zero");
+        Self {
+            probs: counts
+                .iter()
+                .map(|&c| (c as f64 + smoothing) / total)
+                .collect(),
+        }
+    }
+
+    /// Build a prior directly from a dataset over a grid.
+    pub fn from_dataset(grid: &HexGrid, dataset: &CheckInDataset, smoothing: f64) -> Self {
+        Self::from_counts(&dataset.counts_per_leaf(grid), smoothing)
+    }
+
+    /// Number of leaves covered.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the distribution covers no cells (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of the leaf with the given grid index.
+    pub fn prob(&self, leaf_index: usize) -> f64 {
+        self.probs[leaf_index]
+    }
+
+    /// The full probability vector, aligned with `grid.leaves()`.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Prior of an arbitrary cell: the sum of its descendant leaves' priors
+    /// (`p_{v_i} = Σ_{v_m ∈ N(v_i)} p_{v_m}` in the paper's notation).
+    pub fn prob_of_cell(&self, grid: &HexGrid, cell: &CellId) -> f64 {
+        if cell.is_leaf() {
+            return grid
+                .leaf_index(cell)
+                .map(|i| self.probs[i])
+                .unwrap_or(0.0);
+        }
+        cell.descendant_leaves()
+            .iter()
+            .map(|leaf| {
+                grid.leaf_index(leaf)
+                    .map(|i| self.probs[i])
+                    .unwrap_or(0.0)
+            })
+            .sum()
+    }
+
+    /// Priors of all cells at a level, in the same order as
+    /// [`HexGrid::cells_at_level`]; they sum to 1.
+    pub fn at_level(&self, grid: &HexGrid, level: u8) -> Vec<f64> {
+        grid.cells_at_level(level)
+            .iter()
+            .map(|c| self.prob_of_cell(grid, c))
+            .collect()
+    }
+
+    /// The prior restricted to the given leaves and re-normalized; used when an
+    /// obfuscation matrix is generated for a single privacy-forest subtree.
+    ///
+    /// Returns `None` if the restricted mass is zero.
+    pub fn restricted_to(&self, grid: &HexGrid, leaves: &[CellId]) -> Option<Vec<f64>> {
+        let raw: Vec<f64> = leaves
+            .iter()
+            .map(|l| grid.leaf_index(l).map(|i| self.probs[i]).unwrap_or(0.0))
+            .collect();
+        let total: f64 = raw.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        Some(raw.into_iter().map(|p| p / total).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GowallaLikeConfig, GowallaLikeGenerator};
+    use corgi_hexgrid::HexGridConfig;
+    use proptest::prelude::*;
+
+    fn grid() -> HexGrid {
+        HexGrid::new(HexGridConfig::san_francisco()).unwrap()
+    }
+
+    #[test]
+    fn uniform_prior_sums_to_one() {
+        let p = PriorDistribution::uniform(49);
+        assert_eq!(p.len(), 49);
+        let total: f64 = p.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_normalizes_and_smooths() {
+        let p = PriorDistribution::from_counts(&[0, 2, 8], 1.0);
+        let total: f64 = p.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(p.prob(0) > 0.0, "smoothing gives empty cells positive mass");
+        assert!(p.prob(2) > p.prob(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "all counts are zero")]
+    fn all_zero_without_smoothing_rejected() {
+        let _ = PriorDistribution::from_counts(&[0, 0, 0], 0.0);
+    }
+
+    #[test]
+    fn dataset_prior_matches_counts() {
+        let grid = grid();
+        let (ds, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+        let counts = ds.counts_per_leaf(&grid);
+        let prior = PriorDistribution::from_dataset(&grid, &ds, 0.0);
+        let total_checkins: usize = counts.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = c as f64 / total_checkins as f64;
+            assert!((prior.prob(i) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cell_priors_aggregate_children() {
+        let grid = grid();
+        let (ds, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+        let prior = PriorDistribution::from_dataset(&grid, &ds, 0.5);
+        // Root prior is 1, and each level sums to 1.
+        assert!((prior.prob_of_cell(&grid, &grid.root()) - 1.0).abs() < 1e-9);
+        for level in 0..=grid.height() {
+            let level_sum: f64 = prior.at_level(&grid, level).iter().sum();
+            assert!((level_sum - 1.0).abs() < 1e-9, "level {level} sums to {level_sum}");
+        }
+        // A parent's prior equals the sum of its children's priors.
+        let parent = grid.cells_at_level(2)[3];
+        let child_sum: f64 = parent
+            .children()
+            .iter()
+            .map(|c| prior.prob_of_cell(&grid, c))
+            .sum();
+        assert!((prior.prob_of_cell(&grid, &parent) - child_sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restriction_renormalizes() {
+        let grid = grid();
+        let (ds, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+        let prior = PriorDistribution::from_dataset(&grid, &ds, 0.5);
+        let subtree = grid.cells_at_level(2)[0].descendant_leaves();
+        let restricted = prior.restricted_to(&grid, &subtree).unwrap();
+        assert_eq!(restricted.len(), 49);
+        let total: f64 = restricted.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restriction_with_zero_mass_is_none() {
+        let grid = grid();
+        // A prior that puts everything on leaf 0.
+        let mut counts = vec![0usize; grid.leaf_count()];
+        counts[0] = 10;
+        let prior = PriorDistribution::from_counts(&counts, 0.0);
+        // Pick a subtree that does not contain leaf 0.
+        let subtree = grid
+            .cells_at_level(2)
+            .into_iter()
+            .find(|c| !c.is_ancestor_of(&grid.leaves()[0]))
+            .unwrap();
+        assert!(prior
+            .restricted_to(&grid, &subtree.descendant_leaves())
+            .is_none());
+    }
+
+    proptest! {
+        /// from_counts always produces a normalized distribution with the same
+        /// ordering as the counts.
+        #[test]
+        fn prop_from_counts_normalized(counts in proptest::collection::vec(0usize..500, 2..80)) {
+            let p = PriorDistribution::from_counts(&counts, 0.1);
+            let total: f64 = p.probs().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            for i in 1..counts.len() {
+                if counts[i] > counts[i - 1] {
+                    prop_assert!(p.prob(i) > p.prob(i - 1));
+                }
+            }
+        }
+    }
+}

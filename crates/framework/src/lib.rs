@@ -1,0 +1,29 @@
+//! The CORGI client/server framework (paper Section 5, Fig. 1 and Fig. 8).
+//!
+//! Three actors interact:
+//!
+//! * the **server** (untrusted, computationally powerful): builds the location
+//!   tree over the area of interest, and — given only a privacy level and the
+//!   *number* of locations the user intends to prune — generates a robust
+//!   obfuscation matrix for **every** subtree of the privacy forest
+//!   (Algorithm 3), so it never learns which subtree contains the user;
+//! * the **user device** (trusted): evaluates the customization policy on its
+//!   private metadata, selects the matrix of its own subtree, prunes it, reduces
+//!   its precision and samples the obfuscated location (Algorithm 4);
+//! * **third-party location-based services**: receive only the obfuscated cell.
+//!
+//! [`CorgiServer`] and [`CorgiClient`] implement the two trusted-boundary sides;
+//! [`messages`] defines the serde-serializable wire format exchanged between
+//! them, and [`MetadataAttributeProvider`] bridges the `corgi-datagen` location
+//! labels into the policy evaluation of `corgi-core`.
+
+#![warn(missing_docs)]
+
+mod client;
+pub mod messages;
+mod provider;
+mod server;
+
+pub use client::{CorgiClient, ObfuscationOutcome};
+pub use provider::MetadataAttributeProvider;
+pub use server::{CorgiServer, ServerConfig};

@@ -1,0 +1,137 @@
+//! Wire messages exchanged between the user device and the untrusted server.
+//!
+//! The messages deliberately contain only the information the paper allows the
+//! server to see (Section 5): the privacy level, the *number* of locations that
+//! will be pruned (δ), and — in the response — one obfuscation matrix per
+//! privacy-forest subtree.  Neither the user's real location nor the identity of
+//! the pruned cells ever crosses the trust boundary.
+
+use corgi_core::ObfuscationMatrix;
+use corgi_hexgrid::CellId;
+use serde::{Deserialize, Serialize};
+
+/// Request sent by the user device to the server (step ④ of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatrixRequest {
+    /// The privacy level selecting the privacy forest.
+    pub privacy_level: u8,
+    /// Number of locations the user may prune (δ); the server reserves privacy
+    /// budget accordingly.
+    pub delta: usize,
+}
+
+/// One entry of the privacy forest: the subtree root and its robust matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestEntry {
+    /// Root cell of the subtree at the requested privacy level.
+    pub subtree_root: CellId,
+    /// Robust obfuscation matrix over the subtree's leaf cells.
+    pub matrix: ObfuscationMatrix,
+}
+
+/// Response from the server: the full privacy forest (step ⑤ of Fig. 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyForestResponse {
+    /// The request this response answers.
+    pub request: MatrixRequest,
+    /// Privacy budget ε (1/km) the matrices were generated with.
+    pub epsilon: f64,
+    /// One robust matrix per subtree of the privacy forest.
+    pub entries: Vec<ForestEntry>,
+}
+
+impl PrivacyForestResponse {
+    /// Find the matrix whose subtree contains the given leaf cell.
+    pub fn matrix_for_leaf(&self, leaf: &CellId) -> Option<&ForestEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.subtree_root.is_ancestor_of(leaf))
+    }
+}
+
+/// The report sent to a third-party location-based service (step ⑥ of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocationReport {
+    /// The obfuscated cell at the user's chosen precision level.
+    pub reported_cell: CellId,
+    /// The precision level of the report (tree level of `reported_cell`).
+    pub precision_level: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_hexgrid::{HexGrid, HexGridConfig};
+
+    #[test]
+    fn messages_roundtrip_through_json() {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let subtree = grid.cells_at_level(1)[0];
+        let matrix = ObfuscationMatrix::uniform(subtree.descendant_leaves()).unwrap();
+        let response = PrivacyForestResponse {
+            request: MatrixRequest {
+                privacy_level: 1,
+                delta: 2,
+            },
+            epsilon: 15.0,
+            entries: vec![ForestEntry {
+                subtree_root: subtree,
+                matrix,
+            }],
+        };
+        let json = serde_json::to_string(&response).unwrap();
+        let back: PrivacyForestResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, response);
+
+        let report = LocationReport {
+            reported_cell: subtree,
+            precision_level: 1,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: LocationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn matrix_lookup_by_leaf() {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let entries: Vec<ForestEntry> = grid
+            .cells_at_level(1)
+            .into_iter()
+            .take(3)
+            .map(|root| ForestEntry {
+                subtree_root: root,
+                matrix: ObfuscationMatrix::uniform(root.descendant_leaves()).unwrap(),
+            })
+            .collect();
+        let response = PrivacyForestResponse {
+            request: MatrixRequest {
+                privacy_level: 1,
+                delta: 0,
+            },
+            epsilon: 10.0,
+            entries,
+        };
+        let leaf_inside = response.entries[1].subtree_root.descendant_leaves()[4];
+        let found = response.matrix_for_leaf(&leaf_inside).unwrap();
+        assert_eq!(found.subtree_root, response.entries[1].subtree_root);
+        // A leaf from a subtree that was not included is not found.
+        let other_leaf = grid.cells_at_level(1)[5].descendant_leaves()[0];
+        assert!(response.matrix_for_leaf(&other_leaf).is_none());
+    }
+
+    #[test]
+    fn request_contains_no_location_information() {
+        // Compile-time/shape check documented as a test: the request type only
+        // carries the privacy level and δ.
+        let request = MatrixRequest {
+            privacy_level: 2,
+            delta: 3,
+        };
+        let json = serde_json::to_value(request).unwrap();
+        let obj = json.as_object().unwrap();
+        assert_eq!(obj.len(), 2);
+        assert!(obj.contains_key("privacy_level"));
+        assert!(obj.contains_key("delta"));
+    }
+}

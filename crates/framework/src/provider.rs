@@ -1,0 +1,154 @@
+//! Bridges the location metadata of `corgi-datagen` into the policy evaluation
+//! of `corgi-core`.
+
+use corgi_core::{AttributeProvider, AttributeValue};
+use corgi_datagen::LocationMetadata;
+use corgi_geo::LatLng;
+use corgi_hexgrid::{CellId, HexGrid};
+
+/// An [`AttributeProvider`] backed by inferred location metadata plus the user's
+/// private context (their identity and real location).
+///
+/// Exposed attributes:
+///
+/// | var | type | meaning |
+/// |---|---|---|
+/// | `home` | bool | the cell is the user's (inferred) home cell |
+/// | `office` | bool | the cell is the user's (inferred) office cell |
+/// | `outlier` | bool | the user visited the cell rarely and at odd hours |
+/// | `popular` | bool | the cell has many check-ins overall |
+/// | `checkins` | number | total check-ins observed in the cell |
+/// | `distance` | number | haversine distance (km) from the user's real location |
+pub struct MetadataAttributeProvider<'a> {
+    grid: &'a HexGrid,
+    metadata: &'a LocationMetadata,
+    user_id: u32,
+    real_location: LatLng,
+}
+
+impl<'a> MetadataAttributeProvider<'a> {
+    /// Create a provider for a specific user and real location.
+    pub fn new(
+        grid: &'a HexGrid,
+        metadata: &'a LocationMetadata,
+        user_id: u32,
+        real_location: LatLng,
+    ) -> Self {
+        Self {
+            grid,
+            metadata,
+            user_id,
+            real_location,
+        }
+    }
+}
+
+impl AttributeProvider for MetadataAttributeProvider<'_> {
+    fn attribute(&self, cell: &CellId, var: &str) -> Option<AttributeValue> {
+        match var {
+            "home" => Some(AttributeValue::Bool(
+                self.metadata.home_of(self.user_id) == Some(*cell),
+            )),
+            "office" => Some(AttributeValue::Bool(
+                self.metadata.office_of(self.user_id) == Some(*cell),
+            )),
+            "outlier" => Some(AttributeValue::Bool(
+                self.metadata.is_outlier(self.user_id, cell),
+            )),
+            "popular" => {
+                let idx = self.grid.leaf_index(cell).ok()?;
+                Some(AttributeValue::Bool(self.metadata.is_popular(idx)))
+            }
+            "checkins" => {
+                let idx = self.grid.leaf_index(cell).ok()?;
+                Some(AttributeValue::Number(
+                    self.metadata.checkin_count(idx) as f64
+                ))
+            }
+            "distance" => {
+                let center = self.grid.cell_center(cell);
+                Some(AttributeValue::Number(corgi_geo::haversine_km(
+                    &self.real_location,
+                    &center,
+                )))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator};
+    use corgi_hexgrid::HexGridConfig;
+
+    fn setup() -> (HexGrid, LocationMetadata, u32) {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let (dataset, _) =
+            GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+        let metadata = LocationMetadata::from_dataset(&grid, &dataset, 0.9);
+        let user = metadata.users_with_home()[0];
+        (grid, metadata, user)
+    }
+
+    #[test]
+    fn home_attribute_matches_metadata() {
+        let (grid, metadata, user) = setup();
+        let home = metadata.home_of(user).unwrap();
+        let real = grid.cell_center(&home);
+        let provider = MetadataAttributeProvider::new(&grid, &metadata, user, real);
+        assert_eq!(
+            provider.attribute(&home, "home"),
+            Some(AttributeValue::Bool(true))
+        );
+        let other = grid
+            .leaves()
+            .iter()
+            .find(|c| **c != home)
+            .copied()
+            .unwrap();
+        assert_eq!(
+            provider.attribute(&other, "home"),
+            Some(AttributeValue::Bool(false))
+        );
+    }
+
+    #[test]
+    fn distance_attribute_is_haversine_to_real_location() {
+        let (grid, metadata, user) = setup();
+        let real = grid.cell_center(&grid.leaves()[100]);
+        let provider = MetadataAttributeProvider::new(&grid, &metadata, user, real);
+        let target = grid.leaves()[200];
+        let Some(AttributeValue::Number(d)) = provider.attribute(&target, "distance") else {
+            panic!("distance attribute missing");
+        };
+        let expected = corgi_geo::haversine_km(&real, &grid.cell_center(&target));
+        assert!((d - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn popularity_and_counts_are_consistent() {
+        let (grid, metadata, user) = setup();
+        let real = grid.cell_center(&grid.leaves()[0]);
+        let provider = MetadataAttributeProvider::new(&grid, &metadata, user, real);
+        for (idx, cell) in grid.leaves().iter().enumerate().step_by(29) {
+            let Some(AttributeValue::Bool(popular)) = provider.attribute(cell, "popular") else {
+                panic!("missing popular attribute");
+            };
+            assert_eq!(popular, metadata.is_popular(idx));
+            let Some(AttributeValue::Number(count)) = provider.attribute(cell, "checkins") else {
+                panic!("missing checkins attribute");
+            };
+            assert_eq!(count as usize, metadata.checkin_count(idx));
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_is_none() {
+        let (grid, metadata, user) = setup();
+        let real = grid.cell_center(&grid.leaves()[0]);
+        let provider = MetadataAttributeProvider::new(&grid, &metadata, user, real);
+        assert!(provider.attribute(&grid.leaves()[0], "weather").is_none());
+    }
+}

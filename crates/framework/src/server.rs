@@ -1,0 +1,243 @@
+//! The untrusted CORGI server (Algorithm 3).
+
+use crate::messages::{ForestEntry, MatrixRequest, PrivacyForestResponse};
+use corgi_core::{
+    generate_robust_matrix, CorgiError, LocationTree, ObfuscationProblem, RobustConfig,
+    SolverKind,
+};
+use corgi_datagen::PriorDistribution;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Server-side configuration (set once for all users, footnote 6 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Privacy budget ε in 1/km (the paper sweeps 15–20).
+    pub epsilon: f64,
+    /// Number of Algorithm-1 iterations `t` (the paper uses 10, converging in ~4).
+    pub robust_iterations: usize,
+    /// Number of target locations (places of interest) per subtree used in the
+    /// quality-loss objective (the paper's `NR_TARGET`, 49 in the experiments).
+    pub targets_per_subtree: usize,
+    /// Whether to use the graph approximation of Section 4.2 (on by default).
+    pub graph_approximation: bool,
+    /// Seed for the random selection of target locations.
+    pub target_seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 15.0,
+            robust_iterations: 10,
+            targets_per_subtree: 49,
+            graph_approximation: true,
+            target_seed: 7,
+        }
+    }
+}
+
+/// The untrusted server: owns the location tree and the public prior, and
+/// generates robust obfuscation matrices for whole privacy forests.
+///
+/// Results are cached per `(privacy_level, δ)` because the server serves many
+/// users with the same universal parameters; the cache is protected by a mutex so
+/// a server instance can be shared across threads.
+pub struct CorgiServer {
+    tree: Arc<LocationTree>,
+    prior: PriorDistribution,
+    config: ServerConfig,
+    cache: Mutex<HashMap<(u8, usize), Arc<PrivacyForestResponse>>>,
+}
+
+impl CorgiServer {
+    /// Create a server over a location tree with a public prior distribution.
+    pub fn new(tree: LocationTree, prior: PriorDistribution, config: ServerConfig) -> Self {
+        Self {
+            tree: Arc::new(tree),
+            prior,
+            config,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The server's location tree (shared with clients in step ② of Fig. 1).
+    pub fn tree(&self) -> Arc<LocationTree> {
+        Arc::clone(&self.tree)
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The public prior distribution over leaf cells.
+    pub fn prior(&self) -> &PriorDistribution {
+        &self.prior
+    }
+
+    /// Handle a matrix request (Algorithm 3): generate — or fetch from cache — a
+    /// robust matrix for every subtree rooted at the requested privacy level.
+    pub fn handle_request(
+        &self,
+        request: MatrixRequest,
+    ) -> Result<Arc<PrivacyForestResponse>, CorgiError> {
+        let key = (request.privacy_level, request.delta);
+        if let Some(cached) = self.cache.lock().get(&key) {
+            return Ok(Arc::clone(cached));
+        }
+        let response = Arc::new(self.generate_privacy_forest(request)?);
+        self.cache.lock().insert(key, Arc::clone(&response));
+        Ok(response)
+    }
+
+    /// Number of privacy forests currently cached.
+    pub fn cached_forests(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Generate the privacy forest for a request without consulting the cache.
+    pub fn generate_privacy_forest(
+        &self,
+        request: MatrixRequest,
+    ) -> Result<PrivacyForestResponse, CorgiError> {
+        let forest = self.tree.privacy_forest(request.privacy_level)?;
+        let mut entries = Vec::with_capacity(forest.len());
+        for subtree in &forest {
+            let problem = self.problem_for_subtree(subtree)?;
+            let run = generate_robust_matrix(
+                &problem,
+                &RobustConfig {
+                    delta: request.delta,
+                    iterations: if request.delta == 0 {
+                        0
+                    } else {
+                        self.config.robust_iterations
+                    },
+                    solver: SolverKind::Auto,
+                },
+            )?;
+            entries.push(ForestEntry {
+                subtree_root: subtree.root(),
+                matrix: run.matrix,
+            });
+        }
+        Ok(PrivacyForestResponse {
+            request,
+            epsilon: self.config.epsilon,
+            entries,
+        })
+    }
+
+    /// Build the LP instance for one subtree: restricted prior + randomly chosen
+    /// target locations (the paper samples `NR_TARGET` leaf nodes as targets).
+    pub fn problem_for_subtree(
+        &self,
+        subtree: &corgi_core::Subtree,
+    ) -> Result<ObfuscationProblem, CorgiError> {
+        let leaves = subtree.leaves();
+        let prior = self
+            .prior
+            .restricted_to(self.tree.grid(), leaves)
+            .unwrap_or_else(|| vec![1.0 / leaves.len() as f64; leaves.len()]);
+        let mut rng = StdRng::seed_from_u64(self.config.target_seed);
+        let mut indices: Vec<usize> = (0..leaves.len()).collect();
+        indices.shuffle(&mut rng);
+        let n_targets = self.config.targets_per_subtree.clamp(1, leaves.len());
+        let targets: Vec<usize> = indices.into_iter().take(n_targets).collect();
+        ObfuscationProblem::new(
+            &self.tree,
+            subtree,
+            &prior,
+            &targets,
+            self.config.epsilon,
+            self.config.graph_approximation,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator};
+    use corgi_hexgrid::{HexGrid, HexGridConfig};
+
+    fn server() -> CorgiServer {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let (dataset, _) =
+            GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+        let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+        let tree = LocationTree::new(grid);
+        CorgiServer::new(
+            tree,
+            prior,
+            ServerConfig {
+                robust_iterations: 2,
+                targets_per_subtree: 5,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn privacy_forest_covers_every_subtree() {
+        let srv = server();
+        let response = srv
+            .handle_request(MatrixRequest {
+                privacy_level: 1,
+                delta: 1,
+            })
+            .unwrap();
+        // Level 1 of the height-3 tree has 49 subtrees of 7 leaves each.
+        assert_eq!(response.entries.len(), 49);
+        for entry in &response.entries {
+            assert_eq!(entry.subtree_root.level(), 1);
+            assert_eq!(entry.matrix.size(), 7);
+            entry.matrix.check_stochastic(1e-6).unwrap();
+        }
+        // Every leaf of the tree is covered by exactly one entry.
+        for leaf in srv.tree().leaves() {
+            let owners = response
+                .entries
+                .iter()
+                .filter(|e| e.subtree_root.is_ancestor_of(leaf))
+                .count();
+            assert_eq!(owners, 1);
+        }
+    }
+
+    #[test]
+    fn responses_are_cached_per_request_key() {
+        let srv = server();
+        let req = MatrixRequest {
+            privacy_level: 1,
+            delta: 0,
+        };
+        let a = srv.handle_request(req).unwrap();
+        let b = srv.handle_request(req).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert_eq!(srv.cached_forests(), 1);
+        let _ = srv
+            .handle_request(MatrixRequest {
+                privacy_level: 1,
+                delta: 2,
+            })
+            .unwrap();
+        assert_eq!(srv.cached_forests(), 2);
+    }
+
+    #[test]
+    fn invalid_privacy_level_is_rejected() {
+        let srv = server();
+        assert!(srv
+            .handle_request(MatrixRequest {
+                privacy_level: 9,
+                delta: 1,
+            })
+            .is_err());
+    }
+}

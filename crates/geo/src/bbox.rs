@@ -1,0 +1,177 @@
+//! Axis-aligned latitude/longitude bounding boxes.
+
+use crate::{GeoError, LatLng};
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in geographic coordinates.
+///
+/// Used to select an "area of interest" (paper Fig. 1 step 1) such as the San
+/// Francisco sample region of the Gowalla dataset. Boxes never cross the
+/// antimeridian; the regions used by CORGI are city-scale so this is not a
+/// practical restriction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    min_lat: f64,
+    max_lat: f64,
+    min_lng: f64,
+    max_lng: f64,
+}
+
+impl BoundingBox {
+    /// Create a bounding box from its southwest and northeast corners.
+    pub fn new(southwest: LatLng, northeast: LatLng) -> Result<Self, GeoError> {
+        if southwest.lat() > northeast.lat() || southwest.lng() > northeast.lng() {
+            return Err(GeoError::InvertedBounds);
+        }
+        Ok(Self {
+            min_lat: southwest.lat(),
+            max_lat: northeast.lat(),
+            min_lng: southwest.lng(),
+            max_lng: northeast.lng(),
+        })
+    }
+
+    /// Build the bounding box of a non-empty set of points.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn of_points<'a, I: IntoIterator<Item = &'a LatLng>>(points: I) -> Option<Self> {
+        let mut iter = points.into_iter();
+        let first = iter.next()?;
+        let mut bbox = Self {
+            min_lat: first.lat(),
+            max_lat: first.lat(),
+            min_lng: first.lng(),
+            max_lng: first.lng(),
+        };
+        for p in iter {
+            bbox.min_lat = bbox.min_lat.min(p.lat());
+            bbox.max_lat = bbox.max_lat.max(p.lat());
+            bbox.min_lng = bbox.min_lng.min(p.lng());
+            bbox.max_lng = bbox.max_lng.max(p.lng());
+        }
+        Some(bbox)
+    }
+
+    /// Southwest corner.
+    pub fn southwest(&self) -> LatLng {
+        LatLng::new(self.min_lat, self.min_lng).expect("corners are validated on construction")
+    }
+
+    /// Northeast corner.
+    pub fn northeast(&self) -> LatLng {
+        LatLng::new(self.max_lat, self.max_lng).expect("corners are validated on construction")
+    }
+
+    /// Geometric center of the box.
+    pub fn center(&self) -> LatLng {
+        LatLng::new(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lng + self.max_lng) / 2.0,
+        )
+        .expect("center of a valid box is valid")
+    }
+
+    /// Whether the point lies inside the box (inclusive of the boundary).
+    pub fn contains(&self, p: &LatLng) -> bool {
+        p.lat() >= self.min_lat
+            && p.lat() <= self.max_lat
+            && p.lng() >= self.min_lng
+            && p.lng() <= self.max_lng
+    }
+
+    /// North-south extent of the box in kilometres (measured through the center).
+    pub fn height_km(&self) -> f64 {
+        let w = LatLng::new(self.min_lat, (self.min_lng + self.max_lng) / 2.0).unwrap();
+        let e = LatLng::new(self.max_lat, (self.min_lng + self.max_lng) / 2.0).unwrap();
+        crate::haversine_km(&w, &e)
+    }
+
+    /// East-west extent of the box in kilometres (measured through the center).
+    pub fn width_km(&self) -> f64 {
+        let s = LatLng::new((self.min_lat + self.max_lat) / 2.0, self.min_lng).unwrap();
+        let n = LatLng::new((self.min_lat + self.max_lat) / 2.0, self.max_lng).unwrap();
+        crate::haversine_km(&s, &n)
+    }
+
+    /// Grow the box by `margin_deg` degrees in every direction, clamping to valid ranges.
+    pub fn expanded(&self, margin_deg: f64) -> Self {
+        Self {
+            min_lat: (self.min_lat - margin_deg).max(-90.0),
+            max_lat: (self.max_lat + margin_deg).min(90.0),
+            min_lng: (self.min_lng - margin_deg).max(-180.0),
+            max_lng: (self.max_lng + margin_deg).min(180.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf_box() -> BoundingBox {
+        BoundingBox::new(
+            LatLng::new(37.70, -122.52).unwrap(),
+            LatLng::new(37.83, -122.35).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inverted_bounds_rejected() {
+        let sw = LatLng::new(38.0, -122.0).unwrap();
+        let ne = LatLng::new(37.0, -121.0).unwrap();
+        assert_eq!(BoundingBox::new(sw, ne), Err(GeoError::InvertedBounds));
+    }
+
+    #[test]
+    fn contains_center_and_corners() {
+        let b = sf_box();
+        assert!(b.contains(&b.center()));
+        assert!(b.contains(&b.southwest()));
+        assert!(b.contains(&b.northeast()));
+    }
+
+    #[test]
+    fn excludes_outside_points() {
+        let b = sf_box();
+        assert!(!b.contains(&LatLng::new(40.0, -122.4).unwrap()));
+        assert!(!b.contains(&LatLng::new(37.75, -120.0).unwrap()));
+    }
+
+    #[test]
+    fn of_points_builds_tight_box() {
+        let pts = vec![
+            LatLng::new(1.0, 2.0).unwrap(),
+            LatLng::new(-1.0, 5.0).unwrap(),
+            LatLng::new(0.5, 3.0).unwrap(),
+        ];
+        let b = BoundingBox::of_points(&pts).unwrap();
+        assert_eq!(b.southwest(), LatLng::new(-1.0, 2.0).unwrap());
+        assert_eq!(b.northeast(), LatLng::new(1.0, 5.0).unwrap());
+    }
+
+    #[test]
+    fn of_points_empty_is_none() {
+        assert!(BoundingBox::of_points(&[]).is_none());
+    }
+
+    #[test]
+    fn sf_box_dimensions_are_city_scale() {
+        let b = sf_box();
+        assert!(b.height_km() > 10.0 && b.height_km() < 20.0);
+        assert!(b.width_km() > 10.0 && b.width_km() < 20.0);
+    }
+
+    #[test]
+    fn expansion_grows_and_clamps() {
+        let b = sf_box().expanded(0.1);
+        assert!(b.contains(&LatLng::new(37.65, -122.45).unwrap()));
+        let near_pole = BoundingBox::new(
+            LatLng::new(89.5, 0.0).unwrap(),
+            LatLng::new(89.9, 1.0).unwrap(),
+        )
+        .unwrap()
+        .expanded(1.0);
+        assert!(near_pole.northeast().lat() <= 90.0);
+    }
+}

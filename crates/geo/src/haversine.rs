@@ -1,0 +1,187 @@
+//! Great-circle geometry on the mean Earth sphere.
+//!
+//! The paper's utility metric (Eq. 3) is the absolute difference between haversine
+//! distances to a target location, so an accurate and cheap haversine implementation
+//! is the workhorse of every experiment.
+
+use crate::LatLng;
+
+/// Mean Earth radius in kilometres (IUGG mean radius R1).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Haversine (great-circle) distance between two points, in kilometres.
+///
+/// Numerically stable for both antipodal and very close points: the implementation
+/// clamps the haversine argument into `[0, 1]` before taking the arcsine.
+pub fn haversine_km(a: &LatLng, b: &LatLng) -> f64 {
+    let (lat1, lng1) = (a.lat_rad(), a.lng_rad());
+    let (lat2, lng2) = (b.lat_rad(), b.lng_rad());
+    let dlat = lat2 - lat1;
+    let dlng = lng2 - lng1;
+    let sin_dlat = (dlat / 2.0).sin();
+    let sin_dlng = (dlng / 2.0).sin();
+    let h = sin_dlat * sin_dlat + lat1.cos() * lat2.cos() * sin_dlng * sin_dlng;
+    let h = h.clamp(0.0, 1.0);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Initial bearing (forward azimuth) from `a` to `b`, in degrees in `[0, 360)`.
+pub fn initial_bearing_deg(a: &LatLng, b: &LatLng) -> f64 {
+    let (lat1, lng1) = (a.lat_rad(), a.lng_rad());
+    let (lat2, lng2) = (b.lat_rad(), b.lng_rad());
+    let dlng = lng2 - lng1;
+    let y = dlng.sin() * lat2.cos();
+    let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlng.cos();
+    let deg = y.atan2(x).to_degrees();
+    (deg + 360.0) % 360.0
+}
+
+/// Destination point reached by travelling `distance_km` from `start` along the
+/// great circle with the given initial `bearing_deg`.
+pub fn destination_point(start: &LatLng, bearing_deg: f64, distance_km: f64) -> LatLng {
+    let angular = distance_km / EARTH_RADIUS_KM;
+    let bearing = bearing_deg.to_radians();
+    let lat1 = start.lat_rad();
+    let lng1 = start.lng_rad();
+
+    let lat2 =
+        (lat1.sin() * angular.cos() + lat1.cos() * angular.sin() * bearing.cos()).asin();
+    let lng2 = lng1
+        + (bearing.sin() * angular.sin() * lat1.cos())
+            .atan2(angular.cos() - lat1.sin() * lat2.sin());
+
+    // Normalize longitude to [-180, 180].
+    let mut lng_deg = lng2.to_degrees();
+    while lng_deg > 180.0 {
+        lng_deg -= 360.0;
+    }
+    while lng_deg < -180.0 {
+        lng_deg += 360.0;
+    }
+    let lat_deg = lat2.to_degrees().clamp(-90.0, 90.0);
+    LatLng::new(lat_deg, lng_deg).expect("destination point is always within valid ranges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sf() -> LatLng {
+        LatLng::new(37.7749, -122.4194).unwrap()
+    }
+
+    fn la() -> LatLng {
+        LatLng::new(34.0522, -118.2437).unwrap()
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        assert!(haversine_km(&sf(), &sf()) < 1e-9);
+    }
+
+    #[test]
+    fn sf_to_la_roughly_559_km() {
+        let d = haversine_km(&sf(), &la());
+        assert!((d - 559.0).abs() < 5.0, "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let d1 = haversine_km(&sf(), &la());
+        let d2 = haversine_km(&la(), &sf());
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = LatLng::new(0.0, 0.0).unwrap();
+        let b = LatLng::new(0.0, 180.0).unwrap();
+        let d = haversine_km(&a, &b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "got {d}, expected {half}");
+    }
+
+    #[test]
+    fn one_degree_longitude_at_equator_is_about_111_km() {
+        let a = LatLng::new(0.0, 0.0).unwrap();
+        let b = LatLng::new(0.0, 1.0).unwrap();
+        let d = haversine_km(&a, &b);
+        assert!((d - 111.195).abs() < 0.1, "got {d}");
+    }
+
+    #[test]
+    fn bearing_due_east_at_equator() {
+        let a = LatLng::new(0.0, 0.0).unwrap();
+        let b = LatLng::new(0.0, 1.0).unwrap();
+        let brg = initial_bearing_deg(&a, &b);
+        assert!((brg - 90.0).abs() < 1e-6, "got {brg}");
+    }
+
+    #[test]
+    fn bearing_due_north() {
+        let a = LatLng::new(0.0, 10.0).unwrap();
+        let b = LatLng::new(1.0, 10.0).unwrap();
+        let brg = initial_bearing_deg(&a, &b);
+        assert!(brg < 1e-6 || (brg - 360.0).abs() < 1e-6, "got {brg}");
+    }
+
+    #[test]
+    fn destination_roundtrip_distance() {
+        let start = sf();
+        let dest = destination_point(&start, 45.0, 10.0);
+        let d = haversine_km(&start, &dest);
+        assert!((d - 10.0).abs() < 1e-3, "got {d}");
+    }
+
+    #[test]
+    fn destination_zero_distance_is_start() {
+        let start = sf();
+        let dest = destination_point(&start, 123.0, 0.0);
+        assert!(haversine_km(&start, &dest) < 1e-9);
+    }
+
+    proptest! {
+        /// Distance is non-negative and symmetric for arbitrary valid coordinates.
+        #[test]
+        fn prop_symmetry_and_nonnegativity(
+            lat1 in -89.0f64..89.0, lng1 in -179.0f64..179.0,
+            lat2 in -89.0f64..89.0, lng2 in -179.0f64..179.0,
+        ) {
+            let a = LatLng::new(lat1, lng1).unwrap();
+            let b = LatLng::new(lat2, lng2).unwrap();
+            let d_ab = haversine_km(&a, &b);
+            let d_ba = haversine_km(&b, &a);
+            prop_assert!(d_ab >= 0.0);
+            prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        }
+
+        /// Triangle inequality holds (within floating-point slack).
+        #[test]
+        fn prop_triangle_inequality(
+            lat1 in -80.0f64..80.0, lng1 in -170.0f64..170.0,
+            lat2 in -80.0f64..80.0, lng2 in -170.0f64..170.0,
+            lat3 in -80.0f64..80.0, lng3 in -170.0f64..170.0,
+        ) {
+            let a = LatLng::new(lat1, lng1).unwrap();
+            let b = LatLng::new(lat2, lng2).unwrap();
+            let c = LatLng::new(lat3, lng3).unwrap();
+            let ab = haversine_km(&a, &b);
+            let bc = haversine_km(&b, &c);
+            let ac = haversine_km(&a, &c);
+            prop_assert!(ac <= ab + bc + 1e-6);
+        }
+
+        /// Travelling d km and measuring the distance back gives d.
+        #[test]
+        fn prop_destination_distance_consistency(
+            lat in -60.0f64..60.0, lng in -170.0f64..170.0,
+            bearing in 0.0f64..360.0, dist in 0.0f64..100.0,
+        ) {
+            let start = LatLng::new(lat, lng).unwrap();
+            let dest = destination_point(&start, bearing, dist);
+            let measured = haversine_km(&start, &dest);
+            prop_assert!((measured - dist).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Validated latitude/longitude pairs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced by geographic primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// Latitude outside `[-90, 90]` degrees.
+    InvalidLatitude(f64),
+    /// Longitude outside `[-180, 180]` degrees.
+    InvalidLongitude(f64),
+    /// A coordinate was NaN or infinite.
+    NotFinite,
+    /// A bounding box was constructed with min > max.
+    InvertedBounds,
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => write!(f, "latitude {v} out of range [-90, 90]"),
+            GeoError::InvalidLongitude(v) => write!(f, "longitude {v} out of range [-180, 180]"),
+            GeoError::NotFinite => write!(f, "coordinate is NaN or infinite"),
+            GeoError::InvertedBounds => write!(f, "bounding box has min > max"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+/// A point on the Earth's surface, in degrees.
+///
+/// Construction through [`LatLng::new`] validates ranges; the `Deserialize`
+/// implementation goes through the same validation so untrusted input (e.g. a
+/// check-in file) cannot produce out-of-range coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatLng {
+    lat: f64,
+    lng: f64,
+}
+
+impl LatLng {
+    /// Create a new coordinate, validating ranges.
+    pub fn new(lat: f64, lng: f64) -> Result<Self, GeoError> {
+        if !lat.is_finite() || !lng.is_finite() {
+            return Err(GeoError::NotFinite);
+        }
+        if !(-90.0..=90.0).contains(&lat) {
+            return Err(GeoError::InvalidLatitude(lat));
+        }
+        if !(-180.0..=180.0).contains(&lng) {
+            return Err(GeoError::InvalidLongitude(lng));
+        }
+        Ok(Self { lat, lng })
+    }
+
+    /// Latitude in degrees.
+    pub fn lat(&self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in degrees.
+    pub fn lng(&self) -> f64 {
+        self.lng
+    }
+
+    /// Latitude in radians.
+    pub fn lat_rad(&self) -> f64 {
+        self.lat.to_radians()
+    }
+
+    /// Longitude in radians.
+    pub fn lng_rad(&self) -> f64 {
+        self.lng.to_radians()
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    pub fn distance_km(&self, other: &LatLng) -> f64 {
+        crate::haversine_km(self, other)
+    }
+}
+
+impl<'de> Deserialize<'de> for LatLng {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        #[derive(Deserialize)]
+        struct Raw {
+            lat: f64,
+            lng: f64,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        LatLng::new(raw.lat, raw.lng).map_err(serde::de::Error::custom)
+    }
+}
+
+impl fmt::Display for LatLng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lat, self.lng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_coordinates_accepted() {
+        let p = LatLng::new(37.7749, -122.4194).unwrap();
+        assert!((p.lat() - 37.7749).abs() < 1e-12);
+        assert!((p.lng() + 122.4194).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poles_and_antimeridian_are_valid() {
+        assert!(LatLng::new(90.0, 180.0).is_ok());
+        assert!(LatLng::new(-90.0, -180.0).is_ok());
+        assert!(LatLng::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_latitude_rejected() {
+        assert_eq!(
+            LatLng::new(91.0, 0.0),
+            Err(GeoError::InvalidLatitude(91.0))
+        );
+        assert_eq!(
+            LatLng::new(-90.5, 0.0),
+            Err(GeoError::InvalidLatitude(-90.5))
+        );
+    }
+
+    #[test]
+    fn out_of_range_longitude_rejected() {
+        assert_eq!(
+            LatLng::new(0.0, 180.5),
+            Err(GeoError::InvalidLongitude(180.5))
+        );
+        assert_eq!(
+            LatLng::new(0.0, -181.0),
+            Err(GeoError::InvalidLongitude(-181.0))
+        );
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert_eq!(LatLng::new(f64::NAN, 0.0), Err(GeoError::NotFinite));
+        assert_eq!(LatLng::new(0.0, f64::INFINITY), Err(GeoError::NotFinite));
+    }
+
+    #[test]
+    fn radian_conversion() {
+        let p = LatLng::new(45.0, 90.0).unwrap();
+        assert!((p.lng_rad() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((p.lat_rad() - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deserialization_validates() {
+        let ok: Result<LatLng, _> = serde_json::from_str(r#"{"lat": 10.0, "lng": 20.0}"#);
+        assert!(ok.is_ok());
+        let bad: Result<LatLng, _> = serde_json::from_str(r#"{"lat": 100.0, "lng": 20.0}"#);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn display_formats_six_decimals() {
+        let p = LatLng::new(1.5, -2.25).unwrap();
+        assert_eq!(format!("{p}"), "(1.500000, -2.250000)");
+    }
+}

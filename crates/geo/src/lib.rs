@@ -1,0 +1,32 @@
+//! Geographic primitives used throughout the CORGI location-privacy framework.
+//!
+//! The paper measures every distance (Geo-Ind constraints, Eq. 2/4, and the utility
+//! metric, Eq. 3) with the haversine formula between cell centers.  This crate provides:
+//!
+//! * [`LatLng`] — a validated latitude/longitude pair in degrees,
+//! * [`haversine_km`] and friends — great-circle distance, initial bearing and
+//!   destination-point computation on the WGS-84 mean sphere,
+//! * [`BoundingBox`] — axis-aligned lat/lng boxes for region selection,
+//! * [`LocalProjection`] — a local equirectangular projection used by the hexagonal
+//!   index to lay a planar hex lattice over a city-scale area of interest,
+//! * [`Vec2`] — small planar vector helper used by the hex layout math.
+//!
+//! All distances are expressed in kilometres unless stated otherwise, matching the
+//! paper's use of ε in units of 1/km.
+
+#![warn(missing_docs)]
+
+mod bbox;
+mod haversine;
+mod latlng;
+mod projection;
+mod vec2;
+
+pub use bbox::BoundingBox;
+pub use haversine::{destination_point, haversine_km, initial_bearing_deg, EARTH_RADIUS_KM};
+pub use latlng::{GeoError, LatLng};
+pub use projection::LocalProjection;
+pub use vec2::Vec2;
+
+/// Convenience result alias for fallible geographic operations.
+pub type Result<T> = std::result::Result<T, GeoError>;

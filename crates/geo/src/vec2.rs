@@ -1,0 +1,122 @@
+//! Small planar vector type used by the hexagonal layout math.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 2-D vector / point in the locally projected plane (kilometres).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East-west component (km, positive east).
+    pub x: f64,
+    /// North-south component (km, positive north).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Create a vector from components.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Self { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Vec2) -> f64 {
+        (*self - *other).norm()
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: &Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Rotate counter-clockwise by `angle_rad` radians.
+    pub fn rotate(&self, angle_rad: f64) -> Vec2 {
+        let (s, c) = angle_rad.sin_cos();
+        Vec2 {
+            x: c * self.x - s * self.y,
+            y: s * self.x + c * self.y,
+        }
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        let a = Vec2::new(3.0, 4.0);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        assert!((a.distance(&Vec2::zero()) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, 4.0);
+        assert!((a.dot(&b) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let a = Vec2::new(1.0, 0.0);
+        let r = a.rotate(FRAC_PI_2);
+        assert!((r.x - 0.0).abs() < 1e-12);
+        assert!((r.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let a = Vec2::new(2.5, -1.25);
+        let r = a.rotate(0.7123);
+        assert!((a.norm() - r.norm()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! The paper's 12-neighbor hexagonal mobility graph (Section 4.2, Fig. 4).
+
+use crate::WeightedGraph;
+use corgi_hexgrid::{CellId, HexGrid};
+use std::collections::HashMap;
+
+/// The graph approximation of users' mobility over a set of leaf cells.
+///
+/// Nodes are the given leaf cells (indexed in the order supplied); every cell is
+/// connected to its 6 immediate and 6 diagonal neighbors *that are also in the
+/// set*, with edge weight `a` — the spacing between immediate neighbors — exactly
+/// as in Fig. 4 of the paper.  Enforcing ε-Geo-Ind on the edges of this graph is
+/// sufficient for all pairs (Theorem 4.1) because the shortest-path distance never
+/// exceeds the Euclidean distance (Lemma 4.1).
+#[derive(Debug, Clone)]
+pub struct HexMobilityGraph {
+    cells: Vec<CellId>,
+    index: HashMap<CellId, usize>,
+    graph: WeightedGraph,
+    spacing_km: f64,
+}
+
+impl HexMobilityGraph {
+    /// Build the mobility graph for the given leaf cells of a grid.
+    ///
+    /// # Panics
+    /// Panics if any cell is not a leaf cell.
+    pub fn new(grid: &HexGrid, cells: &[CellId]) -> Self {
+        assert!(
+            cells.iter().all(|c| c.is_leaf()),
+            "the mobility graph is defined over leaf cells"
+        );
+        let index: HashMap<CellId, usize> =
+            cells.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+        let spacing = grid.leaf_spacing_km();
+        let mut graph = WeightedGraph::new(cells.len());
+        for (i, cell) in cells.iter().enumerate() {
+            let immediate = cell.center().neighbors();
+            let diagonal = cell.center().diagonal_neighbors();
+            for n in immediate.iter().chain(diagonal.iter()) {
+                let neighbor = CellId::new(0, *n);
+                if let Some(&j) = index.get(&neighbor) {
+                    if i < j {
+                        // The paper assigns weight `a` to every edge, including the
+                        // diagonal ones (Fig. 4), which is what makes the graph
+                        // distance a lower bound of the Euclidean distance.
+                        graph.add_edge(i, j, spacing);
+                    }
+                }
+            }
+        }
+        Self {
+            cells: cells.to_vec(),
+            index,
+            graph,
+            spacing_km: spacing,
+        }
+    }
+
+    /// The cells in node order.
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of undirected edges (neighboring peers).
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Node index of a cell, if present.
+    pub fn node_of(&self, cell: &CellId) -> Option<usize> {
+        self.index.get(cell).copied()
+    }
+
+    /// The underlying weighted graph.
+    pub fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    /// Edge weight of the graph (the paper's `a`), km.
+    pub fn spacing_km(&self) -> f64 {
+        self.spacing_km
+    }
+
+    /// All neighboring peers as `(i, j)` node pairs with `i < j`.
+    ///
+    /// These are exactly the pairs for which Geo-Ind constraints are generated when
+    /// the graph approximation is enabled.
+    pub fn neighbor_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::with_capacity(self.num_edges());
+        for i in 0..self.num_nodes() {
+            for &(j, _) in self.graph.neighbors(i) {
+                if i < j {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Shortest-path distance matrix `d_G` (km) between all node pairs.
+    pub fn shortest_path_matrix(&self) -> Vec<Vec<f64>> {
+        self.graph.all_pairs_shortest_paths()
+    }
+
+    /// Whether the graph is connected.
+    pub fn is_connected(&self) -> bool {
+        self.graph.is_connected()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_hexgrid::HexGridConfig;
+
+    fn grid() -> HexGrid {
+        HexGrid::new(HexGridConfig::san_francisco()).unwrap()
+    }
+
+    /// Leaf cells of one privacy-level-2 subtree (49 cells), as used throughout
+    /// the paper's experiments.
+    fn subtree_cells(grid: &HexGrid) -> Vec<CellId> {
+        grid.cells_at_level(2)[0].descendant_leaves()
+    }
+
+    #[test]
+    fn graph_is_connected_and_has_12ish_degree() {
+        let grid = grid();
+        let cells = subtree_cells(&grid);
+        let g = HexMobilityGraph::new(&grid, &cells);
+        assert_eq!(g.num_nodes(), 49);
+        assert!(g.is_connected());
+        // Interior nodes have 12 neighbors; boundary nodes fewer. Average degree
+        // should be well above 6 and at most 12.
+        let avg_degree = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(avg_degree > 6.0 && avg_degree <= 12.0, "avg degree {avg_degree}");
+    }
+
+    #[test]
+    fn edge_count_is_far_below_all_pairs() {
+        let grid = grid();
+        let cells = subtree_cells(&grid);
+        let g = HexMobilityGraph::new(&grid, &cells);
+        let all_pairs = g.num_nodes() * (g.num_nodes() - 1) / 2;
+        assert!(g.num_edges() * 3 < all_pairs, "{} vs {}", g.num_edges(), all_pairs);
+    }
+
+    #[test]
+    fn lemma_4_1_graph_distance_bounded_by_euclidean() {
+        // d_G(v_j, v_k) ≤ d_{j,k} for every pair (Lemma 4.1).
+        let grid = grid();
+        let cells = subtree_cells(&grid);
+        let g = HexMobilityGraph::new(&grid, &cells);
+        let dg = g.shortest_path_matrix();
+        for (i, a) in cells.iter().enumerate() {
+            for (j, b) in cells.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let euclid = grid.cell_planar_distance_km(a, b);
+                assert!(
+                    dg[i][j] <= euclid + 1e-9,
+                    "graph distance {} exceeds Euclidean {} for pair ({i},{j})",
+                    dg[i][j],
+                    euclid
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_pairs_have_weight_a() {
+        let grid = grid();
+        let cells = subtree_cells(&grid);
+        let g = HexMobilityGraph::new(&grid, &cells);
+        for (i, j) in g.neighbor_pairs() {
+            let w = g
+                .graph()
+                .neighbors(i)
+                .iter()
+                .find(|&&(n, _)| n == j)
+                .map(|&(_, w)| w)
+                .unwrap();
+            assert!((w - g.spacing_km()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn node_lookup_roundtrip() {
+        let grid = grid();
+        let cells = subtree_cells(&grid);
+        let g = HexMobilityGraph::new(&grid, &cells);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(g.node_of(c), Some(i));
+        }
+        assert_eq!(g.node_of(&grid.leaves()[342]), None);
+    }
+
+    #[test]
+    fn whole_grid_graph_scales() {
+        let grid = grid();
+        let g = HexMobilityGraph::new(&grid, grid.leaves());
+        assert_eq!(g.num_nodes(), 343);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf cells")]
+    fn non_leaf_cells_rejected() {
+        let grid = grid();
+        let cells = grid.cells_at_level(1);
+        let _ = HexMobilityGraph::new(&grid, &cells);
+    }
+}

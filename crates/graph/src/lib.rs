@@ -1,0 +1,25 @@
+//! Mobility-graph approximation for Geo-Ind constraint reduction.
+//!
+//! Section 4.2 of the CORGI paper replaces the `O(K³)` pairwise ε-Geo-Ind
+//! constraints by constraints on *neighboring peers* of a graph `G` built over the
+//! hexagonal grid: every cell is connected to its 6 immediate neighbors and its 6
+//! diagonal neighbors, all with edge weight `a` (the spacing between immediate
+//! neighbors).  Lemma 4.1 shows the shortest-path distance on `G` never exceeds
+//! the Euclidean distance, and Theorem 4.1 shows that enforcing Geo-Ind on graph
+//! neighbors is then sufficient for all pairs.
+//!
+//! This crate provides:
+//!
+//! * [`WeightedGraph`] — an undirected weighted graph with Dijkstra shortest
+//!   paths and all-pairs distances,
+//! * [`HexMobilityGraph`] — the paper's 12-neighbor graph over a set of leaf
+//!   cells, exposing both the neighbor-pair list (the reduced constraint set) and
+//!   the shortest-path distance matrix used in the transitivity proof.
+
+#![warn(missing_docs)]
+
+mod hexapprox;
+mod weighted;
+
+pub use hexapprox::HexMobilityGraph;
+pub use weighted::WeightedGraph;

@@ -1,0 +1,220 @@
+//! Generic undirected weighted graph with shortest-path queries.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An undirected weighted graph over nodes `0..n`.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedGraph {
+    adjacency: Vec<Vec<(usize, f64)>>,
+}
+
+impl WeightedGraph {
+    /// Create a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Add an undirected edge with the given non-negative weight.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range, the weight is negative or
+    /// non-finite, or the edge is a self-loop.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
+        assert!(u < self.num_nodes() && v < self.num_nodes(), "node out of range");
+        assert!(u != v, "self-loops are not allowed");
+        assert!(weight.is_finite() && weight >= 0.0, "invalid edge weight {weight}");
+        self.adjacency[u].push((v, weight));
+        self.adjacency[v].push((u, weight));
+    }
+
+    /// Neighbors of a node with edge weights.
+    pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
+        &self.adjacency[u]
+    }
+
+    /// Whether an edge `u–v` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adjacency[u].iter().any(|&(w, _)| w == v)
+    }
+
+    /// Single-source shortest-path distances (Dijkstra).  Unreachable nodes get
+    /// `f64::INFINITY`.
+    pub fn dijkstra(&self, source: usize) -> Vec<f64> {
+        #[derive(PartialEq)]
+        struct Entry {
+            dist: f64,
+            node: usize,
+        }
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Reverse ordering: the binary heap is a max-heap.
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| other.node.cmp(&self.node))
+            }
+        }
+
+        let n = self.num_nodes();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut heap = BinaryHeap::new();
+        dist[source] = 0.0;
+        heap.push(Entry {
+            dist: 0.0,
+            node: source,
+        });
+        while let Some(Entry { dist: d, node: u }) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, w) in &self.adjacency[u] {
+                let candidate = d + w;
+                if candidate < dist[v] {
+                    dist[v] = candidate;
+                    heap.push(Entry {
+                        dist: candidate,
+                        node: v,
+                    });
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs shortest-path distances (repeated Dijkstra).
+    pub fn all_pairs_shortest_paths(&self) -> Vec<Vec<f64>> {
+        (0..self.num_nodes()).map(|s| self.dijkstra(s)).collect()
+    }
+
+    /// Whether the graph is connected (empty graphs count as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes() == 0 {
+            return true;
+        }
+        let dist = self.dijkstra(0);
+        dist.iter().all(|d| d.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn path_graph(n: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn path_graph_distances() {
+        let g = path_graph(5);
+        let d = g.dijkstra(0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_nodes_are_infinite() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 2.0);
+        let d = g.dijkstra(0);
+        assert_eq!(d[1], 2.0);
+        assert!(d[2].is_infinite());
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn shortest_path_prefers_cheaper_route() {
+        // 0 -1- 1 -1- 2, plus a direct expensive edge 0-2.
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 5.0);
+        let d = g.dijkstra(0);
+        assert_eq!(d[2], 2.0);
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 0.5);
+        g.add_edge(0, 3, 4.0);
+        let d = g.all_pairs_shortest_paths();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((d[i][j] - d[j][i]).abs() < 1e-12);
+            }
+            assert_eq!(d[i][i], 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge weight")]
+    fn negative_weight_rejected() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, -1.0);
+    }
+
+    proptest! {
+        /// Dijkstra distances satisfy the triangle inequality on random connected graphs.
+        #[test]
+        fn prop_triangle_inequality(
+            weights in proptest::collection::vec(0.1f64..10.0, 12),
+            extra_edges in proptest::collection::vec((0usize..8, 0usize..8, 0.1f64..10.0), 0..6),
+        ) {
+            // A ring of 8 nodes guarantees connectivity, plus random chords.
+            let n = 8;
+            let mut g = WeightedGraph::new(n);
+            for i in 0..n {
+                g.add_edge(i, (i + 1) % n, weights[i]);
+            }
+            for (u, v, w) in extra_edges {
+                if u != v && !g.has_edge(u, v) {
+                    g.add_edge(u, v, w);
+                }
+            }
+            let d = g.all_pairs_shortest_paths();
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        prop_assert!(d[i][j] <= d[i][k] + d[k][j] + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

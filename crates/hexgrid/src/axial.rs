@@ -1,0 +1,328 @@
+//! Axial (cube) coordinates on the hexagonal lattice.
+//!
+//! We use the standard axial coordinate system for pointy-top hexagons: a cell is
+//! addressed by `(q, r)` and the implicit third cube coordinate is `s = -q - r`.
+//! Immediate neighbors are at hex distance 1 (Euclidean distance `a`, the lattice
+//! spacing); the six *diagonal* neighbors used by the paper's graph approximation
+//! (Fig. 4) are at hex distance 2 (Euclidean distance `√3·a`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// The six immediate neighbor directions in axial coordinates.
+pub const DIRECTIONS: [Axial; 6] = [
+    Axial { q: 1, r: 0 },
+    Axial { q: 0, r: 1 },
+    Axial { q: -1, r: 1 },
+    Axial { q: -1, r: 0 },
+    Axial { q: 0, r: -1 },
+    Axial { q: 1, r: -1 },
+];
+
+/// The six diagonal neighbor directions (centers at Euclidean distance `√3·a`).
+pub const DIAGONAL_DIRECTIONS: [Axial; 6] = [
+    Axial { q: 2, r: -1 },
+    Axial { q: 1, r: 1 },
+    Axial { q: -1, r: 2 },
+    Axial { q: -2, r: 1 },
+    Axial { q: -1, r: -1 },
+    Axial { q: 1, r: -2 },
+];
+
+/// Axial coordinates of a hexagonal cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Axial {
+    /// Column coordinate.
+    pub q: i64,
+    /// Row coordinate.
+    pub r: i64,
+}
+
+impl Axial {
+    /// Create an axial coordinate.
+    pub const fn new(q: i64, r: i64) -> Self {
+        Self { q, r }
+    }
+
+    /// The origin cell `(0, 0)`.
+    pub const fn origin() -> Self {
+        Self { q: 0, r: 0 }
+    }
+
+    /// The implicit third cube coordinate `s = -q - r`.
+    pub fn s(&self) -> i64 {
+        -self.q - self.r
+    }
+
+    /// Hexagonal (grid) distance to another cell: the minimum number of
+    /// immediate-neighbor steps between them.
+    pub fn hex_distance(&self, other: &Axial) -> i64 {
+        let dq = self.q - other.q;
+        let dr = self.r - other.r;
+        let ds = self.s() - other.s();
+        (dq.abs() + dr.abs() + ds.abs()) / 2
+    }
+
+    /// The six immediate neighbors.
+    pub fn neighbors(&self) -> [Axial; 6] {
+        let mut out = [*self; 6];
+        for (slot, dir) in out.iter_mut().zip(DIRECTIONS.iter()) {
+            *slot = *slot + *dir;
+        }
+        out
+    }
+
+    /// The six diagonal neighbors (Euclidean distance `√3·a`).
+    pub fn diagonal_neighbors(&self) -> [Axial; 6] {
+        let mut out = [*self; 6];
+        for (slot, dir) in out.iter_mut().zip(DIAGONAL_DIRECTIONS.iter()) {
+            *slot = *slot + *dir;
+        }
+        out
+    }
+
+    /// All twelve cells used as graph-approximation peers in the paper's Fig. 4:
+    /// the 6 immediate plus the 6 diagonal neighbors.
+    pub fn graph_peers(&self) -> Vec<Axial> {
+        let mut v = Vec::with_capacity(12);
+        v.extend_from_slice(&self.neighbors());
+        v.extend_from_slice(&self.diagonal_neighbors());
+        v
+    }
+
+    /// Whether `other` is an immediate neighbor.
+    pub fn is_neighbor(&self, other: &Axial) -> bool {
+        self.hex_distance(other) == 1
+    }
+
+    /// The ring of cells at exactly `radius` hex-distance from `self`.
+    ///
+    /// `radius == 0` returns just `self`.
+    pub fn ring(&self, radius: u32) -> Vec<Axial> {
+        if radius == 0 {
+            return vec![*self];
+        }
+        let radius = i64::from(radius);
+        let mut results = Vec::with_capacity((6 * radius) as usize);
+        // Start at the cell `radius` steps in direction 4 (the canonical ring walk).
+        let mut cur = *self + DIRECTIONS[4] * radius;
+        for dir in DIRECTIONS.iter() {
+            for _ in 0..radius {
+                results.push(cur);
+                cur = cur + *dir;
+            }
+        }
+        results
+    }
+
+    /// All cells within `radius` hex-distance of `self` (a filled disk),
+    /// including `self`.
+    pub fn disk(&self, radius: u32) -> Vec<Axial> {
+        let r = i64::from(radius);
+        let mut out = Vec::with_capacity((3 * r * (r + 1) + 1) as usize);
+        for dq in -r..=r {
+            let lo = (-r).max(-dq - r);
+            let hi = r.min(-dq + r);
+            for dr in lo..=hi {
+                out.push(Axial::new(self.q + dq, self.r + dr));
+            }
+        }
+        out
+    }
+
+    /// Round fractional axial coordinates to the containing cell (cube rounding).
+    pub fn round(qf: f64, rf: f64) -> Axial {
+        let sf = -qf - rf;
+        let mut q = qf.round();
+        let mut r = rf.round();
+        let s = sf.round();
+        let dq = (q - qf).abs();
+        let dr = (r - rf).abs();
+        let ds = (s - sf).abs();
+        if dq > dr && dq > ds {
+            q = -r - s;
+        } else if dr > ds {
+            r = -q - s;
+        }
+        Axial::new(q as i64, r as i64)
+    }
+}
+
+impl Add for Axial {
+    type Output = Axial;
+    fn add(self, rhs: Axial) -> Axial {
+        Axial::new(self.q + rhs.q, self.r + rhs.r)
+    }
+}
+
+impl Sub for Axial {
+    type Output = Axial;
+    fn sub(self, rhs: Axial) -> Axial {
+        Axial::new(self.q - rhs.q, self.r - rhs.r)
+    }
+}
+
+impl Mul<i64> for Axial {
+    type Output = Axial;
+    fn mul(self, rhs: i64) -> Axial {
+        Axial::new(self.q * rhs, self.r * rhs)
+    }
+}
+
+impl Neg for Axial {
+    type Output = Axial;
+    fn neg(self) -> Axial {
+        Axial::new(-self.q, -self.r)
+    }
+}
+
+impl fmt::Display for Axial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.q, self.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cube_coordinates_sum_to_zero() {
+        let c = Axial::new(3, -5);
+        assert_eq!(c.q + c.r + c.s(), 0);
+    }
+
+    #[test]
+    fn immediate_neighbors_at_distance_one() {
+        let c = Axial::new(2, -1);
+        for n in c.neighbors() {
+            assert_eq!(c.hex_distance(&n), 1);
+            assert!(c.is_neighbor(&n));
+        }
+    }
+
+    #[test]
+    fn diagonal_neighbors_at_distance_two() {
+        let c = Axial::origin();
+        for n in c.diagonal_neighbors() {
+            assert_eq!(c.hex_distance(&n), 2);
+        }
+    }
+
+    #[test]
+    fn twelve_distinct_graph_peers() {
+        let peers: HashSet<_> = Axial::origin().graph_peers().into_iter().collect();
+        assert_eq!(peers.len(), 12);
+        assert!(!peers.contains(&Axial::origin()));
+    }
+
+    #[test]
+    fn distance_examples() {
+        assert_eq!(Axial::origin().hex_distance(&Axial::new(3, 0)), 3);
+        assert_eq!(Axial::origin().hex_distance(&Axial::new(2, -1)), 2);
+        assert_eq!(Axial::origin().hex_distance(&Axial::new(-2, -2)), 4);
+    }
+
+    #[test]
+    fn ring_sizes() {
+        assert_eq!(Axial::origin().ring(0).len(), 1);
+        assert_eq!(Axial::origin().ring(1).len(), 6);
+        assert_eq!(Axial::origin().ring(2).len(), 12);
+        assert_eq!(Axial::origin().ring(5).len(), 30);
+    }
+
+    #[test]
+    fn ring_cells_at_exact_distance() {
+        let center = Axial::new(4, -2);
+        for radius in 1..5u32 {
+            for cell in center.ring(radius) {
+                assert_eq!(center.hex_distance(&cell), i64::from(radius));
+            }
+        }
+    }
+
+    #[test]
+    fn disk_sizes_follow_centered_hexagonal_numbers() {
+        // |disk(r)| = 3r(r+1) + 1
+        for r in 0..6u32 {
+            let expected = 3 * i64::from(r) * (i64::from(r) + 1) + 1;
+            assert_eq!(Axial::origin().disk(r).len() as i64, expected);
+        }
+    }
+
+    #[test]
+    fn disk_contains_all_cells_within_radius() {
+        let center = Axial::new(-1, 3);
+        let disk: HashSet<_> = center.disk(3).into_iter().collect();
+        for cell in &disk {
+            assert!(center.hex_distance(cell) <= 3);
+        }
+        // Every ring cell up to the radius is present.
+        for r in 0..=3u32 {
+            for cell in center.ring(r) {
+                assert!(disk.contains(&cell));
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_integer_coordinates_is_identity() {
+        let c = Axial::new(5, -3);
+        assert_eq!(Axial::round(5.0, -3.0), c);
+    }
+
+    #[test]
+    fn rounding_small_perturbations_returns_same_cell() {
+        let c = Axial::new(2, 1);
+        assert_eq!(Axial::round(2.05, 0.97), c);
+        assert_eq!(Axial::round(1.96, 1.02), c);
+    }
+
+    proptest! {
+        /// Hex distance is a metric: symmetric, zero iff equal, triangle inequality.
+        #[test]
+        fn prop_hex_distance_metric(
+            q1 in -50i64..50, r1 in -50i64..50,
+            q2 in -50i64..50, r2 in -50i64..50,
+            q3 in -50i64..50, r3 in -50i64..50,
+        ) {
+            let a = Axial::new(q1, r1);
+            let b = Axial::new(q2, r2);
+            let c = Axial::new(q3, r3);
+            prop_assert_eq!(a.hex_distance(&b), b.hex_distance(&a));
+            prop_assert_eq!(a.hex_distance(&a), 0);
+            if a != b {
+                prop_assert!(a.hex_distance(&b) > 0);
+            }
+            prop_assert!(a.hex_distance(&c) <= a.hex_distance(&b) + b.hex_distance(&c));
+        }
+
+        /// Translation invariance of the hex distance.
+        #[test]
+        fn prop_translation_invariance(
+            q1 in -30i64..30, r1 in -30i64..30,
+            q2 in -30i64..30, r2 in -30i64..30,
+            tq in -30i64..30, tr in -30i64..30,
+        ) {
+            let a = Axial::new(q1, r1);
+            let b = Axial::new(q2, r2);
+            let t = Axial::new(tq, tr);
+            prop_assert_eq!(a.hex_distance(&b), (a + t).hex_distance(&(b + t)));
+        }
+
+        /// Every disk cell is within the radius and every ring is on the boundary.
+        #[test]
+        fn prop_disk_and_ring_consistency(q in -20i64..20, r in -20i64..20, radius in 0u32..6) {
+            let c = Axial::new(q, r);
+            let disk: HashSet<_> = c.disk(radius).into_iter().collect();
+            let ring: HashSet<_> = c.ring(radius).into_iter().collect();
+            for cell in &ring {
+                prop_assert_eq!(c.hex_distance(cell), i64::from(radius));
+                prop_assert!(disk.contains(cell));
+            }
+        }
+    }
+}

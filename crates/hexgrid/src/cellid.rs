@@ -1,0 +1,230 @@
+//! Compact cell identifiers.
+
+use crate::{hierarchy, Axial};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a cell in an aperture-7 hierarchy.
+///
+/// A cell is fully determined by its `level` (0 = leaf, increasing towards the
+/// root) and the axial coordinates of its center expressed on the *leaf* lattice.
+/// The identifier is independent of the geographic placement of the grid, so the
+/// same `CellId` values can be exchanged between the CORGI server and clients
+/// (Section 5 of the paper) without revealing coordinates beyond the shared grid
+/// definition.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct CellId {
+    level: u8,
+    center: Axial,
+}
+
+impl CellId {
+    /// Create a cell id from a level and a leaf-lattice center.
+    ///
+    /// The caller is responsible for the center actually lying on the level-`level`
+    /// sublattice; [`CellId::parent`] will panic otherwise.  Cells obtained from a
+    /// [`crate::HexGrid`] are always valid.
+    pub fn new(level: u8, center: Axial) -> Self {
+        Self { level, center }
+    }
+
+    /// The root cell of a hierarchy (any height) centred at the origin.
+    pub fn root(height: u8) -> Self {
+        Self {
+            level: height,
+            center: Axial::origin(),
+        }
+    }
+
+    /// Level of the cell: 0 for leaves, growing towards the root.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Center of the cell in leaf-lattice axial coordinates.
+    pub fn center(&self) -> Axial {
+        self.center
+    }
+
+    /// Whether this is a leaf cell.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// The seven children of this cell (panics for leaves).
+    pub fn children(&self) -> [CellId; hierarchy::APERTURE] {
+        let centers = hierarchy::children_of(self.center, self.level);
+        let mut out = [CellId::new(self.level - 1, Axial::origin()); hierarchy::APERTURE];
+        for (slot, c) in out.iter_mut().zip(centers.iter()) {
+            *slot = CellId::new(self.level - 1, *c);
+        }
+        out
+    }
+
+    /// The parent of this cell together with this cell's digit under that parent.
+    pub fn parent(&self) -> (CellId, u8) {
+        let (center, digit) = hierarchy::parent_of(self.center, self.level);
+        (CellId::new(self.level + 1, center), digit)
+    }
+
+    /// The ancestor of this cell at the given (higher or equal) level.
+    pub fn ancestor_at(&self, level: u8) -> CellId {
+        assert!(
+            level >= self.level,
+            "ancestor level {level} is below the cell level {}",
+            self.level
+        );
+        let mut cur = *self;
+        while cur.level < level {
+            cur = cur.parent().0;
+        }
+        cur
+    }
+
+    /// Whether `self` is an ancestor of (or equal to) `other`.
+    pub fn is_ancestor_of(&self, other: &CellId) -> bool {
+        if other.level > self.level {
+            return false;
+        }
+        other.ancestor_at(self.level) == *self
+    }
+
+    /// All descendant leaf cells of this cell, in digit order.
+    pub fn descendant_leaves(&self) -> Vec<CellId> {
+        let mut out = Vec::with_capacity(hierarchy::APERTURE.pow(u32::from(self.level)));
+        collect_leaves(*self, &mut out);
+        out
+    }
+
+    /// Pack the cell id into a single `u64` (level in the top byte, `q` and `r`
+    /// as 28-bit signed offsets).  Panics if coordinates exceed ±2²⁷.
+    pub fn pack(&self) -> u64 {
+        const LIMIT: i64 = 1 << 27;
+        assert!(
+            self.center.q.abs() < LIMIT && self.center.r.abs() < LIMIT,
+            "cell coordinates exceed the packable range"
+        );
+        let q = (self.center.q + LIMIT) as u64;
+        let r = (self.center.r + LIMIT) as u64;
+        (u64::from(self.level) << 56) | (q << 28) | r
+    }
+
+    /// Inverse of [`CellId::pack`].
+    pub fn unpack(packed: u64) -> Self {
+        const LIMIT: i64 = 1 << 27;
+        let level = (packed >> 56) as u8;
+        let q = ((packed >> 28) & 0x0FFF_FFFF) as i64 - LIMIT;
+        let r = (packed & 0x0FFF_FFFF) as i64 - LIMIT;
+        CellId::new(level, Axial::new(q, r))
+    }
+}
+
+fn collect_leaves(cell: CellId, out: &mut Vec<CellId>) {
+    if cell.is_leaf() {
+        out.push(cell);
+        return;
+    }
+    for child in cell.children() {
+        collect_leaves(child, out);
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}@{}", self.level, self.center)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn root_children_count() {
+        let root = CellId::root(3);
+        assert_eq!(root.children().len(), 7);
+        assert_eq!(root.level(), 3);
+        assert!(!root.is_leaf());
+    }
+
+    #[test]
+    fn descendant_leaves_counts() {
+        assert_eq!(CellId::root(0).descendant_leaves().len(), 1);
+        assert_eq!(CellId::root(1).descendant_leaves().len(), 7);
+        assert_eq!(CellId::root(2).descendant_leaves().len(), 49);
+        assert_eq!(CellId::root(3).descendant_leaves().len(), 343);
+    }
+
+    #[test]
+    fn descendant_leaves_are_distinct() {
+        let leaves = CellId::root(3).descendant_leaves();
+        let set: HashSet<_> = leaves.iter().copied().collect();
+        assert_eq!(set.len(), leaves.len());
+        assert!(leaves.iter().all(|l| l.is_leaf()));
+    }
+
+    #[test]
+    fn parent_child_roundtrip() {
+        let root = CellId::root(2);
+        for child in root.children() {
+            let (p, _) = child.parent();
+            assert_eq!(p, root);
+            for grandchild in child.children() {
+                assert_eq!(grandchild.parent().0, child);
+                assert_eq!(grandchild.ancestor_at(2), root);
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_of_relationship() {
+        let root = CellId::root(3);
+        let leaf = root.descendant_leaves()[42];
+        assert!(root.is_ancestor_of(&leaf));
+        assert!(leaf.ancestor_at(3) == root);
+        assert!(!leaf.is_ancestor_of(&root));
+        assert!(leaf.is_ancestor_of(&leaf));
+    }
+
+    #[test]
+    fn ancestors_partition_leaves() {
+        // Every leaf of the height-3 tree has exactly one level-2 ancestor among
+        // the root's children, and each such ancestor owns exactly 49 leaves.
+        let root = CellId::root(3);
+        let mut counts = std::collections::HashMap::new();
+        for leaf in root.descendant_leaves() {
+            *counts.entry(leaf.ancestor_at(2)).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 7);
+        assert!(counts.values().all(|&c| c == 49));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let root = CellId::root(3);
+        for leaf in root.descendant_leaves() {
+            assert_eq!(CellId::unpack(leaf.pack()), leaf);
+        }
+        assert_eq!(CellId::unpack(root.pack()), root);
+    }
+
+    #[test]
+    #[should_panic(expected = "ancestor level")]
+    fn ancestor_below_level_panics() {
+        let root = CellId::root(2);
+        let _ = root.ancestor_at(0);
+    }
+
+    proptest! {
+        /// Packing is injective over a height-3 tree and round-trips.
+        #[test]
+        fn prop_pack_roundtrip(q in -1000i64..1000, r in -1000i64..1000, level in 0u8..5) {
+            let cell = CellId::new(level, Axial::new(q, r));
+            prop_assert_eq!(CellId::unpack(cell.pack()), cell);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Axial ↔ planar conversion and hexagon boundaries.
+
+use crate::Axial;
+use corgi_geo::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A pointy-top hexagonal layout with a given center-to-center spacing.
+///
+/// The paper denotes the distance between the centers of two immediate neighbors
+/// by `a` (Section 4.2); [`Layout::spacing_km`] is exactly that quantity.  Diagonal
+/// neighbors are at distance `√3·a`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Layout {
+    spacing_km: f64,
+}
+
+impl Layout {
+    /// Create a layout with the given center spacing in kilometres.
+    ///
+    /// # Panics
+    /// Panics if the spacing is not strictly positive and finite.
+    pub fn new(spacing_km: f64) -> Self {
+        assert!(
+            spacing_km.is_finite() && spacing_km > 0.0,
+            "hex spacing must be positive and finite, got {spacing_km}"
+        );
+        Self { spacing_km }
+    }
+
+    /// Center-to-center spacing between immediate neighbors (the paper's `a`), km.
+    pub fn spacing_km(&self) -> f64 {
+        self.spacing_km
+    }
+
+    /// Circumradius of a single hexagon (center to corner), km.
+    pub fn circumradius_km(&self) -> f64 {
+        self.spacing_km / 3f64.sqrt()
+    }
+
+    /// Area of a single hexagon, km².
+    pub fn cell_area_km2(&self) -> f64 {
+        // A regular hexagon with circumradius R has area (3√3/2)·R²; with
+        // R = a/√3 this is (√3/2)·a².
+        (3f64.sqrt() / 2.0) * self.spacing_km * self.spacing_km
+    }
+
+    /// Planar position (km) of a cell center.
+    pub fn to_planar(&self, cell: Axial) -> Vec2 {
+        let q = cell.q as f64;
+        let r = cell.r as f64;
+        Vec2::new(
+            self.spacing_km * (q + r / 2.0),
+            self.spacing_km * (3f64.sqrt() / 2.0) * r,
+        )
+    }
+
+    /// The cell containing a planar point (km).
+    pub fn from_planar(&self, p: Vec2) -> Axial {
+        let rf = p.y / (self.spacing_km * 3f64.sqrt() / 2.0);
+        let qf = p.x / self.spacing_km - rf / 2.0;
+        Axial::round(qf, rf)
+    }
+
+    /// Euclidean distance between two cell centers, km.
+    pub fn center_distance_km(&self, a: Axial, b: Axial) -> f64 {
+        self.to_planar(a).distance(&self.to_planar(b))
+    }
+
+    /// The six corners of the hexagon of a cell, counter-clockwise starting from
+    /// the corner at angle 30°.
+    pub fn cell_corners(&self, cell: Axial) -> [Vec2; 6] {
+        let center = self.to_planar(cell);
+        let radius = self.circumradius_km();
+        let mut corners = [Vec2::zero(); 6];
+        for (i, corner) in corners.iter_mut().enumerate() {
+            let angle = std::f64::consts::PI / 6.0 + std::f64::consts::FRAC_PI_3 * i as f64;
+            *corner = center + Vec2::new(radius * angle.cos(), radius * angle.sin());
+        }
+        corners
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn immediate_neighbor_centers_at_spacing() {
+        let layout = Layout::new(0.5);
+        for n in Axial::origin().neighbors() {
+            let d = layout.center_distance_km(Axial::origin(), n);
+            assert!((d - 0.5).abs() < 1e-12, "got {d}");
+        }
+    }
+
+    #[test]
+    fn diagonal_neighbor_centers_at_sqrt3_spacing() {
+        let layout = Layout::new(0.5);
+        let expected = 0.5 * 3f64.sqrt();
+        for n in Axial::origin().diagonal_neighbors() {
+            let d = layout.center_distance_km(Axial::origin(), n);
+            assert!((d - expected).abs() < 1e-12, "got {d}");
+        }
+    }
+
+    #[test]
+    fn planar_roundtrip() {
+        let layout = Layout::new(1.25);
+        for q in -5..5 {
+            for r in -5..5 {
+                let cell = Axial::new(q, r);
+                assert_eq!(layout.from_planar(layout.to_planar(cell)), cell);
+            }
+        }
+    }
+
+    #[test]
+    fn corners_at_circumradius_from_center() {
+        let layout = Layout::new(2.0);
+        let cell = Axial::new(1, -2);
+        let center = layout.to_planar(cell);
+        for corner in layout.cell_corners(cell) {
+            let d = corner.distance(&center);
+            assert!((d - layout.circumradius_km()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cell_area_matches_hexagon_formula() {
+        let layout = Layout::new(1.0);
+        assert!((layout.cell_area_km2() - 0.866_025_403_784).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_spacing_rejected() {
+        let _ = Layout::new(0.0);
+    }
+
+    proptest! {
+        /// from_planar inverts to_planar even for perturbed points well inside a cell.
+        #[test]
+        fn prop_point_in_cell_maps_back(
+            q in -30i64..30, r in -30i64..30,
+            dx in -0.3f64..0.3, dy in -0.3f64..0.3,
+        ) {
+            let layout = Layout::new(1.0);
+            let cell = Axial::new(q, r);
+            // Perturbations below the inradius (a/2 = 0.5) stay inside the hexagon;
+            // we use 0.3·a to stay clear of the boundary and rounding ties.
+            let p = layout.to_planar(cell) + corgi_geo::Vec2::new(dx, dy);
+            prop_assert_eq!(layout.from_planar(p), cell);
+        }
+
+        /// Euclidean center distance is bounded by spacing × hex distance
+        /// (each hop moves the center by exactly one spacing).
+        #[test]
+        fn prop_euclidean_at_most_hops_times_spacing(
+            q1 in -20i64..20, r1 in -20i64..20,
+            q2 in -20i64..20, r2 in -20i64..20,
+        ) {
+            let layout = Layout::new(0.75);
+            let a = Axial::new(q1, r1);
+            let b = Axial::new(q2, r2);
+            let euclid = layout.center_distance_km(a, b);
+            let hops = a.hex_distance(&b) as f64;
+            prop_assert!(euclid <= hops * 0.75 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! A hexagonal hierarchical spatial index built from scratch.
+//!
+//! The CORGI paper (Section 3.1) builds its *location tree* on Uber's H3 index:
+//! an aperture-7 hierarchy of hexagonal cells where every parent cell has exactly
+//! seven children, siblings are disjoint, cells at the same level have the same
+//! size, and the distance between adjacent cell centers is constant.  This crate
+//! reimplements those properties on a locally-projected plane:
+//!
+//! * [`Axial`] — axial/cube coordinates on the hexagonal lattice with neighbor,
+//!   diagonal-neighbor, ring/disk, and hex-distance operations (Section 4.2's
+//!   graph approximation needs both the 6 immediate and the 6 diagonal neighbors).
+//! * [`CellId`] — a compact identifier of a cell: its level in the hierarchy plus
+//!   the axial coordinates of its center expressed on the leaf lattice.
+//! * [`hierarchy`] — the aperture-7 parent/child combinatorics (a Gosper-flake
+//!   construction): every level-λ cell has exactly 7 level-(λ−1) children whose
+//!   centers form a complete residue system of the index-7 sublattice.
+//! * [`Layout`] — axial ↔ planar conversion with a configurable center spacing,
+//!   plus hexagon boundaries.
+//! * [`HexGrid`] — a concrete grid over a geographic area of interest: binds a
+//!   hierarchy of a chosen height to a [`corgi_geo::LocalProjection`], exposes
+//!   cell centers as [`corgi_geo::LatLng`] and maps arbitrary points to leaf cells.
+//!
+//! # Relation to H3
+//!
+//! True H3 projects the icosahedron onto the sphere; for the city-scale regions
+//! CORGI targets (the paper's San-Francisco sample is ~15 km across) a local
+//! equirectangular projection gives the same structure with negligible metric
+//! distortion.  Every property the paper relies on — balanced 7-ary tree, equal
+//! sibling cells, constant neighbor spacing `a` — holds exactly here.
+
+#![warn(missing_docs)]
+
+mod axial;
+mod cellid;
+pub mod hierarchy;
+mod layout;
+mod region;
+
+pub use axial::{Axial, DIAGONAL_DIRECTIONS, DIRECTIONS};
+pub use cellid::CellId;
+pub use hierarchy::{children_of, digit_path, parent_of, APERTURE};
+pub use layout::Layout;
+pub use region::{HexGrid, HexGridConfig, HexGridError};

@@ -1,0 +1,280 @@
+//! Dense matrix kernels used by the interior-point solvers.
+//!
+//! Only the operations the solvers need are implemented: symmetric rank updates,
+//! Cholesky factorization with diagonal regularization, and triangular solves.
+//! Matrices are stored row-major in a flat `Vec<f64>`.
+
+use crate::LpError;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Create a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from nested rows (all rows must have equal length).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Multiply by a vector: `self · x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Add `alpha · v vᵀ` restricted to the index set `idx`: for all pairs
+    /// `(a, b)` of positions in `idx`, `self[idx[a], idx[b]] += alpha · v[a] · v[b]`.
+    ///
+    /// This is the kernel that accumulates `Gᵀ D G` from sparse constraint rows.
+    pub fn add_scaled_outer_sparse(&mut self, idx: &[usize], v: &[f64], alpha: f64) {
+        debug_assert_eq!(idx.len(), v.len());
+        for (a, &ia) in idx.iter().enumerate() {
+            let va = alpha * v[a];
+            let row_start = ia * self.cols;
+            for (b, &ib) in idx.iter().enumerate() {
+                self.data[row_start + ib] += va * v[b];
+            }
+        }
+    }
+
+    /// Add `value` to the diagonal entry `i`.
+    pub fn add_diagonal(&mut self, i: usize, value: f64) {
+        let c = self.cols;
+        self.data[i * c + i] += value;
+    }
+
+    /// In-place Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+    /// matrix; the lower triangle of `self` is overwritten with `L`.
+    ///
+    /// A small diagonal regularization `reg` is added on the fly whenever a pivot
+    /// falls below `reg` to keep the factorization stable on nearly singular
+    /// systems (common in the late interior-point iterations).
+    pub fn cholesky_in_place(&mut self, reg: f64) -> Result<(), LpError> {
+        assert_eq!(self.rows, self.cols, "Cholesky needs a square matrix");
+        let n = self.rows;
+        for j in 0..n {
+            // Diagonal element.
+            let mut d = self[(j, j)];
+            for k in 0..j {
+                let l = self[(j, k)];
+                d -= l * l;
+            }
+            if d.is_nan() {
+                return Err(LpError::NumericalFailure(format!(
+                    "NaN pivot at column {j}"
+                )));
+            }
+            if d < reg || !d.is_finite() {
+                d = reg.max(1e-300);
+            }
+            let d = d.sqrt();
+            self[(j, j)] = d;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut v = self[(i, j)];
+                // v -= dot(L[i, :j], L[j, :j])
+                let (ri, rj) = (i * self.cols, j * self.cols);
+                for k in 0..j {
+                    v -= self.data[ri + k] * self.data[rj + k];
+                }
+                self[(i, j)] = v / d;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve `L Lᵀ x = b` where `self` holds the Cholesky factor `L` in its lower
+    /// triangle (as produced by [`DenseMatrix::cholesky_in_place`]).
+    pub fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, self.cols);
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut y = b.to_vec();
+        // Forward solve L y = b.
+        for i in 0..n {
+            let ri = i * self.cols;
+            let mut v = y[i];
+            for k in 0..i {
+                v -= self.data[ri + k] * y[k];
+            }
+            y[i] = v / self.data[ri + i];
+        }
+        // Back solve Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for k in (i + 1)..n {
+                v -= self.data[k * self.cols + i] * y[k];
+            }
+            y[i] = v / self.data[i * self.cols + i];
+        }
+        y
+    }
+
+    /// Solve for multiple right-hand sides given as columns of `rhs`
+    /// (`rhs` has `self.rows()` rows); returns the solution matrix.
+    pub fn cholesky_solve_matrix(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(rhs.rows, self.rows);
+        let mut out = DenseMatrix::zeros(rhs.rows, rhs.cols);
+        let mut col = vec![0.0; rhs.rows];
+        for j in 0..rhs.cols {
+            for i in 0..rhs.rows {
+                col[i] = rhs[(i, j)];
+            }
+            let sol = self.cholesky_solve(&col);
+            for i in 0..rhs.rows {
+                out[(i, j)] = sol[i];
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let mut eye = DenseMatrix::identity(4);
+        eye.cholesky_in_place(1e-12).unwrap();
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let x = eye.cholesky_solve(&b);
+        for (xi, bi) in x.iter().zip(b.iter()) {
+            assert!((xi - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_spd_system() {
+        // A = [[4, 2], [2, 3]], b = [6, 5]  ⇒  x = [1, 1]
+        let mut a = DenseMatrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        a.cholesky_in_place(1e-14).unwrap();
+        let x = a.cholesky_solve(&[6.0, 5.0]);
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, -1.0, 4.0]]);
+        let y = a.mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![6.0, 3.0]);
+    }
+
+    #[test]
+    fn sparse_outer_update_accumulates() {
+        let mut m = DenseMatrix::zeros(4, 4);
+        m.add_scaled_outer_sparse(&[1, 3], &[2.0, -1.0], 0.5);
+        assert!((m[(1, 1)] - 2.0).abs() < 1e-12);
+        assert!((m[(1, 3)] + 1.0).abs() < 1e-12);
+        assert!((m[(3, 1)] + 1.0).abs() < 1e-12);
+        assert!((m[(3, 3)] - 0.5).abs() < 1e-12);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn multi_rhs_solve() {
+        let mut a = DenseMatrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 8.0]]);
+        a.cholesky_in_place(1e-14).unwrap();
+        let rhs = DenseMatrix::from_rows(&[vec![2.0, 4.0], vec![8.0, 16.0]]);
+        let x = a.cholesky_solve_matrix(&rhs);
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((x[(0, 1)] - 2.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((x[(1, 1)] - 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Cholesky solve inverts A·x for randomly generated SPD matrices A = BᵀB + I.
+        #[test]
+        fn prop_cholesky_solves_spd(seed_vals in proptest::collection::vec(-2.0f64..2.0, 9),
+                                    x_true in proptest::collection::vec(-5.0f64..5.0, 3)) {
+            // Build A = BᵀB + I (3×3) from the seed values.
+            let b = DenseMatrix::from_rows(&[
+                seed_vals[0..3].to_vec(),
+                seed_vals[3..6].to_vec(),
+                seed_vals[6..9].to_vec(),
+            ]);
+            let mut a = DenseMatrix::identity(3);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let mut v = 0.0;
+                    for k in 0..3 {
+                        v += b[(k, i)] * b[(k, j)];
+                    }
+                    a[(i, j)] += v;
+                }
+            }
+            let rhs = a.mul_vec(&x_true);
+            let mut f = a.clone();
+            f.cholesky_in_place(1e-12).unwrap();
+            let x = f.cholesky_solve(&rhs);
+            for i in 0..3 {
+                prop_assert!((x[i] - x_true[i]).abs() < 1e-6);
+            }
+        }
+    }
+}

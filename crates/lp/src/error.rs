@@ -1,0 +1,47 @@
+//! Error types for the LP solvers.
+
+use std::fmt;
+
+/// Errors produced while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint or objective referenced a variable index ≥ the number of variables.
+    VariableOutOfRange {
+        /// Offending variable index.
+        index: usize,
+        /// Number of variables in the problem.
+        num_vars: usize,
+    },
+    /// A coefficient, bound, or right-hand side was NaN or infinite.
+    NonFiniteCoefficient,
+    /// The problem has no variables or no constraints where the solver requires them.
+    EmptyProblem,
+    /// The block partition handed to the block-angular solver is invalid.
+    InvalidBlockStructure(String),
+    /// An inequality constraint spans more than one block (block-angular solver only).
+    ConstraintSpansBlocks {
+        /// Index of the offending constraint.
+        constraint: usize,
+    },
+    /// A numerical factorization failed (matrix not positive definite / singular).
+    NumericalFailure(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::VariableOutOfRange { index, num_vars } => {
+                write!(f, "variable index {index} out of range (problem has {num_vars} variables)")
+            }
+            LpError::NonFiniteCoefficient => write!(f, "coefficient is NaN or infinite"),
+            LpError::EmptyProblem => write!(f, "problem has no variables"),
+            LpError::InvalidBlockStructure(msg) => write!(f, "invalid block structure: {msg}"),
+            LpError::ConstraintSpansBlocks { constraint } => {
+                write!(f, "inequality constraint {constraint} spans multiple blocks")
+            }
+            LpError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

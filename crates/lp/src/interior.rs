@@ -1,0 +1,794 @@
+//! Primal–dual path-following interior-point solvers.
+//!
+//! The solver works on the mixed form
+//!
+//! ```text
+//! minimize    cᵀx
+//! subject to  G x ≤ h        (m_in inequality rows)
+//!             E x = f        (m_eq equality rows)
+//!             x ≥ 0
+//! ```
+//!
+//! Every Newton step is reduced to a positive-definite system in the variables
+//! only (size `n × n`), optionally exploiting a *block-angular* structure: when
+//! every inequality row touches the variables of a single block, the Newton
+//! matrix `Gᵀ·diag(λ/w)·G + diag(s/x)` is block diagonal and the equality rows
+//! are handled through a small Schur complement.  The obfuscation LPs of the
+//! CORGI paper have exactly this structure (Geo-Ind constraints live inside one
+//! matrix column; row-stochasticity couples columns), which is what makes
+//! K = 49…343 location instances tractable without an external solver.
+//!
+//! Steps use Mehrotra's predictor–corrector heuristic; the implementation follows
+//! the standard infeasible-start formulation (see Wright, *Primal–Dual
+//! Interior-Point Methods*, 1997).
+
+use crate::{
+    dense::DenseMatrix, ConstraintSense, LpError, LpProblem, LpSolution, LpSolver, SolveStatus,
+};
+
+/// Tuning knobs of the interior-point solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct InteriorPointOptions {
+    /// Maximum number of interior-point iterations.
+    pub max_iterations: usize,
+    /// Relative tolerance on primal/dual residuals and the complementarity gap.
+    pub tolerance: f64,
+    /// Diagonal regularization added to keep Cholesky factorizations stable.
+    pub regularization: f64,
+    /// Fraction of the distance to the boundary taken by each step (0 < τ < 1).
+    pub step_fraction: f64,
+}
+
+impl Default for InteriorPointOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            tolerance: 1e-8,
+            regularization: 1e-10,
+            step_fraction: 0.995,
+        }
+    }
+}
+
+/// General-purpose interior-point solver (single block).
+#[derive(Debug, Clone)]
+pub struct InteriorPointSolver {
+    options: InteriorPointOptions,
+}
+
+impl InteriorPointSolver {
+    /// Create a solver with the given options.
+    pub fn new(options: InteriorPointOptions) -> Self {
+        Self { options }
+    }
+}
+
+impl Default for InteriorPointSolver {
+    fn default() -> Self {
+        Self::new(InteriorPointOptions::default())
+    }
+}
+
+impl LpSolver for InteriorPointSolver {
+    fn solve(&self, problem: &LpProblem) -> Result<LpSolution, LpError> {
+        let blocks = vec![(0..problem.num_vars()).collect::<Vec<_>>()];
+        solve_ipm(problem, &blocks, &self.options, self.name())
+    }
+
+    fn name(&self) -> &'static str {
+        "interior-point"
+    }
+}
+
+/// Interior-point solver exploiting a block-angular structure.
+///
+/// `blocks` is a partition of the variable indices.  Every *inequality*
+/// constraint must reference variables of one block only; equality constraints
+/// may couple blocks freely.
+#[derive(Debug, Clone)]
+pub struct BlockAngularSolver {
+    blocks: Vec<Vec<usize>>,
+    options: InteriorPointOptions,
+}
+
+impl BlockAngularSolver {
+    /// Create a solver for the given variable partition.
+    pub fn new(blocks: Vec<Vec<usize>>, options: InteriorPointOptions) -> Self {
+        Self { blocks, options }
+    }
+}
+
+impl LpSolver for BlockAngularSolver {
+    fn solve(&self, problem: &LpProblem) -> Result<LpSolution, LpError> {
+        validate_blocks(&self.blocks, problem.num_vars())?;
+        solve_ipm(problem, &self.blocks, &self.options, self.name())
+    }
+
+    fn name(&self) -> &'static str {
+        "block-angular-ipm"
+    }
+}
+
+fn validate_blocks(blocks: &[Vec<usize>], num_vars: usize) -> Result<(), LpError> {
+    let mut seen = vec![false; num_vars];
+    for block in blocks {
+        for &v in block {
+            if v >= num_vars {
+                return Err(LpError::InvalidBlockStructure(format!(
+                    "variable {v} out of range"
+                )));
+            }
+            if seen[v] {
+                return Err(LpError::InvalidBlockStructure(format!(
+                    "variable {v} appears in more than one block"
+                )));
+            }
+            seen[v] = true;
+        }
+    }
+    if let Some(missing) = seen.iter().position(|s| !s) {
+        return Err(LpError::InvalidBlockStructure(format!(
+            "variable {missing} is not covered by any block"
+        )));
+    }
+    Ok(())
+}
+
+/// Sparse row: (variable indices, coefficients).
+struct SparseRow {
+    idx: Vec<usize>,
+    val: Vec<f64>,
+}
+
+impl SparseRow {
+    fn dot(&self, x: &[f64]) -> f64 {
+        self.idx
+            .iter()
+            .zip(self.val.iter())
+            .map(|(&j, &a)| a * x[j])
+            .sum()
+    }
+
+    /// y[idx] += alpha * val
+    fn axpy_into(&self, alpha: f64, y: &mut [f64]) {
+        for (&j, &a) in self.idx.iter().zip(self.val.iter()) {
+            y[j] += alpha * a;
+        }
+    }
+}
+
+struct Prepared {
+    n: usize,
+    c: Vec<f64>,
+    g: Vec<SparseRow>,
+    h: Vec<f64>,
+    e: Vec<SparseRow>,
+    f: Vec<f64>,
+    /// block id of every variable
+    var_block: Vec<usize>,
+    /// local index of every variable inside its block
+    var_local: Vec<usize>,
+    blocks: Vec<Vec<usize>>,
+    /// inequality rows grouped by block
+    g_by_block: Vec<Vec<usize>>,
+    /// equality rows touching each block (for the Schur assembly)
+    eq_by_block: Vec<Vec<usize>>,
+}
+
+fn prepare(problem: &LpProblem, blocks: &[Vec<usize>]) -> Result<Prepared, LpError> {
+    let n = problem.num_vars();
+    if n == 0 {
+        return Err(LpError::EmptyProblem);
+    }
+    let mut var_block = vec![usize::MAX; n];
+    let mut var_local = vec![usize::MAX; n];
+    for (b, block) in blocks.iter().enumerate() {
+        for (local, &v) in block.iter().enumerate() {
+            var_block[v] = b;
+            var_local[v] = local;
+        }
+    }
+
+    let mut g = Vec::new();
+    let mut h = Vec::new();
+    let mut e = Vec::new();
+    let mut f = Vec::new();
+    for cons in problem.constraints() {
+        let (idx, mut val): (Vec<usize>, Vec<f64>) = cons.coeffs.iter().copied().unzip();
+        // Row equilibration: scale every constraint row to unit max-absolute
+        // coefficient.  The feasible set is unchanged but the Newton systems stay
+        // well-conditioned even when coefficients span many orders of magnitude
+        // (the Geo-Ind bounds e^{ε·d} easily reach 10⁶ and beyond).
+        let max_abs = val.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let scale = if max_abs > 0.0 { 1.0 / max_abs } else { 1.0 };
+        for v in val.iter_mut() {
+            *v *= scale;
+        }
+        let rhs = cons.rhs * scale;
+        match cons.sense {
+            ConstraintSense::Le => {
+                g.push(SparseRow { idx, val });
+                h.push(rhs);
+            }
+            ConstraintSense::Ge => {
+                let val = val.into_iter().map(|a| -a).collect();
+                g.push(SparseRow { idx, val });
+                h.push(-rhs);
+            }
+            ConstraintSense::Eq => {
+                e.push(SparseRow { idx, val });
+                f.push(rhs);
+            }
+        }
+    }
+
+    // Group inequality rows by block and reject rows spanning blocks.
+    let mut g_by_block = vec![Vec::new(); blocks.len()];
+    for (ri, row) in g.iter().enumerate() {
+        let mut row_block: Option<usize> = None;
+        for &j in &row.idx {
+            let b = var_block[j];
+            match row_block {
+                None => row_block = Some(b),
+                Some(existing) if existing != b => {
+                    return Err(LpError::ConstraintSpansBlocks { constraint: ri });
+                }
+                _ => {}
+            }
+        }
+        // Rows with no variables are vacuous; attach to block 0.
+        g_by_block[row_block.unwrap_or(0)].push(ri);
+    }
+
+    // Equality rows touching each block.
+    let mut eq_by_block = vec![Vec::new(); blocks.len()];
+    for (ri, row) in e.iter().enumerate() {
+        let mut touched = vec![false; blocks.len()];
+        for &j in &row.idx {
+            touched[var_block[j]] = true;
+        }
+        for (b, t) in touched.iter().enumerate() {
+            if *t {
+                eq_by_block[b].push(ri);
+            }
+        }
+    }
+
+    Ok(Prepared {
+        n,
+        c: problem.objective().to_vec(),
+        g,
+        h,
+        e,
+        f,
+        var_block,
+        var_local,
+        blocks: blocks.to_vec(),
+        g_by_block,
+        eq_by_block,
+    })
+}
+
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+/// Solve the Newton system for a given right-hand side configuration.
+///
+/// Returns `(dx, dmu)`.
+#[allow(clippy::too_many_arguments)]
+fn newton_solve(
+    prep: &Prepared,
+    block_factors: &[DenseMatrix],
+    schur_factor: &Option<DenseMatrix>,
+    block_ez: &[DenseMatrix],
+    rhs1: &[f64],
+    r_p2: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    let m_eq = prep.e.len();
+    // t = M⁻¹ rhs1, blockwise.
+    let mut t = vec![0.0; prep.n];
+    for (b, block) in prep.blocks.iter().enumerate() {
+        let local_rhs: Vec<f64> = block.iter().map(|&v| rhs1[v]).collect();
+        let local_sol = block_factors[b].cholesky_solve(&local_rhs);
+        for (local, &v) in block.iter().enumerate() {
+            t[v] = local_sol[local];
+        }
+    }
+    if m_eq == 0 {
+        return (t, Vec::new());
+    }
+    // rhs_schur = E t − r_p2
+    let mut rhs_schur = vec![0.0; m_eq];
+    for (ri, row) in prep.e.iter().enumerate() {
+        rhs_schur[ri] = row.dot(&t) - r_p2[ri];
+    }
+    let dmu = schur_factor
+        .as_ref()
+        .expect("Schur factor exists when equality rows are present")
+        .cholesky_solve(&rhs_schur);
+    // dx = M⁻¹ (rhs1 − Eᵀ dmu), blockwise, reusing the precomputed M_b⁻¹ E_bᵀ.
+    let mut dx = vec![0.0; prep.n];
+    for (b, block) in prep.blocks.iter().enumerate() {
+        let active = &prep.eq_by_block[b];
+        let ez = &block_ez[b]; // n_b × |active|: M_b⁻¹ E_bᵀ
+        for (local, &v) in block.iter().enumerate() {
+            let mut correction = 0.0;
+            for (a_pos, &eq_row) in active.iter().enumerate() {
+                correction += ez[(local, a_pos)] * dmu[eq_row];
+            }
+            dx[v] = t[v] - correction;
+        }
+    }
+    (dx, dmu)
+}
+
+fn solve_ipm(
+    problem: &LpProblem,
+    blocks: &[Vec<usize>],
+    opts: &InteriorPointOptions,
+    solver_name: &'static str,
+) -> Result<LpSolution, LpError> {
+    let prep = prepare(problem, blocks)?;
+    let n = prep.n;
+    let m_in = prep.g.len();
+    let m_eq = prep.e.len();
+
+    // Primal and dual iterates, all strictly positive where required.
+    let mut x = vec![1.0; n];
+    let mut w = vec![1.0; m_in];
+    let mut lam = vec![1.0; m_in];
+    let mut s = vec![1.0; n];
+    let mut mu_eq = vec![0.0; m_eq];
+
+    let scale = 1.0
+        + inf_norm(&prep.c)
+            .max(inf_norm(&prep.h))
+            .max(inf_norm(&prep.f));
+
+    let mut iterations = 0usize;
+    let mut status = SolveStatus::IterationLimit;
+    // Track the best iterate seen so far (by a simple merit of residuals + gap);
+    // if the path-following stalls or diverges later, return this point instead
+    // of the last iterate.
+    let mut best_x = x.clone();
+    let mut best_merit = f64::INFINITY;
+
+    for iter in 0..opts.max_iterations {
+        iterations = iter + 1;
+
+        // Residuals.
+        let mut r_p1 = vec![0.0; m_in]; // h − Gx − w
+        for (ri, row) in prep.g.iter().enumerate() {
+            r_p1[ri] = prep.h[ri] - row.dot(&x) - w[ri];
+        }
+        let mut r_p2 = vec![0.0; m_eq]; // f − Ex
+        for (ri, row) in prep.e.iter().enumerate() {
+            r_p2[ri] = prep.f[ri] - row.dot(&x);
+        }
+        // resid_dual = c + Gᵀλ + Eᵀμ − s
+        let mut resid_dual = prep.c.clone();
+        for (ri, row) in prep.g.iter().enumerate() {
+            row.axpy_into(lam[ri], &mut resid_dual);
+        }
+        for (ri, row) in prep.e.iter().enumerate() {
+            row.axpy_into(mu_eq[ri], &mut resid_dual);
+        }
+        for j in 0..n {
+            resid_dual[j] -= s[j];
+        }
+
+        let gap_terms = x.iter().zip(s.iter()).map(|(a, b)| a * b).sum::<f64>()
+            + w.iter().zip(lam.iter()).map(|(a, b)| a * b).sum::<f64>();
+        let denom = (n + m_in) as f64;
+        let mu_gap = gap_terms / denom;
+
+        let primal_err = inf_norm(&r_p1).max(inf_norm(&r_p2));
+        let dual_err = inf_norm(&resid_dual);
+        let merit = primal_err + dual_err + mu_gap;
+        if merit.is_finite() && merit < best_merit {
+            best_merit = merit;
+            best_x.copy_from_slice(&x);
+        }
+        if primal_err <= opts.tolerance * scale
+            && dual_err <= opts.tolerance * scale
+            && mu_gap <= opts.tolerance * scale
+        {
+            status = SolveStatus::Optimal;
+            break;
+        }
+        // Divergence guard: infeasible-start path following is not guaranteed to
+        // converge on problems without a strictly feasible interior.  Stop and
+        // report the iteration limit instead of looping; callers can check the
+        // returned point's feasibility (or fall back to the simplex).
+        if !mu_gap.is_finite() || mu_gap > 1e14 || primal_err > 1e14 || dual_err > 1e14 {
+            status = SolveStatus::IterationLimit;
+            break;
+        }
+
+        // Assemble and factor the block-diagonal Newton matrix
+        // M_b = G_bᵀ diag(λ/w) G_b + diag(s/x).
+        let mut block_factors = Vec::with_capacity(prep.blocks.len());
+        for (b, block) in prep.blocks.iter().enumerate() {
+            let nb = block.len();
+            let mut mb = DenseMatrix::zeros(nb, nb);
+            for &ri in &prep.g_by_block[b] {
+                let row = &prep.g[ri];
+                // Cap the barrier weights: near convergence the slack of an active
+                // constraint underflows and λ/w would overflow to infinity, which
+                // would poison the Cholesky factorization.  The cap acts as an
+                // implicit proximal regularization and does not change the limit.
+                let weight = (lam[ri] / w[ri]).min(1e10);
+                let local_idx: Vec<usize> =
+                    row.idx.iter().map(|&v| prep.var_local[v]).collect();
+                mb.add_scaled_outer_sparse(&local_idx, &row.val, weight);
+            }
+            for (local, &v) in block.iter().enumerate() {
+                mb.add_diagonal(local, (s[v] / x[v]).min(1e10));
+            }
+            mb.cholesky_in_place(opts.regularization)?;
+            block_factors.push(mb);
+        }
+
+        // Precompute M_b⁻¹ E_bᵀ and the Schur complement S = E M⁻¹ Eᵀ (+ reg I).
+        let mut block_ez = Vec::with_capacity(prep.blocks.len());
+        let mut schur_factor = None;
+        if m_eq > 0 {
+            let mut schur = DenseMatrix::zeros(m_eq, m_eq);
+            for (b, block) in prep.blocks.iter().enumerate() {
+                let nb = block.len();
+                let active = &prep.eq_by_block[b];
+                let mut ebt = DenseMatrix::zeros(nb, active.len());
+                for (a_pos, &eq_row) in active.iter().enumerate() {
+                    let row = &prep.e[eq_row];
+                    for (&v, &a) in row.idx.iter().zip(row.val.iter()) {
+                        if prep.var_block[v] == b {
+                            ebt[(prep.var_local[v], a_pos)] = a;
+                        }
+                    }
+                }
+                let z = block_factors[b].cholesky_solve_matrix(&ebt); // n_b × |active|
+                // schur[active, active] += E_b · z  (E_b = ebtᵀ)
+                for (a_pos, &eq_a) in active.iter().enumerate() {
+                    for (b_pos, &eq_b) in active.iter().enumerate() {
+                        let mut v = 0.0;
+                        for local in 0..nb {
+                            v += ebt[(local, a_pos)] * z[(local, b_pos)];
+                        }
+                        schur[(eq_a, eq_b)] += v;
+                    }
+                }
+                block_ez.push(z);
+            }
+            for i in 0..m_eq {
+                schur.add_diagonal(i, opts.regularization.max(1e-12));
+            }
+            schur.cholesky_in_place(opts.regularization)?;
+            schur_factor = Some(schur);
+        } else {
+            for block in &prep.blocks {
+                block_ez.push(DenseMatrix::zeros(block.len(), 0));
+            }
+        }
+
+        // rd3 = −resid_dual
+        let rd3: Vec<f64> = resid_dual.iter().map(|v| -v).collect();
+
+        // ---- Affine (predictor) direction: σ = 0, no corrector. ----
+        let build_rhs1 = |rc1: &[f64], rc2: &[f64]| -> Vec<f64> {
+            let mut rhs1 = rd3.clone();
+            // + Gᵀ((λ/w)·r_p1 − rc2/w)
+            for (ri, row) in prep.g.iter().enumerate() {
+                let u = (lam[ri] / w[ri]) * r_p1[ri] - rc2[ri] / w[ri];
+                row.axpy_into(u, &mut rhs1);
+            }
+            // + rc1/x
+            for j in 0..n {
+                rhs1[j] += rc1[j] / x[j];
+            }
+            rhs1
+        };
+
+        let rc1_aff: Vec<f64> = x.iter().zip(s.iter()).map(|(xi, si)| -xi * si).collect();
+        let rc2_aff: Vec<f64> = w.iter().zip(lam.iter()).map(|(wi, li)| -wi * li).collect();
+        let rhs1_aff = build_rhs1(&rc1_aff, &rc2_aff);
+        let (dx_aff, _) = newton_solve(
+            &prep,
+            &block_factors,
+            &schur_factor,
+            &block_ez,
+            &rhs1_aff,
+            &r_p2,
+        );
+        let mut dw_aff = vec![0.0; m_in];
+        let mut dlam_aff = vec![0.0; m_in];
+        for (ri, row) in prep.g.iter().enumerate() {
+            dw_aff[ri] = r_p1[ri] - row.dot(&dx_aff);
+            dlam_aff[ri] = (rc2_aff[ri] - lam[ri] * dw_aff[ri]) / w[ri];
+        }
+        let mut ds_aff = vec![0.0; n];
+        for j in 0..n {
+            ds_aff[j] = (rc1_aff[j] - s[j] * dx_aff[j]) / x[j];
+        }
+
+        let step_to_boundary = |v: &[f64], dv: &[f64]| -> f64 {
+            let mut alpha = 1.0f64;
+            for (vi, di) in v.iter().zip(dv.iter()) {
+                if *di < 0.0 {
+                    alpha = alpha.min(-vi / di);
+                }
+            }
+            alpha
+        };
+        let alpha_p_aff = step_to_boundary(&x, &dx_aff).min(step_to_boundary(&w, &dw_aff));
+        let alpha_d_aff = step_to_boundary(&s, &ds_aff).min(step_to_boundary(&lam, &dlam_aff));
+
+        // Mehrotra centering parameter.
+        let mut gap_aff = 0.0;
+        for j in 0..n {
+            gap_aff += (x[j] + alpha_p_aff * dx_aff[j]) * (s[j] + alpha_d_aff * ds_aff[j]);
+        }
+        for ri in 0..m_in {
+            gap_aff += (w[ri] + alpha_p_aff * dw_aff[ri]) * (lam[ri] + alpha_d_aff * dlam_aff[ri]);
+        }
+        let mu_aff = gap_aff / denom;
+        let sigma = if mu_gap > 0.0 {
+            ((mu_aff / mu_gap).powi(3)).clamp(1e-8, 1.0)
+        } else {
+            0.0
+        };
+
+        // ---- Corrector direction. ----
+        let rc1: Vec<f64> = (0..n)
+            .map(|j| sigma * mu_gap - x[j] * s[j] - dx_aff[j] * ds_aff[j])
+            .collect();
+        let rc2: Vec<f64> = (0..m_in)
+            .map(|ri| sigma * mu_gap - w[ri] * lam[ri] - dw_aff[ri] * dlam_aff[ri])
+            .collect();
+        let rhs1 = build_rhs1(&rc1, &rc2);
+        let (dx, dmu) = newton_solve(
+            &prep,
+            &block_factors,
+            &schur_factor,
+            &block_ez,
+            &rhs1,
+            &r_p2,
+        );
+        let mut dw = vec![0.0; m_in];
+        let mut dlam = vec![0.0; m_in];
+        for (ri, row) in prep.g.iter().enumerate() {
+            dw[ri] = r_p1[ri] - row.dot(&dx);
+            dlam[ri] = (rc2[ri] - lam[ri] * dw[ri]) / w[ri];
+        }
+        let mut ds = vec![0.0; n];
+        for j in 0..n {
+            ds[j] = (rc1[j] - s[j] * dx[j]) / x[j];
+        }
+
+        let alpha_p = (opts.step_fraction * step_to_boundary(&x, &dx).min(step_to_boundary(&w, &dw)))
+            .min(1.0);
+        let alpha_d = (opts.step_fraction
+            * step_to_boundary(&s, &ds).min(step_to_boundary(&lam, &dlam)))
+        .min(1.0);
+
+        // A tiny positive floor keeps the barrier quantities away from exact zero
+        // (which would otherwise produce 0/0 in later iterations once a variable
+        // converges to an active bound and underflows).
+        const FLOOR: f64 = 1e-30;
+        for j in 0..n {
+            x[j] = (x[j] + alpha_p * dx[j]).max(FLOOR);
+            s[j] = (s[j] + alpha_d * ds[j]).max(FLOOR);
+        }
+        for ri in 0..m_in {
+            w[ri] = (w[ri] + alpha_p * dw[ri]).max(FLOOR);
+            lam[ri] = (lam[ri] + alpha_d * dlam[ri]).max(FLOOR);
+        }
+        for (ri, d) in dmu.iter().enumerate() {
+            mu_eq[ri] += alpha_d * d;
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            // Numerical breakdown: stop and fall back to the best iterate.
+            status = SolveStatus::IterationLimit;
+            break;
+        }
+    }
+
+    let x = if status == SolveStatus::Optimal { x } else { best_x };
+    let objective = problem.objective_value(&x);
+    Ok(LpSolution {
+        status,
+        objective,
+        x,
+        iterations,
+        solver: solver_name,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimplexSolver;
+
+    fn ipm() -> InteriorPointSolver {
+        InteriorPointSolver::default()
+    }
+
+    #[test]
+    fn matches_simplex_on_small_inequality_problem() {
+        // max 3x + 5y (as min of the negation) from the simplex tests.
+        let mut p = LpProblem::new(2);
+        p.set_objective_vector(vec![-3.0, -5.0]).unwrap();
+        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 4.0).unwrap();
+        p.add_constraint(vec![(1, 2.0)], ConstraintSense::Le, 12.0).unwrap();
+        p.add_constraint(vec![(0, 3.0), (1, 2.0)], ConstraintSense::Le, 18.0).unwrap();
+        let s = ipm().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective + 36.0).abs() < 1e-5, "objective {}", s.objective);
+        assert!((s.x[0] - 2.0).abs() < 1e-4);
+        assert!((s.x[1] - 6.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn handles_equality_constraints() {
+        let mut p = LpProblem::new(2);
+        p.set_objective_vector(vec![1.0, 2.0]).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Eq, 10.0).unwrap();
+        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 3.0).unwrap();
+        let s = ipm().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 10.0).abs() < 1e-5);
+        assert!(p.is_feasible(&s.x, 1e-5));
+    }
+
+    #[test]
+    fn transportation_problem_matches_simplex() {
+        let mut p = LpProblem::new(4);
+        p.set_objective_vector(vec![1.0, 3.0, 2.0, 1.0]).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Eq, 3.0).unwrap();
+        p.add_constraint(vec![(2, 1.0), (3, 1.0)], ConstraintSense::Eq, 4.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (2, 1.0)], ConstraintSense::Eq, 2.0).unwrap();
+        p.add_constraint(vec![(1, 1.0), (3, 1.0)], ConstraintSense::Eq, 5.0).unwrap();
+        let ipm_sol = ipm().solve(&p).unwrap();
+        let spx_sol = SimplexSolver::new().solve(&p).unwrap();
+        assert_eq!(ipm_sol.status, SolveStatus::Optimal);
+        assert!((ipm_sol.objective - spx_sol.objective).abs() < 1e-5);
+        assert!(p.is_feasible(&ipm_sol.x, 1e-5));
+    }
+
+    #[test]
+    fn block_solver_matches_general_solver() {
+        // Two independent 2-variable blocks coupled by one equality.
+        // min x0 + 2x1 + 3x2 + x3
+        //  s.t. x0 + x1 ≤ 4        (block 0)
+        //       x2 + 2x3 ≤ 6       (block 1)
+        //       x0 + x2 = 3        (coupling)
+        //       x1 + x3 ≥ 1 … as −x1 − x3 ≤ −1 spans blocks, so keep it equality-free:
+        //       use x1 = 1 instead (equality, couples nothing extra).
+        let build = || {
+            let mut p = LpProblem::new(4);
+            p.set_objective_vector(vec![1.0, 2.0, 3.0, 1.0]).unwrap();
+            p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Le, 4.0).unwrap();
+            p.add_constraint(vec![(2, 1.0), (3, 2.0)], ConstraintSense::Le, 6.0).unwrap();
+            p.add_constraint(vec![(0, 1.0), (2, 1.0)], ConstraintSense::Eq, 3.0).unwrap();
+            p.add_constraint(vec![(1, 1.0)], ConstraintSense::Eq, 1.0).unwrap();
+            p
+        };
+        let p = build();
+        let general = ipm().solve(&p).unwrap();
+        let block = BlockAngularSolver::new(
+            vec![vec![0, 1], vec![2, 3]],
+            InteriorPointOptions::default(),
+        )
+        .solve(&p)
+        .unwrap();
+        let spx = SimplexSolver::new().solve(&p).unwrap();
+        assert_eq!(block.status, SolveStatus::Optimal);
+        assert!((general.objective - spx.objective).abs() < 1e-5);
+        assert!((block.objective - spx.objective).abs() < 1e-5);
+        assert!(p.is_feasible(&block.x, 1e-5));
+    }
+
+    #[test]
+    fn block_solver_rejects_spanning_inequality() {
+        let mut p = LpProblem::new(2);
+        p.set_objective_vector(vec![1.0, 1.0]).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Le, 1.0).unwrap();
+        let solver =
+            BlockAngularSolver::new(vec![vec![0], vec![1]], InteriorPointOptions::default());
+        assert!(matches!(
+            solver.solve(&p),
+            Err(LpError::ConstraintSpansBlocks { constraint: 0 })
+        ));
+    }
+
+    #[test]
+    fn block_structure_validation() {
+        let mut p = LpProblem::new(3);
+        p.set_objective_vector(vec![1.0; 3]).unwrap();
+        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 1.0).unwrap();
+        // Missing variable 2.
+        let solver =
+            BlockAngularSolver::new(vec![vec![0], vec![1]], InteriorPointOptions::default());
+        assert!(matches!(
+            solver.solve(&p),
+            Err(LpError::InvalidBlockStructure(_))
+        ));
+        // Duplicate variable.
+        let solver =
+            BlockAngularSolver::new(vec![vec![0, 1], vec![1, 2]], InteriorPointOptions::default());
+        assert!(matches!(
+            solver.solve(&p),
+            Err(LpError::InvalidBlockStructure(_))
+        ));
+    }
+
+    #[test]
+    fn empty_problem_rejected() {
+        let p = LpProblem::new(0);
+        assert!(matches!(ipm().solve(&p), Err(LpError::EmptyProblem)));
+    }
+
+    #[test]
+    fn pure_equality_problem() {
+        // min x + y s.t. x + y = 2, x − y = 0 ⇒ x = y = 1.
+        let mut p = LpProblem::new(2);
+        p.set_objective_vector(vec![1.0, 1.0]).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Eq, 2.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintSense::Eq, 0.0).unwrap();
+        let s = ipm().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.x[0] - 1.0).abs() < 1e-5);
+        assert!((s.x[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stochastic_row_problem_like_obfuscation_lp() {
+        // A miniature of the paper's LP: a 3×3 row-stochastic matrix (9 variables),
+        // minimize a cost, subject to per-column ratio constraints and row sums = 1.
+        let k = 3usize;
+        let var = |i: usize, j: usize| i * k + j;
+        let mut p = LpProblem::new(k * k);
+        // Cost: moving probability mass away from the diagonal is expensive.
+        for i in 0..k {
+            for j in 0..k {
+                let cost = (i as f64 - j as f64).abs();
+                p.set_objective(var(i, j), cost).unwrap();
+            }
+        }
+        // Row sums = 1.
+        for i in 0..k {
+            let coeffs = (0..k).map(|j| (var(i, j), 1.0)).collect();
+            p.add_constraint(coeffs, ConstraintSense::Eq, 1.0).unwrap();
+        }
+        // Geo-Ind-like ratio constraints within each column: z_ij ≤ e^(0.5)·z_lj.
+        let factor = 0.5f64.exp();
+        for j in 0..k {
+            for i in 0..k {
+                for l in 0..k {
+                    if i != l {
+                        p.add_constraint(
+                            vec![(var(i, j), 1.0), (var(l, j), -factor)],
+                            ConstraintSense::Le,
+                            0.0,
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+        }
+        let spx = SimplexSolver::new().solve(&p).unwrap();
+        let general = ipm().solve(&p).unwrap();
+        let blocks: Vec<Vec<usize>> = (0..k).map(|j| (0..k).map(|i| var(i, j)).collect()).collect();
+        let block = BlockAngularSolver::new(blocks, InteriorPointOptions::default())
+            .solve(&p)
+            .unwrap();
+        assert_eq!(spx.status, SolveStatus::Optimal);
+        assert_eq!(general.status, SolveStatus::Optimal);
+        assert_eq!(block.status, SolveStatus::Optimal);
+        assert!((general.objective - spx.objective).abs() < 1e-4,
+            "ipm {} vs simplex {}", general.objective, spx.objective);
+        assert!((block.objective - spx.objective).abs() < 1e-4,
+            "block {} vs simplex {}", block.objective, spx.objective);
+        assert!(p.is_feasible(&block.x, 1e-5));
+    }
+}

@@ -1,0 +1,61 @@
+//! Solver output types.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// An optimal solution was found within tolerance.
+    Optimal,
+    /// The problem has no feasible point.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// The iteration limit was reached before convergence; the returned point is
+    /// the best iterate found (it may be slightly infeasible).
+    IterationLimit,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Outcome of the solve.
+    pub status: SolveStatus,
+    /// Objective value at `x` (meaningful when `status` is `Optimal` or `IterationLimit`).
+    pub objective: f64,
+    /// Primal solution (length = number of variables).
+    pub x: Vec<f64>,
+    /// Number of iterations performed (simplex pivots or interior-point steps).
+    pub iterations: usize,
+    /// Name of the solver that produced this solution.
+    pub solver: &'static str,
+}
+
+impl LpSolution {
+    /// Whether the solve produced a usable (optimal) solution.
+    pub fn is_optimal(&self) -> bool {
+        self.status == SolveStatus::Optimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_flag() {
+        let s = LpSolution {
+            status: SolveStatus::Optimal,
+            objective: 1.0,
+            x: vec![1.0],
+            iterations: 3,
+            solver: "test",
+        };
+        assert!(s.is_optimal());
+        let s2 = LpSolution {
+            status: SolveStatus::Infeasible,
+            ..s
+        };
+        assert!(!s2.is_optimal());
+    }
+}

@@ -1,0 +1,179 @@
+//! Cross-solver agreement tests: the simplex method is the exact reference; the
+//! interior-point solvers must reproduce its optimal objective on random
+//! feasible, bounded problems.
+
+use corgi_lp::{
+    BlockAngularSolver, ConstraintSense, InteriorPointOptions, InteriorPointSolver, LpProblem,
+    LpSolver, SimplexSolver, SolveStatus,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Build a random LP that is guaranteed feasible (the origin plus slack is
+/// feasible because every RHS is ≥ 0 for ≤ rows) and bounded (all objective
+/// coefficients are ≥ 0.1 and variables are non-negative).
+fn random_bounded_problem(seed: u64, n: usize, m: usize) -> LpProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = LpProblem::new(n);
+    let c: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..2.0)).collect();
+    p.set_objective_vector(c).unwrap();
+    for _ in 0..m {
+        let k = rng.gen_range(1..=3.min(n));
+        let mut coeffs = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        while coeffs.len() < k {
+            let j = rng.gen_range(0..n);
+            if used.insert(j) {
+                coeffs.push((j, rng.gen_range(-1.0..2.0)));
+            }
+        }
+        // Mix of ≥ constraints (forces some mass away from zero) and ≤ caps.
+        if rng.gen_bool(0.5) {
+            // a·x ≥ b with small positive b and at least one positive coefficient
+            // keeps the problem feasible.
+            if coeffs.iter().any(|(_, a)| *a > 0.0) {
+                p.add_constraint(coeffs, ConstraintSense::Ge, rng.gen_range(0.0..1.0))
+                    .unwrap();
+            }
+        } else {
+            let coeffs: Vec<(usize, f64)> =
+                coeffs.into_iter().map(|(j, a)| (j, a.abs())).collect();
+            p.add_constraint(coeffs, ConstraintSense::Le, rng.gen_range(1.0..5.0))
+                .unwrap();
+        }
+    }
+    p
+}
+
+#[test]
+fn ipm_matches_simplex_on_many_random_problems() {
+    let mut compared = 0;
+    let mut skipped_non_optimal = 0;
+    for seed in 0..60u64 {
+        let p = random_bounded_problem(seed, 4 + (seed % 4) as usize, 5 + (seed % 6) as usize);
+        let spx = SimplexSolver::new().solve(&p).unwrap();
+        if spx.status != SolveStatus::Optimal {
+            continue; // randomly generated ≥ rows can make a problem infeasible
+        }
+        let ipm = InteriorPointSolver::default().solve(&p).unwrap();
+        if ipm.status != SolveStatus::Optimal {
+            // Path-following without a homogeneous embedding is not guaranteed on
+            // problems lacking a strictly feasible interior; it must report the
+            // failure honestly rather than return a wrong answer.
+            skipped_non_optimal += 1;
+            continue;
+        }
+        let scale = 1.0 + spx.objective.abs();
+        assert!(
+            (ipm.objective - spx.objective).abs() / scale < 1e-4,
+            "seed {seed}: ipm {} vs simplex {}",
+            ipm.objective,
+            spx.objective
+        );
+        assert!(p.is_feasible(&ipm.x, 1e-4), "seed {seed} produced infeasible x");
+        compared += 1;
+    }
+    assert!(compared > 20, "too few feasible random instances ({compared})");
+    assert!(
+        skipped_non_optimal <= 3,
+        "IPM gave up on too many instances ({skipped_non_optimal})"
+    );
+}
+
+/// Row-stochastic "obfuscation-like" problems of varying size: block solver,
+/// general IPM and simplex all agree.
+#[test]
+fn block_solver_matches_simplex_on_stochastic_matrices() {
+    for &k in &[2usize, 3, 4, 5] {
+        let var = |i: usize, j: usize| i * k + j;
+        let mut p = LpProblem::new(k * k);
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        for i in 0..k {
+            for j in 0..k {
+                let cost: f64 = (i as f64 - j as f64).abs() + rng.gen_range(0.0..0.2);
+                p.set_objective(var(i, j), cost).unwrap();
+            }
+        }
+        for i in 0..k {
+            let coeffs = (0..k).map(|j| (var(i, j), 1.0)).collect();
+            p.add_constraint(coeffs, ConstraintSense::Eq, 1.0).unwrap();
+        }
+        let factor = 0.8f64.exp();
+        for j in 0..k {
+            for i in 0..k {
+                for l in 0..k {
+                    if i != l {
+                        p.add_constraint(
+                            vec![(var(i, j), 1.0), (var(l, j), -factor)],
+                            ConstraintSense::Le,
+                            0.0,
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+        }
+        let spx = SimplexSolver::new().solve(&p).unwrap();
+        let blocks: Vec<Vec<usize>> = (0..k)
+            .map(|j| (0..k).map(|i| var(i, j)).collect())
+            .collect();
+        let block = BlockAngularSolver::new(blocks, InteriorPointOptions::default())
+            .solve(&p)
+            .unwrap();
+        assert_eq!(spx.status, SolveStatus::Optimal);
+        assert_eq!(block.status, SolveStatus::Optimal);
+        assert!(
+            (spx.objective - block.objective).abs() < 1e-4,
+            "k={k}: simplex {} vs block {}",
+            spx.objective,
+            block.objective
+        );
+        assert!(p.is_feasible(&block.x, 1e-5));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random 2-variable problems with a box and a lower-bound cut, the IPM
+    /// objective equals the simplex objective.
+    #[test]
+    fn prop_two_variable_agreement(
+        c0 in 0.1f64..3.0, c1 in 0.1f64..3.0,
+        cap in 1.0f64..6.0, lower in 0.1f64..0.9,
+    ) {
+        let mut p = LpProblem::new(2);
+        p.set_objective_vector(vec![c0, c1]).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Le, cap).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Ge, lower).unwrap();
+        let spx = SimplexSolver::new().solve(&p).unwrap();
+        let ipm = InteriorPointSolver::default().solve(&p).unwrap();
+        prop_assert_eq!(spx.status, SolveStatus::Optimal);
+        prop_assert_eq!(ipm.status, SolveStatus::Optimal);
+        prop_assert!((spx.objective - ipm.objective).abs() < 1e-5);
+    }
+
+    /// Random transportation problems (always feasible and bounded): agreement.
+    #[test]
+    fn prop_transportation_agreement(
+        s0 in 1.0f64..5.0, s1 in 1.0f64..5.0,
+        split in 0.2f64..0.8,
+        costs in proptest::collection::vec(0.1f64..4.0, 4),
+    ) {
+        let total = s0 + s1;
+        let d0 = total * split;
+        let d1 = total - d0;
+        let mut p = LpProblem::new(4); // x00 x01 x10 x11
+        p.set_objective_vector(costs).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Eq, s0).unwrap();
+        p.add_constraint(vec![(2, 1.0), (3, 1.0)], ConstraintSense::Eq, s1).unwrap();
+        p.add_constraint(vec![(0, 1.0), (2, 1.0)], ConstraintSense::Eq, d0).unwrap();
+        p.add_constraint(vec![(1, 1.0), (3, 1.0)], ConstraintSense::Eq, d1).unwrap();
+        let spx = SimplexSolver::new().solve(&p).unwrap();
+        let ipm = InteriorPointSolver::default().solve(&p).unwrap();
+        prop_assert_eq!(spx.status, SolveStatus::Optimal);
+        prop_assert_eq!(ipm.status, SolveStatus::Optimal);
+        let scale = 1.0 + spx.objective.abs();
+        prop_assert!((spx.objective - ipm.objective).abs() / scale < 1e-4);
+    }
+}

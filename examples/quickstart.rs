@@ -1,0 +1,96 @@
+//! Quickstart: obfuscate a single location with CORGI.
+//!
+//! Builds a location tree over San Francisco, generates a robust obfuscation
+//! matrix for the user's privacy-level subtree, customizes it with a simple
+//! policy, and reports an obfuscated cell.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use corgi::core::{
+    generate_robust_matrix, precision_reduction, prune_matrix, LocationTree, ObfuscationProblem,
+    Policy, Predicate, RobustConfig, SolverKind,
+};
+use corgi::datagen::{GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution};
+use corgi::framework::MetadataAttributeProvider;
+use corgi::geo::LatLng;
+use corgi::hexgrid::{HexGrid, HexGridConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The server builds the spatial index / location tree (Fig. 1, step 1).
+    let grid = HexGrid::new(HexGridConfig::san_francisco())?;
+    let tree = LocationTree::new(grid.clone());
+    println!(
+        "Location tree over San Francisco: height {}, {} leaf cells of ~{:.0} m spacing",
+        tree.height(),
+        tree.leaves().len(),
+        1000.0 * grid.leaf_spacing_km()
+    );
+
+    // 2. Priors and location labels come from (synthetic) check-in data.
+    let (dataset, _) = GowallaLikeGenerator::new(GowallaLikeConfig::default()).generate(&grid);
+    let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+    let metadata = LocationMetadata::from_dataset(&grid, &dataset, 0.9);
+
+    // 3. The user: a real location and a customization policy
+    //    <privacy_l = 1, precision_l = 0, preferences = [outlier = false, home = false]>.
+    let user_id = metadata.users_with_home()[0];
+    let real_location: LatLng = grid.cell_center(&metadata.home_of(user_id).unwrap());
+    let policy = Policy::new(
+        1,
+        0,
+        vec![Predicate::is_false("outlier"), Predicate::is_false("home")],
+    )?;
+
+    // 4. Server side: robust obfuscation matrix for the subtree of the privacy
+    //    forest that contains the user (Algorithm 1 + Algorithm 3).
+    let subtree = tree.subtree_containing_point(&real_location, policy.privacy_level)?;
+    let restricted_prior = prior
+        .restricted_to(&grid, subtree.leaves())
+        .unwrap_or_else(|| vec![1.0 / subtree.leaf_count() as f64; subtree.leaf_count()]);
+    let targets: Vec<usize> = (0..subtree.leaf_count()).collect();
+    let problem = ObfuscationProblem::new(&tree, &subtree, &restricted_prior, &targets, 15.0, true)?;
+    let robust = generate_robust_matrix(
+        &problem,
+        &RobustConfig {
+            delta: 2,
+            iterations: 5,
+            solver: SolverKind::Auto,
+        },
+    )?;
+    println!(
+        "Robust matrix over {} cells, quality loss {:.4} km",
+        robust.matrix.size(),
+        problem.quality_loss(&robust.matrix)
+    );
+
+    // 5. User side: evaluate preferences, prune, reduce precision, sample.
+    let provider = MetadataAttributeProvider::new(&grid, &metadata, user_id, real_location);
+    let real_leaf_cell = tree.leaf_containing(&real_location)?;
+    let to_prune: Vec<_> = policy
+        .cells_to_prune(&subtree, &provider)
+        .into_iter()
+        .filter(|c| *c != real_leaf_cell)
+        .collect();
+    let pruned = prune_matrix(&robust.matrix, &to_prune)?;
+    let leaf_priors: Vec<f64> = pruned
+        .cells()
+        .iter()
+        .map(|c| prior.prob_of_cell(&grid, c).max(1e-12))
+        .collect();
+    let customized = precision_reduction(&pruned, &tree, policy.precision_level, &leaf_priors)?;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let real_leaf = tree.leaf_containing(&real_location)?;
+    let reported = customized.sample(&real_leaf, &mut rng)?;
+    println!(
+        "Real cell {} at {} -> reported cell {} at {} ({} cells pruned by the policy)",
+        real_leaf,
+        grid.cell_center(&real_leaf),
+        reported,
+        grid.cell_center(&reported),
+        to_prune.len()
+    );
+    Ok(())
+}

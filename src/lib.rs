@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the CORGI public API.
+pub use corgi_core as core;
+pub use corgi_datagen as datagen;
+pub use corgi_framework as framework;
+pub use corgi_geo as geo;
+pub use corgi_graph as graph;
+pub use corgi_hexgrid as hexgrid;
+pub use corgi_lp as lp;
