@@ -128,7 +128,7 @@ mod tests {
         let t = tree();
         let cells = t.privacy_forest(1).unwrap()[0].leaves().to_vec();
         let m = ObfuscationMatrix::uniform(cells).unwrap();
-        let reduced = precision_reduction(&m, &t, 0, &vec![1.0; 7]).unwrap();
+        let reduced = precision_reduction(&m, &t, 0, &[1.0; 7]).unwrap();
         assert_eq!(reduced, m);
     }
 

@@ -61,7 +61,6 @@ mod tests {
     use corgi_hexgrid::{HexGrid, HexGridConfig};
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn cells(n: usize) -> Vec<CellId> {
         let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();

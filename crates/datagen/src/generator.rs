@@ -158,7 +158,7 @@ impl GowallaLikeGenerator {
                     let leaf = homes[&user];
                     // Nights and early mornings.
                     let hour = *[21u8, 22, 23, 0, 1, 6, 7, 8]
-                        .get(rng.gen_range(0..8))
+                        .get(rng.gen_range(0..8usize))
                         .expect("index in range");
                     (leaf, next_location_id + user * 2, hour)
                 }

@@ -600,7 +600,7 @@ fn solve_ipm(
         objective,
         x,
         iterations,
-        solver: solver_name,
+        solver: solver_name.to_string(),
     })
 }
 

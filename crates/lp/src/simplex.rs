@@ -296,7 +296,7 @@ impl LpSolver for SimplexSolver {
                         objective: f64::NAN,
                         x: vec![0.0; n],
                         iterations: total_iterations,
-                        solver: self.name(),
+                        solver: self.name().to_string(),
                     });
                 }
                 PhaseOutcome::Unbounded => {
@@ -315,7 +315,7 @@ impl LpSolver for SimplexSolver {
                     objective: f64::NAN,
                     x: vec![0.0; n],
                     iterations: total_iterations,
-                    solver: self.name(),
+                    solver: self.name().to_string(),
                 });
             }
             // Drive any artificial variables that remain basic (at zero level) out
@@ -383,7 +383,7 @@ impl LpSolver for SimplexSolver {
             objective,
             x,
             iterations: total_iterations,
-            solver: self.name(),
+            solver: self.name().to_string(),
         })
     }
 

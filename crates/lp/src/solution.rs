@@ -28,7 +28,7 @@ pub struct LpSolution {
     /// Number of iterations performed (simplex pivots or interior-point steps).
     pub iterations: usize,
     /// Name of the solver that produced this solution.
-    pub solver: &'static str,
+    pub solver: String,
 }
 
 impl LpSolution {
@@ -49,7 +49,7 @@ mod tests {
             objective: 1.0,
             x: vec![1.0],
             iterations: 3,
-            solver: "test",
+            solver: "test".to_string(),
         };
         assert!(s.is_optimal());
         let s2 = LpSolution {

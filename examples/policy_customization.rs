@@ -57,15 +57,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Two users with different customization appetites.
+    let counts_per_leaf = dataset.counts_per_leaf(&grid);
     for (user, prune_count) in [("cautious user", 2usize), ("aggressive user", 6)] {
         // Prune the most popular cells from the range (a realistic preference:
         // "do not map me onto crowded venues").
         let mut by_count: Vec<_> = subtree
             .leaves()
             .iter()
-            .map(|c| (dataset.counts_per_leaf(&grid)[grid.leaf_index(c).unwrap()], *c))
+            .map(|c| (counts_per_leaf[grid.leaf_index(c).unwrap()], *c))
             .collect();
-        by_count.sort_by(|a, b| b.0.cmp(&a.0));
+        by_count.sort_by_key(|&(count, _)| std::cmp::Reverse(count));
         let prune: Vec<_> = by_count.iter().take(prune_count).map(|(_, c)| *c).collect();
 
         println!("\n{user}: pruning {prune_count} popular cells from the obfuscation range");

@@ -1,0 +1,225 @@
+//! Offline shim of `criterion`.
+//!
+//! Implements the criterion API surface used by the CORGI benches
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros and [`black_box`]) as a
+//! plain wall-clock timing harness: each benchmark runs `sample_size` timed
+//! samples and reports min / median / max to stdout.
+//!
+//! When the binary is *not* invoked by `cargo bench` (no `--bench` flag, e.g.
+//! under `cargo test`, which runs `harness = false` bench targets in test
+//! mode) every benchmark executes exactly one iteration as a smoke test, so
+//! the test suite stays fast.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 30,
+            smoke_only: !bench_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.smoke_only {
+            println!("\n== {name} ==");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let samples = if self.smoke_only { 1 } else { self.sample_size };
+        run_one(&id.to_string(), samples, self.smoke_only, &mut f);
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let samples = if self.criterion.smoke_only {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        };
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, samples, self.criterion.smoke_only, &mut f);
+    }
+
+    /// Benchmark a closure over an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Finish the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, recording one sample per configured iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, smoke_only: bool, f: &mut F) {
+    let mut bencher = Bencher {
+        samples,
+        durations: Vec::new(),
+    };
+    f(&mut bencher);
+    if smoke_only {
+        return;
+    }
+    let mut durations = bencher.durations;
+    if durations.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    durations.sort();
+    let median = durations[durations.len() / 2];
+    println!(
+        "{label:<50} min {:>12?}  median {:>12?}  max {:>12?}  ({} samples)",
+        durations[0],
+        median,
+        durations[durations.len() - 1],
+        durations.len(),
+    );
+}
+
+/// Declare a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the `main` function of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_single_iteration() {
+        let mut c = Criterion {
+            sample_size: 30,
+            smoke_only: true,
+        };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("one", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_honors_sample_size() {
+        let mut c = Criterion {
+            sample_size: 30,
+            smoke_only: false,
+        };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &3, |b, &x| {
+            b.iter(|| runs += x)
+        });
+        group.finish();
+        assert_eq!(runs, 15);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

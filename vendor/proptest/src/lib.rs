@@ -1,0 +1,321 @@
+//! Offline shim of `proptest`.
+//!
+//! The build environment cannot fetch crates.io dependencies, so this
+//! vendored crate implements the `proptest!` DSL surface the CORGI test
+//! suites use as *seeded randomized sweeps*: every test runs a fixed number
+//! of cases (default 256, overridable with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`) with inputs drawn
+//! from the declared strategies by a deterministic per-test RNG.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence —
+//! a failing case panics with the ordinary `assert!` message. Supported
+//! strategies: numeric ranges (`lo..hi`, `lo..=hi`), tuples of strategies,
+//! and [`collection::vec`] with an exact or ranged length.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A source of random values of one type, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 S0)
+    (0 S0, 1 S1)
+    (0 S0, 1 S1, 2 S2)
+    (0 S0, 1 S1, 2 S2, 3 S3)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Lengths accepted by [`vec()`]: an exact `usize` or a `Range<usize>`.
+    pub trait IntoLenStrategy {
+        /// Draw a concrete length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoLenStrategy for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLenStrategy for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing vectors of values drawn from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Build a [`VecStrategy`] with an exact or ranged length.
+    pub fn vec<S: Strategy, L: IntoLenStrategy>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoLenStrategy> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.len.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-test RNG, seeded from the test's name.
+#[doc(hidden)]
+pub fn __seed_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random strategy draws.
+#[macro_export]
+macro_rules! proptest {
+    // With a config override as the first item.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::__seed_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut __accepted: u32 = 0;
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                // The case body runs in a closure so `prop_assume!` can reject
+                // the whole case (via `return false`) even from inside the
+                // body's own loops, matching real proptest semantics.
+                #[allow(clippy::redundant_closure_call)]
+                let __case_accepted = (move || -> bool { $body true })();
+                if __case_accepted {
+                    __accepted += 1;
+                }
+            }
+            assert!(
+                __accepted > 0 || __config.cases == 0,
+                "proptest shim: every case was rejected by prop_assume!; \
+                 the strategies never satisfy the assumption"
+            );
+        }
+    )*};
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when an assumption does not hold.
+///
+/// Expands to an early `return false` from the case closure the `proptest!`
+/// macro wraps around each body, so it rejects the whole case even when
+/// invoked inside a loop in the test body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        use crate::Strategy;
+        let mut a = crate::__seed_rng("x");
+        let mut b = crate::__seed_rng("x");
+        let s = 0.0f64..1.0;
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_lengths() {
+        use crate::Strategy;
+        let mut rng = crate::__seed_rng("lens");
+        let exact = crate::collection::vec(0usize..10, 7usize);
+        assert_eq!(exact.sample(&mut rng).len(), 7);
+        let ranged = crate::collection::vec(0usize..10, 2..5);
+        for _ in 0..64 {
+            let len = ranged.sample(&mut rng).len();
+            assert!((2..5).contains(&len));
+        }
+    }
+
+    proptest! {
+        /// The macro itself works end to end, including tuple strategies.
+        #[test]
+        fn macro_end_to_end(x in 0i64..100, pair in (0u8..7, 0.0f64..1.0)) {
+            prop_assume!(x != 13);
+            prop_assert!((0..100).contains(&x));
+            prop_assert_eq!(pair.0 as i64 + x - x, pair.0 as i64);
+            prop_assert!(pair.1 >= 0.0 && pair.1 < 1.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        /// Config override parses and bounds the number of cases.
+        #[test]
+        fn config_override_runs(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    proptest! {
+        /// `prop_assume!` inside a loop in the body rejects the whole case,
+        /// not just the current loop iteration.
+        #[test]
+        fn assume_inside_loop_rejects_whole_case(threshold in 0usize..20) {
+            for i in 0..10usize {
+                prop_assume!(i < threshold);
+            }
+            // Reaching here means no iteration fired the assume, i.e. the
+            // case had threshold >= 10. (A `continue`-based assume would let
+            // threshold < 10 cases fall through and fail this assertion.)
+            prop_assert!(threshold >= 10);
+        }
+    }
+
+    proptest! {
+        /// A universally false assumption makes the test fail loudly instead
+        /// of passing with zero effective cases.
+        #[test]
+        #[should_panic(expected = "every case was rejected")]
+        fn all_rejected_cases_panic(x in 0u32..10) {
+            prop_assume!(x > 100);
+            prop_assert!(x > 100);
+        }
+    }
+
+    #[test]
+    fn float_range_never_returns_exclusive_bound() {
+        use crate::Strategy;
+        let mut rng = crate::__seed_rng("float-bound");
+        // Adjacent f64s near 1e16 are 2.0 apart, so naive lerp can round up
+        // to exactly `high`.
+        let s = 1.0e16f64..(1.0e16 + 2.0);
+        for _ in 0..10_000 {
+            let v = s.sample(&mut rng);
+            assert!(v < 1.0e16 + 2.0, "sample hit the exclusive upper bound");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Deserialization traits mirroring serde's signatures over the [`Value`] tree.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Deserialization error constraint, mirroring `serde::de::Error`.
+pub trait Error: Sized + fmt::Debug + fmt::Display {
+    /// Build an error from any displayable message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// The concrete error type produced by [`ValueDeserializer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A source of one [`Value`], mirroring `serde::Deserializer`.
+///
+/// Real serde drives a visitor; this shim simply hands over the parsed value
+/// tree. The lifetime parameter is kept so handwritten impls are written
+/// exactly as they would be against real serde.
+pub trait Deserializer<'de>: Sized {
+    /// Error type reported by this deserializer.
+    type Error: Error;
+
+    /// Consume the deserializer, yielding the underlying value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from a [`Value`] tree, mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The only [`Deserializer`] in this workspace: a wrapped [`Value`].
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wrap a value tree.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.value)
+    }
+}
+
+/// Deserialize a `T` straight from a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer::new(value))
+}

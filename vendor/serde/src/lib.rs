@@ -1,0 +1,98 @@
+//! Offline shim of `serde` (with derive) for network-less builds.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides the serde API surface the CORGI workspace actually uses, built
+//! around a concrete JSON-like [`Value`] tree instead of serde's
+//! visitor-based data model:
+//!
+//! * [`Serialize`] — converts a value into a [`Value`] tree;
+//! * [`Deserialize`] / [`Deserializer`] — rebuilds a value from a [`Value`],
+//!   keeping serde's `impl<'de> Deserialize<'de>` signature so handwritten
+//!   impls (e.g. validated deserialization of `LatLng`) read identically to
+//!   real serde;
+//! * `#[derive(Serialize, Deserialize)]` — re-exported from the companion
+//!   `serde_derive` shim, supporting named-field structs, tuple structs and
+//!   enums with unit/newtype/tuple/struct variants (externally tagged, like
+//!   serde's default representation).
+//!
+//! The `serde_json` shim builds its text format on top of this [`Value`].
+
+#![warn(missing_docs)]
+
+// Let the `::serde::...` paths emitted by the derive macros resolve inside
+// this crate's own tests.
+extern crate self as serde;
+
+pub mod de;
+mod impls;
+mod value;
+
+pub use de::{Deserialize, Deserializer, ValueDeserializer};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Value};
+
+/// Conversion of a Rust value into a [`Value`] tree.
+///
+/// Unlike real serde this is not generic over an output format: every
+/// serializer in this workspace (only JSON) goes through [`Value`].
+pub trait Serialize {
+    /// Convert `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+#[cfg(test)]
+mod tests;
+
+/// Helpers used by `serde_derive`-generated code. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::de::{Deserialize, Error, ValueDeserializer};
+    use super::{Map, Value};
+
+    /// Remove and deserialize one named field from an object.
+    pub fn take_field<'de, T, E>(obj: &mut Map, key: &str, ty: &str) -> Result<T, E>
+    where
+        T: Deserialize<'de>,
+        E: Error,
+    {
+        let value = obj.remove(key).unwrap_or(Value::Null);
+        T::deserialize(ValueDeserializer::new(value))
+            .map_err(|e| E::custom(format_args!("{ty}.{key}: {e}")))
+    }
+
+    /// Deserialize a positional value (tuple-struct / tuple-variant field).
+    pub fn convert<'de, T, E>(value: Value, ctx: &str) -> Result<T, E>
+    where
+        T: Deserialize<'de>,
+        E: Error,
+    {
+        T::deserialize(ValueDeserializer::new(value))
+            .map_err(|e| E::custom(format_args!("{ctx}: {e}")))
+    }
+
+    /// Interpret a value as the payload array of a tuple variant.
+    pub fn tuple_payload<E: Error>(value: Value, arity: usize, ctx: &str) -> Result<Vec<Value>, E> {
+        match value {
+            Value::Array(items) if items.len() == arity => Ok(items),
+            Value::Array(items) => Err(E::custom(format_args!(
+                "{ctx}: expected {arity} elements, got {}",
+                items.len()
+            ))),
+            other => Err(E::custom(format_args!(
+                "{ctx}: expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interpret a value as the payload object of a struct variant / struct.
+    pub fn object_payload<E: Error>(value: Value, ctx: &str) -> Result<Map, E> {
+        match value {
+            Value::Object(map) => Ok(map),
+            other => Err(E::custom(format_args!(
+                "{ctx}: expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Round-trip tests of the derive macros against the Value data model.
+
+use crate::de::{from_value, DeError};
+use crate::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: Serialize + for<'de> Deserialize<'de>,
+{
+    from_value(value.to_value()).expect("round trip")
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Plain {
+    id: u32,
+    weight: f64,
+    name: String,
+    flag: bool,
+}
+
+#[test]
+fn named_struct_round_trip() {
+    let v = Plain {
+        id: 7,
+        weight: 2.5,
+        name: "cell".into(),
+        flag: true,
+    };
+    assert_eq!(round_trip(&v), v);
+    match v.to_value() {
+        Value::Object(map) => {
+            assert_eq!(map.get("id"), Some(&Value::Number(7.0)));
+            assert_eq!(map.get("flag"), Some(&Value::Bool(true)));
+        }
+        other => panic!("expected object, got {}", other.kind()),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Nested {
+    inner: Plain,
+    series: Vec<f64>,
+    maybe: Option<u8>,
+    missing: Option<u8>,
+    pairs: Vec<(u32, f64)>,
+    by_id: HashMap<u64, String>,
+}
+
+#[test]
+fn nested_struct_round_trip() {
+    let mut by_id = HashMap::new();
+    by_id.insert(3u64, "three".to_string());
+    by_id.insert(11u64, "eleven".to_string());
+    let v = Nested {
+        inner: Plain {
+            id: 1,
+            weight: -0.25,
+            name: String::new(),
+            flag: false,
+        },
+        series: vec![1.0, 2.0, 3.5],
+        maybe: Some(9),
+        missing: None,
+        pairs: vec![(1, 0.5), (2, 1.5)],
+        by_id,
+    };
+    assert_eq!(round_trip(&v), v);
+}
+
+#[test]
+fn missing_optional_field_defaults_to_none() {
+    let mut map = crate::Map::new();
+    map.insert("maybe".into(), Value::Number(4.0));
+    // `missing`, `inner`, etc. absent: Option fields become None, required
+    // fields error.
+    let err = from_value::<Nested>(Value::Object(map)).unwrap_err();
+    assert!(err.to_string().contains("inner"), "got: {err}");
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct NewtypeKm(f64);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Pair(u8, String);
+
+#[test]
+fn tuple_structs() {
+    // Newtype structs serialize transparently, like real serde.
+    assert_eq!(NewtypeKm(3.25).to_value(), Value::Number(3.25));
+    assert_eq!(round_trip(&NewtypeKm(3.25)), NewtypeKm(3.25));
+
+    let p = Pair(2, "x".into());
+    assert_eq!(
+        p.to_value(),
+        Value::Array(vec![Value::Number(2.0), Value::String("x".into())])
+    );
+    assert_eq!(round_trip(&p), p);
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Mixed {
+    Nothing,
+    One(f64),
+    Two(u8, u8),
+    Named { a: u32, b: String },
+}
+
+#[test]
+fn enum_representations() {
+    // Externally tagged, like real serde's default.
+    assert_eq!(Mixed::Nothing.to_value(), Value::String("Nothing".into()));
+    for v in [
+        Mixed::Nothing,
+        Mixed::One(1.5),
+        Mixed::Two(3, 4),
+        Mixed::Named {
+            a: 9,
+            b: "q".into(),
+        },
+    ] {
+        assert_eq!(round_trip(&v), v);
+    }
+}
+
+#[test]
+fn unknown_variant_is_an_error() {
+    let err = from_value::<Mixed>(Value::String("Bogus".into())).unwrap_err();
+    assert!(err.to_string().contains("Bogus"), "got: {err}");
+}
+
+#[test]
+fn integer_bounds_are_checked() {
+    assert!(from_value::<u8>(Value::Number(255.0)).is_ok());
+    assert!(from_value::<u8>(Value::Number(256.0)).is_err());
+    assert!(from_value::<u8>(Value::Number(1.5)).is_err());
+    assert!(from_value::<i32>(Value::Number(-5.0)).is_ok());
+    assert!(from_value::<usize>(Value::Number(-1.0)).is_err());
+}
+
+#[test]
+fn custom_error_messages_propagate() {
+    // Mirrors the handwritten LatLng impl pattern: a manual Deserialize that
+    // validates and reports through serde::de::Error::custom.
+    #[derive(Debug, PartialEq)]
+    struct Percent(f64);
+
+    impl<'de> Deserialize<'de> for Percent {
+        fn deserialize<D: crate::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let raw = f64::deserialize(d)?;
+            if (0.0..=100.0).contains(&raw) {
+                Ok(Percent(raw))
+            } else {
+                Err(crate::de::Error::custom(format!("{raw} out of range")))
+            }
+        }
+    }
+
+    assert_eq!(from_value::<Percent>(Value::Number(40.0)), Ok(Percent(40.0)));
+    let err: DeError = from_value::<Percent>(Value::Number(140.0)).unwrap_err();
+    assert!(err.to_string().contains("out of range"));
+}

@@ -1,0 +1,461 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! simplified Value-based data model of the vendored `serde` shim, without
+//! `syn`/`quote`: the derive input is parsed directly from the raw
+//! `proc_macro::TokenStream`.
+//!
+//! Supported shapes (everything the CORGI workspace uses):
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, wider ones as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit / newtype / tuple / struct variants, in serde's default
+//!   externally-tagged representation.
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally not
+//! supported; hitting one is a compile error naming this shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type `{name}` is not supported by the vendored serde_derive"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Shape::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Shape::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("serde shim: unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Shape::Enum { name, variants })
+            }
+            other => Err(format!("serde shim: expected enum body for `{name}`, got {other:?}")),
+        },
+        kw => Err(format!("serde shim: cannot derive for `{kw}` items")),
+    }
+}
+
+/// Skip any number of outer attributes (`#[...]`, including doc comments) and
+/// an optional visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `ident: Type, ...` out of a brace-delimited field list.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde shim: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde shim: expected `:` after field `{field}`, got {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advance past one type, stopping at a top-level `,` (angle-bracket aware;
+/// parenthesized / bracketed types arrive as atomic groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        arity += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde shim: expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde shim: explicit discriminant on variant `{name}` is not supported"
+            ));
+        }
+        variants.push(Variant { name, kind });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = String::new();
+            if fields.is_empty() {
+                body.push_str("let map = ::serde::Map::new();\n");
+            } else {
+                body.push_str("let mut map = ::serde::Map::new();\n");
+                for f in fields {
+                    body.push_str(&format!(
+                        "map.insert(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}));\n"
+                    ));
+                }
+            }
+            body.push_str("::serde::Value::Object(map)");
+            impl_serialize(name, &body)
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|n| format!("::serde::Serialize::to_value(&self.{n})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Array(vec![{}])", items.join(", ")),
+            )
+        }
+        Shape::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => {{\n\
+                         let mut map = ::serde::Map::new();\n\
+                         map.insert(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(f0));\n\
+                         ::serde::Value::Object(map)\n}}\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|n| format!("f{n}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Array(vec![{items}]));\n\
+                             ::serde::Value::Object(map)\n}}\n",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(::std::string::String::from({vn:?}), ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(map)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let value = ::serde::Deserializer::take_value(deserializer)?;\n\
+                 let mut obj = ::serde::__private::object_payload::<D::Error>(value, {name:?})?;\n"
+            );
+            if fields.is_empty() {
+                body = body.replace("let mut obj", "let _obj");
+            }
+            body.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&format!(
+                    "{f}: ::serde::__private::take_field(&mut obj, {f:?}, {name:?})?,\n"
+                ));
+            }
+            body.push_str("})");
+            body
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "let value = ::serde::Deserializer::take_value(deserializer)?;\n\
+             ::std::result::Result::Ok({name}(::serde::__private::convert(value, {name:?})?))"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut body = format!(
+                "let value = ::serde::Deserializer::take_value(deserializer)?;\n\
+                 let items = ::serde::__private::tuple_payload::<D::Error>(value, {arity}, {name:?})?;\n\
+                 let mut items = items.into_iter();\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for _ in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::__private::convert(items.next().unwrap(), {name:?})?,\n"
+                ));
+            }
+            body.push_str("))");
+            body
+        }
+        Shape::UnitStruct { name } => format!(
+            "let _ = ::serde::Deserializer::take_value(deserializer)?;\n\
+             ::std::result::Result::Ok({name})"
+        ),
+        Shape::Enum { name, variants } => {
+            let mut string_arms = String::new();
+            let mut object_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => string_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => object_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::__private::convert(payload, {name:?})?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let mut arm = format!(
+                            "{vn:?} => {{\n\
+                             let items = ::serde::__private::tuple_payload::<D::Error>(payload, {arity}, {name:?})?;\n\
+                             let mut items = items.into_iter();\n\
+                             ::std::result::Result::Ok({name}::{vn}(\n"
+                        );
+                        for _ in 0..*arity {
+                            arm.push_str(&format!(
+                                "::serde::__private::convert(items.next().unwrap(), {name:?})?,\n"
+                            ));
+                        }
+                        arm.push_str("))\n}\n");
+                        object_arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "{vn:?} => {{\n\
+                             let mut inner = ::serde::__private::object_payload::<D::Error>(payload, {name:?})?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: ::serde::__private::take_field(&mut inner, {f:?}, {name:?})?,\n"
+                            ));
+                        }
+                        arm.push_str("})\n}\n");
+                        object_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "let value = ::serde::Deserializer::take_value(deserializer)?;\n\
+                 match value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{string_arms}\
+                 other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(map) => {{\n\
+                 let mut entries = map.into_iter();\n\
+                 let (tag, payload) = match entries.next() {{\n\
+                 ::std::option::Option::Some(kv) => kv,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::custom(\"empty object for enum {name}\")),\n}};\n\
+                 let _ = &payload;\n\
+                 match tag.as_str() {{\n{object_arms}\
+                 other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected {name} variant, got {{}}\", other.kind()))),\n}}"
+            )
+        }
+    };
+    let name = shape_name(shape);
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::std::result::Result<Self, D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn shape_name(shape: &Shape) -> &str {
+    match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    }
+}

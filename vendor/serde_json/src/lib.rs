@@ -1,0 +1,244 @@
+//! Offline shim of `serde_json`, built on the vendored `serde` shim's
+//! [`Value`] tree: a full JSON text parser, compact and pretty printers, the
+//! [`json!`] macro, and the `to_string` / `to_value` / `from_str` entry
+//! points used by the CORGI workspace.
+
+#![warn(missing_docs)]
+
+mod parse;
+
+pub use serde::{Map, Value};
+
+use serde::de::{DeError, Deserialize, ValueDeserializer};
+use serde::Serialize;
+use std::fmt;
+
+/// Error type for JSON serialization / deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serialize to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    T::deserialize(ValueDeserializer::new(value)).map_err(Error::from)
+}
+
+/// Deserialize a typed value from a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer::new(value)).map_err(Error::from)
+}
+
+fn pretty(value: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                out.push_str(&Value::String(k.clone()).to_string());
+                out.push_str(": ");
+                pretty(v, indent + 1, out);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Build a [`Value`] from a JSON-like literal.
+///
+/// Supports `null` / `true` / `false`, array literals, single-level object
+/// literals with literal keys, and arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($element) ),* ])
+    };
+    ({ $($entries:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_object_entries!(map; $($entries)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! serialization cannot fail")
+    };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` object entries,
+/// routing nested `{...}` / `[...]` literals back through [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::json_object_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json!({ $($inner)* }));
+        $crate::json_object_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json!([ $($inner)* ]));
+        $crate::json_object_entries!($map; $($($rest)*)?);
+    };
+    ($map:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::json!($value));
+        $crate::json_object_entries!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : $value:expr) => {
+        $map.insert(::std::string::String::from($key), $crate::json!($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>(r#""hi\nthere""#).unwrap(), "hi\nthere");
+        assert!(from_str::<u8>("300").is_err());
+    }
+
+    #[test]
+    fn round_trip_nested() {
+        let text = r#"{"a": [1, 2.5, null], "b": {"c": "x"}, "d": true}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][1], Value::Number(2.5));
+        assert_eq!(v["b"]["c"], Value::String("x".into()));
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 7;
+        let v = json!({ "locations": n, "series": [1.0, 2.0], "label": "x" });
+        assert_eq!(v["locations"], Value::Number(7.0));
+        assert_eq!(v["series"][1], Value::Number(2.0));
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([1, 2]), from_str::<Value>("[1,2]").unwrap());
+    }
+
+    #[test]
+    fn index_mut_inserts() {
+        let mut v = json!({ "a": 1 });
+        v[format!("k_{}", 2)] = json!(3.5);
+        assert_eq!(v["k_2"], Value::Number(3.5));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({ "a": [1, 2], "b": { "c": "str" }, "empty": [] });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote\" backslash\\ newline\n unicode\u{1F600} control\u{01}";
+        let text = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn unicode_escape_sequences() {
+        assert_eq!(from_str::<String>("\"A\\u00e9\"").unwrap(), "A\u{e9}");
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
+            "\u{1F600}"
+        );
+        assert!(from_str::<String>("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn numbers_follow_rfc8259() {
+        for ok in ["0", "-0", "7", "-0.5", "10.25", "1e3", "1.5e-3", "2E+8"] {
+            assert!(from_str::<Value>(ok).is_ok(), "should accept {ok}");
+        }
+        for bad in ["01", "-.5", "1.", ".5", "1.e3", "1e", "1e+", "-"] {
+            assert!(from_str::<Value>(bad).is_err(), "should reject {bad}");
+        }
+    }
+}
