@@ -1,0 +1,70 @@
+//! Serving-stack benchmarks: concurrent vs serial privacy-forest generation
+//! and the cached request path.
+//!
+//! The K per-subtree LP solves of Algorithm 3 are independent, so
+//! `ForestGenerator` fans them out over a fixed-size thread pool; this bench
+//! pins the speed-up against the serial baseline (throughput is reported in
+//! subtrees per second, so the two rows are directly comparable), plus the
+//! cost of a cache hit through `CachingService`.
+
+use corgi_core::LocationTree;
+use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
+use corgi_framework::messages::MatrixRequest;
+use corgi_framework::{CachingService, ForestGenerator, MatrixService, ServerConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn generator(worker_threads: usize) -> ForestGenerator {
+    let grid = corgi_hexgrid::HexGrid::new(corgi_hexgrid::HexGridConfig::san_francisco())
+        .expect("static grid config is valid");
+    let (dataset, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+    let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+    ForestGenerator::new(
+        LocationTree::new(grid),
+        prior,
+        ServerConfig::builder()
+            .robust_iterations(2)
+            .targets_per_subtree(5)
+            .worker_threads(worker_threads)
+            .build(),
+    )
+}
+
+fn bench_forest_generation(c: &mut Criterion) {
+    let pooled = generator(0);
+    let request = MatrixRequest {
+        privacy_level: 1,
+        delta: 1,
+    };
+    let subtrees = 49u64; // level 1 of the height-3 tree
+
+    let mut group = c.benchmark_group("privacy_forest_49_subtrees");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(subtrees));
+    group.bench_function("serial", |b| {
+        b.iter(|| pooled.generate_serial(request).expect("generation"));
+    });
+    group.bench_function(format!("pooled_{}_threads", pooled.worker_threads()), |b| {
+        b.iter(|| pooled.generate(request).expect("generation"));
+    });
+    group.finish();
+}
+
+fn bench_cached_request_path(c: &mut Criterion) {
+    let service = CachingService::with_defaults(generator(0));
+    let request = MatrixRequest {
+        privacy_level: 1,
+        delta: 0,
+    };
+    service.privacy_forest(request).expect("warm the cache");
+
+    let mut group = c.benchmark_group("cached_request");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hit", |b| {
+        b.iter(|| service.privacy_forest(request).expect("cache hit"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest_generation, bench_cached_request_path);
+criterion_main!(benches);

@@ -181,6 +181,12 @@ impl ObfuscationProblem {
         &self.prior
     }
 
+    /// Indices (into [`ObfuscationProblem::cells`]) of the target locations `Q`
+    /// weighted by the quality-loss objective.
+    pub fn targets(&self) -> &[usize] {
+        &self.target_indices
+    }
+
     /// The pairwise distance matrix (km).
     pub fn distances(&self) -> &[Vec<f64>] {
         &self.distances

@@ -1,13 +1,15 @@
 //! The user-side middleware (Algorithm 4, Fig. 8).
 
 use crate::messages::{LocationReport, MatrixRequest};
-use crate::server::CorgiServer;
+use crate::service::MatrixService;
 use corgi_core::{
-    precision_reduction, prune_matrix, AttributeProvider, CorgiError, ObfuscationMatrix, Policy,
+    precision_reduction, prune_matrix, AttributeProvider, CorgiError, LocationTree,
+    ObfuscationMatrix, Policy,
 };
 use corgi_geo::LatLng;
 use corgi_hexgrid::CellId;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Everything the user-side flow produced for one location report; useful for
 /// inspection, tests and the experiment harness.
@@ -24,19 +26,30 @@ pub struct ObfuscationOutcome {
 }
 
 /// The CORGI client running on the user device (or a trusted edge server).
-pub struct CorgiClient<'a, P: AttributeProvider> {
-    server: &'a CorgiServer,
+///
+/// The client talks to any [`MatrixService`] through the trait object, so the
+/// same client code runs against a bare [`crate::ForestGenerator`], a cached
+/// stack, or an instrumented one.
+pub struct CorgiClient<P: AttributeProvider> {
+    service: Arc<dyn MatrixService>,
+    tree: Arc<LocationTree>,
     policy: Policy,
     attribute_provider: P,
 }
 
-impl<'a, P: AttributeProvider> CorgiClient<'a, P> {
-    /// Create a client bound to a server, a customization policy, and the user's
-    /// private attribute provider.
-    pub fn new(server: &'a CorgiServer, policy: Policy, attribute_provider: P) -> Result<Self, CorgiError> {
-        policy.validate_for_height(server.tree().height())?;
+impl<P: AttributeProvider> CorgiClient<P> {
+    /// Create a client bound to a serving stack, a customization policy, and the
+    /// user's private attribute provider.
+    pub fn new(
+        service: Arc<dyn MatrixService>,
+        policy: Policy,
+        attribute_provider: P,
+    ) -> Result<Self, CorgiError> {
+        let tree = service.tree();
+        policy.validate_for_height(tree.height())?;
         Ok(Self {
-            server,
+            service,
+            tree,
             policy,
             attribute_provider,
         })
@@ -60,27 +73,24 @@ impl<'a, P: AttributeProvider> CorgiClient<'a, P> {
         real_location: &LatLng,
         rng: &mut R,
     ) -> Result<ObfuscationOutcome, CorgiError> {
-        let tree = self.server.tree();
-        let real_leaf = tree.leaf_containing(real_location)?;
-        let subtree = tree.subtree_containing(&real_leaf, self.policy.privacy_level)?;
+        let real_leaf = self.tree.leaf_containing(real_location)?;
+        let subtree = self
+            .tree
+            .subtree_containing(&real_leaf, self.policy.privacy_level)?;
 
-        // Step 2: private preference evaluation.
-        let pruned_cells = self
+        // Step 2: private preference evaluation.  The paper's policies (remove
+        // home/office/outliers from the *obfuscation range*) keep the real
+        // location as a matrix row even when it matches a predicate, so the
+        // real leaf is never pruned.
+        let pruned_cells: Vec<CellId> = self
             .policy
-            .cells_to_prune(&subtree, &self.attribute_provider);
-        if pruned_cells.contains(&real_leaf) && self.policy.precision_level == 0 {
-            // Pruning one's own location would make the report undefined at leaf
-            // precision; the paper's policies (remove home/office/outliers from
-            // the *obfuscation range*) still keep the real location as a matrix
-            // row, so we keep it and only prune the others.
-        }
-        let pruned_cells: Vec<CellId> = pruned_cells
+            .cells_to_prune(&subtree, &self.attribute_provider)
             .into_iter()
             .filter(|c| *c != real_leaf)
             .collect();
 
         // Step 3: request the privacy forest (only privacy_l and |S| leave the device).
-        let response = self.server.handle_request(MatrixRequest {
+        let response = self.service.privacy_forest(MatrixRequest {
             privacy_level: self.policy.privacy_level,
             delta: pruned_cells.len(),
         })?;
@@ -90,12 +100,14 @@ impl<'a, P: AttributeProvider> CorgiClient<'a, P> {
             .matrix_for_leaf(&real_leaf)
             .ok_or(CorgiError::UnknownCell(real_leaf))?;
         let pruned = prune_matrix(&entry.matrix, &pruned_cells)?;
+        let prior = self.service.prior();
         let leaf_priors: Vec<f64> = pruned
             .cells()
             .iter()
-            .map(|c| self.server.prior().prob_of_cell(tree.grid(), c).max(1e-12))
+            .map(|c| prior.prob_of_cell(self.tree.grid(), c).max(1e-12))
             .collect();
-        let customized = precision_reduction(&pruned, &tree, self.policy.precision_level, &leaf_priors)?;
+        let customized =
+            precision_reduction(&pruned, &self.tree, self.policy.precision_level, &leaf_priors)?;
 
         // Step 5: sample from the row of the real location's ancestor at the
         // precision level.
@@ -117,16 +129,17 @@ impl<'a, P: AttributeProvider> CorgiClient<'a, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MetadataAttributeProvider, ServerConfig};
-    use corgi_core::{ComparisonOp, LocationTree, Predicate};
-    use corgi_core::{AttributeValue, Policy};
-    use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution};
+    use crate::{CachingService, ForestGenerator, MetadataAttributeProvider, ServerConfig};
+    use corgi_core::{AttributeValue, ComparisonOp, Policy, Predicate};
+    use corgi_datagen::{
+        GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution,
+    };
     use corgi_hexgrid::{HexGrid, HexGridConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     struct Setup {
-        server: CorgiServer,
+        service: Arc<dyn MatrixService>,
         grid: HexGrid,
         metadata: LocationMetadata,
         user: u32,
@@ -141,17 +154,17 @@ mod tests {
         let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
         let user = metadata.users_with_home()[0];
         let real_location = grid.cell_center(&metadata.home_of(user).unwrap());
-        let server = CorgiServer::new(
-            LocationTree::new(grid.clone()),
-            prior,
-            ServerConfig {
-                robust_iterations: 2,
-                targets_per_subtree: 5,
-                ..ServerConfig::default()
-            },
-        );
+        let service: Arc<dyn MatrixService> =
+            Arc::new(CachingService::with_defaults(ForestGenerator::new(
+                LocationTree::new(grid.clone()),
+                prior,
+                ServerConfig::builder()
+                    .robust_iterations(2)
+                    .targets_per_subtree(5)
+                    .build(),
+            )));
         Setup {
-            server,
+            service,
             grid,
             metadata,
             user,
@@ -168,13 +181,14 @@ mod tests {
         let s = setup();
         let provider =
             MetadataAttributeProvider::new(&s.grid, &s.metadata, s.user, s.real_location);
-        let client = CorgiClient::new(&s.server, policy_no_prefs(1, 0), provider).unwrap();
+        let client =
+            CorgiClient::new(Arc::clone(&s.service), policy_no_prefs(1, 0), provider).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {
             let outcome = client
                 .generate_obfuscated_location(&s.real_location, &mut rng)
                 .unwrap();
-            let tree = s.server.tree();
+            let tree = s.service.tree();
             let subtree = tree.subtree_containing(&outcome.real_leaf, 1).unwrap();
             assert!(subtree.contains(&outcome.report.reported_cell));
             assert_eq!(outcome.report.precision_level, 0);
@@ -186,7 +200,8 @@ mod tests {
         let s = setup();
         let provider =
             MetadataAttributeProvider::new(&s.grid, &s.metadata, s.user, s.real_location);
-        let client = CorgiClient::new(&s.server, policy_no_prefs(2, 1), provider).unwrap();
+        let client =
+            CorgiClient::new(Arc::clone(&s.service), policy_no_prefs(2, 1), provider).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let outcome = client
             .generate_obfuscated_location(&s.real_location, &mut rng)
@@ -210,7 +225,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let client = CorgiClient::new(&s.server, policy, provider).unwrap();
+        let client = CorgiClient::new(Arc::clone(&s.service), policy, provider).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let outcome = client
             .generate_obfuscated_location(&s.real_location, &mut rng)
@@ -239,7 +254,7 @@ mod tests {
             )],
         )
         .unwrap();
-        let client = CorgiClient::new(&s.server, policy, provider).unwrap();
+        let client = CorgiClient::new(Arc::clone(&s.service), policy, provider).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let outcome = client
             .generate_obfuscated_location(&s.real_location, &mut rng)
@@ -261,7 +276,7 @@ mod tests {
         let provider =
             MetadataAttributeProvider::new(&s.grid, &s.metadata, s.user, s.real_location);
         let policy = Policy::new(7, 0, vec![]).unwrap();
-        assert!(CorgiClient::new(&s.server, policy, provider).is_err());
+        assert!(CorgiClient::new(Arc::clone(&s.service), policy, provider).is_err());
     }
 
     #[test]
@@ -269,7 +284,8 @@ mod tests {
         let s = setup();
         let provider =
             MetadataAttributeProvider::new(&s.grid, &s.metadata, s.user, s.real_location);
-        let client = CorgiClient::new(&s.server, policy_no_prefs(1, 0), provider).unwrap();
+        let client =
+            CorgiClient::new(Arc::clone(&s.service), policy_no_prefs(1, 0), provider).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let tokyo = LatLng::new(35.67, 139.65).unwrap();
         assert!(client.generate_obfuscated_location(&tokyo, &mut rng).is_err());

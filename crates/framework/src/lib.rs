@@ -12,18 +12,65 @@
 //!   its precision and samples the obfuscated location (Algorithm 4);
 //! * **third-party location-based services**: receive only the obfuscated cell.
 //!
-//! [`CorgiServer`] and [`CorgiClient`] implement the two trusted-boundary sides;
-//! [`messages`] defines the serde-serializable wire format exchanged between
-//! them, and [`MetadataAttributeProvider`] bridges the `corgi-datagen` location
+//! # The serving stack
+//!
+//! The server side is organized around the [`MatrixService`] trait with three
+//! implementations layered by composition:
+//!
+//! | Layer | Responsibility |
+//! |---|---|
+//! | [`ForestGenerator`] | Raw compute: per-subtree LP solves fanned out over a fixed-size [`ThreadPool`] |
+//! | [`CachingService`] | Sharded, capacity-bounded LRU over `(privacy_level, δ)` keys with single-flight deduplication |
+//! | [`InstrumentedService`] | Per-request latency / error counters ([`ServiceStats`]) |
+//!
+//! A typical deployment composes all three behind a trait object:
+//!
+//! ```text
+//! Arc<dyn MatrixService> = InstrumentedService<CachingService<ForestGenerator>>
+//! ```
+//!
+//! [`CorgiClient`] implements the trusted device side against that trait
+//! object; [`messages`] defines the serde-serializable wire format — including
+//! the versioned [`messages::RequestEnvelope`] / [`messages::ResponseEnvelope`]
+//! — and [`MetadataAttributeProvider`] bridges the `corgi-datagen` location
 //! labels into the policy evaluation of `corgi-core`.
+//!
+//! # Migrating from `CorgiServer`
+//!
+//! The monolithic `CorgiServer` is deprecated and now a thin facade over the
+//! stack above. Old calls map one-to-one:
+//!
+//! ```text
+//! // old
+//! let server = CorgiServer::new(tree, prior, ServerConfig { epsilon: 15.0, ..Default::default() });
+//! let response = server.handle_request(request)?;
+//! let client = CorgiClient::new(&server, policy, provider)?;
+//!
+//! // new
+//! let config = ServerConfig::builder().epsilon(15.0).build();
+//! let service: Arc<dyn MatrixService> =
+//!     Arc::new(CachingService::with_defaults(ForestGenerator::new(tree, prior, config)));
+//! let response = service.privacy_forest(request)?;
+//! let client = CorgiClient::new(Arc::clone(&service), policy, provider)?;
+//! ```
 
 #![warn(missing_docs)]
 
 mod client;
 pub mod messages;
+mod pool;
 mod provider;
 mod server;
+mod service;
 
 pub use client::{CorgiClient, ObfuscationOutcome};
+pub use messages::{ServiceError, ServiceErrorKind};
+pub use pool::ThreadPool;
 pub use provider::MetadataAttributeProvider;
-pub use server::{CorgiServer, ServerConfig};
+#[allow(deprecated)]
+pub use server::CorgiServer;
+pub use server::{ServerConfig, ServerConfigBuilder};
+pub use service::{
+    CacheConfig, CacheStats, CachingService, ForestGenerator, InstrumentedService, MatrixService,
+    ServiceStats,
+};

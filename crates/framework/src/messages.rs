@@ -5,10 +5,18 @@
 //! will be pruned (δ), and — in the response — one obfuscation matrix per
 //! privacy-forest subtree.  Neither the user's real location nor the identity of
 //! the pruned cells ever crosses the trust boundary.
+//!
+//! Requests and responses travel inside **versioned envelopes**
+//! ([`RequestEnvelope`] / [`ResponseEnvelope`]): a [`ProtocolVersion`] lets
+//! client and server evolve independently (a major-version mismatch is refused
+//! with a structured [`ServiceError`] instead of a deserialization failure), and
+//! a caller-chosen `request_id` correlates a response with its request over any
+//! transport that reorders replies.
 
-use corgi_core::ObfuscationMatrix;
+use corgi_core::{CorgiError, ObfuscationMatrix};
 use corgi_hexgrid::CellId;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Request sent by the user device to the server (step ④ of Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,6 +54,186 @@ impl PrivacyForestResponse {
         self.entries
             .iter()
             .find(|e| e.subtree_root.is_ancestor_of(leaf))
+    }
+}
+
+/// Version of the client/server wire protocol.
+///
+/// Compatibility follows semver: envelopes are interoperable iff the major
+/// versions match; the minor version only signals additive evolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolVersion {
+    /// Incremented on breaking changes to the wire format.
+    pub major: u16,
+    /// Incremented on backwards-compatible additions.
+    pub minor: u16,
+}
+
+/// The protocol version this build of the framework speaks.
+pub const PROTOCOL_VERSION: ProtocolVersion = ProtocolVersion { major: 1, minor: 0 };
+
+impl ProtocolVersion {
+    /// Whether an envelope carrying `other` can be served by this version.
+    pub fn is_compatible_with(&self, other: &ProtocolVersion) -> bool {
+        self.major == other.major
+    }
+}
+
+impl fmt::Display for ProtocolVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+/// Versioned wrapper around a [`MatrixRequest`] (the unit actually sent on the
+/// wire).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Protocol version the client speaks.
+    pub version: ProtocolVersion,
+    /// Caller-chosen id echoed back in the response envelope.
+    pub request_id: u64,
+    /// The privacy-forest request itself.
+    pub request: MatrixRequest,
+}
+
+impl RequestEnvelope {
+    /// Wrap a request at the current [`PROTOCOL_VERSION`].
+    pub fn new(request_id: u64, request: MatrixRequest) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            request_id,
+            request,
+        }
+    }
+}
+
+/// Broad classification of a [`ServiceError`], stable across protocol minors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceErrorKind {
+    /// The envelope's major protocol version is not supported by the server.
+    UnsupportedVersion,
+    /// The request itself is malformed (e.g. a privacy level outside the tree).
+    InvalidRequest,
+    /// Matrix generation failed (LP solver or numeric failure).
+    Generation,
+    /// Any other server-side failure.
+    Internal,
+}
+
+/// A structured, serializable error reply — the wire-facing counterpart of
+/// [`corgi_core::CorgiError`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceError {
+    /// Machine-readable classification.
+    pub kind: ServiceErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Build an error of the given kind.
+    pub fn new(kind: ServiceErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// The error replied to an envelope whose major version is unsupported.
+    pub fn unsupported_version(got: ProtocolVersion) -> Self {
+        Self::new(
+            ServiceErrorKind::UnsupportedVersion,
+            format!("protocol version {got} is not compatible with {PROTOCOL_VERSION}"),
+        )
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CorgiError> for ServiceError {
+    fn from(e: CorgiError) -> Self {
+        let kind = match &e {
+            CorgiError::InvalidPolicy(_)
+            | CorgiError::InvalidEpsilon(_)
+            | CorgiError::InvalidPrior(_)
+            | CorgiError::OverPruned { .. } => ServiceErrorKind::InvalidRequest,
+            CorgiError::Solver(_) => ServiceErrorKind::Generation,
+            CorgiError::InvalidMatrix(_) | CorgiError::UnknownCell(_) | CorgiError::Grid(_) => {
+                ServiceErrorKind::Internal
+            }
+        };
+        Self::new(kind, e.to_string())
+    }
+}
+
+impl From<ServiceError> for CorgiError {
+    fn from(e: ServiceError) -> Self {
+        match e.kind {
+            ServiceErrorKind::InvalidRequest => CorgiError::InvalidPolicy(e.message),
+            ServiceErrorKind::Generation => CorgiError::Solver(e.message),
+            ServiceErrorKind::UnsupportedVersion | ServiceErrorKind::Internal => {
+                CorgiError::Grid(e.message)
+            }
+        }
+    }
+}
+
+/// Payload of a [`ResponseEnvelope`]: the forest, or a structured error.
+///
+/// The forest is held behind an `Arc` so wrapping a cached response in an
+/// envelope shares the matrices instead of deep-copying them; serialization
+/// sees through the `Arc` transparently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponsePayload {
+    /// Successful reply carrying the privacy forest.
+    Forest(std::sync::Arc<PrivacyForestResponse>),
+    /// Failure reply carrying a structured error.
+    Error(ServiceError),
+}
+
+/// Versioned wrapper around the server's reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Protocol version the server speaks.
+    pub version: ProtocolVersion,
+    /// Echo of the request envelope's id.
+    pub request_id: u64,
+    /// The reply itself.
+    pub payload: ResponsePayload,
+}
+
+impl ResponseEnvelope {
+    /// A successful reply at the current [`PROTOCOL_VERSION`].
+    pub fn forest(request_id: u64, response: std::sync::Arc<PrivacyForestResponse>) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            request_id,
+            payload: ResponsePayload::Forest(response),
+        }
+    }
+
+    /// A failure reply at the current [`PROTOCOL_VERSION`].
+    pub fn error(request_id: u64, error: ServiceError) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            request_id,
+            payload: ResponsePayload::Error(error),
+        }
+    }
+
+    /// Unwrap the payload into a `Result`.
+    pub fn into_result(self) -> Result<std::sync::Arc<PrivacyForestResponse>, ServiceError> {
+        match self.payload {
+            ResponsePayload::Forest(forest) => Ok(forest),
+            ResponsePayload::Error(error) => Err(error),
+        }
     }
 }
 
@@ -118,6 +306,56 @@ mod tests {
         // A leaf from a subtree that was not included is not found.
         let other_leaf = grid.cells_at_level(1)[5].descendant_leaves()[0];
         assert!(response.matrix_for_leaf(&other_leaf).is_none());
+    }
+
+    #[test]
+    fn envelopes_roundtrip_through_json() {
+        let envelope = RequestEnvelope::new(
+            42,
+            MatrixRequest {
+                privacy_level: 1,
+                delta: 2,
+            },
+        );
+        let json = serde_json::to_string(&envelope).unwrap();
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, envelope);
+        assert_eq!(back.version, PROTOCOL_VERSION);
+
+        let reply = ResponseEnvelope::error(
+            42,
+            ServiceError::new(ServiceErrorKind::InvalidRequest, "privacy level 9"),
+        );
+        let json = serde_json::to_string(&reply).unwrap();
+        let back: ResponseEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, reply);
+        assert_eq!(back.request_id, 42);
+        let err = back.into_result().unwrap_err();
+        assert_eq!(err.kind, ServiceErrorKind::InvalidRequest);
+    }
+
+    #[test]
+    fn version_compatibility_is_major_only() {
+        let v1_0 = ProtocolVersion { major: 1, minor: 0 };
+        let v1_3 = ProtocolVersion { major: 1, minor: 3 };
+        let v2_0 = ProtocolVersion { major: 2, minor: 0 };
+        assert!(v1_0.is_compatible_with(&v1_3));
+        assert!(v1_3.is_compatible_with(&v1_0));
+        assert!(!v1_0.is_compatible_with(&v2_0));
+        assert_eq!(v1_3.to_string(), "1.3");
+    }
+
+    #[test]
+    fn service_errors_map_to_and_from_core_errors() {
+        use corgi_core::CorgiError;
+        let e: ServiceError = CorgiError::InvalidPolicy("level 9".into()).into();
+        assert_eq!(e.kind, ServiceErrorKind::InvalidRequest);
+        let back: CorgiError = e.into();
+        assert!(matches!(back, CorgiError::InvalidPolicy(_)));
+
+        let e: ServiceError = CorgiError::Solver("infeasible".into()).into();
+        assert_eq!(e.kind, ServiceErrorKind::Generation);
+        assert!(matches!(CorgiError::from(e), CorgiError::Solver(_)));
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! A fixed-size worker thread pool for the forest-generation compute path.
+//!
+//! The K subtree problems of Algorithm 3 are embarrassingly parallel (each LP
+//! instance is independent), so [`super::ForestGenerator`] fans them out over
+//! this pool.  The implementation is deliberately plain `std::thread` +
+//! `std::sync::mpsc` — the offline build environment has no async runtime, and
+//! the workload is CPU-bound batch compute where an executor would add nothing.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing boxed jobs from a shared queue.
+///
+/// Workers survive panicking jobs (the unwind is caught at the job boundary),
+/// so one bad request can never shrink the pool of a long-lived server.
+/// [`ThreadPool::run_ordered`] re-raises a task's panic on the calling thread.
+///
+/// Dropping the pool closes the queue and joins every worker, so pending jobs
+/// finish before the drop returns.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (clamped to at least 1).
+    ///
+    /// Pass 0 to size the pool to [`std::thread::available_parallelism`].
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("corgi-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a job for execution on some worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is live until dropped")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// Run a batch of tasks across the pool and return their results in task
+    /// order.  Blocks the calling thread until every task has finished; if a
+    /// task panics, the panic is re-raised here (remaining tasks still drain
+    /// on the workers, their results are discarded).
+    pub fn run_ordered<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        let (result_tx, result_rx) = channel::<(usize, std::thread::Result<T>)>();
+        for (index, task) in tasks.into_iter().enumerate() {
+            let tx = result_tx.clone();
+            self.execute(move || {
+                // A send failure means the caller stopped listening (it bailed
+                // on an earlier task's panic); discarding the result is fine.
+                let _ = tx.send((index, catch_unwind(AssertUnwindSafe(task))));
+            });
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (index, value) = result_rx
+                .recv()
+                .expect("every submitted task sends exactly one result");
+            match value {
+                Ok(value) => slots[index] = Some(value),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("all indices filled"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv() fail and exit.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the queue lock only while popping, never while running a job.
+        let job = {
+            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match job {
+            // Contain a panicking job so the worker survives for the next one;
+            // run_ordered re-raises task panics on the submitting thread.
+            Ok(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers, so every job has run
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn run_ordered_preserves_task_order() {
+        let pool = ThreadPool::new(3);
+        let tasks: Vec<_> = (0..50)
+            .map(|i| move || i * i)
+            .collect();
+        assert_eq!(
+            pool.run_ordered(tasks),
+            (0..50).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_threads_falls_back_to_available_parallelism() {
+        let pool = ThreadPool::new(0);
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.run_ordered(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn workers_survive_panicking_jobs() {
+        let pool = ThreadPool::new(1);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_ordered(vec![|| panic!("bad subtree")])
+        }));
+        assert!(caught.is_err(), "task panic must reach the caller");
+        // The single worker survived the panic: the pool still runs batches.
+        assert_eq!(pool.run_ordered(vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = ThreadPool::new(2);
+        for round in 0..5u64 {
+            let tasks: Vec<_> = (0..8u64).map(|i| move || round + i).collect();
+            let out = pool.run_ordered(tasks);
+            assert_eq!(out, (0..8).map(|i| round + i).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,19 +1,34 @@
-//! The untrusted CORGI server (Algorithm 3).
+//! Server configuration and the deprecated [`CorgiServer`] facade.
+//!
+//! The serving stack itself lives in [`crate::service`]: compose
+//! [`ForestGenerator`] with [`CachingService`] (and optionally
+//! [`crate::InstrumentedService`]) behind an `Arc<dyn MatrixService>`.
+//! [`CorgiServer`] remains only as a thin deprecated facade over that stack so
+//! the pre-service API keeps compiling for one release.
 
-use crate::messages::{ForestEntry, MatrixRequest, PrivacyForestResponse};
-use corgi_core::{
-    generate_robust_matrix, CorgiError, LocationTree, ObfuscationProblem, RobustConfig,
-    SolverKind,
-};
+use crate::messages::{MatrixRequest, PrivacyForestResponse};
+use crate::service::{CacheConfig, CachingService, ForestGenerator, MatrixService};
+use corgi_core::{CorgiError, LocationTree, ObfuscationProblem, Subtree};
 use corgi_datagen::PriorDistribution;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Server-side configuration (set once for all users, footnote 6 of the paper).
+///
+/// Construct with [`ServerConfig::builder`] — the builder reads better than a
+/// struct literal and keeps call sites stable as fields are added:
+///
+/// ```
+/// use corgi_framework::ServerConfig;
+///
+/// let config = ServerConfig::builder()
+///     .epsilon(15.0)
+///     .robust_iterations(4)
+///     .targets_per_subtree(20)
+///     .build();
+/// assert_eq!(config.epsilon, 15.0);
+/// assert!(config.graph_approximation);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
     /// Privacy budget ε in 1/km (the paper sweeps 15–20).
@@ -25,8 +40,12 @@ pub struct ServerConfig {
     pub targets_per_subtree: usize,
     /// Whether to use the graph approximation of Section 4.2 (on by default).
     pub graph_approximation: bool,
-    /// Seed for the random selection of target locations.
+    /// Seed for the random selection of target locations (combined with the
+    /// subtree root so every subtree draws its own target set).
     pub target_seed: u64,
+    /// Worker threads solving subtree LPs in parallel; 0 sizes the pool to the
+    /// available cores.
+    pub worker_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -37,42 +56,116 @@ impl Default for ServerConfig {
             targets_per_subtree: 49,
             graph_approximation: true,
             target_seed: 7,
+            worker_threads: 0,
         }
     }
 }
 
-/// The untrusted server: owns the location tree and the public prior, and
-/// generates robust obfuscation matrices for whole privacy forests.
-///
-/// Results are cached per `(privacy_level, δ)` because the server serves many
-/// users with the same universal parameters; the cache is protected by a mutex so
-/// a server instance can be shared across threads.
-pub struct CorgiServer {
-    tree: Arc<LocationTree>,
-    prior: PriorDistribution,
-    config: ServerConfig,
-    cache: Mutex<HashMap<(u8, usize), Arc<PrivacyForestResponse>>>,
+impl ServerConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: Self::default(),
+        }
+    }
 }
 
+/// Builder for [`ServerConfig`]; every setter has the paper's default.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Privacy budget ε in 1/km.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Number of Algorithm-1 refinement iterations.
+    pub fn robust_iterations(mut self, iterations: usize) -> Self {
+        self.config.robust_iterations = iterations;
+        self
+    }
+
+    /// Number of target locations per subtree.
+    pub fn targets_per_subtree(mut self, targets: usize) -> Self {
+        self.config.targets_per_subtree = targets;
+        self
+    }
+
+    /// Enable or disable the Section-4.2 graph approximation.
+    pub fn graph_approximation(mut self, enabled: bool) -> Self {
+        self.config.graph_approximation = enabled;
+        self
+    }
+
+    /// Seed for the per-subtree target selection.
+    pub fn target_seed(mut self, seed: u64) -> Self {
+        self.config.target_seed = seed;
+        self
+    }
+
+    /// Worker threads for the per-subtree LP solves (0 = available cores).
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.config.worker_threads = threads;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ServerConfig {
+        self.config
+    }
+}
+
+/// The pre-service-layer server facade.
+///
+/// Delegates to a [`CachingService`]`<`[`ForestGenerator`]`>` internally; new
+/// code should build that stack directly (see the [`MatrixService`] docs) and
+/// hand `Arc<dyn MatrixService>` to [`crate::CorgiClient`].  Migration:
+///
+/// | old | new |
+/// |---|---|
+/// | `CorgiServer::new(tree, prior, config)` | `CachingService::with_defaults(ForestGenerator::new(tree, prior, config))` |
+/// | `server.handle_request(req)` | `service.privacy_forest(req)` |
+/// | `server.cached_forests()` | `caching_service.len()` / `cache_stats().entries` |
+/// | `CorgiClient::new(&server, …)` | `CorgiClient::new(server.service(), …)` |
+#[deprecated(
+    since = "0.1.0",
+    note = "compose ForestGenerator + CachingService behind Arc<dyn MatrixService> instead"
+)]
+pub struct CorgiServer {
+    service: Arc<CachingService<ForestGenerator>>,
+    prior: Arc<PriorDistribution>,
+}
+
+#[allow(deprecated)]
 impl CorgiServer {
     /// Create a server over a location tree with a public prior distribution.
     pub fn new(tree: LocationTree, prior: PriorDistribution, config: ServerConfig) -> Self {
+        let generator = ForestGenerator::new(tree, prior, config);
+        let prior = generator.prior();
         Self {
-            tree: Arc::new(tree),
+            service: Arc::new(CachingService::new(generator, CacheConfig::default())),
             prior,
-            config,
-            cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The serving stack behind this facade, as a trait object for
+    /// [`crate::CorgiClient`] and other new-API callers.
+    pub fn service(&self) -> Arc<dyn MatrixService> {
+        Arc::clone(&self.service) as Arc<dyn MatrixService>
     }
 
     /// The server's location tree (shared with clients in step ② of Fig. 1).
     pub fn tree(&self) -> Arc<LocationTree> {
-        Arc::clone(&self.tree)
+        self.service.tree()
     }
 
     /// The server configuration.
     pub fn config(&self) -> &ServerConfig {
-        &self.config
+        self.service.inner().config()
     }
 
     /// The public prior distribution over leaf cells.
@@ -86,18 +179,12 @@ impl CorgiServer {
         &self,
         request: MatrixRequest,
     ) -> Result<Arc<PrivacyForestResponse>, CorgiError> {
-        let key = (request.privacy_level, request.delta);
-        if let Some(cached) = self.cache.lock().get(&key) {
-            return Ok(Arc::clone(cached));
-        }
-        let response = Arc::new(self.generate_privacy_forest(request)?);
-        self.cache.lock().insert(key, Arc::clone(&response));
-        Ok(response)
+        self.service.privacy_forest(request).map_err(CorgiError::from)
     }
 
     /// Number of privacy forests currently cached.
     pub fn cached_forests(&self) -> usize {
-        self.cache.lock().len()
+        self.service.len()
     }
 
     /// Generate the privacy forest for a request without consulting the cache.
@@ -105,62 +192,18 @@ impl CorgiServer {
         &self,
         request: MatrixRequest,
     ) -> Result<PrivacyForestResponse, CorgiError> {
-        let forest = self.tree.privacy_forest(request.privacy_level)?;
-        let mut entries = Vec::with_capacity(forest.len());
-        for subtree in &forest {
-            let problem = self.problem_for_subtree(subtree)?;
-            let run = generate_robust_matrix(
-                &problem,
-                &RobustConfig {
-                    delta: request.delta,
-                    iterations: if request.delta == 0 {
-                        0
-                    } else {
-                        self.config.robust_iterations
-                    },
-                    solver: SolverKind::Auto,
-                },
-            )?;
-            entries.push(ForestEntry {
-                subtree_root: subtree.root(),
-                matrix: run.matrix,
-            });
-        }
-        Ok(PrivacyForestResponse {
-            request,
-            epsilon: self.config.epsilon,
-            entries,
-        })
+        self.service.inner().generate(request)
     }
 
     /// Build the LP instance for one subtree: restricted prior + randomly chosen
     /// target locations (the paper samples `NR_TARGET` leaf nodes as targets).
-    pub fn problem_for_subtree(
-        &self,
-        subtree: &corgi_core::Subtree,
-    ) -> Result<ObfuscationProblem, CorgiError> {
-        let leaves = subtree.leaves();
-        let prior = self
-            .prior
-            .restricted_to(self.tree.grid(), leaves)
-            .unwrap_or_else(|| vec![1.0 / leaves.len() as f64; leaves.len()]);
-        let mut rng = StdRng::seed_from_u64(self.config.target_seed);
-        let mut indices: Vec<usize> = (0..leaves.len()).collect();
-        indices.shuffle(&mut rng);
-        let n_targets = self.config.targets_per_subtree.clamp(1, leaves.len());
-        let targets: Vec<usize> = indices.into_iter().take(n_targets).collect();
-        ObfuscationProblem::new(
-            &self.tree,
-            subtree,
-            &prior,
-            &targets,
-            self.config.epsilon,
-            self.config.graph_approximation,
-        )
+    pub fn problem_for_subtree(&self, subtree: &Subtree) -> Result<ObfuscationProblem, CorgiError> {
+        self.service.inner().problem_for_subtree(subtree)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator};
@@ -175,12 +218,30 @@ mod tests {
         CorgiServer::new(
             tree,
             prior,
-            ServerConfig {
-                robust_iterations: 2,
-                targets_per_subtree: 5,
-                ..ServerConfig::default()
-            },
+            ServerConfig::builder()
+                .robust_iterations(2)
+                .targets_per_subtree(5)
+                .build(),
         )
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        assert_eq!(ServerConfig::builder().build(), ServerConfig::default());
+        let custom = ServerConfig::builder()
+            .epsilon(17.0)
+            .robust_iterations(3)
+            .targets_per_subtree(9)
+            .graph_approximation(false)
+            .target_seed(99)
+            .worker_threads(2)
+            .build();
+        assert_eq!(custom.epsilon, 17.0);
+        assert_eq!(custom.robust_iterations, 3);
+        assert_eq!(custom.targets_per_subtree, 9);
+        assert!(!custom.graph_approximation);
+        assert_eq!(custom.target_seed, 99);
+        assert_eq!(custom.worker_threads, 2);
     }
 
     #[test]

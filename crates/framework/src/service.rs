@@ -1,0 +1,776 @@
+//! The serving stack: [`MatrixService`] and its layered implementations.
+//!
+//! The paper's deployment (Section 5, Fig. 1) is one untrusted server producing
+//! privacy forests for many users, so the serving API is an abstract trait with
+//! three compositional layers:
+//!
+//! * [`ForestGenerator`] — the raw compute path of Algorithm 3; the K
+//!   independent per-subtree LP solves fan out across a fixed-size
+//!   [`ThreadPool`](crate::ThreadPool);
+//! * [`CachingService`] — a sharded, capacity-bounded LRU keyed by
+//!   `(privacy_level, δ)` with single-flight deduplication, so N concurrent
+//!   requests for the same key trigger exactly one generation;
+//! * [`InstrumentedService`] — per-request latency and error counters surfaced
+//!   as a [`ServiceStats`] snapshot.
+//!
+//! A production stack composes them inside an `Arc<dyn MatrixService>`:
+//! `InstrumentedService<CachingService<ForestGenerator>>`.
+
+use crate::messages::{
+    ForestEntry, MatrixRequest, PrivacyForestResponse, RequestEnvelope, ResponseEnvelope,
+    ServiceError, PROTOCOL_VERSION,
+};
+use crate::pool::ThreadPool;
+use crate::server::ServerConfig;
+use corgi_core::{
+    generate_robust_matrix, CorgiError, LocationTree, ObfuscationProblem, RobustConfig,
+    SolverKind, Subtree,
+};
+use corgi_datagen::PriorDistribution;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The abstract serving boundary of the CORGI server (step ④/⑤ of Fig. 1).
+///
+/// Implementations are layered by composition; callers hold the stack as an
+/// `Arc<dyn MatrixService>` and stay agnostic of caching, instrumentation or
+/// the compute path behind it.
+///
+/// ```
+/// use corgi_framework::messages::{MatrixRequest, RequestEnvelope};
+/// use corgi_framework::{CachingService, ForestGenerator, MatrixService, ServerConfig};
+/// use corgi_core::LocationTree;
+/// use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
+/// use corgi_hexgrid::{HexGrid, HexGridConfig};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = HexGrid::new(HexGridConfig::san_francisco())?;
+/// let (dataset, _) =
+///     GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+/// let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+/// let config = ServerConfig::builder().epsilon(15.0).targets_per_subtree(5).build();
+///
+/// // Compose the serving stack behind the trait object.
+/// let service: Arc<dyn MatrixService> = Arc::new(CachingService::with_defaults(
+///     ForestGenerator::new(LocationTree::new(grid), prior, config),
+/// ));
+///
+/// // Wire-level entry point: versioned envelope in, versioned envelope out.
+/// let request = MatrixRequest { privacy_level: 1, delta: 0 };
+/// let reply = service.handle_envelope(&RequestEnvelope::new(7, request));
+/// assert_eq!(reply.request_id, 7);
+/// let forest = reply.into_result()?;
+/// assert_eq!(forest.entries.len(), 49); // one matrix per level-1 subtree
+/// # Ok(())
+/// # }
+/// ```
+pub trait MatrixService: Send + Sync {
+    /// Serve a privacy-forest request (Algorithm 3).
+    ///
+    /// The response is shared (`Arc`) so caching layers can hand the same
+    /// generated forest to any number of concurrent callers.
+    fn privacy_forest(
+        &self,
+        request: MatrixRequest,
+    ) -> Result<Arc<PrivacyForestResponse>, ServiceError>;
+
+    /// The public location tree shared with clients (step ② of Fig. 1).
+    fn tree(&self) -> Arc<LocationTree>;
+
+    /// The public prior distribution over leaf cells.
+    fn prior(&self) -> Arc<PriorDistribution>;
+
+    /// Wire-level entry point: checks protocol compatibility, dispatches to
+    /// [`MatrixService::privacy_forest`] and wraps the outcome in a versioned
+    /// [`ResponseEnvelope`] echoing the request id.
+    fn handle_envelope(&self, envelope: &RequestEnvelope) -> ResponseEnvelope {
+        if !PROTOCOL_VERSION.is_compatible_with(&envelope.version) {
+            return ResponseEnvelope::error(
+                envelope.request_id,
+                ServiceError::unsupported_version(envelope.version),
+            );
+        }
+        match self.privacy_forest(envelope.request) {
+            Ok(forest) => ResponseEnvelope::forest(envelope.request_id, forest),
+            Err(error) => ResponseEnvelope::error(envelope.request_id, error),
+        }
+    }
+}
+
+impl<S: MatrixService + ?Sized> MatrixService for Arc<S> {
+    fn privacy_forest(
+        &self,
+        request: MatrixRequest,
+    ) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
+        (**self).privacy_forest(request)
+    }
+
+    fn tree(&self) -> Arc<LocationTree> {
+        (**self).tree()
+    }
+
+    fn prior(&self) -> Arc<PriorDistribution> {
+        (**self).prior()
+    }
+
+    fn handle_envelope(&self, envelope: &RequestEnvelope) -> ResponseEnvelope {
+        (**self).handle_envelope(envelope)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ForestGenerator — the raw compute path
+// ---------------------------------------------------------------------------
+
+/// The raw compute path of Algorithm 3: owns the location tree, the public
+/// prior and the server configuration, and generates one robust matrix per
+/// subtree of the requested privacy forest.
+///
+/// The K subtree LPs are independent, so they fan out across a fixed-size
+/// worker pool sized by [`ServerConfig::worker_threads`] (0 = one worker per
+/// available core).  Generation is deterministic: the per-subtree target seed
+/// is derived from `target_seed ^ subtree_root`, so the same configuration
+/// yields bit-identical forests on any pool size, including the serial path.
+pub struct ForestGenerator {
+    tree: Arc<LocationTree>,
+    prior: Arc<PriorDistribution>,
+    config: ServerConfig,
+    pool: ThreadPool,
+}
+
+impl ForestGenerator {
+    /// Create a generator over a location tree with a public prior distribution.
+    pub fn new(tree: LocationTree, prior: PriorDistribution, config: ServerConfig) -> Self {
+        Self {
+            pool: ThreadPool::new(config.worker_threads),
+            tree: Arc::new(tree),
+            prior: Arc::new(prior),
+            config,
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Number of worker threads solving subtree LPs.
+    pub fn worker_threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Generate the privacy forest for a request, fanning the per-subtree LP
+    /// solves out across the worker pool.
+    pub fn generate(&self, request: MatrixRequest) -> Result<PrivacyForestResponse, CorgiError> {
+        let forest = self.tree.privacy_forest(request.privacy_level)?;
+        let tasks: Vec<_> = forest
+            .into_iter()
+            .map(|subtree| {
+                let tree = Arc::clone(&self.tree);
+                let prior = Arc::clone(&self.prior);
+                let config = self.config;
+                move || solve_subtree(&tree, &prior, &config, &subtree, request)
+            })
+            .collect();
+        let entries = self
+            .pool
+            .run_ordered(tasks)
+            .into_iter()
+            .collect::<Result<Vec<ForestEntry>, CorgiError>>()?;
+        Ok(PrivacyForestResponse {
+            request,
+            epsilon: self.config.epsilon,
+            entries,
+        })
+    }
+
+    /// Generate the privacy forest on the calling thread, one subtree at a
+    /// time.  Produces bit-identical output to [`ForestGenerator::generate`];
+    /// kept as the baseline for the concurrent-vs-serial benchmark.
+    pub fn generate_serial(
+        &self,
+        request: MatrixRequest,
+    ) -> Result<PrivacyForestResponse, CorgiError> {
+        let forest = self.tree.privacy_forest(request.privacy_level)?;
+        let entries = forest
+            .iter()
+            .map(|subtree| solve_subtree(&self.tree, &self.prior, &self.config, subtree, request))
+            .collect::<Result<Vec<ForestEntry>, CorgiError>>()?;
+        Ok(PrivacyForestResponse {
+            request,
+            epsilon: self.config.epsilon,
+            entries,
+        })
+    }
+
+    /// Build the LP instance for one subtree: restricted prior + randomly chosen
+    /// target locations (the paper samples `NR_TARGET` leaf nodes as targets).
+    ///
+    /// The shuffle seed is derived from `target_seed ^ subtree_root`, so
+    /// distinct subtrees pick distinct target index sets while the whole forest
+    /// stays deterministic.
+    pub fn problem_for_subtree(&self, subtree: &Subtree) -> Result<ObfuscationProblem, CorgiError> {
+        problem_for_subtree(&self.tree, &self.prior, &self.config, subtree)
+    }
+}
+
+impl MatrixService for ForestGenerator {
+    fn privacy_forest(
+        &self,
+        request: MatrixRequest,
+    ) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
+        Ok(Arc::new(self.generate(request)?))
+    }
+
+    fn tree(&self) -> Arc<LocationTree> {
+        Arc::clone(&self.tree)
+    }
+
+    fn prior(&self) -> Arc<PriorDistribution> {
+        Arc::clone(&self.prior)
+    }
+}
+
+fn solve_subtree(
+    tree: &LocationTree,
+    prior: &PriorDistribution,
+    config: &ServerConfig,
+    subtree: &Subtree,
+    request: MatrixRequest,
+) -> Result<ForestEntry, CorgiError> {
+    let problem = problem_for_subtree(tree, prior, config, subtree)?;
+    let run = generate_robust_matrix(
+        &problem,
+        &RobustConfig {
+            delta: request.delta,
+            iterations: if request.delta == 0 {
+                0
+            } else {
+                config.robust_iterations
+            },
+            solver: SolverKind::Auto,
+        },
+    )?;
+    Ok(ForestEntry {
+        subtree_root: subtree.root(),
+        matrix: run.matrix,
+    })
+}
+
+fn problem_for_subtree(
+    tree: &LocationTree,
+    prior: &PriorDistribution,
+    config: &ServerConfig,
+    subtree: &Subtree,
+) -> Result<ObfuscationProblem, CorgiError> {
+    let leaves = subtree.leaves();
+    let restricted = prior
+        .restricted_to(tree.grid(), leaves)
+        .unwrap_or_else(|| vec![1.0 / leaves.len() as f64; leaves.len()]);
+    // XOR-ing in the packed root makes the seed unique per subtree; the old
+    // shared seed made all same-sized subtrees pick identical target index sets.
+    let mut rng = StdRng::seed_from_u64(config.target_seed ^ subtree.root().pack());
+    let mut indices: Vec<usize> = (0..leaves.len()).collect();
+    indices.shuffle(&mut rng);
+    let n_targets = config.targets_per_subtree.clamp(1, leaves.len());
+    let targets: Vec<usize> = indices.into_iter().take(n_targets).collect();
+    ObfuscationProblem::new(
+        tree,
+        subtree,
+        &restricted,
+        &targets,
+        config.epsilon,
+        config.graph_approximation,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// CachingService — sharded bounded LRU + single-flight
+// ---------------------------------------------------------------------------
+
+type CacheKey = (u8, usize);
+
+/// Configuration of a [`CachingService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of cached forests across all shards (≥ 1); the capacity
+    /// is split exactly over the shards, so total residency never exceeds it.
+    pub capacity: usize,
+    /// Number of independent shards the key space is hashed over (≥ 1; clamped
+    /// to `capacity` so no shard ends up with zero slots).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 64,
+            shards: 8,
+        }
+    }
+}
+
+/// Counters describing cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to generate (or wait for) a fresh forest.
+    pub misses: u64,
+    /// Misses that piggybacked on an identical in-flight generation.
+    pub coalesced: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct CacheShard {
+    entries: HashMap<CacheKey, (Arc<PrivacyForestResponse>, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+/// State of one in-flight generation, shared between the leader computing it
+/// and any followers waiting for the same key.
+struct Flight {
+    slot: Mutex<Option<Result<Arc<PrivacyForestResponse>, ServiceError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<Arc<PrivacyForestResponse>, ServiceError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self
+                .done
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A sharded, capacity-bounded LRU cache over `(privacy_level, δ)` keys with
+/// single-flight deduplication.
+///
+/// * **Sharding** — keys hash onto independent shards so concurrent requests
+///   for different keys never contend on one lock.
+/// * **Bounded** — the capacity is split exactly across the shards (remainder
+///   slots go to the first shards); each shard evicts its least-recently-used
+///   entry beyond its share, so total residency never exceeds the capacity.
+/// * **Single-flight** — concurrent requests for the same uncached key elect
+///   one leader to run the inner generation; followers block on the shared
+///   flight record and receive the *same* `Arc` the leader produced.  Errors
+///   are delivered to all waiters but never cached.
+pub struct CachingService<S> {
+    inner: S,
+    shards: Vec<Mutex<CacheShard>>,
+    inflight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<S: MatrixService> CachingService<S> {
+    /// Wrap a service in a bounded cache.
+    pub fn new(inner: S, config: CacheConfig) -> Self {
+        let capacity = config.capacity.max(1);
+        let shards = config.shards.clamp(1, capacity);
+        let (base, remainder) = (capacity / shards, capacity % shards);
+        Self {
+            inner,
+            shards: (0..shards)
+                .map(|i| {
+                    Mutex::new(CacheShard {
+                        entries: HashMap::new(),
+                        tick: 0,
+                        capacity: base + usize::from(i < remainder),
+                    })
+                })
+                .collect(),
+            inflight: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Wrap a service with the default [`CacheConfig`].
+    pub fn with_defaults(inner: S) -> Self {
+        Self::new(inner, CacheConfig::default())
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Number of forests currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).entries.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no forests.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<CacheShard> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    fn cache_get(&self, key: &CacheKey) -> Option<Arc<PrivacyForestResponse>> {
+        let mut shard = self.shard_for(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        let (response, last_used) = shard.entries.get_mut(key)?;
+        *last_used = tick;
+        Some(Arc::clone(response))
+    }
+
+    fn cache_insert(&self, key: CacheKey, response: Arc<PrivacyForestResponse>) {
+        let mut shard = self.shard_for(&key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.entries.insert(key, (response, tick));
+        while shard.entries.len() > shard.capacity {
+            let lru = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+                .expect("non-empty shard has an LRU entry");
+            shard.entries.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<S: MatrixService> MatrixService for CachingService<S> {
+    fn privacy_forest(
+        &self,
+        request: MatrixRequest,
+    ) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
+        let key = (request.privacy_level, request.delta);
+        if let Some(hit) = self.cache_get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+
+        // Join or start the single flight for this key.
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match inflight.get(&key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    // Re-check the cache under the in-flight lock: a leader may
+                    // have published and retired its flight between our miss
+                    // above and now; electing a second leader here would redo
+                    // the whole generation and break the Arc-sharing guarantee.
+                    if let Some(hit) = self.cache_get(&key) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(hit);
+                    }
+                    let flight = Arc::new(Flight::new());
+                    inflight.insert(key, Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if !leader {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return flight.wait();
+        }
+
+        let result = self.inner.privacy_forest(request);
+        if let Ok(response) = &result {
+            // Publish to the cache *before* retiring the flight so late callers
+            // always find either the cache entry or the in-flight generation.
+            self.cache_insert(key, Arc::clone(response));
+        }
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key);
+        flight.complete(result.clone());
+        result
+    }
+
+    fn tree(&self) -> Arc<LocationTree> {
+        self.inner.tree()
+    }
+
+    fn prior(&self) -> Arc<PriorDistribution> {
+        self.inner.prior()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// InstrumentedService — per-request latency / error counters
+// ---------------------------------------------------------------------------
+
+/// A point-in-time snapshot of an [`InstrumentedService`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Total requests served (successes and failures).
+    pub requests: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Cumulative latency across all requests.
+    pub total_latency: Duration,
+    /// Latency of the slowest request seen.
+    pub max_latency: Duration,
+}
+
+impl ServiceStats {
+    /// Mean per-request latency (zero when no requests were served).
+    pub fn mean_latency(&self) -> Duration {
+        if self.requests == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / u32::try_from(self.requests).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// Decorates any [`MatrixService`] with request, error and latency counters.
+pub struct InstrumentedService<S> {
+    inner: S,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_latency_nanos: AtomicU64,
+    max_latency_nanos: AtomicU64,
+}
+
+impl<S: MatrixService> InstrumentedService<S> {
+    /// Wrap a service with fresh counters.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            total_latency_nanos: AtomicU64::new(0),
+            max_latency_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// A point-in-time snapshot of the counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            total_latency: Duration::from_nanos(self.total_latency_nanos.load(Ordering::Relaxed)),
+            max_latency: Duration::from_nanos(self.max_latency_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl<S: MatrixService> MatrixService for InstrumentedService<S> {
+    fn privacy_forest(
+        &self,
+        request: MatrixRequest,
+    ) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
+        let start = Instant::now();
+        let result = self.inner.privacy_forest(request);
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if result.is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_latency_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_latency_nanos.fetch_max(nanos, Ordering::Relaxed);
+        result
+    }
+
+    fn tree(&self) -> Arc<LocationTree> {
+        self.inner.tree()
+    }
+
+    fn prior(&self) -> Arc<PriorDistribution> {
+        self.inner.prior()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator};
+    use corgi_hexgrid::{HexGrid, HexGridConfig};
+
+    fn generator() -> ForestGenerator {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let (dataset, _) =
+            GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+        let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+        let config = ServerConfig::builder()
+            .robust_iterations(2)
+            .targets_per_subtree(5)
+            .worker_threads(3)
+            .build();
+        ForestGenerator::new(LocationTree::new(grid), prior, config)
+    }
+
+    fn request(privacy_level: u8, delta: usize) -> MatrixRequest {
+        MatrixRequest {
+            privacy_level,
+            delta,
+        }
+    }
+
+    #[test]
+    fn pooled_and_serial_paths_agree_exactly() {
+        let generator = generator();
+        let pooled = generator.generate(request(1, 1)).unwrap();
+        let serial = generator.generate_serial(request(1, 1)).unwrap();
+        assert_eq!(pooled, serial, "pool size must not change the output");
+        assert_eq!(pooled.entries.len(), 49);
+    }
+
+    #[test]
+    fn same_sized_subtrees_get_distinct_targets() {
+        // Regression: the old server seeded every shuffle with the same
+        // target_seed, so all same-sized subtrees picked identical target sets.
+        let generator = generator();
+        let forest = generator.tree().privacy_forest(1).unwrap();
+        let a = generator.problem_for_subtree(&forest[0]).unwrap();
+        let b = generator.problem_for_subtree(&forest[1]).unwrap();
+        assert_eq!(a.targets().len(), b.targets().len());
+        assert_ne!(
+            a.targets(),
+            b.targets(),
+            "distinct subtrees must draw distinct target index sets"
+        );
+        // Determinism: the same subtree always gets the same targets.
+        let a_again = generator.problem_for_subtree(&forest[0]).unwrap();
+        assert_eq!(a.targets(), a_again.targets());
+    }
+
+    #[test]
+    fn caching_service_hits_and_shares_responses() {
+        let service = CachingService::with_defaults(generator());
+        let a = service.privacy_forest(request(1, 0)).unwrap();
+        let b = service.privacy_forest(request(1, 0)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_beyond_capacity() {
+        let service = CachingService::new(
+            generator(),
+            CacheConfig {
+                capacity: 2,
+                shards: 1,
+            },
+        );
+        let first = service.privacy_forest(request(1, 0)).unwrap();
+        service.privacy_forest(request(1, 1)).unwrap();
+        // Touch the first key so (1, 1) is the LRU when the third key lands.
+        assert!(Arc::ptr_eq(
+            &first,
+            &service.privacy_forest(request(1, 0)).unwrap()
+        ));
+        service.privacy_forest(request(1, 2)).unwrap();
+        let stats = service.cache_stats();
+        assert_eq!(stats.entries, 2, "capacity bound must hold");
+        assert_eq!(stats.evictions, 1);
+        // The touched key survived; the untouched one was evicted.
+        assert!(Arc::ptr_eq(
+            &first,
+            &service.privacy_forest(request(1, 0)).unwrap()
+        ));
+        assert_eq!(service.cache_stats().misses, 3);
+    }
+
+    #[test]
+    fn errors_propagate_and_are_not_cached() {
+        let service = CachingService::with_defaults(generator());
+        let err = service.privacy_forest(request(9, 0)).unwrap_err();
+        assert_eq!(err.kind, crate::messages::ServiceErrorKind::InvalidRequest);
+        assert_eq!(service.cache_stats().entries, 0);
+        // A second attempt re-runs the inner service (the error was not cached).
+        service.privacy_forest(request(9, 0)).unwrap_err();
+        assert_eq!(service.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn instrumented_service_counts_requests_and_errors() {
+        let service = InstrumentedService::new(generator());
+        service.privacy_forest(request(1, 0)).unwrap();
+        service.privacy_forest(request(9, 0)).unwrap_err();
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.errors, 1);
+        assert!(stats.total_latency > Duration::ZERO);
+        assert!(stats.max_latency <= stats.total_latency);
+        assert!(stats.mean_latency() <= stats.max_latency);
+    }
+
+    #[test]
+    fn envelope_round_trip_through_the_stack() {
+        let service: Arc<dyn MatrixService> =
+            Arc::new(CachingService::with_defaults(generator()));
+        let reply = service.handle_envelope(&RequestEnvelope::new(11, request(1, 0)));
+        assert_eq!(reply.request_id, 11);
+        assert_eq!(reply.into_result().unwrap().entries.len(), 49);
+
+        // A future major version is refused with a structured error.
+        let mut envelope = RequestEnvelope::new(12, request(1, 0));
+        envelope.version.major += 1;
+        let reply = service.handle_envelope(&envelope);
+        let err = reply.into_result().unwrap_err();
+        assert_eq!(
+            err.kind,
+            crate::messages::ServiceErrorKind::UnsupportedVersion
+        );
+    }
+}

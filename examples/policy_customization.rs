@@ -5,15 +5,19 @@
 //! same obfuscation range; the δ-prunable CORGI matrix keeps (almost) all of its
 //! ε-Geo-Ind guarantees after pruning while the non-robust matrix does not.
 //!
+//! The robust matrices come through the serving stack (`Arc<dyn MatrixService>`):
+//! the server generates the whole privacy forest without learning which subtree
+//! the users are in, and the example picks their subtree's entry client-side.
+//!
 //! Run with: `cargo run --release --example policy_customization`
 
-use corgi::core::{
-    generate_nonrobust_matrix, generate_robust_matrix, geoind, prune_matrix, LocationTree,
-    ObfuscationProblem, RobustConfig, SolverKind,
-};
+use corgi::core::{generate_nonrobust_matrix, geoind, prune_matrix, LocationTree, SolverKind};
 use corgi::datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
+use corgi::framework::messages::MatrixRequest;
+use corgi::framework::{CachingService, ForestGenerator, MatrixService, ServerConfig};
 use corgi::geo::LatLng;
 use corgi::hexgrid::{HexGrid, HexGridConfig};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A dense downtown grid (finer cells than the default SF grid) so the
@@ -33,27 +37,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The obfuscation range: one privacy-level-2 subtree (49 cells).
     let subtree = tree.privacy_forest(2)?[0].clone();
-    let restricted = prior
-        .restricted_to(&grid, subtree.leaves())
-        .unwrap_or_else(|| vec![1.0 / 49.0; 49]);
-    let targets: Vec<usize> = (0..49).step_by(2).collect();
     let epsilon = 15.0;
-    let problem = ObfuscationProblem::new(&tree, &subtree, &restricted, &targets, epsilon, true)?;
-
     let delta = 4;
+
+    // Server-side compute path; the same LP instance backs both matrices.
+    let config = ServerConfig::builder()
+        .epsilon(epsilon)
+        .robust_iterations(6)
+        .targets_per_subtree(25)
+        .build();
+    let generator = ForestGenerator::new(tree, prior, config);
+    let problem = generator.problem_for_subtree(&subtree)?;
     let nonrobust = generate_nonrobust_matrix(&problem, SolverKind::Auto)?;
-    let robust = generate_robust_matrix(
-        &problem,
-        &RobustConfig {
-            delta,
-            iterations: 6,
-            solver: SolverKind::Auto,
-        },
-    )?;
+
+    // The robust matrix arrives through the serving trait: request the whole
+    // level-2 privacy forest and select the users' subtree locally.
+    let service: Arc<dyn MatrixService> = Arc::new(CachingService::with_defaults(generator));
+    let response = service.privacy_forest(MatrixRequest {
+        privacy_level: 2,
+        delta,
+    })?;
+    let robust = &response
+        .entries
+        .iter()
+        .find(|e| e.subtree_root == subtree.root())
+        .expect("the forest covers every level-2 subtree")
+        .matrix;
     println!(
         "Quality loss: non-robust {:.4} km, delta-prunable CORGI (delta = {delta}) {:.4} km",
         problem.quality_loss(&nonrobust),
-        problem.quality_loss(&robust.matrix),
+        problem.quality_loss(robust),
     );
 
     // Two users with different customization appetites.
@@ -70,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let prune: Vec<_> = by_count.iter().take(prune_count).map(|(_, c)| *c).collect();
 
         println!("\n{user}: pruning {prune_count} popular cells from the obfuscation range");
-        for (name, matrix) in [("non-robust", &nonrobust), ("CORGI", &robust.matrix)] {
+        for (name, matrix) in [("non-robust", &nonrobust), ("CORGI", robust)] {
             let pruned = prune_matrix(matrix, &prune)?;
             let survivors: Vec<usize> = problem
                 .cells()

@@ -1,21 +1,24 @@
 //! Quickstart: obfuscate a single location with CORGI.
 //!
-//! Builds a location tree over San Francisco, generates a robust obfuscation
-//! matrix for the user's privacy-level subtree, customizes it with a simple
-//! policy, and reports an obfuscated cell.
+//! Builds a location tree over San Francisco, composes the serving stack
+//! (`InstrumentedService<CachingService<ForestGenerator>>`) behind an
+//! `Arc<dyn MatrixService>`, and runs the trusted client flow (Algorithm 4):
+//! policy evaluation → privacy-forest request → prune → precision-reduce →
+//! sample an obfuscated cell.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use corgi::core::{
-    generate_robust_matrix, precision_reduction, prune_matrix, LocationTree, ObfuscationProblem,
-    Policy, Predicate, RobustConfig, SolverKind,
-};
+use corgi::core::{LocationTree, Policy, Predicate};
 use corgi::datagen::{GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution};
-use corgi::framework::MetadataAttributeProvider;
+use corgi::framework::{
+    CachingService, CorgiClient, ForestGenerator, InstrumentedService, MatrixService,
+    MetadataAttributeProvider, ServerConfig,
+};
 use corgi::geo::LatLng;
 use corgi::hexgrid::{HexGrid, HexGridConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The server builds the spatial index / location tree (Fig. 1, step 1).
@@ -33,7 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
     let metadata = LocationMetadata::from_dataset(&grid, &dataset, 0.9);
 
-    // 3. The user: a real location and a customization policy
+    // 3. The untrusted server: the raw Algorithm-3 compute path wrapped in a
+    //    bounded cache and request instrumentation, behind the service trait.
+    let config = ServerConfig::builder()
+        .epsilon(15.0)
+        .robust_iterations(5)
+        .targets_per_subtree(20)
+        .build();
+    let service: Arc<dyn MatrixService> = Arc::new(InstrumentedService::new(
+        CachingService::with_defaults(ForestGenerator::new(tree, prior, config)),
+    ));
+
+    // 4. The user: a real location and a customization policy
     //    <privacy_l = 1, precision_l = 0, preferences = [outlier = false, home = false]>.
     let user_id = metadata.users_with_home()[0];
     let real_location: LatLng = grid.cell_center(&metadata.home_of(user_id).unwrap());
@@ -42,55 +56,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0,
         vec![Predicate::is_false("outlier"), Predicate::is_false("home")],
     )?;
-
-    // 4. Server side: robust obfuscation matrix for the subtree of the privacy
-    //    forest that contains the user (Algorithm 1 + Algorithm 3).
-    let subtree = tree.subtree_containing_point(&real_location, policy.privacy_level)?;
-    let restricted_prior = prior
-        .restricted_to(&grid, subtree.leaves())
-        .unwrap_or_else(|| vec![1.0 / subtree.leaf_count() as f64; subtree.leaf_count()]);
-    let targets: Vec<usize> = (0..subtree.leaf_count()).collect();
-    let problem = ObfuscationProblem::new(&tree, &subtree, &restricted_prior, &targets, 15.0, true)?;
-    let robust = generate_robust_matrix(
-        &problem,
-        &RobustConfig {
-            delta: 2,
-            iterations: 5,
-            solver: SolverKind::Auto,
-        },
-    )?;
-    println!(
-        "Robust matrix over {} cells, quality loss {:.4} km",
-        robust.matrix.size(),
-        problem.quality_loss(&robust.matrix)
-    );
-
-    // 5. User side: evaluate preferences, prune, reduce precision, sample.
     let provider = MetadataAttributeProvider::new(&grid, &metadata, user_id, real_location);
-    let real_leaf_cell = tree.leaf_containing(&real_location)?;
-    let to_prune: Vec<_> = policy
-        .cells_to_prune(&subtree, &provider)
-        .into_iter()
-        .filter(|c| *c != real_leaf_cell)
-        .collect();
-    let pruned = prune_matrix(&robust.matrix, &to_prune)?;
-    let leaf_priors: Vec<f64> = pruned
-        .cells()
-        .iter()
-        .map(|c| prior.prob_of_cell(&grid, c).max(1e-12))
-        .collect();
-    let customized = precision_reduction(&pruned, &tree, policy.precision_level, &leaf_priors)?;
+    let client = CorgiClient::new(Arc::clone(&service), policy, provider)?;
 
+    // 5. Algorithm 4 end to end: the server sees only (privacy_l, |S|); the
+    //    matrix selection, pruning and sampling stay on the device.
     let mut rng = StdRng::seed_from_u64(7);
-    let real_leaf = tree.leaf_containing(&real_location)?;
-    let reported = customized.sample(&real_leaf, &mut rng)?;
+    let outcome = client.generate_obfuscated_location(&real_location, &mut rng)?;
     println!(
         "Real cell {} at {} -> reported cell {} at {} ({} cells pruned by the policy)",
-        real_leaf,
-        grid.cell_center(&real_leaf),
-        reported,
-        grid.cell_center(&reported),
-        to_prune.len()
+        outcome.real_leaf,
+        grid.cell_center(&outcome.real_leaf),
+        outcome.report.reported_cell,
+        grid.cell_center(&outcome.report.reported_cell),
+        outcome.pruned_cells.len()
+    );
+
+    // A second report with the same policy hits the server-side cache.
+    let again = client.generate_obfuscated_location(&real_location, &mut rng)?;
+    println!(
+        "Second report (cache hit on the server): {}",
+        again.report.reported_cell
     );
     Ok(())
 }

@@ -2,18 +2,22 @@
 //!
 //! A rider wants a car dispatched close to their true position without
 //! revealing it.  The example runs the full client/server flow end to end for
-//! several riders, then compares the pickup estimation error (utility, Eq. 3)
-//! and the Bayesian adversary's inference error (privacy) of CORGI against the
-//! planar-Laplace baseline.
+//! several riders through the instrumented serving stack, then compares the
+//! pickup estimation error (utility, Eq. 3) and the Bayesian adversary's
+//! inference error (privacy) of CORGI against the planar-Laplace baseline.
 //!
 //! Run with: `cargo run --release --example rideshare_pickup`
 
 use corgi::core::{adversary, laplace::PlanarLaplace, utility, LocationTree, Policy, Predicate};
 use corgi::datagen::{GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution};
-use corgi::framework::{CorgiClient, CorgiServer, MetadataAttributeProvider, ServerConfig};
+use corgi::framework::{
+    CachingService, CorgiClient, ForestGenerator, InstrumentedService, MatrixService,
+    MetadataAttributeProvider, ServerConfig,
+};
 use corgi::hexgrid::{HexGrid, HexGridConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = HexGrid::new(HexGridConfig::san_francisco())?;
@@ -22,17 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
     let epsilon = 15.0;
 
-    // The dispatch server (untrusted) and its universal parameters.
-    let server = CorgiServer::new(
-        LocationTree::new(grid.clone()),
-        prior.clone(),
-        ServerConfig {
-            epsilon,
-            robust_iterations: 4,
-            targets_per_subtree: 20,
-            ..ServerConfig::default()
-        },
-    );
+    // The dispatch server (untrusted): generator → bounded cache → counters.
+    let config = ServerConfig::builder()
+        .epsilon(epsilon)
+        .robust_iterations(4)
+        .targets_per_subtree(20)
+        .build();
+    let instrumented = Arc::new(InstrumentedService::new(CachingService::with_defaults(
+        ForestGenerator::new(LocationTree::new(grid.clone()), prior.clone(), config),
+    )));
+    let service: Arc<dyn MatrixService> = instrumented.clone();
     let laplace = PlanarLaplace::new(epsilon);
     let mut rng = StdRng::seed_from_u64(2024);
 
@@ -55,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             vec![Predicate::is_false("home"), Predicate::is_false("outlier")],
         )?;
         let provider = MetadataAttributeProvider::new(&grid, &metadata, user, real);
-        let client = CorgiClient::new(&server, policy, provider)?;
+        let client = CorgiClient::new(Arc::clone(&service), policy, provider)?;
         let outcome = client.generate_obfuscated_location(&real, &mut rng)?;
         let reported_center = grid.cell_center(&outcome.report.reported_cell);
         corgi_error += utility::single_target_utility(&real, &reported_center, &pickup_target);
@@ -70,9 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  Planar Laplace (no customization):           {:.3} km", laplace_error / riders as f64);
 
     // Privacy view: what a Bayesian adversary can infer from one subtree's matrix.
-    let tree = server.tree();
+    let tree = service.tree();
     let subtree = tree.privacy_forest(1)?[0].clone();
-    let response = server.handle_request(corgi::framework::messages::MatrixRequest {
+    let response = service.privacy_forest(corgi::framework::messages::MatrixRequest {
         privacy_level: 1,
         delta: 2,
     })?;
@@ -90,6 +93,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nBayesian adversary against the served matrix: expected inference error {:.3} km, MAP success {:.1}% (lower success = more private).",
         inference_error,
         100.0 * map_success
+    );
+
+    // Serving-side telemetry: many riders, few distinct (privacy_l, δ) keys.
+    let stats = instrumented.stats();
+    let cache = instrumented.inner().cache_stats();
+    println!(
+        "\nServer stats: {} requests ({} errors), mean latency {:?}, max {:?}; cache {} hits / {} misses / {} resident forests.",
+        stats.requests,
+        stats.errors,
+        stats.mean_latency(),
+        stats.max_latency,
+        cache.hits,
+        cache.misses,
+        cache.entries
     );
     Ok(())
 }

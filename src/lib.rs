@@ -10,7 +10,7 @@
 //! | [`lp`] | `corgi-lp` | From-scratch LP solvers: simplex, interior point, block-angular |
 //! | [`core`] | `corgi-core` | Location tree, policies, LP formulation, robust matrices, precision reduction |
 //! | [`datagen`] | `corgi-datagen` | Synthetic Gowalla-like check-ins, priors and location metadata |
-//! | [`framework`] | `corgi-framework` | Client/server protocol: privacy forests and on-device customization (§5) |
+//! | [`framework`] | `corgi-framework` | Serving stack (`MatrixService`: generator → cache → instrumentation), versioned wire protocol, on-device customization (§5) |
 //!
 //! # Minimal flow: grid → matrix → report
 //!

@@ -5,10 +5,14 @@
 use corgi::core::{geoind, prune_matrix, LocationTree, Policy, Predicate, SolverKind};
 use corgi::core::{generate_nonrobust_matrix, generate_robust_matrix, RobustConfig};
 use corgi::datagen::{GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution};
-use corgi::framework::{messages::MatrixRequest, CorgiClient, CorgiServer, MetadataAttributeProvider, ServerConfig};
+use corgi::framework::{
+    messages::MatrixRequest, CachingService, CorgiClient, ForestGenerator, InstrumentedService,
+    MatrixService, MetadataAttributeProvider, ServerConfig,
+};
 use corgi::geo::LatLng;
 use corgi::hexgrid::{HexGrid, HexGridConfig};
 use rand::prelude::*;
+use std::sync::Arc;
 
 fn experiment_grid() -> HexGrid {
     HexGrid::new(HexGridConfig {
@@ -25,15 +29,19 @@ fn full_pipeline_produces_in_range_reports() {
     let (dataset, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
     let metadata = LocationMetadata::from_dataset(&grid, &dataset, 0.9);
     let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
-    let server = CorgiServer::new(
-        LocationTree::new(grid.clone()),
-        prior,
-        ServerConfig {
-            robust_iterations: 2,
-            targets_per_subtree: 5,
-            ..ServerConfig::default()
-        },
-    );
+    // The full production stack: generator → bounded cache → counters, behind
+    // the service trait object.
+    let instrumented = Arc::new(InstrumentedService::new(CachingService::with_defaults(
+        ForestGenerator::new(
+            LocationTree::new(grid.clone()),
+            prior,
+            ServerConfig::builder()
+                .robust_iterations(2)
+                .targets_per_subtree(5)
+                .build(),
+        ),
+    )));
+    let service: Arc<dyn MatrixService> = instrumented.clone();
     let mut rng = StdRng::seed_from_u64(9);
     let mut reports = 0usize;
     for &user in metadata.users_with_home().iter().take(3) {
@@ -41,11 +49,11 @@ fn full_pipeline_produces_in_range_reports() {
         let real = grid.cell_center(&home);
         let policy = Policy::new(1, 0, vec![Predicate::is_false("outlier")]).unwrap();
         let provider = MetadataAttributeProvider::new(&grid, &metadata, user, real);
-        let client = CorgiClient::new(&server, policy, provider).unwrap();
+        let client = CorgiClient::new(Arc::clone(&service), policy, provider).unwrap();
         let outcome = client.generate_obfuscated_location(&real, &mut rng).unwrap();
         // The report is a cell of the grid, at the requested precision, inside the
         // user's privacy-level subtree.
-        let tree = server.tree();
+        let tree = service.tree();
         let subtree = tree.subtree_containing(&outcome.real_leaf, 1).unwrap();
         assert!(subtree.contains(&outcome.report.reported_cell));
         assert_eq!(outcome.report.precision_level, 0);
@@ -53,8 +61,12 @@ fn full_pipeline_produces_in_range_reports() {
         reports += 1;
     }
     assert_eq!(reports, 3);
-    // The server has cached the privacy forests it generated.
-    assert!(server.cached_forests() >= 1);
+    // The serving layers observed the traffic: every request was counted and
+    // the generated forests are resident in the cache.
+    let stats = instrumented.stats();
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.errors, 0);
+    assert!(instrumented.inner().cache_stats().entries >= 1);
 }
 
 #[test]

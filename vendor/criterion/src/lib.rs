@@ -2,15 +2,21 @@
 //!
 //! Implements the criterion API surface used by the CORGI benches
 //! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
-//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], the
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkGroup::throughput`],
+//! [`BenchmarkGroup::warm_up_time`], [`BenchmarkId`], [`Throughput`], the
 //! [`criterion_group!`] / [`criterion_main!`] macros and [`black_box`]) as a
-//! plain wall-clock timing harness: each benchmark runs `sample_size` timed
-//! samples and reports min / median / max to stdout.
+//! plain wall-clock timing harness: each benchmark first runs a **warm-up
+//! phase** (default 500 ms — caches, allocator and frequency scaling settle
+//! before anything is recorded), then `sample_size` timed samples, and reports
+//! min / median / max to stdout plus **throughput** (elements or bytes per
+//! second, from the median) when the group declares one.
 //!
 //! When the binary is *not* invoked by `cargo bench` (no `--bench` flag, e.g.
 //! under `cargo test`, which runs `harness = false` bench targets in test
 //! mode) every benchmark executes exactly one iteration as a smoke test, so
-//! the test suite stays fast.
+//! the test suite stays fast.  Setting the environment variable
+//! `CORGI_BENCH_SMOKE=1` forces the same single-iteration smoke mode even
+//! under `cargo bench` — CI uses this to exercise every bench body cheaply.
 
 #![warn(missing_docs)]
 
@@ -23,19 +29,28 @@ pub use std::hint::black_box;
 pub struct Criterion {
     sample_size: usize,
     smoke_only: bool,
+    warm_up_time: Duration,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         let bench_mode = std::env::args().any(|a| a == "--bench");
+        let forced_smoke = std::env::var_os("CORGI_BENCH_SMOKE").is_some_and(|v| v != "0");
         Criterion {
             sample_size: 30,
-            smoke_only: !bench_mode,
+            smoke_only: !bench_mode || forced_smoke,
+            warm_up_time: Duration::from_millis(500),
         }
     }
 }
 
 impl Criterion {
+    /// Set the default warm-up duration for subsequent benchmarks.
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up_time = duration;
+        self
+    }
+
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
@@ -46,14 +61,32 @@ impl Criterion {
             criterion: self,
             name,
             sample_size: None,
+            warm_up_time: None,
+            throughput: None,
         }
     }
 
     /// Run a stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
         let samples = if self.smoke_only { 1 } else { self.sample_size };
-        run_one(&id.to_string(), samples, self.smoke_only, &mut f);
+        run_one(
+            &id.to_string(),
+            samples,
+            self.smoke_only,
+            self.warm_up_time,
+            None,
+            &mut f,
+        );
     }
+}
+
+/// Quantity processed per iteration, used to report derived throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
 }
 
 /// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
@@ -61,12 +94,27 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    warm_up_time: Option<Duration>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Set the number of timed samples per benchmark in this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n);
+        self
+    }
+
+    /// Override the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = Some(duration);
+        self
+    }
+
+    /// Declare how much work one iteration performs; enables the
+    /// elements/bytes-per-second column in the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -78,7 +126,14 @@ impl BenchmarkGroup<'_> {
             self.sample_size.unwrap_or(self.criterion.sample_size)
         };
         let label = format!("{}/{}", self.name, id);
-        run_one(&label, samples, self.criterion.smoke_only, &mut f);
+        run_one(
+            &label,
+            samples,
+            self.criterion.smoke_only,
+            self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            self.throughput,
+            &mut f,
+        );
     }
 
     /// Benchmark a closure over an explicit input value.
@@ -123,29 +178,63 @@ impl fmt::Display for BenchmarkId {
 /// Timing driver handed to benchmark closures.
 pub struct Bencher {
     samples: usize,
+    recording: bool,
     durations: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Time `f`, recording one sample per configured iteration.
+    /// Time `f`, recording one sample per configured iteration (warm-up calls
+    /// run the closure without recording).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(f());
-            self.durations.push(start.elapsed());
+            if self.recording {
+                self.durations.push(start.elapsed());
+            }
         }
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, smoke_only: bool, f: &mut F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    smoke_only: bool,
+    warm_up: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    if smoke_only {
+        let mut bencher = Bencher {
+            samples,
+            recording: true,
+            durations: Vec::new(),
+        };
+        f(&mut bencher);
+        return;
+    }
+
+    // Warm-up phase: run the routine unrecorded until the budget is spent
+    // (at least once), so the timed samples see warm caches and allocator.
+    let warm_up_start = Instant::now();
+    loop {
+        let mut bencher = Bencher {
+            samples: 1,
+            recording: false,
+            durations: Vec::new(),
+        };
+        f(&mut bencher);
+        if warm_up_start.elapsed() >= warm_up {
+            break;
+        }
+    }
+
     let mut bencher = Bencher {
         samples,
+        recording: true,
         durations: Vec::new(),
     };
     f(&mut bencher);
-    if smoke_only {
-        return;
-    }
     let mut durations = bencher.durations;
     if durations.is_empty() {
         println!("{label:<50} (no samples)");
@@ -153,13 +242,35 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, smoke_only: bool
     }
     durations.sort();
     let median = durations[durations.len() / 2];
+    let rate = throughput
+        .map(|t| format_throughput(t, median))
+        .unwrap_or_default();
     println!(
-        "{label:<50} min {:>12?}  median {:>12?}  max {:>12?}  ({} samples)",
+        "{label:<50} min {:>12?}  median {:>12?}  max {:>12?}  ({} samples){rate}",
         durations[0],
         median,
         durations[durations.len() - 1],
         durations.len(),
     );
+}
+
+fn format_throughput(throughput: Throughput, median: Duration) -> String {
+    let secs = median.as_secs_f64().max(1e-12);
+    let (count, unit) = match throughput {
+        Throughput::Elements(n) => (n, "elem"),
+        Throughput::Bytes(n) => (n, "B"),
+    };
+    let per_sec = count as f64 / secs;
+    let (scaled, prefix) = if per_sec >= 1e9 {
+        (per_sec / 1e9, "G")
+    } else if per_sec >= 1e6 {
+        (per_sec / 1e6, "M")
+    } else if per_sec >= 1e3 {
+        (per_sec / 1e3, "K")
+    } else {
+        (per_sec, "")
+    };
+    format!("  {scaled:.2} {prefix}{unit}/s")
 }
 
 /// Declare a function that runs the listed benchmark functions in order.
@@ -187,12 +298,18 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn test_criterion(smoke_only: bool) -> Criterion {
+        Criterion {
+            sample_size: 30,
+            smoke_only,
+            // Keep unit tests fast: a near-zero warm-up still exercises the phase.
+            warm_up_time: Duration::from_millis(1),
+        }
+    }
+
     #[test]
     fn smoke_mode_runs_single_iteration() {
-        let mut c = Criterion {
-            sample_size: 30,
-            smoke_only: true,
-        };
+        let mut c = test_criterion(true);
         let mut runs = 0;
         let mut group = c.benchmark_group("g");
         group.sample_size(10);
@@ -202,11 +319,8 @@ mod tests {
     }
 
     #[test]
-    fn bench_mode_honors_sample_size() {
-        let mut c = Criterion {
-            sample_size: 30,
-            smoke_only: false,
-        };
+    fn bench_mode_honors_sample_size_plus_warm_up() {
+        let mut c = test_criterion(false);
         let mut runs = 0;
         let mut group = c.benchmark_group("g");
         group.sample_size(5);
@@ -214,7 +328,38 @@ mod tests {
             b.iter(|| runs += x)
         });
         group.finish();
-        assert_eq!(runs, 15);
+        // 5 recorded samples plus at least one unrecorded warm-up call.
+        assert!(runs >= 18, "expected >= 5 samples + 1 warm-up, got {runs}");
+        assert_eq!(runs % 3, 0);
+    }
+
+    #[test]
+    fn warm_up_calls_are_not_recorded() {
+        let mut total_calls = 0usize;
+        let mut recorded = 0usize;
+        run_one(
+            "w",
+            4,
+            false,
+            Duration::from_millis(1),
+            None,
+            &mut |b: &mut Bencher| {
+                b.iter(|| total_calls += 1);
+                recorded = b.durations.len();
+            },
+        );
+        assert_eq!(recorded, 4, "exactly sample_size samples are recorded");
+        assert!(total_calls > 4, "warm-up must add unrecorded calls");
+    }
+
+    #[test]
+    fn throughput_formats_scaled_rates() {
+        let s = format_throughput(Throughput::Elements(49), Duration::from_millis(7));
+        assert_eq!(s, "  7.00 Kelem/s");
+        let s = format_throughput(Throughput::Bytes(2_000_000), Duration::from_secs(1));
+        assert_eq!(s, "  2.00 MB/s");
+        let s = format_throughput(Throughput::Elements(3), Duration::from_secs(1));
+        assert_eq!(s, "  3.00 elem/s");
     }
 
     #[test]
