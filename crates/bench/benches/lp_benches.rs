@@ -1,0 +1,169 @@
+//! Perf-gated benchmarks of the `corgi-lp` linear-algebra core: Cholesky
+//! factorization (blocked vs. scalar reference), fused multi-RHS triangular
+//! solves (vs. the per-column allocating reference), and the block-angular
+//! interior-point method on the paper's obfuscation LPs at K ∈ {49, 343}.
+//!
+//! The K = 343 comparison caps the iteration count: both kernel strategies
+//! perform the same per-iteration arithmetic (they agree to rounding, see
+//! `crates/lp/tests/solver_agreement.rs`), so the per-iteration ratio *is* the
+//! end-to-end ratio, and capping keeps the reference side runnable — at full
+//! convergence the pre-PR kernels need tens of minutes at this size.
+//!
+//! CI (heavy lane) runs this file with `CORGI_BENCH_JSON` pointing at
+//! `BENCH_results.json` and gates the medians against the checked-in
+//! `BENCH_baseline.json` via the `perf_gate` binary; see README § Performance
+//! for how to refresh the baseline.
+
+use corgi_bench::{ExperimentContext, DEFAULT_EPSILON};
+use corgi_lp::{
+    BlockAngularSolver, DenseMatrix, InteriorPointOptions, KernelStrategy, LpProblem, LpSolver,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Deterministic SPD matrix `A = BᵀB + n·I` of size `n`, shaped like a
+/// late-iteration Newton block (strongly diagonally dominant).
+fn random_spd(n: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut a = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut v = if i == j { n as f64 } else { 0.0 };
+            for k in 0..n {
+                v += b[k * n + i] * b[k * n + j];
+            }
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+    }
+    a
+}
+
+fn options(kernels: KernelStrategy) -> InteriorPointOptions {
+    InteriorPointOptions {
+        kernels,
+        ..InteriorPointOptions::default()
+    }
+}
+
+/// The obfuscation LP over the `k` leaves closest to the region center, with
+/// its per-column variable blocks.
+fn obfuscation_lp(ctx: &ExperimentContext, k: usize) -> (LpProblem, Vec<Vec<usize>>) {
+    let problem = ctx.problem_for_n_locations(k, DEFAULT_EPSILON, true);
+    problem.build_lp(None).expect("LP builds")
+}
+
+fn bench_cholesky_factorize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_factorize");
+    for &n in &[49usize, 343] {
+        // The 49×49 factorization sits in the microsecond range where timer
+        // noise dominates small sample counts; more samples keep the gated
+        // median's coefficient of variation well under the 20% gate tolerance.
+        group.sample_size(if n < 100 { 60 } else { 10 });
+        let a = random_spd(n, 7);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked", n), &a, |b, a| {
+            b.iter(|| {
+                let mut m = a.clone();
+                m.cholesky_in_place(1e-10).expect("SPD");
+                m
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &a, |b, a| {
+            b.iter(|| {
+                let mut m = a.clone();
+                m.cholesky_in_place_unblocked(1e-10).expect("SPD");
+                m
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky_multi_rhs(c: &mut Criterion) {
+    // 343 right-hand sides against a 343×343 factor: the exact shape of the
+    // reference path's `M_b⁻¹ E_bᵀ` panel in the full-tree regime.  The fused
+    // kernel solves in place with row sweeps; the per-column reference
+    // allocates a fresh Vec per RHS column.
+    let n = 343;
+    let mut factor = random_spd(n, 11);
+    factor.cholesky_in_place(1e-10).expect("SPD");
+    let mut rng = StdRng::seed_from_u64(13);
+    let rhs_rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let rhs = DenseMatrix::from_rows(&rhs_rows);
+    let mut group = c.benchmark_group("cholesky_multi_rhs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.bench_function("fused_in_place", |b| {
+        let mut out = rhs.clone();
+        b.iter(|| {
+            out.clone_from(&rhs);
+            factor.cholesky_solve_matrix_into(&mut out);
+        });
+    });
+    group.bench_function("per_column", |b| {
+        b.iter(|| factor.cholesky_solve_matrix_per_column(&rhs));
+    });
+    group.finish();
+}
+
+fn bench_forest_generation_k49(c: &mut Criterion) {
+    let ctx = ExperimentContext::standard();
+    let (lp, blocks) = obfuscation_lp(&ctx, 49);
+    let mut group = c.benchmark_group("forest_generation_k49");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((49 * 49) as u64));
+    for (name, kernels) in [
+        ("blocked", KernelStrategy::Blocked),
+        ("reference", KernelStrategy::Reference),
+    ] {
+        let solver = BlockAngularSolver::new(blocks.clone(), options(kernels));
+        group.bench_function(name, |b| {
+            b.iter(|| solver.solve(&lp).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest_generation_k343(c: &mut Criterion) {
+    let ctx = ExperimentContext::standard();
+    let (lp, blocks) = obfuscation_lp(&ctx, 343);
+    let mut group = c.benchmark_group("forest_generation_k343_2iters");
+    group.warm_up_time(std::time::Duration::from_millis(1));
+    group.throughput(Throughput::Elements((343 * 343) as u64));
+    for (name, kernels) in [
+        ("blocked", KernelStrategy::Blocked),
+        ("reference", KernelStrategy::Reference),
+    ] {
+        // The blocked side is the perf-gated one: give its median a real
+        // sample set (~8 s per run).  The reference side exists for the
+        // speedup ratio and is reported but not gated (~26 s per run, so two
+        // samples suffice); it is deliberately absent from BENCH_baseline.json.
+        group.sample_size(if kernels == KernelStrategy::Blocked {
+            5
+        } else {
+            2
+        });
+        let opts = InteriorPointOptions {
+            max_iterations: 2,
+            ..options(kernels)
+        };
+        let solver = BlockAngularSolver::new(blocks.clone(), opts);
+        group.bench_function(name, |b| {
+            b.iter(|| solver.solve(&lp).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cholesky_factorize,
+    bench_cholesky_multi_rhs,
+    bench_forest_generation_k49,
+    bench_forest_generation_k343
+);
+criterion_main!(benches);

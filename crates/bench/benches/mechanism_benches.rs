@@ -4,7 +4,9 @@
 
 use corgi_bench::{ExperimentContext, DEFAULT_EPSILON};
 use corgi_core::{
-    generate_nonrobust_matrix, laplace::PlanarLaplace, precision_reduction, prune_matrix,
+    generate_nonrobust_matrix,
+    laplace::PlanarLaplace,
+    precision_reduction, prune_matrix,
     robust::{reserved_privacy_budget_approx, reserved_privacy_budget_exact},
     SolverKind,
 };
@@ -71,5 +73,10 @@ fn bench_planar_laplace(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rpb, bench_customization, bench_planar_laplace);
+criterion_group!(
+    benches,
+    bench_rpb,
+    bench_customization,
+    bench_planar_laplace
+);
 criterion_main!(benches);

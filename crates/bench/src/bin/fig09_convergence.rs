@@ -11,7 +11,11 @@ use corgi_core::{generate_robust_matrix, ObfuscationProblem, RobustConfig, Solve
 
 fn main() {
     let ctx = ExperimentContext::standard();
-    let repetitions = if corgi_bench::full_scale_requested() { 10 } else { 3 };
+    let repetitions = if corgi_bench::full_scale_requested() {
+        10
+    } else {
+        3
+    };
     let iterations = 10usize;
     let subtree = ctx.level2_subtree();
     let mut json = serde_json::Map::new();

@@ -14,7 +14,11 @@ fn main() {
     let full = corgi_bench::full_scale_requested();
     let subtree = ctx.level2_subtree();
     let iterations = if full { 10 } else { 3 };
-    let deltas: Vec<usize> = if full { (1..=7).collect() } else { vec![1, 3, 5, 7] };
+    let deltas: Vec<usize> = if full {
+        (1..=7).collect()
+    } else {
+        vec![1, 3, 5, 7]
+    };
 
     // ---- (a) running time with vs without graph approximation ----
     let mut rows_a = Vec::new();
@@ -68,9 +72,10 @@ fn main() {
             format!("{}", with.num_geo_ind_constraints()),
             format!(
                 "{:.1}%",
-                100.0 * (1.0
-                    - with.num_geo_ind_constraints() as f64
-                        / without.num_geo_ind_constraints() as f64)
+                100.0
+                    * (1.0
+                        - with.num_geo_ind_constraints() as f64
+                            / without.num_geo_ind_constraints() as f64)
             ),
         ]);
     }

@@ -2,9 +2,7 @@
 //! δ on quality loss, CORGI vs the non-robust baseline.
 
 use corgi_bench::{print_table, write_json, ExperimentContext, PAPER_EPSILONS};
-use corgi_core::{
-    generate_nonrobust_matrix, generate_robust_matrix, RobustConfig, SolverKind,
-};
+use corgi_core::{generate_nonrobust_matrix, generate_robust_matrix, RobustConfig, SolverKind};
 
 fn main() {
     let ctx = ExperimentContext::standard();

@@ -41,7 +41,12 @@ fn violation_percentage(
             .collect();
         let distances: Vec<Vec<f64>> = survivors
             .iter()
-            .map(|&i| survivors.iter().map(|&j| problem.distances()[i][j]).collect())
+            .map(|&i| {
+                survivors
+                    .iter()
+                    .map(|&j| problem.distances()[i][j])
+                    .collect()
+            })
             .collect();
         let report = geoind::check_all_pairs(&pruned, &distances, problem.epsilon(), 1e-7);
         total_pct += report.violation_percentage();
@@ -79,8 +84,7 @@ fn run_panel(
     let mut rng = StdRng::seed_from_u64(42);
     let mut rows = Vec::new();
     for pruned in 1..=10usize {
-        let pct_nonrobust =
-            violation_percentage(&problem, &nonrobust, pruned, trials, &mut rng);
+        let pct_nonrobust = violation_percentage(&problem, &nonrobust, pruned, trials, &mut rng);
         let pct_robust = violation_percentage(&problem, &robust, pruned, trials, &mut rng);
         json.push(serde_json::json!({
             "panel": name, "locations": locations, "delta": delta, "pruned": pruned,
@@ -103,8 +107,7 @@ fn run_panel(
         let headline_prune = 7;
         let pct_nonrobust =
             violation_percentage(&problem, &nonrobust, headline_prune, trials, &mut rng);
-        let pct_robust =
-            violation_percentage(&problem, &robust, headline_prune, trials, &mut rng);
+        let pct_robust = violation_percentage(&problem, &robust, headline_prune, trials, &mut rng);
         println!(
             "\nHeadline: pruning {headline_prune}/49 locations (14.28%) -> CORGI {pct_robust:.2}% vs non-robust {pct_nonrobust:.2}% violated Geo-Ind constraints (paper: 3.07% vs 18.58%)."
         );
@@ -124,7 +127,15 @@ fn main() {
 
     run_panel(&ctx, "(a)", 49, 3, iterations, trials, &mut json);
     let panel_b_locations = if full { 70 } else { 49 };
-    run_panel(&ctx, "(b)", panel_b_locations, 5, iterations, trials, &mut json);
+    run_panel(
+        &ctx,
+        "(b)",
+        panel_b_locations,
+        5,
+        iterations,
+        trials,
+        &mut json,
+    );
 
     write_json("fig12_pruning_violations", &serde_json::json!(json));
     println!("\nExpected shape (paper Fig. 12): CORGI's violation percentage stays near zero up to delta pruned locations and far below the non-robust baseline throughout; a larger delta gives more robustness.");

@@ -49,13 +49,20 @@ fn main() {
         json_a.push(entry);
     }
     print_table(
-        &format!("Fig. 13(a) — quality loss (km) vs epsilon, privacy levels {} and {}", levels[0], levels[1]),
+        &format!(
+            "Fig. 13(a) — quality loss (km) vs epsilon, privacy levels {} and {}",
+            levels[0], levels[1]
+        ),
         &["epsilon", "lower level", "higher level"],
         &rows_a,
     );
 
     // ---- (b) quality loss vs delta (epsilon = 15) ----
-    let deltas: Vec<usize> = if full { (1..=5).collect() } else { vec![1, 2, 3] };
+    let deltas: Vec<usize> = if full {
+        (1..=5).collect()
+    } else {
+        vec![1, 2, 3]
+    };
     let mut rows_b = Vec::new();
     let mut json_b = Vec::new();
     for &delta in &deltas {
@@ -81,7 +88,10 @@ fn main() {
         json_b.push(entry);
     }
     print_table(
-        &format!("Fig. 13(b) — quality loss (km) vs delta, privacy levels {} and {}", levels[0], levels[1]),
+        &format!(
+            "Fig. 13(b) — quality loss (km) vs delta, privacy levels {} and {}",
+            levels[0], levels[1]
+        ),
         &["delta", "lower level", "higher level"],
         &rows_b,
     );

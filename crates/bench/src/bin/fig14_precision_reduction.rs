@@ -3,9 +3,7 @@
 //! and of δ (b).
 
 use corgi_bench::{print_table, write_json, ExperimentContext, DEFAULT_EPSILON};
-use corgi_core::{
-    generate_robust_matrix, precision_reduction, RobustConfig, SolverKind,
-};
+use corgi_core::{generate_robust_matrix, precision_reduction, RobustConfig, SolverKind};
 use std::time::Instant;
 
 fn main() {
@@ -23,7 +21,9 @@ fn main() {
     let mut json_a = Vec::new();
     for &n in &sizes {
         let (recalc, reduce) = measure(&ctx, n, 1, iterations);
-        json_a.push(serde_json::json!({ "locations": n, "recalculation_s": recalc, "reduction_s": reduce }));
+        json_a.push(
+            serde_json::json!({ "locations": n, "recalculation_s": recalc, "reduction_s": reduce }),
+        );
         rows_a.push(vec![
             format!("{n}"),
             format!("{recalc:.3}"),
@@ -33,17 +33,28 @@ fn main() {
     }
     print_table(
         "Fig. 14(a) — matrix recalculation vs precision reduction (s), by locations",
-        &["locations", "recalculation", "precision reduction", "speed-up"],
+        &[
+            "locations",
+            "recalculation",
+            "precision reduction",
+            "speed-up",
+        ],
         &rows_a,
     );
 
     // ---- (b) vs delta (49 locations) ----
-    let deltas: Vec<usize> = if full { (1..=7).collect() } else { vec![1, 3, 5, 7] };
+    let deltas: Vec<usize> = if full {
+        (1..=7).collect()
+    } else {
+        vec![1, 3, 5, 7]
+    };
     let mut rows_b = Vec::new();
     let mut json_b = Vec::new();
     for &delta in &deltas {
         let (recalc, reduce) = measure(&ctx, 49, delta, iterations);
-        json_b.push(serde_json::json!({ "delta": delta, "recalculation_s": recalc, "reduction_s": reduce }));
+        json_b.push(
+            serde_json::json!({ "delta": delta, "recalculation_s": recalc, "reduction_s": reduce }),
+        );
         rows_b.push(vec![
             format!("{delta}"),
             format!("{recalc:.3}"),

@@ -1,0 +1,209 @@
+//! CI perf gate: compare `BENCH_results.json` (JSON-lines emitted by the
+//! criterion shim when `CORGI_BENCH_JSON` is set) against the checked-in
+//! `BENCH_baseline.json` and fail when a named bench regresses.
+//!
+//! ```text
+//! perf_gate [--results PATH] [--baseline PATH]
+//! ```
+//!
+//! Every bench named in the baseline must be present in the results (a renamed
+//! or deleted bench would otherwise silently leave the gate open) and its
+//! median must not exceed the baseline median by more than the tolerance
+//! (default 20%, override with `CORGI_PERF_GATE_TOLERANCE`, a fraction).
+//! Benches present in the results but not in the baseline are reported
+//! informationally and do not gate — add them to the baseline to lock them in.
+//!
+//! To refresh the baseline after an intentional perf change:
+//!
+//! ```text
+//! rm -f BENCH_results.json
+//! CORGI_BENCH_JSON=$PWD/BENCH_results.json cargo bench --bench lp_benches
+//! cp BENCH_results.json BENCH_baseline.json
+//! ```
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Median nanoseconds per bench name; later lines win, so re-running a bench
+/// binary into the same results file updates its entries.
+fn parse_jsonl(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut medians = BTreeMap::new();
+    for (lineno, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: invalid JSON: {e:?}", lineno + 1))?;
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}:{}: missing \"name\"", lineno + 1))?;
+        let median = value
+            .get("median_ns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}:{}: missing \"median_ns\"", lineno + 1))?;
+        medians.insert(name.to_string(), median);
+    }
+    Ok(medians)
+}
+
+fn tolerance() -> f64 {
+    std::env::var("CORGI_PERF_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.20)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let mut results_path = "BENCH_results.json".to_string();
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--results" => {
+                results_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--results needs a path");
+                    std::process::exit(2);
+                })
+            }
+            "--baseline" => {
+                baseline_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--baseline needs a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: perf_gate [--results PATH] [--baseline PATH]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (results, baseline) = match (parse_jsonl(&results_path), parse_jsonl(&baseline_path)) {
+        (Ok(r), Ok(b)) => (r, b),
+        (r, b) => {
+            for err in [r.err(), b.err()].into_iter().flatten() {
+                eprintln!("perf_gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let tol = tolerance();
+    println!(
+        "perf gate: {} baseline benches, {} result benches, tolerance +{:.0}%",
+        baseline.len(),
+        results.len(),
+        tol * 100.0
+    );
+    let mut failures = Vec::new();
+    for (name, &base_ns) in &baseline {
+        match results.get(name) {
+            None => {
+                failures.push(format!(
+                    "{name}: missing from results (renamed or deleted?)"
+                ));
+            }
+            Some(&now_ns) => {
+                let ratio = now_ns / base_ns.max(1.0);
+                let verdict = if ratio > 1.0 + tol {
+                    failures.push(format!(
+                        "{name}: {} → {} ({:+.1}%)",
+                        format_ns(base_ns),
+                        format_ns(now_ns),
+                        (ratio - 1.0) * 100.0
+                    ));
+                    "REGRESSED"
+                } else if ratio < 1.0 - tol {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {name:<50} baseline {:>10}  now {:>10}  {:+7.1}%  {verdict}",
+                    format_ns(base_ns),
+                    format_ns(now_ns),
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    for name in results.keys() {
+        if !baseline.contains_key(name) {
+            println!("  {name:<50} (not in baseline; not gated)");
+        }
+    }
+
+    if failures.is_empty() {
+        println!("perf gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf gate: FAIL");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "If the regression is intentional, refresh BENCH_baseline.json (see README § Performance)."
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_jsonl_reads_medians_and_later_lines_win() {
+        let path =
+            std::env::temp_dir().join(format!("perf_gate_test_{}.jsonl", std::process::id()));
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"name\":\"a/b\",\"median_ns\":100,\"samples\":5}\n",
+                "\n",
+                "{\"name\":\"c/d\",\"median_ns\":2.5e3,\"samples\":5}\n",
+                "{\"name\":\"a/b\",\"median_ns\":120,\"samples\":5}\n",
+            ),
+        )
+        .unwrap();
+        let medians = parse_jsonl(path.to_str().unwrap()).unwrap();
+        assert_eq!(medians.len(), 2);
+        assert_eq!(medians["a/b"], 120.0);
+        assert_eq!(medians["c/d"], 2500.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parse_jsonl_reports_malformed_lines() {
+        let path = std::env::temp_dir().join(format!("perf_gate_bad_{}.jsonl", std::process::id()));
+        std::fs::write(&path, "{\"median_ns\":100}\n").unwrap();
+        let err = parse_jsonl(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("missing \"name\""), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(850.0), "850ns");
+        assert_eq!(format_ns(1_500.0), "1.50µs");
+        assert_eq!(format_ns(2_500_000.0), "2.50ms");
+        assert_eq!(format_ns(7.8e9), "7.80s");
+    }
+}

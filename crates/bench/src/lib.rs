@@ -96,12 +96,17 @@ impl ExperimentContext {
         let prior = self
             .prior
             .restricted_to(self.grid(), subtree.leaves())
-            .unwrap_or_else(|| {
-                vec![1.0 / subtree.leaf_count() as f64; subtree.leaf_count()]
-            });
+            .unwrap_or_else(|| vec![1.0 / subtree.leaf_count() as f64; subtree.leaf_count()]);
         let targets = spread_targets(subtree.leaf_count(), NR_TARGET);
-        ObfuscationProblem::new(&self.tree, subtree, &prior, &targets, epsilon, graph_approximation)
-            .expect("experiment problem is well formed")
+        ObfuscationProblem::new(
+            &self.tree,
+            subtree,
+            &prior,
+            &targets,
+            epsilon,
+            graph_approximation,
+        )
+        .expect("experiment problem is well formed")
     }
 
     /// Build a problem over the `n` leaf cells closest to the level-2 subtree

@@ -156,7 +156,10 @@ mod tests {
         let err_uniform = expected_inference_error(&uniform, &prior, &d).unwrap();
         assert!(err_uniform > 0.0);
         let success = map_attack_success(&uniform, &prior).unwrap();
-        assert!(success < 0.5, "MAP success {success} should be low for uniform");
+        assert!(
+            success < 0.5,
+            "MAP success {success} should be low for uniform"
+        );
 
         // A nearly-deterministic matrix leaks more: lower error, higher success.
         let mut data = vec![0.01; 49];

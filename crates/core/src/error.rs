@@ -45,7 +45,9 @@ impl fmt::Display for CorgiError {
                 f,
                 "pruning {requested} of {available} locations leaves no usable obfuscation range"
             ),
-            CorgiError::UnknownCell(c) => write!(f, "cell {c} is not part of the obfuscation range"),
+            CorgiError::UnknownCell(c) => {
+                write!(f, "cell {c} is not part of the obfuscation range")
+            }
             CorgiError::Solver(msg) => write!(f, "LP solver failure: {msg}"),
             CorgiError::Grid(msg) => write!(f, "spatial index error: {msg}"),
         }

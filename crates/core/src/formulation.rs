@@ -289,6 +289,15 @@ impl ObfuscationProblem {
         Ok((lp, blocks))
     }
 
+    /// Interior-point options tuned for this problem's block structure.
+    ///
+    /// Currently the library defaults (blocked Cholesky kernels, sparse Schur
+    /// assembly) are right for every K the paper exercises; the method exists
+    /// so callers — and future size-dependent tuning — have one place to look.
+    pub fn solver_options(&self) -> InteriorPointOptions {
+        InteriorPointOptions::default()
+    }
+
     /// Solve the LP and return the resulting obfuscation matrix.
     ///
     /// The uniform matrix is strictly feasible for every obfuscation LP (all
@@ -297,27 +306,34 @@ impl ObfuscationProblem {
     /// the uniform matrix just enough to restore feasibility — trading a small,
     /// measured amount of optimality for a guaranteed ε-Geo-Ind matrix.
     pub fn solve(&self, rpb: Option<&[Vec<f64>]>, solver: SolverKind) -> Result<ObfuscationMatrix> {
+        self.solve_with_options(rpb, solver, self.solver_options())
+    }
+
+    /// [`ObfuscationProblem::solve`] with explicit interior-point options, for
+    /// callers that need a non-default kernel strategy, iteration limit or
+    /// tolerance — e.g. capped-iteration perf comparisons between
+    /// `KernelStrategy::Blocked` and `KernelStrategy::Reference`.  (The
+    /// simplex path ignores the options.)
+    pub fn solve_with_options(
+        &self,
+        rpb: Option<&[Vec<f64>]>,
+        solver: SolverKind,
+        options: InteriorPointOptions,
+    ) -> Result<ObfuscationMatrix> {
         let (lp, blocks) = self.build_lp(rpb)?;
         let solution = match solver {
             SolverKind::Simplex => SimplexSolver::new().solve(&lp),
-            SolverKind::InteriorPoint => InteriorPointSolver::default().solve(&lp),
+            SolverKind::InteriorPoint => InteriorPointSolver::new(options).solve(&lp),
             SolverKind::Auto | SolverKind::BlockAngular => {
-                BlockAngularSolver::new(blocks, InteriorPointOptions::default()).solve(&lp)
+                BlockAngularSolver::new(blocks, options).solve(&lp)
             }
         }
         .map_err(CorgiError::from)?;
-        match solution.status {
-            SolveStatus::Optimal | SolveStatus::IterationLimit => {}
-            SolveStatus::Infeasible => {
-                return Err(CorgiError::Solver(
-                    "obfuscation LP is infeasible".to_string(),
-                ))
-            }
-            SolveStatus::Unbounded => {
-                return Err(CorgiError::Solver(
-                    "obfuscation LP is unbounded (malformed costs)".to_string(),
-                ))
-            }
+        if !solution.is_usable() {
+            return Err(CorgiError::Solver(match solution.status {
+                SolveStatus::Infeasible => "obfuscation LP is infeasible".to_string(),
+                _ => "obfuscation LP is unbounded (malformed costs)".to_string(),
+            }));
         }
         let k = self.size();
         let mut x = solution.x;
@@ -376,7 +392,8 @@ mod tests {
         let k = subtree.leaf_count();
         let prior: Vec<f64> = (0..k).map(|i| 1.0 + (i % 5) as f64).collect();
         let targets: Vec<usize> = (0..k).step_by(3).collect();
-        let p = ObfuscationProblem::new(&t, &subtree, &prior, &targets, 15.0, graph_approx).unwrap();
+        let p =
+            ObfuscationProblem::new(&t, &subtree, &prior, &targets, 15.0, graph_approx).unwrap();
         (t, p)
     }
 
@@ -503,8 +520,7 @@ mod tests {
         let losses: Vec<f64> = [5.0, 10.0, 20.0]
             .iter()
             .map(|&eps| {
-                let p =
-                    ObfuscationProblem::new(&t, &subtree, &prior, &targets, eps, true).unwrap();
+                let p = ObfuscationProblem::new(&t, &subtree, &prior, &targets, eps, true).unwrap();
                 let m = p.solve(None, SolverKind::Auto).unwrap();
                 p.quality_loss(&m)
             })

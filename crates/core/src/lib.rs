@@ -35,6 +35,7 @@ pub mod robust;
 pub mod tree;
 pub mod utility;
 
+pub use corgi_lp::{InteriorPointOptions, KernelStrategy};
 pub use error::CorgiError;
 pub use formulation::{ObfuscationProblem, SolverKind};
 pub use geoind::GeoIndReport;

@@ -140,9 +140,7 @@ impl ObfuscationMatrix {
 
     /// Sample an obfuscated location for the real location `real` (Fig. 8 step ⑧).
     pub fn sample<R: Rng>(&self, real: &CellId, rng: &mut R) -> Result<CellId> {
-        let i = self
-            .index_of(real)
-            .ok_or(CorgiError::UnknownCell(*real))?;
+        let i = self.index_of(real).ok_or(CorgiError::UnknownCell(*real))?;
         Ok(self.cells[self.sample_row(i, rng)])
     }
 
@@ -213,8 +211,7 @@ mod tests {
     fn lp_solution_is_cleaned_and_normalized() {
         let c = cells(2);
         // Slightly negative and slightly off-sum rows get repaired.
-        let m =
-            ObfuscationMatrix::from_lp_solution(c, vec![0.6, 0.42, -1e-9, 1.0000001]).unwrap();
+        let m = ObfuscationMatrix::from_lp_solution(c, vec![0.6, 0.42, -1e-9, 1.0000001]).unwrap();
         m.check_stochastic(1e-9).unwrap();
         assert!((m.get(1, 1) - 1.0).abs() < 1e-9);
     }
@@ -233,7 +230,17 @@ mod tests {
         let c = cells(3);
         let m = ObfuscationMatrix::new(
             c.clone(),
-            vec![0.8, 0.2, 0.0, 0.1, 0.1, 0.8, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+            vec![
+                0.8,
+                0.2,
+                0.0,
+                0.1,
+                0.1,
+                0.8,
+                1.0 / 3.0,
+                1.0 / 3.0,
+                1.0 / 3.0,
+            ],
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(99);
@@ -264,11 +271,8 @@ mod tests {
     #[test]
     fn reported_distribution_is_probability_vector() {
         let c = cells(3);
-        let m = ObfuscationMatrix::new(
-            c,
-            vec![0.8, 0.2, 0.0, 0.1, 0.1, 0.8, 0.3, 0.3, 0.4],
-        )
-        .unwrap();
+        let m =
+            ObfuscationMatrix::new(c, vec![0.8, 0.2, 0.0, 0.1, 0.1, 0.8, 0.3, 0.3, 0.4]).unwrap();
         let prior = vec![0.5, 0.25, 0.25];
         let reported = m.reported_distribution(&prior).unwrap();
         let total: f64 = reported.iter().sum();

@@ -225,7 +225,14 @@ mod tests {
             Err(CorgiError::InvalidPrior(_))
         ));
         // Non-leaf matrix rejected.
-        let coarse = ObfuscationMatrix::uniform(t.privacy_forest(1).unwrap().iter().map(|s| s.root()).collect()).unwrap();
+        let coarse = ObfuscationMatrix::uniform(
+            t.privacy_forest(1)
+                .unwrap()
+                .iter()
+                .map(|s| s.root())
+                .collect(),
+        )
+        .unwrap();
         assert!(matches!(
             precision_reduction(&coarse, &t, 2, &vec![1.0; 49]),
             Err(CorgiError::InvalidMatrix(_))

@@ -8,9 +8,7 @@
 //! computing the reserved budget from the current matrix and re-solving the
 //! tightened LP until convergence.
 
-use crate::{
-    formulation::SolverKind, CorgiError, ObfuscationMatrix, ObfuscationProblem, Result,
-};
+use crate::{formulation::SolverKind, CorgiError, ObfuscationMatrix, ObfuscationProblem, Result};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of robust matrix generation (Algorithm 1 inputs).
@@ -80,7 +78,9 @@ pub fn reserved_privacy_budget_approx(
 ) -> Vec<Vec<f64>> {
     let k = matrix.size();
     // Top-δ row sums P_i.
-    let top_sums: Vec<f64> = (0..k).map(|i| top_delta_sum(matrix.row(i), delta)).collect();
+    let top_sums: Vec<f64> = (0..k)
+        .map(|i| top_delta_sum(matrix.row(i), delta))
+        .collect();
     let mut rpb = vec![vec![0.0; k]; k];
     for i in 0..k {
         for j in 0..k {
@@ -288,8 +288,7 @@ mod tests {
         // Proposition 4.5: ε_{i,j} ≤ ε′_{i,j}, i.e. the approximation is an upper bound.
         let (_tree, p) = small_problem();
         let matrix = p.solve(None, SolverKind::Auto).unwrap();
-        let exact =
-            reserved_privacy_budget_exact(&matrix, p.distances(), p.epsilon(), 2).unwrap();
+        let exact = reserved_privacy_budget_exact(&matrix, p.distances(), p.epsilon(), 2).unwrap();
         let approx = reserved_privacy_budget_approx(&matrix, p.distances(), p.epsilon(), 2);
         let k = p.size();
         for i in 0..k {

@@ -222,7 +222,10 @@ mod tests {
         assert!(t.privacy_forest(9).is_err());
         let leaf = t.leaves()[0];
         assert!(t.subtree_containing(&leaf, 9).is_err());
-        assert!(t.subtree_containing(&t.root(), 2).is_err(), "non-leaf rejected");
+        assert!(
+            t.subtree_containing(&t.root(), 2).is_err(),
+            "non-leaf rejected"
+        );
     }
 
     #[test]

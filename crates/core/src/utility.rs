@@ -169,8 +169,7 @@ mod tests {
                 d[i][j] = grid.cell_distance_km(&cells[i], &cells[j]);
             }
         }
-        let loss =
-            expected_quality_loss(&identity, &d, &[0.25; 4], &[0, 1, 2], &[0.4, 0.3, 0.3]);
+        let loss = expected_quality_loss(&identity, &d, &[0.25; 4], &[0, 1, 2], &[0.4, 0.3, 0.3]);
         assert!(loss < 1e-12);
     }
 

@@ -129,9 +129,24 @@ mod tests {
     fn tiny_dataset() -> CheckInDataset {
         let p = |lat: f64, lng: f64| LatLng::new(lat, lng).unwrap();
         CheckInDataset::new(vec![
-            CheckIn { user_id: 1, timestamp: 3_600 * 10, location: p(37.7749, -122.4194), location_id: 7 },
-            CheckIn { user_id: 1, timestamp: 3_600 * 23, location: p(37.7755, -122.4180), location_id: 8 },
-            CheckIn { user_id: 2, timestamp: 3_600 * 14, location: p(37.7800, -122.4100), location_id: 7 },
+            CheckIn {
+                user_id: 1,
+                timestamp: 3_600 * 10,
+                location: p(37.7749, -122.4194),
+                location_id: 7,
+            },
+            CheckIn {
+                user_id: 1,
+                timestamp: 3_600 * 23,
+                location: p(37.7755, -122.4180),
+                location_id: 8,
+            },
+            CheckIn {
+                user_id: 2,
+                timestamp: 3_600 * 14,
+                location: p(37.7800, -122.4100),
+                location_id: 7,
+            },
         ])
     }
 
@@ -152,7 +167,10 @@ mod tests {
         let ds = tiny_dataset();
         let counts = ds.counts_per_leaf(&grid);
         let total: usize = counts.iter().sum();
-        assert_eq!(total, 3, "all tiny-dataset check-ins are inside the SF grid");
+        assert_eq!(
+            total, 3,
+            "all tiny-dataset check-ins are inside the SF grid"
+        );
         assert_eq!(ds.leaves(&grid).len(), 3);
     }
 

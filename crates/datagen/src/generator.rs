@@ -93,7 +93,10 @@ impl GowallaLikeGenerator {
     /// Generate the dataset and the ground-truth user anchors.
     pub fn generate(&self, grid: &HexGrid) -> (CheckInDataset, UserAnchors) {
         let cfg = &self.config;
-        assert!(cfg.num_users > 0 && cfg.num_venues > 0, "empty configuration");
+        assert!(
+            cfg.num_users > 0 && cfg.num_venues > 0,
+            "empty configuration"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
         // Spatial weight of every leaf: concentrate activity towards the center,
@@ -121,7 +124,9 @@ impl GowallaLikeGenerator {
         };
 
         // Venues.
-        let venue_cells: Vec<usize> = (0..cfg.num_venues).map(|_| sample_weighted_leaf(&mut rng)).collect();
+        let venue_cells: Vec<usize> = (0..cfg.num_venues)
+            .map(|_| sample_weighted_leaf(&mut rng))
+            .collect();
         let venue_sampler = ZipfSampler::new(cfg.num_venues, cfg.venue_zipf_exponent);
 
         // Users: home, office, activity.
@@ -229,7 +234,10 @@ mod tests {
         let (ds, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
         assert_eq!(ds.len(), 2_000);
         assert!(ds.num_users() <= 30);
-        assert!(ds.num_users() > 5, "Zipf user sampling still hits many users");
+        assert!(
+            ds.num_users() > 5,
+            "Zipf user sampling still hits many users"
+        );
     }
 
     #[test]

@@ -215,10 +215,20 @@ mod tests {
     #[test]
     fn popular_cells_are_a_minority_with_high_counts() {
         let (grid, _ds, _anchors, meta) = setup();
-        let popular: Vec<usize> = (0..grid.leaf_count()).filter(|&i| meta.is_popular(i)).collect();
+        let popular: Vec<usize> = (0..grid.leaf_count())
+            .filter(|&i| meta.is_popular(i))
+            .collect();
         assert!(!popular.is_empty());
-        assert!(popular.len() < grid.leaf_count() / 4, "{} popular cells", popular.len());
-        let min_popular = popular.iter().map(|&i| meta.checkin_count(i)).min().unwrap();
+        assert!(
+            popular.len() < grid.leaf_count() / 4,
+            "{} popular cells",
+            popular.len()
+        );
+        let min_popular = popular
+            .iter()
+            .map(|&i| meta.checkin_count(i))
+            .min()
+            .unwrap();
         let max_unpopular = (0..grid.leaf_count())
             .filter(|&i| !meta.is_popular(i))
             .map(|i| meta.checkin_count(i))

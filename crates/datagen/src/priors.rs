@@ -30,7 +30,10 @@ impl PriorDistribution {
     /// `smoothing = 0`, we default to a small value to avoid zero-mass cells).
     pub fn from_counts(counts: &[usize], smoothing: f64) -> Self {
         assert!(!counts.is_empty(), "prior over zero cells");
-        assert!(smoothing >= 0.0 && smoothing.is_finite(), "invalid smoothing");
+        assert!(
+            smoothing >= 0.0 && smoothing.is_finite(),
+            "invalid smoothing"
+        );
         let total: f64 = counts.iter().map(|&c| c as f64 + smoothing).sum();
         assert!(total > 0.0, "all counts are zero and smoothing is zero");
         Self {
@@ -70,18 +73,11 @@ impl PriorDistribution {
     /// (`p_{v_i} = Σ_{v_m ∈ N(v_i)} p_{v_m}` in the paper's notation).
     pub fn prob_of_cell(&self, grid: &HexGrid, cell: &CellId) -> f64 {
         if cell.is_leaf() {
-            return grid
-                .leaf_index(cell)
-                .map(|i| self.probs[i])
-                .unwrap_or(0.0);
+            return grid.leaf_index(cell).map(|i| self.probs[i]).unwrap_or(0.0);
         }
         cell.descendant_leaves()
             .iter()
-            .map(|leaf| {
-                grid.leaf_index(leaf)
-                    .map(|i| self.probs[i])
-                    .unwrap_or(0.0)
-            })
+            .map(|leaf| grid.leaf_index(leaf).map(|i| self.probs[i]).unwrap_or(0.0))
             .sum()
     }
 
@@ -167,7 +163,10 @@ mod tests {
         assert!((prior.prob_of_cell(&grid, &grid.root()) - 1.0).abs() < 1e-9);
         for level in 0..=grid.height() {
             let level_sum: f64 = prior.at_level(&grid, level).iter().sum();
-            assert!((level_sum - 1.0).abs() < 1e-9, "level {level} sums to {level_sum}");
+            assert!(
+                (level_sum - 1.0).abs() < 1e-9,
+                "level {level} sums to {level_sum}"
+            );
         }
         // A parent's prior equals the sum of its children's priors.
         let parent = grid.cells_at_level(2)[3];

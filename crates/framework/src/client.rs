@@ -106,8 +106,12 @@ impl<P: AttributeProvider> CorgiClient<P> {
             .iter()
             .map(|c| prior.prob_of_cell(self.tree.grid(), c).max(1e-12))
             .collect();
-        let customized =
-            precision_reduction(&pruned, &self.tree, self.policy.precision_level, &leaf_priors)?;
+        let customized = precision_reduction(
+            &pruned,
+            &self.tree,
+            self.policy.precision_level,
+            &leaf_priors,
+        )?;
 
         // Step 5: sample from the row of the real location's ancestor at the
         // precision level.
@@ -219,10 +223,7 @@ mod tests {
         let policy = Policy::new(
             1,
             0,
-            vec![
-                Predicate::is_false("home"),
-                Predicate::is_false("outlier"),
-            ],
+            vec![Predicate::is_false("home"), Predicate::is_false("outlier")],
         )
         .unwrap();
         let client = CorgiClient::new(Arc::clone(&s.service), policy, provider).unwrap();
@@ -266,7 +267,10 @@ mod tests {
                 continue;
             }
             let d = corgi_geo::haversine_km(&s.real_location, &s.grid.cell_center(cell));
-            assert!(d <= 0.7 + 1e-9, "cell at {d} km survived the distance filter");
+            assert!(
+                d <= 0.7 + 1e-9,
+                "cell at {d} km survived the distance filter"
+            );
         }
     }
 
@@ -288,6 +292,8 @@ mod tests {
             CorgiClient::new(Arc::clone(&s.service), policy_no_prefs(1, 0), provider).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let tokyo = LatLng::new(35.67, 139.65).unwrap();
-        assert!(client.generate_obfuscated_location(&tokyo, &mut rng).is_err());
+        assert!(client
+            .generate_obfuscated_location(&tokyo, &mut rng)
+            .is_err());
     }
 }

@@ -157,9 +157,7 @@ mod tests {
     #[test]
     fn run_ordered_preserves_task_order() {
         let pool = ThreadPool::new(3);
-        let tasks: Vec<_> = (0..50)
-            .map(|i| move || i * i)
-            .collect();
+        let tasks: Vec<_> = (0..50).map(|i| move || i * i).collect();
         assert_eq!(
             pool.run_ordered(tasks),
             (0..50).map(|i| i * i).collect::<Vec<_>>()

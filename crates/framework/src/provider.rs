@@ -102,12 +102,7 @@ mod tests {
             provider.attribute(&home, "home"),
             Some(AttributeValue::Bool(true))
         );
-        let other = grid
-            .leaves()
-            .iter()
-            .find(|c| **c != home)
-            .copied()
-            .unwrap();
+        let other = grid.leaves().iter().find(|c| **c != home).copied().unwrap();
         assert_eq!(
             provider.attribute(&other, "home"),
             Some(AttributeValue::Bool(false))

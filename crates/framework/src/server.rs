@@ -179,7 +179,9 @@ impl CorgiServer {
         &self,
         request: MatrixRequest,
     ) -> Result<Arc<PrivacyForestResponse>, CorgiError> {
-        self.service.privacy_forest(request).map_err(CorgiError::from)
+        self.service
+            .privacy_forest(request)
+            .map_err(CorgiError::from)
     }
 
     /// Number of privacy forests currently cached.

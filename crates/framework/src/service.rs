@@ -23,8 +23,8 @@ use crate::messages::{
 use crate::pool::ThreadPool;
 use crate::server::ServerConfig;
 use corgi_core::{
-    generate_robust_matrix, CorgiError, LocationTree, ObfuscationProblem, RobustConfig,
-    SolverKind, Subtree,
+    generate_robust_matrix, CorgiError, LocationTree, ObfuscationProblem, RobustConfig, SolverKind,
+    Subtree,
 };
 use corgi_datagen::PriorDistribution;
 use rand::rngs::StdRng;
@@ -364,10 +364,7 @@ impl Flight {
             if let Some(result) = slot.as_ref() {
                 return result.clone();
             }
-            slot = self
-                .done
-                .wait(slot)
-                .unwrap_or_else(|e| e.into_inner());
+            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -460,7 +457,10 @@ impl<S: MatrixService> CachingService<S> {
     }
 
     fn cache_get(&self, key: &CacheKey) -> Option<Arc<PrivacyForestResponse>> {
-        let mut shard = self.shard_for(key).lock().unwrap_or_else(|e| e.into_inner());
+        let mut shard = self
+            .shard_for(key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         shard.tick += 1;
         let tick = shard.tick;
         let (response, last_used) = shard.entries.get_mut(key)?;
@@ -469,7 +469,10 @@ impl<S: MatrixService> CachingService<S> {
     }
 
     fn cache_insert(&self, key: CacheKey, response: Arc<PrivacyForestResponse>) {
-        let mut shard = self.shard_for(&key).lock().unwrap_or_else(|e| e.into_inner());
+        let mut shard = self
+            .shard_for(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         shard.tick += 1;
         let tick = shard.tick;
         shard.entries.insert(key, (response, tick));
@@ -757,8 +760,7 @@ mod tests {
 
     #[test]
     fn envelope_round_trip_through_the_stack() {
-        let service: Arc<dyn MatrixService> =
-            Arc::new(CachingService::with_defaults(generator()));
+        let service: Arc<dyn MatrixService> = Arc::new(CachingService::with_defaults(generator()));
         let reply = service.handle_envelope(&RequestEnvelope::new(11, request(1, 0)));
         assert_eq!(reply.request_id, 11);
         assert_eq!(reply.into_result().unwrap().entries.len(), 49);

@@ -44,8 +44,7 @@ pub fn destination_point(start: &LatLng, bearing_deg: f64, distance_km: f64) -> 
     let lat1 = start.lat_rad();
     let lng1 = start.lng_rad();
 
-    let lat2 =
-        (lat1.sin() * angular.cos() + lat1.cos() * angular.sin() * bearing.cos()).asin();
+    let lat2 = (lat1.sin() * angular.cos() + lat1.cos() * angular.sin() * bearing.cos()).asin();
     let lng2 = lng1
         + (bearing.sin() * angular.sin() * lat1.cos())
             .atan2(angular.cos() - lat1.sin() * lat2.sin());

@@ -122,10 +122,7 @@ mod tests {
 
     #[test]
     fn out_of_range_latitude_rejected() {
-        assert_eq!(
-            LatLng::new(91.0, 0.0),
-            Err(GeoError::InvalidLatitude(91.0))
-        );
+        assert_eq!(LatLng::new(91.0, 0.0), Err(GeoError::InvalidLatitude(91.0)));
         assert_eq!(
             LatLng::new(-90.5, 0.0),
             Err(GeoError::InvalidLatitude(-90.5))

@@ -48,8 +48,11 @@ impl LocalProjection {
     pub fn unproject(&self, v: &Vec2) -> LatLng {
         let lat = self.origin.lat_rad() + v.y / EARTH_RADIUS_KM;
         let lng = self.origin.lng_rad() + v.x / (EARTH_RADIUS_KM * self.cos_lat0);
-        LatLng::new(lat.to_degrees().clamp(-90.0, 90.0), normalize_lng(lng.to_degrees()))
-            .expect("unprojected point is clamped into valid ranges")
+        LatLng::new(
+            lat.to_degrees().clamp(-90.0, 90.0),
+            normalize_lng(lng.to_degrees()),
+        )
+        .expect("unprojected point is clamped into valid ranges")
     }
 
     /// Planar Euclidean distance between two geographic points under this projection (km).

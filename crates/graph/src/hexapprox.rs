@@ -139,7 +139,10 @@ mod tests {
         // Interior nodes have 12 neighbors; boundary nodes fewer. Average degree
         // should be well above 6 and at most 12.
         let avg_degree = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
-        assert!(avg_degree > 6.0 && avg_degree <= 12.0, "avg degree {avg_degree}");
+        assert!(
+            avg_degree > 6.0 && avg_degree <= 12.0,
+            "avg degree {avg_degree}"
+        );
     }
 
     #[test]
@@ -148,7 +151,12 @@ mod tests {
         let cells = subtree_cells(&grid);
         let g = HexMobilityGraph::new(&grid, &cells);
         let all_pairs = g.num_nodes() * (g.num_nodes() - 1) / 2;
-        assert!(g.num_edges() * 3 < all_pairs, "{} vs {}", g.num_edges(), all_pairs);
+        assert!(
+            g.num_edges() * 3 < all_pairs,
+            "{} vs {}",
+            g.num_edges(),
+            all_pairs
+        );
     }
 
     #[test]

@@ -33,9 +33,15 @@ impl WeightedGraph {
     /// Panics if either endpoint is out of range, the weight is negative or
     /// non-finite, or the edge is a self-loop.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
-        assert!(u < self.num_nodes() && v < self.num_nodes(), "node out of range");
+        assert!(
+            u < self.num_nodes() && v < self.num_nodes(),
+            "node out of range"
+        );
         assert!(u != v, "self-loops are not allowed");
-        assert!(weight.is_finite() && weight >= 0.0, "invalid edge weight {weight}");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "invalid edge weight {weight}"
+        );
         self.adjacency[u].push((v, weight));
         self.adjacency[v].push((u, weight));
     }

@@ -12,9 +12,7 @@ use std::fmt;
 /// same `CellId` values can be exchanged between the CORGI server and clients
 /// (Section 5 of the paper) without revealing coordinates beyond the shared grid
 /// definition.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CellId {
     level: u8,
     center: Axial,

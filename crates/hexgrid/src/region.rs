@@ -161,7 +161,8 @@ impl HexGrid {
 
     /// Geographic center of a cell.
     pub fn cell_center(&self, cell: &CellId) -> LatLng {
-        self.projection.unproject(&self.layout.to_planar(cell.center()))
+        self.projection
+            .unproject(&self.layout.to_planar(cell.center()))
     }
 
     /// Great-circle distance between two cell centers, in kilometres.

@@ -3,9 +3,112 @@
 //! Only the operations the solvers need are implemented: symmetric rank updates,
 //! Cholesky factorization with diagonal regularization, and triangular solves.
 //! Matrices are stored row-major in a flat `Vec<f64>`.
+//!
+//! # Kernel layout and the blocked factorization
+//!
+//! The hot path of the block-angular interior-point solver factorizes hundreds
+//! of symmetric positive-definite Newton blocks per iteration (343 matrices of
+//! size 343 × 343 in the paper's full-tree regime).  Two kernel families are
+//! provided:
+//!
+//! * **Blocked (default).**  [`DenseMatrix::cholesky_in_place`] runs a
+//!   *right-looking blocked* factorization
+//!   ([`DenseMatrix::cholesky_in_place_blocked`]): the matrix is processed in
+//!   column panels of width `nb` (default [`DEFAULT_CHOLESKY_BLOCK`]).  For each
+//!   panel the diagonal block is factorized in place, the rows below it are
+//!   solved against the panel's transposed triangle, and the trailing submatrix
+//!   receives a symmetric rank-`nb` update.  Because the storage is row-major,
+//!   every inner loop is a dot product or AXPY over *contiguous* row slices of
+//!   length ≤ `nb`, which keeps the panel resident in L1 and lets the compiler
+//!   vectorize; the dot kernel additionally uses four independent accumulators
+//!   to break the floating-point add dependency chain.  Only the lower triangle
+//!   is read and written, so callers may assemble just the lower triangle (see
+//!   [`DenseMatrix::add_scaled_outer_sparse_lower`]).
+//! * **Reference.**  [`DenseMatrix::cholesky_in_place_unblocked`] is the
+//!   textbook left-looking scalar kernel the crate shipped with originally.  It
+//!   is kept verbatim as the measurable baseline for the perf-gated benchmarks
+//!   and as the oracle for the blocked-vs-scalar property tests.
+//!
+//! Both variants perform the same regularized factorization; they differ only
+//! in the order floating-point operations are accumulated, so their factors
+//! agree to machine-precision rounding (asserted by property tests below).
+//!
+//! Multi-right-hand-side solves ([`DenseMatrix::cholesky_solve_matrix_into`])
+//! are *fused*: the forward and backward substitutions sweep all RHS columns at
+//! once with contiguous row AXPYs instead of extracting one column at a time,
+//! and solve in place — no per-column allocation
+//! ([`DenseMatrix::cholesky_solve_matrix_per_column`] preserves the allocating
+//! reference for the benchmark that proves the win).
 
 use crate::LpError;
 use serde::{Deserialize, Serialize};
+
+/// Default column-panel width of the blocked Cholesky factorization.
+///
+/// 64 columns × 8 bytes = 512 bytes per row panel: a handful of cache lines,
+/// small enough that the panel rows of both operands of the trailing update
+/// stay L1-resident, large enough to amortize the loop overhead.  Tunable per
+/// solve via `InteriorPointOptions::cholesky_block_size`.
+pub const DEFAULT_CHOLESKY_BLOCK: usize = 64;
+
+/// Dot product with four independent accumulators.
+///
+/// Sequential summation chains every add through the previous one and caps the
+/// kernel at one FLOP per add-latency; four-way accumulation exposes
+/// instruction-level parallelism (and is the reason blocked and unblocked
+/// factors differ by rounding only, not bitwise).
+#[inline]
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        s0 += ca[0] * cb[0];
+        s1 += ca[1] * cb[1];
+        s2 += ca[2] * cb[2];
+        s3 += ca[3] * cb[3];
+    }
+    let tail: f64 = chunks_a
+        .remainder()
+        .iter()
+        .zip(chunks_b.remainder())
+        .map(|(x, y)| x * y)
+        .sum();
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// `y += alpha · x` over contiguous slices.
+#[inline]
+fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// Magnitudes below this are flushed to exact zero by the blocked kernels.
+///
+/// `FLUSH_THRESHOLD² ≈ 1e-308` is the smallest normal `f64`: any product of
+/// two flushed-scale values underflows to (sub)normal noise ≥ 300 orders of
+/// magnitude below the solver's regularization floor, so zeroing them cannot
+/// move a result.  What it does do is keep *subnormal* values out of the inner
+/// loops — triangular factors of strongly diagonally dominant Newton matrices
+/// decay geometrically below the band, and once entries underflow into the
+/// subnormal range every multiply takes the CPU's microcoded assist path
+/// (~100 cycles instead of ~4), which measurably dominated the K = 343
+/// full-tree solve before flushing.
+pub const FLUSH_THRESHOLD: f64 = 1e-154;
+
+/// `v`, or exact zero when `|v|` is below [`FLUSH_THRESHOLD`].
+#[inline]
+fn flush_subnormalish(v: f64) -> f64 {
+    if v.abs() < FLUSH_THRESHOLD {
+        0.0
+    } else {
+        v
+    }
+}
 
 /// A dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,13 +163,28 @@ impl DenseMatrix {
         self.cols
     }
 
+    /// Row `i` as a contiguous slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Overwrite every entry with `value` (used to recycle workspace matrices
+    /// across interior-point iterations instead of reallocating).
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
     /// Multiply by a vector: `self · x`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
         let mut out = vec![0.0; self.rows];
         for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            out[i] = dot(self.row(i), x);
         }
         out
     }
@@ -86,6 +204,24 @@ impl DenseMatrix {
         }
     }
 
+    /// Lower-triangle-only variant of [`DenseMatrix::add_scaled_outer_sparse`]:
+    /// entries with row < column are left untouched.
+    ///
+    /// The Cholesky kernels read and write only the lower triangle, so a matrix
+    /// destined for factorization can skip the mirrored upper-triangle stores.
+    pub fn add_scaled_outer_sparse_lower(&mut self, idx: &[usize], v: &[f64], alpha: f64) {
+        debug_assert_eq!(idx.len(), v.len());
+        for (a, &ia) in idx.iter().enumerate() {
+            let va = alpha * v[a];
+            let row_start = ia * self.cols;
+            for (b, &ib) in idx.iter().enumerate() {
+                if ib <= ia {
+                    self.data[row_start + ib] += va * v[b];
+                }
+            }
+        }
+    }
+
     /// Add `value` to the diagonal entry `i`.
     pub fn add_diagonal(&mut self, i: usize, value: f64) {
         let c = self.cols;
@@ -95,10 +231,101 @@ impl DenseMatrix {
     /// In-place Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
     /// matrix; the lower triangle of `self` is overwritten with `L`.
     ///
+    /// Delegates to [`DenseMatrix::cholesky_in_place_blocked`] with the default
+    /// panel width [`DEFAULT_CHOLESKY_BLOCK`].  Only the lower triangle is read;
+    /// the upper triangle is ignored and left untouched.
+    ///
     /// A small diagonal regularization `reg` is added on the fly whenever a pivot
     /// falls below `reg` to keep the factorization stable on nearly singular
     /// systems (common in the late interior-point iterations).
     pub fn cholesky_in_place(&mut self, reg: f64) -> Result<(), LpError> {
+        self.cholesky_in_place_blocked(reg, DEFAULT_CHOLESKY_BLOCK)
+    }
+
+    /// Blocked right-looking Cholesky factorization with panel width `nb`.
+    ///
+    /// For each column panel `[k0, k1)` (width ≤ `nb`):
+    /// 1. **Panel factorization** — the diagonal block `A[k0..k1, k0..k1]` is
+    ///    factorized with the scalar left-looking kernel (its trailing updates
+    ///    from previous panels have already been applied).
+    /// 2. **Panel solve** — rows below the panel are solved against `L11ᵀ`:
+    ///    `L21 = A21 · L11⁻ᵀ` by forward substitution across the panel columns.
+    /// 3. **Trailing update** — the lower triangle of the trailing submatrix
+    ///    receives the symmetric rank-`nb` update `A22 −= L21 · L21ᵀ`, computed
+    ///    as contiguous length-`nb` row dot products.
+    ///
+    /// With `nb ≥ n` this degenerates to a single panel factorization and
+    /// performs the same operations as the unblocked reference kernel.
+    /// Regularization semantics match [`DenseMatrix::cholesky_in_place_unblocked`].
+    ///
+    /// Strictly-below-diagonal factor entries with magnitude under
+    /// [`FLUSH_THRESHOLD`] are flushed to exact zero (see the constant's docs:
+    /// numerically inert, keeps subnormals out of every downstream solve).
+    /// Diagonal entries are never flushed.
+    pub fn cholesky_in_place_blocked(&mut self, reg: f64, nb: usize) -> Result<(), LpError> {
+        assert_eq!(self.rows, self.cols, "Cholesky needs a square matrix");
+        let n = self.rows;
+        let nb = nb.max(1);
+        let mut panel_row = vec![0.0; nb];
+        let mut k0 = 0;
+        while k0 < n {
+            let k1 = (k0 + nb).min(n);
+            // 1. Factor the diagonal block in place (left-looking within panel).
+            for j in k0..k1 {
+                let rj = j * self.cols;
+                let mut d = self.data[rj + j]
+                    - dot(&self.data[rj + k0..rj + j], &self.data[rj + k0..rj + j]);
+                if d.is_nan() {
+                    return Err(LpError::NumericalFailure(format!(
+                        "NaN pivot at column {j}"
+                    )));
+                }
+                if d < reg || !d.is_finite() {
+                    d = reg.max(1e-300);
+                }
+                let d = d.sqrt();
+                self.data[rj + j] = d;
+                for i in (j + 1)..k1 {
+                    let ri = i * self.cols;
+                    let s = dot(&self.data[ri + k0..ri + j], &self.data[rj + k0..rj + j]);
+                    self.data[ri + j] = flush_subnormalish((self.data[ri + j] - s) / d);
+                }
+            }
+            // 2. Solve the rows below the panel: L21 · L11ᵀ = A21.
+            for i in k1..n {
+                let ri = i * self.cols;
+                for j in k0..k1 {
+                    let rj = j * self.cols;
+                    let s = dot(&self.data[ri + k0..ri + j], &self.data[rj + k0..rj + j]);
+                    self.data[ri + j] =
+                        flush_subnormalish((self.data[ri + j] - s) / self.data[rj + j]);
+                }
+            }
+            // 3. Symmetric rank-nb trailing update of the lower triangle.
+            let width = k1 - k0;
+            for i in k1..n {
+                let ri = i * self.cols;
+                panel_row[..width].copy_from_slice(&self.data[ri + k0..ri + k1]);
+                let (before, current) = self.data.split_at_mut(ri);
+                for j in k1..i {
+                    let rj = j * self.cols;
+                    current[j] -= dot(&panel_row[..width], &before[rj + k0..rj + k1]);
+                }
+                current[i] -= dot(&panel_row[..width], &panel_row[..width]);
+            }
+            k0 = k1;
+        }
+        Ok(())
+    }
+
+    /// Reference scalar Cholesky factorization (textbook left-looking kernel).
+    ///
+    /// This is the exact pre-blocking implementation, kept as the baseline for
+    /// the perf-gated `cholesky_factorize` benchmarks and as the oracle of the
+    /// blocked-vs-scalar property tests.  Semantics (regularization, NaN
+    /// handling, lower-triangle-only access) are identical to the blocked
+    /// kernel; results agree to floating-point rounding.
+    pub fn cholesky_in_place_unblocked(&mut self, reg: f64) -> Result<(), LpError> {
         assert_eq!(self.rows, self.cols, "Cholesky needs a square matrix");
         let n = self.rows;
         for j in 0..n {
@@ -135,33 +362,118 @@ impl DenseMatrix {
     /// Solve `L Lᵀ x = b` where `self` holds the Cholesky factor `L` in its lower
     /// triangle (as produced by [`DenseMatrix::cholesky_in_place`]).
     pub fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = b.to_vec();
+        self.cholesky_solve_into(&mut y);
+        y
+    }
+
+    /// In-place variant of [`DenseMatrix::cholesky_solve`]: `b` is overwritten
+    /// with the solution, no allocation.
+    pub fn cholesky_solve_into(&self, b: &mut [f64]) {
+        self.forward_solve_from(b, 0);
+        self.backward_solve(b);
+    }
+
+    /// Forward-substitute `L y = b` in place, assuming `b[..start] == 0`.
+    ///
+    /// The leading zeros let the substitution begin at row `start`: for a
+    /// right-hand side whose first nonzero sits at row `i₀`, the solution is
+    /// also zero above `i₀`, so rows `0..i₀` are skipped entirely.  The sparse
+    /// Schur assembly exploits this: the coupling columns `E_bᵀ` of the
+    /// block-angular LP have a single nonzero each, which on average halves
+    /// (and for the obfuscation LP's staircase pattern, cuts to a third) the
+    /// triangular-solve work.
+    pub fn forward_solve_from(&self, b: &mut [f64], start: usize) {
+        assert_eq!(self.rows, self.cols);
+        assert_eq!(b.len(), self.rows);
+        debug_assert!(b[..start].iter().all(|&v| v == 0.0));
+        let n = self.rows;
+        for i in start..n {
+            let ri = i * self.cols;
+            let s = dot(&self.data[ri + start..ri + i], &b[start..i]);
+            b[i] = (b[i] - s) / self.data[ri + i];
+        }
+    }
+
+    /// Back-substitute `Lᵀ x = y` in place.
+    pub fn backward_solve(&self, b: &mut [f64]) {
         assert_eq!(self.rows, self.cols);
         assert_eq!(b.len(), self.rows);
         let n = self.rows;
-        let mut y = b.to_vec();
-        // Forward solve L y = b.
-        for i in 0..n {
-            let ri = i * self.cols;
-            let mut v = y[i];
-            for k in 0..i {
-                v -= self.data[ri + k] * y[k];
-            }
-            y[i] = v / self.data[ri + i];
-        }
-        // Back solve Lᵀ x = y.
         for i in (0..n).rev() {
-            let mut v = y[i];
+            let mut v = b[i];
             for k in (i + 1)..n {
-                v -= self.data[k * self.cols + i] * y[k];
+                v -= self.data[k * self.cols + i] * b[k];
             }
-            y[i] = v / self.data[i * self.cols + i];
+            b[i] = v / self.data[i * self.cols + i];
         }
-        y
     }
 
     /// Solve for multiple right-hand sides given as columns of `rhs`
     /// (`rhs` has `self.rows()` rows); returns the solution matrix.
+    ///
+    /// One allocation for the output; the substitutions themselves run fused
+    /// and in place (see [`DenseMatrix::cholesky_solve_matrix_into`]).
     pub fn cholesky_solve_matrix(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        let mut out = rhs.clone();
+        self.cholesky_solve_matrix_into(&mut out);
+        out
+    }
+
+    /// Fused in-place multi-RHS solve: overwrite `rhs` with `(L Lᵀ)⁻¹ rhs`.
+    ///
+    /// Both substitutions sweep *all* columns of a row at once: the forward
+    /// pass applies `row_i −= L[i,k] · row_k` as contiguous AXPYs (the target
+    /// row stays L1-resident across the inner loop), the backward pass the
+    /// transposed analogue.  Compared to the per-column reference
+    /// ([`DenseMatrix::cholesky_solve_matrix_per_column`]) this removes one
+    /// `Vec` allocation *per RHS column* and turns strided column gathers into
+    /// streaming row operations.
+    pub fn cholesky_solve_matrix_into(&self, rhs: &mut DenseMatrix) {
+        assert_eq!(self.rows, self.cols);
+        assert_eq!(rhs.rows, self.rows);
+        let n = self.rows;
+        let m = rhs.cols;
+        // Forward: L Y = B.
+        for i in 0..n {
+            let ri = i * self.cols;
+            let (before, current) = rhs.data.split_at_mut(i * m);
+            let row_i = &mut current[..m];
+            for k in 0..i {
+                let l = self.data[ri + k];
+                if l != 0.0 {
+                    axpy(row_i, -l, &before[k * m..(k + 1) * m]);
+                }
+            }
+            let inv = 1.0 / self.data[ri + i];
+            for v in row_i.iter_mut() {
+                *v *= inv;
+            }
+        }
+        // Backward: Lᵀ X = Y.
+        for i in (0..n).rev() {
+            let (current, after) = rhs.data.split_at_mut((i + 1) * m);
+            let row_i = &mut current[i * m..];
+            for k in (i + 1)..n {
+                let l = self.data[k * self.cols + i];
+                if l != 0.0 {
+                    axpy(row_i, -l, &after[(k - i - 1) * m..(k - i) * m]);
+                }
+            }
+            let inv = 1.0 / self.data[i * self.cols + i];
+            for v in row_i.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+
+    /// Reference multi-RHS solve: extract every column into a fresh `Vec`,
+    /// solve it, scatter it back.
+    ///
+    /// Kept verbatim as the pre-fusing baseline — the `cholesky_multi_rhs`
+    /// benchmark pits it against [`DenseMatrix::cholesky_solve_matrix_into`] to
+    /// lock in the allocation win.  Prefer the fused kernels in new code.
+    pub fn cholesky_solve_matrix_per_column(&self, rhs: &DenseMatrix) -> DenseMatrix {
         assert_eq!(rhs.rows, self.rows);
         let mut out = DenseMatrix::zeros(rhs.rows, rhs.cols);
         let mut col = vec![0.0; rhs.rows];
@@ -195,6 +507,22 @@ impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// Random SPD matrix `A = BᵀB + I` of size `n` built from `n²` seed values.
+    fn random_spd(seed_vals: &[f64], n: usize) -> DenseMatrix {
+        assert_eq!(seed_vals.len(), n * n);
+        let mut a = DenseMatrix::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0;
+                for k in 0..n {
+                    v += seed_vals[k * n + i] * seed_vals[k * n + j];
+                }
+                a[(i, j)] += v;
+            }
+        }
+        a
+    }
 
     #[test]
     fn identity_solve_is_identity() {
@@ -236,6 +564,23 @@ mod tests {
     }
 
     #[test]
+    fn lower_outer_update_skips_upper_triangle() {
+        let mut full = DenseMatrix::zeros(4, 4);
+        let mut lower = DenseMatrix::zeros(4, 4);
+        full.add_scaled_outer_sparse(&[3, 1], &[2.0, -1.0], 0.5);
+        lower.add_scaled_outer_sparse_lower(&[3, 1], &[2.0, -1.0], 0.5);
+        for i in 0..4 {
+            for j in 0..4 {
+                if j <= i {
+                    assert_eq!(lower[(i, j)], full[(i, j)], "lower entry ({i},{j})");
+                } else {
+                    assert_eq!(lower[(i, j)], 0.0, "upper entry ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn multi_rhs_solve() {
         let mut a = DenseMatrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 8.0]]);
         a.cholesky_in_place(1e-14).unwrap();
@@ -247,33 +592,144 @@ mod tests {
         assert!((x[(1, 1)] - 2.0).abs() < 1e-12);
     }
 
+    #[test]
+    fn forward_solve_from_skips_leading_zeros() {
+        let seeds: Vec<f64> = (0..25)
+            .map(|i| ((i * 7 + 3) % 11) as f64 / 5.0 - 1.0)
+            .collect();
+        let mut l = random_spd(&seeds, 5);
+        l.cholesky_in_place(1e-12).unwrap();
+        // RHS with first nonzero at row 2.
+        let rhs = vec![0.0, 0.0, 1.5, -0.5, 2.0];
+        let mut full = rhs.clone();
+        l.forward_solve_from(&mut full, 0);
+        let mut skipped = rhs.clone();
+        l.forward_solve_from(&mut skipped, 2);
+        for (a, b) in full.iter().zip(skipped.iter()) {
+            assert!((a - b).abs() < 1e-14, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn blocked_handles_tiny_panels_and_degenerate_sizes() {
+        for &(n, nb) in &[
+            (1usize, 1usize),
+            (1, 64),
+            (5, 1),
+            (5, 2),
+            (5, 5),
+            (5, 64),
+            (0, 4),
+        ] {
+            let seeds: Vec<f64> = (0..n * n)
+                .map(|i| ((i * 13 + 1) % 17) as f64 / 8.0 - 1.0)
+                .collect();
+            let a = random_spd(&seeds, n);
+            let mut blocked = a.clone();
+            blocked.cholesky_in_place_blocked(1e-12, nb).unwrap();
+            let mut reference = a.clone();
+            reference.cholesky_in_place_unblocked(1e-12).unwrap();
+            for i in 0..n {
+                for j in 0..=i {
+                    assert!(
+                        (blocked[(i, j)] - reference[(i, j)]).abs() < 1e-10,
+                        "n={n} nb={nb} entry ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_factorization_ignores_upper_triangle() {
+        // Assemble only the lower triangle, poison the upper one: the factor and
+        // solve must be unaffected.
+        let seeds: Vec<f64> = (0..36)
+            .map(|i| ((i * 5 + 2) % 13) as f64 / 6.0 - 1.0)
+            .collect();
+        let a = random_spd(&seeds, 6);
+        let mut poisoned = a.clone();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                poisoned[(i, j)] = f64::NAN;
+            }
+        }
+        let mut clean_f = a.clone();
+        clean_f.cholesky_in_place(1e-12).unwrap();
+        poisoned.cholesky_in_place(1e-12).unwrap();
+        let b = vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.25];
+        let x_clean = clean_f.cholesky_solve(&b);
+        let x_poisoned = poisoned.cholesky_solve(&b);
+        for (a, b) in x_clean.iter().zip(x_poisoned.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
     proptest! {
         /// Cholesky solve inverts A·x for randomly generated SPD matrices A = BᵀB + I.
         #[test]
         fn prop_cholesky_solves_spd(seed_vals in proptest::collection::vec(-2.0f64..2.0, 9),
                                     x_true in proptest::collection::vec(-5.0f64..5.0, 3)) {
-            // Build A = BᵀB + I (3×3) from the seed values.
-            let b = DenseMatrix::from_rows(&[
-                seed_vals[0..3].to_vec(),
-                seed_vals[3..6].to_vec(),
-                seed_vals[6..9].to_vec(),
-            ]);
-            let mut a = DenseMatrix::identity(3);
-            for i in 0..3 {
-                for j in 0..3 {
-                    let mut v = 0.0;
-                    for k in 0..3 {
-                        v += b[(k, i)] * b[(k, j)];
-                    }
-                    a[(i, j)] += v;
-                }
-            }
+            let a = random_spd(&seed_vals, 3);
             let rhs = a.mul_vec(&x_true);
             let mut f = a.clone();
             f.cholesky_in_place(1e-12).unwrap();
             let x = f.cholesky_solve(&rhs);
             for i in 0..3 {
                 prop_assert!((x[i] - x_true[i]).abs() < 1e-6);
+            }
+        }
+
+        /// Blocked and unblocked Cholesky produce the same factor (up to
+        /// accumulation-order rounding) on random SPD matrices, across panel
+        /// widths that exercise every edge: nb = 1 (rank-1 outer product),
+        /// nb < n, nb = n, and nb > n (single panel = scalar kernel).
+        #[test]
+        fn prop_blocked_cholesky_matches_scalar(
+            seed_vals in proptest::collection::vec(-2.0f64..2.0, 49),
+            nb in 1usize..10,
+        ) {
+            let a = random_spd(&seed_vals, 7);
+            let mut blocked = a.clone();
+            blocked.cholesky_in_place_blocked(1e-12, nb).unwrap();
+            let mut reference = a.clone();
+            reference.cholesky_in_place_unblocked(1e-12).unwrap();
+            for i in 0..7 {
+                for j in 0..=i {
+                    let (x, y) = (blocked[(i, j)], reference[(i, j)]);
+                    prop_assert!(
+                        (x - y).abs() < 1e-9 * (1.0 + y.abs()),
+                        "nb={} entry ({},{}): {} vs {}", nb, i, j, x, y
+                    );
+                }
+            }
+        }
+
+        /// The fused multi-RHS solve agrees with the per-column reference
+        /// bitwise: per column, both run the identical substitution sequence.
+        #[test]
+        fn prop_fused_multi_rhs_matches_per_column(
+            seed_vals in proptest::collection::vec(-2.0f64..2.0, 16),
+            rhs_vals in proptest::collection::vec(-3.0f64..3.0, 12),
+        ) {
+            let mut f = random_spd(&seed_vals, 4);
+            f.cholesky_in_place_unblocked(1e-12).unwrap();
+            let rhs = DenseMatrix::from_rows(&[
+                rhs_vals[0..3].to_vec(),
+                rhs_vals[3..6].to_vec(),
+                rhs_vals[6..9].to_vec(),
+                rhs_vals[9..12].to_vec(),
+            ]);
+            let fused = f.cholesky_solve_matrix(&rhs);
+            let reference = f.cholesky_solve_matrix_per_column(&rhs);
+            for i in 0..4 {
+                for j in 0..3 {
+                    prop_assert!(
+                        (fused[(i, j)] - reference[(i, j)]).abs()
+                            < 1e-12 * (1.0 + reference[(i, j)].abs()),
+                        "entry ({},{})", i, j
+                    );
+                }
             }
         }
     }

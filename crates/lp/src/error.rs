@@ -31,13 +31,19 @@ impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LpError::VariableOutOfRange { index, num_vars } => {
-                write!(f, "variable index {index} out of range (problem has {num_vars} variables)")
+                write!(
+                    f,
+                    "variable index {index} out of range (problem has {num_vars} variables)"
+                )
             }
             LpError::NonFiniteCoefficient => write!(f, "coefficient is NaN or infinite"),
             LpError::EmptyProblem => write!(f, "problem has no variables"),
             LpError::InvalidBlockStructure(msg) => write!(f, "invalid block structure: {msg}"),
             LpError::ConstraintSpansBlocks { constraint } => {
-                write!(f, "inequality constraint {constraint} spans multiple blocks")
+                write!(
+                    f,
+                    "inequality constraint {constraint} spans multiple blocks"
+                )
             }
             LpError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
         }

@@ -34,9 +34,9 @@ mod problem;
 mod simplex;
 mod solution;
 
-pub use dense::DenseMatrix;
+pub use dense::{DenseMatrix, DEFAULT_CHOLESKY_BLOCK, FLUSH_THRESHOLD};
 pub use error::LpError;
-pub use interior::{BlockAngularSolver, InteriorPointOptions, InteriorPointSolver};
+pub use interior::{BlockAngularSolver, InteriorPointOptions, InteriorPointSolver, KernelStrategy};
 pub use problem::{Constraint, ConstraintSense, LpProblem};
 pub use simplex::SimplexSolver;
 pub use solution::{LpSolution, SolveStatus};

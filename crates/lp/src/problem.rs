@@ -96,6 +96,14 @@ impl LpProblem {
         counts
     }
 
+    /// Total number of nonzero coefficients across all constraints — the
+    /// figure that drives the per-iteration Newton *assembly* cost of the
+    /// interior-point solvers (the factorization cost is driven by the block
+    /// sizes instead).
+    pub fn nonzeros(&self) -> usize {
+        self.constraints.iter().map(|c| c.coeffs.len()).sum()
+    }
+
     /// Set the objective coefficient of one variable.
     pub fn set_objective(&mut self, var: usize, coeff: f64) -> Result<(), LpError> {
         if var >= self.num_vars {
@@ -175,7 +183,11 @@ impl LpProblem {
 
     /// Objective value `cᵀx` at a point.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum()
+        self.objective
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum()
     }
 
     /// Maximum constraint violation at `x` (also counts negativity of `x`).
@@ -211,6 +223,7 @@ mod tests {
         assert_eq!(p.num_vars(), 2);
         assert_eq!(p.num_constraints(), 2);
         assert_eq!(p.constraint_counts(), (1, 1, 0));
+        assert_eq!(p.nonzeros(), 3);
         let x = [2.0, 1.0];
         assert!((p.objective_value(&x) - 4.0).abs() < 1e-12);
         assert!(p.is_feasible(&x, 1e-9));

@@ -96,7 +96,12 @@ enum PhaseOutcome {
     IterationLimit,
 }
 
-fn run_phase(tab: &mut Tableau, tol: f64, iter_budget: &mut usize, allowed_cols: usize) -> PhaseOutcome {
+fn run_phase(
+    tab: &mut Tableau,
+    tol: f64,
+    iter_budget: &mut usize,
+    allowed_cols: usize,
+) -> PhaseOutcome {
     let mut stall_count = 0usize;
     let mut last_objective = tab.objective_value();
     loop {
@@ -195,10 +200,7 @@ impl LpSolver for SimplexSolver {
             // Row equilibration: scale each row to unit max-absolute coefficient so
             // that constraints with very large coefficients (e.g. the e^{ε·d}
             // Geo-Ind bounds) do not dominate the pivoting tolerances.
-            let max_abs = c
-                .coeffs
-                .iter()
-                .fold(0.0f64, |mx, (_, a)| mx.max(a.abs()));
+            let max_abs = c.coeffs.iter().fold(0.0f64, |mx, (_, a)| mx.max(a.abs()));
             let scale = if max_abs > 0.0 { 1.0 / max_abs } else { 1.0 };
             let mut coeffs: Vec<(usize, f64)> =
                 c.coeffs.iter().map(|&(j, a)| (j, a * scale)).collect();
@@ -322,9 +324,7 @@ impl LpSolver for SimplexSolver {
             // of the basis when possible.
             for i in 0..m {
                 if tab.basis[i] >= n_with_slack {
-                    if let Some(col) = (0..n_with_slack)
-                        .find(|&j| tab.data[i][j].abs() > 1e-8)
-                    {
+                    if let Some(col) = (0..n_with_slack).find(|&j| tab.data[i][j].abs() > 1e-8) {
                         tab.pivot(i, col);
                     }
                 }
@@ -406,12 +406,19 @@ mod tests {
         // optimum x=2, y=6, objective 36.
         let mut p = LpProblem::new(2);
         p.set_objective_vector(vec![-3.0, -5.0]).unwrap();
-        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 4.0).unwrap();
-        p.add_constraint(vec![(1, 2.0)], ConstraintSense::Le, 12.0).unwrap();
-        p.add_constraint(vec![(0, 3.0), (1, 2.0)], ConstraintSense::Le, 18.0).unwrap();
+        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 4.0)
+            .unwrap();
+        p.add_constraint(vec![(1, 2.0)], ConstraintSense::Le, 12.0)
+            .unwrap();
+        p.add_constraint(vec![(0, 3.0), (1, 2.0)], ConstraintSense::Le, 18.0)
+            .unwrap();
         let s = solve(&p);
         assert_eq!(s.status, SolveStatus::Optimal);
-        assert!((s.objective + 36.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective + 36.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!((s.x[0] - 2.0).abs() < 1e-6);
         assert!((s.x[1] - 6.0).abs() < 1e-6);
     }
@@ -422,8 +429,10 @@ mod tests {
         // check: objective x + 2y with x+y=10 ⇒ obj = 10 + y, minimized at y=0 ⇒ 10.
         let mut p = LpProblem::new(2);
         p.set_objective_vector(vec![1.0, 2.0]).unwrap();
-        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Eq, 10.0).unwrap();
-        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 3.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Eq, 10.0)
+            .unwrap();
+        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 3.0)
+            .unwrap();
         let s = solve(&p);
         assert_eq!(s.status, SolveStatus::Optimal);
         assert!((s.objective - 10.0).abs() < 1e-6);
@@ -436,8 +445,10 @@ mod tests {
         // x ≥ 5 and x ≤ 2 cannot both hold.
         let mut p = LpProblem::new(1);
         p.set_objective(0, 1.0).unwrap();
-        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 5.0).unwrap();
-        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 2.0).unwrap();
+        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 5.0)
+            .unwrap();
+        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 2.0)
+            .unwrap();
         let s = solve(&p);
         assert_eq!(s.status, SolveStatus::Infeasible);
     }
@@ -447,7 +458,8 @@ mod tests {
         // min -x with x ≥ 1: unbounded below.
         let mut p = LpProblem::new(1);
         p.set_objective(0, -1.0).unwrap();
-        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 1.0).unwrap();
+        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Ge, 1.0)
+            .unwrap();
         let s = solve(&p);
         assert_eq!(s.status, SolveStatus::Unbounded);
     }
@@ -457,7 +469,8 @@ mod tests {
         // -x ≤ -2  ⇔  x ≥ 2; minimize x ⇒ 2.
         let mut p = LpProblem::new(1);
         p.set_objective(0, 1.0).unwrap();
-        p.add_constraint(vec![(0, -1.0)], ConstraintSense::Le, -2.0).unwrap();
+        p.add_constraint(vec![(0, -1.0)], ConstraintSense::Le, -2.0)
+            .unwrap();
         let s = solve(&p);
         assert_eq!(s.status, SolveStatus::Optimal);
         assert!((s.x[0] - 2.0).abs() < 1e-6);
@@ -468,10 +481,14 @@ mod tests {
         // Several redundant constraints through the same vertex.
         let mut p = LpProblem::new(2);
         p.set_objective_vector(vec![-1.0, -1.0]).unwrap();
-        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Le, 1.0).unwrap();
-        p.add_constraint(vec![(0, 2.0), (1, 2.0)], ConstraintSense::Le, 2.0).unwrap();
-        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 1.0).unwrap();
-        p.add_constraint(vec![(1, 1.0)], ConstraintSense::Le, 1.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Le, 1.0)
+            .unwrap();
+        p.add_constraint(vec![(0, 2.0), (1, 2.0)], ConstraintSense::Le, 2.0)
+            .unwrap();
+        p.add_constraint(vec![(0, 1.0)], ConstraintSense::Le, 1.0)
+            .unwrap();
+        p.add_constraint(vec![(1, 1.0)], ConstraintSense::Le, 1.0)
+            .unwrap();
         let s = solve(&p);
         assert_eq!(s.status, SolveStatus::Optimal);
         assert!((s.objective + 1.0).abs() < 1e-6);
@@ -483,13 +500,21 @@ mod tests {
         // Optimal: x00=2, x01=1, x11=4 ⇒ cost 2 + 3 + 4 = 9.
         let mut p = LpProblem::new(4); // x00 x01 x10 x11
         p.set_objective_vector(vec![1.0, 3.0, 2.0, 1.0]).unwrap();
-        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Eq, 3.0).unwrap();
-        p.add_constraint(vec![(2, 1.0), (3, 1.0)], ConstraintSense::Eq, 4.0).unwrap();
-        p.add_constraint(vec![(0, 1.0), (2, 1.0)], ConstraintSense::Eq, 2.0).unwrap();
-        p.add_constraint(vec![(1, 1.0), (3, 1.0)], ConstraintSense::Eq, 5.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintSense::Eq, 3.0)
+            .unwrap();
+        p.add_constraint(vec![(2, 1.0), (3, 1.0)], ConstraintSense::Eq, 4.0)
+            .unwrap();
+        p.add_constraint(vec![(0, 1.0), (2, 1.0)], ConstraintSense::Eq, 2.0)
+            .unwrap();
+        p.add_constraint(vec![(1, 1.0), (3, 1.0)], ConstraintSense::Eq, 5.0)
+            .unwrap();
         let s = solve(&p);
         assert_eq!(s.status, SolveStatus::Optimal);
-        assert!((s.objective - 9.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 9.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!(p.is_feasible(&s.x, 1e-6));
     }
 
@@ -497,9 +522,12 @@ mod tests {
     fn solution_is_feasible_for_mixed_senses() {
         let mut p = LpProblem::new(3);
         p.set_objective_vector(vec![2.0, 1.0, 3.0]).unwrap();
-        p.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintSense::Eq, 6.0).unwrap();
-        p.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintSense::Ge, 1.0).unwrap();
-        p.add_constraint(vec![(2, 1.0)], ConstraintSense::Le, 2.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintSense::Eq, 6.0)
+            .unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintSense::Ge, 1.0)
+            .unwrap();
+        p.add_constraint(vec![(2, 1.0)], ConstraintSense::Le, 2.0)
+            .unwrap();
         let s = solve(&p);
         assert_eq!(s.status, SolveStatus::Optimal);
         assert!(p.is_feasible(&s.x, 1e-6));

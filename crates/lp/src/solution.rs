@@ -36,6 +36,18 @@ impl LpSolution {
     pub fn is_optimal(&self) -> bool {
         self.status == SolveStatus::Optimal
     }
+
+    /// Whether the returned point is worth consuming at all: optimal, or the
+    /// best iterate of a solver that hit its iteration limit (callers like the
+    /// obfuscation pipeline repair such points towards feasibility).
+    /// [`SolveStatus::Infeasible`] and [`SolveStatus::Unbounded`] carry no
+    /// meaningful `x`.
+    pub fn is_usable(&self) -> bool {
+        matches!(
+            self.status,
+            SolveStatus::Optimal | SolveStatus::IterationLimit
+        )
+    }
 }
 
 #[cfg(test)]
@@ -57,5 +69,28 @@ mod tests {
             ..s
         };
         assert!(!s2.is_optimal());
+    }
+
+    #[test]
+    fn usable_statuses() {
+        let base = LpSolution {
+            status: SolveStatus::Optimal,
+            objective: 0.0,
+            x: vec![],
+            iterations: 0,
+            solver: "test".to_string(),
+        };
+        for (status, usable) in [
+            (SolveStatus::Optimal, true),
+            (SolveStatus::IterationLimit, true),
+            (SolveStatus::Infeasible, false),
+            (SolveStatus::Unbounded, false),
+        ] {
+            let s = LpSolution {
+                status,
+                ..base.clone()
+            };
+            assert_eq!(s.is_usable(), usable, "{status:?}");
+        }
     }
 }

@@ -94,7 +94,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect();
             let distances: Vec<Vec<f64>> = survivors
                 .iter()
-                .map(|&i| survivors.iter().map(|&j| problem.distances()[i][j]).collect())
+                .map(|&i| {
+                    survivors
+                        .iter()
+                        .map(|&j| problem.distances()[i][j])
+                        .collect()
+                })
                 .collect();
             let report = geoind::check_all_pairs(&pruned, &distances, epsilon, 1e-7);
             println!(

@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use corgi::core::{LocationTree, Policy, Predicate};
-use corgi::datagen::{GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution};
+use corgi::datagen::{
+    GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution,
+};
 use corgi::framework::{
     CachingService, CorgiClient, ForestGenerator, InstrumentedService, MatrixService,
     MetadataAttributeProvider, ServerConfig,

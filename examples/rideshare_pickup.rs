@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example rideshare_pickup`
 
 use corgi::core::{adversary, laplace::PlanarLaplace, utility, LocationTree, Policy, Predicate};
-use corgi::datagen::{GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution};
+use corgi::datagen::{
+    GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution,
+};
 use corgi::framework::{
     CachingService, CorgiClient, ForestGenerator, InstrumentedService, MatrixService,
     MetadataAttributeProvider, ServerConfig,
@@ -49,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut laplace_error = 0.0;
     let mut riders = 0usize;
     for &user in metadata.users_with_home().iter().take(12) {
-        let Some(home) = metadata.home_of(user) else { continue };
+        let Some(home) = metadata.home_of(user) else {
+            continue;
+        };
         let real = grid.cell_center(&home);
         // Riders never want to be mapped to their own home or to outlier places.
         let policy = Policy::new(
@@ -69,8 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         riders += 1;
     }
     println!("Pickup estimation error towards the busiest venue, averaged over {riders} riders:");
-    println!("  CORGI (robust matrix, home/outlier removed): {:.3} km", corgi_error / riders as f64);
-    println!("  Planar Laplace (no customization):           {:.3} km", laplace_error / riders as f64);
+    println!(
+        "  CORGI (robust matrix, home/outlier removed): {:.3} km",
+        corgi_error / riders as f64
+    );
+    println!(
+        "  Planar Laplace (no customization):           {:.3} km",
+        laplace_error / riders as f64
+    );
 
     // Privacy view: what a Bayesian adversary can infer from one subtree's matrix.
     let tree = service.tree();

@@ -2,9 +2,11 @@
 //! check-ins to an obfuscated report, and the paper's robustness claim checked
 //! end to end through the client/server framework.
 
-use corgi::core::{geoind, prune_matrix, LocationTree, Policy, Predicate, SolverKind};
 use corgi::core::{generate_nonrobust_matrix, generate_robust_matrix, RobustConfig};
-use corgi::datagen::{GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution};
+use corgi::core::{geoind, prune_matrix, LocationTree, Policy, Predicate, SolverKind};
+use corgi::datagen::{
+    GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution,
+};
 use corgi::framework::{
     messages::MatrixRequest, CachingService, CorgiClient, ForestGenerator, InstrumentedService,
     MatrixService, MetadataAttributeProvider, ServerConfig,
@@ -50,7 +52,9 @@ fn full_pipeline_produces_in_range_reports() {
         let policy = Policy::new(1, 0, vec![Predicate::is_false("outlier")]).unwrap();
         let provider = MetadataAttributeProvider::new(&grid, &metadata, user, real);
         let client = CorgiClient::new(Arc::clone(&service), policy, provider).unwrap();
-        let outcome = client.generate_obfuscated_location(&real, &mut rng).unwrap();
+        let outcome = client
+            .generate_obfuscated_location(&real, &mut rng)
+            .unwrap();
         // The report is a cell of the grid, at the requested precision, inside the
         // user's privacy-level subtree.
         let tree = service.tree();
@@ -96,10 +100,9 @@ fn robust_matrix_beats_nonrobust_after_pruning_end_to_end() {
         .unwrap_or_else(|| vec![1.0 / 49.0; 49]);
     let targets: Vec<usize> = (0..49).step_by(3).collect();
     let epsilon = 15.0;
-    let problem = corgi::core::ObfuscationProblem::new(
-        &tree, &subtree, &restricted, &targets, epsilon, true,
-    )
-    .unwrap();
+    let problem =
+        corgi::core::ObfuscationProblem::new(&tree, &subtree, &restricted, &targets, epsilon, true)
+            .unwrap();
 
     let delta = 3;
     let nonrobust = generate_nonrobust_matrix(&problem, SolverKind::Auto).unwrap();
@@ -130,7 +133,12 @@ fn robust_matrix_beats_nonrobust_after_pruning_end_to_end() {
             .collect();
         let distances: Vec<Vec<f64>> = survivors
             .iter()
-            .map(|&i| survivors.iter().map(|&j| problem.distances()[i][j]).collect())
+            .map(|&i| {
+                survivors
+                    .iter()
+                    .map(|&j| problem.distances()[i][j])
+                    .collect()
+            })
             .collect();
         for (slot, matrix) in [&nonrobust, &robust].into_iter().enumerate() {
             let pruned = prune_matrix(matrix, &prune).unwrap();
@@ -144,7 +152,11 @@ fn robust_matrix_beats_nonrobust_after_pruning_end_to_end() {
         pct[1],
         pct[0]
     );
-    assert!(pct[1] < 5.0, "CORGI violations should be small, got {:.2}%", pct[1]);
+    assert!(
+        pct[1] < 5.0,
+        "CORGI violations should be small, got {:.2}%",
+        pct[1]
+    );
 }
 
 #[test]
@@ -162,5 +174,8 @@ fn planar_laplace_baseline_integrates_with_the_grid() {
     let mean_error = total / n as f64;
     // ε = 10/km implies a mean radial error of 2/ε = 0.2 km; cell snapping adds
     // at most about half a cell.
-    assert!(mean_error < 0.8, "mean displacement {mean_error} km is implausibly large");
+    assert!(
+        mean_error < 0.8,
+        "mean displacement {mean_error} km is implausibly large"
+    );
 }

@@ -154,7 +154,9 @@ fn pooled_generation_beats_serial_on_a_multicore_runner() {
     let serial = generator.generate_serial(request).unwrap();
     assert_eq!(pooled, serial, "the pool must not change the result");
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if cores < 4 {
         // On small machines the speed-up is not reliably measurable; the
         // equivalence assertion above still ran. The dedicated benchmark

@@ -11,6 +11,20 @@
 //! min / median / max to stdout plus **throughput** (elements or bytes per
 //! second, from the median) when the group declares one.
 //!
+//! Samples go through **outlier rejection** before reporting: Tukey fences at
+//! `[q1 − 1.5·IQR, q3 + 1.5·IQR]` drop the stray samples a busy machine
+//! produces (a page fault, a scheduler preemption), and the report carries the
+//! retained-sample **variance** — standard deviation and coefficient of
+//! variation — so perf PRs can be gated on low-noise numbers.
+//!
+//! When the environment variable `CORGI_BENCH_JSON` names a file, every
+//! benchmark (in real bench mode) **appends one JSON object per line** with its
+//! post-rejection statistics (`name`, `median_ns`, `min_ns`, `max_ns`,
+//! `mean_ns`, `stddev_ns`, `cv_pct`, `samples`, `outliers_rejected`).  CI
+//! collects these lines as `BENCH_results.json` and feeds them to the
+//! `perf_gate` binary, which fails the build when a named bench regresses
+//! against the checked-in `BENCH_baseline.json`.
+//!
 //! When the binary is *not* invoked by `cargo bench` (no `--bench` flag, e.g.
 //! under `cargo test`, which runs `harness = false` bench targets in test
 //! mode) every benchmark executes exactly one iteration as a smoke test, so
@@ -235,23 +249,131 @@ fn run_one<F: FnMut(&mut Bencher)>(
         durations: Vec::new(),
     };
     f(&mut bencher);
-    let mut durations = bencher.durations;
+    let durations = bencher.durations;
     if durations.is_empty() {
         println!("{label:<50} (no samples)");
         return;
     }
-    durations.sort();
-    let median = durations[durations.len() / 2];
+    let stats = SampleStats::from_durations(&durations);
     let rate = throughput
-        .map(|t| format_throughput(t, median))
+        .map(|t| format_throughput(t, Duration::from_nanos(stats.median_ns as u64)))
         .unwrap_or_default();
+    let outliers = if stats.outliers_rejected > 0 {
+        format!(", {} outliers rejected", stats.outliers_rejected)
+    } else {
+        String::new()
+    };
     println!(
-        "{label:<50} min {:>12?}  median {:>12?}  max {:>12?}  ({} samples){rate}",
-        durations[0],
-        median,
-        durations[durations.len() - 1],
-        durations.len(),
+        "{label:<50} min {:>12?}  median {:>12?}  max {:>12?}  σ {:>10?} (cv {:>5.1}%)  ({} samples{outliers}){rate}",
+        Duration::from_nanos(stats.min_ns as u64),
+        Duration::from_nanos(stats.median_ns as u64),
+        Duration::from_nanos(stats.max_ns as u64),
+        Duration::from_nanos(stats.stddev_ns as u64),
+        stats.cv_pct,
+        stats.samples,
     );
+    if let Some(path) = std::env::var_os("CORGI_BENCH_JSON") {
+        if let Err(err) = append_json_line(std::path::Path::new(&path), label, &stats) {
+            eprintln!("criterion shim: could not append to {path:?}: {err}");
+        }
+    }
+}
+
+/// Post-rejection summary statistics of one benchmark's samples.
+#[derive(Debug, Clone, PartialEq)]
+struct SampleStats {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    mean_ns: f64,
+    stddev_ns: f64,
+    /// Coefficient of variation (σ / mean) in percent.
+    cv_pct: f64,
+    /// Number of samples retained after outlier rejection.
+    samples: usize,
+    outliers_rejected: usize,
+}
+
+impl SampleStats {
+    /// Compute statistics with Tukey-fence outlier rejection
+    /// (`[q1 − 1.5·IQR, q3 + 1.5·IQR]`).  With fewer than five samples the
+    /// quartiles are meaningless, so rejection is skipped.
+    fn from_durations(durations: &[Duration]) -> Self {
+        let mut ns: Vec<f64> = durations.iter().map(|d| d.as_nanos() as f64).collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let total = ns.len();
+        let retained: Vec<f64> = if total >= 5 {
+            let q1 = ns[total / 4];
+            let q3 = ns[(3 * total) / 4];
+            let iqr = q3 - q1;
+            let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+            ns.iter().copied().filter(|&v| v >= lo && v <= hi).collect()
+        } else {
+            ns.clone()
+        };
+        let n = retained.len();
+        let mean = retained.iter().sum::<f64>() / n as f64;
+        let var = retained
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n as f64;
+        let stddev = var.sqrt();
+        SampleStats {
+            median_ns: retained[n / 2],
+            min_ns: retained[0],
+            max_ns: retained[n - 1],
+            mean_ns: mean,
+            stddev_ns: stddev,
+            cv_pct: if mean > 0.0 {
+                100.0 * stddev / mean
+            } else {
+                0.0
+            },
+            samples: n,
+            outliers_rejected: total - n,
+        }
+    }
+}
+
+/// Minimal JSON string escaping (bench labels are plain ASCII identifiers, but
+/// quotes and backslashes must not corrupt the line format).
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Append one benchmark's statistics as a JSON line to `path`
+/// (the `BENCH_results.json` accumulated across bench binaries by CI).
+fn append_json_line(
+    path: &std::path::Path,
+    label: &str,
+    stats: &SampleStats,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        file,
+        "{{\"name\":\"{}\",\"median_ns\":{:.0},\"min_ns\":{:.0},\"max_ns\":{:.0},\"mean_ns\":{:.0},\"stddev_ns\":{:.0},\"cv_pct\":{:.2},\"samples\":{},\"outliers_rejected\":{}}}",
+        escape_json(label),
+        stats.median_ns,
+        stats.min_ns,
+        stats.max_ns,
+        stats.mean_ns,
+        stats.stddev_ns,
+        stats.cv_pct,
+        stats.samples,
+        stats.outliers_rejected,
+    )
 }
 
 fn format_throughput(throughput: Throughput, median: Duration) -> String {
@@ -366,5 +488,68 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    #[test]
+    fn outlier_rejection_drops_stray_samples() {
+        // Nine tight samples around 100 ns plus one 10 µs straggler: the
+        // straggler falls outside the Tukey fences and must not skew the max.
+        let mut durations: Vec<Duration> = (0..9).map(|i| Duration::from_nanos(100 + i)).collect();
+        durations.push(Duration::from_nanos(10_000));
+        let stats = SampleStats::from_durations(&durations);
+        assert_eq!(stats.outliers_rejected, 1);
+        assert_eq!(stats.samples, 9);
+        assert!(stats.max_ns < 200.0, "straggler retained: {}", stats.max_ns);
+        assert!((stats.median_ns - 104.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn outlier_rejection_skipped_for_tiny_sample_counts() {
+        let durations = vec![
+            Duration::from_nanos(100),
+            Duration::from_nanos(10_000),
+            Duration::from_nanos(110),
+        ];
+        let stats = SampleStats::from_durations(&durations);
+        assert_eq!(stats.outliers_rejected, 0);
+        assert_eq!(stats.samples, 3);
+        assert_eq!(stats.max_ns, 10_000.0);
+    }
+
+    #[test]
+    fn variance_of_constant_samples_is_zero() {
+        let durations = vec![Duration::from_nanos(500); 8];
+        let stats = SampleStats::from_durations(&durations);
+        assert_eq!(stats.stddev_ns, 0.0);
+        assert_eq!(stats.cv_pct, 0.0);
+        assert_eq!(stats.mean_ns, 500.0);
+    }
+
+    #[test]
+    fn json_line_is_well_formed_and_appends() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_json_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let stats = SampleStats::from_durations(&[Duration::from_nanos(1_500); 6]);
+        append_json_line(&path, "group/bench \"a\\b\"", &stats).unwrap();
+        append_json_line(&path, "group/other", &stats).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"group/bench \\\"a\\\\b\\\"\""));
+        assert!(lines[0].contains("\"median_ns\":1500"));
+        assert!(lines[1].starts_with('{') && lines[1].ends_with('}'));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn escape_json_handles_control_and_quote_chars() {
+        assert_eq!(escape_json("plain/name_1"), "plain/name_1");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb"), "a\\u000ab");
     }
 }

@@ -92,7 +92,7 @@ tuple_strategy! {
 
 /// Collection strategies, mirroring `proptest::collection`.
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::ops::Range;
 

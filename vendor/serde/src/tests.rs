@@ -156,7 +156,10 @@ fn custom_error_messages_propagate() {
         }
     }
 
-    assert_eq!(from_value::<Percent>(Value::Number(40.0)), Ok(Percent(40.0)));
+    assert_eq!(
+        from_value::<Percent>(Value::Number(40.0)),
+        Ok(Percent(40.0))
+    );
     let err: DeError = from_value::<Percent>(Value::Number(140.0)).unwrap_err();
     assert!(err.to_string().contains("out of range"));
 }

@@ -21,10 +21,21 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[derive(Debug)]
@@ -73,7 +84,11 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
 
     let keyword = match tokens.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
-        other => return Err(format!("serde shim: expected `struct` or `enum`, got {other:?}")),
+        other => {
+            return Err(format!(
+                "serde shim: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
     };
     i += 1;
 
@@ -100,14 +115,18 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
                 Ok(Shape::TupleStruct { name, arity })
             }
             Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
-            other => Err(format!("serde shim: unsupported struct body for `{name}`: {other:?}")),
+            other => Err(format!(
+                "serde shim: unsupported struct body for `{name}`: {other:?}"
+            )),
         },
         "enum" => match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 let variants = parse_variants(g.stream())?;
                 Ok(Shape::Enum { name, variants })
             }
-            other => Err(format!("serde shim: expected enum body for `{name}`, got {other:?}")),
+            other => Err(format!(
+                "serde shim: expected enum body for `{name}`, got {other:?}"
+            )),
         },
         kw => Err(format!("serde shim: cannot derive for `{kw}` items")),
     }
@@ -154,7 +173,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("serde shim: expected `:` after field `{field}`, got {other:?}")),
+            other => {
+                return Err(format!(
+                    "serde shim: expected `:` after field `{field}`, got {other:?}"
+                ))
+            }
         }
         skip_type(&tokens, &mut i);
         fields.push(field);

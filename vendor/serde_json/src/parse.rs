@@ -89,7 +89,9 @@ impl<'a> Parser<'a> {
             return Err(self.err("number must have an integer part"));
         }
         if int_len > 1 && self.bytes[int_start] == b'0' {
-            return Err(Error::new(format!("leading zero in number at byte {int_start}")));
+            return Err(Error::new(format!(
+                "leading zero in number at byte {int_start}"
+            )));
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
@@ -153,8 +155,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..0xE000).contains(&low) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let code =
-                                        0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
+                                    let code = 0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
                                     char::from_u32(code)
                                         .ok_or_else(|| self.err("invalid surrogate pair"))?
                                 } else {
