@@ -1,17 +1,23 @@
-//! Serving-stack benchmarks: concurrent vs serial privacy-forest generation
-//! and the cached request path.
+//! Serving-stack benchmarks: concurrent vs serial privacy-forest generation,
+//! the cached request path, and warm-cache transport throughput over loopback
+//! TCP.
 //!
 //! The K per-subtree LP solves of Algorithm 3 are independent, so
 //! `ForestGenerator` fans them out over a fixed-size thread pool; this bench
 //! pins the speed-up against the serial baseline (throughput is reported in
 //! subtrees per second, so the two rows are directly comparable), plus the
-//! cost of a cache hit through `CachingService`.
+//! cost of a cache hit through `CachingService` — both in-process and across
+//! the full event-driven stack (frames, reactor, dispatch pool).
 
 use corgi_core::LocationTree;
 use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
 use corgi_framework::messages::MatrixRequest;
-use corgi_framework::{CachingService, ForestGenerator, MatrixService, ServerConfig};
+use corgi_framework::{
+    CachingService, ForestGenerator, MatrixService, ServerConfig, TcpServer, TcpTransport,
+    TransportConfig, WarmRequest,
+};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
 
 fn generator(worker_threads: usize) -> ForestGenerator {
     let grid = corgi_hexgrid::HexGrid::new(corgi_hexgrid::HexGridConfig::san_francisco())
@@ -66,5 +72,49 @@ fn bench_cached_request_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forest_generation, bench_cached_request_path);
+/// Warm-cache request/response round trips across the loopback transport:
+/// requests per second through frame encode → reactor → dispatch pool → cache
+/// hit → frame decode, with zero LP solves on the measured path.
+fn bench_transport_roundtrip(c: &mut Criterion) {
+    let service = Arc::new(CachingService::with_defaults(generator(0)));
+    let config = TransportConfig {
+        warm_on_start: Some(WarmRequest::level(1, 0)),
+        ..TransportConfig::default()
+    };
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service) as Arc<dyn MatrixService>,
+        config,
+    )
+    .expect("binding the loopback bench server");
+    let transport = TcpTransport::connect(server.local_addr()).expect("connecting to loopback");
+    let request = MatrixRequest {
+        privacy_level: 1,
+        delta: 0,
+    };
+    // Ensure the startup warm has landed before timing (the first request
+    // coalesces onto it if it is still in flight).
+    transport.privacy_forest(request).expect("warm-up request");
+
+    let mut group = c.benchmark_group("transport_loopback");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("warm_hit_roundtrip", |b| {
+        b.iter(|| {
+            transport
+                .privacy_forest(request)
+                .expect("cache hit over TCP")
+        });
+    });
+    group.finish();
+    drop(transport);
+    server.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_forest_generation,
+    bench_cached_request_path,
+    bench_transport_roundtrip
+);
 criterion_main!(benches);

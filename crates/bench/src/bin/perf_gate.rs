@@ -3,15 +3,35 @@
 //! `BENCH_baseline.json` and fail when a named bench regresses.
 //!
 //! ```text
-//! perf_gate [--results PATH] [--baseline PATH]
+//! perf_gate [--results PATH] [--baseline PATH] [--absolute]
 //! ```
 //!
-//! Every bench named in the baseline must be present in the results (a renamed
-//! or deleted bench would otherwise silently leave the gate open) and its
-//! median must not exceed the baseline median by more than the tolerance
-//! (default 20%, override with `CORGI_PERF_GATE_TOLERANCE`, a fraction).
-//! Benches present in the results but not in the baseline are reported
-//! informationally and do not gate — add them to the baseline to lock them in.
+//! # Ratio gating (default)
+//!
+//! Absolute medians are machine-specific: a runner-generation change moves
+//! every number at once and either trips the gate spuriously or forces a
+//! tolerance so wide it misses real regressions.  The default mode therefore
+//! gates on **within-run ratios**: each optimized bench is paired with the
+//! reference implementation measured in the *same* run (`…/blocked/…` vs
+//! `…/reference/…`, `fused_in_place` vs `per_column`), and the gate fails when
+//! `optimized/reference` grows by more than the tolerance relative to the
+//! baseline's ratio.  Losing an optimized kernel path is a 2–7× ratio jump
+//! and is caught on any hardware; uniform machine slowdowns cancel out.
+//!
+//! In ratio mode, reference-side benches (the slow comparison points named as
+//! some optimized bench's sibling) are presence-checked only — their siblings
+//! already gate the run, and a deliberately slow reference has no optimized
+//! path to lose.  Optimized benches without a reference sibling (e.g. the
+//! K = 343 blocked bench, whose reference run is too slow to time every push)
+//! still gate on their absolute median at 3× the tolerance — wide enough to
+//! survive runner-generation drift, tight enough to catch a lost kernel path.
+//! `--absolute` (or `CORGI_PERF_GATE_ABSOLUTE=1`) gates every bench on
+//! absolute medians at the plain tolerance instead.
+//!
+//! Every bench named in the baseline must be present in the results in both
+//! modes (a renamed or deleted bench would otherwise silently leave the gate
+//! open).  The tolerance is a fraction, default 20%, overridable with
+//! `CORGI_PERF_GATE_TOLERANCE`.
 //!
 //! To refresh the baseline after an intentional perf change:
 //!
@@ -24,6 +44,15 @@
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+/// Substring rewrites that turn an optimized bench name into its same-run
+/// reference sibling.  A baseline name pairs on the first rule that matches
+/// and whose rewritten name also exists in the baseline.
+const RATIO_PAIRS: &[(&str, &str)] = &[
+    ("/blocked", "/reference"),
+    ("fused_in_place", "per_column"),
+    ("pooled", "serial"),
+];
 
 /// Median nanoseconds per bench name; later lines win, so re-running a bench
 /// binary into the same results file updates its entries.
@@ -49,6 +78,39 @@ fn parse_jsonl(path: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(medians)
 }
 
+/// The reference sibling a bench's ratio is computed against, if the pair
+/// table names one that exists in `names`.
+fn reference_sibling(name: &str, names: &BTreeMap<String, f64>) -> Option<String> {
+    for (optimized, reference) in RATIO_PAIRS {
+        if name.contains(optimized) {
+            let sibling = name.replace(optimized, reference);
+            if sibling != name && names.contains_key(&sibling) {
+                return Some(sibling);
+            }
+        }
+    }
+    None
+}
+
+/// Shared verdict ladder: classify a drift factor against a failure
+/// tolerance, recording a failure line when it regresses.
+fn judge(
+    drift: f64,
+    fail_tol: f64,
+    improve_tol: f64,
+    failures: &mut Vec<String>,
+    failure_line: impl FnOnce() -> String,
+) -> &'static str {
+    if drift > 1.0 + fail_tol {
+        failures.push(failure_line());
+        "REGRESSED"
+    } else if drift < 1.0 - improve_tol {
+        "improved"
+    } else {
+        "ok"
+    }
+}
+
 fn tolerance() -> f64 {
     std::env::var("CORGI_PERF_GATE_TOLERANCE")
         .ok()
@@ -71,6 +133,9 @@ fn format_ns(ns: f64) -> String {
 fn main() -> ExitCode {
     let mut results_path = "BENCH_results.json".to_string();
     let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut absolute = std::env::var("CORGI_PERF_GATE_ABSOLUTE")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -86,9 +151,10 @@ fn main() -> ExitCode {
                     std::process::exit(2);
                 })
             }
+            "--absolute" => absolute = true,
             other => {
                 eprintln!(
-                    "unknown argument {other}; usage: perf_gate [--results PATH] [--baseline PATH]"
+                    "unknown argument {other}; usage: perf_gate [--results PATH] [--baseline PATH] [--absolute]"
                 );
                 return ExitCode::from(2);
             }
@@ -107,42 +173,101 @@ fn main() -> ExitCode {
 
     let tol = tolerance();
     println!(
-        "perf gate: {} baseline benches, {} result benches, tolerance +{:.0}%",
+        "perf gate ({} mode): {} baseline benches, {} result benches, tolerance +{:.0}%",
+        if absolute { "absolute" } else { "ratio" },
         baseline.len(),
         results.len(),
         tol * 100.0
     );
+    // Names that serve as the reference side of some gated ratio: they are
+    // deliberately slow comparison points with no optimized path to lose, so
+    // in ratio mode they are presence-checked but not gated (their optimized
+    // siblings already gate the same run).
+    let reference_names: std::collections::BTreeSet<String> = baseline
+        .keys()
+        .filter_map(|name| reference_sibling(name, &baseline))
+        .collect();
     let mut failures = Vec::new();
     for (name, &base_ns) in &baseline {
-        match results.get(name) {
-            None => {
-                failures.push(format!(
-                    "{name}: missing from results (renamed or deleted?)"
-                ));
-            }
-            Some(&now_ns) => {
-                let ratio = now_ns / base_ns.max(1.0);
-                let verdict = if ratio > 1.0 + tol {
-                    failures.push(format!(
-                        "{name}: {} → {} ({:+.1}%)",
-                        format_ns(base_ns),
-                        format_ns(now_ns),
-                        (ratio - 1.0) * 100.0
-                    ));
-                    "REGRESSED"
-                } else if ratio < 1.0 - tol {
-                    "improved"
-                } else {
-                    "ok"
-                };
-                println!(
-                    "  {name:<50} baseline {:>10}  now {:>10}  {:+7.1}%  {verdict}",
+        let Some(&now_ns) = results.get(name) else {
+            failures.push(format!(
+                "{name}: missing from results (renamed or deleted?)"
+            ));
+            continue;
+        };
+        if absolute {
+            let ratio = now_ns / base_ns.max(1.0);
+            let verdict = judge(ratio, tol, tol, &mut failures, || {
+                format!(
+                    "{name}: {} → {} ({:+.1}%)",
                     format_ns(base_ns),
                     format_ns(now_ns),
                     (ratio - 1.0) * 100.0
-                );
-            }
+                )
+            });
+            println!(
+                "  {name:<50} baseline {:>10}  now {:>10}  {:+7.1}%  {verdict}",
+                format_ns(base_ns),
+                format_ns(now_ns),
+                (ratio - 1.0) * 100.0
+            );
+            continue;
         }
+        // Ratio mode: gate optimized/reference drift measured within one run.
+        if reference_names.contains(name) {
+            println!(
+                "  {name:<50} baseline {:>10}  now {:>10}  (reference side of a gated ratio; presence-checked only)",
+                format_ns(base_ns),
+                format_ns(now_ns),
+            );
+            continue;
+        }
+        let Some(sibling) = reference_sibling(name, &baseline) else {
+            // No reference sibling to ratio against (e.g. the K = 343 blocked
+            // bench, whose reference is too slow to gate on): fall back to
+            // absolute gating at a widened tolerance — loose enough to
+            // survive runner-generation drift (~25-30%), tight enough to
+            // catch the step-function regressions the gate exists for
+            // (losing an optimized kernel path is a 2-7x hit).
+            let unpaired_tol = 3.0 * tol;
+            let ratio = now_ns / base_ns.max(1.0);
+            let verdict = judge(ratio, unpaired_tol, tol, &mut failures, || {
+                format!(
+                    "{name}: {} → {} ({:+.1}%, unpaired absolute gate at +{:.0}%)",
+                    format_ns(base_ns),
+                    format_ns(now_ns),
+                    (ratio - 1.0) * 100.0,
+                    unpaired_tol * 100.0
+                )
+            });
+            println!(
+                "  {name:<50} baseline {:>10}  now {:>10}  {:+7.1}%  {verdict} (unpaired; absolute at +{:.0}%)",
+                format_ns(base_ns),
+                format_ns(now_ns),
+                (ratio - 1.0) * 100.0,
+                unpaired_tol * 100.0
+            );
+            continue;
+        };
+        let (Some(&base_ref), Some(&now_ref)) = (baseline.get(&sibling), results.get(&sibling))
+        else {
+            // Presence of the sibling in the results is checked by its own
+            // baseline iteration; skip the ratio rather than divide by air.
+            continue;
+        };
+        let base_ratio = base_ns / base_ref.max(1.0);
+        let now_ratio = now_ns / now_ref.max(1.0);
+        let drift = now_ratio / base_ratio.max(1e-12);
+        let verdict = judge(drift, tol, tol, &mut failures, || {
+            format!(
+                "{name}: ratio vs {sibling} {base_ratio:.3} → {now_ratio:.3} ({:+.1}%)",
+                (drift - 1.0) * 100.0
+            )
+        });
+        println!(
+            "  {name:<50} ratio {base_ratio:>6.3} → {now_ratio:>6.3}  {:+7.1}%  {verdict}",
+            (drift - 1.0) * 100.0
+        );
     }
     for name in results.keys() {
         if !baseline.contains_key(name) {
@@ -205,5 +330,37 @@ mod tests {
         assert_eq!(format_ns(1_500.0), "1.50µs");
         assert_eq!(format_ns(2_500_000.0), "2.50ms");
         assert_eq!(format_ns(7.8e9), "7.80s");
+    }
+
+    #[test]
+    fn ratio_pairs_resolve_reference_siblings() {
+        let mut names = BTreeMap::new();
+        for name in [
+            "cholesky_factorize/blocked/49",
+            "cholesky_factorize/reference/49",
+            "cholesky_multi_rhs/fused_in_place",
+            "cholesky_multi_rhs/per_column",
+            "forest_generation_k343_2iters/blocked",
+        ] {
+            names.insert(name.to_string(), 1.0);
+        }
+        assert_eq!(
+            reference_sibling("cholesky_factorize/blocked/49", &names).as_deref(),
+            Some("cholesky_factorize/reference/49")
+        );
+        assert_eq!(
+            reference_sibling("cholesky_multi_rhs/fused_in_place", &names).as_deref(),
+            Some("cholesky_multi_rhs/per_column")
+        );
+        // Optimized bench without a measured reference: unpaired, not gated.
+        assert_eq!(
+            reference_sibling("forest_generation_k343_2iters/blocked", &names),
+            None
+        );
+        // Reference benches never pair onto themselves.
+        assert_eq!(
+            reference_sibling("cholesky_factorize/reference/49", &names),
+            None
+        );
     }
 }

@@ -90,6 +90,16 @@ impl LocationTree {
         self.grid.leaves()
     }
 
+    /// Every privacy level this tree can serve, cheapest forest first:
+    /// `0..=height()`.  Level 0 roots a subtree at every leaf (K = |leaves|
+    /// one-cell matrices); the top level is the single full-tree subtree.
+    ///
+    /// This is the enumeration hook for cache warming: the serving layer's
+    /// `(privacy_level, δ)` key grid is this list crossed with the δ range.
+    pub fn privacy_levels(&self) -> Vec<u8> {
+        (0..=self.height()).collect()
+    }
+
     /// The privacy forest for a privacy level: all subtrees rooted at that level.
     pub fn privacy_forest(&self, privacy_level: u8) -> Result<Vec<Subtree>> {
         let roots = self.nodes_at_level(privacy_level)?;
@@ -178,6 +188,16 @@ mod tests {
         assert_eq!(t.privacy_forest(2).unwrap()[0].leaf_count(), 49);
         assert_eq!(t.privacy_forest(1).unwrap()[0].leaf_count(), 7);
         assert_eq!(t.privacy_forest(3).unwrap()[0].leaf_count(), 343);
+    }
+
+    #[test]
+    fn privacy_levels_enumerate_every_forest() {
+        let t = tree();
+        let levels = t.privacy_levels();
+        assert_eq!(levels, vec![0, 1, 2, 3]);
+        for level in levels {
+            assert!(t.privacy_forest(level).is_ok());
+        }
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub struct ObfuscationOutcome {
 ///
 /// The client talks to any [`MatrixService`] through the trait object, so the
 /// same client code runs against a bare [`crate::ForestGenerator`], a cached
-/// stack, or an instrumented one.
+/// or instrumented stack — or across a process boundary over a
+/// [`crate::TcpTransport`], which mirrors the server's tree and prior through
+/// the connection handshake.
 pub struct CorgiClient<P: AttributeProvider> {
     service: Arc<dyn MatrixService>,
     tree: Arc<LocationTree>,

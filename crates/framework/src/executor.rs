@@ -1,0 +1,835 @@
+//! A hand-rolled single-threaded async executor for the event-driven serving
+//! core.
+//!
+//! The offline build environment has no tokio (and no crates.io access at
+//! all), so the reactor in [`crate::transport`] is driven by this minimal
+//! executor built from `std` primitives only:
+//!
+//! * **Tasks** — each spawned future becomes a task behind an
+//!   `Arc`; the task *is* its own waker (`std::task::Wake`), and an atomic
+//!   state machine (idle → scheduled → running → rescheduled) makes wakes
+//!   from any thread race-free without ever double-queueing a task.
+//! * **Timer wheel** — a coarse hashed wheel ([`TimerWheel`]) backs the
+//!   [`sleep_until`](Handle::sleep_until) future used for handshake and read
+//!   timeouts; the run loop advances it from a monotonic clock.
+//! * **I/O poll set** — there is no epoll/kqueue here (that would be `mio`);
+//!   futures blocked on non-blocking sockets register their waker in a poll
+//!   set and the run loop re-wakes the whole set once per *tick* (the
+//!   configured poll interval), bounding both idle CPU burn and added latency.
+//! * **Oneshot channels** — [`oneshot`] lets CPU-bound work on the
+//!   [`crate::ThreadPool`] complete a future back inside the event loop: the
+//!   pool thread calls [`oneshot::Sender::send`], which wakes the awaiting
+//!   task immediately (no tick latency on the completion path).
+//!
+//! The executor is single-threaded by design: one reactor thread runs
+//! [`Executor::run`], all tasks are polled there, and cross-thread interaction
+//! is confined to wakes (queue push + condvar notify) and oneshot completions.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+// Task scheduling states; transitions are CAS-driven so concurrent wakes from
+// pool threads and the reactor thread never lose a wakeup or enqueue twice.
+const IDLE: u8 = 0;
+const SCHEDULED: u8 = 1;
+const RUNNING: u8 = 2;
+const RESCHEDULED: u8 = 3;
+
+struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    state: AtomicU8,
+    shared: Arc<Shared>,
+}
+
+impl Task {
+    /// Move the task to `SCHEDULED` and enqueue it, unless it is already
+    /// queued (or running, in which case the run loop re-queues it afterwards).
+    fn schedule(self: &Arc<Self>) {
+        // After shutdown the run loop is gone and `purge` has drained (or is
+        // about to drain) every registry: enqueueing would park this task in
+        // a dead queue forever, leaking its future (and any socket it owns)
+        // through the ready → task → handle → shared cycle.  Dropping the
+        // wake is the release path: the caller's waker clone was this task's
+        // last reference.
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.shared.push_ready(Arc::clone(self));
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, RESCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued (or already marked for re-queueing).
+                _ => return,
+            }
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.schedule();
+    }
+}
+
+/// State shared between the run loop, task wakers and [`Handle`]s.
+struct Shared {
+    ready: Mutex<VecDeque<Arc<Task>>>,
+    wakeup: Condvar,
+    io_parked: Mutex<Vec<Waker>>,
+    timer: TimerWheel,
+    shutdown: AtomicBool,
+    live_tasks: AtomicUsize,
+}
+
+impl Shared {
+    fn push_ready(&self, task: Arc<Task>) {
+        self.ready
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+        self.wakeup.notify_one();
+    }
+
+    fn pop_ready(&self) -> Option<Arc<Task>> {
+        self.ready
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+}
+
+/// A cloneable handle into a running (or about to run) [`Executor`]: spawn
+/// tasks, create timers, park on I/O, request shutdown.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// Spawn a future onto the executor.  Safe to call from any thread,
+    /// including from inside a task.
+    pub fn spawn(&self, future: impl Future<Output = ()> + Send + 'static) {
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(future))),
+            state: AtomicU8::new(IDLE),
+            shared: Arc::clone(&self.shared),
+        });
+        self.shared.live_tasks.fetch_add(1, Ordering::AcqRel);
+        task.schedule();
+    }
+
+    /// Register a waker to be re-woken on the next reactor tick.  I/O futures
+    /// call this after a `WouldBlock` so their socket is re-polled at the
+    /// configured poll interval.
+    pub fn park_io(&self, waker: &Waker) {
+        self.shared
+            .io_parked
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(waker.clone());
+    }
+
+    /// A future that resolves once the monotonic clock reaches `deadline`.
+    pub fn sleep_until(&self, deadline: Instant) -> Sleep {
+        Sleep {
+            deadline,
+            shared: Arc::clone(&self.shared),
+            registered: false,
+        }
+    }
+
+    /// A future that resolves after `duration` has elapsed.
+    pub fn sleep(&self, duration: Duration) -> Sleep {
+        self.sleep_until(Instant::now() + duration)
+    }
+
+    /// Ask the run loop to exit; pending tasks are dropped.  Idempotent and
+    /// safe from any thread.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wakeup.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Number of spawned tasks that have not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.shared.live_tasks.load(Ordering::Acquire)
+    }
+}
+
+/// The single-threaded future runner driving the serving reactor.
+pub struct Executor {
+    shared: Arc<Shared>,
+    io_poll_interval: Duration,
+}
+
+impl Executor {
+    /// Create an executor whose I/O poll set is re-woken every
+    /// `io_poll_interval` (the reactor *tick*).
+    pub fn new(io_poll_interval: Duration) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                ready: Mutex::new(VecDeque::new()),
+                wakeup: Condvar::new(),
+                io_parked: Mutex::new(Vec::new()),
+                timer: TimerWheel::new(Duration::from_millis(1), 256),
+                shutdown: AtomicBool::new(false),
+                live_tasks: AtomicUsize::new(0),
+            }),
+            io_poll_interval: io_poll_interval.max(Duration::from_micros(50)),
+        }
+    }
+
+    /// A handle for spawning and shutdown, cloneable across threads.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Drive all tasks until [`Handle::shutdown`] is called.
+    ///
+    /// Each iteration: expire due timers, poll every scheduled task to
+    /// quiescence, then sleep until the earliest of (next timer, next I/O
+    /// tick, an external wake), and finally re-wake the I/O poll set.
+    pub fn run(&self) {
+        self.run_inner();
+        self.purge();
+    }
+
+    /// Break the `Shared` → `Task` → future → `Handle` → `Shared` reference
+    /// cycle on shutdown by draining every waker registry.  Dropping the task
+    /// `Arc`s drops their futures — and with them the listener and connection
+    /// sockets they own — so peers see EOF instead of a dead, half-open
+    /// server.  Tasks parked on an in-flight oneshot are released when its
+    /// sender completes (the dispatch pool drains before the server drops).
+    fn purge(&self) {
+        loop {
+            let Some(task) = self.shared.pop_ready() else {
+                break;
+            };
+            drop(task);
+        }
+        self.shared
+            .io_parked
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.shared.timer.clear();
+    }
+
+    fn run_inner(&self) {
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            self.shared.timer.advance(Instant::now());
+
+            while let Some(task) = self.shared.pop_ready() {
+                self.poll_task(&task);
+                if self.shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+
+            // Nothing runnable: sleep until something can change.
+            let now = Instant::now();
+            let has_io = !self
+                .shared
+                .io_parked
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty();
+            let until_timer = self
+                .shared
+                .timer
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(now));
+            let mut wait = match (has_io, until_timer) {
+                (true, Some(t)) => t.min(self.io_poll_interval),
+                (true, None) => self.io_poll_interval,
+                (false, Some(t)) => t,
+                // Fully quiescent: only an external wake (spawn, oneshot
+                // completion, shutdown) can change anything; the cap just
+                // bounds how long a missed notify could ever stall us.
+                (false, None) => Duration::from_millis(100),
+            };
+            wait = wait.max(Duration::from_micros(10));
+            {
+                let ready = self.shared.ready.lock().unwrap_or_else(|e| e.into_inner());
+                if ready.is_empty() && !self.shared.shutdown.load(Ordering::Acquire) {
+                    let _ = self
+                        .shared
+                        .wakeup
+                        .wait_timeout(ready, wait)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+
+            // Tick: give every I/O-parked future another shot at its socket.
+            let parked: Vec<Waker> = std::mem::take(
+                &mut *self
+                    .shared
+                    .io_parked
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner()),
+            );
+            for waker in parked {
+                waker.wake();
+            }
+        }
+    }
+
+    fn poll_task(&self, task: &Arc<Task>) {
+        task.state.store(RUNNING, Ordering::Release);
+        let waker = Waker::from(Arc::clone(task));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = task.future.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(future) = slot.as_mut() else {
+            return; // completed earlier; a stale waker re-queued it
+        };
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                *slot = None;
+                self.shared.live_tasks.fetch_sub(1, Ordering::AcqRel);
+                task.state.store(IDLE, Ordering::Release);
+            }
+            Poll::Pending => {
+                drop(slot);
+                // If a wake arrived while we were polling, requeue; otherwise
+                // go idle and wait for the waker.
+                if task
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    task.state.store(SCHEDULED, Ordering::Release);
+                    self.shared.push_ready(Arc::clone(task));
+                }
+            }
+        }
+    }
+}
+
+/// Run a single future to completion on the calling thread, parking it between
+/// polls.  Used by tests and small tools; the serving reactor uses
+/// [`Executor::run`] instead.
+pub fn block_on<F: Future>(mut future: F) -> F::Output {
+    struct ThreadWaker {
+        thread: std::thread::Thread,
+        notified: AtomicBool,
+    }
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.notified.store(true, Ordering::Release);
+            self.thread.unpark();
+        }
+    }
+
+    // SAFETY-free pinning: the future lives on this stack frame for the whole
+    // call and is never moved after the first poll.
+    let mut future = unsafe { Pin::new_unchecked(&mut future) };
+    let thread_waker = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&thread_waker));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => {
+                // Bounded park, then re-poll even without a wake: a `Sleep`
+                // polled outside an `Executor` has no wheel-advancing run
+                // loop, so only a periodic re-poll can observe its deadline.
+                if !thread_waker.notified.swap(false, Ordering::AcqRel) {
+                    std::thread::park_timeout(Duration::from_millis(1));
+                    thread_waker.notified.store(false, Ordering::Release);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+struct TimerEntry {
+    expires_tick: u64,
+    waker: Waker,
+}
+
+struct WheelInner {
+    slots: Vec<Vec<TimerEntry>>,
+    current_tick: u64,
+}
+
+/// A coarse hashed timer wheel: deadlines are quantized to a tick granularity
+/// and hashed into `slots.len()` buckets by tick index, so registering and
+/// expiring timers is O(1) amortized regardless of how far out they are.
+///
+/// Firing is strictly *not early*: a waker registered for tick `t` is only
+/// woken once the wheel has advanced past `t`, and at most `granularity` late
+/// plus the run loop's sleep quantum.
+pub struct TimerWheel {
+    inner: Mutex<WheelInner>,
+    granularity: Duration,
+    epoch: Instant,
+}
+
+impl TimerWheel {
+    fn new(granularity: Duration, slots: usize) -> Self {
+        Self {
+            inner: Mutex::new(WheelInner {
+                slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+                current_tick: 0,
+            }),
+            granularity: granularity.max(Duration::from_micros(100)),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn tick_of(&self, deadline: Instant) -> u64 {
+        let since = deadline.saturating_duration_since(self.epoch);
+        // Round up: never fire before the deadline.
+        (since.as_nanos() / self.granularity.as_nanos()) as u64 + 1
+    }
+
+    fn register(&self, deadline: Instant, waker: Waker) {
+        let expires_tick = self.tick_of(deadline);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = (expires_tick % inner.slots.len() as u64) as usize;
+        inner.slots[slot].push(TimerEntry {
+            expires_tick,
+            waker,
+        });
+    }
+
+    /// Advance the wheel to `now`, waking every timer whose tick has passed.
+    fn advance(&self, now: Instant) {
+        let now_tick = (now.saturating_duration_since(self.epoch).as_nanos()
+            / self.granularity.as_nanos()) as u64;
+        let mut fired = Vec::new();
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if now_tick <= inner.current_tick {
+                return;
+            }
+            let span = now_tick - inner.current_tick;
+            let slot_count = inner.slots.len() as u64;
+            if span >= slot_count {
+                // Swept the whole wheel: expire everything due, slot by slot.
+                for slot in inner.slots.iter_mut() {
+                    slot.retain_mut(|entry| {
+                        if entry.expires_tick <= now_tick {
+                            fired.push(entry.waker.clone());
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            } else {
+                for tick in (inner.current_tick + 1)..=now_tick {
+                    let slot = (tick % slot_count) as usize;
+                    inner.slots[slot].retain_mut(|entry| {
+                        if entry.expires_tick <= now_tick {
+                            fired.push(entry.waker.clone());
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
+            inner.current_tick = now_tick;
+        }
+        for waker in fired {
+            waker.wake();
+        }
+    }
+
+    /// Drop every registered entry (and the task wakers they hold).
+    fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in inner.slots.iter_mut() {
+            slot.clear();
+        }
+    }
+
+    /// Earliest registered deadline, if any (used to size the run loop sleep).
+    fn next_deadline(&self) -> Option<Instant> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let min_tick = inner.slots.iter().flatten().map(|e| e.expires_tick).min()?;
+        // Full u64 tick math: a u32 cast would wrap after ~49 days of uptime
+        // at the 1 ms granularity and park the run loop on a past deadline.
+        let offset = Duration::from_nanos(
+            u64::try_from(self.granularity.as_nanos())
+                .unwrap_or(u64::MAX)
+                .saturating_mul(min_tick),
+        );
+        Some(self.epoch + offset)
+    }
+}
+
+/// Future returned by [`Handle::sleep_until`] / [`Handle::sleep`].
+pub struct Sleep {
+    deadline: Instant,
+    shared: Arc<Shared>,
+    registered: bool,
+}
+
+impl Sleep {
+    /// The instant this sleep resolves at.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if Instant::now() >= this.deadline {
+            Poll::Ready(())
+        } else {
+            // Register with the wheel once: a task re-polled for other
+            // reasons (I/O ticks) must not pile up duplicate entries, and the
+            // task's waker is stable so the original entry stays valid.
+            if !this.registered {
+                this.shared
+                    .timer
+                    .register(this.deadline, cx.waker().clone());
+                this.registered = true;
+            }
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oneshot channel
+// ---------------------------------------------------------------------------
+
+/// A single-value channel whose receiving half is a [`Future`]: the bridge by
+/// which blocking work on the [`crate::ThreadPool`] re-enters the event loop.
+pub mod oneshot {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+    }
+
+    struct State<T> {
+        value: Option<T>,
+        waker: Option<Waker>,
+        closed: bool,
+    }
+
+    /// Sending half; consumed by [`Sender::send`].  Dropping it without
+    /// sending resolves the receiver with [`Canceled`].
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; a future resolving to the sent value, or [`Canceled`]
+    /// if the sender was dropped first (e.g. the producing job panicked).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned when the sending half was dropped without sending.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Canceled;
+
+    impl std::fmt::Display for Canceled {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "oneshot sender dropped without sending")
+        }
+    }
+
+    impl std::error::Error for Canceled {}
+
+    /// Create a connected sender/receiver pair.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                value: None,
+                waker: None,
+                closed: false,
+            }),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver the value, waking the receiver if it is awaiting.  Returns
+        /// the value back if the receiver was already dropped.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.closed {
+                return Err(value);
+            }
+            state.value = Some(value);
+            let waker = state.waker.take();
+            drop(state);
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+            // Dropping self now sets `closed`, which is harmless: receivers
+            // check for a delivered value before the closed flag.
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.closed = true;
+            let waker = state.waker.take();
+            drop(state);
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            // Lets a later `send` fail fast instead of stashing a dead value.
+            self.inner
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .closed = true;
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking probe: `Ok(Some(v))` once sent, `Ok(None)` while
+        /// pending, `Err(Canceled)` after the sender dropped without sending.
+        pub fn try_recv(&self) -> Result<Option<T>, Canceled> {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            match state.value.take() {
+                Some(value) => Ok(Some(value)),
+                None if state.closed => Err(Canceled),
+                None => Ok(None),
+            }
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, Canceled>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(value) = state.value.take() {
+                return Poll::Ready(Ok(value));
+            }
+            if state.closed {
+                return Poll::Ready(Err(Canceled));
+            }
+            state.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    impl<T> Unpin for Receiver<T> {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn block_on_runs_a_future_to_completion() {
+        assert_eq!(block_on(async { 6 * 7 }), 42);
+    }
+
+    #[test]
+    fn block_on_completes_timer_futures_without_a_run_loop() {
+        // Regression: block_on used to park until a wake arrived, but a Sleep
+        // polled outside Executor::run has no wheel-advancing loop to wake it
+        // — only the periodic re-poll can observe the deadline.
+        let executor = Executor::new(Duration::from_micros(200));
+        let handle = executor.handle();
+        let start = Instant::now();
+        block_on(handle.sleep(Duration::from_millis(10)));
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn oneshot_delivers_across_threads() {
+        let (tx, rx) = oneshot::channel::<u32>();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(99).unwrap();
+        });
+        assert_eq!(block_on(rx), Ok(99));
+    }
+
+    #[test]
+    fn oneshot_sender_drop_cancels() {
+        let (tx, rx) = oneshot::channel::<u32>();
+        drop(tx);
+        assert_eq!(block_on(rx), Err(oneshot::Canceled));
+    }
+
+    #[test]
+    fn oneshot_try_recv_observes_all_states() {
+        let (tx, rx) = oneshot::channel::<u32>();
+        assert_eq!(rx.try_recv(), Ok(None));
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Ok(Some(5)));
+        let (tx, rx) = oneshot::channel::<u32>();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(oneshot::Canceled));
+    }
+
+    #[test]
+    fn executor_runs_spawned_tasks_and_shuts_down() {
+        let executor = Executor::new(Duration::from_micros(200));
+        let handle = executor.handle();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            handle.spawn(async move {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let stopper = handle.clone();
+        let counter_done = Arc::clone(&counter);
+        handle.spawn(async move {
+            // Wait for the ten increments, then stop the loop from inside.
+            while counter_done.load(Ordering::SeqCst) < 10 {
+                stopper.sleep(Duration::from_millis(1)).await;
+            }
+            stopper.shutdown();
+        });
+        executor.run();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert_eq!(handle.live_tasks(), 0);
+    }
+
+    #[test]
+    fn sleep_respects_its_deadline() {
+        let executor = Executor::new(Duration::from_micros(200));
+        let handle = executor.handle();
+        let start = Instant::now();
+        let woke_after = Arc::new(Mutex::new(None));
+        let woke = Arc::clone(&woke_after);
+        let stopper = handle.clone();
+        handle.spawn(async move {
+            stopper.sleep(Duration::from_millis(25)).await;
+            *woke.lock().unwrap() = Some(start.elapsed());
+            stopper.shutdown();
+        });
+        executor.run();
+        let elapsed = woke_after.lock().unwrap().expect("task ran");
+        assert!(
+            elapsed >= Duration::from_millis(25),
+            "sleep fired early after {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "sleep fired far too late after {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn pool_results_reenter_the_event_loop() {
+        // The exact shape the transport uses: a blocking pool job completing a
+        // oneshot that a task on the executor is awaiting.
+        let pool = crate::ThreadPool::new(2);
+        let executor = Executor::new(Duration::from_micros(200));
+        let handle = executor.handle();
+        let total = Arc::new(AtomicUsize::new(0));
+        for i in 0..8usize {
+            let (tx, rx) = oneshot::channel::<usize>();
+            pool.execute(move || {
+                let _ = tx.send(i * i);
+            });
+            let total = Arc::clone(&total);
+            handle.spawn(async move {
+                let value = rx.await.expect("pool job completes");
+                total.fetch_add(value, Ordering::SeqCst);
+            });
+        }
+        let stopper = handle.clone();
+        handle.spawn(async move {
+            while stopper.live_tasks() > 1 {
+                stopper.sleep(Duration::from_millis(1)).await;
+            }
+            stopper.shutdown();
+        });
+        executor.run();
+        assert_eq!(total.load(Ordering::SeqCst), (0..8).map(|i| i * i).sum());
+    }
+
+    #[test]
+    fn io_parked_wakers_are_rewoken_each_tick() {
+        let executor = Executor::new(Duration::from_micros(200));
+        let handle = executor.handle();
+        let polls = Arc::new(AtomicUsize::new(0));
+        let polls_in = Arc::clone(&polls);
+        let parker = handle.clone();
+        handle.spawn(std::future::poll_fn(move |cx| {
+            let n = polls_in.fetch_add(1, Ordering::SeqCst) + 1;
+            if n >= 5 {
+                parker.shutdown();
+                Poll::Ready(())
+            } else {
+                parker.park_io(cx.waker());
+                Poll::Pending
+            }
+        }));
+        executor.run();
+        assert!(polls.load(Ordering::SeqCst) >= 5);
+    }
+}

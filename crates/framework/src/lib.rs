@@ -29,7 +29,30 @@
 //! Arc<dyn MatrixService> = InstrumentedService<CachingService<ForestGenerator>>
 //! ```
 //!
-//! [`CorgiClient`] implements the trusted device side against that trait
+//! # The event-driven serving core
+//!
+//! Cross-process serving stacks four more layers under that trait object,
+//! every one hand-rolled on `std` (the offline build has no tokio/mio):
+//!
+//! ```text
+//! executor   executor::Executor — single-threaded future runner: atomic-state
+//!    │        wakers, hashed timer wheel, oneshot completions, I/O poll set
+//! reactor    transport::{AcceptTask, ConnectionTask} — nonblocking std::net
+//!    │        sockets polled per tick, bounded per-connection write queues
+//! transport  length-prefixed frames carrying the versioned envelopes of
+//!    │        [`messages`], with version negotiation on connect
+//! service    Arc<dyn MatrixService> — requests dispatched to a ThreadPool,
+//!             responses re-entering the event loop as oneshot futures
+//! ```
+//!
+//! [`TcpServer`] runs the three top layers on one reactor thread;
+//! [`TcpTransport`] is the client side of the same frames and is itself a
+//! [`MatrixService`], so [`CorgiClient`] works unchanged over a process
+//! boundary.  The [`mod@warm`] subsystem precomputes the `(privacy_level, δ)` key
+//! grid through whatever caching layer the stack holds, making steady-state
+//! traffic cache-hit dominated.
+//!
+//! [`CorgiClient`] implements the trusted device side against the trait
 //! object; [`messages`] defines the serde-serializable wire format — including
 //! the versioned [`messages::RequestEnvelope`] / [`messages::ResponseEnvelope`]
 //! — and [`MetadataAttributeProvider`] bridges the `corgi-datagen` location
@@ -57,15 +80,18 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod executor;
 pub mod messages;
 mod pool;
 mod provider;
 mod server;
 mod service;
+pub mod transport;
+pub mod warm;
 
 pub use client::{CorgiClient, ObfuscationOutcome};
 pub use messages::{ServiceError, ServiceErrorKind};
-pub use pool::ThreadPool;
+pub use pool::{JobPanic, ThreadPool};
 pub use provider::MetadataAttributeProvider;
 #[allow(deprecated)]
 pub use server::CorgiServer;
@@ -74,3 +100,5 @@ pub use service::{
     CacheConfig, CacheStats, CachingService, ForestGenerator, InstrumentedService, MatrixService,
     ServiceStats,
 };
+pub use transport::{ClientConfig, TcpServer, TcpTransport, TransportConfig};
+pub use warm::{warm, WarmFailure, WarmReport, WarmRequest};

@@ -70,7 +70,13 @@ pub struct ProtocolVersion {
 }
 
 /// The protocol version this build of the framework speaks.
-pub const PROTOCOL_VERSION: ProtocolVersion = ProtocolVersion { major: 1, minor: 0 };
+///
+/// History: 1.0 introduced the envelopes; 1.1 added the [`Transport`]
+/// error kind and the framed TCP handshake of [`crate::transport`]
+/// (additive, so 1.0 peers still interoperate).
+///
+/// [`Transport`]: ServiceErrorKind::Transport
+pub const PROTOCOL_VERSION: ProtocolVersion = ProtocolVersion { major: 1, minor: 1 };
 
 impl ProtocolVersion {
     /// Whether an envelope carrying `other` can be served by this version.
@@ -117,6 +123,9 @@ pub enum ServiceErrorKind {
     InvalidRequest,
     /// Matrix generation failed (LP solver or numeric failure).
     Generation,
+    /// The wire transport failed: malformed or oversized frame, unexpected
+    /// frame kind, connection loss, or an I/O timeout (added in 1.1).
+    Transport,
     /// Any other server-side failure.
     Internal,
 }
@@ -146,6 +155,11 @@ impl ServiceError {
             ServiceErrorKind::UnsupportedVersion,
             format!("protocol version {got} is not compatible with {PROTOCOL_VERSION}"),
         )
+    }
+
+    /// A wire-transport failure (framing, connection or timeout).
+    pub fn transport(message: impl Into<String>) -> Self {
+        Self::new(ServiceErrorKind::Transport, message)
     }
 }
 
@@ -178,9 +192,9 @@ impl From<ServiceError> for CorgiError {
         match e.kind {
             ServiceErrorKind::InvalidRequest => CorgiError::InvalidPolicy(e.message),
             ServiceErrorKind::Generation => CorgiError::Solver(e.message),
-            ServiceErrorKind::UnsupportedVersion | ServiceErrorKind::Internal => {
-                CorgiError::Grid(e.message)
-            }
+            ServiceErrorKind::UnsupportedVersion
+            | ServiceErrorKind::Transport
+            | ServiceErrorKind::Internal => CorgiError::Grid(e.message),
         }
     }
 }

@@ -1,29 +1,96 @@
-//! A fixed-size worker thread pool for the forest-generation compute path.
+//! A fixed-size worker thread pool for the forest-generation compute path and
+//! the serving reactor's dispatch stage.
 //!
 //! The K subtree problems of Algorithm 3 are embarrassingly parallel (each LP
 //! instance is independent), so [`super::ForestGenerator`] fans them out over
-//! this pool.  The implementation is deliberately plain `std::thread` +
-//! `std::sync::mpsc` — the offline build environment has no async runtime, and
-//! the workload is CPU-bound batch compute where an executor would add nothing.
+//! this pool; [`crate::TcpServer`] uses a second instance to keep blocking
+//! service calls off the reactor thread.  The implementation is deliberately
+//! plain `std::thread` + `std::sync::mpsc` — the offline build environment has
+//! no async runtime, and the workload is CPU-bound batch compute.
+//!
+//! # Panic safety
+//!
+//! A panicking job can never shrink the pool of a long-lived server:
+//!
+//! * jobs submitted through [`ThreadPool::run_ordered`] /
+//!   [`ThreadPool::try_run_ordered`] are unwound at the job boundary and the
+//!   panic is surfaced to the submitter — re-raised by the former, returned as
+//!   a structured [`JobPanic`] by the latter;
+//! * a raw [`ThreadPool::execute`] job that panics unwinds its worker thread,
+//!   and a drop guard immediately spawns a replacement
+//!   ([`ThreadPool::respawned_workers`] counts these), so capacity recovers
+//!   without any silent swallowing of the panic.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A task submitted to the pool panicked; carries the stringified payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Best-effort stringification of a panic payload (shared with the caching
+/// layer's leader-panic containment).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// State shared by the pool handle and its workers; workers respawning
+/// replacements need it independently of the `ThreadPool` value.
+struct PoolShared {
+    receiver: Mutex<Receiver<Job>>,
+    /// Handles of live workers, including respawned replacements; drained and
+    /// joined on drop.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    respawned: AtomicUsize,
+    shutting_down: AtomicBool,
+    worker_counter: AtomicUsize,
+}
+
+impl PoolShared {
+    fn try_spawn_worker(self: &Arc<Self>) -> std::io::Result<()> {
+        let index = self.worker_counter.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("corgi-worker-{index}"))
+            .spawn(move || worker_loop(&shared))?;
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        Ok(())
+    }
+}
+
 /// A fixed-size pool of worker threads executing boxed jobs from a shared queue.
 ///
-/// Workers survive panicking jobs (the unwind is caught at the job boundary),
-/// so one bad request can never shrink the pool of a long-lived server.
-/// [`ThreadPool::run_ordered`] re-raises a task's panic on the calling thread.
-///
-/// Dropping the pool closes the queue and joins every worker, so pending jobs
-/// finish before the drop returns.
+/// Dropping the pool closes the queue and joins every worker (including any
+/// respawned replacements), so pending jobs finish before the drop returns.
 pub struct ThreadPool {
     sender: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    shared: Arc<PoolShared>,
+    threads: usize,
 }
 
 impl ThreadPool {
@@ -39,28 +106,40 @@ impl ThreadPool {
             threads
         };
         let (sender, receiver) = channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..threads)
-            .map(|i| {
-                let receiver = Arc::clone(&receiver);
-                std::thread::Builder::new()
-                    .name(format!("corgi-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver))
-                    .expect("spawning a pool worker thread")
-            })
-            .collect();
+        let shared = Arc::new(PoolShared {
+            receiver: Mutex::new(receiver),
+            handles: Mutex::new(Vec::with_capacity(threads)),
+            respawned: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            worker_counter: AtomicUsize::new(0),
+        });
+        for _ in 0..threads {
+            shared
+                .try_spawn_worker()
+                .expect("spawning a pool worker thread");
+        }
         Self {
             sender: Some(sender),
-            workers,
+            shared,
+            threads,
         }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the pool maintains.
     pub fn threads(&self) -> usize {
-        self.workers.len()
+        self.threads
+    }
+
+    /// Workers respawned after a raw [`ThreadPool::execute`] job panicked.
+    pub fn respawned_workers(&self) -> usize {
+        self.shared.respawned.load(Ordering::Acquire)
     }
 
     /// Enqueue a job for execution on some worker.
+    ///
+    /// If the job panics, the panic unwinds its worker (the panic message goes
+    /// to the panic hook as usual) and a replacement worker is spawned; use
+    /// [`ThreadPool::try_run_ordered`] when the submitter needs the outcome.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         self.sender
             .as_ref()
@@ -78,26 +157,44 @@ impl ThreadPool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.try_run_ordered(tasks)
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(value) => value,
+                Err(panic) => resume_unwind(Box::new(panic.message)),
+            })
+            .collect()
+    }
+
+    /// Run a batch of tasks across the pool, returning each task's outcome in
+    /// task order with panics captured as [`JobPanic`] errors instead of
+    /// unwinding — the panic-safe entry point for long-lived servers.
+    pub fn try_run_ordered<T, F>(&self, tasks: Vec<F>) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
         let n = tasks.len();
-        let (result_tx, result_rx) = channel::<(usize, std::thread::Result<T>)>();
+        let (result_tx, result_rx) = channel::<(usize, Result<T, JobPanic>)>();
         for (index, task) in tasks.into_iter().enumerate() {
             let tx = result_tx.clone();
             self.execute(move || {
-                // A send failure means the caller stopped listening (it bailed
-                // on an earlier task's panic); discarding the result is fine.
-                let _ = tx.send((index, catch_unwind(AssertUnwindSafe(task))));
+                // Contain the unwind at the job boundary: the submitter gets
+                // the outcome and the worker survives for the next job.
+                let outcome = catch_unwind(AssertUnwindSafe(task)).map_err(|payload| JobPanic {
+                    message: panic_message(payload.as_ref()),
+                });
+                // A send failure means the caller stopped listening; fine.
+                let _ = tx.send((index, outcome));
             });
         }
         drop(result_tx);
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<T, JobPanic>>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
-            let (index, value) = result_rx
+            let (index, outcome) = result_rx
                 .recv()
                 .expect("every submitted task sends exactly one result");
-            match value {
-                Ok(value) => slots[index] = Some(value),
-                Err(payload) => resume_unwind(payload),
-            }
+            slots[index] = Some(outcome);
         }
         slots
             .into_iter()
@@ -108,27 +205,61 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Closing the channel makes every worker's recv() fail and exit.
+        // Stop replacements first so a panic racing the drop cannot spawn a
+        // worker we would miss, then close the queue so workers drain and exit.
+        self.shared.shutting_down.store(true, Ordering::Release);
         drop(self.sender.take());
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut handles = self
+                    .shared
+                    .handles
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                handles.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for handle in drained {
+                let _ = handle.join();
+            }
         }
     }
 }
 
-fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+/// Spawns a replacement worker if the thread unwinds while holding it (i.e. a
+/// raw `execute` job panicked); does nothing on orderly exit or shutdown.
+struct RespawnGuard {
+    shared: Arc<PoolShared>,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.shared.shutting_down.load(Ordering::Acquire) {
+            // This Drop runs during an unwind: a panicking `.expect()` here
+            // would be a double panic and abort the process.  If the OS
+            // refuses a thread right now, accept the shrunken pool instead.
+            if self.shared.try_spawn_worker().is_ok() {
+                self.shared.respawned.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<PoolShared>) {
+    let _guard = RespawnGuard {
+        shared: Arc::clone(shared),
+    };
     loop {
         // Hold the queue lock only while popping, never while running a job.
         let job = {
-            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+            let guard = shared.receiver.lock().unwrap_or_else(|e| e.into_inner());
             guard.recv()
         };
         match job {
-            // Contain a panicking job so the worker survives for the next one;
-            // run_ordered re-raises task panics on the submitting thread.
-            Ok(job) => {
-                let _ = catch_unwind(AssertUnwindSafe(job));
-            }
+            // A panicking job unwinds through here; the guard respawns us.
+            Ok(job) => job(),
             Err(_) => return,
         }
     }
@@ -138,6 +269,7 @@ fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
 
     #[test]
     fn executes_all_jobs() {
@@ -172,14 +304,47 @@ mod tests {
     }
 
     #[test]
-    fn workers_survive_panicking_jobs() {
+    fn run_ordered_reraises_task_panics() {
         let pool = ThreadPool::new(1);
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.run_ordered(vec![|| panic!("bad subtree")])
         }));
         assert!(caught.is_err(), "task panic must reach the caller");
-        // The single worker survived the panic: the pool still runs batches.
+        // The worker survived (no respawn needed: the unwind was contained at
+        // the job boundary) and the pool still runs batches.
         assert_eq!(pool.run_ordered(vec![|| 1, || 2]), vec![1, 2]);
+        assert_eq!(pool.respawned_workers(), 0);
+    }
+
+    #[test]
+    fn try_run_ordered_surfaces_panics_as_job_errors() {
+        let pool = ThreadPool::new(2);
+        let outcomes = pool.try_run_ordered(vec![
+            Box::new(|| 1u32) as Box<dyn FnOnce() -> u32 + Send>,
+            Box::new(|| panic!("LP solver exploded")),
+            Box::new(|| 3u32),
+        ]);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0], Ok(1));
+        let err = outcomes[1].as_ref().unwrap_err();
+        assert!(err.message.contains("LP solver exploded"), "{err}");
+        assert!(err.to_string().contains("pool job panicked"));
+        assert_eq!(outcomes[2], Ok(3));
+    }
+
+    #[test]
+    fn panicking_execute_job_respawns_the_worker() {
+        // Regression: a raw `execute` job that panicked used to be swallowed
+        // silently; now the worker dies loudly and is replaced.
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("poison attempt"));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.respawned_workers() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.respawned_workers(), 1, "replacement worker spawned");
+        // The replacement processes subsequent work: the pool self-healed.
+        assert_eq!(pool.run_ordered(vec![|| 40, || 2]), vec![40, 2]);
     }
 
     #[test]

@@ -123,7 +123,13 @@ impl ServerConfigBuilder {
 ///
 /// Delegates to a [`CachingService`]`<`[`ForestGenerator`]`>` internally; new
 /// code should build that stack directly (see the [`MatrixService`] docs) and
-/// hand `Arc<dyn MatrixService>` to [`crate::CorgiClient`].  Migration:
+/// hand `Arc<dyn MatrixService>` to [`crate::CorgiClient`].
+///
+/// **Removal timeline:** kept through the 0.1.x series so the pre-service API
+/// keeps compiling; deleted in 0.2.0 together with this deprecation shim.  It
+/// will not grow transport support — cross-process serving exists only on the
+/// [`MatrixService`] stack via [`crate::TcpServer`] / [`crate::TcpTransport`].
+/// Migration:
 ///
 /// | old | new |
 /// |---|---|

@@ -180,8 +180,14 @@ impl ForestGenerator {
             .collect();
         let entries = self
             .pool
-            .run_ordered(tasks)
+            .try_run_ordered(tasks)
             .into_iter()
+            // A panicking subtree solve becomes a structured solver error (and
+            // the worker survives) instead of unwinding through a long-lived
+            // serving thread.
+            .map(|outcome| {
+                outcome.unwrap_or_else(|panic| Err(CorgiError::Solver(panic.to_string())))
+            })
             .collect::<Result<Vec<ForestEntry>, CorgiError>>()?;
         Ok(PrivacyForestResponse {
             request,
@@ -526,7 +532,21 @@ impl<S: MatrixService> MatrixService for CachingService<S> {
             return flight.wait();
         }
 
-        let result = self.inner.privacy_forest(request);
+        // Contain a panicking inner service: without this, the leader would
+        // unwind past the flight record, leaving every future caller of this
+        // key blocked on a generation that no longer exists.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.inner.privacy_forest(request)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(ServiceError::new(
+                crate::messages::ServiceErrorKind::Internal,
+                format!(
+                    "forest generation panicked: {}",
+                    crate::pool::panic_message(payload.as_ref())
+                ),
+            ))
+        });
         if let Ok(response) = &result {
             // Publish to the cache *before* retiring the flight so late callers
             // always find either the cache entry or the in-flight generation.
@@ -743,6 +763,38 @@ mod tests {
         // A second attempt re-runs the inner service (the error was not cached).
         service.privacy_forest(request(9, 0)).unwrap_err();
         assert_eq!(service.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn panicking_inner_service_does_not_wedge_the_single_flight() {
+        // Regression: a leader unwinding out of the inner service used to
+        // leave its flight record in the in-flight table forever, so every
+        // later request for the key would block on a dead generation.
+        struct PanickingService {
+            inner: ForestGenerator,
+        }
+        impl MatrixService for PanickingService {
+            fn privacy_forest(
+                &self,
+                _request: MatrixRequest,
+            ) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
+                panic!("solver bug");
+            }
+            fn tree(&self) -> Arc<LocationTree> {
+                self.inner.tree()
+            }
+            fn prior(&self) -> Arc<PriorDistribution> {
+                self.inner.prior()
+            }
+        }
+        let service = CachingService::with_defaults(PanickingService { inner: generator() });
+        for _ in 0..2 {
+            // Both calls return (no hang) with a structured internal error.
+            let err = service.privacy_forest(request(1, 0)).unwrap_err();
+            assert_eq!(err.kind, crate::messages::ServiceErrorKind::Internal);
+            assert!(err.message.contains("solver bug"), "{}", err.message);
+        }
+        assert_eq!(service.cache_stats().entries, 0, "panics are not cached");
     }
 
     #[test]

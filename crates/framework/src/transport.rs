@@ -1,0 +1,1144 @@
+//! Cross-process envelope transport: length-prefixed frames over TCP, served
+//! by a non-blocking reactor on the hand-rolled executor.
+//!
+//! # Wire format
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! +----------+---------+----------------+---------------------+
+//! | magic 2B | kind 1B | length 4B (BE) | payload (JSON utf-8) |
+//! +----------+---------+----------------+---------------------+
+//! ```
+//!
+//! The payload of a `Request`/`Response` frame is the *versioned envelope* of
+//! [`crate::messages`] unchanged — the transport frames the existing protocol
+//! rather than inventing a second one.  `Hello`/`HelloReply` frames negotiate
+//! the [`ProtocolVersion`] on connect (a major mismatch is refused with a
+//! structured [`ServiceError`], not a decode failure), and the accepted reply
+//! carries the grid configuration and public prior so a remote client can
+//! rebuild the location tree without an out-of-band channel (step ② of
+//! Fig. 1).  `Warm`/`WarmReply` frames carry the [`WarmRequest`] /
+//! [`WarmReport`] of [`mod@crate::warm`].
+//!
+//! Malformed input never hangs or kills the server: a bad magic, an unknown
+//! frame kind, an oversized length prefix or an unparsable payload each
+//! produce a `Response` frame carrying a [`ServiceErrorKind::Transport`] error
+//! (request id 0, since no request was decodable) after which the connection
+//! drains and closes; a half-sent frame is bounded by the handshake/read
+//! deadline.
+//!
+//! # Server architecture
+//!
+//! ```text
+//! client sockets ──► reactor thread (one):  Executor::run
+//!                      ├─ AcceptTask        nonblocking accept → spawn conn
+//!                      └─ ConnectionTask ×N read frames → decode envelopes
+//!                             │  ▲                           │
+//!                             │  └── oneshot completions ◄── ▼
+//!                             │      (wake the task)   dispatch ThreadPool
+//!                             └─ bounded write queue ──► service.handle_envelope
+//! ```
+//!
+//! The reactor thread never computes: each decoded envelope is handed to the
+//! dispatch [`ThreadPool`], where the service stack (cache → generator → LP
+//! solver pool) runs, and the encoded response re-enters the event loop
+//! through a [`oneshot`] future.  Responses are therefore delivered in
+//! *completion* order, correlated by `request_id` — pipelining N requests on
+//! one connection keeps N solves in flight.  Per-connection backpressure is a
+//! bounded write queue plus an in-flight cap: a connection at either bound
+//! stops being read until it drains.
+//!
+//! [`ProtocolVersion`]: crate::messages::ProtocolVersion
+//! [`ServiceErrorKind::Transport`]: crate::messages::ServiceErrorKind::Transport
+//! [`oneshot`]: crate::executor::oneshot
+
+use crate::executor::{oneshot, Executor, Handle, Sleep};
+use crate::messages::{MatrixRequest, ProtocolVersion};
+use crate::messages::{
+    PrivacyForestResponse, RequestEnvelope, ResponseEnvelope, ServiceError, ServiceErrorKind,
+    PROTOCOL_VERSION,
+};
+use crate::pool::ThreadPool;
+use crate::service::MatrixService;
+use crate::warm::{warm, WarmReport, WarmRequest};
+use corgi_core::LocationTree;
+use corgi_datagen::PriorDistribution;
+use corgi_hexgrid::{HexGrid, HexGridConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+/// First two bytes of every frame.
+pub const FRAME_MAGIC: [u8; 2] = *b"CG";
+/// Bytes before the payload: magic (2) + kind (1) + big-endian length (4).
+pub const FRAME_HEADER_LEN: usize = 7;
+
+/// Frame kinds of the wire protocol (the third header byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: version negotiation opener ([`HelloFrame`]).
+    Hello = 0,
+    /// Server → client: negotiation outcome ([`HelloReply`]).
+    HelloReply = 1,
+    /// Client → server: a [`RequestEnvelope`].
+    Request = 2,
+    /// Server → client: a [`ResponseEnvelope`].
+    Response = 3,
+    /// Client → server: a [`WarmRequest`] to precompute the cache.
+    Warm = 4,
+    /// Server → client: the [`WarmReport`] answering a `Warm` frame.
+    WarmReply = 5,
+}
+
+impl FrameKind {
+    fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(Self::Hello),
+            1 => Some(Self::HelloReply),
+            2 => Some(Self::Request),
+            3 => Some(Self::Response),
+            4 => Some(Self::Warm),
+            5 => Some(Self::WarmReply),
+            _ => None,
+        }
+    }
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first two bytes were not [`FRAME_MAGIC`].
+    BadMagic([u8; 2]),
+    /// The kind byte named no known [`FrameKind`].
+    UnknownKind(u8),
+    /// The length prefix exceeded the configured maximum.
+    Oversized {
+        /// Length the peer announced.
+        len: usize,
+        /// Maximum this side accepts.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(bytes) => write!(f, "bad frame magic {bytes:02x?}"),
+            FrameError::UnknownKind(kind) => write!(f, "unknown frame kind {kind}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for ServiceError {
+    fn from(e: FrameError) -> Self {
+        ServiceError::transport(e.to_string())
+    }
+}
+
+/// Encode one frame: header + JSON payload bytes.
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.push(kind as u8);
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Validate a frame header and return its kind and payload length — the one
+/// definition of the header rules, shared by the reactor's incremental
+/// decoder and the client's blocking receive.
+fn parse_frame_header(
+    header: &[u8; FRAME_HEADER_LEN],
+    max_payload: usize,
+) -> Result<(FrameKind, usize), FrameError> {
+    if header[0..2] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic([header[0], header[1]]));
+    }
+    let kind = FrameKind::from_byte(header[2]).ok_or(FrameError::UnknownKind(header[2]))?;
+    let len = u32::from_be_bytes([header[3], header[4], header[5], header[6]]) as usize;
+    if len > max_payload {
+        return Err(FrameError::Oversized {
+            len,
+            max: max_payload,
+        });
+    }
+    Ok((kind, len))
+}
+
+/// Try to decode one complete frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed (a truncated frame is simply
+/// incomplete — callers bound the wait with a deadline), consumes the frame
+/// from `buf` on success, and fails without consuming on a malformed header so
+/// the caller can report and close.
+pub fn try_decode_frame(
+    buf: &mut Vec<u8>,
+    max_payload: usize,
+) -> Result<Option<(FrameKind, Vec<u8>)>, FrameError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let header: [u8; FRAME_HEADER_LEN] = buf[..FRAME_HEADER_LEN]
+        .try_into()
+        .expect("slice length checked above");
+    let (kind, len) = parse_frame_header(&header, max_payload)?;
+    if buf.len() < FRAME_HEADER_LEN + len {
+        return Ok(None);
+    }
+    let payload = buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
+    buf.drain(..FRAME_HEADER_LEN + len);
+    Ok(Some((kind, payload)))
+}
+
+fn encode_json_frame<T: Serialize>(kind: FrameKind, value: &T) -> Vec<u8> {
+    let json = serde_json::to_string(value).expect("wire types serialize infallibly");
+    encode_frame(kind, json.as_bytes())
+}
+
+fn parse_payload<'de, T: Deserialize<'de>>(payload: &'de [u8]) -> Result<T, ServiceError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ServiceError::transport(format!("payload is not utf-8: {e}")))?;
+    serde_json::from_str(text)
+        .map_err(|e| ServiceError::transport(format!("malformed payload: {e:?}")))
+}
+
+/// Payload of a [`FrameKind::Hello`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HelloFrame {
+    /// Protocol version the connecting client speaks.
+    pub version: ProtocolVersion,
+}
+
+/// Payload of a [`FrameKind::HelloReply`] frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HelloReply {
+    /// The versions are compatible; the connection is open for envelopes.
+    /// Carries everything a remote client needs to mirror the server's public
+    /// state: the grid configuration (rebuilding the location tree is
+    /// deterministic) and the public prior over leaf cells.
+    Accepted {
+        /// Protocol version the server speaks.
+        version: ProtocolVersion,
+        /// Grid configuration; `HexGrid::new(grid)` reproduces the tree.
+        grid: HexGridConfig,
+        /// Public prior distribution over leaf cells.
+        prior: PriorDistribution,
+    },
+    /// The versions are incompatible (or the hello was malformed); the server
+    /// closes after sending this.
+    Rejected(ServiceError),
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Tunables of the serving reactor and its transport.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Largest accepted inbound frame payload, in bytes.  Requests are tiny;
+    /// the default (64 KiB) rejects runaway length prefixes outright.
+    pub max_inbound_frame: usize,
+    /// Encoded response frames a connection may queue before the reactor
+    /// stops reading from it (write-side backpressure).
+    pub write_queue_depth: usize,
+    /// Decoded requests a connection may have in flight on the dispatch pool
+    /// before the reactor stops reading from it (compute backpressure).
+    pub max_inflight_per_connection: usize,
+    /// Threads of the dispatch pool running the service stack.  This bounds
+    /// server-wide concurrent generations; the LP fan-out below it is sized by
+    /// [`crate::ServerConfig::worker_threads`].
+    pub dispatch_threads: usize,
+    /// Reactor tick: how often sockets parked on `WouldBlock` are re-polled.
+    pub io_poll_interval: Duration,
+    /// How long a fresh connection may take to complete the hello exchange
+    /// (also bounds how long a truncated frame can sit half-read).
+    pub handshake_timeout: Duration,
+    /// Largest `(privacy_level, δ)` key count accepted in one `Warm` frame.
+    /// Each key is a full forest generation, so an unbounded plan would let a
+    /// single small frame pin the dispatch pool for hours.
+    pub max_warm_keys: usize,
+    /// Warming plan solved on the dispatch pool as soon as the server starts.
+    pub warm_on_start: Option<WarmRequest>,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        Self {
+            max_inbound_frame: 64 * 1024,
+            write_queue_depth: 64,
+            max_inflight_per_connection: 128,
+            dispatch_threads: 4,
+            io_poll_interval: Duration::from_micros(500),
+            handshake_timeout: Duration::from_secs(5),
+            max_warm_keys: 1024,
+            warm_on_start: None,
+        }
+    }
+}
+
+/// A running CORGI server: one reactor thread accepting framed-envelope TCP
+/// connections on behalf of an `Arc<dyn MatrixService>` stack.
+///
+/// ```no_run
+/// use corgi_framework::{
+///     CachingService, ForestGenerator, MatrixService, ServerConfig, TcpServer, TcpTransport,
+///     TransportConfig,
+/// };
+/// use corgi_core::LocationTree;
+/// use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
+/// use corgi_hexgrid::{HexGrid, HexGridConfig};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = HexGrid::new(HexGridConfig::san_francisco())?;
+/// let (dataset, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+/// let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+/// let service: Arc<dyn MatrixService> = Arc::new(CachingService::with_defaults(
+///     ForestGenerator::new(LocationTree::new(grid), prior, ServerConfig::default()),
+/// ));
+/// let server = TcpServer::bind("127.0.0.1:0", service, TransportConfig::default())?;
+/// let client = TcpTransport::connect(server.local_addr())?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    handle: Handle,
+    reactor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Bind a listener and start the reactor thread.
+    ///
+    /// Returns as soon as the socket is listening; any
+    /// [`TransportConfig::warm_on_start`] plan runs concurrently on the
+    /// dispatch pool while connections are already being accepted.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<dyn MatrixService>,
+        config: TransportConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let executor = Executor::new(config.io_poll_interval);
+        let handle = executor.handle();
+        let dispatch = Arc::new(ThreadPool::new(config.dispatch_threads.max(1)));
+        if let Some(plan) = config.warm_on_start.clone() {
+            let service = Arc::clone(&service);
+            dispatch.execute(move || {
+                let _ = warm(service.as_ref(), &plan);
+            });
+        }
+        handle.spawn(AcceptTask {
+            listener,
+            handle: handle.clone(),
+            service,
+            dispatch,
+            config: Arc::new(config),
+        });
+        let reactor = std::thread::Builder::new()
+            .name("corgi-reactor".into())
+            .spawn(move || executor.run())?;
+        Ok(Self {
+            local_addr,
+            handle,
+            reactor: Some(reactor),
+        })
+    }
+
+    /// The bound address (useful with port 0 in tests and examples).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop the reactor and join its thread.  Open connections are dropped;
+    /// dispatch jobs already running finish first (the pool joins on drop).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.handle.shutdown();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Nonblocking accept loop: each accepted socket becomes a ConnectionTask.
+struct AcceptTask {
+    listener: TcpListener,
+    handle: Handle,
+    service: Arc<dyn MatrixService>,
+    dispatch: Arc<ThreadPool>,
+    config: Arc<TransportConfig>,
+}
+
+impl Future for AcceptTask {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let deadline = self.handle.sleep(self.config.handshake_timeout);
+                    self.handle.spawn(ConnectionTask {
+                        stream,
+                        handle: self.handle.clone(),
+                        service: Arc::clone(&self.service),
+                        dispatch: Arc::clone(&self.dispatch),
+                        config: Arc::clone(&self.config),
+                        read_buf: Vec::new(),
+                        write_queue: VecDeque::new(),
+                        write_pos: 0,
+                        pending: Vec::new(),
+                        negotiated: false,
+                        draining: false,
+                        eof: false,
+                        deadline,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.handle.park_io(cx.waker());
+                    return Poll::Pending;
+                }
+                // Transient accept failures (e.g. aborted handshakes): retry
+                // on the next tick rather than killing the listener.
+                Err(_) => {
+                    self.handle.park_io(cx.waker());
+                    return Poll::Pending;
+                }
+            }
+        }
+    }
+}
+
+/// A reply being computed on the dispatch pool for one connection.
+struct PendingReply {
+    /// Echoed id for synthesizing an error if the job dies.
+    request_id: u64,
+    rx: oneshot::Receiver<Vec<u8>>,
+}
+
+/// One client connection: a manually-written state machine future.
+struct ConnectionTask {
+    stream: TcpStream,
+    handle: Handle,
+    service: Arc<dyn MatrixService>,
+    dispatch: Arc<ThreadPool>,
+    config: Arc<TransportConfig>,
+    read_buf: Vec<u8>,
+    /// Encoded frames awaiting the socket; `write_pos` is the offset into the
+    /// front frame already written.
+    write_queue: VecDeque<Vec<u8>>,
+    write_pos: usize,
+    pending: Vec<PendingReply>,
+    negotiated: bool,
+    /// Once set, the connection stops reading and closes after the queue
+    /// flushes (used after transport-level errors and hello rejection).
+    draining: bool,
+    eof: bool,
+    /// Handshake deadline, re-armed by [`ConnectionTask::begin_drain`] to cap
+    /// the final flush; between negotiation and drain the connection lives
+    /// until EOF.
+    deadline: Sleep,
+}
+
+enum ReadOutcome {
+    Progress,
+    Idle,
+    Eof,
+}
+
+impl ConnectionTask {
+    /// Whether backpressure bounds forbid taking on more input right now.
+    fn at_capacity(&self) -> bool {
+        self.pending.len() >= self.config.max_inflight_per_connection
+            || self.write_queue.len() >= self.config.write_queue_depth
+    }
+
+    /// High-water mark for buffered inbound bytes: one maximal frame plus a
+    /// read chunk of slack.  Beyond it we stop draining the socket so TCP
+    /// flow control pushes back on the peer instead of growing our heap.
+    fn read_buffer_limit(&self) -> usize {
+        self.config.max_inbound_frame + FRAME_HEADER_LEN + 4096
+    }
+
+    fn read_available(&mut self) -> ReadOutcome {
+        let mut chunk = [0u8; 4096];
+        let mut any = false;
+        while self.read_buf.len() < self.read_buffer_limit() {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Eof,
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    any = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Eof,
+            }
+        }
+        if any {
+            ReadOutcome::Progress
+        } else {
+            ReadOutcome::Idle
+        }
+    }
+
+    /// Write queued frames until the socket blocks.  Returns false when the
+    /// peer is gone.
+    fn flush(&mut self) -> bool {
+        while let Some(front) = self.write_queue.front() {
+            match self.stream.write(&front[self.write_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.write_pos += n;
+                    if self.write_pos == front.len() {
+                        self.write_queue.pop_front();
+                        self.write_pos = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    fn queue_frame(&mut self, frame: Vec<u8>) {
+        self.write_queue.push_back(frame);
+    }
+
+    /// Stop reading and close once the write queue flushes, with a fresh
+    /// deadline capping the drain (the handshake deadline this field
+    /// previously held is long expired on an established connection).
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.deadline = self.handle.sleep(self.config.handshake_timeout);
+    }
+
+    fn queue_transport_error(&mut self, error: ServiceError) {
+        // No request id was decodable; 0 is the documented "no request" id.
+        let envelope = ResponseEnvelope::error(0, error);
+        self.queue_frame(encode_json_frame(FrameKind::Response, &envelope));
+        self.begin_drain();
+    }
+
+    /// Decode and dispatch every complete frame in the read buffer.  Returns
+    /// true if any frame was consumed.
+    fn process_frames(&mut self) -> bool {
+        let mut any = false;
+        while !self.draining
+            && self.pending.len() < self.config.max_inflight_per_connection
+            && self.write_queue.len() < self.config.write_queue_depth
+        {
+            match try_decode_frame(&mut self.read_buf, self.config.max_inbound_frame) {
+                Ok(None) => break,
+                Ok(Some((kind, payload))) => {
+                    any = true;
+                    self.handle_frame(kind, &payload);
+                }
+                Err(e) => {
+                    any = true;
+                    self.queue_transport_error(e.into());
+                    break;
+                }
+            }
+        }
+        any
+    }
+
+    fn handle_frame(&mut self, kind: FrameKind, payload: &[u8]) {
+        match kind {
+            FrameKind::Request => {
+                let envelope: RequestEnvelope = match parse_payload(payload) {
+                    Ok(envelope) => envelope,
+                    Err(e) => {
+                        self.queue_transport_error(e);
+                        return;
+                    }
+                };
+                let (tx, rx) = oneshot::channel();
+                self.pending.push(PendingReply {
+                    request_id: envelope.request_id,
+                    rx,
+                });
+                let service = Arc::clone(&self.service);
+                self.dispatch.execute(move || {
+                    // Envelope version check, service stack, serialization:
+                    // all off the reactor thread.
+                    let reply = service.handle_envelope(&envelope);
+                    let _ = tx.send(encode_json_frame(FrameKind::Response, &reply));
+                });
+            }
+            FrameKind::Warm => {
+                let plan: WarmRequest = match parse_payload(payload) {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        self.queue_transport_error(e);
+                        return;
+                    }
+                };
+                // Every key is a full forest generation: refuse plans large
+                // enough to pin the dispatch pool (one small frame could
+                // otherwise schedule hours of solves).  The deduplicated
+                // request list is the actual work, not the raw product.
+                let keys = plan.requests().len();
+                if keys > self.config.max_warm_keys {
+                    self.queue_transport_error(ServiceError::transport(format!(
+                        "warm plan names {keys} keys, exceeding the {}-key limit",
+                        self.config.max_warm_keys
+                    )));
+                    return;
+                }
+                let (tx, rx) = oneshot::channel();
+                self.pending.push(PendingReply { request_id: 0, rx });
+                let service = Arc::clone(&self.service);
+                self.dispatch.execute(move || {
+                    let report = warm(service.as_ref(), &plan);
+                    let _ = tx.send(encode_json_frame(FrameKind::WarmReply, &report));
+                });
+            }
+            // A second hello, or a server-to-client kind from a client: the
+            // peer is confused; tell it so and hang up.
+            FrameKind::Hello
+            | FrameKind::HelloReply
+            | FrameKind::Response
+            | FrameKind::WarmReply => {
+                self.queue_transport_error(ServiceError::transport(format!(
+                    "unexpected {kind:?} frame after negotiation"
+                )));
+            }
+        }
+    }
+
+    /// Move finished dispatch jobs from `pending` into the write queue.
+    fn collect_completions(&mut self, cx: &mut Context<'_>) -> bool {
+        let mut any = false;
+        let mut completed: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (index, reply) in self.pending.iter_mut().enumerate() {
+            match Pin::new(&mut reply.rx).poll(cx) {
+                Poll::Ready(Ok(frame)) => completed.push((index, frame)),
+                Poll::Ready(Err(_)) => {
+                    // The dispatch job died (worker panic): the request must
+                    // still get an answer.
+                    let envelope = ResponseEnvelope::error(
+                        reply.request_id,
+                        ServiceError::new(
+                            ServiceErrorKind::Internal,
+                            "request handler panicked on the dispatch pool",
+                        ),
+                    );
+                    completed.push((index, encode_json_frame(FrameKind::Response, &envelope)));
+                }
+                Poll::Pending => {}
+            }
+        }
+        for (index, frame) in completed.into_iter().rev() {
+            self.pending.remove(index);
+            self.queue_frame(frame);
+            any = true;
+        }
+        any
+    }
+
+    fn handshake_step(&mut self, cx: &mut Context<'_>) -> Option<Poll<()>> {
+        // Bound the handshake (and any half-sent first frame) by the deadline.
+        if Pin::new(&mut self.deadline).poll(cx).is_ready() {
+            return Some(Poll::Ready(()));
+        }
+        match self.read_available() {
+            ReadOutcome::Eof => return Some(Poll::Ready(())),
+            ReadOutcome::Progress | ReadOutcome::Idle => {}
+        }
+        match try_decode_frame(&mut self.read_buf, self.config.max_inbound_frame) {
+            Ok(None) => {
+                self.handle.park_io(cx.waker());
+                Some(Poll::Pending)
+            }
+            Ok(Some((FrameKind::Hello, payload))) => {
+                match parse_payload::<HelloFrame>(&payload) {
+                    Ok(hello) if PROTOCOL_VERSION.is_compatible_with(&hello.version) => {
+                        let reply = HelloReply::Accepted {
+                            version: PROTOCOL_VERSION,
+                            grid: *self.service.tree().grid().config(),
+                            prior: (*self.service.prior()).clone(),
+                        };
+                        self.queue_frame(encode_json_frame(FrameKind::HelloReply, &reply));
+                        self.negotiated = true;
+                        None // fall through into the serving loop
+                    }
+                    Ok(hello) => {
+                        let reply =
+                            HelloReply::Rejected(ServiceError::unsupported_version(hello.version));
+                        self.queue_frame(encode_json_frame(FrameKind::HelloReply, &reply));
+                        self.begin_drain();
+                        None
+                    }
+                    Err(e) => {
+                        self.queue_frame(encode_json_frame(
+                            FrameKind::HelloReply,
+                            &HelloReply::Rejected(e),
+                        ));
+                        self.begin_drain();
+                        None
+                    }
+                }
+            }
+            Ok(Some((kind, _))) => {
+                self.queue_frame(encode_json_frame(
+                    FrameKind::HelloReply,
+                    &HelloReply::Rejected(ServiceError::transport(format!(
+                        "expected a Hello frame, got {kind:?}"
+                    ))),
+                ));
+                self.draining = true;
+                None
+            }
+            Err(e) => {
+                self.queue_frame(encode_json_frame(
+                    FrameKind::HelloReply,
+                    &HelloReply::Rejected(e.into()),
+                ));
+                self.draining = true;
+                None
+            }
+        }
+    }
+}
+
+impl Future for ConnectionTask {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.handle.is_shutdown() {
+            return Poll::Ready(());
+        }
+        if !this.negotiated && !this.draining {
+            if let Some(poll) = this.handshake_step(cx) {
+                return poll;
+            }
+        }
+        loop {
+            let mut progress = false;
+
+            if !this.draining {
+                progress |= this.collect_completions(cx);
+            }
+            if !this.flush() {
+                return Poll::Ready(()); // peer gone
+            }
+            if this.draining {
+                if this.write_queue.is_empty() {
+                    return Poll::Ready(());
+                }
+                // Bounded drain: begin_drain re-armed the deadline, capping
+                // how long a slow peer may take the final error frame.
+                if Pin::new(&mut this.deadline).poll(cx).is_ready() {
+                    return Poll::Ready(());
+                }
+                this.handle.park_io(cx.waker());
+                return Poll::Pending;
+            }
+            if !this.eof && !this.at_capacity() {
+                match this.read_available() {
+                    ReadOutcome::Eof => this.eof = true,
+                    ReadOutcome::Progress => progress = true,
+                    ReadOutcome::Idle => {}
+                }
+            }
+            progress |= this.process_frames();
+            if this.eof && this.pending.is_empty() && this.write_queue.is_empty() {
+                return Poll::Ready(());
+            }
+            if !progress {
+                // Completions wake us via their oneshot wakers; socket
+                // readiness arrives with the next reactor tick.
+                this.handle.park_io(cx.waker());
+                return Poll::Pending;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Tunables of a [`TcpTransport`] client connection.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Largest accepted frame payload from the server.  Responses carry whole
+    /// privacy forests, so this is generous by default (64 MiB).
+    pub max_frame: usize,
+    /// Socket read timeout per blocking receive; bounds how long a truncated
+    /// or withheld response can stall a caller.  `None` waits forever.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            max_frame: 64 * 1024 * 1024,
+            read_timeout: Some(Duration::from_secs(600)),
+        }
+    }
+}
+
+/// Client side of the framed envelope transport: a [`MatrixService`] whose
+/// requests cross a process boundary over TCP.
+///
+/// Connecting performs the hello exchange, from which the transport learns the
+/// server's protocol version, grid configuration (rebuilt into a local
+/// [`LocationTree`]) and public prior — so a [`crate::CorgiClient`] can run
+/// against a `TcpTransport` exactly as it does against an in-process stack.
+///
+/// The connection is a `Mutex`-serialized request/response channel: one
+/// request is in flight at a time per transport (clone-free sharing across
+/// threads works, callers just serialize).  Pipelining is a property of the
+/// *server*; concurrent client load is modelled with multiple transports, as
+/// in the loopback tests and benches.
+pub struct TcpTransport {
+    conn: Mutex<ClientConn>,
+    tree: Arc<LocationTree>,
+    prior: Arc<PriorDistribution>,
+    server_version: ProtocolVersion,
+    next_request_id: AtomicU64,
+    max_frame: usize,
+}
+
+/// Connection state behind the transport's mutex.
+struct ClientConn {
+    stream: TcpStream,
+    /// Set after a transport-level failure (timeout, truncated or
+    /// uncorrelated frame): the request/response stream may be
+    /// desynchronized — a late response could be mistaken for the next
+    /// call's reply — so every further call fails fast until the caller
+    /// reconnects.
+    poisoned: bool,
+}
+
+impl ClientConn {
+    /// One request/response exchange.  Any transport-level failure — send
+    /// failure, timeout, truncated frame — poisons the connection: a reply to
+    /// this call may still arrive later and would desynchronize every
+    /// subsequent exchange.
+    fn exchange<T: Serialize>(
+        &mut self,
+        kind: FrameKind,
+        value: &T,
+        max_frame: usize,
+    ) -> Result<(FrameKind, Vec<u8>), ServiceError> {
+        if self.poisoned {
+            return Err(ServiceError::transport(
+                "connection poisoned by an earlier stream desynchronization; reconnect",
+            ));
+        }
+        let result = write_frame_blocking(&mut self.stream, kind, value)
+            .and_then(|()| read_frame_blocking(&mut self.stream, max_frame));
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+}
+
+impl TcpTransport {
+    /// Connect with the default [`ClientConfig`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect, perform the version handshake and mirror the server's tree.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ServiceError::transport(format!("connect failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(config.read_timeout)
+            .map_err(|e| ServiceError::transport(format!("setting read timeout: {e}")))?;
+        let mut stream = stream;
+        write_frame_blocking(
+            &mut stream,
+            FrameKind::Hello,
+            &HelloFrame {
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        let (kind, payload) = read_frame_blocking(&mut stream, config.max_frame)?;
+        if kind != FrameKind::HelloReply {
+            return Err(ServiceError::transport(format!(
+                "expected a HelloReply frame, got {kind:?}"
+            )));
+        }
+        match parse_payload::<HelloReply>(&payload)? {
+            HelloReply::Accepted {
+                version,
+                grid,
+                prior,
+            } => {
+                let grid = HexGrid::new(grid).map_err(|e| {
+                    ServiceError::transport(format!("server sent an invalid grid config: {e}"))
+                })?;
+                Ok(Self {
+                    conn: Mutex::new(ClientConn {
+                        stream,
+                        poisoned: false,
+                    }),
+                    tree: Arc::new(LocationTree::new(grid)),
+                    prior: Arc::new(prior),
+                    server_version: version,
+                    next_request_id: AtomicU64::new(1),
+                    max_frame: config.max_frame,
+                })
+            }
+            HelloReply::Rejected(error) => Err(error),
+        }
+    }
+
+    /// Protocol version the server negotiated.
+    pub fn server_version(&self) -> ProtocolVersion {
+        self.server_version
+    }
+
+    /// Ask the server to precompute its cache over a `(privacy_level, δ)`
+    /// grid; blocks until the server reports back.
+    pub fn warm(&self, plan: &WarmRequest) -> Result<WarmReport, ServiceError> {
+        let mut conn = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        let (kind, payload) = conn.exchange(FrameKind::Warm, plan, self.max_frame)?;
+        match kind {
+            FrameKind::WarmReply => parse_payload(&payload),
+            FrameKind::Response => {
+                // The server refused at the transport level (e.g. a plan
+                // larger than its inbound frame limit) and is closing.
+                conn.poisoned = true;
+                let envelope: ResponseEnvelope = parse_payload(&payload)?;
+                Err(envelope
+                    .into_result()
+                    .err()
+                    .unwrap_or_else(|| ServiceError::transport("unexpected forest reply")))
+            }
+            other => {
+                conn.poisoned = true;
+                Err(ServiceError::transport(format!(
+                    "expected a WarmReply frame, got {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+impl MatrixService for TcpTransport {
+    fn privacy_forest(
+        &self,
+        request: MatrixRequest,
+    ) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
+        let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let envelope = RequestEnvelope::new(request_id, request);
+        let mut conn = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        let (kind, payload) = conn.exchange(FrameKind::Request, &envelope, self.max_frame)?;
+        if kind != FrameKind::Response {
+            conn.poisoned = true;
+            return Err(ServiceError::transport(format!(
+                "expected a Response frame, got {kind:?}"
+            )));
+        }
+        let reply: ResponseEnvelope = match parse_payload(&payload) {
+            Ok(reply) => reply,
+            Err(e) => {
+                conn.poisoned = true;
+                return Err(e);
+            }
+        };
+        if reply.request_id != request_id {
+            // Either a transport-level error (id 0, server closing) or a
+            // desynchronized stream; both poison the connection.  Surface the
+            // carried error if there is one.
+            conn.poisoned = true;
+            return match reply.into_result() {
+                Err(error) => Err(error),
+                Ok(_) => Err(ServiceError::transport(
+                    "response correlates to a different request",
+                )),
+            };
+        }
+        reply.into_result()
+    }
+
+    fn tree(&self) -> Arc<LocationTree> {
+        Arc::clone(&self.tree)
+    }
+
+    fn prior(&self) -> Arc<PriorDistribution> {
+        Arc::clone(&self.prior)
+    }
+}
+
+/// Serialize and send one frame over a blocking stream.
+fn write_frame_blocking<T: Serialize>(
+    stream: &mut TcpStream,
+    kind: FrameKind,
+    value: &T,
+) -> Result<(), ServiceError> {
+    let frame = encode_json_frame(kind, value);
+    stream
+        .write_all(&frame)
+        .map_err(|e| ServiceError::transport(format!("send failed: {e}")))
+}
+
+/// Receive one frame from a blocking stream (honouring its read timeout).
+fn read_frame_blocking(
+    stream: &mut TcpStream,
+    max_payload: usize,
+) -> Result<(FrameKind, Vec<u8>), ServiceError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    read_exact_mapped(stream, &mut header)?;
+    let (kind, len) = parse_frame_header(&header, max_payload)?;
+    let mut payload = vec![0u8; len];
+    read_exact_mapped(stream, &mut payload)?;
+    Ok((kind, payload))
+}
+
+fn read_exact_mapped(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), ServiceError> {
+    stream.read_exact(buf).map_err(|e| match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            ServiceError::transport("timed out waiting for a frame")
+        }
+        io::ErrorKind::UnexpectedEof => {
+            ServiceError::transport("connection closed mid-frame (truncated frame)")
+        }
+        _ => ServiceError::transport(format!("receive failed: {e}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_through_the_incremental_decoder() {
+        let payload = br#"{"hello":"world"}"#;
+        let mut buf = encode_frame(FrameKind::Request, payload);
+        // Arrives in two halves: first read yields nothing, second completes.
+        let tail = buf.split_off(5);
+        let mut incoming = buf;
+        assert_eq!(try_decode_frame(&mut incoming, 1024), Ok(None));
+        incoming.extend_from_slice(&tail);
+        let (kind, got) = try_decode_frame(&mut incoming, 1024).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(got, payload);
+        assert!(incoming.is_empty(), "frame bytes fully consumed");
+    }
+
+    #[test]
+    fn decoder_separates_back_to_back_frames() {
+        let mut buf = encode_frame(FrameKind::Request, b"one");
+        buf.extend_from_slice(&encode_frame(FrameKind::Warm, b"two"));
+        let (k1, p1) = try_decode_frame(&mut buf, 1024).unwrap().unwrap();
+        let (k2, p2) = try_decode_frame(&mut buf, 1024).unwrap().unwrap();
+        assert_eq!((k1, p1.as_slice()), (FrameKind::Request, b"one".as_slice()));
+        assert_eq!((k2, p2.as_slice()), (FrameKind::Warm, b"two".as_slice()));
+        assert_eq!(try_decode_frame(&mut buf, 1024), Ok(None));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = b"XX\x02\x00\x00\x00\x00".to_vec();
+        assert_eq!(
+            try_decode_frame(&mut buf, 1024),
+            Err(FrameError::BadMagic(*b"XX"))
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut buf = encode_frame(FrameKind::Request, b"x");
+        buf[2] = 250;
+        assert_eq!(
+            try_decode_frame(&mut buf, 1024),
+            Err(FrameError::UnknownKind(250))
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering() {
+        // A 4 GiB length prefix must be refused from the 7 header bytes alone.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC);
+        buf.push(FrameKind::Request as u8);
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = try_decode_frame(&mut buf, 64 * 1024).unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::Oversized {
+                len: u32::MAX as usize,
+                max: 64 * 1024
+            }
+        );
+        let service_error: ServiceError = err.into();
+        assert_eq!(service_error.kind, ServiceErrorKind::Transport);
+    }
+
+    #[test]
+    fn frame_errors_map_to_transport_service_errors() {
+        for e in [
+            FrameError::BadMagic(*b"no"),
+            FrameError::UnknownKind(9),
+            FrameError::Oversized { len: 10, max: 5 },
+        ] {
+            let s: ServiceError = e.into();
+            assert_eq!(s.kind, ServiceErrorKind::Transport);
+            assert!(!s.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn hello_frames_roundtrip_through_json() {
+        let hello = HelloFrame {
+            version: PROTOCOL_VERSION,
+        };
+        let json = serde_json::to_string(&hello).unwrap();
+        let back: HelloFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, hello);
+
+        let rejected = HelloReply::Rejected(ServiceError::unsupported_version(ProtocolVersion {
+            major: 9,
+            minor: 0,
+        }));
+        let json = serde_json::to_string(&rejected).unwrap();
+        let back: HelloReply = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rejected);
+    }
+}

@@ -1,0 +1,262 @@
+//! Cache warming: precompute privacy forests so steady-state traffic is
+//! cache-hit dominated.
+//!
+//! The key space of the serving cache is tiny — a [`CachingService`] key is
+//! `(privacy_level, δ)`, the tree has a handful of levels and δ is bounded by
+//! the subtree size — so the *entire* working set can be precomputed.  A
+//! [`WarmRequest`] names the grid of keys to solve; [`warm()`] pushes every key
+//! through the service (whose generator fans the per-subtree LP solves out
+//! over its worker pool) and the wrapping [`CachingService`] retains the
+//! results.  After a full warm, every request in the grid is a cache hit and
+//! the steady-state path performs no LP solves at all.
+//!
+//! Warming runs in two places:
+//!
+//! * **at startup** — [`TransportConfig::warm_on_start`] hands a plan to
+//!   [`TcpServer::bind`], which solves it on the dispatch pool while the
+//!   reactor is already accepting connections;
+//! * **on demand** — a client sends the plan as a `Warm` frame and receives a
+//!   [`WarmReport`] once the grid is solved ([`TcpTransport::warm`]).
+//!
+//! [`CachingService`]: crate::CachingService
+//! [`TransportConfig::warm_on_start`]: crate::TransportConfig::warm_on_start
+//! [`TcpServer::bind`]: crate::TcpServer::bind
+//! [`TcpTransport::warm`]: crate::TcpTransport::warm
+
+use crate::messages::{MatrixRequest, ServiceError};
+use crate::service::MatrixService;
+use corgi_core::LocationTree;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// A warming plan: the `(privacy_level, δ)` grid to precompute.
+///
+/// The plan is the cartesian product `privacy_levels × deltas`; every pair
+/// becomes one [`MatrixRequest`] pushed through the service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmRequest {
+    /// Privacy levels to warm (each selects one privacy forest).
+    pub privacy_levels: Vec<u8>,
+    /// δ values to warm per level (each is a distinct cache key).
+    pub deltas: Vec<usize>,
+}
+
+impl WarmRequest {
+    /// A plan covering one privacy level for δ ∈ `0..=max_delta`.
+    pub fn level(privacy_level: u8, max_delta: usize) -> Self {
+        Self {
+            privacy_levels: vec![privacy_level],
+            deltas: (0..=max_delta).collect(),
+        }
+    }
+
+    /// The full steady-state grid of a tree: every privacy level the tree
+    /// serves (via [`LocationTree::privacy_levels`]) crossed with
+    /// δ ∈ `0..=max_delta`.
+    ///
+    /// Warming the root level solves the single full-tree LP (the K = 1,
+    /// 343-leaf regime), which is by far the most expensive key; callers that
+    /// only serve lower levels should enumerate those explicitly.
+    pub fn full_grid(tree: &LocationTree, max_delta: usize) -> Self {
+        Self {
+            privacy_levels: tree.privacy_levels(),
+            deltas: (0..=max_delta).collect(),
+        }
+    }
+
+    /// Number of `(privacy_level, δ)` keys in the plan.
+    pub fn key_count(&self) -> usize {
+        self.privacy_levels.len() * self.deltas.len()
+    }
+
+    /// The requests of the plan, cheapest level first so partial warms (or an
+    /// early shutdown) still populate the high-traffic low-K keys.  Duplicate
+    /// levels and deltas collapse, so repeated entries cannot inflate work.
+    pub fn requests(&self) -> Vec<MatrixRequest> {
+        let mut levels = self.privacy_levels.clone();
+        levels.sort_unstable();
+        levels.dedup();
+        let mut deltas = self.deltas.clone();
+        deltas.sort_unstable();
+        deltas.dedup();
+        let mut requests = Vec::with_capacity(levels.len() * deltas.len());
+        for &privacy_level in &levels {
+            for &delta in &deltas {
+                requests.push(MatrixRequest {
+                    privacy_level,
+                    delta,
+                });
+            }
+        }
+        requests
+    }
+}
+
+/// One key of a [`WarmRequest`] that failed to generate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmFailure {
+    /// The privacy level of the failed key.
+    pub privacy_level: u8,
+    /// The δ of the failed key.
+    pub delta: usize,
+    /// Why generation failed.
+    pub error: ServiceError,
+}
+
+/// Outcome of a warming run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmReport {
+    /// Keys named by the plan.
+    pub requested: usize,
+    /// Keys whose forest was generated (or already resident) successfully.
+    pub warmed: usize,
+    /// Keys that failed, with their errors (e.g. a privacy level above the
+    /// tree height).  Failures do not abort the run: the remaining grid is
+    /// still warmed.
+    pub failures: Vec<WarmFailure>,
+    /// Wall-clock duration of the run in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl WarmReport {
+    /// Whether every key of the plan was warmed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty() && self.warmed == self.requested
+    }
+}
+
+/// Execute a warming plan against a service, returning per-key outcomes.
+///
+/// Each key goes through [`MatrixService::privacy_forest`], so a caching layer
+/// in the stack retains every generated forest and concurrent live traffic for
+/// the same key coalesces onto the warming flight instead of solving twice.
+/// The call blocks until the whole grid is processed; run it on a worker
+/// thread (the server's dispatch pool does) when that matters.
+pub fn warm(service: &dyn MatrixService, plan: &WarmRequest) -> WarmReport {
+    let start = Instant::now();
+    let requests = plan.requests();
+    let requested = requests.len();
+    let mut warmed = 0usize;
+    let mut failures = Vec::new();
+    for request in requests {
+        match service.privacy_forest(request) {
+            Ok(_) => warmed += 1,
+            Err(error) => failures.push(WarmFailure {
+                privacy_level: request.privacy_level,
+                delta: request.delta,
+                error,
+            }),
+        }
+    }
+    WarmReport {
+        requested,
+        warmed,
+        failures,
+        elapsed_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CachingService, ForestGenerator, ServerConfig};
+    use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
+    use corgi_hexgrid::{HexGrid, HexGridConfig};
+
+    fn caching_service() -> CachingService<ForestGenerator> {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let (dataset, _) =
+            GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+        let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+        CachingService::with_defaults(ForestGenerator::new(
+            corgi_core::LocationTree::new(grid),
+            prior,
+            ServerConfig::builder()
+                .robust_iterations(1)
+                .targets_per_subtree(3)
+                .worker_threads(2)
+                .build(),
+        ))
+    }
+
+    #[test]
+    fn warming_populates_the_cache_and_turns_requests_into_hits() {
+        let service = caching_service();
+        let plan = WarmRequest {
+            privacy_levels: vec![1, 2],
+            deltas: vec![0, 1],
+        };
+        let report = warm(&service, &plan);
+        assert!(report.is_complete(), "failures: {:?}", report.failures);
+        assert_eq!(report.requested, 4);
+        assert_eq!(report.warmed, 4);
+        let after_warm = service.cache_stats();
+        assert_eq!(after_warm.entries, 4);
+
+        // Steady state: every key of the grid is now a pure cache hit.
+        for request in plan.requests() {
+            service.privacy_forest(request).unwrap();
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.misses, after_warm.misses, "no new generations");
+    }
+
+    #[test]
+    fn warm_failures_are_reported_but_do_not_abort() {
+        let service = caching_service();
+        let plan = WarmRequest {
+            privacy_levels: vec![1, 9], // level 9 exceeds the tree height
+            deltas: vec![0],
+        };
+        let report = warm(&service, &plan);
+        assert_eq!(report.requested, 2);
+        assert_eq!(report.warmed, 1);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].privacy_level, 9);
+        assert!(!report.is_complete());
+        assert_eq!(service.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn full_grid_enumerates_every_tree_level() {
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let tree = corgi_core::LocationTree::new(grid);
+        let plan = WarmRequest::full_grid(&tree, 2);
+        assert_eq!(plan.privacy_levels, vec![0, 1, 2, 3]);
+        assert_eq!(plan.key_count(), 12);
+        // Requests come cheapest-level-first and duplicate levels collapse.
+        let dup = WarmRequest {
+            privacy_levels: vec![2, 1, 2],
+            deltas: vec![0],
+        };
+        let requests = dup.requests();
+        assert_eq!(requests.len(), 2);
+        assert_eq!(requests[0].privacy_level, 1);
+    }
+
+    #[test]
+    fn warm_messages_roundtrip_through_json() {
+        let plan = WarmRequest::level(1, 2);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: WarmRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+
+        let report = WarmReport {
+            requested: 3,
+            warmed: 2,
+            failures: vec![WarmFailure {
+                privacy_level: 9,
+                delta: 0,
+                error: ServiceError::new(
+                    crate::messages::ServiceErrorKind::InvalidRequest,
+                    "level 9",
+                ),
+            }],
+            elapsed_ms: 1234,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: WarmReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -14,7 +14,9 @@
 use corgi::core::{generate_nonrobust_matrix, geoind, prune_matrix, LocationTree, SolverKind};
 use corgi::datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
 use corgi::framework::messages::MatrixRequest;
-use corgi::framework::{CachingService, ForestGenerator, MatrixService, ServerConfig};
+use corgi::framework::{
+    warm, CachingService, ForestGenerator, MatrixService, ServerConfig, WarmRequest,
+};
 use corgi::geo::LatLng;
 use corgi::hexgrid::{HexGrid, HexGridConfig};
 use std::sync::Arc;
@@ -50,13 +52,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = generator.problem_for_subtree(&subtree)?;
     let nonrobust = generate_nonrobust_matrix(&problem, SolverKind::Auto)?;
 
-    // The robust matrix arrives through the serving trait: request the whole
-    // level-2 privacy forest and select the users' subtree locally.
-    let service: Arc<dyn MatrixService> = Arc::new(CachingService::with_defaults(generator));
+    // The robust matrix arrives through the serving trait: warm the level-2
+    // key up front (as a production deployment would at startup), then the
+    // request below is answered from the cache.
+    let service = Arc::new(CachingService::with_defaults(generator));
+    let report = warm(
+        service.as_ref(),
+        &WarmRequest {
+            privacy_levels: vec![2],
+            deltas: vec![delta],
+        },
+    );
+    println!(
+        "Warmed {} privacy-forest key(s) in {} ms",
+        report.warmed, report.elapsed_ms
+    );
     let response = service.privacy_forest(MatrixRequest {
         privacy_level: 2,
         delta,
     })?;
+    assert_eq!(
+        service.cache_stats().hits,
+        1,
+        "served from the warmed cache"
+    );
     let robust = &response
         .entries
         .iter()

@@ -1,10 +1,12 @@
-//! Quickstart: obfuscate a single location with CORGI.
+//! Quickstart: obfuscate a single location with CORGI — across a real socket.
 //!
 //! Builds a location tree over San Francisco, composes the serving stack
-//! (`InstrumentedService<CachingService<ForestGenerator>>`) behind an
-//! `Arc<dyn MatrixService>`, and runs the trusted client flow (Algorithm 4):
-//! policy evaluation → privacy-forest request → prune → precision-reduce →
-//! sample an obfuscated cell.
+//! (`InstrumentedService<CachingService<ForestGenerator>>`) behind the
+//! event-driven TCP server, and runs the trusted client flow (Algorithm 4)
+//! over loopback: the client mirrors the server's tree through the version
+//! handshake, then policy evaluation → privacy-forest request (framed
+//! envelopes over TCP) → prune → precision-reduce → sample an obfuscated
+//! cell.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -14,7 +16,7 @@ use corgi::datagen::{
 };
 use corgi::framework::{
     CachingService, CorgiClient, ForestGenerator, InstrumentedService, MatrixService,
-    MetadataAttributeProvider, ServerConfig,
+    MetadataAttributeProvider, ServerConfig, TcpServer, TcpTransport, TransportConfig,
 };
 use corgi::geo::LatLng;
 use corgi::hexgrid::{HexGrid, HexGridConfig};
@@ -39,18 +41,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metadata = LocationMetadata::from_dataset(&grid, &dataset, 0.9);
 
     // 3. The untrusted server: the raw Algorithm-3 compute path wrapped in a
-    //    bounded cache and request instrumentation, behind the service trait.
+    //    bounded cache and request instrumentation, served by the one-thread
+    //    reactor over framed TCP.
     let config = ServerConfig::builder()
         .epsilon(15.0)
         .robust_iterations(5)
         .targets_per_subtree(20)
         .build();
-    let service: Arc<dyn MatrixService> = Arc::new(InstrumentedService::new(
+    let stack: Arc<dyn MatrixService> = Arc::new(InstrumentedService::new(
         CachingService::with_defaults(ForestGenerator::new(tree, prior, config)),
     ));
+    let server = TcpServer::bind("127.0.0.1:0", stack, TransportConfig::default())?;
 
-    // 4. The user: a real location and a customization policy
-    //    <privacy_l = 1, precision_l = 0, preferences = [outlier = false, home = false]>.
+    // 4. The user device connects over TCP: the hello exchange negotiates the
+    //    protocol version and mirrors the server's public tree + prior, and
+    //    the transport is itself a MatrixService, so the client code is
+    //    identical to the in-process deployment.
+    let service: Arc<dyn MatrixService> = Arc::new(TcpTransport::connect(server.local_addr())?);
+    println!(
+        "Connected to the obfuscation server on {}",
+        server.local_addr()
+    );
     let user_id = metadata.users_with_home()[0];
     let real_location: LatLng = grid.cell_center(&metadata.home_of(user_id).unwrap());
     let policy = Policy::new(
@@ -80,5 +91,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Second report (cache hit on the server): {}",
         again.report.reported_cell
     );
+    server.shutdown();
     Ok(())
 }

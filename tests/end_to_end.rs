@@ -9,7 +9,8 @@ use corgi::datagen::{
 };
 use corgi::framework::{
     messages::MatrixRequest, CachingService, CorgiClient, ForestGenerator, InstrumentedService,
-    MatrixService, MetadataAttributeProvider, ServerConfig,
+    MatrixService, MetadataAttributeProvider, ServerConfig, TcpServer, TcpTransport,
+    TransportConfig, WarmRequest,
 };
 use corgi::geo::LatLng;
 use corgi::hexgrid::{HexGrid, HexGridConfig};
@@ -71,6 +72,62 @@ fn full_pipeline_produces_in_range_reports() {
     assert_eq!(stats.requests, 3);
     assert_eq!(stats.errors, 0);
     assert!(instrumented.inner().cache_stats().entries >= 1);
+}
+
+#[test]
+fn full_pipeline_over_the_tcp_transport() {
+    // The same trusted-device flow, but the serving stack sits behind the
+    // event-driven TCP server with a warmed cache and the client side is a
+    // TcpTransport that learned the tree and prior from the handshake.
+    let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+    let (dataset, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+    let metadata = LocationMetadata::from_dataset(&grid, &dataset, 0.9);
+    let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+    let caching = Arc::new(CachingService::with_defaults(ForestGenerator::new(
+        LocationTree::new(grid.clone()),
+        prior,
+        ServerConfig::builder()
+            .robust_iterations(2)
+            .targets_per_subtree(5)
+            .build(),
+    )));
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&caching) as Arc<dyn MatrixService>,
+        TransportConfig::default(),
+    )
+    .unwrap();
+    let transport = Arc::new(TcpTransport::connect(server.local_addr()).unwrap());
+
+    // Warm the grid the clients below will hit, over the wire.
+    let report = transport.warm(&WarmRequest::level(1, 3)).unwrap();
+    assert!(report.is_complete(), "failures: {:?}", report.failures);
+    let warmed_misses = caching.cache_stats().misses;
+
+    let service: Arc<dyn MatrixService> = transport;
+    let mut rng = StdRng::seed_from_u64(9);
+    for &user in metadata.users_with_home().iter().take(3) {
+        let home = metadata.home_of(user).unwrap();
+        let real = grid.cell_center(&home);
+        let policy = Policy::new(1, 0, vec![Predicate::is_false("outlier")]).unwrap();
+        let provider = MetadataAttributeProvider::new(&grid, &metadata, user, real);
+        let client = CorgiClient::new(Arc::clone(&service), policy, provider).unwrap();
+        let outcome = client
+            .generate_obfuscated_location(&real, &mut rng)
+            .unwrap();
+        let tree = service.tree();
+        let subtree = tree.subtree_containing(&outcome.real_leaf, 1).unwrap();
+        assert!(subtree.contains(&outcome.report.reported_cell));
+        outcome.customized_matrix.check_stochastic(1e-6).unwrap();
+    }
+    // The warmed keys absorbed the client traffic: no further generations
+    // (clients whose δ fell inside the warmed grid were pure hits).
+    let stats = caching.cache_stats();
+    assert!(
+        stats.misses <= warmed_misses + 1,
+        "client traffic should be cache-hit dominated after warming: {stats:?}"
+    );
+    server.shutdown();
 }
 
 #[test]

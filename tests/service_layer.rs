@@ -9,7 +9,8 @@ use corgi::framework::messages::{
     MatrixRequest, PrivacyForestResponse, RequestEnvelope, ResponseEnvelope,
 };
 use corgi::framework::{
-    CacheConfig, CachingService, ForestGenerator, MatrixService, ServerConfig, ServiceError,
+    warm, CacheConfig, CachingService, ForestGenerator, MatrixService, ServerConfig, ServiceError,
+    WarmRequest,
 };
 use corgi::hexgrid::{HexGrid, HexGridConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -111,6 +112,52 @@ fn concurrent_same_key_requests_are_single_flight() {
     let stats = service.cache_stats();
     assert_eq!(stats.hits + stats.misses, threads as u64);
     assert!(stats.coalesced <= stats.misses);
+}
+
+#[test]
+fn warming_coalesces_with_concurrent_live_traffic() {
+    // A warming pass and live requests racing on the same key must elect one
+    // generation between them: warming goes through the same single-flight
+    // caching layer as organic traffic.
+    let threads = 4;
+    let service = Arc::new(CachingService::with_defaults(SlowCountingService {
+        inner: generator(1),
+        generations: AtomicUsize::new(0),
+    }));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let warmer = {
+        let service = Arc::clone(&service);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            barrier.wait();
+            warm(service.as_ref(), &WarmRequest::level(1, 0))
+        })
+    };
+    let live: Vec<_> = (0..threads)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                service
+                    .privacy_forest(MatrixRequest {
+                        privacy_level: 1,
+                        delta: 0,
+                    })
+                    .unwrap()
+            })
+        })
+        .collect();
+    let report = warmer.join().unwrap();
+    assert!(report.is_complete());
+    for handle in live {
+        handle.join().unwrap();
+    }
+    assert_eq!(
+        service.inner().generations.load(Ordering::SeqCst),
+        1,
+        "warming and live traffic must share one generation"
+    );
 }
 
 #[test]

@@ -1,0 +1,395 @@
+//! Loopback TCP integration tests of the event-driven serving core: the full
+//! client flow across a real socket, ≥ 64 concurrent in-flight requests
+//! through one reactor thread, cache warming over the wire, and the
+//! malformed-input paths of the frame protocol.
+
+use corgi::core::{LocationTree, Policy};
+use corgi::datagen::{
+    GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution,
+};
+use corgi::framework::messages::{
+    MatrixRequest, ProtocolVersion, RequestEnvelope, ResponseEnvelope, ServiceErrorKind,
+    PROTOCOL_VERSION,
+};
+use corgi::framework::transport::{
+    encode_frame, FrameKind, HelloFrame, HelloReply, FRAME_HEADER_LEN, FRAME_MAGIC,
+};
+use corgi::framework::{
+    CachingService, CorgiClient, ForestGenerator, MatrixService, MetadataAttributeProvider,
+    ServerConfig, TcpServer, TcpTransport, TransportConfig, WarmRequest,
+};
+use corgi::hexgrid::{HexGrid, HexGridConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn caching_stack() -> Arc<CachingService<ForestGenerator>> {
+    let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+    let (dataset, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+    let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+    Arc::new(CachingService::with_defaults(ForestGenerator::new(
+        LocationTree::new(grid),
+        prior,
+        ServerConfig::builder()
+            .robust_iterations(1)
+            .targets_per_subtree(3)
+            .worker_threads(2)
+            .build(),
+    )))
+}
+
+fn start_server(service: Arc<dyn MatrixService>) -> TcpServer {
+    TcpServer::bind("127.0.0.1:0", service, TransportConfig::default())
+        .expect("binding a loopback server")
+}
+
+/// Blocking frame receive used by the raw-socket tests.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    assert_eq!(header[0..2], FRAME_MAGIC, "server always frames correctly");
+    let len = u32::from_be_bytes([header[3], header[4], header[5], header[6]]) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok((header[2], payload))
+}
+
+fn send_hello(stream: &mut TcpStream, version: ProtocolVersion) -> HelloReply {
+    let hello = serde_json::to_string(&HelloFrame { version }).unwrap();
+    stream
+        .write_all(&encode_frame(FrameKind::Hello, hello.as_bytes()))
+        .unwrap();
+    let (kind, payload) = read_frame(stream).unwrap();
+    assert_eq!(kind, FrameKind::HelloReply as u8);
+    serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap()
+}
+
+#[test]
+fn client_flow_works_across_a_real_socket() {
+    let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+    let (dataset, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+    let metadata = LocationMetadata::from_dataset(&grid, &dataset, 0.9);
+    let server = start_server(caching_stack());
+
+    // The transport mirrors the server's public state through the handshake…
+    let transport = Arc::new(TcpTransport::connect(server.local_addr()).unwrap());
+    assert!(PROTOCOL_VERSION.is_compatible_with(&transport.server_version()));
+    assert_eq!(transport.tree().leaves().len(), 343);
+
+    // …so the unchanged trusted-device client (Algorithm 4) runs over TCP.
+    let user = metadata.users_with_home()[0];
+    let real = grid.cell_center(&metadata.home_of(user).unwrap());
+    let provider = MetadataAttributeProvider::new(&grid, &metadata, user, real);
+    let client = CorgiClient::new(
+        transport.clone() as Arc<dyn MatrixService>,
+        Policy::new(1, 0, vec![]).unwrap(),
+        provider,
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let outcome = client
+        .generate_obfuscated_location(&real, &mut rng)
+        .unwrap();
+    let tree = transport.tree();
+    let subtree = tree.subtree_containing(&outcome.real_leaf, 1).unwrap();
+    assert!(subtree.contains(&outcome.report.reported_cell));
+    server.shutdown();
+}
+
+#[test]
+fn sixty_four_inflight_requests_through_one_reactor_thread() {
+    // The acceptance bar of the event-driven core: 8 connections × 8
+    // pipelined requests = 64 concurrently in-flight envelopes, all decoded,
+    // dispatched and answered by a single reactor thread in front of the
+    // solver pool.
+    let caching = caching_stack();
+    let server = start_server(caching.clone() as Arc<dyn MatrixService>);
+    let addr = server.local_addr();
+
+    let connections = 8usize;
+    let per_connection = 8usize;
+    // Four distinct (privacy_level, δ) keys spread over the 64 requests: the
+    // cache's single-flight must collapse them to exactly four generations.
+    let key_of = move |conn: usize, slot: usize| (conn * per_connection + slot) % 4;
+
+    let handles: Vec<_> = (0..connections)
+        .map(|conn| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.set_nodelay(true).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .unwrap();
+                match send_hello(&mut stream, PROTOCOL_VERSION) {
+                    HelloReply::Accepted { .. } => {}
+                    HelloReply::Rejected(e) => panic!("hello rejected: {e}"),
+                }
+                // Pipeline all 8 requests before reading a single response.
+                for slot in 0..per_connection {
+                    let envelope = RequestEnvelope::new(
+                        slot as u64 + 1,
+                        MatrixRequest {
+                            privacy_level: 1,
+                            delta: key_of(conn, slot),
+                        },
+                    );
+                    let json = serde_json::to_string(&envelope).unwrap();
+                    stream
+                        .write_all(&encode_frame(FrameKind::Request, json.as_bytes()))
+                        .unwrap();
+                }
+                // Responses arrive in completion order; collect and match by id.
+                let mut seen = vec![false; per_connection];
+                for _ in 0..per_connection {
+                    let (kind, payload) = read_frame(&mut stream).unwrap();
+                    assert_eq!(kind, FrameKind::Response as u8);
+                    let reply: ResponseEnvelope =
+                        serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+                    let id = reply.request_id as usize;
+                    assert!((1..=per_connection).contains(&id), "unknown id {id}");
+                    assert!(!seen[id - 1], "duplicate response for id {id}");
+                    seen[id - 1] = true;
+                    let forest = reply.into_result().unwrap();
+                    assert_eq!(forest.entries.len(), 49, "level-1 forest");
+                    assert_eq!(forest.request.delta, key_of(conn, id - 1));
+                }
+                assert!(seen.iter().all(|&s| s), "every request answered");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("connection thread");
+    }
+
+    // Cache-deduplicated: 64 requests, exactly 4 generations ran (the other
+    // 60 were hits or coalesced onto an in-flight generation).
+    let stats = caching.cache_stats();
+    assert_eq!(stats.hits + stats.misses, 64);
+    assert_eq!(
+        stats.misses - stats.coalesced,
+        4,
+        "single-flight must collapse 64 requests onto 4 generations: {stats:?}"
+    );
+    assert_eq!(stats.entries, 4);
+    server.shutdown();
+}
+
+#[test]
+fn warming_over_the_wire_makes_steady_state_solve_free() {
+    let caching = caching_stack();
+    let server = start_server(caching.clone() as Arc<dyn MatrixService>);
+    let transport = TcpTransport::connect(server.local_addr()).unwrap();
+
+    // Cold cache: nothing resident.
+    assert_eq!(caching.cache_stats().entries, 0);
+
+    // Warm the level-1 grid for δ ∈ 0..=2 through the Warm frame.
+    let plan = WarmRequest::level(1, 2);
+    let report = transport.warm(&plan).unwrap();
+    assert!(report.is_complete(), "failures: {:?}", report.failures);
+    assert_eq!(report.warmed, 3);
+    let warmed = caching.cache_stats();
+    assert_eq!(warmed.entries, 3);
+
+    // Steady state: the whole grid is served without a single further LP
+    // solve — every request is a cache hit.
+    for delta in 0..=2usize {
+        let forest = transport
+            .privacy_forest(MatrixRequest {
+                privacy_level: 1,
+                delta,
+            })
+            .unwrap();
+        assert_eq!(forest.entries.len(), 49);
+    }
+    let stats = caching.cache_stats();
+    assert_eq!(stats.hits, 3, "all steady-state requests were hits");
+    assert_eq!(stats.misses, warmed.misses, "no post-warm generations");
+    server.shutdown();
+}
+
+#[test]
+fn version_mismatch_is_refused_with_a_structured_error() {
+    let server = start_server(caching_stack() as Arc<dyn MatrixService>);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reply = send_hello(
+        &mut stream,
+        ProtocolVersion {
+            major: 99,
+            minor: 0,
+        },
+    );
+    match reply {
+        HelloReply::Rejected(error) => {
+            assert_eq!(error.kind, ServiceErrorKind::UnsupportedVersion);
+            assert!(error.message.contains("99.0"), "{}", error.message);
+        }
+        HelloReply::Accepted { .. } => panic!("major 99 must be refused"),
+    }
+    // The server closes after rejecting.
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+
+    // The high-level client surfaces the same failure as Err, and the server
+    // keeps serving compatible clients afterwards.
+    assert!(TcpTransport::connect(server.local_addr()).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_return_transport_errors_and_close() {
+    let server = start_server(caching_stack() as Arc<dyn MatrixService>);
+    let addr = server.local_addr();
+
+    let expect_transport_error = |mut stream: TcpStream| {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let (kind, payload) = read_frame(&mut stream).unwrap();
+        assert_eq!(kind, FrameKind::Response as u8);
+        let reply: ResponseEnvelope =
+            serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+        assert_eq!(reply.request_id, 0, "no request id was decodable");
+        let error = reply.into_result().unwrap_err();
+        assert_eq!(error.kind, ServiceErrorKind::Transport);
+        // …and the connection is closed afterwards.
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+        error
+    };
+
+    // Bad magic after a valid handshake.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    assert!(matches!(
+        send_hello(&mut stream, PROTOCOL_VERSION),
+        HelloReply::Accepted { .. }
+    ));
+    stream.write_all(b"XXXXXXXXXXXXXXXX").unwrap();
+    let error = expect_transport_error(stream);
+    assert!(error.message.contains("magic"), "{}", error.message);
+
+    // Oversized length prefix: rejected from the header alone.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    assert!(matches!(
+        send_hello(&mut stream, PROTOCOL_VERSION),
+        HelloReply::Accepted { .. }
+    ));
+    let mut oversized = Vec::new();
+    oversized.extend_from_slice(&FRAME_MAGIC);
+    oversized.push(FrameKind::Request as u8);
+    oversized.extend_from_slice(&u32::MAX.to_be_bytes());
+    stream.write_all(&oversized).unwrap();
+    let error = expect_transport_error(stream);
+    assert!(error.message.contains("exceeds"), "{}", error.message);
+
+    // A well-framed Request whose payload is not a RequestEnvelope.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    assert!(matches!(
+        send_hello(&mut stream, PROTOCOL_VERSION),
+        HelloReply::Accepted { .. }
+    ));
+    stream
+        .write_all(&encode_frame(
+            FrameKind::Request,
+            b"{\"not\":\"an envelope\"}",
+        ))
+        .unwrap();
+    let error = expect_transport_error(stream);
+    assert!(error.message.contains("malformed"), "{}", error.message);
+
+    // After all that abuse the server still serves a healthy client.
+    let transport = TcpTransport::connect(addr).unwrap();
+    let forest = transport
+        .privacy_forest(MatrixRequest {
+            privacy_level: 1,
+            delta: 0,
+        })
+        .unwrap();
+    assert_eq!(forest.entries.len(), 49);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_closes_the_listener_and_open_connections() {
+    // Regression: shutting the reactor down used to leak the listener and
+    // connection sockets through an executor-internal reference cycle, so
+    // connected clients hung on read until their own timeout instead of
+    // seeing EOF.
+    let server = start_server(caching_stack() as Arc<dyn MatrixService>);
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    assert!(matches!(
+        send_hello(&mut stream, PROTOCOL_VERSION),
+        HelloReply::Accepted { .. }
+    ));
+    server.shutdown();
+    // The established connection sees EOF promptly (the 30 s read timeout
+    // would fail this assertion if the socket leaked).
+    let mut rest = Vec::new();
+    assert_eq!(
+        stream.read_to_end(&mut rest).unwrap(),
+        0,
+        "shutdown must close established connections"
+    );
+    // And the port no longer accepts a full exchange: either the connect is
+    // refused outright or the socket is dead (no HelloReply ever comes).
+    if let Ok(mut late) = TcpStream::connect(addr) {
+        late.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let hello = serde_json::to_string(&HelloFrame {
+            version: PROTOCOL_VERSION,
+        })
+        .unwrap();
+        let _ = late.write_all(&encode_frame(FrameKind::Hello, hello.as_bytes()));
+        let mut buf = [0u8; 1];
+        assert!(
+            !matches!(late.read(&mut buf), Ok(n) if n > 0),
+            "a shut-down server must not answer new handshakes"
+        );
+    }
+}
+
+#[test]
+fn truncated_frame_is_bounded_by_the_handshake_deadline() {
+    // A peer that sends half a frame and goes silent must not pin a
+    // connection forever: the deadline closes it.
+    let caching = caching_stack();
+    let config = TransportConfig {
+        handshake_timeout: Duration::from_millis(300),
+        ..TransportConfig::default()
+    };
+    let server = TcpServer::bind("127.0.0.1:0", caching as Arc<dyn MatrixService>, config)
+        .expect("binding a loopback server");
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Half a hello: magic + kind + a length promising bytes that never come.
+    stream.write_all(&FRAME_MAGIC).unwrap();
+    stream.write_all(&[FrameKind::Hello as u8]).unwrap();
+    stream.write_all(&100u32.to_be_bytes()).unwrap();
+    let mut rest = Vec::new();
+    assert_eq!(
+        stream.read_to_end(&mut rest).unwrap(),
+        0,
+        "server must close the half-open connection at the deadline"
+    );
+    server.shutdown();
+}

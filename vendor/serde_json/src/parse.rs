@@ -175,11 +175,39 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(c) if c < 0x80 => {
+                    // Bulk-copy the longest run of plain ASCII: one slice
+                    // validation per run instead of per character (validating
+                    // the whole remaining input per character made string
+                    // parsing quadratic in document size).
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || !(0x20..0x80).contains(&b) {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("ASCII bytes are valid UTF-8"),
+                    );
+                }
                 Some(_) => {
-                    // Consume one UTF-8 encoded char.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    // Multi-byte UTF-8: a scalar is at most 4 bytes, so
+                    // validate only that window.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(chunk) {
+                        Ok(s) => s.chars().next().expect("non-empty chunk"),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .expect("non-empty prefix")
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
