@@ -1,20 +1,23 @@
 //! Serving-stack benchmarks: concurrent vs serial privacy-forest generation,
-//! the cached request path, and warm-cache transport throughput over loopback
-//! TCP.
+//! the cached request path, the wire codecs, and warm-cache transport
+//! throughput over loopback TCP.
 //!
 //! The K per-subtree LP solves of Algorithm 3 are independent, so
 //! `ForestGenerator` fans them out over a fixed-size thread pool; this bench
 //! pins the speed-up against the serial baseline (throughput is reported in
 //! subtrees per second, so the two rows are directly comparable), plus the
-//! cost of a cache hit through `CachingService` — both in-process and across
-//! the full event-driven stack (frames, reactor, dispatch pool).
+//! cost of a cache hit through `CachingService` — in-process, per-codec
+//! (encode+decode of the warm-hit forest response in binary vs JSON, the
+//! ratio the perf gate holds), and across the full event-driven stack
+//! (frames, reactor, dispatch pool) under each codec.
 
 use corgi_core::LocationTree;
 use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
-use corgi_framework::messages::MatrixRequest;
+use corgi_framework::messages::{MatrixRequest, RequestEnvelope, ResponseEnvelope};
+use corgi_framework::transport::try_decode_frame;
 use corgi_framework::{
-    CachingService, ForestGenerator, MatrixService, ServerConfig, TcpServer, TcpTransport,
-    TransportConfig, WarmRequest,
+    CachingService, ClientConfig, ForestGenerator, MatrixService, ServerConfig, TcpServer,
+    TcpTransport, TransportConfig, WarmRequest, WireCodec,
 };
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
@@ -72,13 +75,65 @@ fn bench_cached_request_path(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pure codec cost of the warm-hit payload: encode + decode of the ~70 KB
+/// level-1 forest `ResponseEnvelope` (and of the tiny request envelope) in
+/// each codec.  This is exactly the work PR 5 moved off the hot path, so the
+/// perf gate holds the `/binary` vs `/json` ratio: losing the raw-`f64`-run
+/// encoding shows up as an order-of-magnitude ratio jump on any hardware.
+fn bench_wire_codec(c: &mut Criterion) {
+    let service = CachingService::with_defaults(generator(0));
+    let request = MatrixRequest {
+        privacy_level: 1,
+        delta: 0,
+    };
+    let forest = service.privacy_forest(request).expect("warm the cache");
+    let response = ResponseEnvelope::forest(1, forest);
+    let request_envelope = RequestEnvelope::new(1, request);
+
+    let mut group = c.benchmark_group("wire_codec");
+    group.sample_size(40);
+    for codec in [WireCodec::Binary, WireCodec::Json] {
+        let encoded = codec.encode_frame(&response);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_function(format!("forest_roundtrip/{codec}"), |b| {
+            b.iter(|| {
+                let mut frame = codec.encode_frame(&response);
+                let (_, payload) = try_decode_frame(&mut frame, usize::MAX)
+                    .expect("well-formed frame")
+                    .expect("complete frame");
+                let decoded: ResponseEnvelope =
+                    codec.decode_payload(&payload).expect("decodable payload");
+                decoded
+            });
+        });
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("request_roundtrip/{codec}"), |b| {
+            b.iter(|| {
+                let mut frame = codec.encode_frame(&request_envelope);
+                let (_, payload) = try_decode_frame(&mut frame, usize::MAX)
+                    .expect("well-formed frame")
+                    .expect("complete frame");
+                let decoded: RequestEnvelope =
+                    codec.decode_payload(&payload).expect("decodable payload");
+                decoded
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Warm-cache request/response round trips across the loopback transport:
 /// requests per second through frame encode → reactor → dispatch pool → cache
-/// hit → frame decode, with zero LP solves on the measured path.
+/// hit → frame decode, with zero LP solves on the measured path — under the
+/// negotiated binary codec (`warm_hit_roundtrip`), the forced JSON codec
+/// (`warm_hit_roundtrip_json`, the perf gate's reference sibling), and with
+/// the transport removed entirely (`warm_hit_inprocess`, the floor the
+/// transport overhead is measured against).
 fn bench_transport_roundtrip(c: &mut Criterion) {
     let service = Arc::new(CachingService::with_defaults(generator(0)));
     let config = TransportConfig {
         warm_on_start: Some(WarmRequest::level(1, 0)),
+        codecs: vec![WireCodec::Binary, WireCodec::Json],
         ..TransportConfig::default()
     };
     let server = TcpServer::bind(
@@ -87,27 +142,47 @@ fn bench_transport_roundtrip(c: &mut Criterion) {
         config,
     )
     .expect("binding the loopback bench server");
-    let transport = TcpTransport::connect(server.local_addr()).expect("connecting to loopback");
+    let binary = TcpTransport::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            codecs: vec![WireCodec::Binary, WireCodec::Json],
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connecting to loopback (binary)");
+    assert_eq!(binary.codec(), WireCodec::Binary);
+    let json = TcpTransport::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            codecs: vec![WireCodec::Json],
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connecting to loopback (json)");
+    assert_eq!(json.codec(), WireCodec::Json);
     let request = MatrixRequest {
         privacy_level: 1,
         delta: 0,
     };
     // Ensure the startup warm has landed before timing (the first request
     // coalesces onto it if it is still in flight).
-    transport.privacy_forest(request).expect("warm-up request");
+    binary.privacy_forest(request).expect("warm-up request");
 
     let mut group = c.benchmark_group("transport_loopback");
     group.sample_size(20);
     group.throughput(Throughput::Elements(1));
     group.bench_function("warm_hit_roundtrip", |b| {
-        b.iter(|| {
-            transport
-                .privacy_forest(request)
-                .expect("cache hit over TCP")
-        });
+        b.iter(|| binary.privacy_forest(request).expect("cache hit over TCP"));
+    });
+    group.bench_function("warm_hit_roundtrip_json", |b| {
+        b.iter(|| json.privacy_forest(request).expect("cache hit over TCP"));
+    });
+    group.bench_function("warm_hit_inprocess", |b| {
+        b.iter(|| service.privacy_forest(request).expect("cache hit"));
     });
     group.finish();
-    drop(transport);
+    drop(binary);
+    drop(json);
     server.shutdown();
 }
 
@@ -115,6 +190,7 @@ criterion_group!(
     benches,
     bench_forest_generation,
     bench_cached_request_path,
+    bench_wire_codec,
     bench_transport_roundtrip
 );
 criterion_main!(benches);

@@ -75,6 +75,30 @@ impl ObfuscationMatrix {
         Ok(Self { cells, data })
     }
 
+    /// Build a matrix from wire-decoded parts, checking dimensions only.
+    ///
+    /// The binary wire codec reconstructs matrices with this constructor; it
+    /// accepts exactly what the derived serde `Deserialize` accepts (no
+    /// non-negativity or row-sum validation, entries preserved bit-exactly —
+    /// including NaN, ±0 and subnormals), so a forest decoded from either
+    /// codec compares equal.  Anything that *generates* matrices goes through
+    /// the validating [`ObfuscationMatrix::new`] instead.
+    pub fn from_wire_parts(cells: Vec<CellId>, data: Vec<f64>) -> Result<Self> {
+        let k = cells.len();
+        if k == 0 {
+            return Err(CorgiError::InvalidMatrix("empty cell set".to_string()));
+        }
+        if data.len() != k * k {
+            return Err(CorgiError::InvalidMatrix(format!(
+                "wire matrix over {} cells must carry {} entries, got {}",
+                k,
+                k * k,
+                data.len()
+            )));
+        }
+        Ok(Self { cells, data })
+    }
+
     /// The uniform obfuscation matrix over the given cells (every row is uniform).
     pub fn uniform(cells: Vec<CellId>) -> Result<Self> {
         let k = cells.len();

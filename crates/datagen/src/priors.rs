@@ -17,6 +17,16 @@ pub struct PriorDistribution {
 }
 
 impl PriorDistribution {
+    /// Rebuild a prior from raw per-leaf probabilities (wire decoding).
+    ///
+    /// Performs no normalization or validation — the values are taken exactly
+    /// as given, mirroring what the derived serde `Deserialize` accepts, so a
+    /// prior decoded from the binary wire codec compares equal to one decoded
+    /// from JSON.
+    pub fn from_probs(probs: Vec<f64>) -> Self {
+        Self { probs }
+    }
+
     /// Uniform prior over `n` leaves.
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0, "prior over zero cells");

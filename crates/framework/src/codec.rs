@@ -1,0 +1,975 @@
+//! The binary wire codec of protocol 1.2 (and the [`WireCodec`] dispatch
+//! between it and JSON).
+//!
+//! # Why a second codec
+//!
+//! The frame payloads of [`crate::transport`] are dominated by `f64` matrices:
+//! a warm cache hit returns a ~70 KB privacy forest whose JSON text is almost
+//! entirely formatted decimal floats.  Formatting and re-parsing that text
+//! costs milliseconds per round trip — three orders of magnitude more than the
+//! data movement itself.  The binary codec removes exactly that cost: small
+//! metadata fields are written tag-prefixed with fixed-width little-endian
+//! scalars, and matrices/forests/priors travel as length-prefixed runs of raw
+//! IEEE-754 `f64` bit patterns copied straight from (and into) the in-memory
+//! `Vec<f64>` — no per-element formatting, no intermediate `String`, and
+//! bit-exact round trips (NaN payloads, ±0 and subnormals survive, which JSON
+//! text cannot guarantee).
+//!
+//! # Encoding rules
+//!
+//! All scalars are little-endian.  `f64` is the raw IEEE-754 bit pattern.
+//! Strings and lists are length-prefixed with a `u32` count; cell ids travel
+//! as their packed `u64` form ([`CellId::pack`]).  Every struct field of the
+//! small metadata is preceded by a one-byte tag (see the `TAG_*` constants):
+//! the decoder verifies tags in order, so a corrupted or desynchronized
+//! payload fails fast with a structured error instead of mis-assembling a
+//! message.  Enums start with a one-byte discriminant.  A decoder consumes
+//! the payload exactly: trailing bytes are an error.
+//!
+//! Per-message layouts (all multi-byte integers LE):
+//!
+//! ```text
+//! RequestEnvelope   = T₁ version(u16·2) T₂ request_id(u64) T₃ request
+//! MatrixRequest     = privacy_level(u8) delta(u64)
+//! ResponseEnvelope  = T₁ version T₂ request_id T₄ disc(u8: 0 forest, 1 error) body
+//!   forest body     = T₃ request T₅ epsilon(f64) T₆ n(u32) entry×n
+//!   entry           = root(u64) k(u32) cell(u64)×k data(f64×k²)
+//!   error body      = kind(u8) message(str)
+//! WarmRequest       = T₇ n(u32) level(u8)×n T₈ n(u32) delta(u64)×n
+//! WarmReport        = T₉ requested(u64) warmed(u64) elapsed_ms(u64)
+//!                     T₁₀ n(u32) failure×n      failure = level(u8) delta(u64) error
+//! HelloFrame        = T₁ version T₁₁ present(u8) [n(u32) name(str)×n]
+//! HelloReply        = disc(u8: 0 accepted, 1 rejected)
+//!   accepted        = T₁ version T₁₂ lat(f64) lng(f64) height(u8) spacing(f64)
+//!                     T₁₃ n(u32) prob(f64)×n T₁₄ present(u8) [name(str)]
+//!   rejected        = error
+//! ```
+//!
+//! `Hello`/`HelloReply` have binary encodings for completeness (and so the
+//! property tests can cover every payload), but on the wire they always
+//! travel as JSON: they bootstrap the codec negotiation, so they must be
+//! legible to every protocol version.  See [`crate::transport`].
+//!
+//! [`CellId::pack`]: corgi_hexgrid::CellId::pack
+
+use crate::messages::{
+    ForestEntry, MatrixRequest, PrivacyForestResponse, ProtocolVersion, RequestEnvelope,
+    ResponseEnvelope, ResponsePayload, ServiceError, ServiceErrorKind, WireCodec,
+};
+use crate::transport::{FrameKind, HelloFrame, HelloReply, FRAME_HEADER_LEN};
+use crate::warm::{WarmFailure, WarmReport, WarmRequest};
+use corgi_core::ObfuscationMatrix;
+use corgi_datagen::PriorDistribution;
+use corgi_geo::LatLng;
+use corgi_hexgrid::{CellId, HexGridConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+const TAG_VERSION: u8 = 0x01;
+const TAG_REQUEST_ID: u8 = 0x02;
+const TAG_REQUEST: u8 = 0x03;
+const TAG_PAYLOAD: u8 = 0x04;
+const TAG_EPSILON: u8 = 0x05;
+const TAG_ENTRIES: u8 = 0x06;
+const TAG_LEVELS: u8 = 0x07;
+const TAG_DELTAS: u8 = 0x08;
+const TAG_COUNTS: u8 = 0x09;
+const TAG_FAILURES: u8 = 0x0A;
+const TAG_CODECS: u8 = 0x0B;
+const TAG_GRID: u8 = 0x0C;
+const TAG_PRIOR: u8 = 0x0D;
+const TAG_CODEC: u8 = 0x0E;
+
+/// Why a binary payload could not be decoded.
+///
+/// Carries a human-readable description of the first malformed byte range;
+/// converts into a [`ServiceErrorKind::Transport`] error at the transport
+/// boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(String);
+
+impl WireError {
+    fn new(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed binary payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::transport(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_count(out: &mut Vec<u8>, n: usize) {
+    put_u32(out, u32::try_from(n).expect("wire count exceeds u32::MAX"));
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_count(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A length-prefixed run of raw IEEE-754 `f64` bit patterns — the hot path of
+/// the codec.  The loop compiles to a straight memory copy on little-endian
+/// targets; there is no per-element formatting.
+fn put_f64_run(out: &mut Vec<u8>, values: &[f64]) {
+    put_count(out, values.len());
+    put_f64_raw(out, values);
+}
+
+/// The raw `f64` bytes of `values`, with the count implied by context (matrix
+/// data, whose length is fixed by the already-written cell count).
+fn put_f64_raw(out: &mut Vec<u8>, values: &[f64]) {
+    out.reserve(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive reader
+// ---------------------------------------------------------------------------
+
+/// Cursor over a binary payload.  Every read names what it expects, so a
+/// truncated or corrupted payload produces an error pinpointing the first
+/// malformed field instead of a generic failure.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from the start of `payload`.
+    pub fn new(payload: &'a [u8]) -> Self {
+        Self {
+            buf: payload,
+            pos: 0,
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::new(format!(
+                "truncated at byte {} reading {what} ({n} bytes needed, {} left)",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// A `u32` element count, sanity-bounded by the bytes actually present:
+    /// each element needs at least `min_elem_bytes`, so a hostile count can
+    /// never trigger an over-allocation beyond the payload size.
+    fn count(&mut self, min_elem_bytes: usize, what: &str) -> Result<usize, WireError> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_elem_bytes) > self.remaining() {
+            return Err(WireError::new(format!(
+                "{what} count {n} exceeds the {} bytes left in the payload",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, WireError> {
+        let n = self.count(1, what)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::new(format!("{what} is not utf-8: {e}")))
+    }
+
+    fn f64_exact(&mut self, n: usize, what: &str) -> Result<Vec<f64>, WireError> {
+        let need = n
+            .checked_mul(8)
+            .ok_or_else(|| WireError::new(format!("{what} count {n} overflows")))?;
+        let bytes = self.take(need, what)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect())
+    }
+
+    fn f64_run(&mut self, what: &str) -> Result<Vec<f64>, WireError> {
+        let n = self.count(8, what)?;
+        self.f64_exact(n, what)
+    }
+
+    fn tag(&mut self, expected: u8, what: &str) -> Result<(), WireError> {
+        let got = self.u8(what)?;
+        if got != expected {
+            return Err(WireError::new(format!(
+                "expected tag {expected:#04x} ({what}) at byte {}, got {got:#04x}",
+                self.pos - 1
+            )));
+        }
+        Ok(())
+    }
+
+    /// Assert the payload was consumed exactly.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::new(format!(
+                "{} trailing bytes after the message",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared sub-encodings
+// ---------------------------------------------------------------------------
+
+fn put_version(out: &mut Vec<u8>, v: &ProtocolVersion) {
+    put_u16(out, v.major);
+    put_u16(out, v.minor);
+}
+
+fn read_version(r: &mut WireReader<'_>) -> Result<ProtocolVersion, WireError> {
+    Ok(ProtocolVersion {
+        major: r.u16("version.major")?,
+        minor: r.u16("version.minor")?,
+    })
+}
+
+fn put_matrix_request(out: &mut Vec<u8>, m: &MatrixRequest) {
+    put_u8(out, m.privacy_level);
+    put_u64(out, m.delta as u64);
+}
+
+fn read_matrix_request(r: &mut WireReader<'_>) -> Result<MatrixRequest, WireError> {
+    Ok(MatrixRequest {
+        privacy_level: r.u8("request.privacy_level")?,
+        delta: usize::try_from(r.u64("request.delta")?)
+            .map_err(|_| WireError::new("request.delta exceeds usize"))?,
+    })
+}
+
+fn kind_to_byte(kind: ServiceErrorKind) -> u8 {
+    match kind {
+        ServiceErrorKind::UnsupportedVersion => 0,
+        ServiceErrorKind::InvalidRequest => 1,
+        ServiceErrorKind::Generation => 2,
+        ServiceErrorKind::Transport => 3,
+        ServiceErrorKind::Internal => 4,
+    }
+}
+
+fn byte_to_kind(byte: u8) -> Result<ServiceErrorKind, WireError> {
+    match byte {
+        0 => Ok(ServiceErrorKind::UnsupportedVersion),
+        1 => Ok(ServiceErrorKind::InvalidRequest),
+        2 => Ok(ServiceErrorKind::Generation),
+        3 => Ok(ServiceErrorKind::Transport),
+        4 => Ok(ServiceErrorKind::Internal),
+        other => Err(WireError::new(format!("unknown error kind {other}"))),
+    }
+}
+
+fn put_service_error(out: &mut Vec<u8>, e: &ServiceError) {
+    put_u8(out, kind_to_byte(e.kind));
+    put_str(out, &e.message);
+}
+
+fn read_service_error(r: &mut WireReader<'_>) -> Result<ServiceError, WireError> {
+    let kind = byte_to_kind(r.u8("error.kind")?)?;
+    let message = r.str("error.message")?;
+    Ok(ServiceError { kind, message })
+}
+
+fn put_forest(out: &mut Vec<u8>, f: &PrivacyForestResponse) {
+    put_u8(out, TAG_REQUEST);
+    put_matrix_request(out, &f.request);
+    put_u8(out, TAG_EPSILON);
+    put_f64(out, f.epsilon);
+    put_u8(out, TAG_ENTRIES);
+    put_count(out, f.entries.len());
+    for entry in &f.entries {
+        put_u64(out, entry.subtree_root.pack());
+        let cells = entry.matrix.cells();
+        put_count(out, cells.len());
+        for cell in cells {
+            put_u64(out, cell.pack());
+        }
+        put_f64_raw(out, entry.matrix.data());
+    }
+}
+
+fn read_forest(r: &mut WireReader<'_>) -> Result<PrivacyForestResponse, WireError> {
+    r.tag(TAG_REQUEST, "forest.request")?;
+    let request = read_matrix_request(r)?;
+    r.tag(TAG_EPSILON, "forest.epsilon")?;
+    let epsilon = r.f64("forest.epsilon")?;
+    r.tag(TAG_ENTRIES, "forest.entries")?;
+    // Each entry carries at least a root id and a cell count.
+    let n = r.count(12, "forest.entries")?;
+    let mut entries = Vec::with_capacity(n);
+    for i in 0..n {
+        let subtree_root = CellId::unpack(r.u64("entry.subtree_root")?);
+        let k = r.count(8, "entry.cells")?;
+        let mut cells = Vec::with_capacity(k);
+        for _ in 0..k {
+            cells.push(CellId::unpack(r.u64("entry.cell")?));
+        }
+        let kk = k
+            .checked_mul(k)
+            .ok_or_else(|| WireError::new("entry cell count overflows"))?;
+        let data = r.f64_exact(kk, "entry.matrix data")?;
+        let matrix = ObfuscationMatrix::from_wire_parts(cells, data)
+            .map_err(|e| WireError::new(format!("entry {i}: {e}")))?;
+        entries.push(ForestEntry {
+            subtree_root,
+            matrix,
+        });
+    }
+    Ok(PrivacyForestResponse {
+        request,
+        epsilon,
+        entries,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The message trait and its implementations
+// ---------------------------------------------------------------------------
+
+/// A frame payload: one of the six message types of the wire protocol, able
+/// to encode/decode itself in either codec (JSON via its serde impls, binary
+/// via the hand-written encoding of this module).
+pub trait WireMessage: Serialize + for<'de> Deserialize<'de> + Sized {
+    /// The frame kind this message travels in.
+    const KIND: FrameKind;
+
+    /// Append the binary encoding of `self` to `out`.
+    fn encode_binary(&self, out: &mut Vec<u8>);
+
+    /// Decode one message from the reader (the caller checks for trailing
+    /// bytes via [`WireReader::finish`]).
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+impl WireMessage for RequestEnvelope {
+    const KIND: FrameKind = FrameKind::Request;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        put_u8(out, TAG_VERSION);
+        put_version(out, &self.version);
+        put_u8(out, TAG_REQUEST_ID);
+        put_u64(out, self.request_id);
+        put_u8(out, TAG_REQUEST);
+        put_matrix_request(out, &self.request);
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.tag(TAG_VERSION, "envelope.version")?;
+        let version = read_version(r)?;
+        r.tag(TAG_REQUEST_ID, "envelope.request_id")?;
+        let request_id = r.u64("envelope.request_id")?;
+        r.tag(TAG_REQUEST, "envelope.request")?;
+        let request = read_matrix_request(r)?;
+        Ok(Self {
+            version,
+            request_id,
+            request,
+        })
+    }
+}
+
+impl WireMessage for ResponseEnvelope {
+    const KIND: FrameKind = FrameKind::Response;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        put_u8(out, TAG_VERSION);
+        put_version(out, &self.version);
+        put_u8(out, TAG_REQUEST_ID);
+        put_u64(out, self.request_id);
+        put_u8(out, TAG_PAYLOAD);
+        match &self.payload {
+            ResponsePayload::Forest(forest) => {
+                put_u8(out, 0);
+                put_forest(out, forest);
+            }
+            ResponsePayload::Error(error) => {
+                put_u8(out, 1);
+                put_service_error(out, error);
+            }
+        }
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.tag(TAG_VERSION, "envelope.version")?;
+        let version = read_version(r)?;
+        r.tag(TAG_REQUEST_ID, "envelope.request_id")?;
+        let request_id = r.u64("envelope.request_id")?;
+        r.tag(TAG_PAYLOAD, "envelope.payload")?;
+        let payload = match r.u8("payload discriminant")? {
+            0 => ResponsePayload::Forest(Arc::new(read_forest(r)?)),
+            1 => ResponsePayload::Error(read_service_error(r)?),
+            other => {
+                return Err(WireError::new(format!(
+                    "unknown response payload discriminant {other}"
+                )))
+            }
+        };
+        Ok(Self {
+            version,
+            request_id,
+            payload,
+        })
+    }
+}
+
+impl WireMessage for WarmRequest {
+    const KIND: FrameKind = FrameKind::Warm;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        put_u8(out, TAG_LEVELS);
+        put_count(out, self.privacy_levels.len());
+        out.extend_from_slice(&self.privacy_levels);
+        put_u8(out, TAG_DELTAS);
+        put_count(out, self.deltas.len());
+        for &delta in &self.deltas {
+            put_u64(out, delta as u64);
+        }
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.tag(TAG_LEVELS, "warm.privacy_levels")?;
+        let n = r.count(1, "warm.privacy_levels")?;
+        let privacy_levels = r.take(n, "warm.privacy_levels")?.to_vec();
+        r.tag(TAG_DELTAS, "warm.deltas")?;
+        let n = r.count(8, "warm.deltas")?;
+        let mut deltas = Vec::with_capacity(n);
+        for _ in 0..n {
+            deltas.push(
+                usize::try_from(r.u64("warm.delta")?)
+                    .map_err(|_| WireError::new("warm.delta exceeds usize"))?,
+            );
+        }
+        Ok(Self {
+            privacy_levels,
+            deltas,
+        })
+    }
+}
+
+impl WireMessage for WarmReport {
+    const KIND: FrameKind = FrameKind::WarmReply;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        put_u8(out, TAG_COUNTS);
+        put_u64(out, self.requested as u64);
+        put_u64(out, self.warmed as u64);
+        put_u64(out, self.elapsed_ms);
+        put_u8(out, TAG_FAILURES);
+        put_count(out, self.failures.len());
+        for failure in &self.failures {
+            put_u8(out, failure.privacy_level);
+            put_u64(out, failure.delta as u64);
+            put_service_error(out, &failure.error);
+        }
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.tag(TAG_COUNTS, "report.counts")?;
+        let requested = usize::try_from(r.u64("report.requested")?)
+            .map_err(|_| WireError::new("report.requested exceeds usize"))?;
+        let warmed = usize::try_from(r.u64("report.warmed")?)
+            .map_err(|_| WireError::new("report.warmed exceeds usize"))?;
+        let elapsed_ms = r.u64("report.elapsed_ms")?;
+        r.tag(TAG_FAILURES, "report.failures")?;
+        // Each failure carries at least a level, a delta and an error header.
+        let n = r.count(14, "report.failures")?;
+        let mut failures = Vec::with_capacity(n);
+        for _ in 0..n {
+            let privacy_level = r.u8("failure.privacy_level")?;
+            let delta = usize::try_from(r.u64("failure.delta")?)
+                .map_err(|_| WireError::new("failure.delta exceeds usize"))?;
+            let error = read_service_error(r)?;
+            failures.push(WarmFailure {
+                privacy_level,
+                delta,
+                error,
+            });
+        }
+        Ok(Self {
+            requested,
+            warmed,
+            failures,
+            elapsed_ms,
+        })
+    }
+}
+
+impl WireMessage for HelloFrame {
+    const KIND: FrameKind = FrameKind::Hello;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        put_u8(out, TAG_VERSION);
+        put_version(out, &self.version);
+        put_u8(out, TAG_CODECS);
+        match &self.codecs {
+            None => put_u8(out, 0),
+            Some(codecs) => {
+                put_u8(out, 1);
+                put_count(out, codecs.len());
+                for name in codecs {
+                    put_str(out, name);
+                }
+            }
+        }
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.tag(TAG_VERSION, "hello.version")?;
+        let version = read_version(r)?;
+        r.tag(TAG_CODECS, "hello.codecs")?;
+        let codecs = match r.u8("hello.codecs presence")? {
+            0 => None,
+            1 => {
+                let n = r.count(4, "hello.codecs")?;
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(r.str("hello.codec name")?);
+                }
+                Some(names)
+            }
+            other => {
+                return Err(WireError::new(format!(
+                    "invalid option presence byte {other}"
+                )))
+            }
+        };
+        Ok(Self { version, codecs })
+    }
+}
+
+impl WireMessage for HelloReply {
+    const KIND: FrameKind = FrameKind::HelloReply;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        match self {
+            HelloReply::Accepted {
+                version,
+                grid,
+                prior,
+                codec,
+            } => {
+                put_u8(out, 0);
+                put_u8(out, TAG_VERSION);
+                put_version(out, version);
+                put_u8(out, TAG_GRID);
+                put_f64(out, grid.center.lat());
+                put_f64(out, grid.center.lng());
+                put_u8(out, grid.height);
+                put_f64(out, grid.leaf_spacing_km);
+                put_u8(out, TAG_PRIOR);
+                put_f64_run(out, prior.probs());
+                put_u8(out, TAG_CODEC);
+                match codec {
+                    None => put_u8(out, 0),
+                    Some(name) => {
+                        put_u8(out, 1);
+                        put_str(out, name);
+                    }
+                }
+            }
+            HelloReply::Rejected(error) => {
+                put_u8(out, 1);
+                put_service_error(out, error);
+            }
+        }
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8("hello reply discriminant")? {
+            0 => {
+                r.tag(TAG_VERSION, "reply.version")?;
+                let version = read_version(r)?;
+                r.tag(TAG_GRID, "reply.grid")?;
+                let lat = r.f64("grid.lat")?;
+                let lng = r.f64("grid.lng")?;
+                let height = r.u8("grid.height")?;
+                let leaf_spacing_km = r.f64("grid.leaf_spacing_km")?;
+                let center = LatLng::new(lat, lng)
+                    .map_err(|e| WireError::new(format!("grid.center: {e}")))?;
+                r.tag(TAG_PRIOR, "reply.prior")?;
+                let prior = PriorDistribution::from_probs(r.f64_run("reply.prior")?);
+                r.tag(TAG_CODEC, "reply.codec")?;
+                let codec = match r.u8("reply.codec presence")? {
+                    0 => None,
+                    1 => Some(r.str("reply.codec")?),
+                    other => {
+                        return Err(WireError::new(format!(
+                            "invalid option presence byte {other}"
+                        )))
+                    }
+                };
+                Ok(HelloReply::Accepted {
+                    version,
+                    grid: HexGridConfig {
+                        center,
+                        height,
+                        leaf_spacing_km,
+                    },
+                    prior,
+                    codec,
+                })
+            }
+            1 => Ok(HelloReply::Rejected(read_service_error(r)?)),
+            other => Err(WireError::new(format!(
+                "unknown hello reply discriminant {other}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec dispatch
+// ---------------------------------------------------------------------------
+
+impl WireCodec {
+    /// Encode `message` as one complete frame — header and payload in a
+    /// single buffer.  The 7 header bytes are reserved up front and patched
+    /// in place once the payload length is known, so neither codec pays an
+    /// encode-then-copy double buffering step.
+    pub fn encode_frame<M: WireMessage>(self, message: &M) -> Vec<u8> {
+        let mut frame = vec![0u8; FRAME_HEADER_LEN];
+        match self {
+            WireCodec::Json => serde_json::to_vec_into(message, &mut frame),
+            WireCodec::Binary => message.encode_binary(&mut frame),
+        }
+        crate::transport::seal_frame(frame, M::KIND)
+    }
+
+    /// Decode a frame payload into a message, borrowing from the caller's
+    /// read buffer (no intermediate copy of the payload bytes).
+    pub fn decode_payload<M: WireMessage>(self, payload: &[u8]) -> Result<M, ServiceError> {
+        match self {
+            WireCodec::Json => {
+                let text = std::str::from_utf8(payload)
+                    .map_err(|e| ServiceError::transport(format!("payload is not utf-8: {e}")))?;
+                serde_json::from_str(text)
+                    .map_err(|e| ServiceError::transport(format!("malformed payload: {e:?}")))
+            }
+            WireCodec::Binary => {
+                let mut reader = WireReader::new(payload);
+                let message = M::decode_binary(&mut reader).map_err(ServiceError::from)?;
+                reader.finish().map_err(ServiceError::from)?;
+                Ok(message)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::PROTOCOL_VERSION;
+
+    fn sample_forest() -> PrivacyForestResponse {
+        let grid = corgi_hexgrid::HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let entries: Vec<ForestEntry> = grid
+            .cells_at_level(1)
+            .into_iter()
+            .take(3)
+            .map(|root| ForestEntry {
+                subtree_root: root,
+                matrix: ObfuscationMatrix::uniform(root.descendant_leaves()).unwrap(),
+            })
+            .collect();
+        PrivacyForestResponse {
+            request: MatrixRequest {
+                privacy_level: 1,
+                delta: 2,
+            },
+            epsilon: 15.0,
+            entries,
+        }
+    }
+
+    fn binary_roundtrip<M: WireMessage + PartialEq + std::fmt::Debug>(message: &M) {
+        let frame = WireCodec::Binary.encode_frame(message);
+        let mut buf = frame.clone();
+        let (kind, payload) = crate::transport::try_decode_frame(&mut buf, usize::MAX)
+            .unwrap()
+            .unwrap();
+        assert_eq!(kind, M::KIND);
+        let back: M = WireCodec::Binary.decode_payload(&payload).unwrap();
+        assert_eq!(&back, message);
+        // The JSON codec produces the same decoded message.
+        let json_frame = WireCodec::Json.encode_frame(message);
+        let mut buf = json_frame;
+        let (_, payload) = crate::transport::try_decode_frame(&mut buf, usize::MAX)
+            .unwrap()
+            .unwrap();
+        let from_json: M = WireCodec::Json.decode_payload(&payload).unwrap();
+        assert_eq!(&from_json, message);
+    }
+
+    #[test]
+    fn every_message_type_round_trips_in_both_codecs() {
+        binary_roundtrip(&RequestEnvelope::new(
+            // Large but exactly f64-representable, so the JSON leg of the
+            // equivalence check can carry it too (ids beyond 2^53 are
+            // binary-only; see the dedicated test below).
+            1 << 52,
+            MatrixRequest {
+                privacy_level: 3,
+                delta: 7,
+            },
+        ));
+        binary_roundtrip(&ResponseEnvelope::forest(42, Arc::new(sample_forest())));
+        binary_roundtrip(&ResponseEnvelope::error(
+            0,
+            ServiceError::new(ServiceErrorKind::Generation, "solver diverged"),
+        ));
+        binary_roundtrip(&WarmRequest {
+            privacy_levels: vec![1, 2, 3],
+            deltas: vec![0, 1, 4],
+        });
+        binary_roundtrip(&WarmReport {
+            requested: 4,
+            warmed: 3,
+            failures: vec![WarmFailure {
+                privacy_level: 9,
+                delta: 1,
+                error: ServiceError::new(ServiceErrorKind::InvalidRequest, "level 9"),
+            }],
+            elapsed_ms: 1234,
+        });
+        binary_roundtrip(&HelloFrame {
+            version: PROTOCOL_VERSION,
+            codecs: Some(vec!["binary".into(), "json".into()]),
+        });
+        binary_roundtrip(&HelloFrame {
+            version: PROTOCOL_VERSION,
+            codecs: None,
+        });
+        binary_roundtrip(&HelloReply::Accepted {
+            version: PROTOCOL_VERSION,
+            grid: HexGridConfig::san_francisco(),
+            prior: PriorDistribution::from_probs(vec![0.25, 0.5, 0.25]),
+            codec: Some("binary".into()),
+        });
+        binary_roundtrip(&HelloReply::Rejected(ServiceError::unsupported_version(
+            ProtocolVersion { major: 9, minor: 0 },
+        )));
+    }
+
+    #[test]
+    fn request_ids_beyond_2_53_survive_binary_but_not_json_text() {
+        // The JSON shim stores numbers as f64, so a u64 id beyond 2^53 cannot
+        // round-trip through JSON text — one more reason binary is the 1.2
+        // default.  (JSON peers never get that high: the client allocates ids
+        // sequentially from 1.)
+        let envelope = RequestEnvelope::new(
+            (1u64 << 53) + 1,
+            MatrixRequest {
+                privacy_level: 1,
+                delta: 0,
+            },
+        );
+        let frame = WireCodec::Binary.encode_frame(&envelope);
+        let mut buf = frame;
+        let (_, payload) = crate::transport::try_decode_frame(&mut buf, usize::MAX)
+            .unwrap()
+            .unwrap();
+        let back: RequestEnvelope = WireCodec::Binary.decode_payload(&payload).unwrap();
+        assert_eq!(back.request_id, (1 << 53) + 1);
+    }
+
+    #[test]
+    fn special_f64_values_are_preserved_bit_exactly() {
+        let grid = corgi_hexgrid::HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let cells = grid.cells_at_level(1)[0].descendant_leaves();
+        let k = cells.len();
+        let mut data = vec![0.125f64; k * k];
+        data[0] = f64::NAN;
+        data[1] = -0.0;
+        data[2] = 5e-324; // smallest positive subnormal
+        data[3] = f64::INFINITY;
+        data[4] = f64::from_bits(0x7ff8_0000_dead_beef); // NaN with payload
+        let matrix = ObfuscationMatrix::from_wire_parts(cells.clone(), data.clone()).unwrap();
+        let response = ResponseEnvelope::forest(
+            7,
+            Arc::new(PrivacyForestResponse {
+                request: MatrixRequest {
+                    privacy_level: 1,
+                    delta: 0,
+                },
+                epsilon: f64::NAN,
+                entries: vec![ForestEntry {
+                    subtree_root: grid.cells_at_level(1)[0],
+                    matrix,
+                }],
+            }),
+        );
+        let frame = WireCodec::Binary.encode_frame(&response);
+        let mut buf = frame;
+        let (_, payload) = crate::transport::try_decode_frame(&mut buf, usize::MAX)
+            .unwrap()
+            .unwrap();
+        let back: ResponseEnvelope = WireCodec::Binary.decode_payload(&payload).unwrap();
+        let forest = match back.payload {
+            ResponsePayload::Forest(f) => f,
+            ResponsePayload::Error(e) => panic!("unexpected error: {e}"),
+        };
+        assert_eq!(forest.epsilon.to_bits(), f64::NAN.to_bits());
+        let got = forest.entries[0].matrix.data();
+        assert_eq!(got.len(), data.len());
+        for (g, want) in got.iter().zip(&data) {
+            assert_eq!(g.to_bits(), want.to_bits(), "bit-exact f64 round trip");
+        }
+    }
+
+    #[test]
+    fn corrupted_payloads_fail_with_structured_errors() {
+        let envelope = RequestEnvelope::new(
+            1,
+            MatrixRequest {
+                privacy_level: 1,
+                delta: 0,
+            },
+        );
+        let mut payload = Vec::new();
+        envelope.encode_binary(&mut payload);
+
+        // Truncation at every prefix length fails cleanly (never panics).
+        for cut in 0..payload.len() {
+            let err = WireCodec::Binary
+                .decode_payload::<RequestEnvelope>(&payload[..cut])
+                .unwrap_err();
+            assert_eq!(err.kind, ServiceErrorKind::Transport);
+        }
+        // Trailing garbage is rejected.
+        let mut long = payload.clone();
+        long.push(0);
+        let err = WireCodec::Binary
+            .decode_payload::<RequestEnvelope>(&long)
+            .unwrap_err();
+        assert_eq!(err.kind, ServiceErrorKind::Transport);
+        assert!(err.message.contains("trailing"), "{}", err.message);
+        // A wrong leading tag is named in the error.
+        let mut bad = payload.clone();
+        bad[0] = 0x7f;
+        let err = WireCodec::Binary
+            .decode_payload::<RequestEnvelope>(&bad)
+            .unwrap_err();
+        assert!(err.message.contains("tag"), "{}", err.message);
+        // JSON bytes on a binary-negotiated connection: structured error too.
+        let err = WireCodec::Binary
+            .decode_payload::<RequestEnvelope>(br#"{"request_id":1}"#)
+            .unwrap_err();
+        assert_eq!(err.kind, ServiceErrorKind::Transport);
+    }
+
+    #[test]
+    fn hostile_counts_cannot_overallocate() {
+        // A response claiming u32::MAX forest entries in a tiny payload must
+        // be rejected by the count/remaining-bytes sanity bound, not
+        // by an allocation failure.
+        let mut payload = Vec::new();
+        put_u8(&mut payload, TAG_VERSION);
+        put_version(&mut payload, &PROTOCOL_VERSION);
+        put_u8(&mut payload, TAG_REQUEST_ID);
+        put_u64(&mut payload, 1);
+        put_u8(&mut payload, TAG_PAYLOAD);
+        put_u8(&mut payload, 0); // forest
+        put_u8(&mut payload, TAG_REQUEST);
+        put_matrix_request(
+            &mut payload,
+            &MatrixRequest {
+                privacy_level: 1,
+                delta: 0,
+            },
+        );
+        put_u8(&mut payload, TAG_EPSILON);
+        put_f64(&mut payload, 1.0);
+        put_u8(&mut payload, TAG_ENTRIES);
+        put_u32(&mut payload, u32::MAX);
+        let err = WireCodec::Binary
+            .decode_payload::<ResponseEnvelope>(&payload)
+            .unwrap_err();
+        assert_eq!(err.kind, ServiceErrorKind::Transport);
+        assert!(err.message.contains("count"), "{}", err.message);
+    }
+
+    #[test]
+    fn binary_forest_is_much_smaller_than_json() {
+        let response = ResponseEnvelope::forest(1, Arc::new(sample_forest()));
+        let binary = WireCodec::Binary.encode_frame(&response);
+        let json = WireCodec::Json.encode_frame(&response);
+        assert!(
+            binary.len() * 2 < json.len(),
+            "binary {}B should be well under half of JSON {}B",
+            binary.len(),
+            json.len()
+        );
+    }
+}

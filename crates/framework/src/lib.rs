@@ -40,7 +40,9 @@
 //! reactor    transport::{AcceptTask, ConnectionTask} — nonblocking std::net
 //!    │        sockets polled per tick, bounded per-connection write queues
 //! transport  length-prefixed frames carrying the versioned envelopes of
-//!    │        [`messages`], with version negotiation on connect
+//!    │        [`messages`] in the negotiated [`WireCodec`] (binary between
+//!    │        1.2 peers, JSON fallback); version + codec negotiation on
+//!    │        connect ([`mod@codec`] holds the binary encoding)
 //! service    Arc<dyn MatrixService> — requests dispatched to a ThreadPool,
 //!             responses re-entering the event loop as oneshot futures
 //! ```
@@ -80,6 +82,7 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod codec;
 pub mod executor;
 pub mod messages;
 mod pool;
@@ -90,7 +93,8 @@ pub mod transport;
 pub mod warm;
 
 pub use client::{CorgiClient, ObfuscationOutcome};
-pub use messages::{ServiceError, ServiceErrorKind};
+pub use codec::{WireMessage, WireReader};
+pub use messages::{ServiceError, ServiceErrorKind, WireCodec};
 pub use pool::{JobPanic, ThreadPool};
 pub use provider::MetadataAttributeProvider;
 #[allow(deprecated)]
@@ -100,5 +104,5 @@ pub use service::{
     CacheConfig, CacheStats, CachingService, ForestGenerator, InstrumentedService, MatrixService,
     ServiceStats,
 };
-pub use transport::{ClientConfig, TcpServer, TcpTransport, TransportConfig};
+pub use transport::{ClientConfig, TcpServer, TcpTransport, TransportConfig, TransportStats};
 pub use warm::{warm, WarmFailure, WarmReport, WarmRequest};

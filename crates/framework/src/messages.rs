@@ -12,6 +12,13 @@
 //! with a structured [`ServiceError`] instead of a deserialization failure), and
 //! a caller-chosen `request_id` correlates a response with its request over any
 //! transport that reorders replies.
+//!
+//! How an envelope is *encoded* on the wire is a per-connection property: the
+//! [`WireCodec`] negotiated during the transport handshake selects between
+//! JSON text (universal, debuggable) and the compact binary encoding of
+//! [`crate::codec`] (protocol 1.2+, the default between upgraded
+//! peers — matrices travel as raw little-endian `f64` runs instead of
+//! formatted decimal text).
 
 use corgi_core::{CorgiError, ObfuscationMatrix};
 use corgi_hexgrid::CellId;
@@ -72,11 +79,13 @@ pub struct ProtocolVersion {
 /// The protocol version this build of the framework speaks.
 ///
 /// History: 1.0 introduced the envelopes; 1.1 added the [`Transport`]
-/// error kind and the framed TCP handshake of [`crate::transport`]
-/// (additive, so 1.0 peers still interoperate).
+/// error kind and the framed TCP handshake of [`crate::transport`]; 1.2
+/// added codec negotiation and the binary frame codec ([`WireCodec`]).
+/// Every step is additive, so 1.0 and 1.1 peers still interoperate
+/// (a 1.2 side falls back to JSON frames for them).
 ///
 /// [`Transport`]: ServiceErrorKind::Transport
-pub const PROTOCOL_VERSION: ProtocolVersion = ProtocolVersion { major: 1, minor: 1 };
+pub const PROTOCOL_VERSION: ProtocolVersion = ProtocolVersion { major: 1, minor: 2 };
 
 impl ProtocolVersion {
     /// Whether an envelope carrying `other` can be served by this version.
@@ -88,6 +97,93 @@ impl ProtocolVersion {
 impl fmt::Display for ProtocolVersion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+/// Payload encoding of the framed wire protocol (negotiated per connection
+/// since protocol 1.2).
+///
+/// The frame *header* (`"CG"` + kind + length) is codec-independent; the
+/// codec only governs how the payload bytes inside a frame are produced:
+///
+/// * [`Json`](WireCodec::Json) — the UTF-8 JSON text of the serde types in
+///   this module.  Every protocol version speaks it; it remains the format of
+///   the `Hello`/`HelloReply` bootstrap frames and the fallback whenever a
+///   peer predates 1.2 (or forces it, e.g. for debugging with `tcpdump`).
+/// * [`Binary`](WireCodec::Binary) — the compact tag-prefixed encoding of
+///   [`crate::codec`]: little-endian fixed-width scalars, packed
+///   cell ids, and matrices as length-prefixed raw `f64` runs copied straight
+///   from (and into) the in-memory representation.  No per-element float
+///   formatting or parsing, which is what makes a warm cache hit cost
+///   microseconds instead of milliseconds.
+///
+/// Which codec a connection uses is agreed during the hello exchange: the
+/// client advertises the codecs it speaks, the server picks the first of its
+/// own codecs the client also listed, and JSON is the mandatory fallback both
+/// sides always accept.  See the module docs of [`crate::transport`] for the
+/// negotiation matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// UTF-8 JSON payloads (protocol 1.0+; mandatory fallback).
+    Json,
+    /// Compact binary payloads (protocol 1.2+; preferred when both sides
+    /// support it).
+    #[default]
+    Binary,
+}
+
+impl WireCodec {
+    /// The name used to advertise this codec in `Hello`/`HelloReply` frames.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WireCodec::Json => "json",
+            WireCodec::Binary => "binary",
+        }
+    }
+
+    /// Parse an advertised codec name (unknown names are simply not ours —
+    /// the negotiation skips them, it does not fail).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "json" => Some(WireCodec::Json),
+            "binary" => Some(WireCodec::Binary),
+            _ => None,
+        }
+    }
+
+    /// The codec list this process advertises (and accepts), honouring the
+    /// `CORGI_WIRE_CODEC` environment variable: unset (or any other value)
+    /// advertises `[binary, json]` in preference order, `json` forces
+    /// JSON-only (useful in CI to keep the JSON interop path exercised and
+    /// when debugging with a packet capture), `binary` advertises binary
+    /// first but — like every peer — still accepts the JSON fallback.
+    pub fn advertisement_from_env() -> Vec<WireCodec> {
+        match std::env::var("CORGI_WIRE_CODEC").as_deref() {
+            Ok("json") => vec![WireCodec::Json],
+            _ => vec![WireCodec::Binary, WireCodec::Json],
+        }
+    }
+
+    /// Server-side codec choice: the first of `ours` (in preference order)
+    /// that the peer advertised.  A peer that advertised nothing is a
+    /// pre-1.2 peer and speaks JSON; JSON is also the fallback when the
+    /// advertised sets do not intersect, since every protocol version
+    /// accepts it.
+    pub fn negotiate(ours: &[WireCodec], advertised: Option<&[String]>) -> WireCodec {
+        let theirs: Vec<WireCodec> = match advertised {
+            None => vec![WireCodec::Json],
+            Some(names) => names.iter().filter_map(|n| Self::from_name(n)).collect(),
+        };
+        ours.iter()
+            .copied()
+            .find(|codec| theirs.contains(codec))
+            .unwrap_or(WireCodec::Json)
+    }
+}
+
+impl fmt::Display for WireCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -357,6 +453,30 @@ mod tests {
         assert!(v1_3.is_compatible_with(&v1_0));
         assert!(!v1_0.is_compatible_with(&v2_0));
         assert_eq!(v1_3.to_string(), "1.3");
+    }
+
+    #[test]
+    fn codec_names_round_trip_and_negotiation_prefers_binary() {
+        assert_eq!(WireCodec::from_name("binary"), Some(WireCodec::Binary));
+        assert_eq!(WireCodec::from_name("json"), Some(WireCodec::Json));
+        assert_eq!(WireCodec::from_name("msgpack"), None);
+        assert_eq!(WireCodec::Binary.to_string(), "binary");
+
+        let ours = [WireCodec::Binary, WireCodec::Json];
+        // A 1.2 peer advertising both gets binary.
+        let both = ["binary".to_string(), "json".to_string()];
+        assert_eq!(WireCodec::negotiate(&ours, Some(&both)), WireCodec::Binary);
+        // A pre-1.2 peer advertises nothing and speaks JSON.
+        assert_eq!(WireCodec::negotiate(&ours, None), WireCodec::Json);
+        // Unknown codec names are skipped, JSON is the universal fallback.
+        let exotic = ["msgpack".to_string()];
+        assert_eq!(WireCodec::negotiate(&ours, Some(&exotic)), WireCodec::Json);
+        // A JSON-only server never picks binary, whatever the client says.
+        let json_only = [WireCodec::Json];
+        assert_eq!(
+            WireCodec::negotiate(&json_only, Some(&both)),
+            WireCodec::Json
+        );
     }
 
     #[test]

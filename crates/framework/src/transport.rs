@@ -6,27 +6,57 @@
 //! Every message is one *frame*:
 //!
 //! ```text
-//! +----------+---------+----------------+---------------------+
-//! | magic 2B | kind 1B | length 4B (BE) | payload (JSON utf-8) |
-//! +----------+---------+----------------+---------------------+
+//! +----------+---------+----------------+-------------------------------+
+//! | magic 2B | kind 1B | length 4B (BE) | payload (negotiated WireCodec) |
+//! +----------+---------+----------------+-------------------------------+
 //! ```
 //!
 //! The payload of a `Request`/`Response` frame is the *versioned envelope* of
 //! [`crate::messages`] unchanged — the transport frames the existing protocol
-//! rather than inventing a second one.  `Hello`/`HelloReply` frames negotiate
-//! the [`ProtocolVersion`] on connect (a major mismatch is refused with a
-//! structured [`ServiceError`], not a decode failure), and the accepted reply
-//! carries the grid configuration and public prior so a remote client can
-//! rebuild the location tree without an out-of-band channel (step ② of
-//! Fig. 1).  `Warm`/`WarmReply` frames carry the [`WarmRequest`] /
-//! [`WarmReport`] of [`mod@crate::warm`].
+//! rather than inventing a second one.  How the payload bytes are produced is
+//! the connection's negotiated [`WireCodec`]: JSON text (every protocol
+//! version) or the binary encoding of [`crate::codec`] (protocol 1.2+, the
+//! default between upgraded peers).  Frames are built in a single buffer —
+//! the 7 header bytes are reserved up front and the length patched in place
+//! once the payload is serialized, so neither codec pays an encode-then-copy
+//! step — and decoded payloads borrow from the connection's read buffer.
+//!
+//! `Hello`/`HelloReply` frames negotiate the [`ProtocolVersion`] **and** the
+//! codec on connect; they themselves always travel as JSON, since they must
+//! be legible before any negotiation has happened.  The client's `Hello`
+//! advertises the codec names it speaks (`codecs`, absent for pre-1.2
+//! peers); the accepted reply names the server's choice (`codec`, where
+//! absent and `null` both mean JSON — pre-1.2 servers omit the field, this
+//! build writes an explicit `null`) — the first entry of the server's own
+//! preference list that the client also advertised, with JSON as the
+//! mandatory fallback:
+//!
+//! | client advertises | server accepts | negotiated |
+//! |---|---|---|
+//! | `[binary, json]` (1.2 default) | `[binary, json]` | binary |
+//! | — (1.0/1.1 peer)               | `[binary, json]` | json |
+//! | `[json]` (forced)              | `[binary, json]` | json |
+//! | `[binary, json]`               | `[json]` (forced) | json |
+//!
+//! A major-version mismatch is refused with a structured [`ServiceError`],
+//! not a decode failure, and the accepted reply carries the grid
+//! configuration and public prior so a remote client can rebuild the
+//! location tree without an out-of-band channel (step ② of Fig. 1).
+//! `Warm`/`WarmReply` frames carry the [`WarmRequest`] / [`WarmReport`] of
+//! [`mod@crate::warm`] in the negotiated codec.  Setting `CORGI_WIRE_CODEC=json`
+//! forces the JSON fallback process-wide (handy for CI interop runs and
+//! packet-capture debugging).
 //!
 //! Malformed input never hangs or kills the server: a bad magic, an unknown
-//! frame kind, an oversized length prefix or an unparsable payload each
-//! produce a `Response` frame carrying a [`ServiceErrorKind::Transport`] error
-//! (request id 0, since no request was decodable) after which the connection
-//! drains and closes; a half-sent frame is bounded by the handshake/read
-//! deadline.
+//! frame kind, an oversized length prefix or an unparsable payload (in either
+//! codec — a peer that negotiated binary and then sends JSON bytes is a codec
+//! desync and fails the same way) each produce a `Response` frame carrying a
+//! [`ServiceErrorKind::Transport`] error (request id 0, since no request was
+//! decodable) after which the connection drains and closes; a half-sent frame
+//! is bounded by the handshake/read deadline.  Connection-level behaviour is
+//! observable as a [`TransportStats`] snapshot ([`TcpServer::stats`] /
+//! [`TcpTransport::stats`]), the transport-layer analogue of
+//! [`crate::ServiceStats`].
 //!
 //! # Server architecture
 //!
@@ -54,7 +84,7 @@
 //! [`oneshot`]: crate::executor::oneshot
 
 use crate::executor::{oneshot, Executor, Handle, Sleep};
-use crate::messages::{MatrixRequest, ProtocolVersion};
+use crate::messages::{MatrixRequest, ProtocolVersion, WireCodec};
 use crate::messages::{
     PrivacyForestResponse, RequestEnvelope, ResponseEnvelope, ServiceError, ServiceErrorKind,
     PROTOCOL_VERSION,
@@ -148,13 +178,26 @@ impl From<FrameError> for ServiceError {
     }
 }
 
-/// Encode one frame: header + JSON payload bytes.
+/// Encode one frame from already-serialized payload bytes.
+///
+/// This copies `payload` into the frame; the serving paths avoid that copy by
+/// serializing straight into a header-reserved buffer (see
+/// [`WireCodec::encode_frame`]) — this entry point remains for raw-frame
+/// tests and hand-rolled peers.
 pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
-    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-    frame.extend_from_slice(&FRAME_MAGIC);
-    frame.push(kind as u8);
-    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    let mut frame = vec![0u8; FRAME_HEADER_LEN];
     frame.extend_from_slice(payload);
+    seal_frame(frame, kind)
+}
+
+/// Patch the frame header into a buffer whose first [`FRAME_HEADER_LEN`]
+/// bytes were reserved before the payload was serialized in place — the
+/// single-buffer frame construction used by both codecs.
+pub(crate) fn seal_frame(mut frame: Vec<u8>, kind: FrameKind) -> Vec<u8> {
+    let payload_len = frame.len() - FRAME_HEADER_LEN;
+    frame[0..2].copy_from_slice(&FRAME_MAGIC);
+    frame[2] = kind as u8;
+    frame[3..7].copy_from_slice(&(payload_len as u32).to_be_bytes());
     frame
 }
 
@@ -179,16 +222,18 @@ fn parse_frame_header(
     Ok((kind, len))
 }
 
-/// Try to decode one complete frame from the front of `buf`.
+/// Locate one complete frame at the front of `buf` without copying.
 ///
-/// Returns `Ok(None)` when more bytes are needed (a truncated frame is simply
-/// incomplete — callers bound the wait with a deadline), consumes the frame
-/// from `buf` on success, and fails without consuming on a malformed header so
-/// the caller can report and close.
-pub fn try_decode_frame(
-    buf: &mut Vec<u8>,
+/// Returns the frame kind and the byte range of its payload within `buf`;
+/// the frame occupies `..range.end`.  `Ok(None)` means more bytes are needed
+/// (a truncated frame is simply incomplete — callers bound the wait with a
+/// deadline); a malformed header fails without consuming so the caller can
+/// report and close.  The reactor decodes payloads straight out of this
+/// borrowed range and consumes processed frames with one `drain` per poll.
+pub fn peek_frame(
+    buf: &[u8],
     max_payload: usize,
-) -> Result<Option<(FrameKind, Vec<u8>)>, FrameError> {
+) -> Result<Option<(FrameKind, std::ops::Range<usize>)>, FrameError> {
     if buf.len() < FRAME_HEADER_LEN {
         return Ok(None);
     }
@@ -199,28 +244,58 @@ pub fn try_decode_frame(
     if buf.len() < FRAME_HEADER_LEN + len {
         return Ok(None);
     }
-    let payload = buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
-    buf.drain(..FRAME_HEADER_LEN + len);
-    Ok(Some((kind, payload)))
+    Ok(Some((kind, FRAME_HEADER_LEN..FRAME_HEADER_LEN + len)))
 }
 
-fn encode_json_frame<T: Serialize>(kind: FrameKind, value: &T) -> Vec<u8> {
-    let json = serde_json::to_string(value).expect("wire types serialize infallibly");
-    encode_frame(kind, json.as_bytes())
+/// Try to decode one complete frame from the front of `buf`, consuming it on
+/// success.  A copying convenience over [`peek_frame`] for blocking callers
+/// and tests.
+pub fn try_decode_frame(
+    buf: &mut Vec<u8>,
+    max_payload: usize,
+) -> Result<Option<(FrameKind, Vec<u8>)>, FrameError> {
+    match peek_frame(buf, max_payload)? {
+        None => Ok(None),
+        Some((kind, range)) => {
+            let payload = buf[range.clone()].to_vec();
+            buf.drain(..range.end);
+            Ok(Some((kind, payload)))
+        }
+    }
 }
 
-fn parse_payload<'de, T: Deserialize<'de>>(payload: &'de [u8]) -> Result<T, ServiceError> {
-    let text = std::str::from_utf8(payload)
-        .map_err(|e| ServiceError::transport(format!("payload is not utf-8: {e}")))?;
-    serde_json::from_str(text)
-        .map_err(|e| ServiceError::transport(format!("malformed payload: {e:?}")))
+/// Encode a hello-exchange message as a JSON frame.  The hello exchange
+/// always travels as JSON — it bootstraps the codec negotiation, so it must
+/// stay legible to every protocol version; the framing itself is the shared
+/// single-buffer path of [`WireCodec::encode_frame`].
+fn encode_json_frame<M: crate::codec::WireMessage>(message: &M) -> Vec<u8> {
+    WireCodec::Json.encode_frame(message)
+}
+
+/// Decode a hello-exchange payload as JSON (see [`encode_json_frame`]).
+fn parse_json_payload<M: crate::codec::WireMessage>(payload: &[u8]) -> Result<M, ServiceError> {
+    WireCodec::Json.decode_payload(payload)
 }
 
 /// Payload of a [`FrameKind::Hello`] frame.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HelloFrame {
     /// Protocol version the connecting client speaks.
     pub version: ProtocolVersion,
+    /// Codec names the client can decode, in no particular order (the server
+    /// applies its own preference).  Absent for pre-1.2 peers, which speak
+    /// JSON only — the server treats `None` exactly like `Some(["json"])`.
+    pub codecs: Option<Vec<String>>,
+}
+
+impl HelloFrame {
+    /// A hello at the current [`PROTOCOL_VERSION`] advertising `codecs`.
+    pub fn advertising(codecs: &[WireCodec]) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            codecs: Some(codecs.iter().map(|c| c.name().to_string()).collect()),
+        }
+    }
 }
 
 /// Payload of a [`FrameKind::HelloReply`] frame.
@@ -237,6 +312,11 @@ pub enum HelloReply {
         grid: HexGridConfig,
         /// Public prior distribution over leaf cells.
         prior: PriorDistribution,
+        /// Codec the server selected for every subsequent frame on this
+        /// connection.  `None` means JSON, whether the field was absent (as
+        /// from pre-1.2 servers, which never emit it) or an explicit `null`
+        /// (as this build's serde shim writes `None`).
+        codec: Option<String>,
     },
     /// The versions are incompatible (or the hello was malformed); the server
     /// closes after sending this.
@@ -274,6 +354,11 @@ pub struct TransportConfig {
     pub max_warm_keys: usize,
     /// Warming plan solved on the dispatch pool as soon as the server starts.
     pub warm_on_start: Option<WarmRequest>,
+    /// Payload codecs this server accepts, in preference order; each
+    /// connection uses the first entry its client also advertised (JSON is
+    /// the mandatory fallback).  The default honours `CORGI_WIRE_CODEC`
+    /// (see [`WireCodec::advertisement_from_env`]).
+    pub codecs: Vec<WireCodec>,
 }
 
 impl Default for TransportConfig {
@@ -287,6 +372,87 @@ impl Default for TransportConfig {
             handshake_timeout: Duration::from_secs(5),
             max_warm_keys: 1024,
             warm_on_start: None,
+            codecs: WireCodec::advertisement_from_env(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a transport endpoint's connection-level
+/// counters — the wire-layer analogue of [`crate::ServiceStats`].
+///
+/// [`TcpServer::stats`] fills every field; [`TcpTransport::stats`] describes
+/// its single client connection (the accept/negotiation counters count that
+/// one connection, and `poisoned_connections` is 0 or 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Connections accepted (server) or established (client).
+    pub connections_accepted: u64,
+    /// Connections that have fully closed.
+    pub connections_closed: u64,
+    /// Connections that negotiated the binary codec.
+    pub binary_connections: u64,
+    /// Connections that negotiated (or defaulted to) the JSON codec.
+    pub json_connections: u64,
+    /// Complete frames decoded from peers.
+    pub frames_in: u64,
+    /// Frames queued for (client: written to) the wire.
+    pub frames_out: u64,
+    /// Payload + header bytes read off sockets.
+    pub bytes_in: u64,
+    /// Payload + header bytes written to sockets.
+    pub bytes_out: u64,
+    /// Times a connection hit a backpressure bound (write queue or in-flight
+    /// cap) and reading from it was suspended until it drained.
+    pub backpressure_stalls: u64,
+    /// Transport-level protocol failures (malformed frames, codec desyncs,
+    /// oversized payloads) answered with a structured error.
+    pub transport_errors: u64,
+    /// Client connections poisoned by a stream desynchronization (every
+    /// further call fails fast until the caller reconnects).
+    pub poisoned_connections: u64,
+}
+
+/// Shared atomic counters behind [`TransportStats`].
+#[derive(Default)]
+struct TransportMetrics {
+    connections_accepted: AtomicU64,
+    connections_closed: AtomicU64,
+    binary_connections: AtomicU64,
+    json_connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    backpressure_stalls: AtomicU64,
+    transport_errors: AtomicU64,
+    poisoned_connections: AtomicU64,
+}
+
+impl TransportMetrics {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn count_codec(&self, codec: WireCodec) {
+        match codec {
+            WireCodec::Binary => Self::add(&self.binary_connections, 1),
+            WireCodec::Json => Self::add(&self.json_connections, 1),
+        }
+    }
+
+    fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            binary_connections: self.binary_connections.load(Ordering::Relaxed),
+            json_connections: self.json_connections.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
+            transport_errors: self.transport_errors.load(Ordering::Relaxed),
+            poisoned_connections: self.poisoned_connections.load(Ordering::Relaxed),
         }
     }
 }
@@ -320,6 +486,7 @@ pub struct TcpServer {
     local_addr: SocketAddr,
     handle: Handle,
     reactor: Option<std::thread::JoinHandle<()>>,
+    metrics: Arc<TransportMetrics>,
 }
 
 impl TcpServer {
@@ -345,12 +512,14 @@ impl TcpServer {
                 let _ = warm(service.as_ref(), &plan);
             });
         }
+        let metrics = Arc::new(TransportMetrics::default());
         handle.spawn(AcceptTask {
             listener,
             handle: handle.clone(),
             service,
             dispatch,
             config: Arc::new(config),
+            metrics: Arc::clone(&metrics),
         });
         let reactor = std::thread::Builder::new()
             .name("corgi-reactor".into())
@@ -359,12 +528,18 @@ impl TcpServer {
             local_addr,
             handle,
             reactor: Some(reactor),
+            metrics,
         })
     }
 
     /// The bound address (useful with port 0 in tests and examples).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// A point-in-time snapshot of the server's connection-level counters.
+    pub fn stats(&self) -> TransportStats {
+        self.metrics.snapshot()
     }
 
     /// Stop the reactor and join its thread.  Open connections are dropped;
@@ -394,6 +569,7 @@ struct AcceptTask {
     service: Arc<dyn MatrixService>,
     dispatch: Arc<ThreadPool>,
     config: Arc<TransportConfig>,
+    metrics: Arc<TransportMetrics>,
 }
 
 impl Future for AcceptTask {
@@ -408,19 +584,23 @@ impl Future for AcceptTask {
                     }
                     let _ = stream.set_nodelay(true);
                     let deadline = self.handle.sleep(self.config.handshake_timeout);
+                    TransportMetrics::add(&self.metrics.connections_accepted, 1);
                     self.handle.spawn(ConnectionTask {
                         stream,
                         handle: self.handle.clone(),
                         service: Arc::clone(&self.service),
                         dispatch: Arc::clone(&self.dispatch),
                         config: Arc::clone(&self.config),
+                        metrics: Arc::clone(&self.metrics),
                         read_buf: Vec::new(),
                         write_queue: VecDeque::new(),
                         write_pos: 0,
                         pending: Vec::new(),
+                        codec: WireCodec::Json,
                         negotiated: false,
                         draining: false,
                         eof: false,
+                        stalled: false,
                         deadline,
                     });
                 }
@@ -453,21 +633,34 @@ struct ConnectionTask {
     service: Arc<dyn MatrixService>,
     dispatch: Arc<ThreadPool>,
     config: Arc<TransportConfig>,
+    metrics: Arc<TransportMetrics>,
     read_buf: Vec<u8>,
     /// Encoded frames awaiting the socket; `write_pos` is the offset into the
     /// front frame already written.
     write_queue: VecDeque<Vec<u8>>,
     write_pos: usize,
     pending: Vec<PendingReply>,
+    /// Payload codec negotiated in the hello exchange (JSON until, and
+    /// unless, the client advertises something better).
+    codec: WireCodec,
     negotiated: bool,
     /// Once set, the connection stops reading and closes after the queue
     /// flushes (used after transport-level errors and hello rejection).
     draining: bool,
     eof: bool,
+    /// Whether the connection is currently parked on a backpressure bound
+    /// (tracked so the stall counter counts edges, not polls).
+    stalled: bool,
     /// Handshake deadline, re-armed by [`ConnectionTask::begin_drain`] to cap
     /// the final flush; between negotiation and drain the connection lives
     /// until EOF.
     deadline: Sleep,
+}
+
+impl Drop for ConnectionTask {
+    fn drop(&mut self) {
+        TransportMetrics::add(&self.metrics.connections_closed, 1);
+    }
 }
 
 enum ReadOutcome {
@@ -498,6 +691,7 @@ impl ConnectionTask {
                 Ok(0) => return ReadOutcome::Eof,
                 Ok(n) => {
                     self.read_buf.extend_from_slice(&chunk[..n]);
+                    TransportMetrics::add(&self.metrics.bytes_in, n as u64);
                     any = true;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -520,6 +714,7 @@ impl ConnectionTask {
                 Ok(0) => return false,
                 Ok(n) => {
                     self.write_pos += n;
+                    TransportMetrics::add(&self.metrics.bytes_out, n as u64);
                     if self.write_pos == front.len() {
                         self.write_queue.pop_front();
                         self.write_pos = 0;
@@ -534,6 +729,7 @@ impl ConnectionTask {
     }
 
     fn queue_frame(&mut self, frame: Vec<u8>) {
+        TransportMetrics::add(&self.metrics.frames_out, 1);
         self.write_queue.push_back(frame);
     }
 
@@ -546,25 +742,38 @@ impl ConnectionTask {
     }
 
     fn queue_transport_error(&mut self, error: ServiceError) {
+        TransportMetrics::add(&self.metrics.transport_errors, 1);
         // No request id was decodable; 0 is the documented "no request" id.
+        // The error frame is encoded in the connection's negotiated codec —
+        // the peer negotiated it, so it can decode it.
         let envelope = ResponseEnvelope::error(0, error);
-        self.queue_frame(encode_json_frame(FrameKind::Response, &envelope));
+        self.queue_frame(self.codec.encode_frame(&envelope));
         self.begin_drain();
     }
 
     /// Decode and dispatch every complete frame in the read buffer.  Returns
     /// true if any frame was consumed.
+    ///
+    /// Payloads are handled as borrowed slices of the read buffer (the buffer
+    /// is taken out of `self` for the duration, so `handle_frame` can still
+    /// take `&mut self`) and all processed frames are consumed with a single
+    /// `drain` — no per-frame payload copy, no per-frame memmove.
     fn process_frames(&mut self) -> bool {
+        let buf = std::mem::take(&mut self.read_buf);
+        let mut consumed = 0usize;
         let mut any = false;
         while !self.draining
             && self.pending.len() < self.config.max_inflight_per_connection
             && self.write_queue.len() < self.config.write_queue_depth
         {
-            match try_decode_frame(&mut self.read_buf, self.config.max_inbound_frame) {
+            match peek_frame(&buf[consumed..], self.config.max_inbound_frame) {
                 Ok(None) => break,
-                Ok(Some((kind, payload))) => {
+                Ok(Some((kind, range))) => {
                     any = true;
-                    self.handle_frame(kind, &payload);
+                    TransportMetrics::add(&self.metrics.frames_in, 1);
+                    let payload = &buf[consumed + range.start..consumed + range.end];
+                    self.handle_frame(kind, payload);
+                    consumed += range.end;
                 }
                 Err(e) => {
                     any = true;
@@ -573,13 +782,16 @@ impl ConnectionTask {
                 }
             }
         }
+        self.read_buf = buf;
+        self.read_buf.drain(..consumed);
         any
     }
 
     fn handle_frame(&mut self, kind: FrameKind, payload: &[u8]) {
+        let codec = self.codec;
         match kind {
             FrameKind::Request => {
-                let envelope: RequestEnvelope = match parse_payload(payload) {
+                let envelope: RequestEnvelope = match codec.decode_payload(payload) {
                     Ok(envelope) => envelope,
                     Err(e) => {
                         self.queue_transport_error(e);
@@ -596,11 +808,11 @@ impl ConnectionTask {
                     // Envelope version check, service stack, serialization:
                     // all off the reactor thread.
                     let reply = service.handle_envelope(&envelope);
-                    let _ = tx.send(encode_json_frame(FrameKind::Response, &reply));
+                    let _ = tx.send(codec.encode_frame(&reply));
                 });
             }
             FrameKind::Warm => {
-                let plan: WarmRequest = match parse_payload(payload) {
+                let plan: WarmRequest = match codec.decode_payload(payload) {
                     Ok(plan) => plan,
                     Err(e) => {
                         self.queue_transport_error(e);
@@ -624,7 +836,7 @@ impl ConnectionTask {
                 let service = Arc::clone(&self.service);
                 self.dispatch.execute(move || {
                     let report = warm(service.as_ref(), &plan);
-                    let _ = tx.send(encode_json_frame(FrameKind::WarmReply, &report));
+                    let _ = tx.send(codec.encode_frame(&report));
                 });
             }
             // A second hello, or a server-to-client kind from a client: the
@@ -657,7 +869,7 @@ impl ConnectionTask {
                             "request handler panicked on the dispatch pool",
                         ),
                     );
-                    completed.push((index, encode_json_frame(FrameKind::Response, &envelope)));
+                    completed.push((index, self.codec.encode_frame(&envelope)));
                 }
                 Poll::Pending => {}
             }
@@ -685,49 +897,64 @@ impl ConnectionTask {
                 Some(Poll::Pending)
             }
             Ok(Some((FrameKind::Hello, payload))) => {
-                match parse_payload::<HelloFrame>(&payload) {
+                TransportMetrics::add(&self.metrics.frames_in, 1);
+                match parse_json_payload::<HelloFrame>(&payload) {
                     Ok(hello) if PROTOCOL_VERSION.is_compatible_with(&hello.version) => {
+                        // Codec negotiation: first of our codecs the client
+                        // also advertised; a pre-1.2 hello (no codec list)
+                        // negotiates the JSON fallback.
+                        let codec =
+                            WireCodec::negotiate(&self.config.codecs, hello.codecs.as_deref());
+                        self.codec = codec;
+                        self.metrics.count_codec(codec);
                         let reply = HelloReply::Accepted {
                             version: PROTOCOL_VERSION,
                             grid: *self.service.tree().grid().config(),
                             prior: (*self.service.prior()).clone(),
+                            codec: match codec {
+                                // `None`/`null`/absent all mean JSON, which
+                                // is also all a pre-1.2 server can mean (its
+                                // replies simply lack the field; this serde
+                                // shim writes `None` as `"codec":null`).
+                                WireCodec::Json => None,
+                                WireCodec::Binary => Some(codec.name().to_string()),
+                            },
                         };
-                        self.queue_frame(encode_json_frame(FrameKind::HelloReply, &reply));
+                        self.queue_frame(encode_json_frame(&reply));
                         self.negotiated = true;
                         None // fall through into the serving loop
                     }
                     Ok(hello) => {
                         let reply =
                             HelloReply::Rejected(ServiceError::unsupported_version(hello.version));
-                        self.queue_frame(encode_json_frame(FrameKind::HelloReply, &reply));
+                        self.queue_frame(encode_json_frame(&reply));
                         self.begin_drain();
                         None
                     }
                     Err(e) => {
-                        self.queue_frame(encode_json_frame(
-                            FrameKind::HelloReply,
-                            &HelloReply::Rejected(e),
-                        ));
+                        // Handshake-phase transport failures count like any
+                        // other (the version rejection above does not: it is
+                        // a well-formed exchange, visible as an accepted-then-
+                        // closed connection, not a transport error).
+                        TransportMetrics::add(&self.metrics.transport_errors, 1);
+                        self.queue_frame(encode_json_frame(&HelloReply::Rejected(e)));
                         self.begin_drain();
                         None
                     }
                 }
             }
             Ok(Some((kind, _))) => {
-                self.queue_frame(encode_json_frame(
-                    FrameKind::HelloReply,
-                    &HelloReply::Rejected(ServiceError::transport(format!(
-                        "expected a Hello frame, got {kind:?}"
-                    ))),
-                ));
+                TransportMetrics::add(&self.metrics.frames_in, 1);
+                TransportMetrics::add(&self.metrics.transport_errors, 1);
+                self.queue_frame(encode_json_frame(&HelloReply::Rejected(
+                    ServiceError::transport(format!("expected a Hello frame, got {kind:?}")),
+                )));
                 self.draining = true;
                 None
             }
             Err(e) => {
-                self.queue_frame(encode_json_frame(
-                    FrameKind::HelloReply,
-                    &HelloReply::Rejected(e.into()),
-                ));
+                TransportMetrics::add(&self.metrics.transport_errors, 1);
+                self.queue_frame(encode_json_frame(&HelloReply::Rejected(e.into())));
                 self.draining = true;
                 None
             }
@@ -770,11 +997,18 @@ impl Future for ConnectionTask {
                 return Poll::Pending;
             }
             if !this.eof && !this.at_capacity() {
+                this.stalled = false;
                 match this.read_available() {
                     ReadOutcome::Eof => this.eof = true,
                     ReadOutcome::Progress => progress = true,
                     ReadOutcome::Idle => {}
                 }
+            } else if !this.eof && !this.stalled {
+                // Rising edge of a backpressure stall: the write queue or
+                // in-flight cap is full, so the socket stops being read until
+                // it drains (TCP flow control pushes back on the peer).
+                this.stalled = true;
+                TransportMetrics::add(&this.metrics.backpressure_stalls, 1);
             }
             progress |= this.process_frames();
             if this.eof && this.pending.is_empty() && this.write_queue.is_empty() {
@@ -803,6 +1037,11 @@ pub struct ClientConfig {
     /// Socket read timeout per blocking receive; bounds how long a truncated
     /// or withheld response can stall a caller.  `None` waits forever.
     pub read_timeout: Option<Duration>,
+    /// Payload codecs to advertise in the hello.  The server picks by its
+    /// own preference among these; JSON is always accepted as the fallback.
+    /// The default honours `CORGI_WIRE_CODEC`
+    /// (see [`WireCodec::advertisement_from_env`]).
+    pub codecs: Vec<WireCodec>,
 }
 
 impl Default for ClientConfig {
@@ -810,6 +1049,7 @@ impl Default for ClientConfig {
         Self {
             max_frame: 64 * 1024 * 1024,
             read_timeout: Some(Duration::from_secs(600)),
+            codecs: WireCodec::advertisement_from_env(),
         }
     }
 }
@@ -832,30 +1072,40 @@ pub struct TcpTransport {
     tree: Arc<LocationTree>,
     prior: Arc<PriorDistribution>,
     server_version: ProtocolVersion,
+    /// Payload codec negotiated for this connection.
+    codec: WireCodec,
     next_request_id: AtomicU64,
     max_frame: usize,
+    metrics: Arc<TransportMetrics>,
 }
 
 /// Connection state behind the transport's mutex.
 struct ClientConn {
     stream: TcpStream,
     /// Set after a transport-level failure (timeout, truncated or
-    /// uncorrelated frame): the request/response stream may be
-    /// desynchronized — a late response could be mistaken for the next
+    /// uncorrelated frame) or a codec desync: the request/response stream may
+    /// be desynchronized — a late response could be mistaken for the next
     /// call's reply — so every further call fails fast until the caller
     /// reconnects.
     poisoned: bool,
+    metrics: Arc<TransportMetrics>,
 }
 
 impl ClientConn {
-    /// One request/response exchange.  Any transport-level failure — send
-    /// failure, timeout, truncated frame — poisons the connection: a reply to
-    /// this call may still arrive later and would desynchronize every
-    /// subsequent exchange.
-    fn exchange<T: Serialize>(
+    fn poison(&mut self) {
+        if !self.poisoned {
+            self.poisoned = true;
+            TransportMetrics::add(&self.metrics.poisoned_connections, 1);
+        }
+    }
+
+    /// One request/response exchange of pre-encoded frames.  Any
+    /// transport-level failure — send failure, timeout, truncated frame —
+    /// poisons the connection: a reply to this call may still arrive later
+    /// and would desynchronize every subsequent exchange.
+    fn exchange(
         &mut self,
-        kind: FrameKind,
-        value: &T,
+        frame: Vec<u8>,
         max_frame: usize,
     ) -> Result<(FrameKind, Vec<u8>), ServiceError> {
         if self.poisoned {
@@ -863,10 +1113,10 @@ impl ClientConn {
                 "connection poisoned by an earlier stream desynchronization; reconnect",
             ));
         }
-        let result = write_frame_blocking(&mut self.stream, kind, value)
-            .and_then(|()| read_frame_blocking(&mut self.stream, max_frame));
+        let result = send_frame_blocking(&mut self.stream, &frame, &self.metrics)
+            .and_then(|()| read_frame_blocking(&mut self.stream, max_frame, Some(&self.metrics)));
         if result.is_err() {
-            self.poisoned = true;
+            self.poison();
         }
         result
     }
@@ -890,38 +1140,59 @@ impl TcpTransport {
             .set_read_timeout(config.read_timeout)
             .map_err(|e| ServiceError::transport(format!("setting read timeout: {e}")))?;
         let mut stream = stream;
-        write_frame_blocking(
-            &mut stream,
-            FrameKind::Hello,
-            &HelloFrame {
-                version: PROTOCOL_VERSION,
-            },
-        )?;
-        let (kind, payload) = read_frame_blocking(&mut stream, config.max_frame)?;
+        let metrics = Arc::new(TransportMetrics::default());
+        TransportMetrics::add(&metrics.connections_accepted, 1);
+        // The hello exchange always travels as JSON: it is what carries the
+        // codec negotiation, so it must be legible before any agreement.
+        let hello = encode_json_frame(&HelloFrame::advertising(&config.codecs));
+        send_frame_blocking(&mut stream, &hello, &metrics)?;
+        let (kind, payload) = read_frame_blocking(&mut stream, config.max_frame, Some(&metrics))?;
         if kind != FrameKind::HelloReply {
             return Err(ServiceError::transport(format!(
                 "expected a HelloReply frame, got {kind:?}"
             )));
         }
-        match parse_payload::<HelloReply>(&payload)? {
+        match parse_json_payload::<HelloReply>(&payload)? {
             HelloReply::Accepted {
                 version,
                 grid,
                 prior,
+                codec,
             } => {
                 let grid = HexGrid::new(grid).map_err(|e| {
                     ServiceError::transport(format!("server sent an invalid grid config: {e}"))
                 })?;
+                // The server must pick something we advertised (absent means
+                // the JSON fallback, which every client accepts).
+                let codec = match codec {
+                    None => WireCodec::Json,
+                    Some(name) => match WireCodec::from_name(&name) {
+                        Some(codec)
+                            if codec == WireCodec::Json || config.codecs.contains(&codec) =>
+                        {
+                            codec
+                        }
+                        _ => {
+                            return Err(ServiceError::transport(format!(
+                                "server selected codec {name:?}, which this client did not offer"
+                            )))
+                        }
+                    },
+                };
+                metrics.count_codec(codec);
                 Ok(Self {
                     conn: Mutex::new(ClientConn {
                         stream,
                         poisoned: false,
+                        metrics: Arc::clone(&metrics),
                     }),
                     tree: Arc::new(LocationTree::new(grid)),
                     prior: Arc::new(prior),
                     server_version: version,
+                    codec,
                     next_request_id: AtomicU64::new(1),
                     max_frame: config.max_frame,
+                    metrics,
                 })
             }
             HelloReply::Rejected(error) => Err(error),
@@ -933,25 +1204,44 @@ impl TcpTransport {
         self.server_version
     }
 
+    /// Payload codec negotiated for this connection.
+    pub fn codec(&self) -> WireCodec {
+        self.codec
+    }
+
+    /// A point-in-time snapshot of this connection's transport counters.
+    pub fn stats(&self) -> TransportStats {
+        self.metrics.snapshot()
+    }
+
     /// Ask the server to precompute its cache over a `(privacy_level, δ)`
     /// grid; blocks until the server reports back.
     pub fn warm(&self, plan: &WarmRequest) -> Result<WarmReport, ServiceError> {
+        let frame = self.codec.encode_frame(plan);
         let mut conn = self.conn.lock().unwrap_or_else(|e| e.into_inner());
-        let (kind, payload) = conn.exchange(FrameKind::Warm, plan, self.max_frame)?;
+        let (kind, payload) = conn.exchange(frame, self.max_frame)?;
         match kind {
-            FrameKind::WarmReply => parse_payload(&payload),
+            FrameKind::WarmReply => match self.codec.decode_payload(&payload) {
+                Ok(report) => Ok(report),
+                Err(e) => {
+                    // An undecodable reply is a codec desync: fail fast on
+                    // every further call until the caller reconnects.
+                    conn.poison();
+                    Err(e)
+                }
+            },
             FrameKind::Response => {
                 // The server refused at the transport level (e.g. a plan
                 // larger than its inbound frame limit) and is closing.
-                conn.poisoned = true;
-                let envelope: ResponseEnvelope = parse_payload(&payload)?;
+                conn.poison();
+                let envelope: ResponseEnvelope = self.codec.decode_payload(&payload)?;
                 Err(envelope
                     .into_result()
                     .err()
                     .unwrap_or_else(|| ServiceError::transport("unexpected forest reply")))
             }
             other => {
-                conn.poisoned = true;
+                conn.poison();
                 Err(ServiceError::transport(format!(
                     "expected a WarmReply frame, got {other:?}"
                 )))
@@ -967,18 +1257,21 @@ impl MatrixService for TcpTransport {
     ) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
         let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
         let envelope = RequestEnvelope::new(request_id, request);
+        let frame = self.codec.encode_frame(&envelope);
         let mut conn = self.conn.lock().unwrap_or_else(|e| e.into_inner());
-        let (kind, payload) = conn.exchange(FrameKind::Request, &envelope, self.max_frame)?;
+        let (kind, payload) = conn.exchange(frame, self.max_frame)?;
         if kind != FrameKind::Response {
-            conn.poisoned = true;
+            conn.poison();
             return Err(ServiceError::transport(format!(
                 "expected a Response frame, got {kind:?}"
             )));
         }
-        let reply: ResponseEnvelope = match parse_payload(&payload) {
+        let reply: ResponseEnvelope = match self.codec.decode_payload(&payload) {
             Ok(reply) => reply,
             Err(e) => {
-                conn.poisoned = true;
+                // Undecodable response: codec desync, poison like any other
+                // stream desynchronization.
+                conn.poison();
                 return Err(e);
             }
         };
@@ -986,7 +1279,7 @@ impl MatrixService for TcpTransport {
             // Either a transport-level error (id 0, server closing) or a
             // desynchronized stream; both poison the connection.  Surface the
             // carried error if there is one.
-            conn.poisoned = true;
+            conn.poison();
             return match reply.into_result() {
                 Err(error) => Err(error),
                 Ok(_) => Err(ServiceError::transport(
@@ -1006,28 +1299,36 @@ impl MatrixService for TcpTransport {
     }
 }
 
-/// Serialize and send one frame over a blocking stream.
-fn write_frame_blocking<T: Serialize>(
+/// Send one pre-encoded frame over a blocking stream.
+fn send_frame_blocking(
     stream: &mut TcpStream,
-    kind: FrameKind,
-    value: &T,
+    frame: &[u8],
+    metrics: &TransportMetrics,
 ) -> Result<(), ServiceError> {
-    let frame = encode_json_frame(kind, value);
     stream
-        .write_all(&frame)
-        .map_err(|e| ServiceError::transport(format!("send failed: {e}")))
+        .write_all(frame)
+        .map_err(|e| ServiceError::transport(format!("send failed: {e}")))?;
+    TransportMetrics::add(&metrics.frames_out, 1);
+    TransportMetrics::add(&metrics.bytes_out, frame.len() as u64);
+    Ok(())
 }
 
 /// Receive one frame from a blocking stream (honouring its read timeout).
+/// The payload is read directly into its final buffer — no staging copy.
 fn read_frame_blocking(
     stream: &mut TcpStream,
     max_payload: usize,
+    metrics: Option<&TransportMetrics>,
 ) -> Result<(FrameKind, Vec<u8>), ServiceError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     read_exact_mapped(stream, &mut header)?;
     let (kind, len) = parse_frame_header(&header, max_payload)?;
     let mut payload = vec![0u8; len];
     read_exact_mapped(stream, &mut payload)?;
+    if let Some(metrics) = metrics {
+        TransportMetrics::add(&metrics.frames_in, 1);
+        TransportMetrics::add(&metrics.bytes_in, (FRAME_HEADER_LEN + len) as u64);
+    }
     Ok((kind, payload))
 }
 
@@ -1126,12 +1427,15 @@ mod tests {
 
     #[test]
     fn hello_frames_roundtrip_through_json() {
-        let hello = HelloFrame {
-            version: PROTOCOL_VERSION,
-        };
+        let hello = HelloFrame::advertising(&[WireCodec::Binary, WireCodec::Json]);
         let json = serde_json::to_string(&hello).unwrap();
         let back: HelloFrame = serde_json::from_str(&json).unwrap();
         assert_eq!(back, hello);
+
+        // A pre-1.2 hello has no codec list; the field decodes as None.
+        let legacy = r#"{"version":{"major":1,"minor":1}}"#;
+        let back: HelloFrame = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.codecs, None);
 
         let rejected = HelloReply::Rejected(ServiceError::unsupported_version(ProtocolVersion {
             major: 9,

@@ -40,9 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let transport = TcpTransport::connect(server.local_addr())?;
     println!(
-        "Event-driven server on {} (protocol {})\n",
+        "Event-driven server on {} (protocol {}, {} codec)\n",
         server.local_addr(),
-        transport.server_version()
+        transport.server_version(),
+        transport.codec()
     );
 
     // Cold: the first request for a key pays for the whole privacy forest.
@@ -91,6 +92,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "Steady state: {} hits over {} resident forests — the repeated-request path performs no LP solves.",
         stats.hits, stats.entries
+    );
+
+    // Connection-level view of the same traffic: frames and bytes that
+    // crossed the wire, the codec each side negotiated, and whether any
+    // backpressure or transport errors occurred.
+    let client_stats = transport.stats();
+    let server_stats = server.stats();
+    println!("\nClient transport stats: {client_stats:?}");
+    println!("Server transport stats: {server_stats:?}");
+    println!(
+        "The {} codec moved {:.1} KiB in / {:.1} KiB out over {} frames with {} backpressure stalls.",
+        transport.codec(),
+        client_stats.bytes_in as f64 / 1024.0,
+        client_stats.bytes_out as f64 / 1024.0,
+        client_stats.frames_in + client_stats.frames_out,
+        server_stats.backpressure_stalls,
     );
     server.shutdown();
     Ok(())

@@ -15,8 +15,9 @@ use corgi::framework::transport::{
     encode_frame, FrameKind, HelloFrame, HelloReply, FRAME_HEADER_LEN, FRAME_MAGIC,
 };
 use corgi::framework::{
-    CachingService, CorgiClient, ForestGenerator, MatrixService, MetadataAttributeProvider,
-    ServerConfig, TcpServer, TcpTransport, TransportConfig, WarmRequest,
+    CachingService, ClientConfig, CorgiClient, ForestGenerator, MatrixService,
+    MetadataAttributeProvider, ServerConfig, TcpServer, TcpTransport, TransportConfig, WarmRequest,
+    WireCodec,
 };
 use corgi::hexgrid::{HexGrid, HexGridConfig};
 use rand::rngs::StdRng;
@@ -46,6 +47,17 @@ fn start_server(service: Arc<dyn MatrixService>) -> TcpServer {
         .expect("binding a loopback server")
 }
 
+/// A server that accepts both codecs regardless of `CORGI_WIRE_CODEC`, so the
+/// negotiation-matrix assertions are deterministic under the forced-JSON CI
+/// run (which only forces the *default* advertisement).
+fn start_dual_codec_server(service: Arc<dyn MatrixService>) -> TcpServer {
+    let config = TransportConfig {
+        codecs: vec![WireCodec::Binary, WireCodec::Json],
+        ..TransportConfig::default()
+    };
+    TcpServer::bind("127.0.0.1:0", service, config).expect("binding a loopback server")
+}
+
 /// Blocking frame receive used by the raw-socket tests.
 fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
     let mut header = [0u8; FRAME_HEADER_LEN];
@@ -57,14 +69,25 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
     Ok((header[2], payload))
 }
 
-fn send_hello(stream: &mut TcpStream, version: ProtocolVersion) -> HelloReply {
-    let hello = serde_json::to_string(&HelloFrame { version }).unwrap();
+/// Raw hello exchange.  `codecs: None` mimics a pre-1.2 peer (JSON only);
+/// the raw-socket tests below keep speaking JSON after it, which is exactly
+/// the 1.1 interop path.
+fn send_hello_advertising(
+    stream: &mut TcpStream,
+    version: ProtocolVersion,
+    codecs: Option<Vec<String>>,
+) -> HelloReply {
+    let hello = serde_json::to_string(&HelloFrame { version, codecs }).unwrap();
     stream
         .write_all(&encode_frame(FrameKind::Hello, hello.as_bytes()))
         .unwrap();
     let (kind, payload) = read_frame(stream).unwrap();
     assert_eq!(kind, FrameKind::HelloReply as u8);
     serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap()
+}
+
+fn send_hello(stream: &mut TcpStream, version: ProtocolVersion) -> HelloReply {
+    send_hello_advertising(stream, version, None)
 }
 
 #[test]
@@ -212,6 +235,165 @@ fn warming_over_the_wire_makes_steady_state_solve_free() {
 }
 
 #[test]
+fn codec_negotiation_matrix_across_real_sockets() {
+    let caching = caching_stack();
+    let server = start_dual_codec_server(caching.clone() as Arc<dyn MatrixService>);
+    let addr = server.local_addr();
+    let request = MatrixRequest {
+        privacy_level: 1,
+        delta: 0,
+    };
+
+    // Default 1.2 client vs default 1.2 server: whatever the environment
+    // advertises first (binary unless CORGI_WIRE_CODEC=json forces the
+    // fallback) is what gets negotiated — and the full request path works.
+    let expected = WireCodec::advertisement_from_env()[0];
+    let transport = TcpTransport::connect(addr).unwrap();
+    assert_eq!(transport.codec(), expected);
+    assert_eq!(transport.privacy_forest(request).unwrap().entries.len(), 49);
+    let stats = transport.stats();
+    assert_eq!(stats.connections_accepted, 1);
+    assert!(stats.frames_out >= 2, "hello + request: {stats:?}");
+    assert!(stats.frames_in >= 2, "hello reply + response: {stats:?}");
+    assert!(stats.bytes_in > stats.bytes_out, "forests dwarf requests");
+    assert_eq!(stats.poisoned_connections, 0);
+
+    // A client that only offers JSON gets JSON, whatever the server prefers.
+    let json_client = TcpTransport::connect_with(
+        addr,
+        ClientConfig {
+            codecs: vec![WireCodec::Json],
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(json_client.codec(), WireCodec::Json);
+    assert_eq!(
+        json_client.privacy_forest(request).unwrap().entries.len(),
+        49
+    );
+
+    // A pre-1.2 hello (no codec list) negotiates JSON: the reply does not
+    // name a codec and subsequent JSON framing is served as JSON.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    match send_hello(&mut stream, ProtocolVersion { major: 1, minor: 1 }) {
+        HelloReply::Accepted { codec, .. } => assert_eq!(codec, None),
+        HelloReply::Rejected(e) => panic!("1.1 hello rejected: {e}"),
+    }
+    let envelope = RequestEnvelope::new(5, request);
+    let json = serde_json::to_string(&envelope).unwrap();
+    stream
+        .write_all(&encode_frame(FrameKind::Request, json.as_bytes()))
+        .unwrap();
+    let (kind, payload) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::Response as u8);
+    assert_eq!(
+        payload[0], b'{',
+        "a JSON-negotiated peer gets JSON payloads"
+    );
+    let reply: ResponseEnvelope =
+        serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert_eq!(reply.request_id, 5);
+    assert_eq!(reply.into_result().unwrap().entries.len(), 49);
+
+    // An explicitly binary-advertising hello negotiates binary: the reply
+    // names it and subsequent payloads are not JSON text.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    match send_hello_advertising(
+        &mut stream,
+        PROTOCOL_VERSION,
+        Some(vec!["binary".into(), "json".into()]),
+    ) {
+        HelloReply::Accepted { codec, .. } => assert_eq!(codec.as_deref(), Some("binary")),
+        HelloReply::Rejected(e) => panic!("binary hello rejected: {e}"),
+    }
+    let frame = WireCodec::Binary.encode_frame(&RequestEnvelope::new(9, request));
+    stream.write_all(&frame).unwrap();
+    let (kind, payload) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::Response as u8);
+    assert_ne!(payload[0], b'{', "binary payloads are not JSON text");
+    let reply: ResponseEnvelope = WireCodec::Binary.decode_payload(&payload).unwrap();
+    assert_eq!(reply.request_id, 9);
+    assert_eq!(reply.into_result().unwrap().entries.len(), 49);
+
+    // Server-side counters saw all four connections and both codecs.
+    let server_stats = server.stats();
+    assert_eq!(server_stats.connections_accepted, 4);
+    assert_eq!(
+        server_stats.binary_connections + server_stats.json_connections,
+        4
+    );
+    assert!(
+        server_stats.json_connections >= 2,
+        "the forced-JSON and 1.1 peers negotiated JSON: {server_stats:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn json_after_binary_negotiation_is_a_poisoning_codec_desync() {
+    // A peer that negotiates binary and then sends JSON bytes has
+    // desynchronized its codec: the server answers with a structured
+    // Transport error (in the negotiated codec) and closes — never a hang.
+    let server = start_dual_codec_server(caching_stack() as Arc<dyn MatrixService>);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    match send_hello_advertising(&mut stream, PROTOCOL_VERSION, Some(vec!["binary".into()])) {
+        HelloReply::Accepted { codec, .. } => assert_eq!(codec.as_deref(), Some("binary")),
+        HelloReply::Rejected(e) => panic!("hello rejected: {e}"),
+    }
+    let envelope = RequestEnvelope::new(
+        1,
+        MatrixRequest {
+            privacy_level: 1,
+            delta: 0,
+        },
+    );
+    let json = serde_json::to_string(&envelope).unwrap();
+    stream
+        .write_all(&encode_frame(FrameKind::Request, json.as_bytes()))
+        .unwrap();
+    let (kind, payload) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::Response as u8);
+    let reply: ResponseEnvelope = WireCodec::Binary.decode_payload(&payload).unwrap();
+    assert_eq!(reply.request_id, 0, "no request id was decodable");
+    let error = reply.into_result().unwrap_err();
+    assert_eq!(error.kind, ServiceErrorKind::Transport);
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0, "server closed");
+    assert!(server.stats().transport_errors >= 1);
+
+    // A corrupted *binary* frame fails the same structured way.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    match send_hello_advertising(&mut stream, PROTOCOL_VERSION, Some(vec!["binary".into()])) {
+        HelloReply::Accepted { .. } => {}
+        HelloReply::Rejected(e) => panic!("hello rejected: {e}"),
+    }
+    let mut frame = WireCodec::Binary.encode_frame(&envelope);
+    frame[7] ^= 0xff; // first payload byte: the leading field tag
+    stream.write_all(&frame).unwrap();
+    let (kind, payload) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::Response as u8);
+    let reply: ResponseEnvelope = WireCodec::Binary.decode_payload(&payload).unwrap();
+    let error = reply.into_result().unwrap_err();
+    assert_eq!(error.kind, ServiceErrorKind::Transport);
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0, "server closed");
+    server.shutdown();
+}
+
+#[test]
 fn version_mismatch_is_refused_with_a_structured_error() {
     let server = start_server(caching_stack() as Arc<dyn MatrixService>);
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
@@ -232,9 +414,31 @@ fn version_mismatch_is_refused_with_a_structured_error() {
         }
         HelloReply::Accepted { .. } => panic!("major 99 must be refused"),
     }
-    // The server closes after rejecting.
+    // The server closes after rejecting.  A version mismatch is a
+    // well-formed exchange, not a transport failure, so the error counter
+    // stays at zero…
     let mut rest = Vec::new();
     assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    assert_eq!(server.stats().transport_errors, 0);
+
+    // …whereas a peer whose FIRST frame is not a Hello at all is a
+    // handshake-phase protocol failure and is counted.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(&encode_frame(FrameKind::Request, b"{}"))
+        .unwrap();
+    let (kind, payload) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::HelloReply as u8);
+    match serde_json::from_str::<HelloReply>(std::str::from_utf8(&payload).unwrap()).unwrap() {
+        HelloReply::Rejected(error) => assert_eq!(error.kind, ServiceErrorKind::Transport),
+        HelloReply::Accepted { .. } => panic!("a Request before Hello must be refused"),
+    }
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    assert_eq!(server.stats().transport_errors, 1);
 
     // The high-level client surfaces the same failure as Err, and the server
     // keeps serving compatible clients afterwards.
@@ -355,6 +559,7 @@ fn shutdown_closes_the_listener_and_open_connections() {
         late.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         let hello = serde_json::to_string(&HelloFrame {
             version: PROTOCOL_VERSION,
+            codecs: None,
         })
         .unwrap();
         let _ = late.write_all(&encode_frame(FrameKind::Hello, hello.as_bytes()));

@@ -121,72 +121,76 @@ impl Value {
 
     /// Render a JSON number the way `serde_json` does: integral values
     /// without a fractional part, non-finite values as `null`.
-    pub(crate) fn render_number(n: f64, out: &mut String) {
+    pub(crate) fn render_number<W: fmt::Write>(n: f64, out: &mut W) -> fmt::Result {
         if !n.is_finite() {
-            out.push_str("null");
+            out.write_str("null")
         } else if n == n.trunc() && n.abs() < 1e15 {
-            out.push_str(&format!("{}", n as i64));
+            write!(out, "{}", n as i64)
         } else {
-            out.push_str(&format!("{n}"));
+            write!(out, "{n}")
         }
     }
 
-    pub(crate) fn render_string(s: &str, out: &mut String) {
-        out.push('"');
+    pub(crate) fn render_string<W: fmt::Write>(s: &str, out: &mut W) -> fmt::Result {
+        out.write_char('"')?;
         for c in s.chars() {
             match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                '\u{08}' => out.push_str("\\b"),
-                '\u{0c}' => out.push_str("\\f"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
+                '"' => out.write_str("\\\"")?,
+                '\\' => out.write_str("\\\\")?,
+                '\n' => out.write_str("\\n")?,
+                '\r' => out.write_str("\\r")?,
+                '\t' => out.write_str("\\t")?,
+                '\u{08}' => out.write_str("\\b")?,
+                '\u{0c}' => out.write_str("\\f")?,
+                c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+                c => out.write_char(c)?,
             }
         }
-        out.push('"');
+        out.write_char('"')
     }
 
-    fn render_compact(&self, out: &mut String) {
+    /// Render the value as compact JSON into any [`fmt::Write`] sink.
+    ///
+    /// This is the streaming serializer behind [`Display`](fmt::Display) and
+    /// `serde_json::to_string` / `to_vec_into`: writing directly into a
+    /// caller-provided buffer avoids the intermediate `String` that a
+    /// `to_string` + copy round trip would allocate.
+    pub fn write_compact<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
         match self {
-            Value::Null => out.push_str("null"),
-            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Null => out.write_str("null"),
+            Value::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
             Value::Number(n) => Self::render_number(*n, out),
             Value::String(s) => Self::render_string(s, out),
             Value::Array(items) => {
-                out.push('[');
+                out.write_char('[')?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    item.render_compact(out);
+                    item.write_compact(out)?;
                 }
-                out.push(']');
+                out.write_char(']')
             }
             Value::Object(map) => {
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (k, v)) in map.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    Self::render_string(k, out);
-                    out.push(':');
-                    v.render_compact(out);
+                    Self::render_string(k, out)?;
+                    out.write_char(':')?;
+                    v.write_compact(out)?;
                 }
-                out.push('}');
+                out.write_char('}')
             }
         }
     }
 }
 
 impl fmt::Display for Value {
-    /// Compact JSON rendering.
+    /// Compact JSON rendering (streamed straight into the formatter).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut out = String::new();
-        self.render_compact(&mut out);
-        f.write_str(&out)
+        self.write_compact(f)
     }
 }
 
@@ -243,7 +247,7 @@ pub(crate) fn key_to_string(value: Value) -> String {
         Value::String(s) => s,
         Value::Number(n) => {
             let mut out = String::new();
-            Value::render_number(n, &mut out);
+            Value::render_number(n, &mut out).expect("writing to a String cannot fail");
             out
         }
         Value::Bool(b) => b.to_string(),

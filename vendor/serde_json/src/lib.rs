@@ -1,7 +1,7 @@
 //! Offline shim of `serde_json`, built on the vendored `serde` shim's
 //! [`Value`] tree: a full JSON text parser, compact and pretty printers, the
-//! [`json!`] macro, and the `to_string` / `to_value` / `from_str` entry
-//! points used by the CORGI workspace.
+//! [`json!`] macro, and the `to_string` / `to_value` / `to_vec_into` /
+//! `from_str` entry points used by the CORGI workspace.
 
 #![warn(missing_docs)]
 
@@ -51,6 +51,26 @@ pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
 /// Serialize to a compact JSON string.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(value.to_value().to_string())
+}
+
+/// Serialize compact JSON straight into an existing byte buffer.
+///
+/// The rendered text is appended after whatever `out` already holds, so a
+/// caller can reserve framing bytes (e.g. a length-prefixed header) up front
+/// and serialize the payload in place instead of serializing to a `String`
+/// and copying it into a second buffer.
+pub fn to_vec_into<T: Serialize>(value: &T, out: &mut Vec<u8>) {
+    struct Utf8Sink<'a>(&'a mut Vec<u8>);
+    impl fmt::Write for Utf8Sink<'_> {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            self.0.extend_from_slice(s.as_bytes());
+            Ok(())
+        }
+    }
+    value
+        .to_value()
+        .write_compact(&mut Utf8Sink(out))
+        .expect("writing JSON to a Vec cannot fail");
 }
 
 /// Serialize to a pretty-printed JSON string (two-space indent).
@@ -169,6 +189,16 @@ mod tests {
         assert!(from_str::<bool>("true").unwrap());
         assert_eq!(from_str::<String>(r#""hi\nthere""#).unwrap(), "hi\nthere");
         assert!(from_str::<u8>("300").is_err());
+    }
+
+    #[test]
+    fn to_vec_into_appends_after_reserved_bytes() {
+        let mut out = vec![0u8; 7];
+        to_vec_into(&json!({ "a": [1, 2], "b": "x" }), &mut out);
+        assert_eq!(&out[..7], &[0u8; 7]);
+        let text = std::str::from_utf8(&out[7..]).unwrap();
+        assert_eq!(text, r#"{"a":[1,2],"b":"x"}"#);
+        assert_eq!(text, to_string(&json!({ "a": [1, 2], "b": "x" })).unwrap());
     }
 
     #[test]
