@@ -1,0 +1,180 @@
+//! Open-loop load generator against a self-hosted loopback server.
+//!
+//! Boots the full serving stack (caching service → forest generator → LP
+//! solver pool behind a `TcpServer`), warms the request mix, replays an
+//! open-loop Poisson arrival schedule against it, and reports the latency
+//! histogram — on stdout and, when `CORGI_BENCH_JSON` names a file, as a
+//! JSONL record gated by `perf_gate` on `p99_ns`.
+//!
+//! ```text
+//! loadgen [--rate HZ] [--duration-secs S] [--connections N] [--zipf S]
+//!         [--levels L1,L2,..] [--max-delta D] [--churn N] [--seed N]
+//!         [--timeout-secs S] [--label NAME] [--profile calibrated]
+//! ```
+//!
+//! `--profile calibrated` selects the fixed heavy-lane shape (the one the
+//! `BENCH_baseline.json` entry was recorded with); explicit flags override
+//! its fields.  The wire codec follows `CORGI_WIRE_CODEC` like every other
+//! client.  Exits nonzero if any request failed with a non-shed error or
+//! hung past its deadline.
+
+use corgi_bench::loadgen::{run, LoadProfile};
+use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
+use corgi_framework::{
+    CachingService, ForestGenerator, MatrixService, ServerConfig, TcpServer, TransportConfig,
+    WarmRequest,
+};
+use corgi_hexgrid::{HexGrid, HexGridConfig};
+use criterion::report_histogram;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match flag_value(name) {
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| panic!("invalid value {raw:?} for {name}")),
+        None => default,
+    }
+}
+
+fn main() {
+    // The calibrated profile is the heavy-lane CI shape: enough load to be a
+    // meaningful p99 sample on a warm cache, short enough for CI.
+    let calibrated = flag_value("--profile").as_deref() == Some("calibrated");
+    let base = if calibrated {
+        LoadProfile {
+            connections: 8,
+            rate_hz: 400.0,
+            duration: Duration::from_secs(5),
+            levels: vec![1],
+            max_delta: 1,
+            zipf_exponent: 1.0,
+            churn_every: 200,
+            seed: 42,
+            request_timeout: Duration::from_secs(10),
+        }
+    } else {
+        LoadProfile::default()
+    };
+
+    let levels: Vec<u8> = match flag_value("--levels") {
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("invalid privacy level {s:?}"))
+            })
+            .collect(),
+        None => base.levels.clone(),
+    };
+    let profile = LoadProfile {
+        connections: parse_flag("--connections", base.connections),
+        rate_hz: parse_flag("--rate", base.rate_hz),
+        duration: Duration::from_secs_f64(parse_flag(
+            "--duration-secs",
+            base.duration.as_secs_f64(),
+        )),
+        levels,
+        max_delta: parse_flag("--max-delta", base.max_delta),
+        zipf_exponent: parse_flag("--zipf", base.zipf_exponent),
+        churn_every: parse_flag("--churn", base.churn_every),
+        seed: parse_flag("--seed", base.seed),
+        request_timeout: Duration::from_secs_f64(parse_flag(
+            "--timeout-secs",
+            base.request_timeout.as_secs_f64(),
+        )),
+    };
+    let label = flag_value("--label")
+        .unwrap_or_else(|| if calibrated { "calibrated" } else { "smoke" }.to_string());
+
+    // The serving stack of the loopback benches: SF grid, synthetic check-ins,
+    // fast solver settings — the measured path is frames → reactor → dispatch
+    // → cache, with every mix key warmed before load starts.
+    let grid = HexGrid::new(HexGridConfig::san_francisco()).expect("static grid config is valid");
+    let (dataset, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+    let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+    let service = Arc::new(CachingService::with_defaults(ForestGenerator::new(
+        corgi_core::LocationTree::new(grid),
+        prior,
+        ServerConfig::builder()
+            .robust_iterations(1)
+            .targets_per_subtree(3)
+            .worker_threads(2)
+            .build(),
+    )));
+    let warm_plan = WarmRequest {
+        privacy_levels: profile.levels.clone(),
+        deltas: (0..=profile.max_delta).collect(),
+    };
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service) as Arc<dyn MatrixService>,
+        TransportConfig::default(),
+    )
+    .expect("binding the loopback load server");
+    // Warm in-process (not via warm_on_start) so load never races the warming.
+    let report = corgi_framework::warm(service.as_ref(), &warm_plan);
+    assert!(
+        report.failures.is_empty(),
+        "warming the request mix failed: {:?}",
+        report.failures
+    );
+
+    println!(
+        "loadgen/{label}: {} conns, {:.0} req/s offered for {:?}, Zipf s={} over {} keys, churn every {}",
+        profile.connections,
+        profile.rate_hz,
+        profile.duration,
+        profile.zipf_exponent,
+        profile.levels.len() * (profile.max_delta + 1),
+        if profile.churn_every == 0 {
+            "∞".to_string()
+        } else {
+            profile.churn_every.to_string()
+        },
+    );
+    let report = run(server.local_addr(), &profile);
+    let stats = server.stats();
+    println!(
+        "loadgen/{label}: offered {}, ok {}, shed {}, errors {}, reconnects {}, goodput {:.1} req/s",
+        report.offered,
+        report.ok,
+        report.shed,
+        report.errors,
+        report.reconnects,
+        report.goodput_rps(),
+    );
+    println!(
+        "loadgen/{label}: server admitted {}, shed {}, read-buffer high water {} B",
+        stats.requests_admitted, stats.requests_shed, stats.read_buffer_high_water,
+    );
+    report_histogram(
+        &format!("loadgen/{label}"),
+        &report.histogram,
+        &[
+            ("goodput_rps", report.goodput_rps()),
+            ("offered_rps", report.offered_rps()),
+            ("shed", report.shed as f64),
+            ("errors", report.errors as f64),
+        ],
+        Some("p99_ns"),
+    );
+    server.shutdown();
+
+    if report.errors > 0 || report.completed != report.offered {
+        eprintln!(
+            "loadgen/{label}: FAILED — {} errors, {}/{} completed",
+            report.errors, report.completed, report.offered
+        );
+        std::process::exit(1);
+    }
+}

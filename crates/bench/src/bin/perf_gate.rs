@@ -39,6 +39,15 @@
 //! open).  The tolerance is a fraction, default 20%, overridable with
 //! `CORGI_PERF_GATE_TOLERANCE`.
 //!
+//! # Gate fields
+//!
+//! A baseline record gates on `median_ns` unless it names another numeric
+//! field in `"gate_field"` — histogram records emitted by
+//! `criterion::report_histogram` set `"gate_field":"p99_ns"`, so the loadgen
+//! entry gates CI on tail latency under load rather than a median.  The same
+//! field is read from both baseline and results; a results record missing
+//! the gated field fails the gate.
+//!
 //! To refresh the baseline after an intentional perf change:
 //!
 //! ```text
@@ -70,11 +79,14 @@ const RATIO_PAIRS: &[(&str, &str, f64)] = &[
     ("warm_hit_roundtrip", "warm_hit_roundtrip_json", 3.0),
 ];
 
-/// Median nanoseconds per bench name; later lines win, so re-running a bench
-/// binary into the same results file updates its entries.
-fn parse_jsonl(path: &str) -> Result<BTreeMap<String, f64>, String> {
+/// Whole records per bench name; later lines win, so re-running a bench
+/// binary into the same results file updates its entries.  Each record must
+/// carry `name` and a numeric value under its gate field (`median_ns` unless
+/// the record names another field in `gate_field`, e.g. the loadgen entry
+/// gating on `p99_ns`).
+fn parse_jsonl(path: &str) -> Result<BTreeMap<String, Value>, String> {
     let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut medians = BTreeMap::new();
+    let mut records = BTreeMap::new();
     for (lineno, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -84,19 +96,37 @@ fn parse_jsonl(path: &str) -> Result<BTreeMap<String, f64>, String> {
         let name = value
             .get("name")
             .and_then(Value::as_str)
-            .ok_or_else(|| format!("{path}:{}: missing \"name\"", lineno + 1))?;
-        let median = value
-            .get("median_ns")
-            .and_then(Value::as_f64)
-            .ok_or_else(|| format!("{path}:{}: missing \"median_ns\"", lineno + 1))?;
-        medians.insert(name.to_string(), median);
+            .ok_or_else(|| format!("{path}:{}: missing \"name\"", lineno + 1))?
+            .to_string();
+        let field = gate_field(&value);
+        if metric(&value, field).is_none() {
+            return Err(format!(
+                "{path}:{}: missing numeric \"{field}\"",
+                lineno + 1
+            ));
+        }
+        records.insert(name, value);
     }
-    Ok(medians)
+    Ok(records)
+}
+
+/// The field this record gates on: `median_ns` unless the record says
+/// otherwise (histogram entries gate on a percentile, e.g. `p99_ns`).
+fn gate_field(record: &Value) -> &str {
+    record
+        .get("gate_field")
+        .and_then(Value::as_str)
+        .unwrap_or("median_ns")
+}
+
+/// The numeric value of `field` in a record.
+fn metric(record: &Value, field: &str) -> Option<f64> {
+    record.get(field).and_then(Value::as_f64)
 }
 
 /// The reference sibling a bench's ratio is computed against (and the pair's
 /// tolerance multiplier), if the pair table names one that exists in `names`.
-fn reference_pair(name: &str, names: &BTreeMap<String, f64>) -> Option<(String, f64)> {
+fn reference_pair(name: &str, names: &BTreeMap<String, Value>) -> Option<(String, f64)> {
     for (optimized, reference, tol_multiplier) in RATIO_PAIRS {
         if name.contains(optimized) {
             let sibling = name.replace(optimized, reference);
@@ -109,7 +139,7 @@ fn reference_pair(name: &str, names: &BTreeMap<String, f64>) -> Option<(String, 
 }
 
 /// The reference sibling alone (see [`reference_pair`]).
-fn reference_sibling(name: &str, names: &BTreeMap<String, f64>) -> Option<String> {
+fn reference_sibling(name: &str, names: &BTreeMap<String, Value>) -> Option<String> {
     reference_pair(name, names).map(|(sibling, _)| sibling)
 }
 
@@ -209,25 +239,41 @@ fn main() -> ExitCode {
         .filter_map(|name| reference_sibling(name, &baseline))
         .collect();
     let mut failures = Vec::new();
-    for (name, &base_ns) in &baseline {
-        let Some(&now_ns) = results.get(name) else {
+    for (name, base_record) in &baseline {
+        // The baseline entry decides which field gates this bench: medians
+        // for classic benches, a tail percentile (e.g. `p99_ns`) for
+        // histogram entries like the loadgen run.
+        let field = gate_field(base_record);
+        let base_ns = metric(base_record, field).expect("validated by parse_jsonl");
+        let Some(now_record) = results.get(name) else {
             failures.push(format!(
                 "{name}: missing from results (renamed or deleted?)"
             ));
             continue;
         };
+        let Some(now_ns) = metric(now_record, field) else {
+            failures.push(format!(
+                "{name}: results record lacks the gated field \"{field}\""
+            ));
+            continue;
+        };
+        let shown = if field == "median_ns" {
+            name.clone()
+        } else {
+            format!("{name} [{field}]")
+        };
         if absolute {
             let ratio = now_ns / base_ns.max(1.0);
             let verdict = judge(ratio, tol, tol, &mut failures, || {
                 format!(
-                    "{name}: {} → {} ({:+.1}%)",
+                    "{shown}: {} → {} ({:+.1}%)",
                     format_ns(base_ns),
                     format_ns(now_ns),
                     (ratio - 1.0) * 100.0
                 )
             });
             println!(
-                "  {name:<50} baseline {:>10}  now {:>10}  {:+7.1}%  {verdict}",
+                "  {shown:<50} baseline {:>10}  now {:>10}  {:+7.1}%  {verdict}",
                 format_ns(base_ns),
                 format_ns(now_ns),
                 (ratio - 1.0) * 100.0
@@ -237,7 +283,7 @@ fn main() -> ExitCode {
         // Ratio mode: gate optimized/reference drift measured within one run.
         if reference_names.contains(name) {
             println!(
-                "  {name:<50} baseline {:>10}  now {:>10}  (reference side of a gated ratio; presence-checked only)",
+                "  {shown:<50} baseline {:>10}  now {:>10}  (reference side of a gated ratio; presence-checked only)",
                 format_ns(base_ns),
                 format_ns(now_ns),
             );
@@ -254,7 +300,7 @@ fn main() -> ExitCode {
             let ratio = now_ns / base_ns.max(1.0);
             let verdict = judge(ratio, unpaired_tol, tol, &mut failures, || {
                 format!(
-                    "{name}: {} → {} ({:+.1}%, unpaired absolute gate at +{:.0}%)",
+                    "{shown}: {} → {} ({:+.1}%, unpaired absolute gate at +{:.0}%)",
                     format_ns(base_ns),
                     format_ns(now_ns),
                     (ratio - 1.0) * 100.0,
@@ -262,7 +308,7 @@ fn main() -> ExitCode {
                 )
             });
             println!(
-                "  {name:<50} baseline {:>10}  now {:>10}  {:+7.1}%  {verdict} (unpaired; absolute at +{:.0}%)",
+                "  {shown:<50} baseline {:>10}  now {:>10}  {:+7.1}%  {verdict} (unpaired; absolute at +{:.0}%)",
                 format_ns(base_ns),
                 format_ns(now_ns),
                 (ratio - 1.0) * 100.0,
@@ -270,10 +316,16 @@ fn main() -> ExitCode {
             );
             continue;
         };
-        let (Some(&base_ref), Some(&now_ref)) = (baseline.get(&sibling), results.get(&sibling))
+        let (Some(base_sib), Some(now_sib)) = (baseline.get(&sibling), results.get(&sibling))
         else {
             // Presence of the sibling in the results is checked by its own
             // baseline iteration; skip the ratio rather than divide by air.
+            continue;
+        };
+        let sib_field = gate_field(base_sib);
+        let (Some(base_ref), Some(now_ref)) =
+            (metric(base_sib, sib_field), metric(now_sib, sib_field))
+        else {
             continue;
         };
         let base_ratio = base_ns / base_ref.max(1.0);
@@ -282,13 +334,13 @@ fn main() -> ExitCode {
         let pair_tol = tol * pair_tol_multiplier;
         let verdict = judge(drift, pair_tol, tol, &mut failures, || {
             format!(
-                "{name}: ratio vs {sibling} {base_ratio:.3} → {now_ratio:.3} ({:+.1}%, gated at +{:.0}%)",
+                "{shown}: ratio vs {sibling} {base_ratio:.3} → {now_ratio:.3} ({:+.1}%, gated at +{:.0}%)",
                 (drift - 1.0) * 100.0,
                 pair_tol * 100.0
             )
         });
         println!(
-            "  {name:<50} ratio {base_ratio:>6.3} → {now_ratio:>6.3}  {:+7.1}%  {verdict} (gate +{:.0}%)",
+            "  {shown:<50} ratio {base_ratio:>6.3} → {now_ratio:>6.3}  {:+7.1}%  {verdict} (gate +{:.0}%)",
             (drift - 1.0) * 100.0,
             pair_tol * 100.0
         );
@@ -319,7 +371,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_jsonl_reads_medians_and_later_lines_win() {
+    fn parse_jsonl_reads_records_and_later_lines_win() {
         let path =
             std::env::temp_dir().join(format!("perf_gate_test_{}.jsonl", std::process::id()));
         std::fs::write(
@@ -332,10 +384,10 @@ mod tests {
             ),
         )
         .unwrap();
-        let medians = parse_jsonl(path.to_str().unwrap()).unwrap();
-        assert_eq!(medians.len(), 2);
-        assert_eq!(medians["a/b"], 120.0);
-        assert_eq!(medians["c/d"], 2500.0);
+        let records = parse_jsonl(path.to_str().unwrap()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(metric(&records["a/b"], "median_ns"), Some(120.0));
+        assert_eq!(metric(&records["c/d"], "median_ns"), Some(2500.0));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -346,6 +398,41 @@ mod tests {
         let err = parse_jsonl(path.to_str().unwrap()).unwrap_err();
         assert!(err.contains("missing \"name\""), "{err}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parse_jsonl_validates_the_declared_gate_field() {
+        let path =
+            std::env::temp_dir().join(format!("perf_gate_field_{}.jsonl", std::process::id()));
+        // A histogram record gating on p99_ns parses even though readers of
+        // median_ns alone would also find one; a record declaring a gate
+        // field it does not carry is rejected.
+        std::fs::write(
+            &path,
+            "{\"name\":\"loadgen/calibrated\",\"median_ns\":1e6,\"p99_ns\":9e6,\"gate_field\":\"p99_ns\"}\n",
+        )
+        .unwrap();
+        let records = parse_jsonl(path.to_str().unwrap()).unwrap();
+        let record = &records["loadgen/calibrated"];
+        assert_eq!(gate_field(record), "p99_ns");
+        assert_eq!(metric(record, gate_field(record)), Some(9e6));
+
+        std::fs::write(
+            &path,
+            "{\"name\":\"loadgen/calibrated\",\"median_ns\":1e6,\"gate_field\":\"p99_ns\"}\n",
+        )
+        .unwrap();
+        let err = parse_jsonl(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("missing numeric \"p99_ns\""), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn gate_field_defaults_to_median() {
+        let record: Value = serde_json::json!({"name": "a", "median_ns": 5.0});
+        assert_eq!(gate_field(&record), "median_ns");
+        assert_eq!(metric(&record, gate_field(&record)), Some(5.0));
+        assert_eq!(metric(&record, "p99_ns"), None);
     }
 
     #[test]
@@ -366,7 +453,7 @@ mod tests {
             "cholesky_multi_rhs/per_column",
             "forest_generation_k343_2iters/blocked",
         ] {
-            names.insert(name.to_string(), 1.0);
+            names.insert(name.to_string(), serde_json::json!({"median_ns": 1.0}));
         }
         assert_eq!(
             reference_sibling("cholesky_factorize/blocked/49", &names).as_deref(),
@@ -397,7 +484,7 @@ mod tests {
             "transport_loopback/warm_hit_roundtrip",
             "transport_loopback/warm_hit_roundtrip_json",
         ] {
-            names.insert(name.to_string(), 1.0);
+            names.insert(name.to_string(), serde_json::json!({"median_ns": 1.0}));
         }
         // Codec pairs carry the widened (3×) tolerance multiplier: binary-vs-
         // JSON ratios compare memcpy-bound against formatting-bound work and

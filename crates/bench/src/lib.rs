@@ -27,6 +27,8 @@ use corgi_hexgrid::{CellId, HexGrid, HexGridConfig};
 use std::fs;
 use std::path::PathBuf;
 
+pub mod loadgen;
+
 /// Privacy budget values swept by the paper (1/km).
 pub const PAPER_EPSILONS: [f64; 4] = [15.0, 16.0, 17.0, 18.0];
 

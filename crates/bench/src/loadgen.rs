@@ -1,0 +1,266 @@
+//! Open-loop load harness for the serving stack.
+//!
+//! Drives a live [`TcpServer`] over loopback the way a population of
+//! independent mobile devices would: requests are issued at *scheduled*
+//! Poisson arrival times (see [`corgi_datagen::open_loop_arrivals`]) spread
+//! over a fixed set of client connections, with `(privacy_level, δ)` keys
+//! drawn from a Zipf-skewed [`RequestMix`].  Because the harness is
+//! **open-loop**, a slow server does not slow the offered load down — late
+//! completions simply accumulate queueing delay — and every latency is
+//! measured from the request's scheduled arrival time, so the recorded
+//! [`Histogram`] is free of coordinated omission.
+//!
+//! The harness understands the server's admission-control contract: a
+//! structured [`ServiceErrorKind::Overloaded`] reply counts as a *shed* (the
+//! connection stays healthy, the request is not retried), any other failure
+//! counts as an error, and a poisoned connection is replaced.  Connection
+//! churn — tearing a connection down and reconnecting every N requests — is
+//! part of the profile, exercising the accept/handshake path under load.
+//!
+//! [`ServiceErrorKind::Overloaded`]: corgi_framework::messages::ServiceErrorKind::Overloaded
+//! [`TcpServer`]: corgi_framework::TcpServer
+
+use corgi_datagen::{open_loop_arrivals, RequestMix};
+use corgi_framework::messages::MatrixRequest;
+use corgi_framework::{ClientConfig, MatrixService, TcpTransport};
+use criterion::Histogram;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Shape of one open-loop load run.
+#[derive(Debug, Clone)]
+pub struct LoadProfile {
+    /// Client connections (each owns a worker thread and a [`TcpTransport`]).
+    pub connections: usize,
+    /// Aggregate arrival rate across all connections, in requests/second.
+    pub rate_hz: f64,
+    /// Length of the arrival schedule.
+    pub duration: Duration,
+    /// Privacy levels in the request mix.
+    pub levels: Vec<u8>,
+    /// δ values in the mix run `0..=max_delta` (the grid a warm plan covers).
+    pub max_delta: usize,
+    /// Zipf exponent of the key skew (0 = uniform; ~1 = strongly skewed).
+    pub zipf_exponent: f64,
+    /// Tear down and reconnect a connection after this many requests on it;
+    /// 0 disables churn.
+    pub churn_every: usize,
+    /// Seed making the schedule and key sequence reproducible.
+    pub seed: u64,
+    /// Per-request deadline: a response not received within it is a timeout
+    /// error (and the connection is replaced).  This is what turns "the
+    /// server hung" into a visible failure instead of a stuck run.
+    pub request_timeout: Duration,
+}
+
+impl Default for LoadProfile {
+    fn default() -> Self {
+        Self {
+            connections: 8,
+            rate_hz: 200.0,
+            duration: Duration::from_secs(2),
+            levels: vec![1],
+            max_delta: 1,
+            zipf_exponent: 1.0,
+            churn_every: 0,
+            seed: 42,
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests in the arrival schedule.
+    pub offered: usize,
+    /// Requests that received *any* answer (success, shed, or error) within
+    /// their deadline.  `completed == offered` means nothing hung.
+    pub completed: usize,
+    /// Successful privacy-forest responses.
+    pub ok: usize,
+    /// Requests the server shed with a retryable `Overloaded` error.
+    pub shed: usize,
+    /// Every other failure: timeouts, transport errors, failed reconnects.
+    pub errors: usize,
+    /// Connections re-established, by churn or after poisoning.
+    pub reconnects: usize,
+    /// Wall-clock span of the run (schedule length plus drain tail).
+    pub elapsed: Duration,
+    /// Latency of every successful request, measured from its scheduled
+    /// arrival time.
+    pub histogram: Histogram,
+}
+
+impl LoadReport {
+    /// Successful responses per second of wall-clock time.
+    pub fn goodput_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.ok as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Offered arrival rate actually realized by the schedule.
+    pub fn offered_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.offered as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// One scheduled request: its arrival offset and key.
+struct Slot {
+    at: Duration,
+    request: MatrixRequest,
+}
+
+/// Per-worker tally folded into the [`LoadReport`].
+#[derive(Default)]
+struct WorkerOutcome {
+    completed: usize,
+    ok: usize,
+    shed: usize,
+    errors: usize,
+    reconnects: usize,
+    histogram: Histogram,
+}
+
+fn connect(addr: SocketAddr, timeout: Duration) -> Result<TcpTransport, String> {
+    TcpTransport::connect_with(
+        addr,
+        ClientConfig {
+            read_timeout: Some(timeout),
+            ..ClientConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Run one open-loop load profile against a serving address.
+///
+/// Blocks until every scheduled request has been resolved (answered, shed,
+/// or failed against its deadline) and returns the merged [`LoadReport`].
+/// The codec each connection negotiates follows `CORGI_WIRE_CODEC`, exactly
+/// like any other client.
+pub fn run(addr: SocketAddr, profile: &LoadProfile) -> LoadReport {
+    assert!(
+        profile.connections >= 1,
+        "load needs at least one connection"
+    );
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mix = RequestMix::new(&profile.levels, profile.max_delta, profile.zipf_exponent);
+    let arrivals = open_loop_arrivals(profile.rate_hz, profile.duration, &mut rng);
+    let offered = arrivals.len();
+
+    // Round-robin the schedule over the connections; each worker replays its
+    // own slice against the shared start instant, so the aggregate process
+    // keeps the configured rate regardless of per-connection speed.
+    let mut schedules: Vec<Vec<Slot>> = (0..profile.connections).map(|_| Vec::new()).collect();
+    for (index, at) in arrivals.into_iter().enumerate() {
+        let (privacy_level, delta) = mix.sample(&mut rng);
+        schedules[index % profile.connections].push(Slot {
+            at,
+            request: MatrixRequest {
+                privacy_level,
+                delta,
+            },
+        });
+    }
+
+    let start = Instant::now();
+    let timeout = profile.request_timeout;
+    let churn_every = profile.churn_every;
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = schedules
+            .iter()
+            .map(|schedule| {
+                scope.spawn(move || {
+                    let mut outcome = WorkerOutcome::default();
+                    let mut transport = connect(addr, timeout).ok();
+                    let mut since_connect = 0usize;
+                    for slot in schedule {
+                        // Open loop: wait for the scheduled time, never for
+                        // the previous response (that already happened — the
+                        // exchange is synchronous per connection, which is
+                        // exactly the queueing delay the latency records).
+                        let now = start.elapsed();
+                        if slot.at > now {
+                            std::thread::sleep(slot.at - now);
+                        }
+                        if churn_every > 0 && since_connect >= churn_every {
+                            transport = None;
+                        }
+                        let conn = match &transport {
+                            Some(conn) => conn,
+                            None => match connect(addr, timeout) {
+                                Ok(conn) => {
+                                    outcome.reconnects += 1;
+                                    since_connect = 0;
+                                    transport.insert(conn)
+                                }
+                                Err(_) => {
+                                    outcome.completed += 1;
+                                    outcome.errors += 1;
+                                    continue;
+                                }
+                            },
+                        };
+                        since_connect += 1;
+                        let result = conn.privacy_forest(slot.request);
+                        let latency = start.elapsed().saturating_sub(slot.at);
+                        outcome.completed += 1;
+                        match result {
+                            Ok(_) => {
+                                outcome.ok += 1;
+                                outcome.histogram.record_duration(latency);
+                            }
+                            Err(e) if e.is_retryable() => outcome.shed += 1,
+                            Err(_) => {
+                                outcome.errors += 1;
+                                // A non-shed failure poisoned (or may have
+                                // poisoned) the stream; replace the
+                                // connection rather than failing every
+                                // remaining slot.
+                                if conn.stats().poisoned_connections > 0 {
+                                    transport = None;
+                                }
+                            }
+                        }
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut report = LoadReport {
+        offered,
+        completed: 0,
+        ok: 0,
+        shed: 0,
+        errors: 0,
+        reconnects: 0,
+        elapsed,
+        histogram: Histogram::new(),
+    };
+    for outcome in outcomes {
+        report.completed += outcome.completed;
+        report.ok += outcome.ok;
+        report.shed += outcome.shed;
+        report.errors += outcome.errors;
+        report.reconnects += outcome.reconnects;
+        report.histogram.merge(&outcome.histogram);
+    }
+    report
+}

@@ -26,10 +26,12 @@ mod checkin;
 mod generator;
 mod labels;
 mod priors;
+mod workload;
 mod zipf;
 
 pub use checkin::{CheckIn, CheckInDataset, TrainTestSplit};
 pub use generator::{GowallaLikeConfig, GowallaLikeGenerator};
 pub use labels::{LocationMetadata, UserAnchors};
 pub use priors::PriorDistribution;
+pub use workload::{open_loop_arrivals, RequestMix};
 pub use zipf::ZipfSampler;

@@ -1,0 +1,155 @@
+//! Open-loop serving-workload helpers: Poisson arrival processes and
+//! Zipf-skewed request keys.
+//!
+//! The load harness in `corgi-bench` is *open-loop*: requests are issued at
+//! scheduled arrival times drawn ahead of the run, regardless of how fast the
+//! server answers — the workload shape a population of independent mobile
+//! users produces, and the only shape that exposes queueing collapse (a
+//! closed-loop driver slows down with the server and never pushes it past the
+//! knee).  This module provides the two generator-side ingredients: a Poisson
+//! arrival process and a Zipf-skewed sampler over `(privacy_level, δ)`
+//! request keys, mirroring the venue-popularity skew of [`crate::ZipfSampler`]
+//! at the request level.
+
+use crate::ZipfSampler;
+use rand::Rng;
+use std::time::Duration;
+
+/// Draw the arrival offsets of an open-loop Poisson process.
+///
+/// Returns the scheduled send time of every request as an offset from the
+/// start of the run: inter-arrival gaps are exponential with mean
+/// `1 / rate_hz`, so the expected count is `rate_hz * duration` and arrivals
+/// are strictly increasing.  A load generator replays these offsets against
+/// the wall clock and measures each request's latency from its *scheduled*
+/// time, which keeps the measurement free of coordinated omission.
+///
+/// # Panics
+/// Panics if `rate_hz` is not finite and positive.
+pub fn open_loop_arrivals<R: Rng>(rate_hz: f64, duration: Duration, rng: &mut R) -> Vec<Duration> {
+    assert!(
+        rate_hz.is_finite() && rate_hz > 0.0,
+        "invalid arrival rate {rate_hz}"
+    );
+    let horizon = duration.as_secs_f64();
+    let mut arrivals = Vec::with_capacity((rate_hz * horizon).ceil() as usize);
+    let mut t = 0.0;
+    loop {
+        // Inverse-CDF exponential gap; `1 - u` keeps ln away from zero.
+        let u: f64 = rng.gen();
+        t += -(1.0 - u).ln() / rate_hz;
+        if t >= horizon {
+            return arrivals;
+        }
+        arrivals.push(Duration::from_secs_f64(t));
+    }
+}
+
+/// A Zipf-skewed sampler over the `(privacy_level, δ)` request keys of a
+/// serving workload.
+///
+/// The key space is the cross product of the given privacy levels and
+/// δ ∈ `0..=max_delta` (the same grid a `WarmRequest` covers, so a mix can be
+/// fully precomputed before the run); rank 0 (the hottest key) is the first
+/// level at δ = 0, and popularity decays as `1 / (rank + 1)^exponent`.  An
+/// exponent of 0 yields a uniform mix; around 1.0 reproduces the strong skew
+/// a cache-warmed server sees in practice, where a handful of policy settings
+/// dominate traffic.
+#[derive(Debug, Clone)]
+pub struct RequestMix {
+    keys: Vec<(u8, usize)>,
+    sampler: ZipfSampler,
+}
+
+impl RequestMix {
+    /// Build a mix over `levels × (0..=max_delta)` with the given Zipf
+    /// exponent.
+    ///
+    /// # Panics
+    /// Panics if `levels` is empty or the exponent is not finite and
+    /// non-negative (see [`ZipfSampler::new`]).
+    pub fn new(levels: &[u8], max_delta: usize, exponent: f64) -> Self {
+        assert!(!levels.is_empty(), "request mix needs at least one level");
+        let mut keys = Vec::with_capacity(levels.len() * (max_delta + 1));
+        for &level in levels {
+            for delta in 0..=max_delta {
+                keys.push((level, delta));
+            }
+        }
+        let sampler = ZipfSampler::new(keys.len(), exponent);
+        Self { keys, sampler }
+    }
+
+    /// The key space in rank order (rank 0 is the most popular).
+    pub fn keys(&self) -> &[(u8, usize)] {
+        &self.keys
+    }
+
+    /// Probability of the key at `rank`.
+    pub fn probability(&self, rank: usize) -> f64 {
+        self.sampler.probability(rank)
+    }
+
+    /// Draw one `(privacy_level, δ)` request key.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> (u8, usize) {
+        self.keys[self.sampler.sample(rng)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_are_increasing_and_within_the_horizon() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let horizon = Duration::from_secs(2);
+        let arrivals = open_loop_arrivals(500.0, horizon, &mut rng);
+        for pair in arrivals.windows(2) {
+            assert!(pair[0] < pair[1], "arrival times strictly increase");
+        }
+        assert!(arrivals.iter().all(|t| *t < horizon));
+    }
+
+    #[test]
+    fn arrival_count_matches_the_rate() {
+        let mut rng = StdRng::seed_from_u64(23);
+        // Expected 5000 arrivals; Poisson σ ≈ 71, so ±5% is a loose bound.
+        let arrivals = open_loop_arrivals(1000.0, Duration::from_secs(5), &mut rng);
+        let n = arrivals.len() as f64;
+        assert!(
+            (n - 5000.0).abs() < 250.0,
+            "got {n} arrivals for an expected 5000"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_under_a_fixed_seed() {
+        let a = open_loop_arrivals(200.0, Duration::from_secs(1), &mut StdRng::seed_from_u64(7));
+        let b = open_loop_arrivals(200.0, Duration::from_secs(1), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn request_mix_covers_the_cross_product_in_rank_order() {
+        let mix = RequestMix::new(&[3, 5], 2, 1.0);
+        assert_eq!(
+            mix.keys(),
+            &[(3, 0), (3, 1), (3, 2), (5, 0), (5, 1), (5, 2)]
+        );
+        // Rank 0 is strictly the most popular under a positive exponent.
+        assert!(mix.probability(0) > mix.probability(5));
+    }
+
+    #[test]
+    fn request_mix_samples_only_declared_keys() {
+        let mix = RequestMix::new(&[2, 4, 6], 1, 1.1);
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..1000 {
+            let key = mix.sample(&mut rng);
+            assert!(mix.keys().contains(&key));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for [`corgi_datagen::ZipfSampler`]: sampled frequencies
+//! track the analytic distribution across the whole `(n, exponent)` space,
+//! sampling is deterministic under a fixed seed, and the degenerate corners
+//! (exponent 0 → uniform, n = 1 → constant) hold exactly.
+
+use corgi_datagen::ZipfSampler;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Empirical rank frequencies match the analytic Zipf probabilities
+    /// within a sampling-noise tolerance, and the rank order is respected:
+    /// under any positive exponent rank 0 stays the most frequent.
+    #[test]
+    fn sampled_frequencies_match_the_exponent(
+        n in 2usize..40,
+        exponent in 0.0f64..2.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let sampler = ZipfSampler::new(n, exponent);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 20_000usize;
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        // Binomial σ for a rank of probability p is √(p(1−p)/draws) ≤ 0.0036
+        // at draws = 20k; 0.02 is a > 5σ bound, so flakes mean a real bug.
+        for rank in 0..n {
+            let freq = counts[rank] as f64 / draws as f64;
+            prop_assert!(
+                (freq - sampler.probability(rank)).abs() < 0.02,
+                "rank {} of n={} s={}: frequency {} vs probability {}",
+                rank, n, exponent, freq, sampler.probability(rank)
+            );
+        }
+        if exponent > 0.2 && n >= 4 {
+            prop_assert!(
+                counts[0] > counts[n - 1],
+                "rank 0 ({}) must dominate the tail rank ({}) at s={}",
+                counts[0], counts[n - 1], exponent
+            );
+        }
+    }
+
+    /// The same seed reproduces the same draw sequence exactly — the property
+    /// the load harness relies on to replay identical workloads.
+    #[test]
+    fn sampling_is_deterministic_under_a_fixed_seed(
+        n in 1usize..100,
+        exponent in 0.0f64..2.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let sampler = ZipfSampler::new(n, exponent);
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            prop_assert_eq!(sampler.sample(&mut a), sampler.sample(&mut b));
+        }
+    }
+
+    /// Exponent 0 degenerates to the uniform distribution over every rank.
+    #[test]
+    fn exponent_zero_is_uniform(n in 1usize..200) {
+        let sampler = ZipfSampler::new(n, 0.0);
+        let uniform = 1.0 / n as f64;
+        for rank in 0..n {
+            prop_assert!(
+                (sampler.probability(rank) - uniform).abs() < 1e-12,
+                "rank {} of n={}: probability {} vs uniform {}",
+                rank, n, sampler.probability(rank), uniform
+            );
+        }
+    }
+
+    /// A single-rank sampler always returns rank 0 with probability 1.
+    #[test]
+    fn single_rank_always_samples_zero(exponent in 0.0f64..3.0, seed in 0u64..1_000_000) {
+        let sampler = ZipfSampler::new(1, exponent);
+        prop_assert!((sampler.probability(0) - 1.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(sampler.sample(&mut rng), 0);
+        }
+    }
+}

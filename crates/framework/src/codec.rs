@@ -317,6 +317,9 @@ fn kind_to_byte(kind: ServiceErrorKind) -> u8 {
         ServiceErrorKind::Generation => 2,
         ServiceErrorKind::Transport => 3,
         ServiceErrorKind::Internal => 4,
+        // Added in protocol 1.3 (admission-control sheds); bytes are
+        // append-only so 1.2 decoders keep reading every pre-1.3 kind.
+        ServiceErrorKind::Overloaded => 5,
     }
 }
 
@@ -327,6 +330,7 @@ fn byte_to_kind(byte: u8) -> Result<ServiceErrorKind, WireError> {
         2 => Ok(ServiceErrorKind::Generation),
         3 => Ok(ServiceErrorKind::Transport),
         4 => Ok(ServiceErrorKind::Internal),
+        5 => Ok(ServiceErrorKind::Overloaded),
         other => Err(WireError::new(format!("unknown error kind {other}"))),
     }
 }
@@ -788,6 +792,10 @@ mod tests {
         binary_roundtrip(&ResponseEnvelope::error(
             0,
             ServiceError::new(ServiceErrorKind::Generation, "solver diverged"),
+        ));
+        binary_roundtrip(&ResponseEnvelope::error(
+            7,
+            ServiceError::overloaded("dispatch backlog at 64; retry"),
         ));
         binary_roundtrip(&WarmRequest {
             privacy_levels: vec![1, 2, 3],

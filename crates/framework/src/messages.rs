@@ -80,12 +80,16 @@ pub struct ProtocolVersion {
 ///
 /// History: 1.0 introduced the envelopes; 1.1 added the [`Transport`]
 /// error kind and the framed TCP handshake of [`crate::transport`]; 1.2
-/// added codec negotiation and the binary frame codec ([`WireCodec`]).
-/// Every step is additive, so 1.0 and 1.1 peers still interoperate
-/// (a 1.2 side falls back to JSON frames for them).
+/// added codec negotiation and the binary frame codec ([`WireCodec`]);
+/// 1.3 added the [`Overloaded`] error kind, replied by a server whose
+/// admission control sheds a request instead of queueing it unboundedly.
+/// Every step is additive, so 1.0–1.2 peers still interoperate (a 1.3
+/// side falls back to JSON frames for pre-1.2 peers; an overloaded reply
+/// is only ever sent in response to live traffic).
 ///
 /// [`Transport`]: ServiceErrorKind::Transport
-pub const PROTOCOL_VERSION: ProtocolVersion = ProtocolVersion { major: 1, minor: 2 };
+/// [`Overloaded`]: ServiceErrorKind::Overloaded
+pub const PROTOCOL_VERSION: ProtocolVersion = ProtocolVersion { major: 1, minor: 3 };
 
 impl ProtocolVersion {
     /// Whether an envelope carrying `other` can be served by this version.
@@ -222,6 +226,12 @@ pub enum ServiceErrorKind {
     /// The wire transport failed: malformed or oversized frame, unexpected
     /// frame kind, connection loss, or an I/O timeout (added in 1.1).
     Transport,
+    /// The server shed this request under load instead of queueing it
+    /// (added in 1.3).  Unlike every other kind this one is *retryable*: the
+    /// request was well-formed and the connection remains synchronized — the
+    /// server simply refused to take on more work right now.  Clients should
+    /// back off and retry on the same connection.
+    Overloaded,
     /// Any other server-side failure.
     Internal,
 }
@@ -257,6 +267,22 @@ impl ServiceError {
     pub fn transport(message: impl Into<String>) -> Self {
         Self::new(ServiceErrorKind::Transport, message)
     }
+
+    /// The reply sent when admission control sheds a request under load.
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        Self::new(ServiceErrorKind::Overloaded, message)
+    }
+
+    /// Whether the failed request may simply be retried.
+    ///
+    /// True only for [`ServiceErrorKind::Overloaded`]: the request was
+    /// well-formed and the connection is still synchronized, the server just
+    /// refused to queue more work.  Every other kind signals a fault that a
+    /// blind retry would repeat (or a transport failure that requires a
+    /// reconnect first).
+    pub fn is_retryable(&self) -> bool {
+        self.kind == ServiceErrorKind::Overloaded
+    }
 }
 
 impl fmt::Display for ServiceError {
@@ -290,6 +316,7 @@ impl From<ServiceError> for CorgiError {
             ServiceErrorKind::Generation => CorgiError::Solver(e.message),
             ServiceErrorKind::UnsupportedVersion
             | ServiceErrorKind::Transport
+            | ServiceErrorKind::Overloaded
             | ServiceErrorKind::Internal => CorgiError::Grid(e.message),
         }
     }
@@ -490,6 +517,28 @@ mod tests {
         let e: ServiceError = CorgiError::Solver("infeasible".into()).into();
         assert_eq!(e.kind, ServiceErrorKind::Generation);
         assert!(matches!(CorgiError::from(e), CorgiError::Solver(_)));
+    }
+
+    #[test]
+    fn overloaded_is_the_only_retryable_kind() {
+        let shed = ServiceError::overloaded("dispatch backlog at 64");
+        assert_eq!(shed.kind, ServiceErrorKind::Overloaded);
+        assert!(shed.is_retryable());
+        // Round-trips through JSON like every other kind.
+        let json = serde_json::to_string(&shed).unwrap();
+        let back: ServiceError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, shed);
+        // Every non-overloaded kind is not retryable: a blind retry would
+        // repeat the fault (or needs a reconnect first).
+        for kind in [
+            ServiceErrorKind::UnsupportedVersion,
+            ServiceErrorKind::InvalidRequest,
+            ServiceErrorKind::Generation,
+            ServiceErrorKind::Transport,
+            ServiceErrorKind::Internal,
+        ] {
+            assert!(!ServiceError::new(kind, "x").is_retryable());
+        }
     }
 
     #[test]

@@ -66,6 +66,9 @@ struct PoolShared {
     respawned: AtomicUsize,
     shutting_down: AtomicBool,
     worker_counter: AtomicUsize,
+    /// Jobs submitted but not yet finished (queued + running); the signal
+    /// admission control reads to decide whether the pool is saturated.
+    outstanding: AtomicUsize,
 }
 
 impl PoolShared {
@@ -112,6 +115,7 @@ impl ThreadPool {
             respawned: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
             worker_counter: AtomicUsize::new(0),
+            outstanding: AtomicUsize::new(0),
         });
         for _ in 0..threads {
             shared
@@ -135,12 +139,24 @@ impl ThreadPool {
         self.shared.respawned.load(Ordering::Acquire)
     }
 
+    /// Jobs submitted but not yet finished: queued plus currently running.
+    ///
+    /// A backlog persistently above [`ThreadPool::threads`] means submitters
+    /// are producing work faster than the workers retire it; the serving
+    /// reactor's admission control sheds requests once this crosses its
+    /// configured bound instead of letting the queue (and every queued
+    /// request's latency) grow without limit.
+    pub fn backlog(&self) -> usize {
+        self.shared.outstanding.load(Ordering::Acquire)
+    }
+
     /// Enqueue a job for execution on some worker.
     ///
     /// If the job panics, the panic unwinds its worker (the panic message goes
     /// to the panic hook as usual) and a replacement worker is spawned; use
     /// [`ThreadPool::try_run_ordered`] when the submitter needs the outcome.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
         self.sender
             .as_ref()
             .expect("pool is live until dropped")
@@ -228,6 +244,18 @@ impl Drop for ThreadPool {
     }
 }
 
+/// Decrements the outstanding-job count when a job finishes, whether it
+/// returned or unwound.
+struct BacklogGuard {
+    shared: Arc<PoolShared>,
+}
+
+impl Drop for BacklogGuard {
+    fn drop(&mut self) {
+        self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// Spawns a replacement worker if the thread unwinds while holding it (i.e. a
 /// raw `execute` job panicked); does nothing on orderly exit or shutdown.
 struct RespawnGuard {
@@ -259,7 +287,15 @@ fn worker_loop(shared: &Arc<PoolShared>) {
         };
         match job {
             // A panicking job unwinds through here; the guard respawns us.
-            Ok(job) => job(),
+            // The backlog decrement rides a drop guard so a panicking job
+            // cannot leak a phantom backlog entry (which would eventually
+            // wedge admission control into shedding everything).
+            Ok(job) => {
+                let _backlog = BacklogGuard {
+                    shared: Arc::clone(shared),
+                };
+                job();
+            }
             Err(_) => return,
         }
     }
@@ -345,6 +381,40 @@ mod tests {
         assert_eq!(pool.respawned_workers(), 1, "replacement worker spawned");
         // The replacement processes subsequent work: the pool self-healed.
         assert_eq!(pool.run_ordered(vec![|| 40, || 2]), vec![40, 2]);
+    }
+
+    #[test]
+    fn backlog_tracks_outstanding_jobs_and_drains_to_zero() {
+        let pool = ThreadPool::new(1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let gate_rx = Arc::new(Mutex::new(gate_rx));
+        // One job occupies the single worker until released; more queue up.
+        for _ in 0..4 {
+            let gate_rx = Arc::clone(&gate_rx);
+            pool.execute(move || {
+                let _ = gate_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+            });
+        }
+        assert_eq!(pool.backlog(), 4, "queued + running jobs all count");
+        for _ in 0..4 {
+            gate_tx.send(()).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.backlog() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(pool.backlog(), 0, "finished jobs leave no phantom backlog");
+    }
+
+    #[test]
+    fn backlog_decrements_when_a_job_panics() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("sheds must not wedge"));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.backlog() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(pool.backlog(), 0, "panicked job still decrements");
     }
 
     #[test]

@@ -79,6 +79,26 @@
 //! bounded write queue plus an in-flight cap: a connection at either bound
 //! stops being read until it drains.
 //!
+//! # Admission control
+//!
+//! Per-connection backpressure cannot protect the server from *many*
+//! connections each offering a modest rate: every queue stays under its local
+//! bound while the shared dispatch pool's backlog — and therefore every
+//! queued request's latency — grows without limit.  The reactor therefore
+//! applies admission control at the dispatch boundary: a `Request` frame that
+//! arrives while the pool backlog ([`ThreadPool::backlog`]) is at or past
+//! [`TransportConfig::max_dispatch_backlog`] is *shed* — answered immediately
+//! with a structured [`ServiceErrorKind::Overloaded`] error echoing the
+//! request's own id — instead of queued.  Shedding is not a protocol failure:
+//! the connection stays open and synchronized, the client sees a retryable
+//! error (see [`ServiceError::is_retryable`]), and the requests the server
+//! *does* admit complete at bounded latency.  `Warm` frames are exempt: their
+//! key count is already bounded by [`TransportConfig::max_warm_keys`] and
+//! warming is an explicit operator action, not open-loop traffic.  Shed and
+//! admitted counts are visible as [`TransportStats::requests_shed`] /
+//! [`TransportStats::requests_admitted`], and the read-side memory bound as
+//! [`TransportStats::read_buffer_high_water`].
+//!
 //! [`ProtocolVersion`]: crate::messages::ProtocolVersion
 //! [`ServiceErrorKind::Transport`]: crate::messages::ServiceErrorKind::Transport
 //! [`oneshot`]: crate::executor::oneshot
@@ -343,6 +363,15 @@ pub struct TransportConfig {
     /// server-wide concurrent generations; the LP fan-out below it is sized by
     /// [`crate::ServerConfig::worker_threads`].
     pub dispatch_threads: usize,
+    /// Server-wide admission bound: a `Request` frame arriving while the
+    /// dispatch pool's backlog (queued + running jobs, across *all*
+    /// connections) is at or past this count is shed with a structured
+    /// [`ServiceErrorKind::Overloaded`] reply instead of queued.  This is the
+    /// knob that turns "queue grows without limit under overload" into
+    /// "bounded latency for admitted requests, fast retryable errors for the
+    /// rest".  The default (64) keeps worst-case queueing delay at
+    /// `64 / dispatch_threads` service times.
+    pub max_dispatch_backlog: usize,
     /// Reactor tick: how often sockets parked on `WouldBlock` are re-polled.
     pub io_poll_interval: Duration,
     /// How long a fresh connection may take to complete the hello exchange
@@ -368,6 +397,7 @@ impl Default for TransportConfig {
             write_queue_depth: 64,
             max_inflight_per_connection: 128,
             dispatch_threads: 4,
+            max_dispatch_backlog: 64,
             io_poll_interval: Duration::from_micros(500),
             handshake_timeout: Duration::from_secs(5),
             max_warm_keys: 1024,
@@ -404,6 +434,17 @@ pub struct TransportStats {
     /// Times a connection hit a backpressure bound (write queue or in-flight
     /// cap) and reading from it was suspended until it drained.
     pub backpressure_stalls: u64,
+    /// Requests accepted past admission control and queued on the dispatch
+    /// pool (server only).
+    pub requests_admitted: u64,
+    /// Requests shed by admission control with an
+    /// [`ServiceErrorKind::Overloaded`] reply because the dispatch backlog was
+    /// at [`TransportConfig::max_dispatch_backlog`] (server only).
+    pub requests_shed: u64,
+    /// Largest number of bytes any single connection's read buffer has held —
+    /// the observable face of the inbound memory bound (one maximal frame
+    /// plus a read chunk of slack per connection, never more).
+    pub read_buffer_high_water: u64,
     /// Transport-level protocol failures (malformed frames, codec desyncs,
     /// oversized payloads) answered with a structured error.
     pub transport_errors: u64,
@@ -424,6 +465,9 @@ struct TransportMetrics {
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     backpressure_stalls: AtomicU64,
+    requests_admitted: AtomicU64,
+    requests_shed: AtomicU64,
+    read_buffer_high_water: AtomicU64,
     transport_errors: AtomicU64,
     poisoned_connections: AtomicU64,
 }
@@ -431,6 +475,11 @@ struct TransportMetrics {
 impl TransportMetrics {
     fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn raise_high_water(&self, bytes: u64) {
+        self.read_buffer_high_water
+            .fetch_max(bytes, Ordering::Relaxed);
     }
 
     fn count_codec(&self, codec: WireCodec) {
@@ -451,6 +500,9 @@ impl TransportMetrics {
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
+            requests_admitted: self.requests_admitted.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            read_buffer_high_water: self.read_buffer_high_water.load(Ordering::Relaxed),
             transport_errors: self.transport_errors.load(Ordering::Relaxed),
             poisoned_connections: self.poisoned_connections.load(Ordering::Relaxed),
         }
@@ -692,6 +744,7 @@ impl ConnectionTask {
                 Ok(n) => {
                     self.read_buf.extend_from_slice(&chunk[..n]);
                     TransportMetrics::add(&self.metrics.bytes_in, n as u64);
+                    self.metrics.raise_high_water(self.read_buf.len() as u64);
                     any = true;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -798,6 +851,25 @@ impl ConnectionTask {
                         return;
                     }
                 };
+                // Admission control: a saturated dispatch pool sheds instead
+                // of queueing.  The reply echoes the request's own id so the
+                // client correlates it like any other response — the
+                // connection stays open and synchronized (no drain), the
+                // error is retryable.
+                let backlog = self.dispatch.backlog();
+                if backlog >= self.config.max_dispatch_backlog {
+                    TransportMetrics::add(&self.metrics.requests_shed, 1);
+                    let reply = ResponseEnvelope::error(
+                        envelope.request_id,
+                        ServiceError::overloaded(format!(
+                            "dispatch backlog at {backlog} (limit {}); retry with backoff",
+                            self.config.max_dispatch_backlog
+                        )),
+                    );
+                    self.queue_frame(codec.encode_frame(&reply));
+                    return;
+                }
+                TransportMetrics::add(&self.metrics.requests_admitted, 1);
                 let (tx, rx) = oneshot::channel();
                 self.pending.push(PendingReply {
                     request_id: envelope.request_id,

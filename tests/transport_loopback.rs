@@ -8,8 +8,8 @@ use corgi::datagen::{
     GowallaLikeConfig, GowallaLikeGenerator, LocationMetadata, PriorDistribution,
 };
 use corgi::framework::messages::{
-    MatrixRequest, ProtocolVersion, RequestEnvelope, ResponseEnvelope, ServiceErrorKind,
-    PROTOCOL_VERSION,
+    MatrixRequest, PrivacyForestResponse, ProtocolVersion, RequestEnvelope, ResponseEnvelope,
+    ServiceError, ServiceErrorKind, PROTOCOL_VERSION,
 };
 use corgi::framework::transport::{
     encode_frame, FrameKind, HelloFrame, HelloReply, FRAME_HEADER_LEN, FRAME_MAGIC,
@@ -24,8 +24,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 fn caching_stack() -> Arc<CachingService<ForestGenerator>> {
     let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
@@ -569,6 +569,239 @@ fn shutdown_closes_the_listener_and_open_connections() {
             "a shut-down server must not answer new handshakes"
         );
     }
+}
+
+#[test]
+fn overload_shed_is_retryable_and_does_not_poison_the_connection() {
+    // Regression for the admission-control reply path: a shed used to be
+    // indistinguishable from a protocol failure to the client.  The contract
+    // is that an `Overloaded` reply echoes the real request id, flows through
+    // `into_result()` as a retryable structured error, and leaves the
+    // connection healthy — the *same* transport retries successfully.
+    struct GatedService {
+        inner: Arc<CachingService<ForestGenerator>>,
+        state: Arc<(Mutex<GateState>, Condvar)>,
+    }
+    #[derive(Default)]
+    struct GateState {
+        entered: bool,
+        open: bool,
+    }
+    impl MatrixService for GatedService {
+        fn privacy_forest(
+            &self,
+            request: MatrixRequest,
+        ) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
+            let (lock, cvar) = &*self.state;
+            let mut state = lock.lock().unwrap();
+            state.entered = true;
+            cvar.notify_all();
+            while !state.open {
+                state = cvar.wait(state).unwrap();
+            }
+            drop(state);
+            self.inner.privacy_forest(request)
+        }
+        fn tree(&self) -> Arc<LocationTree> {
+            self.inner.tree()
+        }
+        fn prior(&self) -> Arc<PriorDistribution> {
+            self.inner.prior()
+        }
+    }
+
+    let state = Arc::new((Mutex::new(GateState::default()), Condvar::new()));
+    let service = Arc::new(GatedService {
+        inner: caching_stack(),
+        state: state.clone(),
+    });
+    // One dispatch thread, backlog limit 1: a single in-flight request
+    // saturates the server.
+    let config = TransportConfig {
+        dispatch_threads: 1,
+        max_dispatch_backlog: 1,
+        ..TransportConfig::default()
+    };
+    let server = TcpServer::bind("127.0.0.1:0", service as Arc<dyn MatrixService>, config)
+        .expect("binding a loopback server");
+    let addr = server.local_addr();
+    let request = MatrixRequest {
+        privacy_level: 1,
+        delta: 0,
+    };
+
+    // Occupy the only dispatch thread with a request parked on the gate…
+    let blocker = TcpTransport::connect(addr).unwrap();
+    let blocked = std::thread::spawn(move || blocker.privacy_forest(request));
+    {
+        let (lock, cvar) = &*state;
+        let mut s = lock.lock().unwrap();
+        while !s.entered {
+            let (next, timeout) = cvar.wait_timeout(s, Duration::from_secs(10)).unwrap();
+            assert!(!timeout.timed_out(), "blocker never reached the service");
+            s = next;
+        }
+    }
+
+    // …so a second connection's request is shed: a structured, retryable
+    // Overloaded error on an unpoisoned connection.
+    let probe = TcpTransport::connect(addr).unwrap();
+    let error = probe.privacy_forest(request).unwrap_err();
+    assert_eq!(error.kind, ServiceErrorKind::Overloaded);
+    assert!(error.is_retryable(), "{error:?}");
+    assert!(error.message.contains("retry"), "{}", error.message);
+    assert_eq!(probe.stats().poisoned_connections, 0);
+
+    // Release the gate; the parked request completes normally.
+    {
+        let (lock, cvar) = &*state;
+        lock.lock().unwrap().open = true;
+        cvar.notify_all();
+    }
+    let forest = blocked.join().expect("blocker thread").unwrap();
+    assert_eq!(forest.entries.len(), 49);
+
+    // The shed connection retries with backoff — on the SAME transport — and
+    // succeeds once the backlog drains (the counter decrements just after
+    // the blocker's reply is queued, so a retry may race it briefly).
+    let mut retries = 0usize;
+    let forest = loop {
+        match probe.privacy_forest(request) {
+            Ok(forest) => break forest,
+            Err(e) if e.is_retryable() && retries < 200 => {
+                retries += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => panic!("retry failed with a non-retryable error: {e:?}"),
+        }
+    };
+    assert_eq!(forest.entries.len(), 49);
+    assert_eq!(probe.stats().poisoned_connections, 0);
+
+    let stats = server.stats();
+    assert_eq!(stats.requests_shed as usize, 1 + retries, "{stats:?}");
+    assert_eq!(stats.requests_admitted, 2, "{stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn soak_connection_churn_with_aborts_and_malformed_peers() {
+    // Thousands of short-lived connections — clean request/close cycles
+    // interleaved with abrupt post-handshake disconnects and malformed-frame
+    // peers — must leave the server with every accepted connection closed,
+    // no poisoned-but-live state, exactly one counted transport error per
+    // malformed peer, and a bounded read-buffer high-water mark.
+    let caching = caching_stack();
+    let server = start_server(caching.clone() as Arc<dyn MatrixService>);
+    let addr = server.local_addr();
+    let request = MatrixRequest {
+        privacy_level: 1,
+        delta: 0,
+    };
+
+    // Prime the cache so each cycle's request is a warm hit and the soak
+    // exercises the connection lifecycle, not the solver.
+    assert_eq!(
+        TcpTransport::connect(addr)
+            .unwrap()
+            .privacy_forest(request)
+            .unwrap()
+            .entries
+            .len(),
+        49
+    );
+
+    let threads = 3usize;
+    let iterations = 700usize;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut malformed = 0u64;
+                for i in 0..iterations {
+                    match (t + i) % 7 {
+                        // Abrupt close right after the handshake: a clean EOF
+                        // to the server, not a protocol failure.
+                        5 => {
+                            let mut stream = TcpStream::connect(addr).unwrap();
+                            stream
+                                .set_read_timeout(Some(Duration::from_secs(30)))
+                                .unwrap();
+                            assert!(matches!(
+                                send_hello(&mut stream, PROTOCOL_VERSION),
+                                HelloReply::Accepted { .. }
+                            ));
+                            drop(stream);
+                        }
+                        // Malformed peer: garbage instead of a frame gets a
+                        // structured Transport error, then the close.
+                        6 => {
+                            let mut stream = TcpStream::connect(addr).unwrap();
+                            stream
+                                .set_read_timeout(Some(Duration::from_secs(30)))
+                                .unwrap();
+                            assert!(matches!(
+                                send_hello(&mut stream, PROTOCOL_VERSION),
+                                HelloReply::Accepted { .. }
+                            ));
+                            stream.write_all(b"XXXXXXXXXXXXXXXX").unwrap();
+                            let (kind, payload) = read_frame(&mut stream).unwrap();
+                            assert_eq!(kind, FrameKind::Response as u8);
+                            let reply: ResponseEnvelope =
+                                serde_json::from_str(std::str::from_utf8(&payload).unwrap())
+                                    .unwrap();
+                            let error = reply.into_result().unwrap_err();
+                            assert_eq!(error.kind, ServiceErrorKind::Transport);
+                            malformed += 1;
+                        }
+                        // Clean cycle: connect, one request, disconnect.
+                        _ => {
+                            let transport = TcpTransport::connect(addr).unwrap();
+                            let forest = transport.privacy_forest(request).unwrap();
+                            assert_eq!(forest.entries.len(), 49);
+                            assert_eq!(transport.stats().poisoned_connections, 0);
+                        }
+                    }
+                }
+                malformed
+            })
+        })
+        .collect();
+    let malformed: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("soak thread"))
+        .sum();
+
+    // EOF processing is asynchronous to the client's drop; poll until the
+    // close counter catches up with the accept counter.
+    let expected = (threads * iterations + 1) as u64; // +1 for the priming connection
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let stats = loop {
+        let stats = server.stats();
+        if stats.connections_accepted >= expected
+            && stats.connections_closed == stats.connections_accepted
+        {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "connections never drained: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(stats.connections_accepted, expected, "{stats:?}");
+    assert_eq!(stats.connections_closed, expected, "{stats:?}");
+    assert_eq!(stats.transport_errors, malformed, "{stats:?}");
+    assert_eq!(stats.poisoned_connections, 0, "{stats:?}");
+    // The inbound memory bound holds across the whole soak: no connection's
+    // read buffer ever exceeded one maximal frame plus the refill slack.
+    let config = TransportConfig::default();
+    let bound = (config.max_inbound_frame + FRAME_HEADER_LEN + 4096) as u64;
+    assert!(
+        stats.read_buffer_high_water > 0 && stats.read_buffer_high_water <= bound,
+        "read-buffer high water {} outside (0, {bound}]",
+        stats.read_buffer_high_water
+    );
+    server.shutdown();
 }
 
 #[test]

@@ -20,10 +20,18 @@
 //! When the environment variable `CORGI_BENCH_JSON` names a file, every
 //! benchmark (in real bench mode) **appends one JSON object per line** with its
 //! post-rejection statistics (`name`, `median_ns`, `min_ns`, `max_ns`,
-//! `mean_ns`, `stddev_ns`, `cv_pct`, `samples`, `outliers_rejected`).  CI
-//! collects these lines as `BENCH_results.json` and feeds them to the
-//! `perf_gate` binary, which fails the build when a named bench regresses
-//! against the checked-in `BENCH_baseline.json`.
+//! `mean_ns`, `stddev_ns`, `cv_pct`, `samples`, `outliers_rejected`, and the
+//! tail percentiles `p50_ns` / `p99_ns` / `p999_ns`).  CI collects these
+//! lines as `BENCH_results.json` and feeds them to the `perf_gate` binary,
+//! which fails the build when a named bench regresses against the checked-in
+//! `BENCH_baseline.json` — gating on `median_ns` by default, or on whichever
+//! field a baseline entry names in `gate_field`.
+//!
+//! Beyond per-sample timing, the shim offers an HDR-style [`Histogram`] for
+//! harnesses that record thousands to millions of latencies (e.g. the
+//! `loadgen` open-loop driver): log-bucketed at ≤ ~1.6% relative error with a
+//! fixed ~30 KiB footprint, reported through the same JSONL path by
+//! [`report_histogram`].
 //!
 //! When the binary is *not* invoked by `cargo bench` (no `--bench` flag, e.g.
 //! under `cargo test`, which runs `harness = false` bench targets in test
@@ -289,6 +297,13 @@ struct SampleStats {
     stddev_ns: f64,
     /// Coefficient of variation (σ / mean) in percent.
     cv_pct: f64,
+    /// Tail percentiles of the retained samples (p50 equals the median).
+    p50_ns: f64,
+    /// 99th percentile of the retained samples.
+    p99_ns: f64,
+    /// 99.9th percentile of the retained samples (equals the max until the
+    /// sample count reaches the thousands).
+    p999_ns: f64,
     /// Number of samples retained after outlier rejection.
     samples: usize,
     outliers_rejected: usize,
@@ -319,12 +334,17 @@ impl SampleStats {
             .sum::<f64>()
             / n as f64;
         let stddev = var.sqrt();
+        // Nearest-rank percentile over the sorted retained samples.
+        let at = |q: f64| retained[(((n - 1) as f64) * q).round() as usize];
         SampleStats {
             median_ns: retained[n / 2],
             min_ns: retained[0],
             max_ns: retained[n - 1],
             mean_ns: mean,
             stddev_ns: stddev,
+            p50_ns: at(0.50),
+            p99_ns: at(0.99),
+            p999_ns: at(0.999),
             cv_pct: if mean > 0.0 {
                 100.0 * stddev / mean
             } else {
@@ -363,7 +383,7 @@ fn append_json_line(
         .open(path)?;
     writeln!(
         file,
-        "{{\"name\":\"{}\",\"median_ns\":{:.0},\"min_ns\":{:.0},\"max_ns\":{:.0},\"mean_ns\":{:.0},\"stddev_ns\":{:.0},\"cv_pct\":{:.2},\"samples\":{},\"outliers_rejected\":{}}}",
+        "{{\"name\":\"{}\",\"median_ns\":{:.0},\"min_ns\":{:.0},\"max_ns\":{:.0},\"mean_ns\":{:.0},\"stddev_ns\":{:.0},\"cv_pct\":{:.2},\"p50_ns\":{:.0},\"p99_ns\":{:.0},\"p999_ns\":{:.0},\"samples\":{},\"outliers_rejected\":{}}}",
         escape_json(label),
         stats.median_ns,
         stats.min_ns,
@@ -371,9 +391,230 @@ fn append_json_line(
         stats.mean_ns,
         stats.stddev_ns,
         stats.cv_pct,
+        stats.p50_ns,
+        stats.p99_ns,
+        stats.p999_ns,
         stats.samples,
         stats.outliers_rejected,
     )
+}
+
+// ---------------------------------------------------------------------------
+// Latency histograms
+// ---------------------------------------------------------------------------
+
+/// Sub-bucket resolution: 2^6 = 64 linear sub-buckets per power of two,
+/// bounding the relative quantization error at 1/64 ≈ 1.6%.
+const HIST_SUB_BITS: u32 = 6;
+/// Bucket count covering every `u64` nanosecond value at that resolution.
+const HIST_BUCKETS: usize = ((64 - HIST_SUB_BITS) as usize + 1) << HIST_SUB_BITS;
+
+/// An HDR-style log-bucketed latency histogram.
+///
+/// Values (nanoseconds) below 2^6 = 64 are recorded exactly; above that, each
+/// power-of-two range splits into 64 linear sub-buckets, so any recorded
+/// value is reported within ~1.6% of its true magnitude.  The footprint is a
+/// fixed ~30 KiB regardless of sample count, which is what lets an open-loop
+/// load run record millions of latencies without per-sample allocation.
+///
+/// ```
+/// use criterion::Histogram;
+/// let mut h = Histogram::new();
+/// for ns in [250u64, 300, 400, 90_000] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(50.0) >= 250 && h.percentile(50.0) <= 310);
+/// assert!(h.percentile(99.9) >= 90_000);
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; HIST_BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_index(ns: u64) -> usize {
+        if ns < (1 << HIST_SUB_BITS) {
+            return ns as usize;
+        }
+        let exp = 63 - ns.leading_zeros();
+        let shift = exp - HIST_SUB_BITS;
+        let sub = ((ns >> shift) as usize) - (1 << HIST_SUB_BITS);
+        (((exp - HIST_SUB_BITS + 1) as usize) << HIST_SUB_BITS) + sub
+    }
+
+    /// Highest value a bucket represents — percentiles read this bound, so
+    /// quantization always rounds *up* (never under-reports a latency).
+    fn bucket_high(index: usize) -> u64 {
+        if index < (1 << HIST_SUB_BITS) {
+            return index as u64;
+        }
+        let exp = (index >> HIST_SUB_BITS) as u32 + HIST_SUB_BITS - 1;
+        let sub = (index & ((1 << HIST_SUB_BITS) - 1)) as u64;
+        let shift = exp - HIST_SUB_BITS;
+        ((sub + (1 << HIST_SUB_BITS) + 1) << shift) - 1
+    }
+
+    /// Record one latency in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket_index(ns)] += 1;
+        self.total += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Record one latency as a [`Duration`] (saturating at `u64` nanoseconds).
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest recorded value, exact (not quantized).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean of the recorded values in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.total as f64
+        }
+    }
+
+    /// Value at the given percentile (0–100), e.g. `percentile(99.9)`.
+    ///
+    /// Reported from the containing bucket's upper bound, so the answer is
+    /// within +1.6% of the true order statistic and never below it.  Returns
+    /// 0 on an empty histogram; the exact [`Histogram::max_ns`] caps the
+    /// result.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_high(index).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Fold another histogram's recordings into this one — how per-connection
+    /// worker histograms combine into one run-level distribution.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.total)
+            .field("p50_ns", &self.percentile(50.0))
+            .field("p99_ns", &self.percentile(99.0))
+            .field("p999_ns", &self.percentile(99.9))
+            .field("max_ns", &self.max_ns)
+            .finish()
+    }
+}
+
+/// Report a recorded [`Histogram`] the way `run_one` reports sample timings:
+/// a human-readable percentile line on stdout, plus one JSONL record appended
+/// to the `CORGI_BENCH_JSON` file when that variable names one.
+///
+/// The record carries `name`, `median_ns` (= p50, so median-based tooling
+/// keeps working), `p50_ns`, `p99_ns`, `p999_ns`, `max_ns`, `mean_ns` and
+/// `samples`, then any caller-supplied `extras` pairs (e.g. a goodput rate),
+/// and finally `"gate_field"` when given — naming the field `perf_gate`
+/// should compare for this entry instead of `median_ns`.
+pub fn report_histogram(
+    label: &str,
+    histogram: &Histogram,
+    extras: &[(&str, f64)],
+    gate_field: Option<&str>,
+) {
+    let (p50, p99, p999) = (
+        histogram.percentile(50.0),
+        histogram.percentile(99.0),
+        histogram.percentile(99.9),
+    );
+    println!(
+        "{label:<50} p50 {:>12?}  p99 {:>12?}  p999 {:>12?}  max {:>12?}  ({} samples)",
+        Duration::from_nanos(p50),
+        Duration::from_nanos(p99),
+        Duration::from_nanos(p999),
+        Duration::from_nanos(histogram.max_ns()),
+        histogram.count(),
+    );
+    if let Some(path) = std::env::var_os("CORGI_BENCH_JSON") {
+        let mut line = format!(
+            "{{\"name\":\"{}\",\"median_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\"mean_ns\":{:.0},\"samples\":{}",
+            escape_json(label),
+            p50,
+            p50,
+            p99,
+            p999,
+            histogram.max_ns(),
+            histogram.mean_ns(),
+            histogram.count(),
+        );
+        for (key, value) in extras {
+            line.push_str(&format!(",\"{}\":{:.3}", escape_json(key), value));
+        }
+        if let Some(field) = gate_field {
+            line.push_str(&format!(",\"gate_field\":\"{}\"", escape_json(field)));
+        }
+        line.push('}');
+        let result = (|| -> std::io::Result<()> {
+            use std::io::Write;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)?;
+            writeln!(file, "{line}")
+        })();
+        if let Err(err) = result {
+            eprintln!("criterion shim: could not append to {path:?}: {err}");
+        }
+    }
 }
 
 fn format_throughput(throughput: Throughput, median: Duration) -> String {
@@ -551,5 +792,136 @@ mod tests {
         assert_eq!(escape_json("a\"b"), "a\\\"b");
         assert_eq!(escape_json("a\\b"), "a\\\\b");
         assert_eq!(escape_json("a\nb"), "a\\u000ab");
+    }
+
+    #[test]
+    fn sample_stats_report_tail_percentiles() {
+        // 0..1000 ns with no outliers: nearest-rank percentiles are exact.
+        let durations: Vec<Duration> = (0..=1000).map(Duration::from_nanos).collect();
+        let stats = SampleStats::from_durations(&durations);
+        assert_eq!(stats.p50_ns, 500.0);
+        assert_eq!(stats.p99_ns, 990.0);
+        assert_eq!(stats.p999_ns, 999.0);
+        assert_eq!(stats.p50_ns, stats.median_ns);
+    }
+
+    #[test]
+    fn histogram_is_exact_below_the_sub_bucket_floor() {
+        let mut h = Histogram::new();
+        for ns in 0u64..64 {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 64);
+        // Every value below 64 lands in its own bucket: percentiles are exact.
+        assert_eq!(h.percentile(50.0), 31);
+        assert_eq!(h.percentile(100.0), 63);
+    }
+
+    #[test]
+    fn histogram_quantization_error_stays_under_two_percent() {
+        // Single-value histograms across six decades: the reported p50 (the
+        // bucket's upper bound, capped at the exact max) must sit within
+        // [value, value * 1.016].
+        for ns in [
+            100u64,
+            1_234,
+            56_789,
+            987_654,
+            12_345_678,
+            999_999_999,
+            10u64.pow(12) + 7,
+        ] {
+            let mut h = Histogram::new();
+            h.record(ns);
+            let p50 = h.percentile(50.0);
+            assert!(p50 >= ns, "{p50} under-reports {ns}");
+            assert!(
+                p50 as f64 <= ns as f64 * 1.016,
+                "{p50} overshoots {ns} by more than 1.6%"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_order_and_cap_at_the_exact_max() {
+        let mut h = Histogram::new();
+        // 999 fast requests and one 50 ms straggler.
+        for _ in 0..999 {
+            h.record(1_000);
+        }
+        h.record(50_000_000);
+        let (p50, p99, p999) = (h.percentile(50.0), h.percentile(99.0), h.percentile(99.9));
+        assert!(p50 <= p99 && p99 <= p999);
+        assert!(p50 < 1_100, "p50 is unaffected by the straggler: {p50}");
+        assert!(p99 < 1_100, "p99 is unaffected by the straggler: {p99}");
+        assert_eq!(h.percentile(100.0), 50_000_000, "exact max caps the tail");
+        assert_eq!(h.max_ns(), 50_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_combines_worker_recordings() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..100 {
+            a.record(1_000);
+            b.record(100_000);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 200);
+        assert!(merged.percentile(25.0) < 2_000);
+        assert!(merged.percentile(75.0) > 90_000);
+        assert_eq!(merged.max_ns(), 100_000);
+        let mean = merged.mean_ns();
+        assert!((mean - 50_500.0).abs() < 1.0, "mean across merges: {mean}");
+    }
+
+    #[test]
+    fn histogram_empty_and_duration_recording() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        h.record_duration(Duration::from_micros(3));
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile(50.0) >= 3_000);
+    }
+
+    #[test]
+    fn report_histogram_appends_extras_and_gate_field() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_hist_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // The env var is process-global: restore whatever was there before.
+        let saved = std::env::var_os("CORGI_BENCH_JSON");
+        std::env::set_var("CORGI_BENCH_JSON", &path);
+        let mut h = Histogram::new();
+        for ns in [1_000u64, 2_000, 3_000] {
+            h.record(ns);
+        }
+        report_histogram(
+            "loadgen/test",
+            &h,
+            &[("goodput_rps", 123.456)],
+            Some("p99_ns"),
+        );
+        match saved {
+            Some(v) => std::env::set_var("CORGI_BENCH_JSON", v),
+            None => std::env::remove_var("CORGI_BENCH_JSON"),
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let line = body.lines().next().unwrap();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"name\":\"loadgen/test\""));
+        assert!(line.contains("\"p99_ns\":"));
+        assert!(line.contains("\"p999_ns\":"));
+        assert!(line.contains("\"samples\":3"));
+        assert!(line.contains("\"goodput_rps\":123.456"));
+        assert!(line.contains("\"gate_field\":\"p99_ns\""));
+        // median_ns mirrors p50 so median-based tooling keeps working.
+        assert!(line.contains("\"median_ns\":"));
     }
 }
