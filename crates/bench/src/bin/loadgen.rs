@@ -10,22 +10,31 @@
 //! loadgen [--rate HZ] [--duration-secs S] [--connections N] [--zipf S]
 //!         [--levels L1,L2,..] [--max-delta D] [--churn N] [--seed N]
 //!         [--timeout-secs S] [--label NAME] [--profile calibrated]
+//!         [--shards N] [--mode open|closed]
 //! ```
 //!
 //! `--profile calibrated` selects the fixed heavy-lane shape (the one the
 //! `BENCH_baseline.json` entry was recorded with); explicit flags override
-//! its fields.  The wire codec follows `CORGI_WIRE_CODEC` like every other
-//! client.  Exits nonzero if any request failed with a non-shed error or
-//! hung past its deadline.
+//! its fields.  `--shards N` boots N servers wired into a replicating
+//! cluster and drives them through a [`ShardRouter`] per worker, reporting
+//! per-shard completions.  `--mode closed` runs a closed-loop pass *after*
+//! the open-loop one and prints the p99 delta — the size of the queueing
+//! delay that closed-loop (coordinated-omission-prone) measurement hides.
+//! The wire codec follows `CORGI_WIRE_CODEC` like every other client.  Exits
+//! nonzero if any request failed with a non-shed error or hung past its
+//! deadline.
+//!
+//! [`ShardRouter`]: corgi_framework::ShardRouter
 
-use corgi_bench::loadgen::{run, LoadProfile};
+use corgi_bench::loadgen::{run_load, LoadMode, LoadProfile};
 use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
 use corgi_framework::{
-    CachingService, ForestGenerator, MatrixService, ServerConfig, TcpServer, TransportConfig,
-    WarmRequest,
+    CachingService, ForestGenerator, MatrixService, ReplicatingService, ReplicationConfig,
+    Replicator, ServerConfig, TcpServer, TransportConfig, WarmRequest,
 };
 use corgi_hexgrid::{HexGrid, HexGridConfig};
 use criterion::report_histogram;
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -93,44 +102,93 @@ fn main() {
             base.request_timeout.as_secs_f64(),
         )),
     };
-    let label = flag_value("--label")
-        .unwrap_or_else(|| if calibrated { "calibrated" } else { "smoke" }.to_string());
+    let shards = parse_flag("--shards", 1usize).max(1);
+    let closed_pass = match flag_value("--mode").as_deref() {
+        None | Some("open") => false,
+        Some("closed") => true,
+        Some(other) => panic!("invalid value {other:?} for --mode (open|closed)"),
+    };
+    let label = flag_value("--label").unwrap_or_else(|| {
+        let base = if calibrated { "calibrated" } else { "smoke" };
+        if shards > 1 {
+            format!("{base}-{shards}shard")
+        } else {
+            base.to_string()
+        }
+    });
 
     // The serving stack of the loopback benches: SF grid, synthetic check-ins,
     // fast solver settings — the measured path is frames → reactor → dispatch
-    // → cache, with every mix key warmed before load starts.
+    // → cache, with every mix key warmed before load starts.  With --shards N
+    // the same stack is booted N times and the shards are wired into a full
+    // replication mesh, exactly like examples/cluster.rs.
     let grid = HexGrid::new(HexGridConfig::san_francisco()).expect("static grid config is valid");
     let (dataset, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
     let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
-    let service = Arc::new(CachingService::with_defaults(ForestGenerator::new(
-        corgi_core::LocationTree::new(grid),
-        prior,
-        ServerConfig::builder()
-            .robust_iterations(1)
-            .targets_per_subtree(3)
-            .worker_threads(2)
-            .build(),
-    )));
+    let server_config = ServerConfig::builder()
+        .robust_iterations(1)
+        .targets_per_subtree(3)
+        .worker_threads(2)
+        .build();
     let warm_plan = WarmRequest {
         privacy_levels: profile.levels.clone(),
         deltas: (0..=profile.max_delta).collect(),
     };
-    let server = TcpServer::bind(
-        "127.0.0.1:0",
-        Arc::clone(&service) as Arc<dyn MatrixService>,
-        TransportConfig::default(),
-    )
-    .expect("binding the loopback load server");
+
+    let mut servers: Vec<TcpServer> = Vec::with_capacity(shards);
+    let mut services: Vec<Arc<dyn MatrixService>> = Vec::with_capacity(shards);
+    let mut replicators: Vec<Arc<Replicator>> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let generator = ForestGenerator::new(
+            corgi_core::LocationTree::new(grid.clone()),
+            prior.clone(),
+            server_config,
+        );
+        let (service, transport_config): (Arc<dyn MatrixService>, TransportConfig) = if shards > 1 {
+            let replicator = Replicator::new(ReplicationConfig::default());
+            replicators.push(Arc::clone(&replicator));
+            (
+                Arc::new(CachingService::with_defaults(ReplicatingService::new(
+                    generator,
+                    Arc::clone(&replicator),
+                ))),
+                TransportConfig {
+                    replication: Some(replicator),
+                    ..TransportConfig::default()
+                },
+            )
+        } else {
+            (
+                Arc::new(CachingService::with_defaults(generator)),
+                TransportConfig::default(),
+            )
+        };
+        let server = TcpServer::bind("127.0.0.1:0", Arc::clone(&service), transport_config)
+            .expect("binding a loopback load server");
+        services.push(service);
+        servers.push(server);
+    }
+    let addrs: Vec<SocketAddr> = servers.iter().map(|s| s.local_addr()).collect();
+    // Full mesh: every shard pushes its cold-miss solves to every other.
+    for (index, replicator) in replicators.iter().enumerate() {
+        for (peer, addr) in addrs.iter().enumerate() {
+            if peer != index {
+                replicator.add_peer(addr.to_string());
+            }
+        }
+    }
     // Warm in-process (not via warm_on_start) so load never races the warming.
-    let report = corgi_framework::warm(service.as_ref(), &warm_plan);
-    assert!(
-        report.failures.is_empty(),
-        "warming the request mix failed: {:?}",
-        report.failures
-    );
+    for service in &services {
+        let report = corgi_framework::warm(service.as_ref(), &warm_plan);
+        assert!(
+            report.failures.is_empty(),
+            "warming the request mix failed: {:?}",
+            report.failures
+        );
+    }
 
     println!(
-        "loadgen/{label}: {} conns, {:.0} req/s offered for {:?}, Zipf s={} over {} keys, churn every {}",
+        "loadgen/{label}: {} conns, {:.0} req/s offered for {:?}, Zipf s={} over {} keys, churn every {}, {} shard(s)",
         profile.connections,
         profile.rate_hz,
         profile.duration,
@@ -141,9 +199,9 @@ fn main() {
         } else {
             profile.churn_every.to_string()
         },
+        shards,
     );
-    let report = run(server.local_addr(), &profile);
-    let stats = server.stats();
+    let report = run_load(&addrs, LoadMode::Open, &profile);
     println!(
         "loadgen/{label}: offered {}, ok {}, shed {}, errors {}, reconnects {}, goodput {:.1} req/s",
         report.offered,
@@ -153,10 +211,22 @@ fn main() {
         report.reconnects,
         report.goodput_rps(),
     );
-    println!(
-        "loadgen/{label}: server admitted {}, shed {}, read-buffer high water {} B",
-        stats.requests_admitted, stats.requests_shed, stats.read_buffer_high_water,
-    );
+    for server in &servers {
+        let stats = server.stats();
+        println!(
+            "loadgen/{label}: server {} admitted {}, shed {}, read-buffer high water {} B",
+            server.local_addr(),
+            stats.requests_admitted,
+            stats.requests_shed,
+            stats.read_buffer_high_water,
+        );
+    }
+    if shards > 1 {
+        for (endpoint, completed) in &report.per_shard {
+            println!("loadgen/{label}: shard {endpoint} completed {completed}");
+        }
+        println!("loadgen/{label}: router failovers {}", report.failovers);
+    }
     report_histogram(
         &format!("loadgen/{label}"),
         &report.histogram,
@@ -168,12 +238,48 @@ fn main() {
         ],
         Some("p99_ns"),
     );
-    server.shutdown();
 
-    if report.errors > 0 || report.completed != report.offered {
+    // The closed-loop pass reuses the warmed cluster: each worker fires its
+    // next request the moment the previous answer lands, so its histogram is
+    // pure service time.  The delta against the open-loop p99 is exactly the
+    // queueing delay a closed-loop harness would have silently omitted.
+    let mut closed_errors = 0usize;
+    if closed_pass {
+        let closed = run_load(&addrs, LoadMode::Closed, &profile);
+        closed_errors = closed.errors;
+        let open_p99 = report.histogram.percentile(99.0);
+        let closed_p99 = closed.histogram.percentile(99.0);
+        println!(
+            "loadgen/{label}: closed-loop ok {}, shed {}, errors {}, goodput {:.1} req/s",
+            closed.ok,
+            closed.shed,
+            closed.errors,
+            closed.goodput_rps(),
+        );
+        println!(
+            "loadgen/{label}: p99 open {:.3} ms vs closed {:.3} ms — open-loop queueing delay {:+.3} ms",
+            open_p99 as f64 / 1e6,
+            closed_p99 as f64 / 1e6,
+            (open_p99 as f64 - closed_p99 as f64) / 1e6,
+        );
+        report_histogram(
+            &format!("loadgen/{label}-closed"),
+            &closed.histogram,
+            &[
+                ("goodput_rps", closed.goodput_rps()),
+                ("open_p99_ns", open_p99 as f64),
+            ],
+            None,
+        );
+    }
+    for server in servers {
+        server.shutdown();
+    }
+
+    if report.errors > 0 || report.completed != report.offered || closed_errors > 0 {
         eprintln!(
-            "loadgen/{label}: FAILED — {} errors, {}/{} completed",
-            report.errors, report.completed, report.offered
+            "loadgen/{label}: FAILED — {} open-loop errors, {} closed-loop errors, {}/{} completed",
+            report.errors, closed_errors, report.completed, report.offered
         );
         std::process::exit(1);
     }

@@ -17,16 +17,29 @@
 //! churn — tearing a connection down and reconnecting every N requests — is
 //! part of the profile, exercising the accept/handshake path under load.
 //!
+//! Two axes extend the basic single-server open-loop run:
+//!
+//! * **sharding** ([`run_load`] with several addresses) — each worker drives a
+//!   [`ShardRouter`] over the shard set instead of a single transport, and the
+//!   report carries per-shard completion counts plus router failovers;
+//! * **closed loop** ([`LoadMode::Closed`]) — workers issue their next request
+//!   the moment the previous response lands, measuring pure service time.
+//!   Comparing the two modes on the same profile makes coordinated omission
+//!   visible: under saturation the closed-loop p99 stays flat while the
+//!   open-loop p99 grows with queueing delay.
+//!
 //! [`ServiceErrorKind::Overloaded`]: corgi_framework::messages::ServiceErrorKind::Overloaded
 //! [`TcpServer`]: corgi_framework::TcpServer
 
 use corgi_datagen::{open_loop_arrivals, RequestMix};
-use corgi_framework::messages::MatrixRequest;
-use corgi_framework::{ClientConfig, MatrixService, TcpTransport};
+use corgi_framework::messages::{MatrixRequest, PrivacyForestResponse, ServiceError};
+use corgi_framework::{ClientConfig, MatrixService, RouterConfig, ShardRouter, TcpTransport};
 use criterion::Histogram;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Shape of one open-loop load run.
@@ -71,6 +84,18 @@ impl Default for LoadProfile {
     }
 }
 
+/// How request issue times are paced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Requests fire at their scheduled Poisson arrival times regardless of
+    /// how fast the server answers; latency is measured from the scheduled
+    /// arrival, so queueing delay is part of every sample.
+    Open,
+    /// Each worker issues its next request as soon as the previous response
+    /// lands; latency is measured from the moment the request is issued.
+    Closed,
+}
+
 /// Outcome of one load run.
 #[derive(Debug)]
 pub struct LoadReport {
@@ -89,9 +114,16 @@ pub struct LoadReport {
     pub reconnects: usize,
     /// Wall-clock span of the run (schedule length plus drain tail).
     pub elapsed: Duration,
-    /// Latency of every successful request, measured from its scheduled
-    /// arrival time.
+    /// Latency of every successful request — from its scheduled arrival time
+    /// ([`LoadMode::Open`]) or from its issue time ([`LoadMode::Closed`]).
     pub histogram: Histogram,
+    /// Successful completions per shard endpoint (empty for a single-server
+    /// run): which shard the router's rendezvous ranking actually answered
+    /// each request on, failovers included.
+    pub per_shard: Vec<(String, u64)>,
+    /// Requests the routers moved past a failed or shedding shard (zero for
+    /// a single-server run).
+    pub failovers: u64,
 }
 
 impl LoadReport {
@@ -129,17 +161,69 @@ struct WorkerOutcome {
     errors: usize,
     reconnects: usize,
     histogram: Histogram,
+    per_shard: BTreeMap<String, u64>,
+    failovers: u64,
 }
 
-fn connect(addr: SocketAddr, timeout: Duration) -> Result<TcpTransport, String> {
-    TcpTransport::connect_with(
-        addr,
-        ClientConfig {
-            read_timeout: Some(timeout),
-            ..ClientConfig::default()
-        },
-    )
-    .map_err(|e| e.to_string())
+/// One worker's server-side handle: a direct transport for a single address,
+/// a [`ShardRouter`] over the shard set otherwise.
+enum Conn {
+    Direct(TcpTransport),
+    Routed(ShardRouter),
+}
+
+impl Conn {
+    fn request(&self, request: MatrixRequest) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
+        match self {
+            Conn::Direct(transport) => transport.privacy_forest(request),
+            Conn::Routed(router) => router.privacy_forest(request),
+        }
+    }
+
+    /// Whether a non-shed failure left the connection unusable.  The router
+    /// replaces its own per-shard connections, so only the direct transport
+    /// ever asks to be rebuilt.
+    fn needs_replacement(&self) -> bool {
+        match self {
+            Conn::Direct(transport) => transport.stats().poisoned_connections > 0,
+            Conn::Routed(_) => false,
+        }
+    }
+
+    /// Fold router-side shard counters into the worker tally; called before
+    /// the connection is dropped (churn, replacement or end of schedule) so
+    /// no completed work is lost.
+    fn fold_into(&self, outcome: &mut WorkerOutcome) {
+        if let Conn::Routed(router) = self {
+            let stats = router.cluster_stats();
+            outcome.failovers += stats.failovers;
+            for peer in stats.peers {
+                *outcome.per_shard.entry(peer.endpoint).or_insert(0) += peer.requests;
+            }
+        }
+    }
+}
+
+fn connect(addrs: &[SocketAddr], timeout: Duration) -> Result<Conn, String> {
+    let config = ClientConfig {
+        read_timeout: Some(timeout),
+        ..ClientConfig::default()
+    };
+    if addrs.len() == 1 {
+        TcpTransport::connect_with(addrs[0], config)
+            .map(Conn::Direct)
+            .map_err(|e| e.to_string())
+    } else {
+        ShardRouter::connect(
+            addrs.iter().map(ToString::to_string),
+            RouterConfig {
+                client: config,
+                ..RouterConfig::default()
+            },
+        )
+        .map(Conn::Routed)
+        .map_err(|e| e.to_string())
+    }
 }
 
 /// Run one open-loop load profile against a serving address.
@@ -149,6 +233,16 @@ fn connect(addr: SocketAddr, timeout: Duration) -> Result<TcpTransport, String> 
 /// The codec each connection negotiates follows `CORGI_WIRE_CODEC`, exactly
 /// like any other client.
 pub fn run(addr: SocketAddr, profile: &LoadProfile) -> LoadReport {
+    run_load(&[addr], LoadMode::Open, profile)
+}
+
+/// Run a load profile against one server or a whole shard set.
+///
+/// With a single address every worker owns a direct [`TcpTransport`]; with
+/// several, every worker owns a [`ShardRouter`] over the set, so requests are
+/// rendezvous-routed per cache key and fail over like production clients.
+pub fn run_load(addrs: &[SocketAddr], mode: LoadMode, profile: &LoadProfile) -> LoadReport {
+    assert!(!addrs.is_empty(), "load needs at least one server address");
     assert!(
         profile.connections >= 1,
         "load needs at least one connection"
@@ -182,23 +276,29 @@ pub fn run(addr: SocketAddr, profile: &LoadProfile) -> LoadReport {
             .map(|schedule| {
                 scope.spawn(move || {
                     let mut outcome = WorkerOutcome::default();
-                    let mut transport = connect(addr, timeout).ok();
+                    let mut transport = connect(addrs, timeout).ok();
                     let mut since_connect = 0usize;
                     for slot in schedule {
                         // Open loop: wait for the scheduled time, never for
                         // the previous response (that already happened — the
                         // exchange is synchronous per connection, which is
                         // exactly the queueing delay the latency records).
-                        let now = start.elapsed();
-                        if slot.at > now {
-                            std::thread::sleep(slot.at - now);
+                        // Closed loop: fire the moment the previous exchange
+                        // finishes; the schedule only supplies the keys.
+                        if mode == LoadMode::Open {
+                            let now = start.elapsed();
+                            if slot.at > now {
+                                std::thread::sleep(slot.at - now);
+                            }
                         }
                         if churn_every > 0 && since_connect >= churn_every {
-                            transport = None;
+                            if let Some(old) = transport.take() {
+                                old.fold_into(&mut outcome);
+                            }
                         }
                         let conn = match &transport {
                             Some(conn) => conn,
-                            None => match connect(addr, timeout) {
+                            None => match connect(addrs, timeout) {
                                 Ok(conn) => {
                                     outcome.reconnects += 1;
                                     since_connect = 0;
@@ -212,8 +312,12 @@ pub fn run(addr: SocketAddr, profile: &LoadProfile) -> LoadReport {
                             },
                         };
                         since_connect += 1;
-                        let result = conn.privacy_forest(slot.request);
-                        let latency = start.elapsed().saturating_sub(slot.at);
+                        let issued = start.elapsed();
+                        let result = conn.request(slot.request);
+                        let latency = match mode {
+                            LoadMode::Open => start.elapsed().saturating_sub(slot.at),
+                            LoadMode::Closed => start.elapsed().saturating_sub(issued),
+                        };
                         outcome.completed += 1;
                         match result {
                             Ok(_) => {
@@ -227,11 +331,16 @@ pub fn run(addr: SocketAddr, profile: &LoadProfile) -> LoadReport {
                                 // poisoned) the stream; replace the
                                 // connection rather than failing every
                                 // remaining slot.
-                                if conn.stats().poisoned_connections > 0 {
-                                    transport = None;
+                                if conn.needs_replacement() {
+                                    if let Some(old) = transport.take() {
+                                        old.fold_into(&mut outcome);
+                                    }
                                 }
                             }
                         }
+                    }
+                    if let Some(conn) = transport.take() {
+                        conn.fold_into(&mut outcome);
                     }
                     outcome
                 })
@@ -253,7 +362,10 @@ pub fn run(addr: SocketAddr, profile: &LoadProfile) -> LoadReport {
         reconnects: 0,
         elapsed,
         histogram: Histogram::new(),
+        per_shard: Vec::new(),
+        failovers: 0,
     };
+    let mut per_shard: BTreeMap<String, u64> = BTreeMap::new();
     for outcome in outcomes {
         report.completed += outcome.completed;
         report.ok += outcome.ok;
@@ -261,6 +373,11 @@ pub fn run(addr: SocketAddr, profile: &LoadProfile) -> LoadReport {
         report.errors += outcome.errors;
         report.reconnects += outcome.reconnects;
         report.histogram.merge(&outcome.histogram);
+        report.failovers += outcome.failovers;
+        for (endpoint, requests) in outcome.per_shard {
+            *per_shard.entry(endpoint).or_insert(0) += requests;
+        }
     }
+    report.per_shard = per_shard.into_iter().collect();
     report
 }

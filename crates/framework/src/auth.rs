@@ -1,0 +1,502 @@
+//! Keyed frame authentication: hand-rolled SHA-256 and HMAC-SHA-256.
+//!
+//! The build environment has no network access, so no cryptography crates are
+//! available; this module implements FIPS 180-4 SHA-256 and RFC 2104
+//! HMAC-SHA-256 from scratch (validated against the FIPS example vectors and
+//! RFC 4231 test cases in the unit tests below) and layers the transport's
+//! frame-authentication scheme on top.
+//!
+//! # Scheme
+//!
+//! A cluster shares one secret.  [`ClusterKey::from_secret`] normalizes any
+//! byte string through SHA-256 into the 32-byte MAC key; operators usually set
+//! it via the `CORGI_CLUSTER_KEY` environment variable
+//! ([`ClusterKey::from_env`]).  Whether a connection authenticates is
+//! negotiated in the `Hello`/`HelloReply` exchange (which always travels as
+//! plain JSON, so a key mismatch produces a *legible* structured rejection
+//! rather than undecodable bytes); once negotiated, **every** subsequent frame
+//! carries a MAC trailer:
+//!
+//! ```text
+//! | magic 2B | kind 1B | len 4B |   payload   | mac 16B |
+//!                       ^ len counts payload + MAC
+//!   mac = HMAC-SHA-256(key, header ‖ payload)[..16]
+//! ```
+//!
+//! The MAC covers the *final* header (with the trailer already counted in
+//! `len`), so length-truncation and kind-swapping are tamper-evident along
+//! with the payload itself.  Verification failures surface as structured
+//! [`Unauthenticated`](crate::messages::ServiceErrorKind::Unauthenticated)
+//! errors and are counted in [`ClusterStats`](crate::cluster::ClusterStats).
+//!
+//! The scheme authenticates and tamper-proofs traffic between nodes that
+//! already share the key; it is not encryption (payloads travel in the clear)
+//! and the hello itself is unauthenticated (an active attacker can force a
+//! handshake failure, but never an accepted forged frame).
+
+use std::fmt;
+
+/// Bytes of HMAC-SHA-256 output kept as the per-frame trailer.
+///
+/// 16 bytes (128 bits) is the conventional truncation floor (RFC 2104 §5
+/// requires at least half the hash output); forging a frame still requires
+/// 2^128 work while halving the per-frame overhead.
+pub const MAC_LEN: usize = 16;
+
+/// Name of the only authentication scheme, as advertised in hello frames.
+pub const AUTH_SCHEME: &str = "hmac-sha256";
+
+/// Environment variable holding the shared cluster secret.
+pub const CLUSTER_KEY_ENV: &str = "CORGI_CLUSTER_KEY";
+
+// --------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4)
+// --------------------------------------------------------------------------
+
+/// The 64 round constants: fractional parts of the cube roots of the first 64
+/// primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state: fractional parts of the square roots of the first 8
+/// primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Streaming SHA-256 hasher.
+///
+/// ```
+/// use corgi_framework::auth::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(
+///     h.finalize()[..4],
+///     [0xba, 0x78, 0x16, 0xbf],
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    /// Total message length in bytes (the padding encodes it in bits).
+    length: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Self {
+            state: H0,
+            buffer: [0u8; 64],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    /// Absorb more message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        // Top up a partial block first.
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Apply the FIPS 180-4 padding and return the digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_length = self.length.wrapping_mul(8);
+        // 0x80 terminator, zeros to 56 mod 64, then the 64-bit bit length.
+        self.update(&[0x80]);
+        // `update` above may have advanced `length`, but the captured
+        // `bit_length` is what the padding must encode; only the buffer
+        // position matters from here on.
+        while self.buffered != 56 {
+            let zeros = if self.buffered < 56 {
+                56 - self.buffered
+            } else {
+                64 - self.buffered
+            };
+            const ZEROS: [u8; 64] = [0u8; 64];
+            self.update(&ZEROS[..zeros]);
+        }
+        self.update(&bit_length.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut digest = [0u8; 32];
+        for (chunk, word) in digest.chunks_exact_mut(4).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        digest
+    }
+
+    /// One compression round over a 64-byte block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut hasher = Sha256::new();
+    hasher.update(data);
+    hasher.finalize()
+}
+
+/// HMAC-SHA-256 over the concatenation of `parts` (RFC 2104).
+///
+/// Taking the message as parts lets callers MAC a frame header and payload
+/// that live in separate buffers without copying them together first.
+pub fn hmac_sha256(key: &[u8], parts: &[&[u8]]) -> [u8; 32] {
+    const BLOCK: usize = 64;
+    let mut padded = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        padded[..32].copy_from_slice(&sha256(key));
+    } else {
+        padded[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let mut ipad = [0u8; BLOCK];
+    for (o, k) in ipad.iter_mut().zip(padded.iter()) {
+        *o = k ^ 0x36;
+    }
+    inner.update(&ipad);
+    for part in parts {
+        inner.update(part);
+    }
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    let mut opad = [0u8; BLOCK];
+    for (o, k) in opad.iter_mut().zip(padded.iter()) {
+        *o = k ^ 0x5c;
+    }
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time byte-slice equality (no early exit on the first mismatch).
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+// --------------------------------------------------------------------------
+// Cluster key + frame trailer scheme
+// --------------------------------------------------------------------------
+
+/// Why an authenticated frame failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// The frame is too short to even hold a MAC trailer.
+    Truncated,
+    /// The MAC trailer does not match the frame contents.
+    BadMac,
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::Truncated => write!(f, "frame too short to carry a MAC trailer"),
+            AuthError::BadMac => write!(f, "frame MAC verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// The shared cluster secret, normalized to a 32-byte MAC key.
+///
+/// Compare with `==` for key-agreement checks in tests; the `Debug` impl
+/// never prints key material.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ClusterKey([u8; 32]);
+
+impl fmt::Debug for ClusterKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never leak key bytes through logs; the fingerprint (first 4 bytes of
+        // SHA-256 of the key) is enough to tell two keys apart when debugging.
+        let fp = sha256(&self.0);
+        write!(
+            f,
+            "ClusterKey(fp={:02x}{:02x}{:02x}{:02x})",
+            fp[0], fp[1], fp[2], fp[3]
+        )
+    }
+}
+
+impl ClusterKey {
+    /// Derive the key from an arbitrary secret byte string.
+    pub fn from_secret(secret: &[u8]) -> Self {
+        Self(sha256(secret))
+    }
+
+    /// Read the key from the `CORGI_CLUSTER_KEY` environment variable.
+    ///
+    /// Returns `None` when the variable is unset or empty (authentication
+    /// disabled).
+    pub fn from_env() -> Option<Self> {
+        std::env::var(CLUSTER_KEY_ENV)
+            .ok()
+            .filter(|s| !s.is_empty())
+            .map(|s| Self::from_secret(s.as_bytes()))
+    }
+
+    /// Truncated HMAC over the concatenation of `parts`.
+    pub fn mac(&self, parts: &[&[u8]]) -> [u8; MAC_LEN] {
+        let full = hmac_sha256(&self.0, parts);
+        let mut mac = [0u8; MAC_LEN];
+        mac.copy_from_slice(&full[..MAC_LEN]);
+        mac
+    }
+
+    /// Append the MAC trailer to a sealed frame (header + payload), patching
+    /// the header length to count the trailer.
+    pub fn seal(&self, mut frame: Vec<u8>) -> Vec<u8> {
+        let header = crate::transport::FRAME_HEADER_LEN;
+        debug_assert!(frame.len() >= header, "seal() takes a framed message");
+        let body_len = (frame.len() - header + MAC_LEN) as u32;
+        frame[header - 4..header].copy_from_slice(&body_len.to_be_bytes());
+        let mac = self.mac(&[&frame]);
+        frame.extend_from_slice(&mac);
+        frame
+    }
+
+    /// Verify a complete authenticated frame (header + payload + trailer) and
+    /// return the bare payload slice.
+    pub fn open<'a>(&self, frame: &'a [u8]) -> Result<&'a [u8], AuthError> {
+        let header = crate::transport::FRAME_HEADER_LEN;
+        if frame.len() < header + MAC_LEN {
+            return Err(AuthError::Truncated);
+        }
+        let body_end = frame.len() - MAC_LEN;
+        let expected = self.mac(&[&frame[..body_end]]);
+        if !constant_time_eq(&expected, &frame[body_end..]) {
+            return Err(AuthError::BadMac);
+        }
+        Ok(&frame[header..body_end])
+    }
+
+    /// Verify a frame read as separate header and body buffers, truncating the
+    /// MAC trailer off `body` on success.
+    ///
+    /// This is the shape of the blocking client read path, which reads the
+    /// 7-byte header and the length-prefixed body into separate buffers.
+    pub fn open_split(&self, header: &[u8], body: &mut Vec<u8>) -> Result<(), AuthError> {
+        if body.len() < MAC_LEN {
+            return Err(AuthError::Truncated);
+        }
+        let payload_len = body.len() - MAC_LEN;
+        let expected = self.mac(&[header, &body[..payload_len]]);
+        if !constant_time_eq(&expected, &body[payload_len..]) {
+            return Err(AuthError::BadMac);
+        }
+        body.truncate(payload_len);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        // FIPS 180-4 / NIST example vectors.
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_streams_across_odd_chunk_boundaries() {
+        // One million 'a's, fed in chunk sizes that straddle block boundaries.
+        let chunk = [b'a'; 997];
+        let mut hasher = Sha256::new();
+        let mut remaining = 1_000_000usize;
+        while remaining > 0 {
+            let take = remaining.min(chunk.len());
+            hasher.update(&chunk[..take]);
+            remaining -= take;
+        }
+        assert_eq!(
+            hex(&hasher.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn hmac_matches_rfc4231_vectors() {
+        // RFC 4231 test case 1.
+        assert_eq!(
+            hex(&hmac_sha256(&[0x0b; 20], &[b"Hi There"])),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // Test case 2: short key, message split across parts.
+        assert_eq!(
+            hex(&hmac_sha256(
+                b"Jefe",
+                &[b"what do ya want ", b"for nothing?"]
+            )),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // Test case 6: key longer than one block (hashed down first).
+        assert_eq!(
+            hex(&hmac_sha256(
+                &[0xaa; 131],
+                &[b"Test Using Larger Than Block-Size Key - Hash Key First".as_slice()]
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn frame_seal_and_open_round_trip() {
+        let key = ClusterKey::from_secret(b"test-cluster");
+        // A hand-built frame: magic, kind 2, len 5, payload "hello".
+        let mut frame = vec![b'C', b'G', 2, 0, 0, 0, 5];
+        frame.extend_from_slice(b"hello");
+        let sealed = key.seal(frame);
+        assert_eq!(sealed.len(), 7 + 5 + MAC_LEN);
+        // The header length now counts the trailer.
+        assert_eq!(
+            u32::from_be_bytes([sealed[3], sealed[4], sealed[5], sealed[6]]),
+            (5 + MAC_LEN) as u32
+        );
+        assert_eq!(key.open(&sealed).expect("verifies"), b"hello");
+
+        // Split-read shape: header and body in separate buffers.
+        let mut body = sealed[7..].to_vec();
+        key.open_split(&sealed[..7], &mut body).expect("verifies");
+        assert_eq!(body, b"hello");
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let key = ClusterKey::from_secret(b"test-cluster");
+        let mut frame = vec![b'C', b'G', 2, 0, 0, 0, 5];
+        frame.extend_from_slice(b"hello");
+        let sealed = key.seal(frame);
+
+        // Payload flip.
+        let mut tampered = sealed.clone();
+        tampered[8] ^= 0x01;
+        assert_eq!(key.open(&tampered), Err(AuthError::BadMac));
+        // Kind swap.
+        let mut tampered = sealed.clone();
+        tampered[2] = 3;
+        assert_eq!(key.open(&tampered), Err(AuthError::BadMac));
+        // Trailer flip.
+        let mut tampered = sealed.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x80;
+        assert_eq!(key.open(&tampered), Err(AuthError::BadMac));
+        // Wrong key.
+        let other = ClusterKey::from_secret(b"other-cluster");
+        assert_eq!(other.open(&sealed), Err(AuthError::BadMac));
+        // Too short.
+        assert_eq!(key.open(&sealed[..10]), Err(AuthError::Truncated));
+    }
+
+    #[test]
+    fn debug_never_prints_key_material() {
+        let key = ClusterKey::from_secret(b"super-secret");
+        let printed = format!("{key:?}");
+        assert!(printed.starts_with("ClusterKey(fp="));
+        assert!(!printed.contains("super-secret"));
+        for window in key.0.windows(4) {
+            assert!(!printed.contains(&hex(window)));
+        }
+    }
+}

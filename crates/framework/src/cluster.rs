@@ -1,0 +1,1063 @@
+//! Cluster serving (protocol 1.4): shard routing, peer replication and the
+//! wire-visible cluster counters.
+//!
+//! A CORGI deployment outgrows one server long before it outgrows one cache:
+//! the working set is a few hundred `(privacy_level, δ)` keys, but admission
+//! control bounds how many concurrent solves a single dispatch pool accepts.
+//! This module turns N independent [`TcpServer`]s into one cluster with three
+//! pieces, none of which requires a coordinator:
+//!
+//! * **[`ShardRouter`]** — a client-side [`MatrixService`] that rendezvous-
+//!   hashes the cache key across the shard endpoints, so every client agrees
+//!   on which shard owns a key without any shared state.  A shard that sheds
+//!   (retryable overload) or fails mid-request is failed over to the
+//!   next-ranked shard with per-round backoff.
+//! * **[`Replicator`] + [`ReplicatingService`]** — server-side peer links.
+//!   The wrapper sits *inside* the caching layer, so exactly the cold-miss
+//!   single-flight leader offers its freshly solved forest to a bounded
+//!   drop-oldest per-peer queue; a reactor task flushes the queues to the
+//!   peers as fire-and-forget `WarmPush` frames.  A cold miss on shard A is
+//!   then a warm hit on shard B without a second LP solve.
+//! * **[`StatsRequest`]/[`StatsReport`]** — a request frame returning the
+//!   server's [`TransportStats`], [`CacheStats`] and [`ClusterStats`] over
+//!   the wire, so harnesses observe a remote server exactly as tests observe
+//!   an in-process one.
+//!
+//! Frame authentication for the whole tier is negotiated per connection from
+//! the shared cluster key — see [`crate::auth`].  Peer links and the router
+//! both honour it; a misconfigured key is a structured
+//! [`Unauthenticated`](crate::ServiceErrorKind::Unauthenticated) rejection at
+//! the hello exchange, never a silent desync.
+//!
+//! ```text
+//!                      ┌─────────────┐
+//!        requests ───► │ ShardRouter │  rendezvous_rank(key) → shard
+//!                      └──┬───┬───┬──┘
+//!              ┌──────────┘   │   └──────────┐
+//!         ┌────▼────┐    ┌────▼────┐    ┌────▼────┐
+//!         │ shard A │───►│ shard B │───►│ shard C │   WarmPush peer links
+//!         └─────────┘◄───└─────────┘◄───└─────────┘   (bounded, drop-oldest)
+//! ```
+//!
+//! [`TcpServer`]: crate::TcpServer
+
+use crate::auth::ClusterKey;
+use crate::executor::{oneshot, Handle, Sleep};
+use crate::messages::{
+    MatrixRequest, PrivacyForestResponse, ServiceError, ServiceErrorKind, WireCodec,
+};
+use crate::pool::ThreadPool;
+use crate::service::{CacheStats, MatrixService, WarmInsertOutcome};
+use crate::transport::{
+    encode_json_frame, parse_json_payload, read_frame_blocking_raw, send_frame_blocking,
+    ClientConfig, FrameKind, HelloFrame, HelloReply, TcpTransport, TransportStats,
+};
+use crate::warm::WarmPush;
+use corgi_core::LocationTree;
+use corgi_datagen::PriorDistribution;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Rendezvous hashing
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a: tiny, allocation-free, and plenty uniform for spreading a
+/// few hundred cache keys over a handful of shards.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Rank shard endpoints for a cache key by rendezvous (highest-random-weight)
+/// hashing: every client computes `hash(endpoint ‖ key)` per endpoint and
+/// ranks descending, so all clients agree on the owner (index 0) and on the
+/// failover order behind it — and removing one endpoint only remaps the keys
+/// that endpoint owned.
+///
+/// Returns a permutation of `0..endpoints.len()`.
+pub fn rendezvous_rank<S: AsRef<str>>(
+    endpoints: &[S],
+    privacy_level: u8,
+    delta: usize,
+) -> Vec<usize> {
+    let mut scored: Vec<(u64, usize)> = endpoints
+        .iter()
+        .enumerate()
+        .map(|(index, endpoint)| {
+            let mut hash = Fnv1a::new();
+            hash.write(endpoint.as_ref().as_bytes());
+            // 0xff cannot occur in UTF-8, so the separator keeps
+            // ("ab", level 1) and ("a", "b1"-ish keys) from colliding.
+            hash.write(&[0xff, privacy_level]);
+            hash.write(&(delta as u64).to_be_bytes());
+            (hash.finish(), index)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().map(|(_, index)| index).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Wire-visible stats
+// ---------------------------------------------------------------------------
+
+/// Request payload of a `Stats` frame (protocol 1.4).  Carries nothing; the
+/// reply is a [`StatsReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsRequest {}
+
+/// Reply payload of a `Stats` frame: the server's counters, over the wire.
+///
+/// `cache` is `None` when the service stack has no caching layer; `cluster`
+/// is always present from a 1.4 server (zeroed when the server is not
+/// clustered).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Connection-level counters ([`crate::TcpServer::stats`]).
+    pub transport: TransportStats,
+    /// Caching-layer counters, when the stack has one.
+    pub cache: Option<CacheStats>,
+    /// Cluster-tier counters ([`crate::TcpServer::cluster_stats`]).
+    pub cluster: Option<ClusterStats>,
+}
+
+/// Point-in-time counters of the cluster tier.
+///
+/// A server snapshot ([`crate::TcpServer::cluster_stats`]) fills the push and
+/// auth counters plus one [`PeerStats`] per replication peer; a router
+/// snapshot ([`ShardRouter::cluster_stats`]) fills `failovers` plus one
+/// [`PeerStats`] per shard.  The shape is shared so both travel in a
+/// [`StatsReport`] unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// `WarmPush` frames received from peers.
+    pub pushes_received: u64,
+    /// Received pushes whose key was already resident (dedup hits).
+    pub pushes_deduped: u64,
+    /// Key-only pushes shed because the dispatch pool was saturated (a push
+    /// is advisory and never competes with live requests).
+    pub pushes_ignored: u64,
+    /// Frames or hellos rejected by authentication (missing announcement,
+    /// wrong key, tampered bytes).
+    pub auth_rejections: u64,
+    /// Requests the router moved past a failed or shedding shard (client
+    /// side only; zero in server snapshots).
+    pub failovers: u64,
+    /// Per-peer (server) or per-shard (router) link counters.
+    pub peers: Vec<PeerStats>,
+}
+
+/// Per-link counters inside a [`ClusterStats`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PeerStats {
+    /// The peer or shard address.
+    pub endpoint: String,
+    /// `WarmPush` frames fully written to this peer.
+    pub pushes_sent: u64,
+    /// Pushes evicted from the bounded queue (drop-oldest) because the peer
+    /// was slow or down.
+    pub pushes_dropped: u64,
+    /// Pushes currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Connections established to this peer or shard.
+    pub connects: u64,
+    /// Link-level failures (failed connects, dead sockets, poisoned
+    /// connections).
+    pub link_errors: u64,
+    /// Requests completed via this shard (router side only).
+    pub requests: u64,
+}
+
+/// Server-side atomic counters behind the cluster half of a [`ClusterStats`].
+#[derive(Default)]
+pub(crate) struct ClusterMetrics {
+    pushes_received: AtomicU64,
+    pushes_deduped: AtomicU64,
+    pushes_ignored: AtomicU64,
+    auth_rejections: AtomicU64,
+}
+
+impl ClusterMetrics {
+    pub(crate) fn count_push_received(&self) {
+        self.pushes_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_push_deduped(&self) {
+        self.pushes_deduped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_push_ignored(&self) {
+        self.pushes_ignored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_auth_rejection(&self) {
+        self.auth_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, replicator: Option<&Replicator>) -> ClusterStats {
+        ClusterStats {
+            pushes_received: self.pushes_received.load(Ordering::Relaxed),
+            pushes_deduped: self.pushes_deduped.load(Ordering::Relaxed),
+            pushes_ignored: self.pushes_ignored.load(Ordering::Relaxed),
+            auth_rejections: self.auth_rejections.load(Ordering::Relaxed),
+            failovers: 0,
+            peers: replicator.map(Replicator::peer_stats).unwrap_or_default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+// ---------------------------------------------------------------------------
+
+/// Tunables of a [`Replicator`]'s peer links.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Bound of each per-peer push queue.  A slow or dead peer evicts the
+    /// *oldest* queued push (newest entries are the ones live traffic is
+    /// most likely to ask the peer for next); the eviction is counted in
+    /// [`PeerStats::pushes_dropped`].
+    pub queue_depth: usize,
+    /// Ship the solved forest in the push (`true`, the default) so the peer
+    /// inserts it without solving, or only the key (`false`) so the peer
+    /// re-solves on its own dispatch pool — one duplicate solve instead of a
+    /// forest-sized frame.  Payload pushes need the peers'
+    /// [`max_inbound_frame`](crate::TransportConfig::max_inbound_frame)
+    /// raised above the encoded forest size.
+    pub push_payloads: bool,
+    /// Payload codecs to advertise on peer links.  The default honours
+    /// `CORGI_WIRE_CODEC` (see [`WireCodec::advertisement_from_env`]).
+    pub codecs: Vec<WireCodec>,
+    /// Cluster key for the peer-link hello; must match the peers' serving
+    /// key.  The default reads `CORGI_CLUSTER_KEY`
+    /// (see [`ClusterKey::from_env`]).
+    pub cluster_key: Option<ClusterKey>,
+    /// Blocking connect/handshake budget per attempt (also the link's socket
+    /// read timeout during the hello).
+    pub connect_timeout: Duration,
+    /// Backoff before the first reconnect attempt after a link failure;
+    /// doubles per consecutive failure.
+    pub retry_backoff: Duration,
+    /// Cap on the doubled reconnect backoff.
+    pub max_backoff: Duration,
+    /// Largest accepted frame on the peer link (the accepted hello reply
+    /// carries the peer's grid and prior).
+    pub max_frame: usize,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 64,
+            push_payloads: true,
+            codecs: WireCodec::advertisement_from_env(),
+            cluster_key: ClusterKey::from_env(),
+            connect_timeout: Duration::from_secs(5),
+            retry_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            max_frame: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// One replication peer: its endpoint, bounded push queue and link counters.
+pub(crate) struct PeerLink {
+    endpoint: String,
+    queue: Mutex<VecDeque<WarmPush>>,
+    pushes_sent: AtomicU64,
+    pushes_dropped: AtomicU64,
+    connects: AtomicU64,
+    link_errors: AtomicU64,
+}
+
+impl PeerLink {
+    fn new(endpoint: String) -> Self {
+        Self {
+            endpoint,
+            queue: Mutex::new(VecDeque::new()),
+            pushes_sent: AtomicU64::new(0),
+            pushes_dropped: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+            link_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue a push, evicting the oldest entry at the bound.
+    fn offer(&self, push: WarmPush, depth: usize) {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        while queue.len() >= depth.max(1) {
+            queue.pop_front();
+            self.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        queue.push_back(push);
+    }
+
+    fn pop(&self) -> Option<WarmPush> {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    fn stats(&self) -> PeerStats {
+        PeerStats {
+            endpoint: self.endpoint.clone(),
+            pushes_sent: self.pushes_sent.load(Ordering::Relaxed),
+            pushes_dropped: self.pushes_dropped.load(Ordering::Relaxed),
+            queue_depth: self.queue.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
+            connects: self.connects.load(Ordering::Relaxed),
+            link_errors: self.link_errors.load(Ordering::Relaxed),
+            requests: 0,
+        }
+    }
+}
+
+/// The replication engine: per-peer bounded push queues, filled by a
+/// [`ReplicatingService`] and drained by a reactor task that
+/// [`TcpServer::bind`](crate::TcpServer::bind) spawns when the replicator is
+/// handed to it via [`TransportConfig::replication`].
+///
+/// Peers may be added before or after bind ([`Replicator::add_peer`]) — in a
+/// loopback cluster the servers must all be bound before any of them knows
+/// the others' port-0 addresses.
+///
+/// [`TransportConfig::replication`]: crate::TransportConfig::replication
+pub struct Replicator {
+    config: ReplicationConfig,
+    links: Mutex<Vec<Arc<PeerLink>>>,
+}
+
+impl fmt::Debug for Replicator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Replicator")
+            .field("peers", &self.links().len())
+            .field("queue_depth", &self.config.queue_depth)
+            .field("push_payloads", &self.config.push_payloads)
+            .finish()
+    }
+}
+
+impl Replicator {
+    /// A replicator with no peers yet.
+    pub fn new(config: ReplicationConfig) -> Arc<Self> {
+        Arc::new(Self {
+            config,
+            links: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Add a peer endpoint; its queue starts draining on the next reactor
+    /// tick of every server this replicator is bound to.
+    pub fn add_peer(&self, endpoint: impl Into<String>) {
+        let mut links = self.links.lock().unwrap_or_else(|e| e.into_inner());
+        links.push(Arc::new(PeerLink::new(endpoint.into())));
+    }
+
+    /// Offer a freshly solved forest to every peer queue (drop-oldest at the
+    /// bound).  Called by [`ReplicatingService`] on the cold-miss leader
+    /// path; also usable directly by custom stacks.
+    pub fn offer(&self, request: MatrixRequest, forest: &Arc<PrivacyForestResponse>) {
+        let links = self.links();
+        if links.is_empty() {
+            return;
+        }
+        let push = WarmPush {
+            privacy_level: request.privacy_level,
+            delta: request.delta,
+            forest: self.config.push_payloads.then(|| Arc::clone(forest)),
+        };
+        for link in links {
+            link.offer(push.clone(), self.config.queue_depth);
+        }
+    }
+
+    /// Per-peer link counters.
+    pub fn peer_stats(&self) -> Vec<PeerStats> {
+        self.links().iter().map(|link| link.stats()).collect()
+    }
+
+    fn links(&self) -> Vec<Arc<PeerLink>> {
+        self.links.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+/// Service wrapper that offers every forest it generates to a [`Replicator`].
+///
+/// Stack it *inside* the caching layer —
+/// `CachingService(ReplicatingService(ForestGenerator))` — so it runs exactly
+/// on the cold-miss single-flight leader path: cache hits and coalesced
+/// followers never reach it, so a key is offered to the peers once per actual
+/// solve, not once per request.
+pub struct ReplicatingService<S> {
+    inner: S,
+    replicator: Arc<Replicator>,
+}
+
+impl<S> ReplicatingService<S> {
+    /// Wrap `inner`, offering its generations to `replicator`.
+    pub fn new(inner: S, replicator: Arc<Replicator>) -> Self {
+        Self { inner, replicator }
+    }
+}
+
+impl<S: MatrixService> MatrixService for ReplicatingService<S> {
+    fn privacy_forest(
+        &self,
+        request: MatrixRequest,
+    ) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
+        let forest = self.inner.privacy_forest(request)?;
+        self.replicator.offer(request, &forest);
+        Ok(forest)
+    }
+
+    fn tree(&self) -> Arc<LocationTree> {
+        self.inner.tree()
+    }
+
+    fn prior(&self) -> Arc<PriorDistribution> {
+        self.inner.prior()
+    }
+
+    fn warm_insert(&self, forest: Arc<PrivacyForestResponse>) -> WarmInsertOutcome {
+        self.inner.warm_insert(forest)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.inner.cache_stats()
+    }
+}
+
+/// Spawn the queue-flushing task on a server's reactor.
+pub(crate) fn spawn_replication(
+    handle: &Handle,
+    replicator: Arc<Replicator>,
+    dispatch: Arc<ThreadPool>,
+) {
+    handle.spawn(ReplicationTask {
+        handle: handle.clone(),
+        replicator,
+        dispatch,
+        drivers: Vec::new(),
+    });
+}
+
+/// An established (post-hello) nonblocking peer connection.
+struct PeerConn {
+    stream: TcpStream,
+    codec: WireCodec,
+    auth: Option<ClusterKey>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+}
+
+/// Per-link connection state: back off, connect off-reactor, stream pushes.
+enum LinkState {
+    Idle(Sleep),
+    Connecting(oneshot::Receiver<Result<PeerConn, ServiceError>>),
+    Streaming(PeerConn),
+}
+
+struct LinkDriver {
+    state: LinkState,
+    backoff: Duration,
+}
+
+/// Reactor task draining every peer queue of one [`Replicator`].
+///
+/// Blocking work (connect + hello) runs on the dispatch pool and returns via
+/// a oneshot; the reactor only ever does nonblocking reads and writes.  A
+/// link failure returns the driver to `Idle` with doubled backoff — queued
+/// pushes survive the outage (up to the drop-oldest bound) and flush once the
+/// peer is back.
+struct ReplicationTask {
+    handle: Handle,
+    replicator: Arc<Replicator>,
+    dispatch: Arc<ThreadPool>,
+    drivers: Vec<LinkDriver>,
+}
+
+impl Future for ReplicationTask {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.handle.is_shutdown() {
+            return Poll::Ready(());
+        }
+        let links = this.replicator.links();
+        while this.drivers.len() < links.len() {
+            // A fresh link connects immediately (zero-length backoff sleep).
+            this.drivers.push(LinkDriver {
+                state: LinkState::Idle(this.handle.sleep(Duration::ZERO)),
+                backoff: this.replicator.config.retry_backoff,
+            });
+        }
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for (driver, link) in this.drivers.iter_mut().zip(&links) {
+                progress |= step_link(
+                    driver,
+                    link,
+                    &this.handle,
+                    &this.dispatch,
+                    &this.replicator.config,
+                    cx,
+                );
+            }
+        }
+        this.handle.park_io(cx.waker());
+        Poll::Pending
+    }
+}
+
+/// Advance one link's state machine; returns whether progress was made.
+fn step_link(
+    driver: &mut LinkDriver,
+    link: &Arc<PeerLink>,
+    handle: &Handle,
+    dispatch: &Arc<ThreadPool>,
+    config: &ReplicationConfig,
+    cx: &mut Context<'_>,
+) -> bool {
+    match &mut driver.state {
+        LinkState::Idle(retry) => {
+            if Pin::new(retry).poll(cx).is_pending() {
+                return false;
+            }
+            // Nothing queued yet: stay idle (re-armed, effectively polling
+            // the queue once per tick) instead of dialing a peer we have
+            // nothing to say to.
+            if link
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+            {
+                driver.state = LinkState::Idle(handle.sleep(Duration::ZERO));
+                return false;
+            }
+            let (tx, rx) = oneshot::channel();
+            let endpoint = link.endpoint.clone();
+            let config = config.clone();
+            dispatch.execute(move || {
+                let _ = tx.send(connect_peer(&endpoint, &config));
+            });
+            driver.state = LinkState::Connecting(rx);
+            true
+        }
+        LinkState::Connecting(rx) => match Pin::new(rx).poll(cx) {
+            Poll::Ready(Ok(Ok(conn))) => {
+                link.connects.fetch_add(1, Ordering::Relaxed);
+                driver.backoff = config.retry_backoff;
+                driver.state = LinkState::Streaming(conn);
+                true
+            }
+            Poll::Ready(Ok(Err(_)) | Err(_)) => {
+                fail_link(driver, link, handle, config);
+                true
+            }
+            Poll::Pending => false,
+        },
+        LinkState::Streaming(conn) => {
+            let mut progress = false;
+            // Drain whatever the peer says.  The link is one-way — the only
+            // frames that can come back are structured errors right before
+            // the peer hangs up — so bytes are discarded and EOF/error is
+            // the actual signal.
+            let mut scratch = [0u8; 1024];
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        fail_link(driver, link, handle, config);
+                        return true;
+                    }
+                    Ok(_) => progress = true,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        fail_link(driver, link, handle, config);
+                        return true;
+                    }
+                }
+            }
+            loop {
+                if conn.write_pos < conn.write_buf.len() {
+                    match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                        Ok(0) => {
+                            fail_link(driver, link, handle, config);
+                            return true;
+                        }
+                        Ok(n) => {
+                            conn.write_pos += n;
+                            progress = true;
+                            if conn.write_pos == conn.write_buf.len() {
+                                link.pushes_sent.fetch_add(1, Ordering::Relaxed);
+                                conn.write_buf.clear();
+                                conn.write_pos = 0;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            fail_link(driver, link, handle, config);
+                            return true;
+                        }
+                    }
+                } else if let Some(push) = link.pop() {
+                    let frame = conn.codec.encode_frame(&push);
+                    conn.write_buf = match &conn.auth {
+                        Some(key) => key.seal(frame),
+                        None => frame,
+                    };
+                    conn.write_pos = 0;
+                    progress = true;
+                } else {
+                    break;
+                }
+            }
+            progress
+        }
+    }
+}
+
+/// Tear a link down to `Idle` with doubled backoff.
+fn fail_link(
+    driver: &mut LinkDriver,
+    link: &Arc<PeerLink>,
+    handle: &Handle,
+    config: &ReplicationConfig,
+) {
+    link.link_errors.fetch_add(1, Ordering::Relaxed);
+    driver.state = LinkState::Idle(handle.sleep(driver.backoff));
+    driver.backoff = (driver.backoff * 2).min(config.max_backoff);
+}
+
+/// Blocking connect + hello exchange for a peer link (runs on the dispatch
+/// pool).  Mirrors the client handshake, including the tolerant read of a
+/// plain structured rejection from a peer that does not share our key.
+fn connect_peer(endpoint: &str, config: &ReplicationConfig) -> Result<PeerConn, ServiceError> {
+    let stream = TcpStream::connect(endpoint)
+        .map_err(|e| ServiceError::transport(format!("peer connect failed: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(config.connect_timeout))
+        .map_err(|e| ServiceError::transport(format!("setting peer read timeout: {e}")))?;
+    let mut stream = stream;
+    let mut hello = HelloFrame::advertising(&config.codecs);
+    if config.cluster_key.is_some() {
+        hello = hello.authenticated();
+    }
+    send_frame_blocking(&mut stream, &encode_json_frame(&hello), None)?;
+    let (kind, header, mut payload) = read_frame_blocking_raw(&mut stream, config.max_frame, None)?;
+    if kind != FrameKind::HelloReply {
+        return Err(ServiceError::transport(format!(
+            "expected a HelloReply frame from peer, got {kind:?}"
+        )));
+    }
+    if let Some(key) = &config.cluster_key {
+        if key.open_split(&header, &mut payload).is_err() {
+            return match parse_json_payload::<HelloReply>(&payload) {
+                Ok(HelloReply::Rejected(error)) => Err(error),
+                _ => Err(ServiceError::unauthenticated(
+                    "peer did not authenticate its hello reply; it holds no (or a different) \
+                     cluster key",
+                )),
+            };
+        }
+    }
+    match parse_json_payload::<HelloReply>(&payload)? {
+        HelloReply::Accepted { codec, .. } => {
+            let codec = match codec {
+                None => WireCodec::Json,
+                Some(name) => match WireCodec::from_name(&name) {
+                    Some(codec) if codec == WireCodec::Json || config.codecs.contains(&codec) => {
+                        codec
+                    }
+                    _ => {
+                        return Err(ServiceError::transport(format!(
+                            "peer selected codec {name:?}, which this link did not offer"
+                        )))
+                    }
+                },
+            };
+            stream
+                .set_nonblocking(true)
+                .map_err(|e| ServiceError::transport(format!("peer stream nonblocking: {e}")))?;
+            Ok(PeerConn {
+                stream,
+                codec,
+                auth: config.cluster_key.clone(),
+                write_buf: Vec::new(),
+                write_pos: 0,
+            })
+        }
+        HelloReply::Rejected(error) => Err(error),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard router
+// ---------------------------------------------------------------------------
+
+/// Tunables of a [`ShardRouter`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-shard connection config (codecs, timeouts, cluster key).
+    pub client: ClientConfig,
+    /// Rounds over the ranked shard list before giving up; backoff applies
+    /// between rounds, not between shards within a round.
+    pub retry_rounds: usize,
+    /// Backoff before round *n* (doubling: `retry_backoff << (n - 1)`).
+    pub retry_backoff: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            client: ClientConfig::default(),
+            retry_rounds: 3,
+            retry_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Per-shard connection slot and counters.
+struct ShardSlot {
+    endpoint: String,
+    conn: Mutex<Option<Arc<TcpTransport>>>,
+    requests: AtomicU64,
+    connects: AtomicU64,
+    link_errors: AtomicU64,
+}
+
+impl ShardSlot {
+    fn new(endpoint: String) -> Self {
+        Self {
+            endpoint,
+            conn: Mutex::new(None),
+            requests: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+            link_errors: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> PeerStats {
+        PeerStats {
+            endpoint: self.endpoint.clone(),
+            pushes_sent: 0,
+            pushes_dropped: 0,
+            queue_depth: 0,
+            connects: self.connects.load(Ordering::Relaxed),
+            link_errors: self.link_errors.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Client-side shard fan-out: a [`MatrixService`] that routes each request to
+/// the shard owning its cache key ([`rendezvous_rank`]) and fails over to the
+/// next-ranked shard when the owner sheds, dies mid-request or cannot be
+/// reached.
+///
+/// Semantic failures — invalid requests, generation errors, version or key
+/// mismatches — are returned immediately: every shard would answer the same,
+/// so failing over only hides the real error.
+///
+/// All shards must serve the same grid and prior (the router adopts the first
+/// reachable shard's tree, exactly as a single [`TcpTransport`] adopts its
+/// server's).
+pub struct ShardRouter {
+    endpoints: Vec<String>,
+    config: RouterConfig,
+    shards: Vec<ShardSlot>,
+    tree: Arc<LocationTree>,
+    prior: Arc<PriorDistribution>,
+    failovers: AtomicU64,
+}
+
+impl ShardRouter {
+    /// Connect to a shard set.  Succeeds as long as *one* endpoint is
+    /// reachable (the others connect lazily on first use); fails with the
+    /// last connect error when none is.
+    pub fn connect<I, S>(endpoints: I, config: RouterConfig) -> Result<Self, ServiceError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let endpoints: Vec<String> = endpoints.into_iter().map(Into::into).collect();
+        if endpoints.is_empty() {
+            return Err(ServiceError::transport(
+                "shard router needs at least one endpoint",
+            ));
+        }
+        let shards: Vec<ShardSlot> = endpoints.iter().cloned().map(ShardSlot::new).collect();
+        let mut last_error = None;
+        let mut adopted = None;
+        for slot in &shards {
+            match connect_slot(slot, &config.client) {
+                Ok(transport) => {
+                    adopted = Some((transport.tree(), transport.prior()));
+                    break;
+                }
+                Err(error) => last_error = Some(error),
+            }
+        }
+        let Some((tree, prior)) = adopted else {
+            return Err(last_error
+                .unwrap_or_else(|| ServiceError::transport("no shard endpoint reachable")));
+        };
+        Ok(Self {
+            endpoints,
+            config,
+            shards,
+            tree,
+            prior,
+            failovers: AtomicU64::new(0),
+        })
+    }
+
+    /// The configured shard endpoints, in index order.
+    pub fn endpoints(&self) -> &[String] {
+        &self.endpoints
+    }
+
+    /// Router-side cluster counters: total failovers plus per-shard request,
+    /// connect and link-error counts.
+    pub fn cluster_stats(&self) -> ClusterStats {
+        ClusterStats {
+            failovers: self.failovers.load(Ordering::Relaxed),
+            peers: self.shards.iter().map(ShardSlot::stats).collect(),
+            ..ClusterStats::default()
+        }
+    }
+
+    fn transport_for(&self, index: usize) -> Result<Arc<TcpTransport>, ServiceError> {
+        connect_slot(&self.shards[index], &self.config.client)
+    }
+}
+
+/// Get-or-establish a slot's connection (the slot mutex serializes dials, so
+/// concurrent routers' threads share one connection per shard).
+fn connect_slot(
+    slot: &ShardSlot,
+    config: &ClientConfig,
+) -> Result<Arc<TcpTransport>, ServiceError> {
+    let mut conn = slot.conn.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(transport) = conn.as_ref() {
+        return Ok(Arc::clone(transport));
+    }
+    let transport = Arc::new(TcpTransport::connect_with(
+        slot.endpoint.as_str(),
+        config.clone(),
+    )?);
+    slot.connects.fetch_add(1, Ordering::Relaxed);
+    *conn = Some(Arc::clone(&transport));
+    Ok(transport)
+}
+
+impl MatrixService for ShardRouter {
+    fn privacy_forest(
+        &self,
+        request: MatrixRequest,
+    ) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
+        let order = rendezvous_rank(&self.endpoints, request.privacy_level, request.delta);
+        let mut last_error = ServiceError::transport("no shards configured");
+        let mut first_attempt = true;
+        for round in 0..self.config.retry_rounds.max(1) {
+            if round > 0 {
+                let exponent = u32::try_from(round - 1).unwrap_or(16).min(16);
+                std::thread::sleep(self.config.retry_backoff * (1u32 << exponent));
+            }
+            for &index in &order {
+                if !first_attempt {
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                first_attempt = false;
+                let slot = &self.shards[index];
+                let transport = match self.transport_for(index) {
+                    Ok(transport) => transport,
+                    Err(error) => {
+                        slot.link_errors.fetch_add(1, Ordering::Relaxed);
+                        last_error = error;
+                        continue;
+                    }
+                };
+                match transport.privacy_forest(request) {
+                    Ok(forest) => {
+                        slot.requests.fetch_add(1, Ordering::Relaxed);
+                        return Ok(forest);
+                    }
+                    Err(error) => match error.kind {
+                        // Every shard would answer these the same; surface
+                        // the real error instead of hiding it in failover.
+                        ServiceErrorKind::InvalidRequest
+                        | ServiceErrorKind::Generation
+                        | ServiceErrorKind::UnsupportedVersion
+                        | ServiceErrorKind::Unauthenticated => return Err(error),
+                        // A shed is retryable and the connection stays
+                        // synchronized: keep it, try the next shard.
+                        ServiceErrorKind::Overloaded => last_error = error,
+                        // Transport failures poison the connection: drop it
+                        // so the next attempt reconnects fresh.
+                        ServiceErrorKind::Transport | ServiceErrorKind::Internal => {
+                            slot.link_errors.fetch_add(1, Ordering::Relaxed);
+                            *slot.conn.lock().unwrap_or_else(|e| e.into_inner()) = None;
+                            last_error = error;
+                        }
+                    },
+                }
+            }
+        }
+        Err(last_error)
+    }
+
+    fn tree(&self) -> Arc<LocationTree> {
+        Arc::clone(&self.tree)
+    }
+
+    fn prior(&self) -> Arc<PriorDistribution> {
+        Arc::clone(&self.prior)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn rendezvous_rank_is_a_stable_permutation_that_uses_every_shard() {
+        let endpoints = ["10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"];
+        let mut owners = std::collections::HashSet::new();
+        for level in 0..4u8 {
+            for delta in 0..8usize {
+                let rank = rendezvous_rank(&endpoints, level, delta);
+                // A permutation of all shard indices…
+                let mut sorted = rank.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1, 2]);
+                // …that every caller computes identically.
+                assert_eq!(rank, rendezvous_rank(&endpoints, level, delta));
+                owners.insert(rank[0]);
+            }
+        }
+        // Over a whole key grid the ownership spreads across shards.
+        assert!(owners.len() > 1, "all keys landed on one shard: {owners:?}");
+    }
+
+    #[test]
+    fn removing_an_endpoint_only_remaps_its_own_keys() {
+        let full = ["s1:1", "s2:1", "s3:1"];
+        let reduced = ["s1:1", "s2:1"];
+        for level in 0..3u8 {
+            for delta in 0..8usize {
+                let before = rendezvous_rank(&full, level, delta);
+                let after = rendezvous_rank(&reduced, level, delta);
+                if before[0] != 2 {
+                    // Keys not owned by the removed shard keep their owner.
+                    assert_eq!(after[0], before[0], "key ({level},{delta}) moved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replication_queue_is_bounded_and_drops_oldest() {
+        let replicator = Replicator::new(ReplicationConfig {
+            queue_depth: 2,
+            push_payloads: false,
+            ..ReplicationConfig::default()
+        });
+        replicator.add_peer("127.0.0.1:1");
+        for delta in 0..5usize {
+            let link = &replicator.links()[0];
+            link.offer(
+                WarmPush {
+                    privacy_level: 1,
+                    delta,
+                    forest: None,
+                },
+                2,
+            );
+        }
+        let stats = replicator.peer_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].queue_depth, 2);
+        assert_eq!(stats[0].pushes_dropped, 3);
+        // The survivors are the *newest* pushes.
+        let link = &replicator.links()[0];
+        assert_eq!(link.pop().unwrap().delta, 3);
+        assert_eq!(link.pop().unwrap().delta, 4);
+        assert!(link.pop().is_none());
+    }
+
+    #[test]
+    fn cluster_stats_roundtrip_through_json() {
+        let stats = ClusterStats {
+            pushes_received: 7,
+            pushes_deduped: 3,
+            pushes_ignored: 1,
+            auth_rejections: 2,
+            failovers: 4,
+            peers: vec![PeerStats {
+                endpoint: "127.0.0.1:7001".into(),
+                pushes_sent: 9,
+                pushes_dropped: 1,
+                queue_depth: 0,
+                connects: 2,
+                link_errors: 1,
+                requests: 0,
+            }],
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ClusterStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+
+        let report = StatsReport {
+            transport: TransportStats::default(),
+            cache: None,
+            cluster: Some(stats),
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

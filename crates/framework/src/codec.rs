@@ -39,10 +39,18 @@
 //! WarmReport        = T₉ requested(u64) warmed(u64) elapsed_ms(u64)
 //!                     T₁₀ n(u32) failure×n      failure = level(u8) delta(u64) error
 //! HelloFrame        = T₁ version T₁₁ present(u8) [n(u32) name(str)×n]
+//!                     T₁₅ present(u8) [scheme(str)]
 //! HelloReply        = disc(u8: 0 accepted, 1 rejected)
 //!   accepted        = T₁ version T₁₂ lat(f64) lng(f64) height(u8) spacing(f64)
 //!                     T₁₃ n(u32) prob(f64)×n T₁₄ present(u8) [name(str)]
+//!                     T₁₅ present(u8) [scheme(str)]
 //!   rejected        = error
+//! WarmPush          = T₃ request T₁₆ present(u8) [forest body]
+//! StatsRequest      = (empty payload)
+//! StatsReport       = T₁₇ transport(u64×14) T₁₈ present(u8) [cache(u64×5)]
+//!                     T₁₉ present(u8) [cluster]
+//!   cluster         = counters(u64×5) n(u32) peer×n
+//!   peer            = endpoint(str) counters(u64×6)
 //! ```
 //!
 //! `Hello`/`HelloReply` have binary encodings for completeness (and so the
@@ -52,12 +60,14 @@
 //!
 //! [`CellId::pack`]: corgi_hexgrid::CellId::pack
 
+use crate::cluster::{ClusterStats, PeerStats, StatsReport, StatsRequest};
 use crate::messages::{
     ForestEntry, MatrixRequest, PrivacyForestResponse, ProtocolVersion, RequestEnvelope,
     ResponseEnvelope, ResponsePayload, ServiceError, ServiceErrorKind, WireCodec,
 };
-use crate::transport::{FrameKind, HelloFrame, HelloReply, FRAME_HEADER_LEN};
-use crate::warm::{WarmFailure, WarmReport, WarmRequest};
+use crate::service::CacheStats;
+use crate::transport::{FrameKind, HelloFrame, HelloReply, TransportStats, FRAME_HEADER_LEN};
+use crate::warm::{WarmFailure, WarmPush, WarmReport, WarmRequest};
 use corgi_core::ObfuscationMatrix;
 use corgi_datagen::PriorDistribution;
 use corgi_geo::LatLng;
@@ -80,6 +90,11 @@ const TAG_CODECS: u8 = 0x0B;
 const TAG_GRID: u8 = 0x0C;
 const TAG_PRIOR: u8 = 0x0D;
 const TAG_CODEC: u8 = 0x0E;
+const TAG_AUTH: u8 = 0x0F;
+const TAG_FOREST: u8 = 0x10;
+const TAG_TRANSPORT: u8 = 0x11;
+const TAG_CACHE: u8 = 0x12;
+const TAG_CLUSTER: u8 = 0x13;
 
 /// Why a binary payload could not be decoded.
 ///
@@ -320,6 +335,8 @@ fn kind_to_byte(kind: ServiceErrorKind) -> u8 {
         // Added in protocol 1.3 (admission-control sheds); bytes are
         // append-only so 1.2 decoders keep reading every pre-1.3 kind.
         ServiceErrorKind::Overloaded => 5,
+        // Added in protocol 1.4 (keyed frame authentication).
+        ServiceErrorKind::Unauthenticated => 6,
     }
 }
 
@@ -331,6 +348,7 @@ fn byte_to_kind(byte: u8) -> Result<ServiceErrorKind, WireError> {
         3 => Ok(ServiceErrorKind::Transport),
         4 => Ok(ServiceErrorKind::Internal),
         5 => Ok(ServiceErrorKind::Overloaded),
+        6 => Ok(ServiceErrorKind::Unauthenticated),
         other => Err(WireError::new(format!("unknown error kind {other}"))),
     }
 }
@@ -344,6 +362,26 @@ fn read_service_error(r: &mut WireReader<'_>) -> Result<ServiceError, WireError>
     let kind = byte_to_kind(r.u8("error.kind")?)?;
     let message = r.str("error.message")?;
     Ok(ServiceError { kind, message })
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
+    match s {
+        None => put_u8(out, 0),
+        Some(s) => {
+            put_u8(out, 1);
+            put_str(out, s);
+        }
+    }
+}
+
+fn read_opt_str(r: &mut WireReader<'_>, what: &str) -> Result<Option<String>, WireError> {
+    match r.u8(what)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.str(what)?)),
+        other => Err(WireError::new(format!(
+            "invalid option presence byte {other}"
+        ))),
+    }
 }
 
 fn put_forest(out: &mut Vec<u8>, f: &PrivacyForestResponse) {
@@ -587,6 +625,8 @@ impl WireMessage for HelloFrame {
                 }
             }
         }
+        put_u8(out, TAG_AUTH);
+        put_opt_str(out, &self.auth);
     }
 
     fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -609,7 +649,13 @@ impl WireMessage for HelloFrame {
                 )))
             }
         };
-        Ok(Self { version, codecs })
+        r.tag(TAG_AUTH, "hello.auth")?;
+        let auth = read_opt_str(r, "hello.auth")?;
+        Ok(Self {
+            version,
+            codecs,
+            auth,
+        })
     }
 }
 
@@ -623,6 +669,7 @@ impl WireMessage for HelloReply {
                 grid,
                 prior,
                 codec,
+                auth,
             } => {
                 put_u8(out, 0);
                 put_u8(out, TAG_VERSION);
@@ -635,13 +682,9 @@ impl WireMessage for HelloReply {
                 put_u8(out, TAG_PRIOR);
                 put_f64_run(out, prior.probs());
                 put_u8(out, TAG_CODEC);
-                match codec {
-                    None => put_u8(out, 0),
-                    Some(name) => {
-                        put_u8(out, 1);
-                        put_str(out, name);
-                    }
-                }
+                put_opt_str(out, codec);
+                put_u8(out, TAG_AUTH);
+                put_opt_str(out, auth);
             }
             HelloReply::Rejected(error) => {
                 put_u8(out, 1);
@@ -665,15 +708,9 @@ impl WireMessage for HelloReply {
                 r.tag(TAG_PRIOR, "reply.prior")?;
                 let prior = PriorDistribution::from_probs(r.f64_run("reply.prior")?);
                 r.tag(TAG_CODEC, "reply.codec")?;
-                let codec = match r.u8("reply.codec presence")? {
-                    0 => None,
-                    1 => Some(r.str("reply.codec")?),
-                    other => {
-                        return Err(WireError::new(format!(
-                            "invalid option presence byte {other}"
-                        )))
-                    }
-                };
+                let codec = read_opt_str(r, "reply.codec")?;
+                r.tag(TAG_AUTH, "reply.auth")?;
+                let auth = read_opt_str(r, "reply.auth")?;
                 Ok(HelloReply::Accepted {
                     version,
                     grid: HexGridConfig {
@@ -683,6 +720,7 @@ impl WireMessage for HelloReply {
                     },
                     prior,
                     codec,
+                    auth,
                 })
             }
             1 => Ok(HelloReply::Rejected(read_service_error(r)?)),
@@ -690,6 +728,200 @@ impl WireMessage for HelloReply {
                 "unknown hello reply discriminant {other}"
             ))),
         }
+    }
+}
+
+impl WireMessage for WarmPush {
+    const KIND: FrameKind = FrameKind::WarmPush;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        put_u8(out, TAG_REQUEST);
+        put_matrix_request(out, &self.request());
+        put_u8(out, TAG_FOREST);
+        match &self.forest {
+            None => put_u8(out, 0),
+            Some(forest) => {
+                put_u8(out, 1);
+                put_forest(out, forest);
+            }
+        }
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.tag(TAG_REQUEST, "push.request")?;
+        let request = read_matrix_request(r)?;
+        r.tag(TAG_FOREST, "push.forest")?;
+        let forest = match r.u8("push.forest presence")? {
+            0 => None,
+            1 => Some(Arc::new(read_forest(r)?)),
+            other => {
+                return Err(WireError::new(format!(
+                    "invalid option presence byte {other}"
+                )))
+            }
+        };
+        Ok(Self {
+            privacy_level: request.privacy_level,
+            delta: request.delta,
+            forest,
+        })
+    }
+}
+
+impl WireMessage for StatsRequest {
+    const KIND: FrameKind = FrameKind::Stats;
+
+    fn encode_binary(&self, _out: &mut Vec<u8>) {}
+
+    fn decode_binary(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {})
+    }
+}
+
+fn put_cluster_stats(out: &mut Vec<u8>, c: &ClusterStats) {
+    put_u64(out, c.pushes_received);
+    put_u64(out, c.pushes_deduped);
+    put_u64(out, c.pushes_ignored);
+    put_u64(out, c.auth_rejections);
+    put_u64(out, c.failovers);
+    put_count(out, c.peers.len());
+    for peer in &c.peers {
+        put_str(out, &peer.endpoint);
+        put_u64(out, peer.pushes_sent);
+        put_u64(out, peer.pushes_dropped);
+        put_u64(out, peer.queue_depth);
+        put_u64(out, peer.connects);
+        put_u64(out, peer.link_errors);
+        put_u64(out, peer.requests);
+    }
+}
+
+fn read_cluster_stats(r: &mut WireReader<'_>) -> Result<ClusterStats, WireError> {
+    let pushes_received = r.u64("cluster.pushes_received")?;
+    let pushes_deduped = r.u64("cluster.pushes_deduped")?;
+    let pushes_ignored = r.u64("cluster.pushes_ignored")?;
+    let auth_rejections = r.u64("cluster.auth_rejections")?;
+    let failovers = r.u64("cluster.failovers")?;
+    // Each peer carries at least an endpoint length and six counters.
+    let n = r.count(52, "cluster.peers")?;
+    let mut peers = Vec::with_capacity(n);
+    for _ in 0..n {
+        peers.push(PeerStats {
+            endpoint: r.str("peer.endpoint")?,
+            pushes_sent: r.u64("peer.pushes_sent")?,
+            pushes_dropped: r.u64("peer.pushes_dropped")?,
+            queue_depth: r.u64("peer.queue_depth")?,
+            connects: r.u64("peer.connects")?,
+            link_errors: r.u64("peer.link_errors")?,
+            requests: r.u64("peer.requests")?,
+        });
+    }
+    Ok(ClusterStats {
+        pushes_received,
+        pushes_deduped,
+        pushes_ignored,
+        auth_rejections,
+        failovers,
+        peers,
+    })
+}
+
+impl WireMessage for StatsReport {
+    const KIND: FrameKind = FrameKind::StatsReply;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        put_u8(out, TAG_TRANSPORT);
+        let t = &self.transport;
+        for v in [
+            t.connections_accepted,
+            t.connections_closed,
+            t.binary_connections,
+            t.json_connections,
+            t.frames_in,
+            t.frames_out,
+            t.bytes_in,
+            t.bytes_out,
+            t.backpressure_stalls,
+            t.requests_admitted,
+            t.requests_shed,
+            t.read_buffer_high_water,
+            t.transport_errors,
+            t.poisoned_connections,
+        ] {
+            put_u64(out, v);
+        }
+        put_u8(out, TAG_CACHE);
+        match &self.cache {
+            None => put_u8(out, 0),
+            Some(c) => {
+                put_u8(out, 1);
+                put_u64(out, c.hits);
+                put_u64(out, c.misses);
+                put_u64(out, c.coalesced);
+                put_u64(out, c.evictions);
+                put_u64(out, c.entries as u64);
+            }
+        }
+        put_u8(out, TAG_CLUSTER);
+        match &self.cluster {
+            None => put_u8(out, 0),
+            Some(cluster) => {
+                put_u8(out, 1);
+                put_cluster_stats(out, cluster);
+            }
+        }
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.tag(TAG_TRANSPORT, "stats.transport")?;
+        let transport = TransportStats {
+            connections_accepted: r.u64("transport.connections_accepted")?,
+            connections_closed: r.u64("transport.connections_closed")?,
+            binary_connections: r.u64("transport.binary_connections")?,
+            json_connections: r.u64("transport.json_connections")?,
+            frames_in: r.u64("transport.frames_in")?,
+            frames_out: r.u64("transport.frames_out")?,
+            bytes_in: r.u64("transport.bytes_in")?,
+            bytes_out: r.u64("transport.bytes_out")?,
+            backpressure_stalls: r.u64("transport.backpressure_stalls")?,
+            requests_admitted: r.u64("transport.requests_admitted")?,
+            requests_shed: r.u64("transport.requests_shed")?,
+            read_buffer_high_water: r.u64("transport.read_buffer_high_water")?,
+            transport_errors: r.u64("transport.transport_errors")?,
+            poisoned_connections: r.u64("transport.poisoned_connections")?,
+        };
+        r.tag(TAG_CACHE, "stats.cache")?;
+        let cache = match r.u8("stats.cache presence")? {
+            0 => None,
+            1 => Some(CacheStats {
+                hits: r.u64("cache.hits")?,
+                misses: r.u64("cache.misses")?,
+                coalesced: r.u64("cache.coalesced")?,
+                evictions: r.u64("cache.evictions")?,
+                entries: usize::try_from(r.u64("cache.entries")?)
+                    .map_err(|_| WireError::new("cache.entries exceeds usize"))?,
+            }),
+            other => {
+                return Err(WireError::new(format!(
+                    "invalid option presence byte {other}"
+                )))
+            }
+        };
+        r.tag(TAG_CLUSTER, "stats.cluster")?;
+        let cluster = match r.u8("stats.cluster presence")? {
+            0 => None,
+            1 => Some(read_cluster_stats(r)?),
+            other => {
+                return Err(WireError::new(format!(
+                    "invalid option presence byte {other}"
+                )))
+            }
+        };
+        Ok(Self {
+            transport,
+            cache,
+            cluster,
+        })
     }
 }
 
@@ -814,20 +1046,85 @@ mod tests {
         binary_roundtrip(&HelloFrame {
             version: PROTOCOL_VERSION,
             codecs: Some(vec!["binary".into(), "json".into()]),
+            auth: None,
         });
         binary_roundtrip(&HelloFrame {
             version: PROTOCOL_VERSION,
             codecs: None,
+            auth: Some(crate::auth::AUTH_SCHEME.to_string()),
         });
         binary_roundtrip(&HelloReply::Accepted {
             version: PROTOCOL_VERSION,
             grid: HexGridConfig::san_francisco(),
             prior: PriorDistribution::from_probs(vec![0.25, 0.5, 0.25]),
             codec: Some("binary".into()),
+            auth: Some(crate::auth::AUTH_SCHEME.to_string()),
         });
         binary_roundtrip(&HelloReply::Rejected(ServiceError::unsupported_version(
             ProtocolVersion { major: 9, minor: 0 },
         )));
+        binary_roundtrip(&ResponseEnvelope::error(
+            0,
+            ServiceError::unauthenticated("frame failed authentication"),
+        ));
+        // Protocol 1.4 cluster messages.
+        binary_roundtrip(&WarmPush {
+            privacy_level: 2,
+            delta: 3,
+            forest: None,
+        });
+        binary_roundtrip(&WarmPush {
+            privacy_level: 1,
+            delta: 0,
+            forest: Some(Arc::new(sample_forest())),
+        });
+        binary_roundtrip(&StatsRequest {});
+        binary_roundtrip(&StatsReport {
+            transport: TransportStats {
+                connections_accepted: 3,
+                connections_closed: 1,
+                binary_connections: 2,
+                json_connections: 1,
+                frames_in: 100,
+                frames_out: 99,
+                bytes_in: 4096,
+                bytes_out: 70_000,
+                backpressure_stalls: 1,
+                requests_admitted: 97,
+                requests_shed: 2,
+                read_buffer_high_water: 512,
+                transport_errors: 1,
+                poisoned_connections: 0,
+            },
+            cache: Some(CacheStats {
+                hits: 90,
+                misses: 7,
+                coalesced: 3,
+                evictions: 1,
+                entries: 6,
+            }),
+            cluster: Some(ClusterStats {
+                pushes_received: 5,
+                pushes_deduped: 2,
+                pushes_ignored: 1,
+                auth_rejections: 4,
+                failovers: 0,
+                peers: vec![PeerStats {
+                    endpoint: "127.0.0.1:9001".into(),
+                    pushes_sent: 7,
+                    pushes_dropped: 3,
+                    queue_depth: 1,
+                    connects: 2,
+                    link_errors: 1,
+                    requests: 0,
+                }],
+            }),
+        });
+        binary_roundtrip(&StatsReport {
+            transport: TransportStats::default(),
+            cache: None,
+            cluster: None,
+        });
     }
 
     #[test]

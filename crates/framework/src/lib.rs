@@ -54,6 +54,24 @@
 //! grid through whatever caching layer the stack holds, making steady-state
 //! traffic cache-hit dominated.
 //!
+//! # The cluster subsystem (protocol 1.4)
+//!
+//! [`mod@cluster`] scales the single-server stack out horizontally:
+//!
+//! * [`ShardRouter`] — a client-side [`MatrixService`] that rendezvous-hashes
+//!   each `(privacy_level, δ)` cache key across N server endpoints and fails
+//!   over to the next-ranked shard with bounded retry/backoff;
+//! * [`Replicator`] / [`ReplicatingService`] — after a cold miss, the solving
+//!   shard pushes the key (and usually the solved forest) to its peers as
+//!   fire-and-forget `WarmPush` frames over bounded drop-oldest queues, so a
+//!   miss on shard A becomes a warm hit on shard B without a second LP solve;
+//! * [`mod@auth`] — hand-rolled SHA-256/HMAC frame authentication
+//!   ([`ClusterKey`]) negotiated at `Hello` time, appending a truncated MAC
+//!   trailer to every frame of a keyed cluster;
+//! * wire-level observability — a `Stats` frame returns a [`StatsReport`]
+//!   (transport + cache + cluster counters) without touching in-process
+//!   accessors.
+//!
 //! [`CorgiClient`] implements the trusted device side against the trait
 //! object; [`messages`] defines the serde-serializable wire format — including
 //! the versioned [`messages::RequestEnvelope`] / [`messages::ResponseEnvelope`]
@@ -81,7 +99,9 @@
 
 #![warn(missing_docs)]
 
+pub mod auth;
 mod client;
+pub mod cluster;
 pub mod codec;
 pub mod executor;
 pub mod messages;
@@ -92,7 +112,12 @@ mod service;
 pub mod transport;
 pub mod warm;
 
+pub use auth::ClusterKey;
 pub use client::{CorgiClient, ObfuscationOutcome};
+pub use cluster::{
+    rendezvous_rank, ClusterStats, PeerStats, ReplicatingService, ReplicationConfig, Replicator,
+    RouterConfig, ShardRouter, StatsReport, StatsRequest,
+};
 pub use codec::{WireMessage, WireReader};
 pub use messages::{ServiceError, ServiceErrorKind, WireCodec};
 pub use pool::{JobPanic, ThreadPool};
@@ -102,7 +127,7 @@ pub use server::CorgiServer;
 pub use server::{ServerConfig, ServerConfigBuilder};
 pub use service::{
     CacheConfig, CacheStats, CachingService, ForestGenerator, InstrumentedService, MatrixService,
-    ServiceStats,
+    ServiceStats, WarmInsertOutcome,
 };
 pub use transport::{ClientConfig, TcpServer, TcpTransport, TransportConfig, TransportStats};
-pub use warm::{warm, WarmFailure, WarmReport, WarmRequest};
+pub use warm::{warm, WarmFailure, WarmPush, WarmReport, WarmRequest};

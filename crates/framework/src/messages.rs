@@ -82,14 +82,20 @@ pub struct ProtocolVersion {
 /// error kind and the framed TCP handshake of [`crate::transport`]; 1.2
 /// added codec negotiation and the binary frame codec ([`WireCodec`]);
 /// 1.3 added the [`Overloaded`] error kind, replied by a server whose
-/// admission control sheds a request instead of queueing it unboundedly.
-/// Every step is additive, so 1.0–1.2 peers still interoperate (a 1.3
-/// side falls back to JSON frames for pre-1.2 peers; an overloaded reply
-/// is only ever sent in response to live traffic).
+/// admission control sheds a request instead of queueing it unboundedly;
+/// 1.4 added the cluster tier of [`crate::cluster`] — the `WarmPush`
+/// peer-replication frame, the `Stats`/`StatsReply` counter frames, HMAC
+/// frame authentication negotiated in the hello exchange
+/// ([`crate::auth`]), and the [`Unauthenticated`] error kind.  Every
+/// step is additive, so 1.0–1.3 peers still interoperate (a 1.4 side
+/// falls back to JSON frames for pre-1.2 peers; the new frame kinds and
+/// the auth handshake fields are only ever used between peers that
+/// negotiated them).
 ///
 /// [`Transport`]: ServiceErrorKind::Transport
 /// [`Overloaded`]: ServiceErrorKind::Overloaded
-pub const PROTOCOL_VERSION: ProtocolVersion = ProtocolVersion { major: 1, minor: 3 };
+/// [`Unauthenticated`]: ServiceErrorKind::Unauthenticated
+pub const PROTOCOL_VERSION: ProtocolVersion = ProtocolVersion { major: 1, minor: 4 };
 
 impl ProtocolVersion {
     /// Whether an envelope carrying `other` can be served by this version.
@@ -234,6 +240,12 @@ pub enum ServiceErrorKind {
     Overloaded,
     /// Any other server-side failure.
     Internal,
+    /// Frame authentication failed (added in 1.4): the peer did not
+    /// authenticate against a keyed endpoint, announced authentication the
+    /// endpoint cannot verify, or sent a frame whose MAC trailer does not
+    /// match its contents.  Not retryable — the connection is being drained
+    /// and the client must reconnect with the right cluster key.
+    Unauthenticated,
 }
 
 /// A structured, serializable error reply — the wire-facing counterpart of
@@ -271,6 +283,11 @@ impl ServiceError {
     /// The reply sent when admission control sheds a request under load.
     pub fn overloaded(message: impl Into<String>) -> Self {
         Self::new(ServiceErrorKind::Overloaded, message)
+    }
+
+    /// The reply sent when frame authentication fails or is missing.
+    pub fn unauthenticated(message: impl Into<String>) -> Self {
+        Self::new(ServiceErrorKind::Unauthenticated, message)
     }
 
     /// Whether the failed request may simply be retried.
@@ -317,6 +334,7 @@ impl From<ServiceError> for CorgiError {
             ServiceErrorKind::UnsupportedVersion
             | ServiceErrorKind::Transport
             | ServiceErrorKind::Overloaded
+            | ServiceErrorKind::Unauthenticated
             | ServiceErrorKind::Internal => CorgiError::Grid(e.message),
         }
     }
@@ -536,6 +554,7 @@ mod tests {
             ServiceErrorKind::Generation,
             ServiceErrorKind::Transport,
             ServiceErrorKind::Internal,
+            ServiceErrorKind::Unauthenticated,
         ] {
             assert!(!ServiceError::new(kind, "x").is_retryable());
         }

@@ -29,6 +29,7 @@ use corgi_core::{
 use corgi_datagen::PriorDistribution;
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -101,6 +102,37 @@ pub trait MatrixService: Send + Sync {
             Err(error) => ResponseEnvelope::error(envelope.request_id, error),
         }
     }
+
+    /// Offer an already-solved forest (replicated from a cluster peer) to this
+    /// service's cache without running a generation.
+    ///
+    /// The default declines ([`WarmInsertOutcome::Unsupported`]) — only a
+    /// caching layer can retain the forest; wrappers forward to their inner
+    /// service.
+    fn warm_insert(&self, forest: Arc<PrivacyForestResponse>) -> WarmInsertOutcome {
+        let _ = forest;
+        WarmInsertOutcome::Unsupported
+    }
+
+    /// A snapshot of the cache counters of the stack, if any layer caches.
+    ///
+    /// This is what a server reports in a wire `StatsReply`; the default
+    /// (`None`) marks a stack without a caching layer.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+}
+
+/// Outcome of [`MatrixService::warm_insert`]: what a service did with a forest
+/// replicated from a cluster peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmInsertOutcome {
+    /// The forest is now resident; a future request for its key is a hit.
+    Inserted,
+    /// The key was already cached — the push deduplicated.
+    AlreadyResident,
+    /// No layer of the stack caches; the forest was dropped.
+    Unsupported,
 }
 
 impl<S: MatrixService + ?Sized> MatrixService for Arc<S> {
@@ -121,6 +153,14 @@ impl<S: MatrixService + ?Sized> MatrixService for Arc<S> {
 
     fn handle_envelope(&self, envelope: &RequestEnvelope) -> ResponseEnvelope {
         (**self).handle_envelope(envelope)
+    }
+
+    fn warm_insert(&self, forest: Arc<PrivacyForestResponse>) -> WarmInsertOutcome {
+        (**self).warm_insert(forest)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
     }
 }
 
@@ -323,7 +363,10 @@ impl Default for CacheConfig {
 }
 
 /// Counters describing cache behaviour since construction.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Serializable since protocol 1.4: a server reports its caching layer's
+/// counters inside a wire `StatsReply` frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Requests answered from the cache.
     pub hits: u64,
@@ -567,6 +610,27 @@ impl<S: MatrixService> MatrixService for CachingService<S> {
     fn prior(&self) -> Arc<PriorDistribution> {
         self.inner.prior()
     }
+
+    fn warm_insert(&self, forest: Arc<PrivacyForestResponse>) -> WarmInsertOutcome {
+        let key = (forest.request.privacy_level, forest.request.delta);
+        {
+            let shard = self
+                .shard_for(&key)
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if shard.entries.contains_key(&key) {
+                return WarmInsertOutcome::AlreadyResident;
+            }
+        }
+        // Benign race with a concurrent flight for the same key: both produce
+        // a valid forest, the later insert simply replaces the earlier one.
+        self.cache_insert(key, forest);
+        WarmInsertOutcome::Inserted
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(CachingService::cache_stats(self))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -657,6 +721,14 @@ impl<S: MatrixService> MatrixService for InstrumentedService<S> {
 
     fn prior(&self) -> Arc<PriorDistribution> {
         self.inner.prior()
+    }
+
+    fn warm_insert(&self, forest: Arc<PrivacyForestResponse>) -> WarmInsertOutcome {
+        self.inner.warm_insert(forest)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.inner.cache_stats()
     }
 }
 
@@ -795,6 +867,35 @@ mod tests {
             assert!(err.message.contains("solver bug"), "{}", err.message);
         }
         assert_eq!(service.cache_stats().entries, 0, "panics are not cached");
+    }
+
+    #[test]
+    fn warm_insert_populates_without_a_solve_and_dedups() {
+        let origin = CachingService::with_defaults(generator());
+        let forest = origin.privacy_forest(request(1, 0)).unwrap();
+
+        // A peer receiving the replicated forest serves it without a miss.
+        let peer = CachingService::with_defaults(generator());
+        assert_eq!(
+            peer.warm_insert(Arc::clone(&forest)),
+            WarmInsertOutcome::Inserted
+        );
+        assert_eq!(
+            peer.warm_insert(Arc::clone(&forest)),
+            WarmInsertOutcome::AlreadyResident
+        );
+        let served = peer.privacy_forest(request(1, 0)).unwrap();
+        assert!(Arc::ptr_eq(&served, &forest), "shared, not re-generated");
+        let stats = MatrixService::cache_stats(&peer).unwrap();
+        assert_eq!(stats.misses, 0, "replication must not cost a solve");
+        assert_eq!(stats.hits, 1);
+
+        // A bare generator has nowhere to retain the forest.
+        assert_eq!(
+            generator().warm_insert(forest),
+            WarmInsertOutcome::Unsupported
+        );
+        assert!(MatrixService::cache_stats(&generator()).is_none());
     }
 
     #[test]

@@ -47,6 +47,18 @@
 //! forces the JSON fallback process-wide (handy for CI interop runs and
 //! packet-capture debugging).
 //!
+//! Protocol 1.4 adds the cluster tier: `WarmPush` frames replicate freshly
+//! solved cache entries between peer servers, `Stats`/`StatsReply` expose a
+//! server's runtime counters over the wire, and the hello exchange
+//! additionally negotiates keyed HMAC frame authentication.  When both sides
+//! hold the cluster key ([`crate::auth`]), every post-handshake frame carries
+//! a 16-byte MAC trailer (counted in the header length) and a tampered,
+//! unauthenticated or wrongly-keyed frame is rejected with a structured
+//! [`ServiceErrorKind::Unauthenticated`] error before the connection drains.
+//! The hello exchange itself stays unauthenticated JSON so a key mismatch is
+//! always a *legible* rejection.  See [`crate::cluster`] for the shard router
+//! and peer-replication layer built on these frames.
+//!
 //! Malformed input never hangs or kills the server: a bad magic, an unknown
 //! frame kind, an oversized length prefix or an unparsable payload (in either
 //! codec — a peer that negotiated binary and then sends JSON bytes is a codec
@@ -103,6 +115,8 @@
 //! [`ServiceErrorKind::Transport`]: crate::messages::ServiceErrorKind::Transport
 //! [`oneshot`]: crate::executor::oneshot
 
+use crate::auth::{ClusterKey, AUTH_SCHEME};
+use crate::cluster::{ClusterMetrics, ClusterStats, Replicator, StatsReport, StatsRequest};
 use crate::executor::{oneshot, Executor, Handle, Sleep};
 use crate::messages::{MatrixRequest, ProtocolVersion, WireCodec};
 use crate::messages::{
@@ -110,8 +124,8 @@ use crate::messages::{
     PROTOCOL_VERSION,
 };
 use crate::pool::ThreadPool;
-use crate::service::MatrixService;
-use crate::warm::{warm, WarmReport, WarmRequest};
+use crate::service::{MatrixService, WarmInsertOutcome};
+use crate::warm::{warm, WarmPush, WarmReport, WarmRequest};
 use corgi_core::LocationTree;
 use corgi_datagen::PriorDistribution;
 use corgi_hexgrid::{HexGrid, HexGridConfig};
@@ -146,6 +160,15 @@ pub enum FrameKind {
     Warm = 4,
     /// Server → client: the [`WarmReport`] answering a `Warm` frame.
     WarmReply = 5,
+    /// Peer → peer: a [`WarmPush`] replicating a freshly solved cache entry
+    /// (protocol 1.4).  Fire-and-forget: no reply frame.
+    WarmPush = 6,
+    /// Client → server: a [`StatsRequest`] asking for the runtime counters
+    /// (protocol 1.4).
+    Stats = 7,
+    /// Server → client: the [`StatsReport`] answering a `Stats` frame
+    /// (protocol 1.4).
+    StatsReply = 8,
 }
 
 impl FrameKind {
@@ -157,6 +180,9 @@ impl FrameKind {
             3 => Some(Self::Response),
             4 => Some(Self::Warm),
             5 => Some(Self::WarmReply),
+            6 => Some(Self::WarmPush),
+            7 => Some(Self::Stats),
+            8 => Some(Self::StatsReply),
             _ => None,
         }
     }
@@ -288,12 +314,14 @@ pub fn try_decode_frame(
 /// always travels as JSON — it bootstraps the codec negotiation, so it must
 /// stay legible to every protocol version; the framing itself is the shared
 /// single-buffer path of [`WireCodec::encode_frame`].
-fn encode_json_frame<M: crate::codec::WireMessage>(message: &M) -> Vec<u8> {
+pub(crate) fn encode_json_frame<M: crate::codec::WireMessage>(message: &M) -> Vec<u8> {
     WireCodec::Json.encode_frame(message)
 }
 
 /// Decode a hello-exchange payload as JSON (see [`encode_json_frame`]).
-fn parse_json_payload<M: crate::codec::WireMessage>(payload: &[u8]) -> Result<M, ServiceError> {
+pub(crate) fn parse_json_payload<M: crate::codec::WireMessage>(
+    payload: &[u8],
+) -> Result<M, ServiceError> {
     WireCodec::Json.decode_payload(payload)
 }
 
@@ -306,6 +334,13 @@ pub struct HelloFrame {
     /// applies its own preference).  Absent for pre-1.2 peers, which speak
     /// JSON only — the server treats `None` exactly like `Some(["json"])`.
     pub codecs: Option<Vec<String>>,
+    /// Frame-authentication scheme the client announces (protocol 1.4):
+    /// `Some("hmac-sha256")` means every post-handshake frame the client
+    /// sends will carry a MAC trailer and the client expects the same from
+    /// the server.  Absent (pre-1.4 peers and unkeyed clients) means plain
+    /// frames; a keyed server rejects such a hello with a structured
+    /// [`Unauthenticated`](ServiceErrorKind::Unauthenticated) error.
+    pub auth: Option<String>,
 }
 
 impl HelloFrame {
@@ -314,7 +349,14 @@ impl HelloFrame {
         Self {
             version: PROTOCOL_VERSION,
             codecs: Some(codecs.iter().map(|c| c.name().to_string()).collect()),
+            auth: None,
         }
+    }
+
+    /// Announce keyed frame authentication (the `hmac-sha256` scheme).
+    pub fn authenticated(mut self) -> Self {
+        self.auth = Some(AUTH_SCHEME.to_string());
+        self
     }
 }
 
@@ -337,6 +379,11 @@ pub enum HelloReply {
         /// from pre-1.2 servers, which never emit it) or an explicit `null`
         /// (as this build's serde shim writes `None`).
         codec: Option<String>,
+        /// Echo of the negotiated frame-authentication scheme (protocol
+        /// 1.4): `Some("hmac-sha256")` confirms the MAC trailer is active in
+        /// both directions — this accepted reply itself already carries one.
+        /// `None`/absent means plain frames.
+        auth: Option<String>,
     },
     /// The versions are incompatible (or the hello was malformed); the server
     /// closes after sending this.
@@ -388,6 +435,20 @@ pub struct TransportConfig {
     /// the mandatory fallback).  The default honours `CORGI_WIRE_CODEC`
     /// (see [`WireCodec::advertisement_from_env`]).
     pub codecs: Vec<WireCodec>,
+    /// Cluster key for keyed frame authentication (protocol 1.4).  When set,
+    /// every client must announce `hmac-sha256` in its hello and every
+    /// post-handshake frame in both directions carries a MAC trailer;
+    /// unkeyed hellos and tamper-failed frames are rejected with a
+    /// structured [`ServiceErrorKind::Unauthenticated`] error.  The default
+    /// reads `CORGI_CLUSTER_KEY` (see [`ClusterKey::from_env`]).
+    pub cluster_key: Option<ClusterKey>,
+    /// Peer-replication engine (protocol 1.4): when set, [`TcpServer::bind`]
+    /// spawns its flush task on the reactor so keys offered by a
+    /// [`crate::cluster::ReplicatingService`] stream to the configured peers
+    /// as `WarmPush` frames.  Build one with [`Replicator::new`], wrap the
+    /// generator, and add peers (before or after bind) with
+    /// [`Replicator::add_peer`].
+    pub replication: Option<Arc<Replicator>>,
 }
 
 impl Default for TransportConfig {
@@ -403,6 +464,8 @@ impl Default for TransportConfig {
             max_warm_keys: 1024,
             warm_on_start: None,
             codecs: WireCodec::advertisement_from_env(),
+            cluster_key: ClusterKey::from_env(),
+            replication: None,
         }
     }
 }
@@ -412,8 +475,9 @@ impl Default for TransportConfig {
 ///
 /// [`TcpServer::stats`] fills every field; [`TcpTransport::stats`] describes
 /// its single client connection (the accept/negotiation counters count that
-/// one connection, and `poisoned_connections` is 0 or 1).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// one connection, and `poisoned_connections` is 0 or 1).  Serializable since
+/// protocol 1.4, where it travels inside a [`StatsReport`] frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransportStats {
     /// Connections accepted (server) or established (client).
     pub connections_accepted: u64,
@@ -455,7 +519,7 @@ pub struct TransportStats {
 
 /// Shared atomic counters behind [`TransportStats`].
 #[derive(Default)]
-struct TransportMetrics {
+pub(crate) struct TransportMetrics {
     connections_accepted: AtomicU64,
     connections_closed: AtomicU64,
     binary_connections: AtomicU64,
@@ -539,6 +603,8 @@ pub struct TcpServer {
     handle: Handle,
     reactor: Option<std::thread::JoinHandle<()>>,
     metrics: Arc<TransportMetrics>,
+    cluster: Arc<ClusterMetrics>,
+    replication: Option<Arc<Replicator>>,
 }
 
 impl TcpServer {
@@ -565,6 +631,11 @@ impl TcpServer {
             });
         }
         let metrics = Arc::new(TransportMetrics::default());
+        let cluster = Arc::new(ClusterMetrics::default());
+        let replication = config.replication.clone();
+        if let Some(replicator) = replication.clone() {
+            crate::cluster::spawn_replication(&handle, replicator, Arc::clone(&dispatch));
+        }
         handle.spawn(AcceptTask {
             listener,
             handle: handle.clone(),
@@ -572,6 +643,7 @@ impl TcpServer {
             dispatch,
             config: Arc::new(config),
             metrics: Arc::clone(&metrics),
+            cluster: Arc::clone(&cluster),
         });
         let reactor = std::thread::Builder::new()
             .name("corgi-reactor".into())
@@ -581,6 +653,8 @@ impl TcpServer {
             handle,
             reactor: Some(reactor),
             metrics,
+            cluster,
+            replication,
         })
     }
 
@@ -592,6 +666,13 @@ impl TcpServer {
     /// A point-in-time snapshot of the server's connection-level counters.
     pub fn stats(&self) -> TransportStats {
         self.metrics.snapshot()
+    }
+
+    /// A point-in-time snapshot of the server's cluster-tier counters:
+    /// replication pushes received/deduplicated, auth rejections, and — when
+    /// a [`Replicator`] is configured — per-peer link state.
+    pub fn cluster_stats(&self) -> ClusterStats {
+        self.cluster.snapshot(self.replication.as_deref())
     }
 
     /// Stop the reactor and join its thread.  Open connections are dropped;
@@ -622,6 +703,7 @@ struct AcceptTask {
     dispatch: Arc<ThreadPool>,
     config: Arc<TransportConfig>,
     metrics: Arc<TransportMetrics>,
+    cluster: Arc<ClusterMetrics>,
 }
 
 impl Future for AcceptTask {
@@ -644,6 +726,8 @@ impl Future for AcceptTask {
                         dispatch: Arc::clone(&self.dispatch),
                         config: Arc::clone(&self.config),
                         metrics: Arc::clone(&self.metrics),
+                        cluster: Arc::clone(&self.cluster),
+                        auth: None,
                         read_buf: Vec::new(),
                         write_queue: VecDeque::new(),
                         write_pos: 0,
@@ -686,6 +770,11 @@ struct ConnectionTask {
     dispatch: Arc<ThreadPool>,
     config: Arc<TransportConfig>,
     metrics: Arc<TransportMetrics>,
+    cluster: Arc<ClusterMetrics>,
+    /// Frame-authentication key, active from the moment the hello negotiates
+    /// it (the accepted reply is already sealed with it); `None` means plain
+    /// frames for the life of the connection.
+    auth: Option<ClusterKey>,
     read_buf: Vec<u8>,
     /// Encoded frames awaiting the socket; `write_pos` is the offset into the
     /// front frame already written.
@@ -781,8 +870,16 @@ impl ConnectionTask {
         true
     }
 
+    /// Queue an encoded frame for the wire — the single outbound choke
+    /// point, so with authentication active every frame (including the
+    /// accepted hello reply queued right after negotiation) gets its MAC
+    /// trailer here.
     fn queue_frame(&mut self, frame: Vec<u8>) {
         TransportMetrics::add(&self.metrics.frames_out, 1);
+        let frame = match &self.auth {
+            Some(key) => key.seal(frame),
+            None => frame,
+        };
         self.write_queue.push_back(frame);
     }
 
@@ -800,6 +897,21 @@ impl ConnectionTask {
         // The error frame is encoded in the connection's negotiated codec —
         // the peer negotiated it, so it can decode it.
         let envelope = ResponseEnvelope::error(0, error);
+        self.queue_frame(self.codec.encode_frame(&envelope));
+        self.begin_drain();
+    }
+
+    /// Reject a frame that failed MAC verification: count it, answer with a
+    /// structured `Unauthenticated` error (sealed with our own key — the
+    /// legitimate keyholder can read it, a forger learns nothing new) and
+    /// drain the connection.
+    fn queue_auth_error(&mut self, error: crate::auth::AuthError) {
+        self.cluster.count_auth_rejection();
+        TransportMetrics::add(&self.metrics.transport_errors, 1);
+        let envelope = ResponseEnvelope::error(
+            0,
+            ServiceError::unauthenticated(format!("frame failed authentication: {error}")),
+        );
         self.queue_frame(self.codec.encode_frame(&envelope));
         self.begin_drain();
     }
@@ -824,9 +936,22 @@ impl ConnectionTask {
                 Ok(Some((kind, range))) => {
                     any = true;
                     TransportMetrics::add(&self.metrics.frames_in, 1);
-                    let payload = &buf[consumed + range.start..consumed + range.end];
-                    self.handle_frame(kind, payload);
-                    consumed += range.end;
+                    let frame_end = consumed + range.end;
+                    // With authentication active the MAC covers the whole
+                    // frame (header included) and the verified payload
+                    // excludes the trailer the header length counted.
+                    let payload = match &self.auth {
+                        Some(key) => key.open(&buf[consumed..frame_end]),
+                        None => Ok(&buf[consumed + range.start..frame_end]),
+                    };
+                    consumed = frame_end;
+                    match payload {
+                        Ok(payload) => self.handle_frame(kind, payload),
+                        Err(e) => {
+                            self.queue_auth_error(e);
+                            break;
+                        }
+                    }
                 }
                 Err(e) => {
                     any = true;
@@ -911,12 +1036,58 @@ impl ConnectionTask {
                     let _ = tx.send(codec.encode_frame(&report));
                 });
             }
+            FrameKind::WarmPush => {
+                let push: WarmPush = match codec.decode_payload(payload) {
+                    Ok(push) => push,
+                    Err(e) => {
+                        self.queue_transport_error(e);
+                        return;
+                    }
+                };
+                self.cluster.count_push_received();
+                match push.forest {
+                    // Payload push: adopt the peer's solved forest directly.
+                    Some(forest) => {
+                        if self.service.warm_insert(forest) == WarmInsertOutcome::AlreadyResident {
+                            self.cluster.count_push_deduped();
+                        }
+                    }
+                    // Key-only push: solve locally, fire-and-forget.  A push
+                    // is advisory, so a saturated dispatch pool sheds it
+                    // silently instead of competing with live requests.
+                    None => {
+                        if self.dispatch.backlog() >= self.config.max_dispatch_backlog {
+                            self.cluster.count_push_ignored();
+                        } else {
+                            let service = Arc::clone(&self.service);
+                            let request = push.request();
+                            self.dispatch.execute(move || {
+                                let _ = service.privacy_forest(request);
+                            });
+                        }
+                    }
+                }
+            }
+            FrameKind::Stats => {
+                if let Err(e) = codec.decode_payload::<StatsRequest>(payload) {
+                    self.queue_transport_error(e);
+                    return;
+                }
+                // Counter snapshots are cheap: answered inline on the reactor.
+                let report = StatsReport {
+                    transport: self.metrics.snapshot(),
+                    cache: self.service.cache_stats(),
+                    cluster: Some(self.cluster.snapshot(self.config.replication.as_deref())),
+                };
+                self.queue_frame(codec.encode_frame(&report));
+            }
             // A second hello, or a server-to-client kind from a client: the
             // peer is confused; tell it so and hang up.
             FrameKind::Hello
             | FrameKind::HelloReply
             | FrameKind::Response
-            | FrameKind::WarmReply => {
+            | FrameKind::WarmReply
+            | FrameKind::StatsReply => {
                 self.queue_transport_error(ServiceError::transport(format!(
                     "unexpected {kind:?} frame after negotiation"
                 )));
@@ -972,6 +1143,41 @@ impl ConnectionTask {
                 TransportMetrics::add(&self.metrics.frames_in, 1);
                 match parse_json_payload::<HelloFrame>(&payload) {
                     Ok(hello) if PROTOCOL_VERSION.is_compatible_with(&hello.version) => {
+                        // Authentication negotiation comes first: a key
+                        // mismatch must surface as a legible structured
+                        // rejection (always plain JSON), never a MAC failure.
+                        match (&self.config.cluster_key, hello.auth.as_deref()) {
+                            (Some(key), Some(AUTH_SCHEME)) => self.auth = Some(key.clone()),
+                            (Some(_), announced) => {
+                                self.cluster.count_auth_rejection();
+                                let reply = HelloReply::Rejected(ServiceError::unauthenticated(
+                                    match announced {
+                                        None => "server requires authenticated frames \
+                                                 (hmac-sha256); configure the cluster key"
+                                            .to_string(),
+                                        Some(other) => format!(
+                                            "server requires the hmac-sha256 frame-authentication \
+                                             scheme, client announced {other:?}"
+                                        ),
+                                    },
+                                ));
+                                self.queue_frame(encode_json_frame(&reply));
+                                self.begin_drain();
+                                return None;
+                            }
+                            (None, Some(scheme)) => {
+                                self.cluster.count_auth_rejection();
+                                let reply =
+                                    HelloReply::Rejected(ServiceError::unauthenticated(format!(
+                                        "client announced {scheme:?} frame authentication but \
+                                         this server has no cluster key"
+                                    )));
+                                self.queue_frame(encode_json_frame(&reply));
+                                self.begin_drain();
+                                return None;
+                            }
+                            (None, None) => {}
+                        }
                         // Codec negotiation: first of our codecs the client
                         // also advertised; a pre-1.2 hello (no codec list)
                         // negotiates the JSON fallback.
@@ -991,7 +1197,10 @@ impl ConnectionTask {
                                 WireCodec::Json => None,
                                 WireCodec::Binary => Some(codec.name().to_string()),
                             },
+                            auth: self.auth.as_ref().map(|_| AUTH_SCHEME.to_string()),
                         };
+                        // queue_frame seals the accepted reply when auth just
+                        // became active — the client verifies it on arrival.
                         self.queue_frame(encode_json_frame(&reply));
                         self.negotiated = true;
                         None // fall through into the serving loop
@@ -1114,6 +1323,13 @@ pub struct ClientConfig {
     /// The default honours `CORGI_WIRE_CODEC`
     /// (see [`WireCodec::advertisement_from_env`]).
     pub codecs: Vec<WireCodec>,
+    /// Cluster key for keyed frame authentication (protocol 1.4).  When set,
+    /// the hello announces `hmac-sha256`, every post-handshake frame in both
+    /// directions carries a MAC trailer, and connecting to an unkeyed or
+    /// differently-keyed server fails with a structured
+    /// [`Unauthenticated`](ServiceErrorKind::Unauthenticated) error.  The
+    /// default reads `CORGI_CLUSTER_KEY` (see [`ClusterKey::from_env`]).
+    pub cluster_key: Option<ClusterKey>,
 }
 
 impl Default for ClientConfig {
@@ -1122,6 +1338,7 @@ impl Default for ClientConfig {
             max_frame: 64 * 1024 * 1024,
             read_timeout: Some(Duration::from_secs(600)),
             codecs: WireCodec::advertisement_from_env(),
+            cluster_key: ClusterKey::from_env(),
         }
     }
 }
@@ -1160,6 +1377,10 @@ struct ClientConn {
     /// call's reply — so every further call fails fast until the caller
     /// reconnects.
     poisoned: bool,
+    /// Frame-authentication key negotiated in the hello exchange (`None`
+    /// means plain frames): outbound frames are sealed, inbound frames are
+    /// verified and stripped.
+    auth: Option<ClusterKey>,
     metrics: Arc<TransportMetrics>,
 }
 
@@ -1185,8 +1406,19 @@ impl ClientConn {
                 "connection poisoned by an earlier stream desynchronization; reconnect",
             ));
         }
-        let result = send_frame_blocking(&mut self.stream, &frame, &self.metrics)
-            .and_then(|()| read_frame_blocking(&mut self.stream, max_frame, Some(&self.metrics)));
+        let frame = match &self.auth {
+            Some(key) => key.seal(frame),
+            None => frame,
+        };
+        let result =
+            send_frame_blocking(&mut self.stream, &frame, Some(&self.metrics)).and_then(|()| {
+                read_frame_blocking(
+                    &mut self.stream,
+                    max_frame,
+                    Some(&self.metrics),
+                    self.auth.as_ref(),
+                )
+            });
         if result.is_err() {
             self.poison();
         }
@@ -1215,14 +1447,37 @@ impl TcpTransport {
         let metrics = Arc::new(TransportMetrics::default());
         TransportMetrics::add(&metrics.connections_accepted, 1);
         // The hello exchange always travels as JSON: it is what carries the
-        // codec negotiation, so it must be legible before any agreement.
-        let hello = encode_json_frame(&HelloFrame::advertising(&config.codecs));
-        send_frame_blocking(&mut stream, &hello, &metrics)?;
-        let (kind, payload) = read_frame_blocking(&mut stream, config.max_frame, Some(&metrics))?;
+        // codec (and authentication) negotiation, so it must be legible
+        // before any agreement.
+        let mut hello_frame = HelloFrame::advertising(&config.codecs);
+        if config.cluster_key.is_some() {
+            hello_frame = hello_frame.authenticated();
+        }
+        let hello = encode_json_frame(&hello_frame);
+        send_frame_blocking(&mut stream, &hello, Some(&metrics))?;
+        let (kind, header, mut payload) =
+            read_frame_blocking_raw(&mut stream, config.max_frame, Some(&metrics))?;
         if kind != FrameKind::HelloReply {
             return Err(ServiceError::transport(format!(
                 "expected a HelloReply frame, got {kind:?}"
             )));
+        }
+        if let Some(key) = &config.cluster_key {
+            // An accepted reply from a keyed server is itself sealed; the
+            // only *plain* reply a keyed client accepts is a structured
+            // rejection — that is how a key mismatch stays a legible error
+            // instead of a MAC failure.  (A pre-1.4 server would also reply
+            // plain, having ignored the unknown `auth` hello field: caught
+            // here rather than desynchronizing on the first sealed request.)
+            if key.open_split(&header, &mut payload).is_err() {
+                return match parse_json_payload::<HelloReply>(&payload) {
+                    Ok(HelloReply::Rejected(error)) => Err(error),
+                    _ => Err(ServiceError::unauthenticated(
+                        "server did not authenticate its hello reply; it holds no (or a \
+                         different) cluster key",
+                    )),
+                };
+            }
         }
         match parse_json_payload::<HelloReply>(&payload)? {
             HelloReply::Accepted {
@@ -1230,7 +1485,22 @@ impl TcpTransport {
                 grid,
                 prior,
                 codec,
+                auth,
             } => {
+                match (&config.cluster_key, auth.as_deref()) {
+                    (Some(_), Some(AUTH_SCHEME)) | (None, None) => {}
+                    (Some(_), _) => {
+                        return Err(ServiceError::unauthenticated(
+                            "server accepted without confirming hmac-sha256 frame authentication",
+                        ))
+                    }
+                    (None, Some(scheme)) => {
+                        return Err(ServiceError::unauthenticated(format!(
+                            "server negotiated {scheme:?} frame authentication this client did \
+                             not announce"
+                        )))
+                    }
+                }
                 let grid = HexGrid::new(grid).map_err(|e| {
                     ServiceError::transport(format!("server sent an invalid grid config: {e}"))
                 })?;
@@ -1256,6 +1526,7 @@ impl TcpTransport {
                     conn: Mutex::new(ClientConn {
                         stream,
                         poisoned: false,
+                        auth: config.cluster_key.clone(),
                         metrics: Arc::clone(&metrics),
                     }),
                     tree: Arc::new(LocationTree::new(grid)),
@@ -1320,6 +1591,38 @@ impl TcpTransport {
             }
         }
     }
+
+    /// Fetch the server's runtime counters over the wire (protocol 1.4):
+    /// transport, cache and cluster snapshots in one [`StatsReport`].
+    pub fn server_stats(&self) -> Result<StatsReport, ServiceError> {
+        let frame = self.codec.encode_frame(&StatsRequest {});
+        let mut conn = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        let (kind, payload) = conn.exchange(frame, self.max_frame)?;
+        match kind {
+            FrameKind::StatsReply => match self.codec.decode_payload(&payload) {
+                Ok(report) => Ok(report),
+                Err(e) => {
+                    conn.poison();
+                    Err(e)
+                }
+            },
+            FrameKind::Response => {
+                // The server refused at the transport level and is closing.
+                conn.poison();
+                let envelope: ResponseEnvelope = self.codec.decode_payload(&payload)?;
+                Err(envelope
+                    .into_result()
+                    .err()
+                    .unwrap_or_else(|| ServiceError::transport("unexpected forest reply")))
+            }
+            other => {
+                conn.poison();
+                Err(ServiceError::transport(format!(
+                    "expected a StatsReply frame, got {other:?}"
+                )))
+            }
+        }
+    }
 }
 
 impl MatrixService for TcpTransport {
@@ -1372,26 +1675,48 @@ impl MatrixService for TcpTransport {
 }
 
 /// Send one pre-encoded frame over a blocking stream.
-fn send_frame_blocking(
+pub(crate) fn send_frame_blocking(
     stream: &mut TcpStream,
     frame: &[u8],
-    metrics: &TransportMetrics,
+    metrics: Option<&TransportMetrics>,
 ) -> Result<(), ServiceError> {
     stream
         .write_all(frame)
         .map_err(|e| ServiceError::transport(format!("send failed: {e}")))?;
-    TransportMetrics::add(&metrics.frames_out, 1);
-    TransportMetrics::add(&metrics.bytes_out, frame.len() as u64);
+    if let Some(metrics) = metrics {
+        TransportMetrics::add(&metrics.frames_out, 1);
+        TransportMetrics::add(&metrics.bytes_out, frame.len() as u64);
+    }
     Ok(())
 }
 
-/// Receive one frame from a blocking stream (honouring its read timeout).
-/// The payload is read directly into its final buffer — no staging copy.
-fn read_frame_blocking(
+/// Receive one frame from a blocking stream (honouring its read timeout),
+/// verifying and stripping the MAC trailer when `auth` is active.
+pub(crate) fn read_frame_blocking(
     stream: &mut TcpStream,
     max_payload: usize,
     metrics: Option<&TransportMetrics>,
+    auth: Option<&ClusterKey>,
 ) -> Result<(FrameKind, Vec<u8>), ServiceError> {
+    let (kind, header, mut payload) = read_frame_blocking_raw(stream, max_payload, metrics)?;
+    if let Some(key) = auth {
+        key.open_split(&header, &mut payload).map_err(|e| {
+            ServiceError::unauthenticated(format!("peer frame failed authentication: {e}"))
+        })?;
+    }
+    Ok((kind, payload))
+}
+
+/// Receive one frame from a blocking stream, returning the raw header
+/// alongside the payload so callers can defer MAC verification (the client
+/// hello exchange must tolerate a plain structured rejection from a server
+/// that does not share its key).  The payload is read directly into its
+/// final buffer — no staging copy.
+pub(crate) fn read_frame_blocking_raw(
+    stream: &mut TcpStream,
+    max_payload: usize,
+    metrics: Option<&TransportMetrics>,
+) -> Result<(FrameKind, [u8; FRAME_HEADER_LEN], Vec<u8>), ServiceError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     read_exact_mapped(stream, &mut header)?;
     let (kind, len) = parse_frame_header(&header, max_payload)?;
@@ -1401,7 +1726,7 @@ fn read_frame_blocking(
         TransportMetrics::add(&metrics.frames_in, 1);
         TransportMetrics::add(&metrics.bytes_in, (FRAME_HEADER_LEN + len) as u64);
     }
-    Ok((kind, payload))
+    Ok((kind, header, payload))
 }
 
 fn read_exact_mapped(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), ServiceError> {
@@ -1504,10 +1829,18 @@ mod tests {
         let back: HelloFrame = serde_json::from_str(&json).unwrap();
         assert_eq!(back, hello);
 
-        // A pre-1.2 hello has no codec list; the field decodes as None.
+        // A pre-1.2 hello has no codec list (and no auth scheme); the
+        // fields decode as None.
         let legacy = r#"{"version":{"major":1,"minor":1}}"#;
         let back: HelloFrame = serde_json::from_str(legacy).unwrap();
         assert_eq!(back.codecs, None);
+        assert_eq!(back.auth, None);
+
+        // An authenticated hello round-trips its scheme.
+        let keyed = HelloFrame::advertising(&[WireCodec::Json]).authenticated();
+        let json = serde_json::to_string(&keyed).unwrap();
+        let back: HelloFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.auth.as_deref(), Some(crate::auth::AUTH_SCHEME));
 
         let rejected = HelloReply::Rejected(ServiceError::unsupported_version(ProtocolVersion {
             major: 9,

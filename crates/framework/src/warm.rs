@@ -23,10 +23,11 @@
 //! [`TcpServer::bind`]: crate::TcpServer::bind
 //! [`TcpTransport::warm`]: crate::TcpTransport::warm
 
-use crate::messages::{MatrixRequest, ServiceError};
+use crate::messages::{MatrixRequest, PrivacyForestResponse, ServiceError};
 use crate::service::MatrixService;
 use corgi_core::LocationTree;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A warming plan: the `(privacy_level, δ)` grid to precompute.
@@ -89,6 +90,38 @@ impl WarmRequest {
             }
         }
         requests
+    }
+}
+
+/// Asynchronous peer-to-peer cache replication (protocol 1.4): after a cold
+/// miss completes on one shard, the shard pushes the key — and usually the
+/// solved forest itself — to its peers so the *same* key is a warm hit
+/// cluster-wide without a second LP solve.
+///
+/// A push is advisory and fire-and-forget: there is no reply frame, a peer
+/// that already holds the key counts a dedup and drops it, and a peer without
+/// a caching layer ignores it.  When `forest` is `None` the receiving peer
+/// solves the key itself on its dispatch pool (trading one duplicate solve for
+/// not shipping the ~70 KB payload); see
+/// [`ReplicationConfig::push_payloads`](crate::cluster::ReplicationConfig).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmPush {
+    /// Privacy level of the replicated cache key.
+    pub privacy_level: u8,
+    /// δ of the replicated cache key.
+    pub delta: usize,
+    /// The solved forest, shared (not deep-copied) with the pushing shard's
+    /// cache; `None` replicates the key only.
+    pub forest: Option<Arc<PrivacyForestResponse>>,
+}
+
+impl WarmPush {
+    /// The cache key this push replicates.
+    pub fn request(&self) -> MatrixRequest {
+        MatrixRequest {
+            privacy_level: self.privacy_level,
+            delta: self.delta,
+        }
     }
 }
 
@@ -258,5 +291,22 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: WarmReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+
+        // A key-only push round-trips with its forest absent.
+        let push = WarmPush {
+            privacy_level: 1,
+            delta: 2,
+            forest: None,
+        };
+        let json = serde_json::to_string(&push).unwrap();
+        let back: WarmPush = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, push);
+        assert_eq!(
+            back.request(),
+            MatrixRequest {
+                privacy_level: 1,
+                delta: 2
+            }
+        );
     }
 }

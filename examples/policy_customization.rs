@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         delta,
     })?;
     assert_eq!(
-        service.cache_stats().hits,
+        service.cache_stats().expect("caching layer").hits,
         1,
         "served from the warmed cache"
     );

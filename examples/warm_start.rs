@@ -87,7 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)
         );
     }
-    let stats = caching.cache_stats();
+    let stats = caching
+        .cache_stats()
+        .expect("the caching layer reports cache stats");
     println!("\nWarmed cache stats: {stats:?}");
     println!(
         "Steady state: {} hits over {} resident forests — the repeated-request path performs no LP solves.",

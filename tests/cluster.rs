@@ -1,0 +1,460 @@
+//! Cluster integration tests: the replication contract (a cold miss on one
+//! shard becomes a warm hit on its peers with zero LP solves of their own,
+//! observed purely over the wire), bounded drop-oldest push queues under peer
+//! stall, HMAC frame authentication (handshake rejection and post-handshake
+//! tamper detection), and router failover when a shard dies mid-run.
+
+use corgi::core::LocationTree;
+use corgi::datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
+use corgi::framework::messages::{MatrixRequest, RequestEnvelope, ResponseEnvelope};
+use corgi::framework::transport::{encode_frame, FrameKind, HelloFrame, HelloReply};
+use corgi::framework::{
+    rendezvous_rank, CachingService, ClientConfig, ClusterKey, ForestGenerator, MatrixService,
+    ReplicatingService, ReplicationConfig, Replicator, RouterConfig, ServerConfig, ServiceError,
+    ServiceErrorKind, ShardRouter, TcpServer, TcpTransport, TransportConfig, WireCodec,
+};
+use corgi::hexgrid::{HexGrid, HexGridConfig};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const FRAME_HEADER_LEN: usize = corgi::framework::transport::FRAME_HEADER_LEN;
+
+/// One booted shard: its server plus the handles the tests assert against.
+struct Shard {
+    server: TcpServer,
+    replicator: Arc<Replicator>,
+}
+
+/// Boot an `n`-shard cluster wired into a full replication mesh.  Every shard
+/// runs `CachingService(ReplicatingService(ForestGenerator))`, so exactly the
+/// cold-miss single-flight leader offers its solve to the peers.
+fn start_cluster(n: usize, key: Option<ClusterKey>) -> Vec<Shard> {
+    let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+    let (dataset, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+    let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+    let config = ServerConfig::builder()
+        .robust_iterations(1)
+        .targets_per_subtree(3)
+        .worker_threads(2)
+        .build();
+    let shards: Vec<Shard> = (0..n)
+        .map(|_| {
+            let replicator = Replicator::new(ReplicationConfig {
+                cluster_key: key.clone(),
+                // Deterministic negotiation regardless of CORGI_WIRE_CODEC.
+                codecs: vec![WireCodec::Binary, WireCodec::Json],
+                ..ReplicationConfig::default()
+            });
+            let service = Arc::new(CachingService::with_defaults(ReplicatingService::new(
+                ForestGenerator::new(
+                    LocationTree::new(grid.clone()),
+                    prior.clone(),
+                    config,
+                ),
+                Arc::clone(&replicator),
+            )));
+            let server = TcpServer::bind(
+                "127.0.0.1:0",
+                service as Arc<dyn MatrixService>,
+                TransportConfig {
+                    cluster_key: key.clone(),
+                    replication: Some(Arc::clone(&replicator)),
+                    // Payload pushes carry a whole encoded forest.
+                    max_inbound_frame: 8 * 1024 * 1024,
+                    codecs: vec![WireCodec::Binary, WireCodec::Json],
+                    ..TransportConfig::default()
+                },
+            )
+            .expect("binding a cluster shard");
+            Shard { server, replicator }
+        })
+        .collect();
+    // Ports are only known after bind; mesh the peers up now.
+    let endpoints: Vec<String> = shards
+        .iter()
+        .map(|s| s.server.local_addr().to_string())
+        .collect();
+    for (index, shard) in shards.iter().enumerate() {
+        for (peer, endpoint) in endpoints.iter().enumerate() {
+            if peer != index {
+                shard.replicator.add_peer(endpoint.clone());
+            }
+        }
+    }
+    shards
+}
+
+fn endpoints_of(shards: &[Shard]) -> Vec<String> {
+    shards
+        .iter()
+        .map(|s| s.server.local_addr().to_string())
+        .collect()
+}
+
+fn keyed_client(key: Option<ClusterKey>, codec: WireCodec) -> ClientConfig {
+    ClientConfig {
+        cluster_key: key,
+        codecs: vec![codec],
+        read_timeout: Some(Duration::from_secs(30)),
+        ..ClientConfig::default()
+    }
+}
+
+/// The tentpole contract, parameterized by payload codec: a cold miss routed
+/// to its owner shard must become a warm hit on every peer — confirmed over
+/// the wire via `Stats` frames — without the peers ever running an LP solve.
+fn replication_contract(codec: WireCodec) {
+    let key = ClusterKey::from_secret(b"cluster-test-key");
+    let shards = start_cluster(3, Some(key.clone()));
+    let endpoints = endpoints_of(&shards);
+    let router = ShardRouter::connect(
+        endpoints.iter().cloned(),
+        RouterConfig {
+            client: keyed_client(Some(key.clone()), codec),
+            ..RouterConfig::default()
+        },
+    )
+    .expect("router connects to the keyed cluster");
+
+    let request = MatrixRequest {
+        privacy_level: 1,
+        delta: 0,
+    };
+    let ranking = rendezvous_rank(&endpoints, request.privacy_level, request.delta);
+    router.privacy_forest(request).expect("cold miss solves");
+
+    // One authenticated stats connection per shard; every assertion below
+    // reads the server's counters over the wire, not in-process.
+    let stats: Vec<TcpTransport> = shards
+        .iter()
+        .map(|s| {
+            TcpTransport::connect_with(
+                s.server.local_addr(),
+                keyed_client(Some(key.clone()), codec),
+            )
+            .expect("stats connection")
+        })
+        .collect();
+
+    // The push is asynchronous: wait until the key is resident everywhere.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resident = stats
+            .iter()
+            .filter(|conn| {
+                conn.server_stats()
+                    .expect("stats frame")
+                    .cache
+                    .expect("every shard stacks a cache")
+                    .entries
+                    >= 1
+            })
+            .count();
+        if resident == shards.len() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replication push did not land within 10s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    for (index, conn) in stats.iter().enumerate() {
+        let report = conn.server_stats().expect("stats frame");
+        let cache = report.cache.expect("cache stats present");
+        let cluster = report.cluster.expect("cluster stats present");
+        if index == ranking[0] {
+            assert_eq!(cache.misses, 1, "the owner solved the key exactly once");
+            let sent: u64 = cluster.peers.iter().map(|p| p.pushes_sent).sum();
+            assert!(sent >= 2, "the owner pushed to both peers: {cluster:?}");
+        } else {
+            // The replication contract: the key is resident with zero LP
+            // solves on this shard.
+            assert_eq!(cache.misses, 0, "peers never solve the replicated key");
+            assert!(cluster.pushes_received >= 1, "{cluster:?}");
+        }
+        assert!(report.transport.frames_in > 0, "stats travelled the wire");
+    }
+
+    // Serving the key from a peer is a pure cache hit.
+    let peer = ranking[1];
+    let before = stats[peer].server_stats().unwrap().cache.unwrap();
+    stats[peer]
+        .privacy_forest(request)
+        .expect("peer serves the replicated key");
+    let after = stats[peer].server_stats().unwrap().cache.unwrap();
+    assert_eq!(after.hits, before.hits + 1);
+    assert_eq!(after.misses, 0, "still no LP solve on the peer");
+
+    for shard in shards {
+        shard.server.shutdown();
+    }
+}
+
+#[test]
+fn replication_makes_peer_hits_without_peer_solves_binary() {
+    replication_contract(WireCodec::Binary);
+}
+
+#[test]
+fn replication_makes_peer_hits_without_peer_solves_json() {
+    replication_contract(WireCodec::Json);
+}
+
+#[test]
+fn push_queue_is_bounded_and_drops_oldest_when_a_peer_stalls() {
+    // A peer that is down must not let the queue grow: the bound evicts the
+    // oldest push and counts the drop.
+    let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+    let (dataset, _) = GowallaLikeGenerator::new(GowallaLikeConfig::small_test()).generate(&grid);
+    let prior = PriorDistribution::from_dataset(&grid, &dataset, 0.5);
+    let replicator = Replicator::new(ReplicationConfig {
+        queue_depth: 3,
+        ..ReplicationConfig::default()
+    });
+    // A port that was live once and is now closed: connects fail fast, so the
+    // flusher keeps backing off while offers keep arriving.
+    let dead = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    replicator.add_peer(dead.to_string());
+    let service = Arc::new(CachingService::with_defaults(ReplicatingService::new(
+        ForestGenerator::new(
+            LocationTree::new(grid),
+            prior,
+            ServerConfig::builder()
+                .robust_iterations(1)
+                .targets_per_subtree(3)
+                .worker_threads(2)
+                .build(),
+        ),
+        Arc::clone(&replicator),
+    )));
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service) as Arc<dyn MatrixService>,
+        TransportConfig {
+            replication: Some(Arc::clone(&replicator)),
+            ..TransportConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Eight distinct cold misses → eight offers onto a depth-3 queue.
+    for delta in 0..8usize {
+        service
+            .privacy_forest(MatrixRequest {
+                privacy_level: 1,
+                delta,
+            })
+            .unwrap();
+    }
+    let peer = &server.cluster_stats().peers[0];
+    assert!(
+        peer.queue_depth <= 3,
+        "queue must stay at its bound: {peer:?}"
+    );
+    assert!(
+        peer.pushes_dropped >= 5,
+        "overflow evicts the oldest pushes: {peer:?}"
+    );
+    assert_eq!(
+        peer.pushes_sent, 0,
+        "nothing reached the dead peer: {peer:?}"
+    );
+    server.shutdown();
+}
+
+/// Read one raw frame (header + body) from the stream.  The body includes
+/// the MAC trailer when the connection is keyed.
+fn read_raw_frame(stream: &mut TcpStream) -> (u8, Vec<u8>) {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    stream.read_exact(&mut header).unwrap();
+    let len = u32::from_be_bytes([header[3], header[4], header[5], header[6]]) as usize;
+    let mut frame = header.to_vec();
+    frame.resize(FRAME_HEADER_LEN + len, 0);
+    stream.read_exact(&mut frame[FRAME_HEADER_LEN..]).unwrap();
+    (header[2], frame)
+}
+
+#[test]
+fn tampered_frames_are_rejected_with_a_structured_error() {
+    let key = ClusterKey::from_secret(b"tamper-test-key");
+    let shards = start_cluster(1, Some(key.clone()));
+    let addr = shards[0].server.local_addr();
+
+    // Handshake by hand: a plain-JSON hello announcing hmac-sha256 (hellos
+    // are never MAC'd — the reply proves the server holds the key).
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let hello = serde_json::to_string(&HelloFrame {
+        version: corgi::framework::messages::PROTOCOL_VERSION,
+        codecs: None, // JSON payloads
+        auth: Some(corgi::framework::auth::AUTH_SCHEME.to_string()),
+    })
+    .unwrap();
+    stream
+        .write_all(&encode_frame(FrameKind::Hello, hello.as_bytes()))
+        .unwrap();
+    let (kind, reply_frame) = read_raw_frame(&mut stream);
+    assert_eq!(kind, FrameKind::HelloReply as u8);
+    // The accepted reply is MAC'd: opening it with the key must succeed.
+    let payload = key
+        .open(&reply_frame)
+        .expect("the keyed server authenticates its hello reply");
+    let reply: HelloReply = serde_json::from_str(std::str::from_utf8(payload).unwrap()).unwrap();
+    match reply {
+        HelloReply::Accepted { auth, .. } => {
+            assert_eq!(auth.as_deref(), Some(corgi::framework::auth::AUTH_SCHEME));
+        }
+        HelloReply::Rejected(error) => panic!("hello rejected: {error}"),
+    }
+
+    // A correctly sealed request round-trips...
+    let envelope = RequestEnvelope::new(
+        1,
+        MatrixRequest {
+            privacy_level: 1,
+            delta: 0,
+        },
+    );
+    let frame = key.seal(encode_frame(
+        FrameKind::Request,
+        serde_json::to_string(&envelope).unwrap().as_bytes(),
+    ));
+    stream.write_all(&frame).unwrap();
+    let (kind, reply_frame) = read_raw_frame(&mut stream);
+    assert_eq!(kind, FrameKind::Response as u8);
+    let payload = key.open(&reply_frame).expect("sealed response");
+    let reply: ResponseEnvelope =
+        serde_json::from_str(std::str::from_utf8(payload).unwrap()).unwrap();
+    assert_eq!(reply.request_id, 1);
+    reply.into_result().expect("valid sealed request succeeds");
+
+    // ...but flipping one payload byte after sealing is detected, answered
+    // with a structured Unauthenticated error and the connection dropped.
+    let envelope = RequestEnvelope::new(
+        2,
+        MatrixRequest {
+            privacy_level: 1,
+            delta: 1,
+        },
+    );
+    let mut frame = key.seal(encode_frame(
+        FrameKind::Request,
+        serde_json::to_string(&envelope).unwrap().as_bytes(),
+    ));
+    frame[FRAME_HEADER_LEN] ^= 0x01;
+    stream.write_all(&frame).unwrap();
+    let (kind, reply_frame) = read_raw_frame(&mut stream);
+    assert_eq!(kind, FrameKind::Response as u8);
+    let payload = key
+        .open(&reply_frame)
+        .expect("the rejection itself is authenticated");
+    let reply: ResponseEnvelope =
+        serde_json::from_str(std::str::from_utf8(payload).unwrap()).unwrap();
+    let error = reply.into_result().expect_err("tampered frame is rejected");
+    assert_eq!(error.kind, ServiceErrorKind::Unauthenticated);
+    assert!(!error.is_retryable(), "auth failures are terminal");
+
+    // The server counted the rejection (visible over the wire too).
+    let stats_conn =
+        TcpTransport::connect_with(addr, keyed_client(Some(key.clone()), WireCodec::Json)).unwrap();
+    let cluster = stats_conn.server_stats().unwrap().cluster.unwrap();
+    assert!(cluster.auth_rejections >= 1, "{cluster:?}");
+
+    for shard in shards {
+        shard.server.shutdown();
+    }
+}
+
+#[test]
+fn keyed_cluster_rejects_unkeyed_and_wrong_key_clients() {
+    let key = ClusterKey::from_secret(b"handshake-test-key");
+    let shards = start_cluster(1, Some(key.clone()));
+    let addr = shards[0].server.local_addr();
+
+    let expect_unauthenticated = |result: Result<TcpTransport, ServiceError>| match result {
+        Ok(_) => panic!("handshake must fail"),
+        Err(error) => assert_eq!(error.kind, ServiceErrorKind::Unauthenticated, "{error}"),
+    };
+    // No key: the server rejects the hello outright.
+    expect_unauthenticated(TcpTransport::connect_with(
+        addr,
+        keyed_client(None, WireCodec::Json),
+    ));
+    // Wrong key: the server's (correctly) sealed reply fails to open on the
+    // client, which refuses to desync.
+    expect_unauthenticated(TcpTransport::connect_with(
+        addr,
+        keyed_client(
+            Some(ClusterKey::from_secret(b"not-the-same-key")),
+            WireCodec::Json,
+        ),
+    ));
+    assert!(shards[0].server.cluster_stats().auth_rejections >= 1);
+    // And the right key connects fine.
+    TcpTransport::connect_with(addr, keyed_client(Some(key), WireCodec::Json))
+        .expect("matching keys handshake");
+    for shard in shards {
+        shard.server.shutdown();
+    }
+
+    // The mirror case: a keyed client refuses an unkeyed server rather than
+    // silently sending MAC-less frames.
+    let unkeyed = start_cluster(1, None);
+    expect_unauthenticated(TcpTransport::connect_with(
+        unkeyed[0].server.local_addr(),
+        keyed_client(
+            Some(ClusterKey::from_secret(b"client-only-key")),
+            WireCodec::Json,
+        ),
+    ));
+    for shard in unkeyed {
+        shard.server.shutdown();
+    }
+}
+
+#[test]
+fn router_fails_over_when_a_shard_is_killed_mid_run() {
+    let shards = start_cluster(2, None);
+    let endpoints = endpoints_of(&shards);
+    let router = ShardRouter::connect(endpoints.iter().cloned(), RouterConfig::default()).unwrap();
+
+    let request = MatrixRequest {
+        privacy_level: 1,
+        delta: 0,
+    };
+    let ranking = rendezvous_rank(&endpoints, request.privacy_level, request.delta);
+    router.privacy_forest(request).expect("first request");
+    assert_eq!(router.cluster_stats().failovers, 0);
+
+    // Kill the owner; the cached connection dies with it.
+    let mut shards = shards;
+    let owner = shards.remove(ranking[0]);
+    owner.server.shutdown();
+
+    // The same key now fails over to the surviving shard (which may serve it
+    // straight from its replicated cache) instead of erroring.
+    router
+        .privacy_forest(request)
+        .expect("failover to the surviving shard");
+    let stats = router.cluster_stats();
+    assert!(stats.failovers >= 1, "{stats:?}");
+    let survivor = stats
+        .peers
+        .iter()
+        .find(|p| p.endpoint == endpoints[ranking[1]])
+        .unwrap();
+    assert!(survivor.requests >= 1, "{stats:?}");
+
+    for shard in shards {
+        shard.server.shutdown();
+    }
+}

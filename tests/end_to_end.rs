@@ -102,7 +102,7 @@ fn full_pipeline_over_the_tcp_transport() {
     // Warm the grid the clients below will hit, over the wire.
     let report = transport.warm(&WarmRequest::level(1, 3)).unwrap();
     assert!(report.is_complete(), "failures: {:?}", report.failures);
-    let warmed_misses = caching.cache_stats().misses;
+    let warmed_misses = caching.cache_stats().unwrap().misses;
 
     let service: Arc<dyn MatrixService> = transport;
     let mut rng = StdRng::seed_from_u64(9);
@@ -122,7 +122,7 @@ fn full_pipeline_over_the_tcp_transport() {
     }
     // The warmed keys absorbed the client traffic: no further generations
     // (clients whose δ fell inside the warmed grid were pure hits).
-    let stats = caching.cache_stats();
+    let stats = caching.cache_stats().unwrap();
     assert!(
         stats.misses <= warmed_misses + 1,
         "client traffic should be cache-hit dominated after warming: {stats:?}"

@@ -109,7 +109,7 @@ fn concurrent_same_key_requests_are_single_flight() {
     for response in &responses[1..] {
         assert!(Arc::ptr_eq(&responses[0], response));
     }
-    let stats = service.cache_stats();
+    let stats = service.cache_stats().expect("caching layer reports stats");
     assert_eq!(stats.hits + stats.misses, threads as u64);
     assert!(stats.coalesced <= stats.misses);
 }

@@ -77,7 +77,12 @@ fn send_hello_advertising(
     version: ProtocolVersion,
     codecs: Option<Vec<String>>,
 ) -> HelloReply {
-    let hello = serde_json::to_string(&HelloFrame { version, codecs }).unwrap();
+    let hello = serde_json::to_string(&HelloFrame {
+        version,
+        codecs,
+        auth: None,
+    })
+    .unwrap();
     stream
         .write_all(&encode_frame(FrameKind::Hello, hello.as_bytes()))
         .unwrap();
@@ -189,7 +194,7 @@ fn sixty_four_inflight_requests_through_one_reactor_thread() {
 
     // Cache-deduplicated: 64 requests, exactly 4 generations ran (the other
     // 60 were hits or coalesced onto an in-flight generation).
-    let stats = caching.cache_stats();
+    let stats = caching.cache_stats().unwrap();
     assert_eq!(stats.hits + stats.misses, 64);
     assert_eq!(
         stats.misses - stats.coalesced,
@@ -207,14 +212,14 @@ fn warming_over_the_wire_makes_steady_state_solve_free() {
     let transport = TcpTransport::connect(server.local_addr()).unwrap();
 
     // Cold cache: nothing resident.
-    assert_eq!(caching.cache_stats().entries, 0);
+    assert_eq!(caching.cache_stats().unwrap().entries, 0);
 
     // Warm the level-1 grid for δ ∈ 0..=2 through the Warm frame.
     let plan = WarmRequest::level(1, 2);
     let report = transport.warm(&plan).unwrap();
     assert!(report.is_complete(), "failures: {:?}", report.failures);
     assert_eq!(report.warmed, 3);
-    let warmed = caching.cache_stats();
+    let warmed = caching.cache_stats().unwrap();
     assert_eq!(warmed.entries, 3);
 
     // Steady state: the whole grid is served without a single further LP
@@ -228,7 +233,7 @@ fn warming_over_the_wire_makes_steady_state_solve_free() {
             .unwrap();
         assert_eq!(forest.entries.len(), 49);
     }
-    let stats = caching.cache_stats();
+    let stats = caching.cache_stats().unwrap();
     assert_eq!(stats.hits, 3, "all steady-state requests were hits");
     assert_eq!(stats.misses, warmed.misses, "no post-warm generations");
     server.shutdown();
@@ -560,6 +565,7 @@ fn shutdown_closes_the_listener_and_open_connections() {
         let hello = serde_json::to_string(&HelloFrame {
             version: PROTOCOL_VERSION,
             codecs: None,
+            auth: None,
         })
         .unwrap();
         let _ = late.write_all(&encode_frame(FrameKind::Hello, hello.as_bytes()));
