@@ -16,8 +16,8 @@ use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
 use corgi_framework::messages::{MatrixRequest, RequestEnvelope, ResponseEnvelope};
 use corgi_framework::transport::try_decode_frame;
 use corgi_framework::{
-    CachingService, ClientConfig, ForestGenerator, MatrixService, ServerConfig, TcpServer,
-    TcpTransport, TransportConfig, WarmRequest, WireCodec,
+    CachingService, ClientConfig, ForestGenerator, MatrixService, ReactorBackend, ServerConfig,
+    TcpServer, TcpTransport, TransportConfig, WarmRequest, WireCodec,
 };
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
@@ -186,11 +186,57 @@ fn bench_transport_roundtrip(c: &mut Criterion) {
     server.shutdown();
 }
 
+/// The same warm-hit round trip under each reactor backend, measured in one
+/// run: `warm_hit_roundtrip/epoll` blocks on socket readiness and answers as
+/// soon as the request frame lands, while `warm_hit_roundtrip/tick` only
+/// discovers it on the next 500 µs poll tick.  The perf gate holds the
+/// epoll/tick ratio — losing the readiness path (a broken epoll registration
+/// silently falling back to a timer somewhere) shows up as the ratio
+/// collapsing toward 1.0, far past the gate on any hardware.
+fn bench_reactor_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_loopback");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+    let request = MatrixRequest {
+        privacy_level: 1,
+        delta: 0,
+    };
+    for backend in [ReactorBackend::Epoll, ReactorBackend::Tick] {
+        let service = Arc::new(CachingService::with_defaults(generator(0)));
+        let config = TransportConfig {
+            reactor_backend: backend,
+            reactor_shards: 1,
+            warm_on_start: Some(WarmRequest::level(1, 0)),
+            codecs: vec![WireCodec::Binary, WireCodec::Json],
+            ..TransportConfig::default()
+        };
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&service) as Arc<dyn MatrixService>,
+            config,
+        )
+        .expect("binding the loopback bench server");
+        let transport = TcpTransport::connect(server.local_addr()).expect("connecting to loopback");
+        transport.privacy_forest(request).expect("warm-up request");
+        group.bench_function(format!("warm_hit_roundtrip/{}", backend.label()), |b| {
+            b.iter(|| {
+                transport
+                    .privacy_forest(request)
+                    .expect("cache hit over TCP")
+            });
+        });
+        drop(transport);
+        server.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_forest_generation,
     bench_cached_request_path,
     bench_wire_codec,
-    bench_transport_roundtrip
+    bench_transport_roundtrip,
+    bench_reactor_backend
 );
 criterion_main!(benches);

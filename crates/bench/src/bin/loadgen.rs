@@ -10,7 +10,7 @@
 //! loadgen [--rate HZ] [--duration-secs S] [--connections N] [--zipf S]
 //!         [--levels L1,L2,..] [--max-delta D] [--churn N] [--seed N]
 //!         [--timeout-secs S] [--label NAME] [--profile calibrated]
-//!         [--shards N] [--mode open|closed]
+//!         [--shards N] [--mode open|closed] [--reactor-shards N]
 //! ```
 //!
 //! `--profile calibrated` selects the fixed heavy-lane shape (the one the
@@ -20,9 +20,11 @@
 //! per-shard completions.  `--mode closed` runs a closed-loop pass *after*
 //! the open-loop one and prints the p99 delta — the size of the queueing
 //! delay that closed-loop (coordinated-omission-prone) measurement hides.
-//! The wire codec follows `CORGI_WIRE_CODEC` like every other client.  Exits
-//! nonzero if any request failed with a non-shed error or hung past its
-//! deadline.
+//! The wire codec follows `CORGI_WIRE_CODEC` like every other client, and
+//! the reactor backend follows `CORGI_REACTOR_BACKEND` like every server
+//! (`--reactor-shards N` pins the per-server reactor thread count; 0 = one
+//! per core).  Exits nonzero if any request failed with a non-shed error or
+//! hung past its deadline.
 //!
 //! [`ShardRouter`]: corgi_framework::ShardRouter
 
@@ -103,6 +105,7 @@ fn main() {
         )),
     };
     let shards = parse_flag("--shards", 1usize).max(1);
+    let reactor_shards = parse_flag("--reactor-shards", 0usize);
     let closed_pass = match flag_value("--mode").as_deref() {
         None | Some("open") => false,
         Some("closed") => true,
@@ -154,13 +157,17 @@ fn main() {
                 ))),
                 TransportConfig {
                     replication: Some(replicator),
+                    reactor_shards,
                     ..TransportConfig::default()
                 },
             )
         } else {
             (
                 Arc::new(CachingService::with_defaults(generator)),
-                TransportConfig::default(),
+                TransportConfig {
+                    reactor_shards,
+                    ..TransportConfig::default()
+                },
             )
         };
         let server = TcpServer::bind("127.0.0.1:0", Arc::clone(&service), transport_config)
@@ -188,7 +195,7 @@ fn main() {
     }
 
     println!(
-        "loadgen/{label}: {} conns, {:.0} req/s offered for {:?}, Zipf s={} over {} keys, churn every {}, {} shard(s)",
+        "loadgen/{label}: {} conns, {:.0} req/s offered for {:?}, Zipf s={} over {} keys, churn every {}, {} shard(s), {} backend x{} reactor(s)",
         profile.connections,
         profile.rate_hz,
         profile.duration,
@@ -200,6 +207,8 @@ fn main() {
             profile.churn_every.to_string()
         },
         shards,
+        servers[0].backend().label(),
+        servers[0].shard_count(),
     );
     let report = run_load(&addrs, LoadMode::Open, &profile);
     println!(

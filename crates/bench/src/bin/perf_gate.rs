@@ -77,6 +77,13 @@ const RATIO_PAIRS: &[(&str, &str, f64)] = &[
     ("pooled", "serial", 1.0),
     ("/binary", "/json", 3.0),
     ("warm_hit_roundtrip", "warm_hit_roundtrip_json", 3.0),
+    // The readiness backend vs the 500 µs poll tick it replaced, measured on
+    // the same warm-hit round trip in the same run.  Losing the epoll path
+    // (a silently broken registration degrading to timers) collapses this
+    // ratio toward 1.0 — a ~10× jump, caught at any tolerance.  One side
+    // blocks in epoll_pwait and the other in a timed condvar wait, so the
+    // ratio shifts more across schedulers than the kernel pairs: 3× tolerance.
+    ("/epoll", "/tick", 3.0),
 ];
 
 /// Whole records per bench name; later lines win, so re-running a bench
@@ -483,6 +490,8 @@ mod tests {
             "wire_codec/forest_roundtrip/json",
             "transport_loopback/warm_hit_roundtrip",
             "transport_loopback/warm_hit_roundtrip_json",
+            "transport_loopback/warm_hit_roundtrip/epoll",
+            "transport_loopback/warm_hit_roundtrip/tick",
         ] {
             names.insert(name.to_string(), serde_json::json!({"median_ns": 1.0}));
         }
@@ -500,13 +509,30 @@ mod tests {
                 3.0
             ))
         );
-        // The JSON sides are reference points, never paired onto themselves.
+        // The backend pair: the epoll round trip gates against the tick
+        // round trip from the same run.  The "warm_hit_roundtrip" rule
+        // matches the name first, but its rewritten sibling
+        // (`…/warm_hit_roundtrip_json/epoll`) does not exist, so pairing
+        // falls through to the `/epoll` → `/tick` rule.
+        assert_eq!(
+            reference_pair("transport_loopback/warm_hit_roundtrip/epoll", &names),
+            Some((
+                "transport_loopback/warm_hit_roundtrip/tick".to_string(),
+                3.0
+            ))
+        );
+        // The JSON and tick sides are reference points, never paired onto
+        // themselves.
         assert_eq!(
             reference_sibling("wire_codec/forest_roundtrip/json", &names),
             None
         );
         assert_eq!(
             reference_sibling("transport_loopback/warm_hit_roundtrip_json", &names),
+            None
+        );
+        assert_eq!(
+            reference_sibling("transport_loopback/warm_hit_roundtrip/tick", &names),
             None
         );
     }

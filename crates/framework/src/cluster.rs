@@ -64,7 +64,7 @@ use std::net::TcpStream;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll};
+use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
 // ---------------------------------------------------------------------------
@@ -352,6 +352,11 @@ impl PeerLink {
 pub struct Replicator {
     config: ReplicationConfig,
     links: Mutex<Vec<Arc<PeerLink>>>,
+    /// One waker slot per reactor flush task (indexed by shard), re-armed at
+    /// the top of every task poll and taken by [`offer`](Self::offer) /
+    /// [`add_peer`](Self::add_peer) — this is what lets an idle flush task
+    /// block indefinitely instead of polling its queues once per tick.
+    flush_wakers: Mutex<Vec<Option<Waker>>>,
 }
 
 impl fmt::Debug for Replicator {
@@ -370,14 +375,44 @@ impl Replicator {
         Arc::new(Self {
             config,
             links: Mutex::new(Vec::new()),
+            flush_wakers: Mutex::new(Vec::new()),
         })
     }
 
-    /// Add a peer endpoint; its queue starts draining on the next reactor
-    /// tick of every server this replicator is bound to.
+    /// Add a peer endpoint; the flush task owning its index (on every server
+    /// this replicator is bound to) is woken to pick it up immediately.
     pub fn add_peer(&self, endpoint: impl Into<String>) {
-        let mut links = self.links.lock().unwrap_or_else(|e| e.into_inner());
-        links.push(Arc::new(PeerLink::new(endpoint.into())));
+        {
+            let mut links = self.links.lock().unwrap_or_else(|e| e.into_inner());
+            links.push(Arc::new(PeerLink::new(endpoint.into())));
+        }
+        self.wake_flushers();
+    }
+
+    /// Re-arm the flush waker for `slot`.  Called at the top of every flush
+    /// task poll, *before* the queues are inspected: an offer landing after
+    /// the registration wakes the task, one landing before is visible in the
+    /// queue check — no lost-wakeup window either way.
+    pub(crate) fn register_flush_waker(&self, slot: usize, waker: &Waker) {
+        let mut wakers = self.flush_wakers.lock().unwrap_or_else(|e| e.into_inner());
+        if wakers.len() <= slot {
+            wakers.resize(slot + 1, None);
+        }
+        wakers[slot] = Some(waker.clone());
+    }
+
+    /// Wake (and disarm) every registered flush task.
+    fn wake_flushers(&self) {
+        let wakers: Vec<Waker> = self
+            .flush_wakers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter_mut()
+            .filter_map(|slot| slot.take())
+            .collect();
+        for waker in wakers {
+            waker.wake();
+        }
     }
 
     /// Offer a freshly solved forest to every peer queue (drop-oldest at the
@@ -396,6 +431,7 @@ impl Replicator {
         for link in links {
             link.offer(push.clone(), self.config.queue_depth);
         }
+        self.wake_flushers();
     }
 
     /// Per-peer link counters.
@@ -454,16 +490,24 @@ impl<S: MatrixService> MatrixService for ReplicatingService<S> {
     }
 }
 
-/// Spawn the queue-flushing task on a server's reactor.
-pub(crate) fn spawn_replication(
+/// Spawn one shard's queue-flushing task on that shard's reactor: the task
+/// drives every peer link whose index `i` satisfies
+/// `i % shard_count == shard_index`, so replication work shards with the
+/// connections instead of serializing on one reactor.
+pub(crate) fn spawn_replication_shard(
     handle: &Handle,
     replicator: Arc<Replicator>,
     dispatch: Arc<ThreadPool>,
+    shard_index: usize,
+    shard_count: usize,
 ) {
     handle.spawn(ReplicationTask {
         handle: handle.clone(),
         replicator,
         dispatch,
+        shard_index,
+        shard_count: shard_count.max(1),
+        known_links: 0,
         drivers: Vec::new(),
     });
 }
@@ -489,18 +533,28 @@ struct LinkDriver {
     backoff: Duration,
 }
 
-/// Reactor task draining every peer queue of one [`Replicator`].
+/// Reactor task draining the peer queues of one [`Replicator`] shard.
 ///
 /// Blocking work (connect + hello) runs on the dispatch pool and returns via
 /// a oneshot; the reactor only ever does nonblocking reads and writes.  A
 /// link failure returns the driver to `Idle` with doubled backoff — queued
 /// pushes survive the outage (up to the drop-oldest bound) and flush once the
 /// peer is back.
+///
+/// The task is fully event-driven: offers and new peers wake it through the
+/// replicator's flush waker, streaming sockets park on kernel readiness
+/// ([`Handle::park_socket`]), and backoffs sit in the timer wheel — it never
+/// asks for tick service, so an idle cluster reactor stays blocked.
 struct ReplicationTask {
     handle: Handle,
     replicator: Arc<Replicator>,
     dispatch: Arc<ThreadPool>,
-    drivers: Vec<LinkDriver>,
+    shard_index: usize,
+    shard_count: usize,
+    /// Global link indexes examined so far (links only ever append).
+    known_links: usize,
+    /// Drivers for this shard's links, tagged with their global index.
+    drivers: Vec<(usize, LinkDriver)>,
 }
 
 impl Future for ReplicationTask {
@@ -511,21 +565,33 @@ impl Future for ReplicationTask {
         if this.handle.is_shutdown() {
             return Poll::Ready(());
         }
+        // Register for offer/add_peer wakes *before* inspecting any queue
+        // (see register_flush_waker for the ordering argument).
+        this.replicator
+            .register_flush_waker(this.shard_index, cx.waker());
         let links = this.replicator.links();
-        while this.drivers.len() < links.len() {
-            // A fresh link connects immediately (zero-length backoff sleep).
-            this.drivers.push(LinkDriver {
-                state: LinkState::Idle(this.handle.sleep(Duration::ZERO)),
-                backoff: this.replicator.config.retry_backoff,
-            });
+        while this.known_links < links.len() {
+            let index = this.known_links;
+            this.known_links += 1;
+            if index % this.shard_count == this.shard_index {
+                // A fresh link connects immediately (zero-length backoff
+                // sleep).
+                this.drivers.push((
+                    index,
+                    LinkDriver {
+                        state: LinkState::Idle(this.handle.sleep(Duration::ZERO)),
+                        backoff: this.replicator.config.retry_backoff,
+                    },
+                ));
+            }
         }
         let mut progress = true;
         while progress {
             progress = false;
-            for (driver, link) in this.drivers.iter_mut().zip(&links) {
+            for (index, driver) in this.drivers.iter_mut() {
                 progress |= step_link(
                     driver,
-                    link,
+                    &links[*index],
                     &this.handle,
                     &this.dispatch,
                     &this.replicator.config,
@@ -533,7 +599,20 @@ impl Future for ReplicationTask {
                 );
             }
         }
-        this.handle.park_io(cx.waker());
+        // Streaming links park on their socket (read: EOF/error detection is
+        // the link's only inbound signal; write: only while bytes are
+        // actually blocked).  Idle links wait on the backoff timer or the
+        // flush waker, Connecting on its oneshot.
+        for (_, driver) in &this.drivers {
+            if let LinkState::Streaming(conn) = &driver.state {
+                this.handle.park_socket(
+                    crate::transport::sock_fd(&conn.stream),
+                    true,
+                    conn.write_pos < conn.write_buf.len(),
+                    cx.waker(),
+                );
+            }
+        }
         Poll::Pending
     }
 }
@@ -552,16 +631,16 @@ fn step_link(
             if Pin::new(retry).poll(cx).is_pending() {
                 return false;
             }
-            // Nothing queued yet: stay idle (re-armed, effectively polling
-            // the queue once per tick) instead of dialing a peer we have
-            // nothing to say to.
+            // Nothing queued yet: stay idle until an offer wakes the task
+            // (via the replicator's flush waker) instead of dialing a peer
+            // we have nothing to say to.  The expired sleep stays in place,
+            // polling Ready whenever the task next runs.
             if link
                 .queue
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .is_empty()
             {
-                driver.state = LinkState::Idle(handle.sleep(Duration::ZERO));
                 return false;
             }
             let (tx, rx) = oneshot::channel();
@@ -656,6 +735,11 @@ fn fail_link(
     config: &ReplicationConfig,
 ) {
     link.link_errors.fetch_add(1, Ordering::Relaxed);
+    if let LinkState::Streaming(conn) = &driver.state {
+        // The stream closes when the state is replaced below; drop its
+        // readiness registration first (see ConnectionTask::drop).
+        handle.deregister_socket(crate::transport::sock_fd(&conn.stream));
+    }
     driver.state = LinkState::Idle(handle.sleep(driver.backoff));
     driver.backoff = (driver.backoff * 2).min(config.max_backoff);
 }

@@ -12,10 +12,17 @@
 //! * **Timer wheel** — a coarse hashed wheel ([`TimerWheel`]) backs the
 //!   [`sleep_until`](Handle::sleep_until) future used for handshake and read
 //!   timeouts; the run loop advances it from a monotonic clock.
-//! * **I/O poll set** — there is no epoll/kqueue here (that would be `mio`);
-//!   futures blocked on non-blocking sockets register their waker in a poll
-//!   set and the run loop re-wakes the whole set once per *tick* (the
-//!   configured poll interval), bounding both idle CPU burn and added latency.
+//! * **Readiness backends** — the reactor blocks in one of two ways,
+//!   selected by [`ReactorBackend`]:
+//!   [`Epoll`](ReactorBackend::Epoll) parks the run loop in `epoll_pwait`
+//!   (via the raw bindings in [`crate::sys`]) with per-fd interest registered
+//!   through [`Handle::park_socket`], cross-thread wakes delivered over an
+//!   eventfd and the timer wheel's next deadline as the wait timeout — idle
+//!   connections cost nothing and a readable socket wakes its future in
+//!   microseconds; [`Tick`](ReactorBackend::Tick) is the portable fallback
+//!   where futures blocked on non-blocking sockets register their waker in a
+//!   poll set ([`Handle::park_io`]) and the run loop re-wakes the whole set
+//!   once per *tick* (the configured poll interval).
 //! * **Oneshot channels** — [`oneshot`] lets CPU-bound work on the
 //!   [`crate::ThreadPool`] complete a future back inside the event loop: the
 //!   pool thread calls [`oneshot::Sender::send`], which wakes the awaiting
@@ -23,9 +30,12 @@
 //!
 //! The executor is single-threaded by design: one reactor thread runs
 //! [`Executor::run`], all tasks are polled there, and cross-thread interaction
-//! is confined to wakes (queue push + condvar notify) and oneshot completions.
+//! is confined to wakes (queue push + condvar notify or eventfd write) and
+//! oneshot completions.  Multi-core serving shards *connections* across
+//! several executors (see `transport`), never tasks across threads.
 
-use std::collections::VecDeque;
+use crate::sys;
+use std::collections::{HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
@@ -33,7 +43,86 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
 
+#[cfg(unix)]
+use std::os::fd::RawFd;
+#[cfg(not(unix))]
+/// Raw socket descriptor on non-unix targets (the epoll backend never
+/// constructs there, so the alias only keeps signatures compiling).
+type RawFd = i32;
+
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// How the reactor's run loop blocks between bursts of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReactorBackend {
+    /// Block in `epoll_pwait` on real kernel readiness: per-fd interest via
+    /// [`Handle::park_socket`], cross-thread wakes via eventfd, timer-wheel
+    /// deadlines as the wait timeout.  Linux x86-64/aarch64 only.
+    Epoll,
+    /// The portable timed re-poll: sleep at most one `io_poll_interval`, then
+    /// re-wake every parked I/O future so it retries its socket.
+    Tick,
+}
+
+impl ReactorBackend {
+    /// The backend requested by the `CORGI_REACTOR_BACKEND` environment
+    /// variable (`"epoll"` or `"tick"`, case-insensitive).  Unset or
+    /// unrecognized values request [`Epoll`](Self::Epoll), which
+    /// [`resolve`](Self::resolve) degrades to [`Tick`](Self::Tick) wherever
+    /// the syscalls are unavailable.
+    pub fn from_env() -> Self {
+        match std::env::var("CORGI_REACTOR_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("tick") => Self::Tick,
+            _ => Self::Epoll,
+        }
+    }
+
+    /// Degrade [`Epoll`](Self::Epoll) to [`Tick`](Self::Tick) when the
+    /// readiness syscalls are compiled out (non-Linux) or refused at runtime
+    /// (seccomp); see [`sys::readiness_available`].
+    pub fn resolve(self) -> Self {
+        match self {
+            Self::Epoll if sys::readiness_available() => Self::Epoll,
+            _ => Self::Tick,
+        }
+    }
+
+    /// Stable lowercase name, used in bench IDs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Epoll => "epoll",
+            Self::Tick => "tick",
+        }
+    }
+}
+
+/// A waker parked on socket readiness, with the interest bits currently armed
+/// in the epoll set (0 = disarmed, waiting for its future to re-park).
+struct FdWaiter {
+    interest: u32,
+    waker: Waker,
+}
+
+/// The epoll backend's kernel state: one poll set, the eventfd that external
+/// threads write to interrupt `epoll_pwait`, and the fd → waker registry.
+struct Poller {
+    epoll: sys::Epoll,
+    wakeup: sys::EventFd,
+    waiters: Mutex<HashMap<RawFd, FdWaiter>>,
+}
+
+impl Poller {
+    fn new() -> std::io::Result<Self> {
+        let epoll = sys::Epoll::new()?;
+        let wakeup = sys::EventFd::new()?;
+        epoll.add(wakeup.as_raw_fd(), sys::EPOLLIN)?;
+        Ok(Self {
+            epoll,
+            wakeup,
+            waiters: Mutex::new(HashMap::new()),
+        })
+    }
+}
 
 // Task scheduling states; transitions are CAS-driven so concurrent wakes from
 // pool threads and the reactor thread never lose a wakeup or enqueue twice.
@@ -107,6 +196,12 @@ struct Shared {
     timer: TimerWheel,
     shutdown: AtomicBool,
     live_tasks: AtomicUsize,
+    /// `Some` on the epoll backend, `None` on tick.
+    poller: Option<Poller>,
+    /// The thread currently inside [`Executor::run`], so same-thread wakes
+    /// (a task polled on the reactor scheduling another) skip the eventfd
+    /// write — the run loop re-checks the ready queue before blocking.
+    reactor_thread: Mutex<Option<std::thread::ThreadId>>,
 }
 
 impl Shared {
@@ -115,7 +210,30 @@ impl Shared {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push_back(task);
-        self.wakeup.notify_one();
+        self.notify();
+    }
+
+    /// Interrupt a (possibly) blocked run loop.  On epoll, every cross-thread
+    /// wake writes the eventfd unconditionally: the reactor drains it each
+    /// wakeup, and level-triggered readability means a write landing between
+    /// that drain and the next `epoll_pwait` still returns it immediately —
+    /// no lost-wakeup window, unlike any "already signaled" flag scheme.
+    fn notify(&self) {
+        match &self.poller {
+            Some(poller) => {
+                let on_reactor = *self
+                    .reactor_thread
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    == Some(std::thread::current().id());
+                if !on_reactor {
+                    poller.wakeup.notify();
+                }
+            }
+            None => {
+                self.wakeup.notify_one();
+            }
+        }
     }
 
     fn pop_ready(&self) -> Option<Arc<Task>> {
@@ -149,12 +267,107 @@ impl Handle {
     /// Register a waker to be re-woken on the next reactor tick.  I/O futures
     /// call this after a `WouldBlock` so their socket is re-polled at the
     /// configured poll interval.
+    ///
+    /// Works on both backends: the epoll run loop bounds its wait by the poll
+    /// interval whenever this set is non-empty and re-wakes it after every
+    /// wakeup, so a future with no single fd to watch is never stranded.
     pub fn park_io(&self, waker: &Waker) {
         self.shared
             .io_parked
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(waker.clone());
+    }
+
+    /// Park a future on kernel readiness for `fd`: wake it when the socket
+    /// becomes readable (`readable`, which includes peer hangup) and/or
+    /// writable (`writable`).  The interest is **one-shot by disarm**: the
+    /// run loop disarms the fd when it delivers a wake, and the future
+    /// re-declares its *current* interest by calling this again on its next
+    /// `Pending` — so interest always tracks what the future actually awaits.
+    ///
+    /// On the tick backend this degrades to [`park_io`](Self::park_io)
+    /// (re-poll next tick).  Callers must call
+    /// [`deregister_socket`](Self::deregister_socket) before closing the fd.
+    pub fn park_socket(&self, fd: RawFd, readable: bool, writable: bool, waker: &Waker) {
+        let Some(poller) = &self.shared.poller else {
+            self.park_io(waker);
+            return;
+        };
+        let mut want = 0u32;
+        if readable {
+            want |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if writable {
+            want |= sys::EPOLLOUT;
+        }
+        // Declared before the guard so a waker displaced here drops *after*
+        // the lock is released: a dropped waker can run a task destructor
+        // that re-enters this lock via `deregister_socket`.
+        let mut stale_waker: Option<Waker> = None;
+        let mut waiters = poller.waiters.lock().unwrap_or_else(|e| e.into_inner());
+        match waiters.entry(fd) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                let entry = occupied.get_mut();
+                if entry.interest != want
+                    && poller.epoll.modify(fd, want).is_err()
+                    && poller.epoll.add(fd, want).is_err()
+                {
+                    // Kernel refused both ops (fd in a weird state): fall back
+                    // to tick service rather than stranding the future.  The
+                    // removed entry drops only after the guard for the same
+                    // re-entrancy reason as `stale_waker`.
+                    let removed = occupied.remove();
+                    drop(waiters);
+                    drop(removed);
+                    self.park_io(waker);
+                    return;
+                }
+                entry.interest = want;
+                if !entry.waker.will_wake(waker) {
+                    stale_waker = Some(std::mem::replace(&mut entry.waker, waker.clone()));
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                if poller.epoll.add(fd, want).is_err() && poller.epoll.modify(fd, want).is_err() {
+                    drop(waiters);
+                    self.park_io(waker);
+                    return;
+                }
+                vacant.insert(FdWaiter {
+                    interest: want,
+                    waker: waker.clone(),
+                });
+            }
+        }
+        drop(waiters);
+        drop(stale_waker);
+    }
+
+    /// Drop any readiness registration for `fd`.  Must be called before the
+    /// owning future closes the descriptor; harmless on the tick backend or
+    /// for fds that were never parked.
+    pub fn deregister_socket(&self, fd: RawFd) {
+        if let Some(poller) = &self.shared.poller {
+            // Hold the removed entry past the guard: dropping its waker can
+            // run a task destructor that re-enters this same lock.
+            let removed = poller
+                .waiters
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&fd);
+            let _ = poller.epoll.delete(fd);
+            drop(removed);
+        }
+    }
+
+    /// The readiness backend this executor actually runs (after fallback).
+    pub fn backend(&self) -> ReactorBackend {
+        if self.shared.poller.is_some() {
+            ReactorBackend::Epoll
+        } else {
+            ReactorBackend::Tick
+        }
     }
 
     /// A future that resolves once the monotonic clock reaches `deadline`.
@@ -176,6 +389,9 @@ impl Handle {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.wakeup.notify_all();
+        if let Some(poller) = &self.shared.poller {
+            poller.wakeup.notify();
+        }
     }
 
     /// Whether shutdown has been requested.
@@ -196,9 +412,22 @@ pub struct Executor {
 }
 
 impl Executor {
-    /// Create an executor whose I/O poll set is re-woken every
+    /// Create a tick-backend executor whose I/O poll set is re-woken every
     /// `io_poll_interval` (the reactor *tick*).
     pub fn new(io_poll_interval: Duration) -> Self {
+        Self::with_backend(ReactorBackend::Tick, io_poll_interval)
+    }
+
+    /// Create an executor on the given backend (after
+    /// [`ReactorBackend::resolve`]-style fallback: an epoll request silently
+    /// degrades to tick if the poll set cannot be created).  On epoll,
+    /// `io_poll_interval` only bounds the wait while legacy
+    /// [`park_io`](Handle::park_io) waiters exist.
+    pub fn with_backend(backend: ReactorBackend, io_poll_interval: Duration) -> Self {
+        let poller = match backend.resolve() {
+            ReactorBackend::Epoll => Poller::new().ok(),
+            ReactorBackend::Tick => None,
+        };
         Self {
             shared: Arc::new(Shared {
                 ready: Mutex::new(VecDeque::new()),
@@ -207,9 +436,16 @@ impl Executor {
                 timer: TimerWheel::new(Duration::from_millis(1), 256),
                 shutdown: AtomicBool::new(false),
                 live_tasks: AtomicUsize::new(0),
+                poller,
+                reactor_thread: Mutex::new(None),
             }),
             io_poll_interval: io_poll_interval.max(Duration::from_micros(50)),
         }
+    }
+
+    /// The readiness backend this executor actually runs (after fallback).
+    pub fn backend(&self) -> ReactorBackend {
+        self.handle().backend()
     }
 
     /// A handle for spawning and shutdown, cloneable across threads.
@@ -222,10 +458,26 @@ impl Executor {
     /// Drive all tasks until [`Handle::shutdown`] is called.
     ///
     /// Each iteration: expire due timers, poll every scheduled task to
-    /// quiescence, then sleep until the earliest of (next timer, next I/O
-    /// tick, an external wake), and finally re-wake the I/O poll set.
+    /// quiescence, then block until something can change — in `epoll_pwait`
+    /// on fd readiness/eventfd with the next timer deadline as timeout
+    /// (epoll backend), or on the condvar until the earliest of (next timer,
+    /// next I/O tick, an external wake) and then re-wake the whole I/O poll
+    /// set (tick backend).
     pub fn run(&self) {
-        self.run_inner();
+        *self
+            .shared
+            .reactor_thread
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(std::thread::current().id());
+        match &self.shared.poller {
+            Some(poller) => self.run_epoll(poller),
+            None => self.run_inner(),
+        }
+        *self
+            .shared
+            .reactor_thread
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = None;
         self.purge();
     }
 
@@ -242,12 +494,114 @@ impl Executor {
             };
             drop(task);
         }
-        self.shared
-            .io_parked
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clear();
+        // Every registry is emptied with take-then-drop: dropping a waker here
+        // can drop the last `Arc<Task>` and run its future's destructor, and
+        // `ConnectionTask::drop` re-enters `deregister_socket` (the waiters
+        // lock).  Dropping inside the guard scope would self-deadlock.
+        let parked = std::mem::take(
+            &mut *self
+                .shared
+                .io_parked
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        drop(parked);
         self.shared.timer.clear();
+        if let Some(poller) = &self.shared.poller {
+            let waiters =
+                std::mem::take(&mut *poller.waiters.lock().unwrap_or_else(|e| e.into_inner()));
+            drop(waiters);
+        }
+    }
+
+    /// The epoll run loop: identical task scheduling to the tick loop, but
+    /// the idle wait is a real readiness wait instead of a timed re-poll.
+    fn run_epoll(&self, poller: &Poller) {
+        let mut events = vec![sys::EpollEvent::default(); 128];
+        let wakeup_fd = poller.wakeup.as_raw_fd();
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            self.shared.timer.advance(Instant::now());
+
+            while let Some(task) = self.shared.pop_ready() {
+                self.poll_task(&task);
+                if self.shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+
+            // Nothing runnable: block on readiness.  A cross-thread push
+            // landing after the drain above has already written the eventfd,
+            // whose level-triggered readability makes the wait below return
+            // immediately — same-thread pushes cannot happen here (the loop
+            // above ran them to quiescence).
+            let now = Instant::now();
+            let has_legacy = !self
+                .shared
+                .io_parked
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty();
+            let until_timer = self
+                .shared
+                .timer
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(now));
+            let wait = match (has_legacy, until_timer) {
+                (true, Some(t)) => t.min(self.io_poll_interval),
+                (true, None) => self.io_poll_interval,
+                (false, Some(t)) => t,
+                // Fully readiness-driven: the cap only bounds how long a
+                // hypothetically missed eventfd write could ever stall us.
+                (false, None) => Duration::from_millis(100),
+            };
+            // Ceil to whole milliseconds so a sub-ms timer wait does not
+            // degenerate into a timeout-0 busy spin.
+            let timeout_ms = wait.as_nanos().div_ceil(1_000_000).min(60_000) as i32;
+            let n = poller.epoll.wait(&mut events, timeout_ms).unwrap_or(0);
+
+            let mut fired = Vec::new();
+            {
+                let mut waiters = poller.waiters.lock().unwrap_or_else(|e| e.into_inner());
+                for event in &events[..n] {
+                    let fd = event.tag() as RawFd;
+                    if fd == wakeup_fd {
+                        poller.wakeup.drain();
+                        continue;
+                    }
+                    if let Some(entry) = waiters.get_mut(&fd) {
+                        // Disarm before waking: level-triggered readiness
+                        // must not be re-delivered to a future that has
+                        // stopped consuming it (backpressure, inflight cap);
+                        // the future re-arms its current interest on its
+                        // next park_socket.
+                        if entry.interest != 0 {
+                            let _ = poller.epoll.modify(fd, 0);
+                            entry.interest = 0;
+                        }
+                        fired.push(entry.waker.clone());
+                    }
+                }
+            }
+            for waker in fired {
+                waker.wake();
+            }
+
+            // Legacy park_io futures still get tick service (the wait above
+            // was bounded by io_poll_interval whenever any were parked).
+            let parked: Vec<Waker> = std::mem::take(
+                &mut *self
+                    .shared
+                    .io_parked
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner()),
+            );
+            for waker in parked {
+                waker.wake();
+            }
+        }
     }
 
     fn run_inner(&self) {
@@ -445,7 +799,10 @@ impl TimerWheel {
     fn advance(&self, now: Instant) {
         let now_tick = (now.saturating_duration_since(self.epoch).as_nanos()
             / self.granularity.as_nanos()) as u64;
-        let mut fired = Vec::new();
+        // Due entries are *moved out* of the wheel and woken (and dropped)
+        // only after the lock is released: waker destructors can run task
+        // teardown code that takes other reactor locks.
+        let mut fired: Vec<TimerEntry> = Vec::new();
         {
             let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             if now_tick <= inner.current_tick {
@@ -453,44 +810,46 @@ impl TimerWheel {
             }
             let span = now_tick - inner.current_tick;
             let slot_count = inner.slots.len() as u64;
+            let expire_slot = |slot: &mut Vec<TimerEntry>, fired: &mut Vec<TimerEntry>| {
+                let mut index = 0;
+                while index < slot.len() {
+                    if slot[index].expires_tick <= now_tick {
+                        fired.push(slot.swap_remove(index));
+                    } else {
+                        index += 1;
+                    }
+                }
+            };
             if span >= slot_count {
                 // Swept the whole wheel: expire everything due, slot by slot.
                 for slot in inner.slots.iter_mut() {
-                    slot.retain_mut(|entry| {
-                        if entry.expires_tick <= now_tick {
-                            fired.push(entry.waker.clone());
-                            false
-                        } else {
-                            true
-                        }
-                    });
+                    expire_slot(slot, &mut fired);
                 }
             } else {
                 for tick in (inner.current_tick + 1)..=now_tick {
                     let slot = (tick % slot_count) as usize;
-                    inner.slots[slot].retain_mut(|entry| {
-                        if entry.expires_tick <= now_tick {
-                            fired.push(entry.waker.clone());
-                            false
-                        } else {
-                            true
-                        }
-                    });
+                    expire_slot(&mut inner.slots[slot], &mut fired);
                 }
             }
             inner.current_tick = now_tick;
         }
-        for waker in fired {
-            waker.wake();
+        for entry in fired {
+            entry.waker.wake();
         }
     }
 
-    /// Drop every registered entry (and the task wakers they hold).
+    /// Drop every registered entry (and the task wakers they hold).  Entries
+    /// are moved out before dropping: waker destructors can run arbitrary
+    /// task-teardown code and must not run under the wheel's lock.
     fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        for slot in inner.slots.iter_mut() {
-            slot.clear();
+        let mut drained: Vec<Vec<TimerEntry>> = Vec::new();
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            for slot in inner.slots.iter_mut() {
+                drained.push(std::mem::take(slot));
+            }
         }
+        drop(drained);
     }
 
     /// Earliest registered deadline, if any (used to size the run loop sleep).
@@ -810,6 +1169,114 @@ mod tests {
         });
         executor.run();
         assert_eq!(total.load(Ordering::SeqCst), (0..8).map(|i| i * i).sum());
+    }
+
+    #[test]
+    fn backend_resolution_prefers_epoll_where_available() {
+        let resolved = ReactorBackend::Epoll.resolve();
+        if crate::sys::readiness_available() {
+            assert_eq!(resolved, ReactorBackend::Epoll);
+            assert_eq!(
+                Executor::with_backend(ReactorBackend::Epoll, Duration::from_micros(500)).backend(),
+                ReactorBackend::Epoll
+            );
+        } else {
+            assert_eq!(resolved, ReactorBackend::Tick);
+        }
+        assert_eq!(ReactorBackend::Tick.resolve(), ReactorBackend::Tick);
+        assert_eq!(
+            Executor::new(Duration::from_micros(500)).backend(),
+            ReactorBackend::Tick
+        );
+    }
+
+    #[test]
+    fn epoll_backend_runs_tasks_timers_and_oneshots() {
+        // The full scheduling surface on the readiness backend: plain tasks,
+        // timer-wheel sleeps, and cross-thread oneshot completions.
+        let executor = Executor::with_backend(ReactorBackend::Epoll, Duration::from_micros(500));
+        if executor.backend() != ReactorBackend::Epoll {
+            return; // no readiness syscalls on this target/kernel
+        }
+        let handle = executor.handle();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            handle.spawn(async move {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let (tx, rx) = oneshot::channel::<usize>();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            let _ = tx.send(100);
+        });
+        let counter_rx = Arc::clone(&counter);
+        let sleeper = handle.clone();
+        handle.spawn(async move {
+            sleeper.sleep(Duration::from_millis(1)).await;
+            let value = rx.await.expect("oneshot completes");
+            counter_rx.fetch_add(value, Ordering::SeqCst);
+            sleeper.shutdown();
+        });
+        executor.run();
+        assert_eq!(counter.load(Ordering::SeqCst), 110);
+    }
+
+    #[test]
+    fn epoll_backend_wakes_on_socket_readiness_not_on_a_tick() {
+        use std::io::{Read, Write};
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::AsRawFd;
+
+        // A deliberately huge poll interval: if the reactor still relied on
+        // the tick, the echo below would take ~2 s.  Readiness must deliver
+        // it in milliseconds.
+        let executor = Executor::with_backend(ReactorBackend::Epoll, Duration::from_secs(2));
+        if executor.backend() != ReactorBackend::Epoll {
+            return;
+        }
+        let handle = executor.handle();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let echo = handle.clone();
+        handle.spawn(std::future::poll_fn(move |cx| {
+            let mut stream = &server;
+            let mut buf = [0u8; 16];
+            match stream.read(&mut buf) {
+                Ok(n) if n > 0 => {
+                    stream.write_all(&buf[..n]).unwrap();
+                    echo.deregister_socket(server.as_raw_fd());
+                    echo.shutdown();
+                    Poll::Ready(())
+                }
+                Ok(_) => Poll::Ready(()),
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    echo.park_socket(server.as_raw_fd(), true, false, cx.waker());
+                    Poll::Pending
+                }
+                Err(e) => panic!("echo read failed: {e}"),
+            }
+        }));
+
+        let reactor = std::thread::spawn(move || executor.run());
+        // Let the reactor park on readiness first, then measure the wake.
+        std::thread::sleep(Duration::from_millis(20));
+        let start = Instant::now();
+        client.write_all(b"ping").unwrap();
+        let mut reply = [0u8; 4];
+        client.read_exact(&mut reply).unwrap();
+        let elapsed = start.elapsed();
+        reactor.join().unwrap();
+        assert_eq!(&reply, b"ping");
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "readiness wake took {elapsed:?}; reactor fell back to the tick"
+        );
     }
 
     #[test]

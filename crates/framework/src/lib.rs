@@ -109,6 +109,7 @@ mod pool;
 mod provider;
 mod server;
 mod service;
+pub mod sys;
 pub mod transport;
 pub mod warm;
 
@@ -119,6 +120,7 @@ pub use cluster::{
     RouterConfig, ShardRouter, StatsReport, StatsRequest,
 };
 pub use codec::{WireMessage, WireReader};
+pub use executor::ReactorBackend;
 pub use messages::{ServiceError, ServiceErrorKind, WireCodec};
 pub use pool::{JobPanic, ThreadPool};
 pub use provider::MetadataAttributeProvider;

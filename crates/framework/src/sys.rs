@@ -1,0 +1,511 @@
+//! Raw Linux readiness-notification syscalls for the reactor's epoll backend.
+//!
+//! The offline build environment has no `libc`, `mio` or `nix` crate, so the
+//! epoll backend of [`crate::executor`] is built on hand-rolled syscall
+//! bindings: a `syscall` instruction on x86-64 (`svc 0` on aarch64) issued
+//! through `core::arch::asm!`, plus `std::os::fd` owned-descriptor types for
+//! lifecycle (std itself closes an [`OwnedFd`](std::os::fd::OwnedFd) on
+//! drop, which is allowed —
+//! the constraint is on *crates*, not on std's own libc linkage).
+//!
+//! # Exact syscall surface
+//!
+//! | syscall | x86-64 nr | aarch64 nr | use |
+//! |---|---|---|---|
+//! | `epoll_create1(EPOLL_CLOEXEC)` | 291 | 20 | one poll set per reactor shard |
+//! | `epoll_ctl(epfd, ADD/MOD/DEL, fd, event)` | 233 | 21 | (re-)arm per-fd read/write interest |
+//! | `epoll_pwait(epfd, events, max, timeout_ms, NULL, 8)` | 281 | 22 | the blocking readiness wait (`epoll_wait` does not exist on aarch64, so the `pwait` form with a null sigmask is used everywhere) |
+//! | `eventfd2(0, EFD_CLOEXEC \| EFD_NONBLOCK)` | 290 | 19 | cross-thread reactor wakeups (task spawns, oneshot completions, shutdown) |
+//!
+//! The eventfd is read and written through `std::fs::File` (plain `read`/
+//! `write` on the descriptor), not through extra raw syscalls.
+//!
+//! Everything here is `#[cfg(target_os = "linux")]` on a supported
+//! architecture; other targets get stub types whose constructors return
+//! [`io::ErrorKind::Unsupported`], which is what makes
+//! [`ReactorBackend::resolve`](crate::executor::ReactorBackend::resolve)
+//! fall back to the portable timed-tick backend.
+//!
+//! Events are registered **level-triggered** (no `EPOLLET`): the executor
+//! disarms an fd when it delivers its event and the owning future re-arms
+//! with its current interest on the next poll, so a future that stops
+//! reading under backpressure can never be stuck waiting for an edge it
+//! already consumed.
+
+use std::io;
+
+/// Readable-interest bit (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable-interest bit (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always delivered, never needs arming).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always delivered, never needs arming).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing end; armed together with [`EPOLLIN`] so a
+/// half-closed socket wakes its future for the EOF read.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod linux {
+    use super::*;
+    use std::fs::File;
+    use std::io::{Read, Write};
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EVENTFD2: usize = 290;
+        pub const EPOLL_CREATE1: usize = 291;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EVENTFD2: usize = 19;
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+    }
+
+    const EPOLL_CLOEXEC: usize = 0x80000;
+    const EFD_CLOEXEC: usize = 0x80000;
+    const EFD_NONBLOCK: usize = 0x800;
+
+    const EPOLL_CTL_ADD: usize = 1;
+    const EPOLL_CTL_DEL: usize = 2;
+    const EPOLL_CTL_MOD: usize = 3;
+
+    /// One readiness record, in the kernel's ABI layout.  On x86-64 the
+    /// kernel packs this struct to 12 bytes; everywhere else it is naturally
+    /// aligned.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy, Default)]
+    pub struct EpollEvent {
+        /// Bitmask of `EPOLL*` readiness bits.
+        pub events: u32,
+        /// Caller-chosen tag, returned verbatim; the executor stores the fd.
+        pub data: u64,
+    }
+
+    impl EpollEvent {
+        /// The readiness bitmask, copied out of the (packed) record.
+        pub fn bits(&self) -> u32 {
+            self.events
+        }
+
+        /// The registration tag, copied out of the (packed) record.
+        pub fn tag(&self) -> u64 {
+            self.data
+        }
+    }
+
+    /// Issue a raw 6-argument syscall.  Unused trailing arguments are 0.
+    ///
+    /// # Safety
+    /// The caller must pass a valid syscall number and arguments that the
+    /// kernel may dereference (pointers must be live for the duration).
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    /// See the x86-64 variant; aarch64 passes the number in `x8` and traps
+    /// with `svc 0`.
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a1 as isize => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            options(nostack)
+        );
+        ret
+    }
+
+    /// Map a raw syscall return to `io::Result`: negative values are
+    /// `-errno`.
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// An owned epoll instance: one kernel poll set.
+    pub struct Epoll {
+        fd: OwnedFd,
+    }
+
+    impl Epoll {
+        /// `epoll_create1(EPOLL_CLOEXEC)`.
+        pub fn new() -> io::Result<Self> {
+            let raw = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+            // SAFETY: the kernel just returned this descriptor to us; nothing
+            // else owns it.
+            Ok(Self {
+                fd: unsafe { OwnedFd::from_raw_fd(raw as RawFd) },
+            })
+        }
+
+        fn ctl(&self, op: usize, fd: RawFd, events: u32) -> io::Result<()> {
+            let event = EpollEvent {
+                events,
+                data: fd as u32 as u64,
+            };
+            // SAFETY: `event` is live across the call; DEL ignores the
+            // pointer but passing it is always valid.
+            check(unsafe {
+                syscall6(
+                    nr::EPOLL_CTL,
+                    self.fd.as_raw_fd() as usize,
+                    op,
+                    fd as usize,
+                    &event as *const EpollEvent as usize,
+                    0,
+                    0,
+                )
+            })
+            .map(|_| ())
+        }
+
+        /// Register `fd` with the given interest bits.
+        pub fn add(&self, fd: RawFd, events: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, events)
+        }
+
+        /// Change a registered fd's interest bits (0 disarms it while keeping
+        /// the registration).
+        pub fn modify(&self, fd: RawFd, events: u32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, events)
+        }
+
+        /// Remove a registration.  Harmless if the fd was already closed (the
+        /// kernel auto-removes closed descriptors).
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0)
+        }
+
+        /// Block until readiness or `timeout_ms` (−1 waits forever), filling
+        /// `events`; returns how many records are valid.  An `EINTR` wait
+        /// reports zero events rather than an error.
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            // SAFETY: `events` is a live, writable, correctly-laid-out
+            // buffer; the null sigmask (arg 5) makes pwait behave as plain
+            // epoll_wait, with sigsetsize 8 for the kernel's validation.
+            let ret = unsafe {
+                syscall6(
+                    nr::EPOLL_PWAIT,
+                    self.fd.as_raw_fd() as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    timeout_ms as usize,
+                    0,
+                    8,
+                )
+            };
+            match check(ret) {
+                Ok(n) => Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    /// An owned eventfd used as the reactor's cross-thread wakeup signal:
+    /// any thread [`notify`](EventFd::notify)s it, the reactor's epoll set
+    /// reports it readable, and the reactor [`drain`](EventFd::drain)s it
+    /// back to zero.  Nonblocking in both directions.
+    pub struct EventFd {
+        file: File,
+    }
+
+    impl EventFd {
+        /// `eventfd2(0, EFD_CLOEXEC | EFD_NONBLOCK)`.
+        pub fn new() -> io::Result<Self> {
+            let raw = check(unsafe {
+                syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0)
+            })?;
+            // SAFETY: fresh descriptor, exclusively ours; File close-on-drop
+            // is the desired lifecycle.
+            Ok(Self {
+                file: unsafe { File::from_raw_fd(raw as RawFd) },
+            })
+        }
+
+        /// The raw descriptor, for registering with an [`Epoll`].
+        pub fn as_raw_fd(&self) -> RawFd {
+            self.file.as_raw_fd()
+        }
+
+        /// Add 1 to the counter, waking any epoll set watching it.  A full
+        /// counter (`EAGAIN`) already guarantees a pending wakeup, so every
+        /// failure mode is ignorable.
+        pub fn notify(&self) {
+            let one = 1u64.to_ne_bytes();
+            let _ = (&self.file).write(&one);
+        }
+
+        /// Reset the counter to zero (nonblocking; an empty counter is fine).
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            let _ = (&self.file).read(&mut buf);
+        }
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub use linux::{Epoll, EpollEvent, EventFd};
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod stub {
+    use super::*;
+
+    /// Stub poll set on targets without the Linux epoll bindings; its
+    /// constructor always fails, steering the executor to the tick backend.
+    pub struct Epoll {}
+
+    /// Stub readiness record (never produced).
+    #[derive(Clone, Copy, Default)]
+    pub struct EpollEvent {
+        /// Readiness bits (never set).
+        pub events: u32,
+        /// Registration tag (never set).
+        pub data: u64,
+    }
+
+    impl EpollEvent {
+        /// The readiness bitmask (never set on this target).
+        pub fn bits(&self) -> u32 {
+            self.events
+        }
+
+        /// The registration tag (never set on this target).
+        pub fn tag(&self) -> u64 {
+            self.data
+        }
+    }
+
+    /// Stub wakeup fd (never constructed).
+    pub struct EventFd {}
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll readiness notification is only available on Linux (x86-64/aarch64)",
+        )
+    }
+
+    impl Epoll {
+        /// Always fails on this target.
+        pub fn new() -> io::Result<Self> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn add(&self, _fd: i32, _events: u32) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn modify(&self, _fd: i32, _events: u32) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn delete(&self, _fd: i32) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn wait(&self, _events: &mut [EpollEvent], _timeout_ms: i32) -> io::Result<usize> {
+            Err(unsupported())
+        }
+    }
+
+    impl EventFd {
+        /// Always fails on this target.
+        pub fn new() -> io::Result<Self> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn as_raw_fd(&self) -> i32 {
+            -1
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn notify(&self) {}
+
+        /// Unreachable (no instance can exist).
+        pub fn drain(&self) {}
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub use stub::{Epoll, EpollEvent, EventFd};
+
+/// Whether this build has working readiness-notification bindings: probes an
+/// actual `epoll_create1` + `eventfd2` once (both descriptors are dropped
+/// immediately), so a kernel or seccomp profile that refuses either syscall
+/// also steers the executor to the tick backend instead of failing at bind.
+pub fn readiness_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| Epoll::new().is_ok() && EventFd::new().is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    mod linux {
+        use super::super::*;
+        use std::time::Instant;
+
+        #[test]
+        fn readiness_probe_succeeds_on_linux() {
+            assert!(readiness_available());
+        }
+
+        #[test]
+        fn eventfd_notify_is_visible_to_epoll_and_drains() {
+            let epoll = Epoll::new().unwrap();
+            let eventfd = EventFd::new().unwrap();
+            epoll.add(eventfd.as_raw_fd(), EPOLLIN).unwrap();
+
+            // Unsignaled: a short wait times out with zero events.
+            let mut events = [EpollEvent::default(); 4];
+            assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+            // Signaled: the wait reports the eventfd readable, tagged with
+            // its own fd, without blocking for the full timeout.
+            eventfd.notify();
+            eventfd.notify();
+            let start = Instant::now();
+            let n = epoll.wait(&mut events, 1000).unwrap();
+            assert_eq!(n, 1);
+            assert_eq!(events[0].tag(), eventfd.as_raw_fd() as u64);
+            assert!(events[0].bits() & EPOLLIN != 0);
+            assert!(start.elapsed().as_millis() < 500, "wait did not block");
+
+            // Drained: level-triggered readability goes away.
+            eventfd.drain();
+            assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        }
+
+        #[test]
+        fn interest_can_be_rearmed_and_deleted() {
+            let epoll = Epoll::new().unwrap();
+            let eventfd = EventFd::new().unwrap();
+            epoll.add(eventfd.as_raw_fd(), EPOLLIN).unwrap();
+            eventfd.notify();
+
+            // Disarm (interest 0): the pending readability is not reported.
+            epoll.modify(eventfd.as_raw_fd(), 0).unwrap();
+            let mut events = [EpollEvent::default(); 4];
+            assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+            // Re-arm: level-triggered readiness comes right back.
+            epoll.modify(eventfd.as_raw_fd(), EPOLLIN).unwrap();
+            assert_eq!(epoll.wait(&mut events, 0).unwrap(), 1);
+
+            epoll.delete(eventfd.as_raw_fd()).unwrap();
+            assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        }
+
+        #[test]
+        fn wait_honours_its_timeout() {
+            let epoll = Epoll::new().unwrap();
+            let mut events = [EpollEvent::default(); 1];
+            let start = Instant::now();
+            assert_eq!(epoll.wait(&mut events, 20).unwrap(), 0);
+            assert!(start.elapsed().as_millis() >= 20);
+        }
+
+        #[test]
+        fn tcp_socket_readiness_flows_through_epoll() {
+            use std::io::Write;
+            use std::net::{TcpListener, TcpStream};
+            use std::os::fd::AsRawFd;
+
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+
+            let epoll = Epoll::new().unwrap();
+            // Writable immediately; not readable until the client sends.
+            epoll
+                .add(server.as_raw_fd(), EPOLLIN | EPOLLOUT | EPOLLRDHUP)
+                .unwrap();
+            let mut events = [EpollEvent::default(); 4];
+            let n = epoll.wait(&mut events, 1000).unwrap();
+            assert!(n >= 1);
+            assert!(events[..n].iter().any(|e| e.bits() & EPOLLOUT != 0));
+            assert!(events[..n].iter().all(|e| e.bits() & EPOLLIN == 0));
+
+            // After the client writes, read-interest fires.
+            epoll
+                .modify(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP)
+                .unwrap();
+            client.write_all(b"ping").unwrap();
+            let n = epoll.wait(&mut events, 1000).unwrap();
+            assert!(n >= 1);
+            assert!(events[..n].iter().any(|e| e.bits() & EPOLLIN != 0));
+        }
+    }
+}

@@ -73,21 +73,34 @@
 //! # Server architecture
 //!
 //! ```text
-//! client sockets ──► reactor thread (one):  Executor::run
-//!                      ├─ AcceptTask        nonblocking accept → spawn conn
+//! client sockets ──► reactor shard 0:  Executor::run        ("corgi-reactor-0")
+//!                      ├─ AcceptTask   nonblocking accept ──round-robin──┐
 //!                      └─ ConnectionTask ×N read frames → decode envelopes
-//!                             │  ▲                           │
-//!                             │  └── oneshot completions ◄── ▼
+//!                             │  ▲                           │           │
+//!                             │  └── oneshot completions ◄── ▼           │
 //!                             │      (wake the task)   dispatch ThreadPool
 //!                             └─ bounded write queue ──► service.handle_envelope
+//!                    reactor shard 1..S-1: Executor::run  ◄──────────────┘
+//!                      └─ ConnectionTask ×N   (same loop, own poll set
+//!                                              and TransportStats shard)
 //! ```
 //!
-//! The reactor thread never computes: each decoded envelope is handed to the
-//! dispatch [`ThreadPool`], where the service stack (cache → generator → LP
-//! solver pool) runs, and the encoded response re-enters the event loop
-//! through a [`oneshot`] future.  Responses are therefore delivered in
-//! *completion* order, correlated by `request_id` — pipelining N requests on
-//! one connection keeps N solves in flight.  Per-connection backpressure is a
+//! Accepted connections are sharded across
+//! [`TransportConfig::reactor_shards`] reactor threads: the single listener
+//! lives on shard 0, whose `AcceptTask` hands each accepted socket to the
+//! next shard round-robin.  Every shard runs its own executor (and, on the
+//! epoll backend, its own kernel poll set — see [`ReactorBackend`]) and
+//! accounts its connections in its own [`TransportStats`];
+//! [`TcpServer::stats`] and the wire `Stats` frame report the aggregate,
+//! [`TcpServer::shard_stats`] the per-shard breakdown.
+//!
+//! A reactor thread never computes: each decoded envelope is handed to the
+//! dispatch [`ThreadPool`] (shared by all shards, so admission control stays
+//! server-wide), where the service stack (cache → generator → LP solver pool)
+//! runs, and the encoded response re-enters the event loop through a
+//! [`oneshot`] future.  Responses are therefore delivered in *completion*
+//! order, correlated by `request_id` — pipelining N requests on one
+//! connection keeps N solves in flight.  Per-connection backpressure is a
 //! bounded write queue plus an in-flight cap: a connection at either bound
 //! stops being read until it drains.
 //!
@@ -117,7 +130,7 @@
 
 use crate::auth::{ClusterKey, AUTH_SCHEME};
 use crate::cluster::{ClusterMetrics, ClusterStats, Replicator, StatsReport, StatsRequest};
-use crate::executor::{oneshot, Executor, Handle, Sleep};
+use crate::executor::{oneshot, Executor, Handle, ReactorBackend, Sleep};
 use crate::messages::{MatrixRequest, ProtocolVersion, WireCodec};
 use crate::messages::{
     PrivacyForestResponse, RequestEnvelope, ResponseEnvelope, ServiceError, ServiceErrorKind,
@@ -139,6 +152,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll};
 use std::time::Duration;
+
+/// The raw descriptor of a socket, for readiness registration with
+/// [`Handle::park_socket`]; `-1` on targets without raw fds, where the
+/// executor is on the tick backend and ignores the value anyway.
+#[cfg(unix)]
+pub(crate) fn sock_fd<T: std::os::fd::AsRawFd>(sock: &T) -> i32 {
+    sock.as_raw_fd()
+}
+#[cfg(not(unix))]
+pub(crate) fn sock_fd<T>(_sock: &T) -> i32 {
+    -1
+}
 
 /// First two bytes of every frame.
 pub const FRAME_MAGIC: [u8; 2] = *b"CG";
@@ -419,8 +444,21 @@ pub struct TransportConfig {
     /// rest".  The default (64) keeps worst-case queueing delay at
     /// `64 / dispatch_threads` service times.
     pub max_dispatch_backlog: usize,
-    /// Reactor tick: how often sockets parked on `WouldBlock` are re-polled.
+    /// Reactor tick: how often sockets parked on `WouldBlock` are re-polled
+    /// on the [`Tick`](ReactorBackend::Tick) backend.  On epoll it only
+    /// bounds the wait for futures parked via the legacy poll set.
     pub io_poll_interval: Duration,
+    /// How the reactor threads block between bursts of work.  The default
+    /// honours `CORGI_REACTOR_BACKEND` and requests
+    /// [`Epoll`](ReactorBackend::Epoll), which degrades to
+    /// [`Tick`](ReactorBackend::Tick) wherever the readiness syscalls are
+    /// unavailable (non-Linux, seccomp); [`TcpServer::backend`] reports what
+    /// actually runs.
+    pub reactor_backend: ReactorBackend,
+    /// Reactor threads accepted connections are sharded across, round-robin.
+    /// `0` (the default) sizes to available parallelism, capped at 8; any
+    /// other value is used as-is (minimum 1).
+    pub reactor_shards: usize,
     /// How long a fresh connection may take to complete the hello exchange
     /// (also bounds how long a truncated frame can sit half-read).
     pub handshake_timeout: Duration,
@@ -460,12 +498,30 @@ impl Default for TransportConfig {
             dispatch_threads: 4,
             max_dispatch_backlog: 64,
             io_poll_interval: Duration::from_micros(500),
+            reactor_backend: ReactorBackend::from_env(),
+            reactor_shards: 0,
             handshake_timeout: Duration::from_secs(5),
             max_warm_keys: 1024,
             warm_on_start: None,
             codecs: WireCodec::advertisement_from_env(),
             cluster_key: ClusterKey::from_env(),
             replication: None,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// The actual shard count: `reactor_shards` as given, or — when 0 —
+    /// available parallelism capped at 8 (beyond that the shared dispatch
+    /// pool, not the reactors, is the bottleneck).
+    pub fn resolved_shards(&self) -> usize {
+        if self.reactor_shards > 0 {
+            self.reactor_shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
         }
     }
 }
@@ -515,6 +571,41 @@ pub struct TransportStats {
     /// Client connections poisoned by a stream desynchronization (every
     /// further call fails fast until the caller reconnects).
     pub poisoned_connections: u64,
+}
+
+impl TransportStats {
+    /// Fold another snapshot into this one: counters add, the read-buffer
+    /// high-water mark takes the maximum.  This is how per-shard snapshots
+    /// aggregate into the server-wide view of [`TcpServer::stats`] and the
+    /// wire `Stats` frame — no new wire fields, so protocol 1.4 peers decode
+    /// the aggregate unchanged.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.connections_accepted += other.connections_accepted;
+        self.connections_closed += other.connections_closed;
+        self.binary_connections += other.binary_connections;
+        self.json_connections += other.json_connections;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.backpressure_stalls += other.backpressure_stalls;
+        self.requests_admitted += other.requests_admitted;
+        self.requests_shed += other.requests_shed;
+        self.read_buffer_high_water = self
+            .read_buffer_high_water
+            .max(other.read_buffer_high_water);
+        self.transport_errors += other.transport_errors;
+        self.poisoned_connections += other.poisoned_connections;
+    }
+}
+
+/// Aggregate per-shard metric snapshots into one server-wide snapshot.
+fn aggregate_stats(shards: &[Arc<TransportMetrics>]) -> TransportStats {
+    let mut total = TransportStats::default();
+    for shard in shards {
+        total.merge(&shard.snapshot());
+    }
+    total
 }
 
 /// Shared atomic counters behind [`TransportStats`].
@@ -600,15 +691,25 @@ impl TransportMetrics {
 /// ```
 pub struct TcpServer {
     local_addr: SocketAddr,
-    handle: Handle,
-    reactor: Option<std::thread::JoinHandle<()>>,
-    metrics: Arc<TransportMetrics>,
+    shards: Vec<ShardRuntime>,
+    /// Per-shard metric handles in shard order, shared with the connection
+    /// tasks so the wire `Stats` frame can report the aggregate.
+    shard_metrics: Arc<[Arc<TransportMetrics>]>,
+    backend: ReactorBackend,
     cluster: Arc<ClusterMetrics>,
     replication: Option<Arc<Replicator>>,
 }
 
+/// One reactor shard: its executor handle and thread.
+struct ShardRuntime {
+    handle: Handle,
+    reactor: Option<std::thread::JoinHandle<()>>,
+}
+
 impl TcpServer {
-    /// Bind a listener and start the reactor thread.
+    /// Bind a listener and start the reactor shard threads
+    /// (`corgi-reactor-0` … `corgi-reactor-{S-1}`; the listener lives on
+    /// shard 0, which round-robins accepted connections across all shards).
     ///
     /// Returns as soon as the socket is listening; any
     /// [`TransportConfig::warm_on_start`] plan runs concurrently on the
@@ -621,8 +722,13 @@ impl TcpServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let executor = Executor::new(config.io_poll_interval);
-        let handle = executor.handle();
+        let shard_count = config.resolved_shards();
+        let executors: Vec<Executor> = (0..shard_count)
+            .map(|_| Executor::with_backend(config.reactor_backend, config.io_poll_interval))
+            .collect();
+        // All shards resolve identically (the probe is cached), so shard 0
+        // speaks for the server.
+        let backend = executors[0].backend();
         let dispatch = Arc::new(ThreadPool::new(config.dispatch_threads.max(1)));
         if let Some(plan) = config.warm_on_start.clone() {
             let service = Arc::clone(&service);
@@ -630,29 +736,59 @@ impl TcpServer {
                 let _ = warm(service.as_ref(), &plan);
             });
         }
-        let metrics = Arc::new(TransportMetrics::default());
+        let shard_metrics: Arc<[Arc<TransportMetrics>]> = (0..shard_count)
+            .map(|_| Arc::new(TransportMetrics::default()))
+            .collect();
         let cluster = Arc::new(ClusterMetrics::default());
         let replication = config.replication.clone();
         if let Some(replicator) = replication.clone() {
-            crate::cluster::spawn_replication(&handle, replicator, Arc::clone(&dispatch));
+            // Replication flush work shards with the reactors: each shard's
+            // task drives the peer links assigned to it by index.
+            for (index, executor) in executors.iter().enumerate() {
+                crate::cluster::spawn_replication_shard(
+                    &executor.handle(),
+                    Arc::clone(&replicator),
+                    Arc::clone(&dispatch),
+                    index,
+                    shard_count,
+                );
+            }
         }
-        handle.spawn(AcceptTask {
+        let targets: Vec<ShardTarget> = executors
+            .iter()
+            .zip(shard_metrics.iter())
+            .map(|(executor, metrics)| ShardTarget {
+                handle: executor.handle(),
+                metrics: Arc::clone(metrics),
+            })
+            .collect();
+        executors[0].handle().spawn(AcceptTask {
             listener,
-            handle: handle.clone(),
+            handle: executors[0].handle(),
+            targets,
+            next: 0,
             service,
             dispatch,
             config: Arc::new(config),
-            metrics: Arc::clone(&metrics),
+            shard_metrics: Arc::clone(&shard_metrics),
             cluster: Arc::clone(&cluster),
         });
-        let reactor = std::thread::Builder::new()
-            .name("corgi-reactor".into())
-            .spawn(move || executor.run())?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for (index, executor) in executors.into_iter().enumerate() {
+            let handle = executor.handle();
+            let reactor = std::thread::Builder::new()
+                .name(format!("corgi-reactor-{index}"))
+                .spawn(move || executor.run())?;
+            shards.push(ShardRuntime {
+                handle,
+                reactor: Some(reactor),
+            });
+        }
         Ok(Self {
             local_addr,
-            handle,
-            reactor: Some(reactor),
-            metrics,
+            shards,
+            shard_metrics,
+            backend,
             cluster,
             replication,
         })
@@ -663,9 +799,31 @@ impl TcpServer {
         self.local_addr
     }
 
-    /// A point-in-time snapshot of the server's connection-level counters.
+    /// A point-in-time snapshot of the server's connection-level counters,
+    /// aggregated across every reactor shard.
     pub fn stats(&self) -> TransportStats {
-        self.metrics.snapshot()
+        aggregate_stats(&self.shard_metrics)
+    }
+
+    /// Per-shard snapshots in shard order: index 0 is the shard owning the
+    /// listener.  Each accepted connection is accounted (acceptance, frames,
+    /// bytes, stalls) entirely in the shard it was handed to.
+    pub fn shard_stats(&self) -> Vec<TransportStats> {
+        self.shard_metrics
+            .iter()
+            .map(|metrics| metrics.snapshot())
+            .collect()
+    }
+
+    /// Number of reactor shards serving connections.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The readiness backend the reactor shards actually run (after the
+    /// [`ReactorBackend::resolve`] fallback).
+    pub fn backend(&self) -> ReactorBackend {
+        self.backend
     }
 
     /// A point-in-time snapshot of the server's cluster-tier counters:
@@ -675,16 +833,21 @@ impl TcpServer {
         self.cluster.snapshot(self.replication.as_deref())
     }
 
-    /// Stop the reactor and join its thread.  Open connections are dropped;
-    /// dispatch jobs already running finish first (the pool joins on drop).
+    /// Stop every reactor shard and join its thread.  Open connections are
+    /// dropped; dispatch jobs already running finish first (the pool joins on
+    /// drop).
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        self.handle.shutdown();
-        if let Some(reactor) = self.reactor.take() {
-            let _ = reactor.join();
+        for shard in &self.shards {
+            shard.handle.shutdown();
+        }
+        for shard in &mut self.shards {
+            if let Some(reactor) = shard.reactor.take() {
+                let _ = reactor.join();
+            }
         }
     }
 }
@@ -695,14 +858,25 @@ impl Drop for TcpServer {
     }
 }
 
-/// Nonblocking accept loop: each accepted socket becomes a ConnectionTask.
+/// One reactor shard as seen by the accept loop: where to spawn a
+/// connection's task and where it accounts its counters.
+struct ShardTarget {
+    handle: Handle,
+    metrics: Arc<TransportMetrics>,
+}
+
+/// Nonblocking accept loop on shard 0: each accepted socket becomes a
+/// ConnectionTask on the next shard, round-robin.
 struct AcceptTask {
     listener: TcpListener,
+    /// Shard 0's own handle (where this task runs and parks).
     handle: Handle,
+    targets: Vec<ShardTarget>,
+    next: usize,
     service: Arc<dyn MatrixService>,
     dispatch: Arc<ThreadPool>,
     config: Arc<TransportConfig>,
-    metrics: Arc<TransportMetrics>,
+    shard_metrics: Arc<[Arc<TransportMetrics>]>,
     cluster: Arc<ClusterMetrics>,
 }
 
@@ -710,23 +884,29 @@ impl Future for AcceptTask {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
         loop {
-            match self.listener.accept() {
+            match this.listener.accept() {
                 Ok((stream, _peer)) => {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
-                    let deadline = self.handle.sleep(self.config.handshake_timeout);
-                    TransportMetrics::add(&self.metrics.connections_accepted, 1);
-                    self.handle.spawn(ConnectionTask {
+                    let target = &this.targets[this.next % this.targets.len()];
+                    this.next = this.next.wrapping_add(1);
+                    // Accepted-connection accounting lands in the *target*
+                    // shard, like every other counter the connection touches.
+                    TransportMetrics::add(&target.metrics.connections_accepted, 1);
+                    let deadline = target.handle.sleep(this.config.handshake_timeout);
+                    target.handle.spawn(ConnectionTask {
                         stream,
-                        handle: self.handle.clone(),
-                        service: Arc::clone(&self.service),
-                        dispatch: Arc::clone(&self.dispatch),
-                        config: Arc::clone(&self.config),
-                        metrics: Arc::clone(&self.metrics),
-                        cluster: Arc::clone(&self.cluster),
+                        handle: target.handle.clone(),
+                        service: Arc::clone(&this.service),
+                        dispatch: Arc::clone(&this.dispatch),
+                        config: Arc::clone(&this.config),
+                        metrics: Arc::clone(&target.metrics),
+                        shard_metrics: Arc::clone(&this.shard_metrics),
+                        cluster: Arc::clone(&this.cluster),
                         auth: None,
                         read_buf: Vec::new(),
                         write_queue: VecDeque::new(),
@@ -741,13 +921,16 @@ impl Future for AcceptTask {
                     });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    self.handle.park_io(cx.waker());
+                    this.handle
+                        .park_socket(sock_fd(&this.listener), true, false, cx.waker());
                     return Poll::Pending;
                 }
                 // Transient accept failures (e.g. aborted handshakes): retry
-                // on the next tick rather than killing the listener.
+                // on the next readiness event or tick rather than killing the
+                // listener.
                 Err(_) => {
-                    self.handle.park_io(cx.waker());
+                    this.handle
+                        .park_socket(sock_fd(&this.listener), true, false, cx.waker());
                     return Poll::Pending;
                 }
             }
@@ -769,7 +952,10 @@ struct ConnectionTask {
     service: Arc<dyn MatrixService>,
     dispatch: Arc<ThreadPool>,
     config: Arc<TransportConfig>,
+    /// This connection's shard counters.
     metrics: Arc<TransportMetrics>,
+    /// Every shard's counters, for the server-wide `Stats` frame aggregate.
+    shard_metrics: Arc<[Arc<TransportMetrics>]>,
     cluster: Arc<ClusterMetrics>,
     /// Frame-authentication key, active from the moment the hello negotiates
     /// it (the accepted reply is already sealed with it); `None` means plain
@@ -800,6 +986,10 @@ struct ConnectionTask {
 
 impl Drop for ConnectionTask {
     fn drop(&mut self) {
+        // The stream closes when this task drops; release its readiness
+        // registration first so the shard's fd → waker map cannot retain a
+        // stale entry for a recycled descriptor number.
+        self.handle.deregister_socket(sock_fd(&self.stream));
         TransportMetrics::add(&self.metrics.connections_closed, 1);
     }
 }
@@ -1073,9 +1263,11 @@ impl ConnectionTask {
                     self.queue_transport_error(e);
                     return;
                 }
-                // Counter snapshots are cheap: answered inline on the reactor.
+                // Counter snapshots are cheap: answered inline on the
+                // reactor, aggregated across every shard so the wire view
+                // matches TcpServer::stats().
                 let report = StatsReport {
-                    transport: self.metrics.snapshot(),
+                    transport: aggregate_stats(&self.shard_metrics),
                     cache: self.service.cache_stats(),
                     cluster: Some(self.cluster.snapshot(self.config.replication.as_deref())),
                 };
@@ -1136,7 +1328,12 @@ impl ConnectionTask {
         }
         match try_decode_frame(&mut self.read_buf, self.config.max_inbound_frame) {
             Ok(None) => {
-                self.handle.park_io(cx.waker());
+                self.handle.park_socket(
+                    sock_fd(&self.stream),
+                    true,
+                    !self.write_queue.is_empty(),
+                    cx.waker(),
+                );
                 Some(Poll::Pending)
             }
             Ok(Some((FrameKind::Hello, payload))) => {
@@ -1274,7 +1471,10 @@ impl Future for ConnectionTask {
                 if Pin::new(&mut this.deadline).poll(cx).is_ready() {
                     return Poll::Ready(());
                 }
-                this.handle.park_io(cx.waker());
+                // Only the blocked write matters now; the deadline timer is
+                // the other wake source.
+                this.handle
+                    .park_socket(sock_fd(&this.stream), false, true, cx.waker());
                 return Poll::Pending;
             }
             if !this.eof && !this.at_capacity() {
@@ -1297,8 +1497,17 @@ impl Future for ConnectionTask {
             }
             if !progress {
                 // Completions wake us via their oneshot wakers; socket
-                // readiness arrives with the next reactor tick.
-                this.handle.park_io(cx.waker());
+                // readiness arrives from the kernel (epoll) or with the next
+                // reactor tick.  Interest mirrors the state machine: read
+                // while we would consume input, write while frames are
+                // queued — a connection at capacity parks with no interest
+                // and is woken only by a completion draining it.
+                this.handle.park_socket(
+                    sock_fd(&this.stream),
+                    !this.eof && !this.at_capacity(),
+                    !this.write_queue.is_empty(),
+                    cx.waker(),
+                );
                 return Poll::Pending;
             }
         }

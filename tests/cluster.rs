@@ -48,11 +48,7 @@ fn start_cluster(n: usize, key: Option<ClusterKey>) -> Vec<Shard> {
                 ..ReplicationConfig::default()
             });
             let service = Arc::new(CachingService::with_defaults(ReplicatingService::new(
-                ForestGenerator::new(
-                    LocationTree::new(grid.clone()),
-                    prior.clone(),
-                    config,
-                ),
+                ForestGenerator::new(LocationTree::new(grid.clone()), prior.clone(), config),
                 Arc::clone(&replicator),
             )));
             let server = TcpServer::bind(
