@@ -15,11 +15,24 @@
 //! for how to refresh the baseline.
 
 use corgi_bench::{ExperimentContext, DEFAULT_EPSILON};
+use corgi_core::robust::reserved_privacy_budget_approx;
+use corgi_core::ObfuscationMatrix;
 use corgi_lp::{
-    BlockAngularSolver, DenseMatrix, InteriorPointOptions, KernelStrategy, LpProblem, LpSolver,
+    bench_support, BlockAngularSolver, DenseMatrix, InteriorPointOptions, KernelStrategy,
+    LpProblem, LpSolver, WarmStart,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Worker count for the warm-vs-cold pair: both sides honour
+/// `CORGI_LP_THREADS` (the knob the serving stack reads) so the gated ratio
+/// isolates warm-starting from parallelism.
+fn env_threads() -> usize {
+    std::env::var("CORGI_LP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1)
+}
 
 /// Deterministic SPD matrix `A = BᵀB + n·I` of size `n`, shaped like a
 /// late-iteration Newton block (strongly diagonally dominant).
@@ -159,11 +172,119 @@ fn bench_forest_generation_k343(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_block_factorize_parallel(c: &mut Criterion) {
+    let ctx = ExperimentContext::standard();
+    let (lp, blocks) = obfuscation_lp(&ctx, 343);
+    let mut group = c.benchmark_group("block_factorize_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((343 * 343) as u64));
+    // threads = 0 resolves to the machine's available parallelism; on a
+    // single-core box both sides run the identical serial path and the gate
+    // relaxes the ratio cap (see perf_gate).
+    for (name, threads) in [("1_thread", 1usize), ("n_threads", 0)] {
+        let opts = InteriorPointOptions {
+            threads,
+            ..InteriorPointOptions::default()
+        };
+        let mut bench =
+            bench_support::FactorizationBench::new(&lp, &blocks, opts).expect("bench state");
+        bench.perturb_state(17);
+        group.bench_function(name, |b| {
+            b.iter(|| bench.factor().expect("factorization succeeds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm_vs_cold_ipm(c: &mut Criterion) {
+    // The cost of warming one K = 49 grid key: Algorithm 1's full robust
+    // chain (one base solve plus `robust_iterations = 10` reserved-budget
+    // refinements, the serving default — eleven LP solves per key).
+    //
+    // "cold" replays the pre-incremental engine: every solve from scratch at
+    // full tolerance.  "warm" is the shipped incremental engine
+    // (`generate_robust_matrix_warm`): every solve seeds from the previous
+    // converged iterate, and intermediate refinements — whose matrices only
+    // feed the Eq. 14 reserved-budget approximation — run at the relaxed
+    // refinement tolerance, with the final shipped LP at full tolerance.
+    // The perf gate holds warm/cold under a hard cap; the measured ratio is
+    // the per-key speedup of whole-grid warming (every key of a grid sweep
+    // pays this chain).
+    const REFINEMENTS: usize = 10;
+    const DELTA: usize = 2;
+    let ctx = ExperimentContext::standard();
+    let problem = ctx.problem_for_n_locations(49, DEFAULT_EPSILON, true);
+    let full = InteriorPointOptions {
+        threads: env_threads(),
+        ..InteriorPointOptions::default()
+    };
+    let relaxed = InteriorPointOptions {
+        tolerance: 1e-4,
+        ..full
+    };
+    let matrix_of = |x: Vec<f64>| {
+        ObfuscationMatrix::from_lp_solution(problem.cells().to_vec(), x).expect("valid matrix")
+    };
+    let next_lp = |matrix: &ObfuscationMatrix| {
+        let rpb =
+            reserved_privacy_budget_approx(matrix, problem.distances(), problem.epsilon(), DELTA);
+        problem.build_lp(Some(&rpb)).expect("refined LP builds")
+    };
+
+    let mut group = c.benchmark_group("warm_vs_cold_ipm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((REFINEMENTS + 1) as u64));
+    group.bench_function("k49/cold", |b| {
+        b.iter(|| {
+            let (lp, blocks) = problem.build_lp(None).expect("base LP builds");
+            let s = BlockAngularSolver::new(blocks, full)
+                .solve(&lp)
+                .expect("cold base solve");
+            let mut iterations = s.iterations;
+            let mut matrix = matrix_of(s.x);
+            for _ in 0..REFINEMENTS {
+                let (lp, blocks) = next_lp(&matrix);
+                let s = BlockAngularSolver::new(blocks, full)
+                    .solve(&lp)
+                    .expect("cold refinement");
+                iterations += s.iterations;
+                matrix = matrix_of(s.x);
+            }
+            iterations
+        });
+    });
+    group.bench_function("k49/warm", |b| {
+        b.iter(|| {
+            let (lp, blocks) = problem.build_lp(None).expect("base LP builds");
+            let s = BlockAngularSolver::new(blocks, relaxed)
+                .solve(&lp)
+                .expect("relaxed base solve");
+            let mut iterations = s.iterations;
+            let mut warm: Option<WarmStart> = s.warm;
+            let mut matrix = matrix_of(s.x);
+            for t in 1..=REFINEMENTS {
+                let (lp, blocks) = next_lp(&matrix);
+                let opts = if t == REFINEMENTS { full } else { relaxed };
+                let s = BlockAngularSolver::new(blocks, opts)
+                    .solve_with_warm(&lp, warm.as_ref())
+                    .expect("warm refinement");
+                iterations += s.iterations;
+                warm = s.warm.or(warm);
+                matrix = matrix_of(s.x);
+            }
+            iterations
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cholesky_factorize,
     bench_cholesky_multi_rhs,
     bench_forest_generation_k49,
-    bench_forest_generation_k343
+    bench_forest_generation_k343,
+    bench_block_factorize_parallel,
+    bench_warm_vs_cold_ipm
 );
 criterion_main!(benches);

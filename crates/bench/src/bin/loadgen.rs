@@ -26,6 +26,16 @@
 //! per core).  Exits nonzero if any request failed with a non-shed error or
 //! hung past its deadline.
 //!
+//! # Client-side connection cap
+//!
+//! Every `--connections` unit is a client-side OS thread holding one open
+//! TCP connection, so the generator itself tops out around **~2000
+//! connections** under default thread-stack and file-descriptor limits —
+//! well before the server does.  That ceiling is a property of the *client*:
+//! to push the server harder, raise `--reactor-shards` (server reactor
+//! threads; 0 = one per core) and fan the offered load out over several
+//! loadgen processes rather than one giant one.
+//!
 //! [`ShardRouter`]: corgi_framework::ShardRouter
 
 use corgi_bench::loadgen::{run_load, LoadMode, LoadProfile};
@@ -56,7 +66,28 @@ fn parse_flag<T: std::str::FromStr>(name: &str, default: T) -> T {
     }
 }
 
+const USAGE: &str = "\
+Open-loop load generator against a self-hosted loopback server.
+
+Usage:
+  loadgen [--rate HZ] [--duration-secs S] [--connections N] [--zipf S]
+          [--levels L1,L2,..] [--max-delta D] [--churn N] [--seed N]
+          [--timeout-secs S] [--label NAME] [--profile calibrated]
+          [--shards N] [--mode open|closed] [--reactor-shards N]
+
+Each of the N --connections is a client-side OS thread holding one open TCP
+connection, so the generator itself tops out around ~2000 connections under
+default thread-stack and file-descriptor limits.  That cap is about the
+client, not the server: to push the server harder, raise --reactor-shards
+(server reactor threads; 0 = one per core) and spread the offered load over
+several loadgen processes instead of one giant one.
+";
+
 fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
     // The calibrated profile is the heavy-lane CI shape: enough load to be a
     // meaningful p99 sample on a warm cache, short enough for CI.
     let calibrated = flag_value("--profile").as_deref() == Some("calibrated");

@@ -24,6 +24,15 @@
 //! more across CPU generations; the regressions those pairs exist to catch
 //! are 50–100× ratio jumps, far beyond any multiplier.
 //!
+//! A few pairs additionally carry a **hard cap on the current-run ratio**
+//! (see `RATIO_CAPS`): the warm-chained refinement engine must stay ≤ 0.75×
+//! its cold sibling on any machine, and the parallel block factorization must
+//! stay ≤ 0.85× its serial sibling wherever a second core exists (on a
+//! single-core runner both sides execute the identical serial path, so that
+//! cap relaxes to parity plus the tolerance).  Drift gating alone would let a
+//! baseline refreshed on a machine where the optimization is inert launder
+//! the loss; the caps assert the optimization itself, not just its history.
+//!
 //! In ratio mode, reference-side benches (the slow comparison points named as
 //! some optimized bench's sibling) are presence-checked only — their siblings
 //! already gate the run, and a deliberately slow reference has no optimized
@@ -84,7 +93,71 @@ const RATIO_PAIRS: &[(&str, &str, f64)] = &[
     // blocks in epoll_pwait and the other in a timed condvar wait, so the
     // ratio shifts more across schedulers than the kernel pairs: 3× tolerance.
     ("/epoll", "/tick", 3.0),
+    // The incremental refinement engine (warm-chained, tolerance ladder) vs
+    // eleven independent full-tolerance cold solves of the same chain, same
+    // run, same thread count: losing warm capture or application collapses
+    // the ratio toward 1.0.
+    ("k49/warm", "k49/cold", 1.0),
+    // Parallel block factorization vs the serial path in the same run.  On a
+    // single-core runner both sides execute the identical serial code, so the
+    // drift gate still holds at 1× tolerance; the multicore-only cap below is
+    // what catches a lost parallel path.
+    ("/n_threads", "/1_thread", 1.0),
 ];
+
+/// Hard caps on the *current-run* ratio of a gated pair, independent of the
+/// baseline.  Drift gating catches regressions relative to history; these
+/// caps encode the stronger invariant that the optimized side must actually
+/// beat its reference — a baseline accidentally refreshed on a machine where
+/// the optimization is inert would otherwise launder the loss.
+struct RatioCap {
+    /// Substring naming the optimized side (same matching as [`RATIO_PAIRS`]).
+    optimized: &'static str,
+    /// Maximum allowed `optimized/reference` ratio in the current run.
+    max_ratio: f64,
+    /// Whether the cap only binds on a multi-core machine.  On a single core
+    /// the parallel kernels run the identical serial path, so the cap relaxes
+    /// to parity plus the tolerance.
+    multicore_only: bool,
+}
+
+const RATIO_CAPS: &[RatioCap] = &[
+    // Grid warming must be decisively cheaper than cold re-solves on any
+    // machine: warm restarts converge in a fraction of the cold iteration
+    // count, independent of core count.
+    RatioCap {
+        optimized: "k49/warm",
+        max_ratio: 0.75,
+        multicore_only: false,
+    },
+    // Parallel factorization must beat serial wherever a second core exists.
+    RatioCap {
+        optimized: "/n_threads",
+        max_ratio: 0.85,
+        multicore_only: true,
+    },
+];
+
+/// The ratio cap binding `name`, if any.
+fn ratio_cap(name: &str) -> Option<&'static RatioCap> {
+    RATIO_CAPS.iter().find(|cap| name.contains(cap.optimized))
+}
+
+/// The cap actually enforced for a run: the configured cap, or parity plus
+/// tolerance when the cap is multicore-only and the machine is not.
+fn enforced_cap(cap: &RatioCap, multicore: bool, tol: f64) -> f64 {
+    if cap.multicore_only && !multicore {
+        1.0 + tol
+    } else {
+        cap.max_ratio
+    }
+}
+
+fn is_multicore() -> bool {
+    std::thread::available_parallelism()
+        .map(|n| n.get() >= 2)
+        .unwrap_or(false)
+}
 
 /// Whole records per bench name; later lines win, so re-running a bench
 /// binary into the same results file updates its entries.  Each record must
@@ -339,6 +412,14 @@ fn main() -> ExitCode {
         let now_ratio = now_ns / now_ref.max(1.0);
         let drift = now_ratio / base_ratio.max(1e-12);
         let pair_tol = tol * pair_tol_multiplier;
+        if let Some(cap) = ratio_cap(name) {
+            let limit = enforced_cap(cap, is_multicore(), tol);
+            if now_ratio > limit {
+                failures.push(format!(
+                    "{shown}: current-run ratio vs {sibling} is {now_ratio:.3}, above the {limit:.2} cap (the optimized path must beat its reference outright)"
+                ));
+            }
+        }
         let verdict = judge(drift, pair_tol, tol, &mut failures, || {
             format!(
                 "{shown}: ratio vs {sibling} {base_ratio:.3} → {now_ratio:.3} ({:+.1}%, gated at +{:.0}%)",
@@ -480,6 +561,45 @@ mod tests {
             reference_sibling("cholesky_factorize/reference/49", &names),
             None
         );
+    }
+
+    #[test]
+    fn warm_and_parallel_benches_pair_and_carry_caps() {
+        let mut names = BTreeMap::new();
+        for name in [
+            "warm_vs_cold_ipm/k49/warm",
+            "warm_vs_cold_ipm/k49/cold",
+            "block_factorize_parallel/n_threads",
+            "block_factorize_parallel/1_thread",
+        ] {
+            names.insert(name.to_string(), serde_json::json!({"median_ns": 1.0}));
+        }
+        assert_eq!(
+            reference_pair("warm_vs_cold_ipm/k49/warm", &names),
+            Some(("warm_vs_cold_ipm/k49/cold".to_string(), 1.0))
+        );
+        assert_eq!(
+            reference_pair("block_factorize_parallel/n_threads", &names),
+            Some(("block_factorize_parallel/1_thread".to_string(), 1.0))
+        );
+        // The cold and serial sides are reference points, never paired.
+        assert_eq!(reference_sibling("warm_vs_cold_ipm/k49/cold", &names), None);
+        assert_eq!(
+            reference_sibling("block_factorize_parallel/1_thread", &names),
+            None
+        );
+
+        // Caps: warm binds everywhere; parallel binds only with ≥ 2 cores.
+        let warm = ratio_cap("warm_vs_cold_ipm/k49/warm").expect("warm cap");
+        assert!(!warm.multicore_only);
+        assert_eq!(enforced_cap(warm, false, 0.2), 0.75);
+        assert_eq!(enforced_cap(warm, true, 0.2), 0.75);
+        let par = ratio_cap("block_factorize_parallel/n_threads").expect("parallel cap");
+        assert!(par.multicore_only);
+        assert_eq!(enforced_cap(par, true, 0.2), 0.85);
+        assert!((enforced_cap(par, false, 0.2) - 1.2).abs() < 1e-12);
+        // Uncapped benches stay uncapped.
+        assert!(ratio_cap("cholesky_factorize/blocked/49").is_none());
     }
 
     #[test]

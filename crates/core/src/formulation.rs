@@ -20,7 +20,7 @@ use corgi_graph::HexMobilityGraph;
 use corgi_hexgrid::CellId;
 use corgi_lp::{
     BlockAngularSolver, ConstraintSense, InteriorPointOptions, InteriorPointSolver, LpProblem,
-    LpSolver, SimplexSolver, SolveStatus,
+    LpSolver, SimplexSolver, SolveStatus, WarmStart,
 };
 use serde::{Deserialize, Serialize};
 
@@ -291,11 +291,20 @@ impl ObfuscationProblem {
 
     /// Interior-point options tuned for this problem's block structure.
     ///
-    /// Currently the library defaults (blocked Cholesky kernels, sparse Schur
-    /// assembly) are right for every K the paper exercises; the method exists
-    /// so callers — and future size-dependent tuning — have one place to look.
+    /// The library defaults (blocked Cholesky kernels, sparse Schur assembly)
+    /// are right for every K the paper exercises.  The worker count of the
+    /// parallel block kernels is read from the `CORGI_LP_THREADS` environment
+    /// variable: unset or `1` keeps the bit-exact serial path, `0` uses all
+    /// available cores, any other number is a literal thread count.
     pub fn solver_options(&self) -> InteriorPointOptions {
-        InteriorPointOptions::default()
+        let mut options = InteriorPointOptions::default();
+        if let Some(threads) = std::env::var("CORGI_LP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            options.threads = threads;
+        }
+        options
     }
 
     /// Solve the LP and return the resulting obfuscation matrix.
@@ -320,12 +329,33 @@ impl ObfuscationProblem {
         solver: SolverKind,
         options: InteriorPointOptions,
     ) -> Result<ObfuscationMatrix> {
+        self.solve_with_options_warm(rpb, solver, options, None)
+            .map(|(matrix, _)| matrix)
+    }
+
+    /// [`ObfuscationProblem::solve_with_options`], warm-started from a
+    /// converged iterate of a nearby solve (a grid-adjacent `(privacy_level,
+    /// δ)` problem, or the previous refinement iteration of Algorithm 1).
+    ///
+    /// Returns the matrix together with this solve's own converged iterate
+    /// (`None` when the solver is the simplex, the solve did not reach
+    /// `Optimal`, or the point needed repair).  An unusable warm start — wrong
+    /// problem shape, non-finite entries — silently degrades to a cold solve.
+    pub fn solve_with_options_warm(
+        &self,
+        rpb: Option<&[Vec<f64>]>,
+        solver: SolverKind,
+        options: InteriorPointOptions,
+        warm: Option<&WarmStart>,
+    ) -> Result<(ObfuscationMatrix, Option<WarmStart>)> {
         let (lp, blocks) = self.build_lp(rpb)?;
-        let solution = match solver {
+        let mut solution = match solver {
             SolverKind::Simplex => SimplexSolver::new().solve(&lp),
-            SolverKind::InteriorPoint => InteriorPointSolver::new(options).solve(&lp),
+            SolverKind::InteriorPoint => {
+                InteriorPointSolver::new(options).solve_with_warm(&lp, warm)
+            }
             SolverKind::Auto | SolverKind::BlockAngular => {
-                BlockAngularSolver::new(blocks, options).solve(&lp)
+                BlockAngularSolver::new(blocks, options).solve_with_warm(&lp, warm)
             }
         }
         .map_err(CorgiError::from)?;
@@ -335,16 +365,28 @@ impl ObfuscationProblem {
                 _ => "obfuscation LP is unbounded (malformed costs)".to_string(),
             }));
         }
+        let mut warm_out = solution.warm.take();
         let k = self.size();
         let mut x = solution.x;
         if x.len() != k * k || x.iter().any(|v| !v.is_finite()) {
             // Numerical breakdown: start the repair from the uniform matrix.
             x = vec![1.0 / k as f64; k * k];
         }
-        if solution.status != SolveStatus::Optimal || lp.max_violation(&x) > 1e-7 {
+        // An interior-point solve converged to `options.tolerance` leaves
+        // residuals of that order, so the repair gate scales with it (floored
+        // at the historical 1e-7 for full-tolerance solves).  Without the
+        // scaling, every relaxed-tolerance solve of Algorithm 1's intermediate
+        // refinements would be "repaired" — blending the matrix and, worse,
+        // discarding the converged iterate that warm-starts the next solve.
+        let violation_gate = (10.0 * options.tolerance).max(1e-7);
+        if solution.status != SolveStatus::Optimal || lp.max_violation(&x) > violation_gate {
+            // A repaired point is no longer the solver's converged iterate;
+            // seeding a neighbour from it could poison that solve.
+            warm_out = None;
             x = self.repair_towards_uniform(&lp, x)?;
         }
-        ObfuscationMatrix::from_lp_solution(self.cells.clone(), x)
+        let matrix = ObfuscationMatrix::from_lp_solution(self.cells.clone(), x)?;
+        Ok((matrix, warm_out))
     }
 
     /// Blend a candidate solution towards the (strictly feasible) uniform matrix

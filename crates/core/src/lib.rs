@@ -35,7 +35,7 @@ pub mod robust;
 pub mod tree;
 pub mod utility;
 
-pub use corgi_lp::{InteriorPointOptions, KernelStrategy};
+pub use corgi_lp::{InteriorPointOptions, KernelStrategy, WarmStart};
 pub use error::CorgiError;
 pub use formulation::{ObfuscationProblem, SolverKind};
 pub use geoind::GeoIndReport;
@@ -43,7 +43,10 @@ pub use matrix::ObfuscationMatrix;
 pub use policy::{AttributeProvider, AttributeValue, ComparisonOp, Policy, Predicate};
 pub use precision::precision_reduction;
 pub use prune::prune_matrix;
-pub use robust::{generate_nonrobust_matrix, generate_robust_matrix, RobustConfig, RobustRun};
+pub use robust::{
+    generate_nonrobust_matrix, generate_robust_matrix, generate_robust_matrix_warm, RobustConfig,
+    RobustRun,
+};
 pub use tree::{LocationTree, Subtree};
 
 /// Result alias used across the crate.

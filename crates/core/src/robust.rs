@@ -9,6 +9,7 @@
 //! tightened LP until convergence.
 
 use crate::{formulation::SolverKind, CorgiError, ObfuscationMatrix, ObfuscationProblem, Result};
+use corgi_lp::{InteriorPointOptions, WarmStart};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of robust matrix generation (Algorithm 1 inputs).
@@ -43,6 +44,11 @@ pub struct RobustRun {
     pub objective_per_iteration: Vec<f64>,
     /// The reserved-privacy-budget matrix of the final iteration.
     pub final_rpb: Vec<Vec<f64>>,
+    /// The converged interior-point iterate of the last LP solved (`None` when
+    /// the solver was the simplex or the last solve needed repair).  Feed it
+    /// to [`generate_robust_matrix_warm`] for a grid-adjacent `(privacy_level,
+    /// δ)` problem to skip most of that run's interior-point work.
+    pub warm: Option<WarmStart>,
 }
 
 impl RobustRun {
@@ -213,8 +219,48 @@ pub fn generate_robust_matrix(
     problem: &ObfuscationProblem,
     config: &RobustConfig,
 ) -> Result<RobustRun> {
+    generate_robust_matrix_warm(problem, config, None)
+}
+
+/// [`generate_robust_matrix`] warm-started from a converged iterate of a
+/// nearby run (typically the grid neighbour's [`RobustRun::warm`]).
+///
+/// The warm iterate seeds the initial solve; every refinement iteration then
+/// chains from the converged iterate of the previous solve (a refinement
+/// changes only the reserved-budget tightening of some constraints, so each
+/// LP is a small perturbation of the last).  A solve that does not produce a
+/// reusable iterate falls back to the best one seen so far.
+pub fn generate_robust_matrix_warm(
+    problem: &ObfuscationProblem,
+    config: &RobustConfig,
+    warm: Option<&WarmStart>,
+) -> Result<RobustRun> {
+    let options = problem.solver_options();
+    // Tolerance ladder: intermediate iterations only exist to feed the
+    // reserved-budget recomputation (Eq. 14) — itself an upper-bound
+    // *approximation* whose error dwarfs 1e-4 — and the fixed point they
+    // chase oscillates rather than converging to machine precision.  Solving
+    // them to 1e-8 buys nothing but interior-point tail iterations (the slow
+    // final grind dominates each solve), so every solve except the last runs
+    // at a relaxed tolerance; the final LP — the one whose solution ships as
+    // the obfuscation matrix — always solves at the caller's full tolerance.
+    // Combined with the warm chaining below, this is what turns Algorithm 1
+    // from `iterations + 1` full cold solves into one cold solve plus cheap
+    // refinements.
+    const REFINEMENT_TOLERANCE: f64 = 1e-4;
+    let refinements = if config.delta == 0 {
+        0
+    } else {
+        config.iterations
+    };
+    let relaxed = InteriorPointOptions {
+        tolerance: options.tolerance.max(REFINEMENT_TOLERANCE),
+        ..options
+    };
+    let init_options = if refinements > 0 { relaxed } else { options };
     // Step 4: the initial matrix from the plain LP (Eq. 8).
-    let mut matrix = problem.solve(None, config.solver)?;
+    let (mut matrix, mut warm_state) =
+        problem.solve_with_options_warm(None, config.solver, init_options, warm)?;
     let mut objectives = vec![problem.quality_loss(&matrix)];
     let mut rpb = vec![vec![0.0; problem.size()]; problem.size()];
 
@@ -223,18 +269,29 @@ pub fn generate_robust_matrix(
             matrix,
             objective_per_iteration: objectives,
             final_rpb: rpb,
+            warm: warm_state,
         });
     }
 
-    // Steps 7–13: iterate RPB computation and LP re-solution.
-    for _ in 0..config.iterations {
+    // Steps 7–13: iterate RPB computation and LP re-solution, each solve
+    // seeded from the previous converged iterate and — except the last —
+    // solved at the relaxed refinement tolerance.
+    for t in 1..=refinements {
         rpb = reserved_privacy_budget_approx(
             &matrix,
             problem.distances(),
             problem.epsilon(),
             config.delta,
         );
-        matrix = problem.solve(Some(&rpb), config.solver)?;
+        let step_options = if t == refinements { options } else { relaxed };
+        let (m, w) = problem.solve_with_options_warm(
+            Some(&rpb),
+            config.solver,
+            step_options,
+            warm_state.as_ref(),
+        )?;
+        matrix = m;
+        warm_state = w.or(warm_state);
         objectives.push(problem.quality_loss(&matrix));
     }
 
@@ -242,6 +299,7 @@ pub fn generate_robust_matrix(
         matrix,
         objective_per_iteration: objectives,
         final_rpb: rpb,
+        warm: warm_state,
     })
 }
 

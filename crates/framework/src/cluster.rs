@@ -56,7 +56,7 @@ use crate::warm::WarmPush;
 use corgi_core::LocationTree;
 use corgi_datagen::PriorDistribution;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::future::Future;
 use std::io::{Read, Write};
@@ -170,6 +170,9 @@ pub struct ClusterStats {
     /// Requests the router moved past a failed or shedding shard (client
     /// side only; zero in server snapshots).
     pub failovers: u64,
+    /// Rendezvous rankings served from the router's memo cache instead of
+    /// being rehashed (client side only; zero in server snapshots).
+    pub rank_memo_hits: u64,
     /// Per-peer (server) or per-shard (router) link counters.
     pub peers: Vec<PeerStats>,
 }
@@ -228,6 +231,7 @@ impl ClusterMetrics {
             pushes_ignored: self.pushes_ignored.load(Ordering::Relaxed),
             auth_rejections: self.auth_rejections.load(Ordering::Relaxed),
             failovers: 0,
+            rank_memo_hits: 0,
             peers: replicator.map(Replicator::peer_stats).unwrap_or_default(),
         }
     }
@@ -866,6 +870,9 @@ impl ShardSlot {
     }
 }
 
+/// Memoized shard rankings: `(privacy_level, δ) → rendezvous order`.
+type RankCache = Mutex<HashMap<(u8, usize), Arc<Vec<usize>>>>;
+
 /// Client-side shard fan-out: a [`MatrixService`] that routes each request to
 /// the shard owning its cache key ([`rendezvous_rank`]) and fails over to the
 /// next-ranked shard when the owner sheds, dies mid-request or cannot be
@@ -885,6 +892,11 @@ pub struct ShardRouter {
     tree: Arc<LocationTree>,
     prior: Arc<PriorDistribution>,
     failovers: AtomicU64,
+    /// Memoized `(privacy_level, δ) → shard ranking`.  The endpoint set is
+    /// fixed at connect time and the key space is a few hundred entries, so
+    /// the cache never invalidates and is never evicted.
+    rank_cache: RankCache,
+    rank_memo_hits: AtomicU64,
 }
 
 impl ShardRouter {
@@ -925,6 +937,8 @@ impl ShardRouter {
             tree,
             prior,
             failovers: AtomicU64::new(0),
+            rank_cache: Mutex::new(HashMap::new()),
+            rank_memo_hits: AtomicU64::new(0),
         })
     }
 
@@ -938,9 +952,24 @@ impl ShardRouter {
     pub fn cluster_stats(&self) -> ClusterStats {
         ClusterStats {
             failovers: self.failovers.load(Ordering::Relaxed),
+            rank_memo_hits: self.rank_memo_hits.load(Ordering::Relaxed),
             peers: self.shards.iter().map(ShardSlot::stats).collect(),
             ..ClusterStats::default()
         }
+    }
+
+    /// Memoized [`rendezvous_rank`] over the router's fixed endpoint set: the
+    /// ranking of a key never changes, so each `(privacy_level, δ)` pays the
+    /// per-endpoint FNV hashing exactly once per router.
+    fn ranked_shards(&self, privacy_level: u8, delta: usize) -> Arc<Vec<usize>> {
+        let mut cache = self.rank_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(order) = cache.get(&(privacy_level, delta)) {
+            self.rank_memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(order);
+        }
+        let order = Arc::new(rendezvous_rank(&self.endpoints, privacy_level, delta));
+        cache.insert((privacy_level, delta), Arc::clone(&order));
+        order
     }
 
     fn transport_for(&self, index: usize) -> Result<Arc<TcpTransport>, ServiceError> {
@@ -972,7 +1001,7 @@ impl MatrixService for ShardRouter {
         &self,
         request: MatrixRequest,
     ) -> Result<Arc<PrivacyForestResponse>, ServiceError> {
-        let order = rendezvous_rank(&self.endpoints, request.privacy_level, request.delta);
+        let order = self.ranked_shards(request.privacy_level, request.delta);
         let mut last_error = ServiceError::transport("no shards configured");
         let mut first_attempt = true;
         for round in 0..self.config.retry_rounds.max(1) {
@@ -980,7 +1009,7 @@ impl MatrixService for ShardRouter {
                 let exponent = u32::try_from(round - 1).unwrap_or(16).min(16);
                 std::thread::sleep(self.config.retry_backoff * (1u32 << exponent));
             }
-            for &index in &order {
+            for &index in order.iter() {
                 if !first_attempt {
                     self.failovers.fetch_add(1, Ordering::Relaxed);
                 }
@@ -1114,6 +1143,40 @@ mod tests {
     }
 
     #[test]
+    fn shard_rankings_are_memoized_per_key() {
+        use corgi_hexgrid::{HexGrid, HexGridConfig};
+        let endpoints: Vec<String> = (0..4).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect();
+        let grid = HexGrid::new(HexGridConfig::san_francisco()).unwrap();
+        let router = ShardRouter {
+            endpoints: endpoints.clone(),
+            config: RouterConfig::default(),
+            shards: endpoints.iter().cloned().map(ShardSlot::new).collect(),
+            tree: Arc::new(corgi_core::LocationTree::new(grid)),
+            prior: Arc::new(PriorDistribution::uniform(16)),
+            failovers: AtomicU64::new(0),
+            rank_cache: Mutex::new(HashMap::new()),
+            rank_memo_hits: AtomicU64::new(0),
+        };
+        for _ in 0..3 {
+            for delta in 0..5usize {
+                let order = router.ranked_shards(1, delta);
+                assert_eq!(*order, rendezvous_rank(&endpoints, 1, delta));
+            }
+        }
+        // Five distinct keys hash once each; the other ten lookups memo-hit.
+        let stats = router.cluster_stats();
+        assert_eq!(stats.rank_memo_hits, 10);
+        assert_eq!(
+            router
+                .rank_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len(),
+            5
+        );
+    }
+
+    #[test]
     fn cluster_stats_roundtrip_through_json() {
         let stats = ClusterStats {
             pushes_received: 7,
@@ -1121,6 +1184,7 @@ mod tests {
             pushes_ignored: 1,
             auth_rejections: 2,
             failovers: 4,
+            rank_memo_hits: 6,
             peers: vec![PeerStats {
                 endpoint: "127.0.0.1:7001".into(),
                 pushes_sent: 9,

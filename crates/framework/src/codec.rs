@@ -784,6 +784,7 @@ fn put_cluster_stats(out: &mut Vec<u8>, c: &ClusterStats) {
     put_u64(out, c.pushes_ignored);
     put_u64(out, c.auth_rejections);
     put_u64(out, c.failovers);
+    put_u64(out, c.rank_memo_hits);
     put_count(out, c.peers.len());
     for peer in &c.peers {
         put_str(out, &peer.endpoint);
@@ -802,6 +803,7 @@ fn read_cluster_stats(r: &mut WireReader<'_>) -> Result<ClusterStats, WireError>
     let pushes_ignored = r.u64("cluster.pushes_ignored")?;
     let auth_rejections = r.u64("cluster.auth_rejections")?;
     let failovers = r.u64("cluster.failovers")?;
+    let rank_memo_hits = r.u64("cluster.rank_memo_hits")?;
     // Each peer carries at least an endpoint length and six counters.
     let n = r.count(52, "cluster.peers")?;
     let mut peers = Vec::with_capacity(n);
@@ -822,6 +824,7 @@ fn read_cluster_stats(r: &mut WireReader<'_>) -> Result<ClusterStats, WireError>
         pushes_ignored,
         auth_rejections,
         failovers,
+        rank_memo_hits,
         peers,
     })
 }
@@ -1109,6 +1112,7 @@ mod tests {
                 pushes_ignored: 1,
                 auth_rejections: 4,
                 failovers: 0,
+                rank_memo_hits: 8,
                 peers: vec![PeerStats {
                     endpoint: "127.0.0.1:9001".into(),
                     pushes_sent: 7,

@@ -129,7 +129,7 @@ pub use server::CorgiServer;
 pub use server::{ServerConfig, ServerConfigBuilder};
 pub use service::{
     CacheConfig, CacheStats, CachingService, ForestGenerator, InstrumentedService, MatrixService,
-    ServiceStats, WarmInsertOutcome,
+    ServiceStats, WarmInsertOutcome, WarmSeedStats,
 };
 pub use transport::{ClientConfig, TcpServer, TcpTransport, TransportConfig, TransportStats};
 pub use warm::{warm, WarmFailure, WarmPush, WarmReport, WarmRequest};

@@ -73,6 +73,13 @@ impl WarmRequest {
     /// The requests of the plan, cheapest level first so partial warms (or an
     /// early shutdown) still populate the high-traffic low-K keys.  Duplicate
     /// levels and deltas collapse, so repeated entries cannot inflate work.
+    ///
+    /// Within one level the δ values are swept in ascending order, which is
+    /// what makes whole-grid warming one-cold-plus-refinements: the
+    /// generator's warm-seed store hands every `(level, δ)` subtree solve the
+    /// converged iterate of its nearest already-solved δ neighbour (δ−1 under
+    /// this ordering), so only the first δ of each level pays a cold
+    /// interior-point solve.
     pub fn requests(&self) -> Vec<MatrixRequest> {
         let mut levels = self.privacy_levels.clone();
         levels.sort_unstable();

@@ -179,6 +179,20 @@ impl DenseMatrix {
         self.data.fill(value);
     }
 
+    /// Element-wise `self += other` (shapes must match).
+    ///
+    /// This is the reduction step of the parallel Schur accumulation: each
+    /// worker sums its blocks' `V_b V_bᵀ` contributions into a private partial
+    /// matrix, and the partials are folded into the shared Schur matrix in
+    /// worker order at the join barrier.
+    pub fn add_assign(&mut self, other: &Self) {
+        assert_eq!(self.rows, other.rows, "row count mismatch");
+        assert_eq!(self.cols, other.cols, "column count mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
     /// Multiply by a vector: `self · x`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
@@ -507,6 +521,17 @@ impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn add_assign_sums_elementwise() {
+        let mut a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[vec![0.5, -2.0], vec![1.0, 10.0]]);
+        a.add_assign(&b);
+        assert_eq!(a[(0, 0)], 1.5);
+        assert_eq!(a[(0, 1)], 0.0);
+        assert_eq!(a[(1, 0)], 4.0);
+        assert_eq!(a[(1, 1)], 14.0);
+    }
 
     /// Random SPD matrix `A = BᵀB + I` of size `n` built from `n²` seed values.
     fn random_spd(seed_vals: &[f64], n: usize) -> DenseMatrix {

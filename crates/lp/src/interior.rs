@@ -52,7 +52,7 @@
 
 use crate::{
     dense::{dot, DenseMatrix, DEFAULT_CHOLESKY_BLOCK, FLUSH_THRESHOLD},
-    ConstraintSense, LpError, LpProblem, LpSolution, LpSolver, SolveStatus,
+    par, ConstraintSense, LpError, LpProblem, LpSolution, LpSolver, SolveStatus, WarmStart,
 };
 
 /// Linear-algebra backend used for the Newton systems (see the module docs).
@@ -81,6 +81,30 @@ pub struct InteriorPointOptions {
     /// Column-panel width of the blocked Cholesky factorization (ignored by
     /// [`KernelStrategy::Reference`]).
     pub cholesky_block_size: usize,
+    /// Worker threads for the parallel block kernels: per-block Cholesky
+    /// factorizations, block triangular solves and the Schur accumulation fan
+    /// out over this many [`std::thread::scope`] workers per operation.
+    ///
+    /// `1` (the default) never spawns and preserves the serial code path
+    /// bit-exactly; `0` resolves to all available cores
+    /// ([`crate::par::resolve_threads`]).  Only the [`KernelStrategy::Blocked`]
+    /// kernels parallelize; the reference kernels stay serial by design.
+    /// Results are deterministic for a fixed thread count (per-worker partial
+    /// Schur buffers are reduced in worker order), and per-block factors are
+    /// bit-identical to the serial path at any thread count — only the Schur
+    /// reduction order (and thus its last ~1 ulp) depends on the setting.
+    pub threads: usize,
+    /// Maximum Gondzio centrality correctors per iteration.
+    ///
+    /// The obfuscation LPs are heavily degenerate: near the optimum a handful
+    /// of complementarity products sit far below the barrier average and
+    /// truncate the Mehrotra step to α ≈ 0.1–0.4, so residuals shrink by only
+    /// (1 − α) per iteration and the tail grinds.  Each corrector reuses the
+    /// existing factorization (back/forward solves only — no refactorization)
+    /// to lift the outlier products toward the central path, then keeps the
+    /// enlarged direction only if the step length actually improved.  `0`
+    /// disables the mechanism (plain predictor–corrector).
+    pub max_centrality_correctors: usize,
 }
 
 impl Default for InteriorPointOptions {
@@ -92,6 +116,8 @@ impl Default for InteriorPointOptions {
             step_fraction: 0.995,
             kernels: KernelStrategy::Blocked,
             cholesky_block_size: DEFAULT_CHOLESKY_BLOCK,
+            threads: 1,
+            max_centrality_correctors: 2,
         }
     }
 }
@@ -118,6 +144,20 @@ impl InteriorPointSolver {
     pub fn new(options: InteriorPointOptions) -> Self {
         Self { options }
     }
+
+    /// [`LpSolver::solve`], optionally seeded with a [`WarmStart`] captured
+    /// from a previous `Optimal` solve of the same or a nearby problem.
+    ///
+    /// An unusable warm start (wrong lengths, non-finite entries, `mu ≤ 0`)
+    /// is ignored and the solve falls back to the cold start.
+    pub fn solve_with_warm(
+        &self,
+        problem: &LpProblem,
+        warm: Option<&WarmStart>,
+    ) -> Result<LpSolution, LpError> {
+        let blocks = vec![(0..problem.num_vars()).collect::<Vec<_>>()];
+        solve_ipm(problem, &blocks, &self.options, self.name(), warm)
+    }
 }
 
 impl Default for InteriorPointSolver {
@@ -129,7 +169,7 @@ impl Default for InteriorPointSolver {
 impl LpSolver for InteriorPointSolver {
     fn solve(&self, problem: &LpProblem) -> Result<LpSolution, LpError> {
         let blocks = vec![(0..problem.num_vars()).collect::<Vec<_>>()];
-        solve_ipm(problem, &blocks, &self.options, self.name())
+        solve_ipm(problem, &blocks, &self.options, self.name(), None)
     }
 
     fn name(&self) -> &'static str {
@@ -153,12 +193,25 @@ impl BlockAngularSolver {
     pub fn new(blocks: Vec<Vec<usize>>, options: InteriorPointOptions) -> Self {
         Self { blocks, options }
     }
+
+    /// [`LpSolver::solve`], optionally seeded with a [`WarmStart`] captured
+    /// from a previous `Optimal` solve of the same or a nearby problem (the
+    /// shape must match, i.e. same variable count and constraint-row counts;
+    /// anything else degrades to the cold start).
+    pub fn solve_with_warm(
+        &self,
+        problem: &LpProblem,
+        warm: Option<&WarmStart>,
+    ) -> Result<LpSolution, LpError> {
+        validate_blocks(&self.blocks, problem.num_vars())?;
+        solve_ipm(problem, &self.blocks, &self.options, self.name(), warm)
+    }
 }
 
 impl LpSolver for BlockAngularSolver {
     fn solve(&self, problem: &LpProblem) -> Result<LpSolution, LpError> {
         validate_blocks(&self.blocks, problem.num_vars())?;
-        solve_ipm(problem, &self.blocks, &self.options, self.name())
+        solve_ipm(problem, &self.blocks, &self.options, self.name(), None)
     }
 
     fn name(&self) -> &'static str {
@@ -432,33 +485,128 @@ impl BlockedWorkspace {
     }
 }
 
+/// Assemble the lower triangle of block `b`'s Newton matrix
+/// `M_b = G_bᵀ diag(λ/w) G_b + diag(s/x)` into `mb` (zeroed first; the
+/// factorization never reads the upper triangle).
+fn assemble_block_matrix(
+    prep: &Prepared,
+    b: usize,
+    mb: &mut DenseMatrix,
+    x: &[f64],
+    s: &[f64],
+    w: &[f64],
+    lam: &[f64],
+) {
+    mb.fill(0.0);
+    for &ri in &prep.g_by_block[b] {
+        let row = &prep.g[ri];
+        mb.add_scaled_outer_sparse_lower(
+            &prep.g_local[ri],
+            &row.val,
+            barrier_weight(lam[ri], w[ri]),
+        );
+    }
+    for (local, &v) in prep.blocks[b].iter().enumerate() {
+        mb.add_diagonal(local, (s[v] / x[v]).min(1e10));
+    }
+}
+
+/// Accumulate block `b`'s Schur contribution `V_b V_bᵀ` (lower triangle, with
+/// `V_b = E_b L_b⁻ᵀ`) into `schur`, using the caller-provided `V`-row scratch.
+///
+/// Each row of `V_b` solves `L_b v = (coupling column)`, a forward
+/// substitution started at the column's first nonzero.  The geometric tail of
+/// every solve is flushed below [`FLUSH_THRESHOLD`] and the effective band
+/// recorded: flushed entries square to exactly zero in the `V Vᵀ` products,
+/// and leaving them in would (a) pay the subnormal microcode penalty per
+/// multiply and (b) force every row pair into a full-length dot product.
+/// The rank-k update then touches only the lower triangle of `schur` with
+/// contiguous row dots trimmed to the overlap of the two rows' bands.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_schur_block(
+    prep: &Prepared,
+    b: usize,
+    factor: &DenseMatrix,
+    v_data: &mut [f64],
+    v_stride: usize,
+    v_first: &mut [usize],
+    v_last: &mut [usize],
+    schur: &mut DenseMatrix,
+) {
+    let nb = prep.blocks[b].len();
+    let active = &prep.eq_by_block[b];
+    let coupling = &prep.coupling_by_block[b];
+    for (a_pos, col) in coupling.iter().enumerate() {
+        let row = &mut v_data[a_pos * v_stride..a_pos * v_stride + nb];
+        row.fill(0.0);
+        for &(local, coeff) in &col.entries {
+            row[local] = coeff;
+        }
+        factor.forward_solve_from(row, col.first);
+        let mut last = nb;
+        while last > col.first && row[last - 1].abs() < FLUSH_THRESHOLD {
+            last -= 1;
+        }
+        for v in row[col.first..last].iter_mut() {
+            if v.abs() < FLUSH_THRESHOLD {
+                *v = 0.0;
+            }
+        }
+        row[last..nb].fill(0.0);
+        v_first[a_pos] = col.first;
+        v_last[a_pos] = last;
+    }
+    for (a_pos, &eq_a) in active.iter().enumerate() {
+        for (b_pos, &eq_b) in active.iter().enumerate().take(a_pos + 1) {
+            // `active` is ascending, so eq_a ≥ eq_b: lower triangle only.
+            let start = v_first[a_pos].max(v_first[b_pos]);
+            let end = v_last[a_pos].min(v_last[b_pos]);
+            if start >= end {
+                continue; // bands do not overlap: the dot is exactly zero
+            }
+            let va = &v_data[a_pos * v_stride + start..a_pos * v_stride + end];
+            let vb = &v_data[b_pos * v_stride + start..b_pos * v_stride + end];
+            schur[(eq_a, eq_b)] += dot(va, vb);
+        }
+    }
+}
+
+/// Regularize and factorize the fully accumulated Schur complement.
+fn finalize_schur(
+    schur: &mut DenseMatrix,
+    m_eq: usize,
+    opts: &InteriorPointOptions,
+) -> Result<(), LpError> {
+    for i in 0..m_eq {
+        schur.add_diagonal(i, opts.regularization.max(1e-12));
+    }
+    schur.cholesky_in_place_blocked(opts.regularization, opts.cholesky_block_size)
+}
+
 /// Assemble and factorize the block-diagonal Newton matrix and the Schur
 /// complement with the blocked kernels, reusing the workspace buffers.
+///
+/// `workers > 1` dispatches to [`factor_blocked_parallel`]; `workers == 1`
+/// runs the serial path with exactly the pre-parallel operation order
+/// (bit-exact with historical results).
+#[allow(clippy::too_many_arguments)]
 fn factor_blocked(
     prep: &Prepared,
     opts: &InteriorPointOptions,
     ws: &mut BlockedWorkspace,
+    workers: usize,
     x: &[f64],
     s: &[f64],
     w: &[f64],
     lam: &[f64],
 ) -> Result<(), LpError> {
-    // Per-block Newton matrices M_b = G_bᵀ diag(λ/w) G_b + diag(s/x), assembled
-    // lower-triangle-only (the factorization never reads the upper triangle).
-    for (b, block) in prep.blocks.iter().enumerate() {
+    if workers > 1 && prep.blocks.len() > 1 {
+        return factor_blocked_parallel(prep, opts, ws, workers, x, s, w, lam);
+    }
+    // Per-block Newton matrices, assembled lower-triangle-only.
+    for b in 0..prep.blocks.len() {
         let mb = &mut ws.factors[b];
-        mb.fill(0.0);
-        for &ri in &prep.g_by_block[b] {
-            let row = &prep.g[ri];
-            mb.add_scaled_outer_sparse_lower(
-                &prep.g_local[ri],
-                &row.val,
-                barrier_weight(lam[ri], w[ri]),
-            );
-        }
-        for (local, &v) in block.iter().enumerate() {
-            mb.add_diagonal(local, (s[v] / x[v]).min(1e10));
-        }
+        assemble_block_matrix(prep, b, mb, x, s, w, lam);
         mb.cholesky_in_place_blocked(opts.regularization, opts.cholesky_block_size)?;
     }
 
@@ -466,73 +614,106 @@ fn factor_blocked(
         return Ok(());
     }
 
-    // Sparse Schur assembly: S = Σ_b E_b M_b⁻¹ E_bᵀ = Σ_b V_b V_bᵀ with
-    // V_b = E_b L_b⁻ᵀ.  Each row of V_b solves L_b v = (coupling column), a
-    // forward substitution started at the column's first nonzero; the rank-k
-    // update touches only the lower triangle of S with contiguous row dots
-    // trimmed to the overlap of the two rows' nonzero suffixes.
+    // Sparse Schur assembly: S = Σ_b E_b M_b⁻¹ E_bᵀ = Σ_b V_b V_bᵀ.
     let m_eq = prep.e.len();
     ws.schur.fill(0.0);
-    for (b, block) in prep.blocks.iter().enumerate() {
-        let nb = block.len();
-        let active = &prep.eq_by_block[b];
-        let coupling = &prep.coupling_by_block[b];
-        let factor = &ws.factors[b];
-        for (a_pos, col) in coupling.iter().enumerate() {
-            let row = &mut ws.v_data[a_pos * ws.v_stride..a_pos * ws.v_stride + nb];
-            row.fill(0.0);
-            for &(local, coeff) in &col.entries {
-                row[local] = coeff;
+    for b in 0..prep.blocks.len() {
+        accumulate_schur_block(
+            prep,
+            b,
+            &ws.factors[b],
+            &mut ws.v_data,
+            ws.v_stride,
+            &mut ws.v_first,
+            &mut ws.v_last,
+            &mut ws.schur,
+        );
+    }
+    finalize_schur(&mut ws.schur, m_eq, opts)
+}
+
+/// Parallel variant of [`factor_blocked`]: the blocks are spread over
+/// `workers` scoped threads.
+///
+/// Each block's assembly + factorization is arithmetic-identical to the
+/// serial path, so the per-block factors are **bit-exact** for any worker
+/// count.  The Schur complement is accumulated into per-worker partial
+/// matrices (each worker owns a contiguous block range) and reduced in
+/// worker order at the join barrier — deterministic for a fixed worker
+/// count, and within reduction-rounding (≤1e-10 relative) of the serial sum
+/// because only the summation parenthesization changes.
+#[allow(clippy::too_many_arguments)]
+fn factor_blocked_parallel(
+    prep: &Prepared,
+    opts: &InteriorPointOptions,
+    ws: &mut BlockedWorkspace,
+    workers: usize,
+    x: &[f64],
+    s: &[f64],
+    w: &[f64],
+    lam: &[f64],
+) -> Result<(), LpError> {
+    let m_eq = prep.e.len();
+    let has_eq = ws.has_eq;
+    let v_stride = ws.v_stride;
+    let max_active = prep.eq_by_block.iter().map(Vec::len).max().unwrap_or(0);
+    let partials = par::fan_out_mut(workers, &mut ws.factors, |start, factors| {
+        // Per-worker V scratch: the shared workspace panel cannot be split
+        // safely across workers, and the allocation is once per fan-out, not
+        // per block.
+        let mut v_data = vec![0.0; v_stride * max_active];
+        let mut v_first = vec![0usize; max_active];
+        let mut v_last = vec![0usize; max_active];
+        let mut partial = has_eq.then(|| DenseMatrix::zeros(m_eq, m_eq));
+        for (off, mb) in factors.iter_mut().enumerate() {
+            let b = start + off;
+            assemble_block_matrix(prep, b, mb, x, s, w, lam);
+            mb.cholesky_in_place_blocked(opts.regularization, opts.cholesky_block_size)?;
+            if let Some(partial) = partial.as_mut() {
+                accumulate_schur_block(
+                    prep,
+                    b,
+                    mb,
+                    &mut v_data,
+                    v_stride,
+                    &mut v_first,
+                    &mut v_last,
+                    partial,
+                );
             }
-            factor.forward_solve_from(row, col.first);
-            // Flush the geometric tail of the solve and record the effective
-            // band: entries below the flush threshold square to exactly zero
-            // in the V Vᵀ products, and leaving them in would (a) pay the
-            // subnormal microcode penalty per multiply and (b) force every
-            // row pair into a full-length dot product.
-            let mut last = nb;
-            while last > col.first && row[last - 1].abs() < FLUSH_THRESHOLD {
-                last -= 1;
-            }
-            for v in row[col.first..last].iter_mut() {
-                if v.abs() < FLUSH_THRESHOLD {
-                    *v = 0.0;
-                }
-            }
-            row[last..nb].fill(0.0);
-            ws.v_first[a_pos] = col.first;
-            ws.v_last[a_pos] = last;
         }
-        for (a_pos, &eq_a) in active.iter().enumerate() {
-            for (b_pos, &eq_b) in active.iter().enumerate().take(a_pos + 1) {
-                // `active` is ascending, so eq_a ≥ eq_b: lower triangle only.
-                let start = ws.v_first[a_pos].max(ws.v_first[b_pos]);
-                let end = ws.v_last[a_pos].min(ws.v_last[b_pos]);
-                if start >= end {
-                    continue; // bands do not overlap: the dot is exactly zero
-                }
-                let va = &ws.v_data[a_pos * ws.v_stride + start..a_pos * ws.v_stride + end];
-                let vb = &ws.v_data[b_pos * ws.v_stride + start..b_pos * ws.v_stride + end];
-                ws.schur[(eq_a, eq_b)] += dot(va, vb);
-            }
+        Ok::<_, LpError>(partial)
+    });
+    if !has_eq {
+        for partial in partials {
+            partial?;
+        }
+        return Ok(());
+    }
+    ws.schur.fill(0.0);
+    for partial in partials {
+        if let Some(partial) = partial? {
+            ws.schur.add_assign(&partial);
         }
     }
-    for i in 0..m_eq {
-        ws.schur.add_diagonal(i, opts.regularization.max(1e-12));
-    }
-    ws.schur
-        .cholesky_in_place_blocked(opts.regularization, opts.cholesky_block_size)
+    finalize_schur(&mut ws.schur, m_eq, opts)
 }
 
 /// Newton solve against the blocked factorization.
 ///
-/// Returns `(dx, dmu)`.
+/// Returns `(dx, dmu)`.  `workers > 1` dispatches to
+/// [`newton_solve_blocked_parallel`], which is bit-exact with this serial
+/// path (the per-block solves are identical and scatter to disjoint indices).
 fn newton_solve_blocked(
     prep: &Prepared,
     ws: &BlockedWorkspace,
+    workers: usize,
     rhs1: &[f64],
     r_p2: &[f64],
 ) -> (Vec<f64>, Vec<f64>) {
+    if workers > 1 && prep.blocks.len() > 1 {
+        return newton_solve_blocked_parallel(prep, ws, workers, rhs1, r_p2);
+    }
     let m_eq = prep.e.len();
     // t = M⁻¹ rhs1, blockwise, in-place solves on a reused local buffer.
     let mut t = vec![0.0; prep.n];
@@ -577,6 +758,80 @@ fn newton_solve_blocked(
         }
         ws.factors[b].cholesky_solve_into(u);
         for (l, &v) in block.iter().enumerate() {
+            dx[v] = t[v] - u[l];
+        }
+    }
+    (dx, dmu)
+}
+
+/// Parallel variant of [`newton_solve_blocked`]: both blockwise solve sweeps
+/// (the `t = M⁻¹ rhs1` gather/solve/scatter and the `dx` coupling-correction
+/// solve) fan out over the blocks.
+///
+/// Every per-block solve performs the same arithmetic as the serial path on a
+/// fresh exact-size local buffer, and the scattered index sets of distinct
+/// blocks are disjoint — so the result is **bit-exact** regardless of the
+/// worker count (the Schur solve for `dmu` stays serial; it is `m_eq`-sized,
+/// far smaller than the block sweeps).
+fn newton_solve_blocked_parallel(
+    prep: &Prepared,
+    ws: &BlockedWorkspace,
+    workers: usize,
+    rhs1: &[f64],
+    r_p2: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    let m_eq = prep.e.len();
+    let nblocks = prep.blocks.len();
+    // t = M⁻¹ rhs1: per-worker local solves, scattered after the join.
+    let chunks = par::fan_out(workers, nblocks, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        for b in range {
+            let mut local: Vec<f64> = prep.blocks[b].iter().map(|&v| rhs1[v]).collect();
+            ws.factors[b].cholesky_solve_into(&mut local);
+            out.push(local);
+        }
+        out
+    });
+    let mut t = vec![0.0; prep.n];
+    for (b, local) in chunks.into_iter().flatten().enumerate() {
+        for (l, &v) in prep.blocks[b].iter().enumerate() {
+            t[v] = local[l];
+        }
+    }
+    if m_eq == 0 {
+        return (t, Vec::new());
+    }
+    // rhs_schur = E t − r_p2
+    let mut rhs_schur = vec![0.0; m_eq];
+    for (ri, row) in prep.e.iter().enumerate() {
+        rhs_schur[ri] = row.dot(&t) - r_p2[ri];
+    }
+    let dmu = ws.schur.cholesky_solve(&rhs_schur);
+    // dx = M⁻¹ (rhs1 − Eᵀ dmu), blockwise: scatter E_bᵀ dmu through the
+    // sparse coupling columns, one solve per block, fanned out the same way.
+    let chunks = par::fan_out(workers, nblocks, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        for b in range {
+            let nb = prep.blocks[b].len();
+            let active = &prep.eq_by_block[b];
+            let coupling = &prep.coupling_by_block[b];
+            let mut u = vec![0.0; nb];
+            for (a_pos, col) in coupling.iter().enumerate() {
+                let d = dmu[active[a_pos]];
+                if d != 0.0 {
+                    for &(l, coeff) in &col.entries {
+                        u[l] += coeff * d;
+                    }
+                }
+            }
+            ws.factors[b].cholesky_solve_into(&mut u);
+            out.push(u);
+        }
+        out
+    });
+    let mut dx = vec![0.0; prep.n];
+    for (b, u) in chunks.into_iter().flatten().enumerate() {
+        for (l, &v) in prep.blocks[b].iter().enumerate() {
             dx[v] = t[v] - u[l];
         }
     }
@@ -724,9 +979,15 @@ enum Factorization<'a> {
 }
 
 impl Factorization<'_> {
-    fn newton_solve(&self, prep: &Prepared, rhs1: &[f64], r_p2: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    fn newton_solve(
+        &self,
+        prep: &Prepared,
+        workers: usize,
+        rhs1: &[f64],
+        r_p2: &[f64],
+    ) -> (Vec<f64>, Vec<f64>) {
         match self {
-            Factorization::Blocked(ws) => newton_solve_blocked(prep, ws, rhs1, r_p2),
+            Factorization::Blocked(ws) => newton_solve_blocked(prep, ws, workers, rhs1, r_p2),
             Factorization::Reference(factors) => newton_solve_reference(prep, factors, rhs1, r_p2),
         }
     }
@@ -737,11 +998,16 @@ fn solve_ipm(
     blocks: &[Vec<usize>],
     opts: &InteriorPointOptions,
     solver_name: &'static str,
+    warm: Option<&WarmStart>,
 ) -> Result<LpSolution, LpError> {
     let prep = prepare(problem, blocks)?;
     let n = prep.n;
     let m_in = prep.g.len();
     let m_eq = prep.e.len();
+
+    // Worker count for the blocked kernels, clamped to the block count —
+    // extra threads would only idle.
+    let workers = par::resolve_threads(opts.threads).min(prep.blocks.len().max(1));
 
     // Primal and dual iterates, all strictly positive where required.
     let mut x = vec![1.0; n];
@@ -755,10 +1021,83 @@ fn solve_ipm(
             .max(inf_norm(&prep.h))
             .max(inf_norm(&prep.f));
 
+    // Warm start: adopt a validated previous iterate, shifted back to the
+    // strict interior.  The primal `x`, dual slacks `s` and all constraint
+    // multipliers (`μ` for equalities, `λ` for inequalities — both carried in
+    // `warm.y`) restart at their captured values, so the initial residuals are
+    // those of the captured point on the *new* problem: near zero for a
+    // same-or-nearby problem.  The inequality slacks `w` are recomputed from
+    // the warm primal.  All barrier quantities are then re-centered *up* to
+    // the barrier level μ₀ = max(warm.mu, 10·tol·scale): a converged iterate
+    // sits essentially on the boundary (μ ≈ tol), and restarting a perturbed
+    // problem from there leaves the path-following no room to move — lifting
+    // the complementarity products to ≥ ~μ₀ restores that room while adding
+    // only an O(μ₀) dual perturbation.  An unusable warm start (wrong
+    // dimensions, non-finite entries, non-positive μ) silently falls back to
+    // the cold unit start.
+    const WARM_FLOOR: f64 = 1e-8;
+    if let Some(warm) = warm {
+        let usable = warm.x.len() == n
+            && warm.s.len() == n
+            && warm.y.len() == m_eq + m_in
+            && warm.mu.is_finite()
+            && warm.mu > 0.0
+            && warm.x.iter().all(|v| v.is_finite())
+            && warm.y.iter().all(|v| v.is_finite())
+            && warm.s.iter().all(|v| v.is_finite());
+        if usable {
+            for j in 0..n {
+                x[j] = warm.x[j].max(WARM_FLOOR);
+            }
+            // Raw inequality slacks of the warm primal on the *new* problem,
+            // and its worst violation.  A same-problem restart has violation
+            // ≈ 0; a perturbed problem (the δ-grid tightening its Geo-Ind
+            // rows) can cut the old optimum off by an O(1) margin.  Restarting
+            // with boundary slacks against such a violation stalls the
+            // path-following — μ collapses while the primal residual is still
+            // macroscopic and every step toward feasibility is blocked by the
+            // positivity clamp — so the restart barrier level must grow with
+            // the violation, giving the first iterations room to walk the
+            // iterate back inside.
+            let mut raw_w = vec![0.0; m_in];
+            let mut violation = 0.0f64;
+            for (ri, row) in prep.g.iter().enumerate() {
+                raw_w[ri] = prep.h[ri] - row.dot(&x);
+                violation = violation.max(-raw_w[ri]);
+            }
+            let mu0 = warm
+                .mu
+                .max(10.0 * opts.tolerance * scale)
+                .max(violation)
+                .min(scale);
+            for j in 0..n {
+                s[j] = warm.s[j].max(mu0 / x[j].max(1.0)).max(WARM_FLOOR);
+            }
+            mu_eq.copy_from_slice(&warm.y[..m_eq]);
+            for ri in 0..m_in {
+                // Rows the warm point satisfies keep their exact slack (a
+                // legitimately active row's tiny w pairs with its large λ);
+                // violated or boundary rows restart at the barrier level —
+                // an interior, step-friendly slack whose residual the solver
+                // is built to drive out.
+                w[ri] = if raw_w[ri] >= WARM_FLOOR {
+                    raw_w[ri]
+                } else {
+                    mu0.max(WARM_FLOOR)
+                };
+                lam[ri] = warm.y[m_eq + ri].max(mu0 / w[ri].max(1.0)).max(WARM_FLOOR);
+            }
+        }
+    }
+
     let mut workspace = match opts.kernels {
         KernelStrategy::Blocked => Some(BlockedWorkspace::new(&prep)),
         KernelStrategy::Reference => None,
     };
+
+    // Set CORGI_IPM_TRACE=1 to print per-iteration residuals to stderr
+    // (diagnosing warm-start quality and convergence stalls).
+    let trace = std::env::var_os("CORGI_IPM_TRACE").is_some();
 
     let mut iterations = 0usize;
     let mut status = SolveStatus::IterationLimit;
@@ -767,6 +1106,9 @@ fn solve_ipm(
     // of the last iterate.
     let mut best_x = x.clone();
     let mut best_merit = f64::INFINITY;
+    // μ of the last completed residual check — captured into the WarmStart on
+    // convergence (it is then the converged complementarity gap).
+    let mut mu_gap_final = f64::INFINITY;
 
     for iter in 0..opts.max_iterations {
         iterations = iter + 1;
@@ -796,9 +1138,13 @@ fn solve_ipm(
             + w.iter().zip(lam.iter()).map(|(a, b)| a * b).sum::<f64>();
         let denom = (n + m_in) as f64;
         let mu_gap = gap_terms / denom;
+        mu_gap_final = mu_gap;
 
         let primal_err = inf_norm(&r_p1).max(inf_norm(&r_p2));
         let dual_err = inf_norm(&resid_dual);
+        if trace {
+            eprintln!("iter {iter}: primal {primal_err:.3e} dual {dual_err:.3e} mu {mu_gap:.3e}");
+        }
         let merit = primal_err + dual_err + mu_gap;
         if merit.is_finite() && merit < best_merit {
             best_merit = merit;
@@ -824,7 +1170,7 @@ fn solve_ipm(
         let factorization = match opts.kernels {
             KernelStrategy::Blocked => {
                 let ws = workspace.as_mut().expect("blocked workspace exists");
-                factor_blocked(&prep, opts, ws, &x, &s, &w, &lam)?;
+                factor_blocked(&prep, opts, ws, workers, &x, &s, &w, &lam)?;
                 Factorization::Blocked(workspace.as_ref().expect("blocked workspace exists"))
             }
             KernelStrategy::Reference => {
@@ -853,7 +1199,7 @@ fn solve_ipm(
         let rc1_aff: Vec<f64> = x.iter().zip(s.iter()).map(|(xi, si)| -xi * si).collect();
         let rc2_aff: Vec<f64> = w.iter().zip(lam.iter()).map(|(wi, li)| -wi * li).collect();
         let rhs1_aff = build_rhs1(&rc1_aff, &rc2_aff);
-        let (dx_aff, _) = factorization.newton_solve(&prep, &rhs1_aff, &r_p2);
+        let (dx_aff, _) = factorization.newton_solve(&prep, workers, &rhs1_aff, &r_p2);
         let mut dw_aff = vec![0.0; m_in];
         let mut dlam_aff = vec![0.0; m_in];
         for (ri, row) in prep.g.iter().enumerate() {
@@ -891,16 +1237,25 @@ fn solve_ipm(
         } else {
             0.0
         };
+        // Centering target, floored away from the machine-precision regime:
+        // convergence only needs μ ≤ tol·scale, but an aggressive σ (e.g. on a
+        // warm restart that enters almost converged) can drive μ orders of
+        // magnitude below that while the residuals still need cleaning up —
+        // and at μ ~ 1e-10 the barrier diagonal is so ill-conditioned that the
+        // Newton directions break down (observed as a dual-residual explosion
+        // followed by NaN pivots).  The floor never blocks convergence and
+        // never lifts μ (it is capped by the current gap).
+        let target_mu = (sigma * mu_gap).max((0.05 * opts.tolerance * scale).min(mu_gap));
 
         // ---- Corrector direction. ----
         let rc1: Vec<f64> = (0..n)
-            .map(|j| sigma * mu_gap - x[j] * s[j] - dx_aff[j] * ds_aff[j])
+            .map(|j| target_mu - x[j] * s[j] - dx_aff[j] * ds_aff[j])
             .collect();
         let rc2: Vec<f64> = (0..m_in)
-            .map(|ri| sigma * mu_gap - w[ri] * lam[ri] - dw_aff[ri] * dlam_aff[ri])
+            .map(|ri| target_mu - w[ri] * lam[ri] - dw_aff[ri] * dlam_aff[ri])
             .collect();
         let rhs1 = build_rhs1(&rc1, &rc2);
-        let (dx, dmu) = factorization.newton_solve(&prep, &rhs1, &r_p2);
+        let (mut dx, mut dmu) = factorization.newton_solve(&prep, workers, &rhs1, &r_p2);
         let mut dw = vec![0.0; m_in];
         let mut dlam = vec![0.0; m_in];
         for (ri, row) in prep.g.iter().enumerate() {
@@ -912,12 +1267,125 @@ fn solve_ipm(
             ds[j] = (rc1[j] - s[j] * dx[j]) / x[j];
         }
 
-        let alpha_p = (opts.step_fraction
+        let mut alpha_p = (opts.step_fraction
             * step_to_boundary(&x, &dx).min(step_to_boundary(&w, &dw)))
         .min(1.0);
-        let alpha_d = (opts.step_fraction
+        let mut alpha_d = (opts.step_fraction
             * step_to_boundary(&s, &ds).min(step_to_boundary(&lam, &dlam)))
         .min(1.0);
+
+        // ---- Gondzio centrality correctors. ----
+        //
+        // These LPs are heavily degenerate: a handful of complementarity
+        // products sit orders of magnitude below the barrier average, hit the
+        // boundary almost immediately, and truncate every Mehrotra step to
+        // α ≈ 0.1–0.4 — so residuals only shrink by (1 − α) per iteration and
+        // the tail of the solve grinds geometrically.  Each corrector probes a
+        // slightly longer trial step, measures which products fall outside the
+        // centrality band [βmin, βmax]·σμ at that trial point, and solves one
+        // more Newton system (reusing the factorization — back/forward solves
+        // only) that pushes exactly those outliers back toward the central
+        // path.  The enlarged direction is kept only if the achievable step
+        // actually grew; otherwise the loop stops.
+        const BETA_MIN: f64 = 0.1;
+        const BETA_MAX: f64 = 10.0;
+        // How far past the currently-achievable step each corrector probes.
+        const TRIAL_ENLARGE: f64 = 0.1;
+        let zeros_eq = vec![0.0; m_eq];
+        for _ in 0..opts.max_centrality_correctors {
+            let trial_p = (alpha_p / opts.step_fraction + TRIAL_ENLARGE * (1.0 - alpha_p)).min(1.0);
+            let trial_d = (alpha_d / opts.step_fraction + TRIAL_ENLARGE * (1.0 - alpha_d)).min(1.0);
+            let lo = BETA_MIN * target_mu;
+            let hi = BETA_MAX * target_mu;
+            let band = |v: f64| {
+                if v < lo {
+                    lo - v
+                } else if v > hi {
+                    hi - v
+                } else {
+                    0.0
+                }
+            };
+            // Pairs whose primal side has converged to its bound are left
+            // alone: the correction divides by that variable, so "lifting" a
+            // boundary pair would inject an enormous (possibly overflowing)
+            // right-hand side for a product that legitimately sits at zero.
+            const BOUNDARY: f64 = 1e-12;
+            let mut any_outlier = false;
+            let t1: Vec<f64> = (0..n)
+                .map(|j| {
+                    if x[j] <= BOUNDARY {
+                        return 0.0;
+                    }
+                    let t = band((x[j] + trial_p * dx[j]) * (s[j] + trial_d * ds[j]));
+                    any_outlier |= t != 0.0;
+                    t
+                })
+                .collect();
+            let t2: Vec<f64> = (0..m_in)
+                .map(|ri| {
+                    if w[ri] <= BOUNDARY {
+                        return 0.0;
+                    }
+                    let t = band((w[ri] + trial_p * dw[ri]) * (lam[ri] + trial_d * dlam[ri]));
+                    any_outlier |= t != 0.0;
+                    t
+                })
+                .collect();
+            if !any_outlier {
+                break;
+            }
+            // Newton system with zero residual blocks and the band violations
+            // as the complementarity targets.
+            let mut rhs1_c = vec![0.0; n];
+            for (ri, row) in prep.g.iter().enumerate() {
+                if t2[ri] != 0.0 {
+                    row.axpy_into(-t2[ri] / w[ri], &mut rhs1_c);
+                }
+            }
+            for j in 0..n {
+                rhs1_c[j] += t1[j] / x[j];
+            }
+            let (ddx, ddmu) = factorization.newton_solve(&prep, workers, &rhs1_c, &zeros_eq);
+            let mut dwc = dw.clone();
+            let mut dlamc = dlam.clone();
+            for (ri, row) in prep.g.iter().enumerate() {
+                let ddw = -row.dot(&ddx);
+                dwc[ri] += ddw;
+                dlamc[ri] += (t2[ri] - lam[ri] * ddw) / w[ri];
+            }
+            let dxc: Vec<f64> = dx.iter().zip(&ddx).map(|(a, b)| a + b).collect();
+            let dsc: Vec<f64> = (0..n)
+                .map(|j| ds[j] + (t1[j] - s[j] * ddx[j]) / x[j])
+                .collect();
+            let ap = (opts.step_fraction
+                * step_to_boundary(&x, &dxc).min(step_to_boundary(&w, &dwc)))
+            .min(1.0);
+            let ad = (opts.step_fraction
+                * step_to_boundary(&s, &dsc).min(step_to_boundary(&lam, &dlamc)))
+            .min(1.0);
+            let finite = dxc.iter().all(|v| v.is_finite())
+                && dsc.iter().all(|v| v.is_finite())
+                && dwc.iter().all(|v| v.is_finite())
+                && dlamc.iter().all(|v| v.is_finite());
+            if !finite || ap + ad < alpha_p + alpha_d + 0.02 {
+                break;
+            }
+            dx = dxc;
+            dw = dwc;
+            ds = dsc;
+            dlam = dlamc;
+            for (a, b) in dmu.iter_mut().zip(&ddmu) {
+                *a += b;
+            }
+            alpha_p = ap;
+            alpha_d = ad;
+        }
+        if trace {
+            eprintln!(
+                "  step: aff_p {alpha_p_aff:.3} aff_d {alpha_d_aff:.3} sigma {sigma:.3e} p {alpha_p:.3} d {alpha_d:.3}"
+            );
+        }
 
         // A tiny positive floor keeps the barrier quantities away from exact zero
         // (which would otherwise produce 0/0 in later iterations once a variable
@@ -941,6 +1409,20 @@ fn solve_ipm(
         }
     }
 
+    // Capture the converged iterate for warm-starting nearby solves — only on
+    // `Optimal` (a diverged or stalled iterate would poison the next solve).
+    let warm_out = if status == SolveStatus::Optimal {
+        let mut y = mu_eq;
+        y.extend_from_slice(&lam);
+        Some(WarmStart {
+            x: x.clone(),
+            y,
+            s,
+            mu: mu_gap_final,
+        })
+    } else {
+        None
+    };
     let x = if status == SolveStatus::Optimal {
         x
     } else {
@@ -953,7 +1435,105 @@ fn solve_ipm(
         x,
         iterations,
         solver: solver_name.to_string(),
+        warm: warm_out,
     })
+}
+
+/// Benchmark and agreement-test support: drives the blocked factorization
+/// kernels on a prepared problem directly, without full IPM iterations.
+///
+/// `lp_benches` uses this to time the `block_factorize_parallel/{1_thread,
+/// n_threads}` pair on the same assembled Newton system, and the agreement
+/// tests compare the resulting factors/Schur complement across thread counts.
+pub mod bench_support {
+    use super::*;
+
+    /// A prepared block-angular problem plus the blocked-kernel workspace,
+    /// ready to factorize repeatedly under different thread counts.
+    pub struct FactorizationBench {
+        prep: Prepared,
+        options: InteriorPointOptions,
+        ws: BlockedWorkspace,
+        x: Vec<f64>,
+        s: Vec<f64>,
+        w: Vec<f64>,
+        lam: Vec<f64>,
+    }
+
+    impl FactorizationBench {
+        /// Prepare `problem` under the given block partition and options
+        /// (`options.threads` selects the worker count of [`Self::factor`]).
+        pub fn new(
+            problem: &LpProblem,
+            blocks: &[Vec<usize>],
+            options: InteriorPointOptions,
+        ) -> Result<Self, LpError> {
+            validate_blocks(blocks, problem.num_vars())?;
+            let prep = prepare(problem, blocks)?;
+            let ws = BlockedWorkspace::new(&prep);
+            let n = prep.n;
+            let m_in = prep.g.len();
+            Ok(Self {
+                prep,
+                options,
+                ws,
+                x: vec![1.0; n],
+                s: vec![1.0; n],
+                w: vec![1.0; m_in],
+                lam: vec![1.0; m_in],
+            })
+        }
+
+        /// Perturb the barrier state pseudo-randomly (xorshift64, seeded) so
+        /// repeated factorizations run on a representative mid-path iterate
+        /// rather than the trivial all-ones point.  Deterministic per seed.
+        pub fn perturb_state(&mut self, seed: u64) {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            for v in self
+                .x
+                .iter_mut()
+                .chain(self.s.iter_mut())
+                .chain(self.w.iter_mut())
+                .chain(self.lam.iter_mut())
+            {
+                *v = 0.05 + next();
+            }
+        }
+
+        /// Assemble and factorize all block Newton matrices and the Schur
+        /// complement under `options.threads` workers — the timed kernel.
+        pub fn factor(&mut self) -> Result<(), LpError> {
+            let workers =
+                par::resolve_threads(self.options.threads).min(self.prep.blocks.len().max(1));
+            factor_blocked(
+                &self.prep,
+                &self.options,
+                &mut self.ws,
+                workers,
+                &self.x,
+                &self.s,
+                &self.w,
+                &self.lam,
+            )
+        }
+
+        /// The per-block Cholesky factors of the last [`Self::factor`] call.
+        pub fn factors(&self) -> &[DenseMatrix] {
+            &self.ws.factors
+        }
+
+        /// The factored, regularized Schur complement of the last
+        /// [`Self::factor`] call.
+        pub fn schur(&self) -> &DenseMatrix {
+            &self.ws.schur
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1241,5 +1821,120 @@ mod tests {
         let spx = SimplexSolver::new().solve(&p).unwrap();
         assert_eq!(s.status, SolveStatus::Optimal);
         assert!((s.objective - spx.objective).abs() < 1e-4);
+    }
+
+    #[test]
+    fn parallel_factorization_matches_serial() {
+        // Per-block factors must be bit-exact for any worker count; the Schur
+        // complement may differ only by the partial-sum reduction order.
+        let (p, blocks) = stochastic_problem(6, 0.7f64.exp());
+        let mut serial =
+            bench_support::FactorizationBench::new(&p, &blocks, InteriorPointOptions::default())
+                .unwrap();
+        serial.perturb_state(42);
+        serial.factor().unwrap();
+        for threads in [2usize, 3, 5] {
+            let opts = InteriorPointOptions {
+                threads,
+                ..InteriorPointOptions::default()
+            };
+            let mut parallel = bench_support::FactorizationBench::new(&p, &blocks, opts).unwrap();
+            parallel.perturb_state(42);
+            parallel.factor().unwrap();
+            for (b, (fs, fp)) in serial
+                .factors()
+                .iter()
+                .zip(parallel.factors().iter())
+                .enumerate()
+            {
+                let nb = blocks[b].len();
+                for i in 0..nb {
+                    for j in 0..=i {
+                        assert_eq!(
+                            fs[(i, j)],
+                            fp[(i, j)],
+                            "threads={threads} block={b} ({i},{j}) not bit-exact"
+                        );
+                    }
+                }
+            }
+            let m_eq = 6; // one row-sum equality per row
+            for i in 0..m_eq {
+                for j in 0..=i {
+                    let a = serial.schur()[(i, j)];
+                    let b = parallel.schur()[(i, j)];
+                    let tol = 1e-10 * a.abs().max(1.0);
+                    assert!(
+                        (a - b).abs() <= tol,
+                        "threads={threads} schur ({i},{j}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_solver_agrees_with_serial() {
+        let (p, blocks) = stochastic_problem(5, 0.8f64.exp());
+        let serial = BlockAngularSolver::new(blocks.clone(), InteriorPointOptions::default())
+            .solve(&p)
+            .unwrap();
+        let opts = InteriorPointOptions {
+            threads: 3,
+            ..InteriorPointOptions::default()
+        };
+        let parallel = BlockAngularSolver::new(blocks, opts).solve(&p).unwrap();
+        assert_eq!(serial.status, SolveStatus::Optimal);
+        assert_eq!(parallel.status, SolveStatus::Optimal);
+        assert_eq!(serial.iterations, parallel.iterations);
+        assert!(
+            (serial.objective - parallel.objective).abs() < 1e-8,
+            "serial {} vs parallel {}",
+            serial.objective,
+            parallel.objective
+        );
+    }
+
+    #[test]
+    fn warm_start_reconverges_in_fewer_iterations() {
+        let (p, blocks) = stochastic_problem(5, 0.8f64.exp());
+        let solver = BlockAngularSolver::new(blocks, InteriorPointOptions::default());
+        let cold = solver.solve(&p).unwrap();
+        assert_eq!(cold.status, SolveStatus::Optimal);
+        let warm_state = cold
+            .warm
+            .as_ref()
+            .expect("Optimal solve captures a warm start");
+        let warm = solver.solve_with_warm(&p, Some(warm_state)).unwrap();
+        assert_eq!(warm.status, SolveStatus::Optimal);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} iterations vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn invalid_warm_start_is_ignored() {
+        let (p, blocks) = stochastic_problem(4, 0.6f64.exp());
+        let solver = BlockAngularSolver::new(blocks, InteriorPointOptions::default());
+        let cold = solver.solve(&p).unwrap();
+        let bogus = WarmStart {
+            x: vec![1.0; 3], // wrong length
+            y: Vec::new(),
+            s: vec![1.0; 3],
+            mu: 1.0,
+        };
+        let with_bogus = solver.solve_with_warm(&p, Some(&bogus)).unwrap();
+        assert_eq!(with_bogus.status, cold.status);
+        assert_eq!(with_bogus.iterations, cold.iterations);
+        assert_eq!(with_bogus.objective, cold.objective);
     }
 }

@@ -30,16 +30,19 @@
 mod dense;
 mod error;
 mod interior;
+pub mod par;
 mod problem;
 mod simplex;
 mod solution;
 
 pub use dense::{DenseMatrix, DEFAULT_CHOLESKY_BLOCK, FLUSH_THRESHOLD};
 pub use error::LpError;
-pub use interior::{BlockAngularSolver, InteriorPointOptions, InteriorPointSolver, KernelStrategy};
+pub use interior::{
+    bench_support, BlockAngularSolver, InteriorPointOptions, InteriorPointSolver, KernelStrategy,
+};
 pub use problem::{Constraint, ConstraintSense, LpProblem};
 pub use simplex::SimplexSolver;
-pub use solution::{LpSolution, SolveStatus};
+pub use solution::{LpSolution, SolveStatus, WarmStart};
 
 /// Common interface implemented by every solver in this crate.
 pub trait LpSolver {

@@ -299,6 +299,7 @@ impl LpSolver for SimplexSolver {
                         x: vec![0.0; n],
                         iterations: total_iterations,
                         solver: self.name().to_string(),
+                        warm: None,
                     });
                 }
                 PhaseOutcome::Unbounded => {
@@ -318,6 +319,7 @@ impl LpSolver for SimplexSolver {
                     x: vec![0.0; n],
                     iterations: total_iterations,
                     solver: self.name().to_string(),
+                    warm: None,
                 });
             }
             // Drive any artificial variables that remain basic (at zero level) out
@@ -384,6 +386,7 @@ impl LpSolver for SimplexSolver {
             x,
             iterations: total_iterations,
             solver: self.name().to_string(),
+            warm: None,
         })
     }
 
