@@ -11,6 +11,7 @@
 //!         [--levels L1,L2,..] [--max-delta D] [--churn N] [--seed N]
 //!         [--timeout-secs S] [--label NAME] [--profile calibrated]
 //!         [--shards N] [--mode open|closed] [--reactor-shards N]
+//!         [--chaos SEED]
 //! ```
 //!
 //! `--profile calibrated` selects the fixed heavy-lane shape (the one the
@@ -20,6 +21,12 @@
 //! per-shard completions.  `--mode closed` runs a closed-loop pass *after*
 //! the open-loop one and prints the p99 delta — the size of the queueing
 //! delay that closed-loop (coordinated-omission-prone) measurement hides.
+//! `--chaos SEED` (requires `--shards` ≥ 2) enables liveness probing on the
+//! shards, then kills the `SEED % shards`-th one ~40 % into the run, holds it
+//! down for a beat, and restarts it at the same address with a cold cache
+//! that is re-warmed from the surviving peers (`Digest`/`DigestReply`, zero
+//! LP solves).  The run still fails on any hung request or hard error, and
+//! the bench artifact gains `peers_down` / `rewarm_keys_pulled` fields.
 //! The wire codec follows `CORGI_WIRE_CODEC` like every other client, and
 //! the reactor backend follows `CORGI_REACTOR_BACKEND` like every server
 //! (`--reactor-shards N` pins the per-server reactor thread count; 0 = one
@@ -41,14 +48,14 @@
 use corgi_bench::loadgen::{run_load, LoadMode, LoadProfile};
 use corgi_datagen::{GowallaLikeConfig, GowallaLikeGenerator, PriorDistribution};
 use corgi_framework::{
-    CachingService, ForestGenerator, MatrixService, ReplicatingService, ReplicationConfig,
-    Replicator, ServerConfig, TcpServer, TransportConfig, WarmRequest,
+    CachingService, ClientConfig, ForestGenerator, HealthConfig, MatrixService, ReplicatingService,
+    ReplicationConfig, Replicator, ServerConfig, TcpServer, TransportConfig, WarmRequest,
 };
 use corgi_hexgrid::{HexGrid, HexGridConfig};
 use criterion::report_histogram;
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn flag_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -74,6 +81,14 @@ Usage:
           [--levels L1,L2,..] [--max-delta D] [--churn N] [--seed N]
           [--timeout-secs S] [--label NAME] [--profile calibrated]
           [--shards N] [--mode open|closed] [--reactor-shards N]
+          [--chaos SEED]
+
+--chaos SEED (with --shards >= 2) turns the run into a resilience soak: the
+SEED % shards-th server is killed ~40% into the schedule, held down briefly,
+and restarted at the same address, re-warming its cold cache from the peers
+over Digest frames with zero LP solves.  Probing is enabled on every shard so
+the kill shows up in peers_down; the run still fails on any hung request or
+hard error.
 
 Each of the N --connections is a client-side OS thread holding one open TCP
 connection, so the generator itself tops out around ~2000 connections under
@@ -137,6 +152,23 @@ fn main() {
     };
     let shards = parse_flag("--shards", 1usize).max(1);
     let reactor_shards = parse_flag("--reactor-shards", 0usize);
+    let chaos: Option<u64> = flag_value("--chaos").map(|raw| {
+        raw.parse()
+            .unwrap_or_else(|_| panic!("invalid value {raw:?} for --chaos"))
+    });
+    if chaos.is_some() {
+        assert!(
+            shards >= 2,
+            "--chaos needs --shards >= 2 (a peer must survive the kill)"
+        );
+    }
+    // Aggressive probing so a mid-run kill is detected well inside the
+    // schedule (threshold 2 at this cadence condemns a dead peer in ~400 ms).
+    let chaos_health = HealthConfig {
+        probe_interval: Duration::from_millis(200),
+        failure_threshold: 2,
+        ..HealthConfig::default()
+    };
     let closed_pass = match flag_value("--mode").as_deref() {
         None | Some("open") => false,
         Some("closed") => true,
@@ -144,11 +176,15 @@ fn main() {
     };
     let label = flag_value("--label").unwrap_or_else(|| {
         let base = if calibrated { "calibrated" } else { "smoke" };
-        if shards > 1 {
+        let mut label = if shards > 1 {
             format!("{base}-{shards}shard")
         } else {
             base.to_string()
+        };
+        if chaos.is_some() {
+            label.push_str("-chaos");
         }
+        label
     });
 
     // The serving stack of the loopback benches: SF grid, synthetic check-ins,
@@ -169,7 +205,7 @@ fn main() {
         deltas: (0..=profile.max_delta).collect(),
     };
 
-    let mut servers: Vec<TcpServer> = Vec::with_capacity(shards);
+    let mut servers: Vec<Option<TcpServer>> = Vec::with_capacity(shards);
     let mut services: Vec<Arc<dyn MatrixService>> = Vec::with_capacity(shards);
     let mut replicators: Vec<Arc<Replicator>> = Vec::with_capacity(shards);
     for _ in 0..shards {
@@ -179,7 +215,10 @@ fn main() {
             server_config,
         );
         let (service, transport_config): (Arc<dyn MatrixService>, TransportConfig) = if shards > 1 {
-            let replicator = Replicator::new(ReplicationConfig::default());
+            let replicator = Replicator::new(ReplicationConfig {
+                health: chaos.map(|_| chaos_health.clone()),
+                ..ReplicationConfig::default()
+            });
             replicators.push(Arc::clone(&replicator));
             (
                 Arc::new(CachingService::with_defaults(ReplicatingService::new(
@@ -204,9 +243,12 @@ fn main() {
         let server = TcpServer::bind("127.0.0.1:0", Arc::clone(&service), transport_config)
             .expect("binding a loopback load server");
         services.push(service);
-        servers.push(server);
+        servers.push(Some(server));
     }
-    let addrs: Vec<SocketAddr> = servers.iter().map(|s| s.local_addr()).collect();
+    let addrs: Vec<SocketAddr> = servers
+        .iter()
+        .map(|s| s.as_ref().expect("just booted").local_addr())
+        .collect();
     // Full mesh: every shard pushes its cold-miss solves to every other.
     for (index, replicator) in replicators.iter().enumerate() {
         for (peer, addr) in addrs.iter().enumerate() {
@@ -238,9 +280,74 @@ fn main() {
             profile.churn_every.to_string()
         },
         shards,
-        servers[0].backend().label(),
-        servers[0].shard_count(),
+        servers[0].as_ref().expect("just booted").backend().label(),
+        servers[0].as_ref().expect("just booted").shard_count(),
     );
+
+    // The chaos thread kills one shard mid-schedule, holds it down long
+    // enough for the survivors' probes to condemn it, then restarts it at the
+    // same address with a cold cache and re-warms it from the peers — the
+    // load keeps flowing through router failover the whole time.
+    let chaos_handle = chaos.map(|seed| {
+        let victim = (seed as usize) % shards;
+        let victim_server = servers[victim].take().expect("victim booted");
+        let victim_addr = addrs[victim];
+        let peer_endpoints: Vec<String> = addrs
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| *index != victim)
+            .map(|(_, addr)| addr.to_string())
+            .collect();
+        let grid = grid.clone();
+        let prior = prior.clone();
+        let health = chaos_health.clone();
+        let kill_after = profile.duration.mul_f64(0.4);
+        let hold_down = profile.duration.mul_f64(0.2).min(Duration::from_secs(1));
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(kill_after);
+            victim_server.shutdown();
+            std::thread::sleep(hold_down);
+            let replicator = Replicator::new(ReplicationConfig {
+                health: Some(health),
+                ..ReplicationConfig::default()
+            });
+            for endpoint in &peer_endpoints {
+                replicator.add_peer(endpoint.clone());
+            }
+            let service: Arc<dyn MatrixService> =
+                Arc::new(CachingService::with_defaults(ReplicatingService::new(
+                    ForestGenerator::new(corgi_core::LocationTree::new(grid), prior, server_config),
+                    Arc::clone(&replicator),
+                )));
+            // The old listener's port lingers briefly after shutdown; retry
+            // the same-address rebind until it sticks.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let server = loop {
+                match TcpServer::bind(
+                    victim_addr,
+                    Arc::clone(&service),
+                    TransportConfig {
+                        replication: Some(Arc::clone(&replicator)),
+                        reactor_shards,
+                        ..TransportConfig::default()
+                    },
+                ) {
+                    Ok(server) => break server,
+                    Err(error) => {
+                        assert!(
+                            Instant::now() < deadline,
+                            "rebinding the killed shard at {victim_addr}: {error}"
+                        );
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                }
+            };
+            let rewarm = server.rewarm_from_peers(&peer_endpoints, ClientConfig::default());
+            (server, rewarm)
+        });
+        (victim, handle)
+    });
+
     let report = run_load(&addrs, LoadMode::Open, &profile);
     println!(
         "loadgen/{label}: offered {}, ok {}, shed {}, errors {}, reconnects {}, goodput {:.1} req/s",
@@ -251,7 +358,39 @@ fn main() {
         report.reconnects,
         report.goodput_rps(),
     );
-    for server in &servers {
+
+    // Join the chaos thread (it finished its re-warm well inside the
+    // schedule) and put the revived shard back so the summary below covers it.
+    let chaos_rewarm = chaos_handle.map(|(victim, handle)| {
+        let (server, rewarm) = handle.join().expect("chaos thread panicked");
+        println!(
+            "loadgen/{label}: chaos killed shard {} mid-run; re-warm pulled {} key(s) from {} peer(s) in {} ms, complete: {}",
+            addrs[victim],
+            rewarm.pulled,
+            rewarm.peers_reached,
+            rewarm.elapsed_ms,
+            rewarm.is_complete(),
+        );
+        assert!(
+            rewarm.is_complete(),
+            "the revived shard must re-warm fully from its peers: {rewarm:?}"
+        );
+        servers[victim] = Some(server);
+        rewarm
+    });
+    let peers_down: u64 = servers
+        .iter()
+        .flatten()
+        .map(|server| server.cluster_stats().peers_down)
+        .sum();
+    if chaos.is_some() {
+        assert!(
+            peers_down >= 1,
+            "the survivors' probes must have condemned the killed shard"
+        );
+    }
+
+    for server in servers.iter().flatten() {
         let stats = server.stats();
         println!(
             "loadgen/{label}: server {} admitted {}, shed {}, read-buffer high water {} B",
@@ -267,15 +406,20 @@ fn main() {
         }
         println!("loadgen/{label}: router failovers {}", report.failovers);
     }
+    let mut extras = vec![
+        ("goodput_rps", report.goodput_rps()),
+        ("offered_rps", report.offered_rps()),
+        ("shed", report.shed as f64),
+        ("errors", report.errors as f64),
+    ];
+    if let Some(rewarm) = &chaos_rewarm {
+        extras.push(("peers_down", peers_down as f64));
+        extras.push(("rewarm_keys_pulled", rewarm.pulled as f64));
+    }
     report_histogram(
         &format!("loadgen/{label}"),
         &report.histogram,
-        &[
-            ("goodput_rps", report.goodput_rps()),
-            ("offered_rps", report.offered_rps()),
-            ("shed", report.shed as f64),
-            ("errors", report.errors as f64),
-        ],
+        &extras,
         Some("p99_ns"),
     );
 
@@ -312,7 +456,7 @@ fn main() {
             None,
         );
     }
-    for server in servers {
+    for server in servers.into_iter().flatten() {
         server.shutdown();
     }
 

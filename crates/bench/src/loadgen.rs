@@ -169,7 +169,9 @@ struct WorkerOutcome {
 /// a [`ShardRouter`] over the shard set otherwise.
 enum Conn {
     Direct(TcpTransport),
-    Routed(ShardRouter),
+    // Boxed: the router (endpoints, health slots, rank memo) dwarfs the
+    // direct transport, and workers move `Conn` values around on churn.
+    Routed(Box<ShardRouter>),
 }
 
 impl Conn {
@@ -221,7 +223,7 @@ fn connect(addrs: &[SocketAddr], timeout: Duration) -> Result<Conn, String> {
                 ..RouterConfig::default()
             },
         )
-        .map(Conn::Routed)
+        .map(|router| Conn::Routed(Box::new(router)))
         .map_err(|e| e.to_string())
     }
 }

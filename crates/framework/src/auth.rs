@@ -33,6 +33,18 @@
 //! already share the key; it is not encryption (payloads travel in the clear)
 //! and the hello itself is unauthenticated (an active attacker can force a
 //! handshake failure, but never an accepted forged frame).
+//!
+//! # Key rotation (protocol 1.5)
+//!
+//! Keys rotate without a full-cluster restart through a dual-key acceptance
+//! window: `CORGI_CLUSTER_KEY_PREVIOUS` names a second secret that frames are
+//! *verified* against when the primary fails, while every outbound frame is
+//! always *signed* with the primary ([`ClusterKey::with_previous`]).  Rolling
+//! a cluster from key A to key B is a two-phase swap — first deploy
+//! `KEY=A, PREVIOUS=B` everywhere (still signing A, now accepting B), then
+//! `KEY=B, PREVIOUS=A` (signing B, still accepting A), then drop the previous
+//! key — so at every step both sides of any connection verify what the other
+//! signs.
 
 use std::fmt;
 
@@ -48,6 +60,11 @@ pub const AUTH_SCHEME: &str = "hmac-sha256";
 
 /// Environment variable holding the shared cluster secret.
 pub const CLUSTER_KEY_ENV: &str = "CORGI_CLUSTER_KEY";
+
+/// Environment variable holding the *previous* cluster secret during a key
+/// rotation window: frames are verified against it when the primary key
+/// fails, but outbound frames are always signed with the primary.
+pub const CLUSTER_KEY_PREVIOUS_ENV: &str = "CORGI_CLUSTER_KEY_PREVIOUS";
 
 // --------------------------------------------------------------------------
 // SHA-256 (FIPS 180-4)
@@ -281,22 +298,35 @@ impl fmt::Display for AuthError {
 
 impl std::error::Error for AuthError {}
 
-/// The shared cluster secret, normalized to a 32-byte MAC key.
+/// The shared cluster secret, normalized to a 32-byte MAC key — plus, during
+/// a rotation window, the previous key that inbound frames are still accepted
+/// under ([`ClusterKey::with_previous`]).
 ///
 /// Compare with `==` for key-agreement checks in tests; the `Debug` impl
 /// never prints key material.
 #[derive(Clone, PartialEq, Eq)]
-pub struct ClusterKey([u8; 32]);
+pub struct ClusterKey {
+    primary: [u8; 32],
+    previous: Option<[u8; 32]>,
+}
 
 impl fmt::Debug for ClusterKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Never leak key bytes through logs; the fingerprint (first 4 bytes of
         // SHA-256 of the key) is enough to tell two keys apart when debugging.
-        let fp = sha256(&self.0);
+        let fp = sha256(&self.primary);
         write!(
             f,
-            "ClusterKey(fp={:02x}{:02x}{:02x}{:02x})",
-            fp[0], fp[1], fp[2], fp[3]
+            "ClusterKey(fp={:02x}{:02x}{:02x}{:02x}{})",
+            fp[0],
+            fp[1],
+            fp[2],
+            fp[3],
+            if self.previous.is_some() {
+                ", rotating"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -304,26 +334,68 @@ impl fmt::Debug for ClusterKey {
 impl ClusterKey {
     /// Derive the key from an arbitrary secret byte string.
     pub fn from_secret(secret: &[u8]) -> Self {
-        Self(sha256(secret))
+        Self {
+            primary: sha256(secret),
+            previous: None,
+        }
     }
 
-    /// Read the key from the `CORGI_CLUSTER_KEY` environment variable.
+    /// Open a rotation window: keep signing with this key, but also accept
+    /// frames signed with the key derived from `secret`.
+    pub fn with_previous(mut self, secret: &[u8]) -> Self {
+        self.previous = Some(sha256(secret));
+        self
+    }
+
+    /// Read the key from the `CORGI_CLUSTER_KEY` environment variable, and
+    /// the rotation-window secondary from `CORGI_CLUSTER_KEY_PREVIOUS`.
     ///
-    /// Returns `None` when the variable is unset or empty (authentication
-    /// disabled).
+    /// Returns `None` when the primary variable is unset or empty
+    /// (authentication disabled; a previous key alone enables nothing).
     pub fn from_env() -> Option<Self> {
-        std::env::var(CLUSTER_KEY_ENV)
+        let key = std::env::var(CLUSTER_KEY_ENV)
             .ok()
             .filter(|s| !s.is_empty())
-            .map(|s| Self::from_secret(s.as_bytes()))
+            .map(|s| Self::from_secret(s.as_bytes()))?;
+        Some(
+            match std::env::var(CLUSTER_KEY_PREVIOUS_ENV)
+                .ok()
+                .filter(|s| !s.is_empty())
+            {
+                Some(prev) => key.with_previous(prev.as_bytes()),
+                None => key,
+            },
+        )
     }
 
-    /// Truncated HMAC over the concatenation of `parts`.
+    /// Whether a rotation window is open (a previous key is accepted).
+    pub fn is_rotating(&self) -> bool {
+        self.previous.is_some()
+    }
+
+    /// Truncated HMAC over the concatenation of `parts`, signed with the
+    /// primary key.
     pub fn mac(&self, parts: &[&[u8]]) -> [u8; MAC_LEN] {
-        let full = hmac_sha256(&self.0, parts);
+        Self::mac_with(&self.primary, parts)
+    }
+
+    fn mac_with(key: &[u8; 32], parts: &[&[u8]]) -> [u8; MAC_LEN] {
+        let full = hmac_sha256(key, parts);
         let mut mac = [0u8; MAC_LEN];
         mac.copy_from_slice(&full[..MAC_LEN]);
         mac
+    }
+
+    /// Verify `trailer` against the primary key, falling back to the previous
+    /// key when a rotation window is open.
+    fn verify(&self, parts: &[&[u8]], trailer: &[u8]) -> bool {
+        if constant_time_eq(&Self::mac_with(&self.primary, parts), trailer) {
+            return true;
+        }
+        match &self.previous {
+            Some(previous) => constant_time_eq(&Self::mac_with(previous, parts), trailer),
+            None => false,
+        }
     }
 
     /// Append the MAC trailer to a sealed frame (header + payload), patching
@@ -346,8 +418,7 @@ impl ClusterKey {
             return Err(AuthError::Truncated);
         }
         let body_end = frame.len() - MAC_LEN;
-        let expected = self.mac(&[&frame[..body_end]]);
-        if !constant_time_eq(&expected, &frame[body_end..]) {
+        if !self.verify(&[&frame[..body_end]], &frame[body_end..]) {
             return Err(AuthError::BadMac);
         }
         Ok(&frame[header..body_end])
@@ -363,8 +434,7 @@ impl ClusterKey {
             return Err(AuthError::Truncated);
         }
         let payload_len = body.len() - MAC_LEN;
-        let expected = self.mac(&[header, &body[..payload_len]]);
-        if !constant_time_eq(&expected, &body[payload_len..]) {
+        if !self.verify(&[header, &body[..payload_len]], &body[payload_len..]) {
             return Err(AuthError::BadMac);
         }
         body.truncate(payload_len);
@@ -491,12 +561,80 @@ mod tests {
 
     #[test]
     fn debug_never_prints_key_material() {
-        let key = ClusterKey::from_secret(b"super-secret");
+        let key = ClusterKey::from_secret(b"super-secret").with_previous(b"older-secret");
         let printed = format!("{key:?}");
         assert!(printed.starts_with("ClusterKey(fp="));
         assert!(!printed.contains("super-secret"));
-        for window in key.0.windows(4) {
+        assert!(!printed.contains("older-secret"));
+        for window in key.primary.windows(4) {
             assert!(!printed.contains(&hex(window)));
         }
+        for window in key.previous.expect("rotation window open").windows(4) {
+            assert!(!printed.contains(&hex(window)));
+        }
+    }
+
+    #[test]
+    fn rotation_window_accepts_either_key_but_signs_with_primary() {
+        let old = ClusterKey::from_secret(b"key-a");
+        let new = ClusterKey::from_secret(b"key-b");
+        let rotating = ClusterKey::from_secret(b"key-b").with_previous(b"key-a");
+        assert!(rotating.is_rotating());
+        assert!(!new.is_rotating());
+
+        let mut frame = vec![b'C', b'G', 2, 0, 0, 0, 5];
+        frame.extend_from_slice(b"hello");
+
+        // A frame signed with the OLD key verifies under the rotating key...
+        let sealed_old = old.seal(frame.clone());
+        assert_eq!(
+            rotating.open(&sealed_old).expect("previous accepted"),
+            b"hello"
+        );
+        let mut body = sealed_old[7..].to_vec();
+        rotating
+            .open_split(&sealed_old[..7], &mut body)
+            .expect("previous accepted on the split path");
+        // ...and so does one signed with the NEW key.
+        let sealed_new = new.seal(frame.clone());
+        assert_eq!(
+            rotating.open(&sealed_new).expect("primary accepted"),
+            b"hello"
+        );
+
+        // The rotating key SIGNS with its primary: a peer holding only the
+        // new key verifies its output; a peer holding only the old one
+        // cannot.
+        let sealed_rotating = rotating.seal(frame.clone());
+        assert_eq!(
+            new.open(&sealed_rotating).expect("signed with primary"),
+            b"hello"
+        );
+        assert_eq!(old.open(&sealed_rotating), Err(AuthError::BadMac));
+
+        // A third key is still rejected by the rotating verifier.
+        let sealed_other = ClusterKey::from_secret(b"key-c").seal(frame);
+        assert_eq!(rotating.open(&sealed_other), Err(AuthError::BadMac));
+    }
+
+    #[test]
+    fn from_env_reads_the_rotation_window() {
+        // Env-var manipulation is process-global; this test owns both vars
+        // and restores them, and is the only test touching them.
+        std::env::set_var(CLUSTER_KEY_ENV, "env-new");
+        std::env::set_var(CLUSTER_KEY_PREVIOUS_ENV, "env-old");
+        let key = ClusterKey::from_env().expect("primary set");
+        assert_eq!(
+            key,
+            ClusterKey::from_secret(b"env-new").with_previous(b"env-old")
+        );
+        std::env::remove_var(CLUSTER_KEY_PREVIOUS_ENV);
+        let key = ClusterKey::from_env().expect("primary set");
+        assert_eq!(key, ClusterKey::from_secret(b"env-new"));
+        // A previous key alone enables nothing.
+        std::env::remove_var(CLUSTER_KEY_ENV);
+        std::env::set_var(CLUSTER_KEY_PREVIOUS_ENV, "env-old");
+        assert!(ClusterKey::from_env().is_none());
+        std::env::remove_var(CLUSTER_KEY_PREVIOUS_ENV);
     }
 }

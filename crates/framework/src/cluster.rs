@@ -1,5 +1,5 @@
-//! Cluster serving (protocol 1.4): shard routing, peer replication and the
-//! wire-visible cluster counters.
+//! Cluster serving (protocols 1.4–1.5): shard routing, peer replication,
+//! liveness probing and the wire-visible cluster counters.
 //!
 //! A CORGI deployment outgrows one server long before it outgrows one cache:
 //! the working set is a few hundred `(privacy_level, δ)` keys, but admission
@@ -29,6 +29,16 @@
 //! [`Unauthenticated`](crate::ServiceErrorKind::Unauthenticated) rejection at
 //! the hello exchange, never a silent desync.
 //!
+//! Protocol 1.5 adds the resilience layer: `Ping`/`Pong` liveness probes
+//! drive a per-peer health state machine
+//! ([`Healthy → Suspect → Down → Probation`](PeerHealthState)) so the router
+//! skips known-dead shards *before* paying a connect timeout, and the
+//! anti-entropy digest exchange
+//! ([`DigestRequest`](crate::warm::DigestRequest)/
+//! [`DigestReply`](crate::warm::DigestReply)) lets a restarted shard re-warm
+//! its cache from healthy peers instead of re-solving — see
+//! [`TcpServer::rewarm_from_peers`](crate::TcpServer::rewarm_from_peers).
+//!
 //! ```text
 //!                      ┌─────────────┐
 //!        requests ───► │ ShardRouter │  rendezvous_rank(key) → shard
@@ -43,6 +53,7 @@
 
 use crate::auth::ClusterKey;
 use crate::executor::{oneshot, Handle, Sleep};
+use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::messages::{
     MatrixRequest, PrivacyForestResponse, ServiceError, ServiceErrorKind, WireCodec,
 };
@@ -62,7 +73,7 @@ use std::future::Future;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
 use std::time::Duration;
@@ -95,6 +106,21 @@ impl Fnv1a {
     }
 }
 
+/// Murmur3-style 64-bit finalization avalanche.  FNV-1a on its own has none:
+/// once the per-endpoint bytes are absorbed, a shared key suffix applies the
+/// *same* xor-small/multiply sequence to every endpoint's state, which
+/// approximately preserves the relative order of the hashes — so endpoints
+/// differing in a few characters (loopback ports!) elect the same winner for
+/// every key.  Mixing the final state breaks that order dependence.
+fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
 /// Rank shard endpoints for a cache key by rendezvous (highest-random-weight)
 /// hashing: every client computes `hash(endpoint ‖ key)` per endpoint and
 /// ranks descending, so all clients agree on the owner (index 0) and on the
@@ -117,7 +143,7 @@ pub fn rendezvous_rank<S: AsRef<str>>(
             // ("ab", level 1) and ("a", "b1"-ish keys) from colliding.
             hash.write(&[0xff, privacy_level]);
             hash.write(&(delta as u64).to_be_bytes());
-            (hash.finish(), index)
+            (fmix64(hash.finish()), index)
         })
         .collect();
     scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -173,6 +199,19 @@ pub struct ClusterStats {
     /// Rendezvous rankings served from the router's memo cache instead of
     /// being rehashed (client side only; zero in server snapshots).
     pub rank_memo_hits: u64,
+    /// Liveness probes completed (protocol 1.5) — server probe tasks or the
+    /// router's prober thread, whichever side is reporting.
+    pub probes_sent: u64,
+    /// Health-state transitions into `Down` observed by this side's probes
+    /// (protocol 1.5).
+    pub peers_down: u64,
+    /// Forests this server pulled from peers while re-warming after a
+    /// restart (protocol 1.5; see
+    /// [`TcpServer::rewarm_from_peers`](crate::TcpServer::rewarm_from_peers)).
+    pub rewarm_keys_pulled: u64,
+    /// Anti-entropy digest pulls this server answered with a resident forest
+    /// payload, repairing a peer's missed pushes (protocol 1.5).
+    pub pushes_repaired: u64,
     /// Per-peer (server) or per-shard (router) link counters.
     pub peers: Vec<PeerStats>,
 }
@@ -205,6 +244,10 @@ pub(crate) struct ClusterMetrics {
     pushes_deduped: AtomicU64,
     pushes_ignored: AtomicU64,
     auth_rejections: AtomicU64,
+    probes_sent: AtomicU64,
+    peers_down: AtomicU64,
+    rewarm_keys_pulled: AtomicU64,
+    pushes_repaired: AtomicU64,
 }
 
 impl ClusterMetrics {
@@ -224,6 +267,22 @@ impl ClusterMetrics {
         self.auth_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_probe_sent(&self) {
+        self.probes_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_peer_down(&self) {
+        self.peers_down.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_rewarm_pulled(&self) {
+        self.rewarm_keys_pulled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_push_repaired(&self) {
+        self.pushes_repaired.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self, replicator: Option<&Replicator>) -> ClusterStats {
         ClusterStats {
             pushes_received: self.pushes_received.load(Ordering::Relaxed),
@@ -232,8 +291,165 @@ impl ClusterMetrics {
             auth_rejections: self.auth_rejections.load(Ordering::Relaxed),
             failovers: 0,
             rank_memo_hits: 0,
+            probes_sent: self.probes_sent.load(Ordering::Relaxed),
+            peers_down: self.peers_down.load(Ordering::Relaxed),
+            rewarm_keys_pulled: self.rewarm_keys_pulled.load(Ordering::Relaxed),
+            pushes_repaired: self.pushes_repaired.load(Ordering::Relaxed),
             peers: replicator.map(Replicator::peer_stats).unwrap_or_default(),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness probing + peer health (protocol 1.5)
+// ---------------------------------------------------------------------------
+
+/// Request payload of a `Ping` frame (protocol 1.5): a liveness probe.  The
+/// nonce is echoed back in the [`Pong`] so a probe cannot be satisfied by a
+/// stale or replayed reply; on keyed connections the frame is MAC'd like
+/// every other post-hello frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ping {
+    /// Echo token; the matching [`Pong`] must carry the same value.
+    pub nonce: u64,
+}
+
+/// Reply payload of a `Ping` frame: the echoed nonce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pong {
+    /// The nonce of the [`Ping`] being answered.
+    pub nonce: u64,
+}
+
+/// Tunables of the per-peer liveness state machine (protocol 1.5).
+///
+/// Handed to a [`Replicator`] via [`ReplicationConfig::health`] (server-side
+/// probe tasks on the reactor) or to a [`ShardRouter`] via
+/// [`RouterConfig::health`] (a dedicated prober thread); `None` in either
+/// place disables probing and health tracking entirely, which is the 1.4
+/// behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Pause between consecutive probes of the same peer.
+    pub probe_interval: Duration,
+    /// Socket budget of one probe (bounds the connect, the hello and the
+    /// ping/pong read).
+    pub probe_timeout: Duration,
+    /// Consecutive probe failures that take a peer from `Healthy` to `Down`
+    /// (via `Suspect`).
+    pub failure_threshold: u32,
+    /// Consecutive probe successes a `Down` peer must pass in `Probation`
+    /// before it is re-admitted as `Healthy`.
+    pub probation_successes: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            probe_interval: Duration::from_secs(1),
+            probe_timeout: Duration::from_millis(250),
+            failure_threshold: 3,
+            probation_successes: 2,
+        }
+    }
+}
+
+/// Where a peer stands in the liveness state machine.
+///
+/// ```text
+///            fail            fail ×threshold
+///  Healthy ───────► Suspect ─────────────► Down
+///     ▲  ▲             │ ok                  │ ok
+///     │  └─────────────┘                     ▼
+///     │        ok ×probation           Probation ──fail──► Down
+///     └────────────────────────────────────┘
+/// ```
+///
+/// `Healthy` and `Suspect` peers are admitted for requests (a suspicion is
+/// not yet a verdict); `Down` and `Probation` peers are skipped by the
+/// [`ShardRouter`] until probation completes, so no request ever pays a
+/// connect timeout against a known-dead shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealthState {
+    /// The peer answers probes; requests route to it normally.
+    Healthy,
+    /// The peer missed this many consecutive probes (fewer than the
+    /// threshold); still admitted for requests.
+    Suspect(u32),
+    /// The peer crossed the failure threshold; requests skip it.
+    Down,
+    /// A down peer answered a probe again and has passed this many
+    /// consecutive probes; still skipped until the configured streak
+    /// completes.
+    Probation(u32),
+}
+
+/// One peer's health cell: the state machine plus the lock guarding it.
+pub(crate) struct PeerHealth {
+    state: Mutex<PeerHealthState>,
+}
+
+impl PeerHealth {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(PeerHealthState::Healthy),
+        }
+    }
+
+    pub(crate) fn state(&self) -> PeerHealthState {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether requests may route to this peer (`Healthy` or `Suspect`).
+    pub(crate) fn is_admitted(&self) -> bool {
+        matches!(
+            self.state(),
+            PeerHealthState::Healthy | PeerHealthState::Suspect(_)
+        )
+    }
+
+    /// Feed one probe (or request) outcome through the state machine.
+    /// Returns `true` exactly when this observation transitioned the peer
+    /// *into* `Down`, so callers can count `peers_down` once per outage.
+    pub(crate) fn observe(&self, ok: bool, config: &HealthConfig) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let (next, went_down) = match (*state, ok) {
+            (PeerHealthState::Healthy, true) => (PeerHealthState::Healthy, false),
+            (PeerHealthState::Suspect(_), true) => (PeerHealthState::Healthy, false),
+            (PeerHealthState::Down, true) | (PeerHealthState::Probation(_), true)
+                if config.probation_successes <= 1 =>
+            {
+                (PeerHealthState::Healthy, false)
+            }
+            (PeerHealthState::Down, true) => (PeerHealthState::Probation(1), false),
+            (PeerHealthState::Probation(n), true) => {
+                if n + 1 >= config.probation_successes {
+                    (PeerHealthState::Healthy, false)
+                } else {
+                    (PeerHealthState::Probation(n + 1), false)
+                }
+            }
+            (PeerHealthState::Healthy, false) => {
+                if config.failure_threshold <= 1 {
+                    (PeerHealthState::Down, true)
+                } else {
+                    (PeerHealthState::Suspect(1), false)
+                }
+            }
+            (PeerHealthState::Suspect(n), false) => {
+                if n + 1 >= config.failure_threshold {
+                    (PeerHealthState::Down, true)
+                } else {
+                    (PeerHealthState::Suspect(n + 1), false)
+                }
+            }
+            // Already down: a probation stumble is not a *new* outage.
+            (PeerHealthState::Down, false) | (PeerHealthState::Probation(_), false) => {
+                (PeerHealthState::Down, false)
+            }
+        };
+        *state = next;
+        went_down
     }
 }
 
@@ -274,6 +490,14 @@ pub struct ReplicationConfig {
     /// Largest accepted frame on the peer link (the accepted hello reply
     /// carries the peer's grid and prior).
     pub max_frame: usize,
+    /// Enable liveness probing of the peers (protocol 1.5): the server spawns
+    /// one probe task per reactor shard driving each peer's
+    /// [`PeerHealthState`].  `None` (the default) disables probing — the 1.4
+    /// behaviour.
+    pub health: Option<HealthConfig>,
+    /// Deterministic fault injection hook for the peer connect/send paths;
+    /// `None` (the default) in production.  See [`crate::fault`].
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ReplicationConfig {
@@ -287,6 +511,8 @@ impl Default for ReplicationConfig {
             retry_backoff: Duration::from_millis(50),
             max_backoff: Duration::from_secs(2),
             max_frame: 64 * 1024 * 1024,
+            health: None,
+            fault_plan: None,
         }
     }
 }
@@ -299,6 +525,9 @@ pub(crate) struct PeerLink {
     pushes_dropped: AtomicU64,
     connects: AtomicU64,
     link_errors: AtomicU64,
+    /// Liveness state driven by the probe task (protocol 1.5); stays
+    /// `Healthy` forever when probing is disabled.
+    health: PeerHealth,
 }
 
 impl PeerLink {
@@ -310,6 +539,7 @@ impl PeerLink {
             pushes_dropped: AtomicU64::new(0),
             connects: AtomicU64::new(0),
             link_errors: AtomicU64::new(0),
+            health: PeerHealth::new(),
         }
     }
 
@@ -491,6 +721,18 @@ impl<S: MatrixService> MatrixService for ReplicatingService<S> {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         self.inner.cache_stats()
+    }
+
+    fn resident_keys(&self) -> Vec<MatrixRequest> {
+        self.inner.resident_keys()
+    }
+
+    fn resident(&self, request: MatrixRequest) -> Option<Arc<PrivacyForestResponse>> {
+        self.inner.resident(request)
+    }
+
+    fn cache_generation(&self) -> u64 {
+        self.inner.cache_generation()
     }
 }
 
@@ -752,6 +994,22 @@ fn fail_link(
 /// pool).  Mirrors the client handshake, including the tolerant read of a
 /// plain structured rejection from a peer that does not share our key.
 fn connect_peer(endpoint: &str, config: &ReplicationConfig) -> Result<PeerConn, ServiceError> {
+    if let Some(plan) = &config.fault_plan {
+        if plan.is_partitioned(endpoint) {
+            return Err(ServiceError::transport(format!(
+                "peer connect failed: {endpoint} is partitioned (injected)"
+            )));
+        }
+        match plan.check(FaultSite::PeerConnect) {
+            None => {}
+            Some(FaultAction::Delay(pause)) => std::thread::sleep(pause),
+            Some(_) => {
+                return Err(ServiceError::transport(
+                    "peer connect failed: injected fault",
+                ))
+            }
+        }
+    }
     let stream = TcpStream::connect(endpoint)
         .map_err(|e| ServiceError::transport(format!("peer connect failed: {e}")))?;
     let _ = stream.set_nodelay(true);
@@ -811,6 +1069,198 @@ fn connect_peer(endpoint: &str, config: &ReplicationConfig) -> Result<PeerConn, 
     }
 }
 
+/// Everything one blocking probe needs, shared between the server-side probe
+/// tasks and the router's prober thread.
+pub(crate) struct ProbeContext {
+    codecs: Vec<WireCodec>,
+    cluster_key: Option<ClusterKey>,
+    health: HealthConfig,
+    fault_plan: Option<Arc<FaultPlan>>,
+    max_frame: usize,
+}
+
+/// One blocking liveness probe: connect, hello, sealed `Ping`, check the
+/// echoed nonce.  Every socket operation is bounded by
+/// [`HealthConfig::probe_timeout`]; any failure (partition, timeout, bad MAC,
+/// wrong nonce) is simply `false` — the state machine turns repetition into a
+/// verdict.
+fn probe_peer(endpoint: &str, ctx: &ProbeContext) -> bool {
+    static PROBE_NONCE: AtomicU64 = AtomicU64::new(1);
+    let config = ReplicationConfig {
+        codecs: ctx.codecs.clone(),
+        cluster_key: ctx.cluster_key.clone(),
+        connect_timeout: ctx.health.probe_timeout,
+        max_frame: ctx.max_frame,
+        fault_plan: ctx.fault_plan.clone(),
+        ..ReplicationConfig::default()
+    };
+    let Ok(mut conn) = connect_peer(endpoint, &config) else {
+        return false;
+    };
+    // connect_peer hands the stream back nonblocking (for the reactor); the
+    // probe runs blocking with a hard read deadline instead.
+    if conn.stream.set_nonblocking(false).is_err()
+        || conn
+            .stream
+            .set_read_timeout(Some(ctx.health.probe_timeout))
+            .is_err()
+    {
+        return false;
+    }
+    let nonce = PROBE_NONCE.fetch_add(1, Ordering::Relaxed);
+    let frame = conn.codec.encode_frame(&Ping { nonce });
+    let frame = match &conn.auth {
+        Some(key) => key.seal(frame),
+        None => frame,
+    };
+    if send_frame_blocking(&mut conn.stream, &frame, None).is_err() {
+        return false;
+    }
+    let Ok((kind, header, mut payload)) =
+        read_frame_blocking_raw(&mut conn.stream, ctx.max_frame, None)
+    else {
+        return false;
+    };
+    if kind != FrameKind::Pong {
+        return false;
+    }
+    if let Some(key) = &conn.auth {
+        if key.open_split(&header, &mut payload).is_err() {
+            return false;
+        }
+    }
+    matches!(
+        conn.codec.decode_payload::<Pong>(&payload),
+        Ok(pong) if pong.nonce == nonce
+    )
+}
+
+/// Spawn one shard's probe task on that shard's reactor (no-op unless
+/// [`ReplicationConfig::health`] is set).  Like replication flushing, peer
+/// `i` is probed by the task on reactor shard `i % shard_count`, so probing
+/// scales with the reactors instead of serializing on one.
+pub(crate) fn spawn_probe_shard(
+    handle: &Handle,
+    replicator: Arc<Replicator>,
+    dispatch: Arc<ThreadPool>,
+    cluster: Arc<ClusterMetrics>,
+    shard_index: usize,
+    shard_count: usize,
+) {
+    if replicator.config.health.is_none() {
+        return;
+    }
+    handle.spawn(ProbeTask {
+        rescan: handle.sleep(Duration::ZERO),
+        handle: handle.clone(),
+        replicator,
+        dispatch,
+        cluster,
+        shard_index,
+        shard_count: shard_count.max(1),
+        known_links: 0,
+        probes: Vec::new(),
+    });
+}
+
+/// Per-peer probe progress: waiting out the interval, or waiting for the
+/// blocking probe (running on the dispatch pool) to report back.
+enum ProbeState {
+    Idle(Sleep),
+    Waiting(oneshot::Receiver<bool>),
+}
+
+/// Reactor task probing this shard's peers every
+/// [`HealthConfig::probe_interval`].
+///
+/// The blocking probe itself runs on the dispatch pool and reports through a
+/// oneshot, so the reactor never blocks; a rescan timer re-arms every
+/// interval so peers added after bind ([`Replicator::add_peer`]) are picked
+/// up without a dedicated wakeup path.
+struct ProbeTask {
+    handle: Handle,
+    replicator: Arc<Replicator>,
+    dispatch: Arc<ThreadPool>,
+    cluster: Arc<ClusterMetrics>,
+    shard_index: usize,
+    shard_count: usize,
+    known_links: usize,
+    rescan: Sleep,
+    /// Probe state per owned link, tagged with its global index.
+    probes: Vec<(usize, ProbeState)>,
+}
+
+impl Future for ProbeTask {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.handle.is_shutdown() {
+            return Poll::Ready(());
+        }
+        let Some(health) = this.replicator.config.health.clone() else {
+            return Poll::Ready(());
+        };
+        // Keep the rescan timer armed so late add_peer calls are adopted.
+        while Pin::new(&mut this.rescan).poll(cx).is_ready() {
+            this.rescan = this.handle.sleep(health.probe_interval);
+        }
+        let links = this.replicator.links();
+        while this.known_links < links.len() {
+            let index = this.known_links;
+            this.known_links += 1;
+            if index % this.shard_count == this.shard_index {
+                this.probes
+                    .push((index, ProbeState::Idle(this.handle.sleep(Duration::ZERO))));
+            }
+        }
+        if this.probes.is_empty() {
+            return Poll::Pending;
+        }
+        let ctx = Arc::new(ProbeContext {
+            codecs: this.replicator.config.codecs.clone(),
+            cluster_key: this.replicator.config.cluster_key.clone(),
+            health: health.clone(),
+            fault_plan: this.replicator.config.fault_plan.clone(),
+            max_frame: this.replicator.config.max_frame,
+        });
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for (index, state) in this.probes.iter_mut() {
+                match state {
+                    ProbeState::Idle(sleep) => {
+                        if Pin::new(sleep).poll(cx).is_ready() {
+                            let (tx, rx) = oneshot::channel();
+                            let endpoint = links[*index].endpoint.clone();
+                            let ctx = Arc::clone(&ctx);
+                            this.dispatch.execute(move || {
+                                let _ = tx.send(probe_peer(&endpoint, &ctx));
+                            });
+                            *state = ProbeState::Waiting(rx);
+                            progress = true;
+                        }
+                    }
+                    ProbeState::Waiting(rx) => {
+                        if let Poll::Ready(result) = Pin::new(rx).poll(cx) {
+                            // A dropped sender (pool shutting down) reads as a
+                            // failed probe; the state machine absorbs it.
+                            let ok = result.unwrap_or(false);
+                            this.cluster.count_probe_sent();
+                            if links[*index].health.observe(ok, &health) {
+                                this.cluster.count_peer_down();
+                            }
+                            *state = ProbeState::Idle(this.handle.sleep(health.probe_interval));
+                            progress = true;
+                        }
+                    }
+                }
+            }
+        }
+        Poll::Pending
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Shard router
 // ---------------------------------------------------------------------------
@@ -825,6 +1275,11 @@ pub struct RouterConfig {
     pub retry_rounds: usize,
     /// Backoff before round *n* (doubling: `retry_backoff << (n - 1)`).
     pub retry_backoff: Duration,
+    /// Enable health tracking (protocol 1.5): a prober thread pings every
+    /// shard each interval, request outcomes feed the same state machine,
+    /// and routing skips `Down`/`Probation` shards *before* paying a connect
+    /// timeout.  `None` (the default) is the 1.4 always-try behaviour.
+    pub health: Option<HealthConfig>,
 }
 
 impl Default for RouterConfig {
@@ -833,6 +1288,7 @@ impl Default for RouterConfig {
             client: ClientConfig::default(),
             retry_rounds: 3,
             retry_backoff: Duration::from_millis(25),
+            health: None,
         }
     }
 }
@@ -844,6 +1300,9 @@ struct ShardSlot {
     requests: AtomicU64,
     connects: AtomicU64,
     link_errors: AtomicU64,
+    /// Liveness state fed by the prober thread and by request outcomes;
+    /// stays `Healthy` forever when [`RouterConfig::health`] is `None`.
+    health: PeerHealth,
 }
 
 impl ShardSlot {
@@ -854,6 +1313,7 @@ impl ShardSlot {
             requests: AtomicU64::new(0),
             connects: AtomicU64::new(0),
             link_errors: AtomicU64::new(0),
+            health: PeerHealth::new(),
         }
     }
 
@@ -888,7 +1348,8 @@ type RankCache = Mutex<HashMap<(u8, usize), Arc<Vec<usize>>>>;
 pub struct ShardRouter {
     endpoints: Vec<String>,
     config: RouterConfig,
-    shards: Vec<ShardSlot>,
+    /// Shared with the prober thread when [`RouterConfig::health`] is set.
+    shards: Arc<Vec<ShardSlot>>,
     tree: Arc<LocationTree>,
     prior: Arc<PriorDistribution>,
     failovers: AtomicU64,
@@ -897,6 +1358,76 @@ pub struct ShardRouter {
     /// the cache never invalidates and is never evicted.
     rank_cache: RankCache,
     rank_memo_hits: AtomicU64,
+    probes_sent: Arc<AtomicU64>,
+    peers_down: Arc<AtomicU64>,
+    /// Joined (via `Drop`) when the router goes away.
+    /// Held for its `Drop` (which stops and joins the thread); never read.
+    _prober: Option<RouterProber>,
+}
+
+/// The router's background prober thread; stopping is edge-triggered through
+/// the shared flag and the thread sleeps in short slices, so dropping a
+/// router never stalls for a full probe interval.
+struct RouterProber {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for RouterProber {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn spawn_router_prober(
+    shards: Arc<Vec<ShardSlot>>,
+    config: &RouterConfig,
+    health: HealthConfig,
+    probes_sent: Arc<AtomicU64>,
+    peers_down: Arc<AtomicU64>,
+) -> RouterProber {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let ctx = ProbeContext {
+        codecs: config.client.codecs.clone(),
+        cluster_key: config.client.cluster_key.clone(),
+        health: health.clone(),
+        fault_plan: config.client.fault_plan.clone(),
+        max_frame: config.client.max_frame,
+    };
+    let thread = std::thread::Builder::new()
+        .name("corgi-router-probe".into())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                for slot in shards.iter() {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let ok = probe_peer(&slot.endpoint, &ctx);
+                    probes_sent.fetch_add(1, Ordering::Relaxed);
+                    if slot.health.observe(ok, &health) {
+                        peers_down.fetch_add(1, Ordering::Relaxed);
+                        // Drop the cached connection so no request ever
+                        // reuses the dead socket.
+                        *slot.conn.lock().unwrap_or_else(|e| e.into_inner()) = None;
+                    }
+                }
+                let mut slept = Duration::ZERO;
+                while slept < health.probe_interval && !stop_flag.load(Ordering::Relaxed) {
+                    let slice = Duration::from_millis(10).min(health.probe_interval - slept);
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+        })
+        .expect("spawning the router probe thread");
+    RouterProber {
+        stop,
+        thread: Some(thread),
+    }
 }
 
 impl ShardRouter {
@@ -914,10 +1445,11 @@ impl ShardRouter {
                 "shard router needs at least one endpoint",
             ));
         }
-        let shards: Vec<ShardSlot> = endpoints.iter().cloned().map(ShardSlot::new).collect();
+        let shards: Arc<Vec<ShardSlot>> =
+            Arc::new(endpoints.iter().cloned().map(ShardSlot::new).collect());
         let mut last_error = None;
         let mut adopted = None;
-        for slot in &shards {
+        for slot in shards.iter() {
             match connect_slot(slot, &config.client) {
                 Ok(transport) => {
                     adopted = Some((transport.tree(), transport.prior()));
@@ -930,6 +1462,17 @@ impl ShardRouter {
             return Err(last_error
                 .unwrap_or_else(|| ServiceError::transport("no shard endpoint reachable")));
         };
+        let probes_sent = Arc::new(AtomicU64::new(0));
+        let peers_down = Arc::new(AtomicU64::new(0));
+        let prober = config.health.clone().map(|health| {
+            spawn_router_prober(
+                Arc::clone(&shards),
+                &config,
+                health,
+                Arc::clone(&probes_sent),
+                Arc::clone(&peers_down),
+            )
+        });
         Ok(Self {
             endpoints,
             config,
@@ -939,6 +1482,9 @@ impl ShardRouter {
             failovers: AtomicU64::new(0),
             rank_cache: Mutex::new(HashMap::new()),
             rank_memo_hits: AtomicU64::new(0),
+            probes_sent,
+            peers_down,
+            _prober: prober,
         })
     }
 
@@ -953,8 +1499,28 @@ impl ShardRouter {
         ClusterStats {
             failovers: self.failovers.load(Ordering::Relaxed),
             rank_memo_hits: self.rank_memo_hits.load(Ordering::Relaxed),
+            probes_sent: self.probes_sent.load(Ordering::Relaxed),
+            peers_down: self.peers_down.load(Ordering::Relaxed),
             peers: self.shards.iter().map(ShardSlot::stats).collect(),
             ..ClusterStats::default()
+        }
+    }
+
+    /// The health state of each shard, in endpoint order.  Every shard
+    /// reports [`Healthy`](PeerHealthState::Healthy) forever when
+    /// [`RouterConfig::health`] is `None`.
+    pub fn shard_health(&self) -> Vec<PeerHealthState> {
+        self.shards.iter().map(|slot| slot.health.state()).collect()
+    }
+
+    /// Feed a request outcome into a slot's health cell (no-op without a
+    /// health config), counting a fresh `Down` transition.
+    fn observe_slot(&self, slot: &ShardSlot, ok: bool) {
+        if let Some(health) = &self.config.health {
+            if slot.health.observe(ok, health) {
+                self.peers_down.fetch_add(1, Ordering::Relaxed);
+                *slot.conn.lock().unwrap_or_else(|e| e.into_inner()) = None;
+            }
         }
     }
 
@@ -1009,7 +1575,25 @@ impl MatrixService for ShardRouter {
                 let exponent = u32::try_from(round - 1).unwrap_or(16).min(16);
                 std::thread::sleep(self.config.retry_backoff * (1u32 << exponent));
             }
-            for &index in order.iter() {
+            // Skip Down/Probation shards *before* paying a connect timeout
+            // (re-checked per round: health moves while we back off).  If
+            // the prober has condemned every shard, fall back to the full
+            // ranking — trying a dead shard beats refusing to try at all.
+            let admitted: Vec<usize> = if self.config.health.is_some() {
+                let alive: Vec<usize> = order
+                    .iter()
+                    .copied()
+                    .filter(|&index| self.shards[index].health.is_admitted())
+                    .collect();
+                if alive.is_empty() {
+                    order.to_vec()
+                } else {
+                    alive
+                }
+            } else {
+                order.to_vec()
+            };
+            for &index in &admitted {
                 if !first_attempt {
                     self.failovers.fetch_add(1, Ordering::Relaxed);
                 }
@@ -1019,6 +1603,7 @@ impl MatrixService for ShardRouter {
                     Ok(transport) => transport,
                     Err(error) => {
                         slot.link_errors.fetch_add(1, Ordering::Relaxed);
+                        self.observe_slot(slot, false);
                         last_error = error;
                         continue;
                     }
@@ -1026,6 +1611,7 @@ impl MatrixService for ShardRouter {
                 match transport.privacy_forest(request) {
                     Ok(forest) => {
                         slot.requests.fetch_add(1, Ordering::Relaxed);
+                        self.observe_slot(slot, true);
                         return Ok(forest);
                     }
                     Err(error) => match error.kind {
@@ -1036,13 +1622,15 @@ impl MatrixService for ShardRouter {
                         | ServiceErrorKind::UnsupportedVersion
                         | ServiceErrorKind::Unauthenticated => return Err(error),
                         // A shed is retryable and the connection stays
-                        // synchronized: keep it, try the next shard.
+                        // synchronized: keep it, try the next shard.  The
+                        // shard is alive — a shed is not a health failure.
                         ServiceErrorKind::Overloaded => last_error = error,
                         // Transport failures poison the connection: drop it
                         // so the next attempt reconnects fresh.
                         ServiceErrorKind::Transport | ServiceErrorKind::Internal => {
                             slot.link_errors.fetch_add(1, Ordering::Relaxed);
                             *slot.conn.lock().unwrap_or_else(|e| e.into_inner()) = None;
+                            self.observe_slot(slot, false);
                             last_error = error;
                         }
                     },
@@ -1094,6 +1682,25 @@ mod tests {
         }
         // Over a whole key grid the ownership spreads across shards.
         assert!(owners.len() > 1, "all keys landed on one shard: {owners:?}");
+    }
+
+    #[test]
+    fn rendezvous_rank_spreads_keys_over_endpoints_differing_only_in_port() {
+        // Loopback clusters (tests, loadgen, examples) produce endpoints that
+        // differ in a handful of port digits.  Without a finalization
+        // avalanche the shared key suffix preserved the relative order of
+        // the endpoint hashes, electing one shard as the owner of *every*
+        // key — a routing monoculture that turned the cluster into a single
+        // hot shard.
+        let endpoints = ["127.0.0.1:39147", "127.0.0.1:40765", "127.0.0.1:44057"];
+        let mut owners = std::collections::HashSet::new();
+        for delta in 0..10usize {
+            owners.insert(rendezvous_rank(&endpoints, 1, delta)[0]);
+        }
+        assert!(
+            owners.len() > 1,
+            "every key elected the same owner: {owners:?}"
+        );
     }
 
     #[test]
@@ -1150,12 +1757,15 @@ mod tests {
         let router = ShardRouter {
             endpoints: endpoints.clone(),
             config: RouterConfig::default(),
-            shards: endpoints.iter().cloned().map(ShardSlot::new).collect(),
+            shards: Arc::new(endpoints.iter().cloned().map(ShardSlot::new).collect()),
             tree: Arc::new(corgi_core::LocationTree::new(grid)),
             prior: Arc::new(PriorDistribution::uniform(16)),
             failovers: AtomicU64::new(0),
             rank_cache: Mutex::new(HashMap::new()),
             rank_memo_hits: AtomicU64::new(0),
+            probes_sent: Arc::new(AtomicU64::new(0)),
+            peers_down: Arc::new(AtomicU64::new(0)),
+            _prober: None,
         };
         for _ in 0..3 {
             for delta in 0..5usize {
@@ -1177,6 +1787,57 @@ mod tests {
     }
 
     #[test]
+    fn health_state_machine_follows_the_documented_transitions() {
+        let config = HealthConfig {
+            failure_threshold: 3,
+            probation_successes: 2,
+            ..HealthConfig::default()
+        };
+        let health = PeerHealth::new();
+        assert_eq!(health.state(), PeerHealthState::Healthy);
+        assert!(health.is_admitted());
+
+        // Failures walk Healthy → Suspect(1) → Suspect(2) → Down; only the
+        // threshold-crossing observation reports a fresh outage.
+        assert!(!health.observe(false, &config));
+        assert_eq!(health.state(), PeerHealthState::Suspect(1));
+        assert!(health.is_admitted(), "suspicion is not yet a verdict");
+        assert!(!health.observe(false, &config));
+        assert_eq!(health.state(), PeerHealthState::Suspect(2));
+        assert!(health.observe(false, &config), "third strike goes Down");
+        assert_eq!(health.state(), PeerHealthState::Down);
+        assert!(!health.is_admitted());
+        assert!(
+            !health.observe(false, &config),
+            "already down: not a new outage"
+        );
+
+        // Recovery: Down → Probation(1) → Healthy after the success streak;
+        // probation peers stay excluded until the streak completes.
+        assert!(!health.observe(true, &config));
+        assert_eq!(health.state(), PeerHealthState::Probation(1));
+        assert!(!health.is_admitted(), "probation is still skipped");
+        assert!(!health.observe(true, &config));
+        assert_eq!(health.state(), PeerHealthState::Healthy);
+        assert!(health.is_admitted());
+
+        // A probation stumble drops straight back to Down (silently).
+        health.observe(false, &config);
+        health.observe(false, &config);
+        health.observe(false, &config);
+        health.observe(true, &config);
+        assert_eq!(health.state(), PeerHealthState::Probation(1));
+        assert!(!health.observe(false, &config));
+        assert_eq!(health.state(), PeerHealthState::Down);
+
+        // A suspect peer that answers again snaps back to Healthy.
+        let flaky = PeerHealth::new();
+        flaky.observe(false, &config);
+        assert!(!flaky.observe(true, &config));
+        assert_eq!(flaky.state(), PeerHealthState::Healthy);
+    }
+
+    #[test]
     fn cluster_stats_roundtrip_through_json() {
         let stats = ClusterStats {
             pushes_received: 7,
@@ -1185,6 +1846,10 @@ mod tests {
             auth_rejections: 2,
             failovers: 4,
             rank_memo_hits: 6,
+            probes_sent: 11,
+            peers_down: 1,
+            rewarm_keys_pulled: 5,
+            pushes_repaired: 2,
             peers: vec![PeerStats {
                 endpoint: "127.0.0.1:7001".into(),
                 pushes_sent: 9,

@@ -49,9 +49,19 @@
 //! StatsRequest      = (empty payload)
 //! StatsReport       = T₁₇ transport(u64×14) T₁₈ present(u8) [cache(u64×5)]
 //!                     T₁₉ present(u8) [cluster]
-//!   cluster         = counters(u64×5) n(u32) peer×n
+//!   cluster         = counters(u64×10) n(u32) peer×n
 //!   peer            = endpoint(str) counters(u64×6)
+//! Ping              = T₂₀ nonce(u64)
+//! Pong              = T₂₀ nonce(u64)
+//! Digest            = T₂₁ present(u8) [request]
+//! DigestReply       = T₂₂ generation(u64) T₂₃ n(u32) request×n
+//!                     T₁₆ present(u8) [forest body]
 //! ```
+//!
+//! The four cluster counters appended in protocol 1.5 (probes sent, peers
+//! down, re-warm keys pulled, pushes repaired) extend the fixed-width run
+//! in place: both ends of a connection run the same build of this module,
+//! so the widened run decodes symmetrically in either codec.
 //!
 //! `Hello`/`HelloReply` have binary encodings for completeness (and so the
 //! property tests can cover every payload), but on the wire they always
@@ -60,14 +70,14 @@
 //!
 //! [`CellId::pack`]: corgi_hexgrid::CellId::pack
 
-use crate::cluster::{ClusterStats, PeerStats, StatsReport, StatsRequest};
+use crate::cluster::{ClusterStats, PeerStats, Ping, Pong, StatsReport, StatsRequest};
 use crate::messages::{
     ForestEntry, MatrixRequest, PrivacyForestResponse, ProtocolVersion, RequestEnvelope,
     ResponseEnvelope, ResponsePayload, ServiceError, ServiceErrorKind, WireCodec,
 };
 use crate::service::CacheStats;
 use crate::transport::{FrameKind, HelloFrame, HelloReply, TransportStats, FRAME_HEADER_LEN};
-use crate::warm::{WarmFailure, WarmPush, WarmReport, WarmRequest};
+use crate::warm::{DigestReply, DigestRequest, WarmFailure, WarmPush, WarmReport, WarmRequest};
 use corgi_core::ObfuscationMatrix;
 use corgi_datagen::PriorDistribution;
 use corgi_geo::LatLng;
@@ -95,6 +105,10 @@ const TAG_FOREST: u8 = 0x10;
 const TAG_TRANSPORT: u8 = 0x11;
 const TAG_CACHE: u8 = 0x12;
 const TAG_CLUSTER: u8 = 0x13;
+const TAG_NONCE: u8 = 0x14;
+const TAG_PULL: u8 = 0x15;
+const TAG_GENERATION: u8 = 0x16;
+const TAG_KEYS: u8 = 0x17;
 
 /// Why a binary payload could not be decoded.
 ///
@@ -778,6 +792,116 @@ impl WireMessage for StatsRequest {
     }
 }
 
+impl WireMessage for Ping {
+    const KIND: FrameKind = FrameKind::Ping;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        put_u8(out, TAG_NONCE);
+        put_u64(out, self.nonce);
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.tag(TAG_NONCE, "ping.nonce")?;
+        Ok(Self {
+            nonce: r.u64("ping.nonce")?,
+        })
+    }
+}
+
+impl WireMessage for Pong {
+    const KIND: FrameKind = FrameKind::Pong;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        put_u8(out, TAG_NONCE);
+        put_u64(out, self.nonce);
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.tag(TAG_NONCE, "pong.nonce")?;
+        Ok(Self {
+            nonce: r.u64("pong.nonce")?,
+        })
+    }
+}
+
+impl WireMessage for DigestRequest {
+    const KIND: FrameKind = FrameKind::Digest;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        put_u8(out, TAG_PULL);
+        match &self.pull {
+            None => put_u8(out, 0),
+            Some(key) => {
+                put_u8(out, 1);
+                put_matrix_request(out, key);
+            }
+        }
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.tag(TAG_PULL, "digest.pull")?;
+        let pull = match r.u8("digest.pull presence")? {
+            0 => None,
+            1 => Some(read_matrix_request(r)?),
+            other => {
+                return Err(WireError::new(format!(
+                    "invalid option presence byte {other}"
+                )))
+            }
+        };
+        Ok(Self { pull })
+    }
+}
+
+impl WireMessage for DigestReply {
+    const KIND: FrameKind = FrameKind::DigestReply;
+
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        put_u8(out, TAG_GENERATION);
+        put_u64(out, self.generation);
+        put_u8(out, TAG_KEYS);
+        put_count(out, self.keys.len());
+        for key in &self.keys {
+            put_matrix_request(out, key);
+        }
+        put_u8(out, TAG_FOREST);
+        match &self.forest {
+            None => put_u8(out, 0),
+            Some(forest) => {
+                put_u8(out, 1);
+                put_forest(out, forest);
+            }
+        }
+    }
+
+    fn decode_binary(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.tag(TAG_GENERATION, "digest.generation")?;
+        let generation = r.u64("digest.generation")?;
+        r.tag(TAG_KEYS, "digest.keys")?;
+        // Each key carries a privacy level (u8) and a delta (u64).
+        let n = r.count(9, "digest.keys")?;
+        let mut keys = Vec::with_capacity(n);
+        for _ in 0..n {
+            keys.push(read_matrix_request(r)?);
+        }
+        r.tag(TAG_FOREST, "digest.forest")?;
+        let forest = match r.u8("digest.forest presence")? {
+            0 => None,
+            1 => Some(Arc::new(read_forest(r)?)),
+            other => {
+                return Err(WireError::new(format!(
+                    "invalid option presence byte {other}"
+                )))
+            }
+        };
+        Ok(Self {
+            generation,
+            keys,
+            forest,
+        })
+    }
+}
+
 fn put_cluster_stats(out: &mut Vec<u8>, c: &ClusterStats) {
     put_u64(out, c.pushes_received);
     put_u64(out, c.pushes_deduped);
@@ -785,6 +909,10 @@ fn put_cluster_stats(out: &mut Vec<u8>, c: &ClusterStats) {
     put_u64(out, c.auth_rejections);
     put_u64(out, c.failovers);
     put_u64(out, c.rank_memo_hits);
+    put_u64(out, c.probes_sent);
+    put_u64(out, c.peers_down);
+    put_u64(out, c.rewarm_keys_pulled);
+    put_u64(out, c.pushes_repaired);
     put_count(out, c.peers.len());
     for peer in &c.peers {
         put_str(out, &peer.endpoint);
@@ -804,6 +932,10 @@ fn read_cluster_stats(r: &mut WireReader<'_>) -> Result<ClusterStats, WireError>
     let auth_rejections = r.u64("cluster.auth_rejections")?;
     let failovers = r.u64("cluster.failovers")?;
     let rank_memo_hits = r.u64("cluster.rank_memo_hits")?;
+    let probes_sent = r.u64("cluster.probes_sent")?;
+    let peers_down = r.u64("cluster.peers_down")?;
+    let rewarm_keys_pulled = r.u64("cluster.rewarm_keys_pulled")?;
+    let pushes_repaired = r.u64("cluster.pushes_repaired")?;
     // Each peer carries at least an endpoint length and six counters.
     let n = r.count(52, "cluster.peers")?;
     let mut peers = Vec::with_capacity(n);
@@ -825,6 +957,10 @@ fn read_cluster_stats(r: &mut WireReader<'_>) -> Result<ClusterStats, WireError>
         auth_rejections,
         failovers,
         rank_memo_hits,
+        probes_sent,
+        peers_down,
+        rewarm_keys_pulled,
+        pushes_repaired,
         peers,
     })
 }
@@ -1113,6 +1249,10 @@ mod tests {
                 auth_rejections: 4,
                 failovers: 0,
                 rank_memo_hits: 8,
+                probes_sent: 21,
+                peers_down: 1,
+                rewarm_keys_pulled: 6,
+                pushes_repaired: 4,
                 peers: vec![PeerStats {
                     endpoint: "127.0.0.1:9001".into(),
                     pushes_sent: 7,
@@ -1128,6 +1268,35 @@ mod tests {
             transport: TransportStats::default(),
             cache: None,
             cluster: None,
+        });
+        // Protocol 1.5 resilience messages.
+        binary_roundtrip(&Ping { nonce: u64::MAX });
+        binary_roundtrip(&Pong { nonce: 0 });
+        binary_roundtrip(&DigestRequest { pull: None });
+        binary_roundtrip(&DigestRequest {
+            pull: Some(MatrixRequest {
+                privacy_level: 2,
+                delta: 1,
+            }),
+        });
+        binary_roundtrip(&DigestReply {
+            generation: 343,
+            keys: vec![
+                MatrixRequest {
+                    privacy_level: 1,
+                    delta: 0,
+                },
+                MatrixRequest {
+                    privacy_level: 3,
+                    delta: 6,
+                },
+            ],
+            forest: None,
+        });
+        binary_roundtrip(&DigestReply {
+            generation: 1,
+            keys: Vec::new(),
+            forest: Some(Arc::new(sample_forest())),
         });
     }
 

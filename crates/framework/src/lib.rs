@@ -54,7 +54,7 @@
 //! grid through whatever caching layer the stack holds, making steady-state
 //! traffic cache-hit dominated.
 //!
-//! # The cluster subsystem (protocol 1.4)
+//! # The cluster subsystem (protocols 1.4–1.5)
 //!
 //! [`mod@cluster`] scales the single-server stack out horizontally:
 //!
@@ -71,6 +71,15 @@
 //! * wire-level observability — a `Stats` frame returns a [`StatsReport`]
 //!   (transport + cache + cluster counters) without touching in-process
 //!   accessors.
+//!
+//! Protocol 1.5 adds the resilience layer: `Ping`/`Pong` liveness probes
+//! drive a per-peer health state machine ([`cluster::PeerHealthState`]) so
+//! routing skips known-dead shards before paying a connect timeout;
+//! `Digest`/`DigestReply` frames let a restarted shard re-warm its cache
+//! from peers without repeating any LP solve
+//! ([`TcpServer::rewarm_from_peers`]); and an optional [`FaultPlan`]
+//! ([`mod@fault`]) injects deterministic failures through the transport for
+//! chaos testing.
 //!
 //! [`CorgiClient`] implements the trusted device side against the trait
 //! object; [`messages`] defines the serde-serializable wire format — including
@@ -104,6 +113,7 @@ mod client;
 pub mod cluster;
 pub mod codec;
 pub mod executor;
+pub mod fault;
 pub mod messages;
 mod pool;
 mod provider;
@@ -116,11 +126,13 @@ pub mod warm;
 pub use auth::ClusterKey;
 pub use client::{CorgiClient, ObfuscationOutcome};
 pub use cluster::{
-    rendezvous_rank, ClusterStats, PeerStats, ReplicatingService, ReplicationConfig, Replicator,
-    RouterConfig, ShardRouter, StatsReport, StatsRequest,
+    rendezvous_rank, ClusterStats, HealthConfig, PeerHealthState, PeerStats, Ping, Pong,
+    ReplicatingService, ReplicationConfig, Replicator, RouterConfig, ShardRouter, StatsReport,
+    StatsRequest,
 };
 pub use codec::{WireMessage, WireReader};
 pub use executor::ReactorBackend;
+pub use fault::{FaultAction, FaultPlan, FaultSite};
 pub use messages::{ServiceError, ServiceErrorKind, WireCodec};
 pub use pool::{JobPanic, ThreadPool};
 pub use provider::MetadataAttributeProvider;
@@ -132,4 +144,6 @@ pub use service::{
     ServiceStats, WarmInsertOutcome, WarmSeedStats,
 };
 pub use transport::{ClientConfig, TcpServer, TcpTransport, TransportConfig, TransportStats};
-pub use warm::{warm, WarmFailure, WarmPush, WarmReport, WarmRequest};
+pub use warm::{
+    warm, DigestReply, DigestRequest, RewarmReport, WarmFailure, WarmPush, WarmReport, WarmRequest,
+};

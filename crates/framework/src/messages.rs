@@ -86,16 +86,20 @@ pub struct ProtocolVersion {
 /// 1.4 added the cluster tier of [`crate::cluster`] — the `WarmPush`
 /// peer-replication frame, the `Stats`/`StatsReply` counter frames, HMAC
 /// frame authentication negotiated in the hello exchange
-/// ([`crate::auth`]), and the [`Unauthenticated`] error kind.  Every
-/// step is additive, so 1.0–1.3 peers still interoperate (a 1.4 side
-/// falls back to JSON frames for pre-1.2 peers; the new frame kinds and
-/// the auth handshake fields are only ever used between peers that
-/// negotiated them).
+/// ([`crate::auth`]), and the [`Unauthenticated`] error kind; 1.5 added
+/// the cluster resilience layer — `Ping`/`Pong` liveness probe frames
+/// driving the per-peer health state machine, `Digest`/`DigestReply`
+/// anti-entropy frames (a recovering shard re-warms its cache from peer
+/// digests instead of re-solving), and the dual-key HMAC rotation window
+/// (`CORGI_CLUSTER_KEY_PREVIOUS`).  Every step is additive, so 1.0–1.4
+/// peers still interoperate (a 1.5 side falls back to JSON frames for
+/// pre-1.2 peers; the new frame kinds and the auth handshake fields are
+/// only ever used between peers that negotiated them).
 ///
 /// [`Transport`]: ServiceErrorKind::Transport
 /// [`Overloaded`]: ServiceErrorKind::Overloaded
 /// [`Unauthenticated`]: ServiceErrorKind::Unauthenticated
-pub const PROTOCOL_VERSION: ProtocolVersion = ProtocolVersion { major: 1, minor: 4 };
+pub const PROTOCOL_VERSION: ProtocolVersion = ProtocolVersion { major: 1, minor: 5 };
 
 impl ProtocolVersion {
     /// Whether an envelope carrying `other` can be served by this version.

@@ -121,6 +121,35 @@ pub trait MatrixService: Send + Sync {
     fn cache_stats(&self) -> Option<CacheStats> {
         None
     }
+
+    /// The `(privacy_level, δ)` keys currently resident in the stack's cache,
+    /// in no particular order.
+    ///
+    /// This is the anti-entropy digest source (protocol 1.5): a recovering
+    /// peer compares a healthy shard's resident keys against its own and pulls
+    /// the diff.  The default (empty) marks a stack without a caching layer.
+    fn resident_keys(&self) -> Vec<MatrixRequest> {
+        Vec::new()
+    }
+
+    /// The cached forest for `request`, if resident — a pure peek: no
+    /// generation, no hit/miss accounting, no LRU touch.
+    ///
+    /// Digest pulls use this so serving anti-entropy traffic never perturbs
+    /// the cache counters or recency order.  The default (`None`) marks a
+    /// stack without a caching layer.
+    fn resident(&self, request: MatrixRequest) -> Option<Arc<PrivacyForestResponse>> {
+        let _ = request;
+        None
+    }
+
+    /// A monotonic generation counter bumped on every cache insert, tagging
+    /// digest replies so a puller can tell whether a peer's summary is stale.
+    ///
+    /// The default (0) marks a stack without a caching layer.
+    fn cache_generation(&self) -> u64 {
+        0
+    }
 }
 
 /// Outcome of [`MatrixService::warm_insert`]: what a service did with a forest
@@ -161,6 +190,18 @@ impl<S: MatrixService + ?Sized> MatrixService for Arc<S> {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         (**self).cache_stats()
+    }
+
+    fn resident_keys(&self) -> Vec<MatrixRequest> {
+        (**self).resident_keys()
+    }
+
+    fn resident(&self, request: MatrixRequest) -> Option<Arc<PrivacyForestResponse>> {
+        (**self).resident(request)
+    }
+
+    fn cache_generation(&self) -> u64 {
+        (**self).cache_generation()
     }
 }
 
@@ -560,6 +601,8 @@ pub struct CachingService<S> {
     misses: AtomicU64,
     coalesced: AtomicU64,
     evictions: AtomicU64,
+    /// Bumped on every cache insert; tags anti-entropy digests (1.5).
+    generation: AtomicU64,
 }
 
 impl<S: MatrixService> CachingService<S> {
@@ -584,6 +627,7 @@ impl<S: MatrixService> CachingService<S> {
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -640,6 +684,7 @@ impl<S: MatrixService> CachingService<S> {
     }
 
     fn cache_insert(&self, key: CacheKey, response: Arc<PrivacyForestResponse>) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
         let mut shard = self
             .shard_for(&key)
             .lock()
@@ -753,6 +798,42 @@ impl<S: MatrixService> MatrixService for CachingService<S> {
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(CachingService::cache_stats(self))
     }
+
+    fn resident_keys(&self) -> Vec<MatrixRequest> {
+        self.shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entries
+                    .keys()
+                    .map(|&(privacy_level, delta)| MatrixRequest {
+                        privacy_level,
+                        delta,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    fn resident(&self, request: MatrixRequest) -> Option<Arc<PrivacyForestResponse>> {
+        let key = (request.privacy_level, request.delta);
+        let shard = self
+            .shard_for(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // A peek, not a get: no tick bump, no hit/miss accounting, so serving
+        // anti-entropy pulls never perturbs LRU order or the cache counters.
+        shard
+            .entries
+            .get(&key)
+            .map(|(forest, _)| Arc::clone(forest))
+    }
+
+    fn cache_generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -851,6 +932,18 @@ impl<S: MatrixService> MatrixService for InstrumentedService<S> {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         self.inner.cache_stats()
+    }
+
+    fn resident_keys(&self) -> Vec<MatrixRequest> {
+        self.inner.resident_keys()
+    }
+
+    fn resident(&self, request: MatrixRequest) -> Option<Arc<PrivacyForestResponse>> {
+        self.inner.resident(request)
+    }
+
+    fn cache_generation(&self) -> u64 {
+        self.inner.cache_generation()
     }
 }
 
@@ -1043,6 +1136,29 @@ mod tests {
             WarmInsertOutcome::Unsupported
         );
         assert!(MatrixService::cache_stats(&generator()).is_none());
+    }
+
+    #[test]
+    fn resident_peek_is_counter_neutral_and_generation_tags_inserts() {
+        let service = CachingService::with_defaults(generator());
+        assert_eq!(service.cache_generation(), 0);
+        assert!(service.resident_keys().is_empty());
+        assert!(MatrixService::resident(&service, request(1, 0)).is_none());
+
+        let forest = service.privacy_forest(request(1, 0)).unwrap();
+        assert_eq!(service.cache_generation(), 1, "insert bumps the generation");
+        assert_eq!(service.resident_keys(), vec![request(1, 0)]);
+        let peeked = MatrixService::resident(&service, request(1, 0)).unwrap();
+        assert!(Arc::ptr_eq(&peeked, &forest), "peek shares the cached Arc");
+
+        // Peeks are invisible to the counters — still 0 hits, 1 miss.
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+
+        // A bare generator reports the no-cache defaults.
+        let bare = generator();
+        assert!(bare.resident_keys().is_empty());
+        assert_eq!(bare.cache_generation(), 0);
     }
 
     #[test]

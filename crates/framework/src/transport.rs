@@ -59,6 +59,18 @@
 //! always a *legible* rejection.  See [`crate::cluster`] for the shard router
 //! and peer-replication layer built on these frames.
 //!
+//! Protocol 1.5 adds the resilience layer: `Ping`/`Pong` frames carry
+//! liveness probes (a nonce echoed back, sealed like every keyed frame) for
+//! the peer-health state machine of [`crate::cluster`], and
+//! `Digest`/`DigestReply` frames carry the anti-entropy re-warm exchange — a
+//! restarted server asks each peer for a bounded summary of its resident
+//! `(privacy_level, δ)` cache keys and pulls the forests it is missing
+//! ([`TcpServer::rewarm_from_peers`]), so a rejoin costs network transfer
+//! instead of repeating the LP solves.  All four kinds are append-only: a
+//! 1.4 peer that never sends them never sees them.  For deterministic
+//! failure testing, an optional [`FaultPlan`] threads through the send and
+//! connect paths (see [`crate::fault`] and `tests/chaos.rs`).
+//!
 //! Malformed input never hangs or kills the server: a bad magic, an unknown
 //! frame kind, an oversized length prefix or an unparsable payload (in either
 //! codec — a peer that negotiated binary and then sends JSON bytes is a codec
@@ -129,8 +141,12 @@
 //! [`oneshot`]: crate::executor::oneshot
 
 use crate::auth::{ClusterKey, AUTH_SCHEME};
-use crate::cluster::{ClusterMetrics, ClusterStats, Replicator, StatsReport, StatsRequest};
+use crate::cluster::{
+    spawn_probe_shard, ClusterMetrics, ClusterStats, Ping, Pong, Replicator, StatsReport,
+    StatsRequest,
+};
 use crate::executor::{oneshot, Executor, Handle, ReactorBackend, Sleep};
+use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::messages::{MatrixRequest, ProtocolVersion, WireCodec};
 use crate::messages::{
     PrivacyForestResponse, RequestEnvelope, ResponseEnvelope, ServiceError, ServiceErrorKind,
@@ -138,7 +154,9 @@ use crate::messages::{
 };
 use crate::pool::ThreadPool;
 use crate::service::{MatrixService, WarmInsertOutcome};
-use crate::warm::{warm, WarmPush, WarmReport, WarmRequest};
+use crate::warm::{
+    warm, DigestReply, DigestRequest, RewarmReport, WarmFailure, WarmPush, WarmReport, WarmRequest,
+};
 use corgi_core::LocationTree;
 use corgi_datagen::PriorDistribution;
 use corgi_hexgrid::{HexGrid, HexGridConfig};
@@ -194,6 +212,17 @@ pub enum FrameKind {
     /// Server → client: the [`StatsReport`] answering a `Stats` frame
     /// (protocol 1.4).
     StatsReply = 8,
+    /// Peer → peer: a liveness probe carrying a [`Ping`] nonce
+    /// (protocol 1.5).
+    Ping = 9,
+    /// Peer → peer: the [`Pong`] echoing a probe's nonce (protocol 1.5).
+    Pong = 10,
+    /// Peer → peer: a [`DigestRequest`] asking for the summary of resident
+    /// cache keys, or pulling one key's forest (protocol 1.5).
+    Digest = 11,
+    /// Peer → peer: the [`DigestReply`] answering a `Digest` frame
+    /// (protocol 1.5).
+    DigestReply = 12,
 }
 
 impl FrameKind {
@@ -208,6 +237,10 @@ impl FrameKind {
             6 => Some(Self::WarmPush),
             7 => Some(Self::Stats),
             8 => Some(Self::StatsReply),
+            9 => Some(Self::Ping),
+            10 => Some(Self::Pong),
+            11 => Some(Self::Digest),
+            12 => Some(Self::DigestReply),
             _ => None,
         }
     }
@@ -462,6 +495,14 @@ pub struct TransportConfig {
     /// How long a fresh connection may take to complete the hello exchange
     /// (also bounds how long a truncated frame can sit half-read).
     pub handshake_timeout: Duration,
+    /// Read-idle deadline for negotiated connections: a connection that
+    /// produces no complete inbound frame for this long — with nothing in
+    /// flight and nothing queued to write — is answered with a structured
+    /// [`Transport`](ServiceErrorKind::Transport) error and drained,
+    /// reclaiming its buffers and fd from connected-but-mute clients.  The
+    /// deadline re-arms on every consumed frame.  `None` (the default) keeps
+    /// the pre-1.5 behaviour: an idle connection lives until EOF.
+    pub read_idle_timeout: Option<Duration>,
     /// Largest `(privacy_level, δ)` key count accepted in one `Warm` frame.
     /// Each key is a full forest generation, so an unbounded plan would let a
     /// single small frame pin the dispatch pool for hours.
@@ -487,6 +528,11 @@ pub struct TransportConfig {
     /// generator, and add peers (before or after bind) with
     /// [`Replicator::add_peer`].
     pub replication: Option<Arc<Replicator>>,
+    /// Deterministic fault injection for the server's send path (protocol
+    /// 1.5 chaos testing; see [`crate::fault`]).  `None` — the default, and
+    /// the only sane production value — costs one pointer check per queued
+    /// frame.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for TransportConfig {
@@ -501,11 +547,13 @@ impl Default for TransportConfig {
             reactor_backend: ReactorBackend::from_env(),
             reactor_shards: 0,
             handshake_timeout: Duration::from_secs(5),
+            read_idle_timeout: None,
             max_warm_keys: 1024,
             warm_on_start: None,
             codecs: WireCodec::advertisement_from_env(),
             cluster_key: ClusterKey::from_env(),
             replication: None,
+            fault_plan: None,
         }
     }
 }
@@ -698,6 +746,9 @@ pub struct TcpServer {
     backend: ReactorBackend,
     cluster: Arc<ClusterMetrics>,
     replication: Option<Arc<Replicator>>,
+    /// The served stack, retained so [`TcpServer::rewarm_from_peers`] can
+    /// insert pulled forests into the local cache.
+    service: Arc<dyn MatrixService>,
 }
 
 /// One reactor shard: its executor handle and thread.
@@ -743,12 +794,23 @@ impl TcpServer {
         let replication = config.replication.clone();
         if let Some(replicator) = replication.clone() {
             // Replication flush work shards with the reactors: each shard's
-            // task drives the peer links assigned to it by index.
+            // task drives the peer links assigned to it by index.  Liveness
+            // probing (protocol 1.5) shards the same way when the replicator
+            // carries a health config; spawn_probe_shard is a no-op when it
+            // does not.
             for (index, executor) in executors.iter().enumerate() {
                 crate::cluster::spawn_replication_shard(
                     &executor.handle(),
                     Arc::clone(&replicator),
                     Arc::clone(&dispatch),
+                    index,
+                    shard_count,
+                );
+                spawn_probe_shard(
+                    &executor.handle(),
+                    Arc::clone(&replicator),
+                    Arc::clone(&dispatch),
+                    Arc::clone(&cluster),
                     index,
                     shard_count,
                 );
@@ -767,7 +829,7 @@ impl TcpServer {
             handle: executors[0].handle(),
             targets,
             next: 0,
-            service,
+            service: Arc::clone(&service),
             dispatch,
             config: Arc::new(config),
             shard_metrics: Arc::clone(&shard_metrics),
@@ -791,6 +853,7 @@ impl TcpServer {
             backend,
             cluster,
             replication,
+            service,
         })
     }
 
@@ -831,6 +894,98 @@ impl TcpServer {
     /// a [`Replicator`] is configured — per-peer link state.
     pub fn cluster_stats(&self) -> ClusterStats {
         self.cluster.snapshot(self.replication.as_deref())
+    }
+
+    /// Anti-entropy re-warm (protocol 1.5): ask each peer for the digest of
+    /// its resident `(privacy_level, δ)` cache keys and pull every forest
+    /// this server is missing, so a restarted shard rejoins at the cost of
+    /// network transfer instead of repeating the LP solves — the serving
+    /// peers answer pulls from cache only, never solving either.
+    ///
+    /// Blocks the calling thread (one peer at a time, bounded by the
+    /// client config's timeouts); run it before re-admitting traffic, or
+    /// concurrently — pulled keys become hits as they land.  Unreachable
+    /// peers and failed pulls are reported, not fatal: re-warming is an
+    /// optimization, and every key it misses is simply solved on first
+    /// request like any cold miss.  Pulled keys count as
+    /// [`ClusterStats::rewarm_keys_pulled`]; each answered pull counts as
+    /// [`ClusterStats::pushes_repaired`] on the serving peer.
+    pub fn rewarm_from_peers(&self, peers: &[String], config: ClientConfig) -> RewarmReport {
+        let start = std::time::Instant::now();
+        let mut report = RewarmReport {
+            peers_reached: 0,
+            missing: 0,
+            pulled: 0,
+            already_resident: 0,
+            failures: Vec::new(),
+            elapsed_ms: 0,
+        };
+        // Keys counted once across the whole run, so a key named by several
+        // peers' digests is pulled from the first and counted resident for
+        // the rest.
+        let mut counted: std::collections::HashSet<(u8, usize)> = self
+            .service
+            .resident_keys()
+            .into_iter()
+            .map(|key| (key.privacy_level, key.delta))
+            .collect();
+        for endpoint in peers {
+            let transport = match TcpTransport::connect_with(endpoint.as_str(), config.clone()) {
+                Ok(transport) => transport,
+                Err(error) => {
+                    report.failures.push(WarmFailure {
+                        privacy_level: 0,
+                        delta: 0,
+                        error: ServiceError::transport(format!(
+                            "digest peer {endpoint} unreachable: {}",
+                            error.message
+                        )),
+                    });
+                    continue;
+                }
+            };
+            let digest = match transport.cache_digest() {
+                Ok(digest) => digest,
+                Err(error) => {
+                    report.failures.push(WarmFailure {
+                        privacy_level: 0,
+                        delta: 0,
+                        error,
+                    });
+                    continue;
+                }
+            };
+            report.peers_reached += 1;
+            for key in digest.keys {
+                if !counted.insert((key.privacy_level, key.delta)) {
+                    report.already_resident += 1;
+                    continue;
+                }
+                report.missing += 1;
+                match transport.pull_resident(key) {
+                    Ok(Some(forest)) => {
+                        self.service.warm_insert(forest);
+                        self.cluster.count_rewarm_pulled();
+                        report.pulled += 1;
+                    }
+                    // Evicted between digest and pull: not an error, just a
+                    // key the run cannot repair (and a later peer may).
+                    Ok(None) => {
+                        counted.remove(&(key.privacy_level, key.delta));
+                        report.missing -= 1;
+                    }
+                    Err(error) => {
+                        report.failures.push(WarmFailure {
+                            privacy_level: key.privacy_level,
+                            delta: key.delta,
+                            error,
+                        });
+                    }
+                }
+            }
+        }
+        report.elapsed_ms = start.elapsed().as_millis() as u64;
+        report
     }
 
     /// Stop every reactor shard and join its thread.  Open connections are
@@ -918,6 +1073,7 @@ impl Future for AcceptTask {
                         eof: false,
                         stalled: false,
                         deadline,
+                        idle: None,
                     });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -982,6 +1138,11 @@ struct ConnectionTask {
     /// the final flush; between negotiation and drain the connection lives
     /// until EOF.
     deadline: Sleep,
+    /// Read-idle deadline ([`TransportConfig::read_idle_timeout`]): armed
+    /// after negotiation, re-armed whenever a frame is consumed, `None` when
+    /// reaping is off.  A connection whose timer fires with nothing in
+    /// flight and nothing to write is reaped with a structured error.
+    idle: Option<Sleep>,
 }
 
 impl Drop for ConnectionTask {
@@ -1066,10 +1227,30 @@ impl ConnectionTask {
     /// trailer here.
     fn queue_frame(&mut self, frame: Vec<u8>) {
         TransportMetrics::add(&self.metrics.frames_out, 1);
-        let frame = match &self.auth {
+        let mut frame = match &self.auth {
             Some(key) => key.seal(frame),
             None => frame,
         };
+        if let Some(plan) = &self.config.fault_plan {
+            match plan.check(FaultSite::ServerSend) {
+                None => {}
+                // The reactor thread must never sleep: a scheduled delay
+                // degrades to a drop (documented on FaultAction::Delay).
+                Some(FaultAction::DropFrame) | Some(FaultAction::Delay(_)) => return,
+                Some(FaultAction::CloseConnection) => {
+                    self.eof = true;
+                    self.draining = true;
+                    self.write_queue.clear();
+                    self.write_pos = 0;
+                    return;
+                }
+                Some(FaultAction::CorruptMac) => {
+                    if let Some(last) = frame.last_mut() {
+                        *last ^= 0xff;
+                    }
+                }
+            }
+        }
         self.write_queue.push_back(frame);
     }
 
@@ -1273,13 +1454,67 @@ impl ConnectionTask {
                 };
                 self.queue_frame(codec.encode_frame(&report));
             }
+            FrameKind::Ping => {
+                // Liveness probe (protocol 1.5): echo the nonce back.  The
+                // reply is queued inline on the reactor — a server that can
+                // still run its event loop is, by definition, alive.
+                let ping: Ping = match codec.decode_payload(payload) {
+                    Ok(ping) => ping,
+                    Err(e) => {
+                        self.queue_transport_error(e);
+                        return;
+                    }
+                };
+                self.queue_frame(codec.encode_frame(&Pong { nonce: ping.nonce }));
+            }
+            FrameKind::Digest => {
+                // Anti-entropy exchange (protocol 1.5): a summary of resident
+                // cache keys, or one pulled forest.  Both are answered from
+                // the cache alone — a digest never schedules a solve.
+                let request: DigestRequest = match codec.decode_payload(payload) {
+                    Ok(request) => request,
+                    Err(e) => {
+                        self.queue_transport_error(e);
+                        return;
+                    }
+                };
+                let reply = match request.pull {
+                    None => {
+                        // Bounded like Warm frames: a digest larger than the
+                        // warm-key limit is truncated, not refused — a
+                        // shorter summary just re-warms less.
+                        let mut keys = self.service.resident_keys();
+                        keys.truncate(self.config.max_warm_keys);
+                        DigestReply {
+                            generation: self.service.cache_generation(),
+                            keys,
+                            forest: None,
+                        }
+                    }
+                    Some(key) => {
+                        let forest = self.service.resident(key);
+                        if forest.is_some() {
+                            // One cache entry repaired into a rejoining peer.
+                            self.cluster.count_push_repaired();
+                        }
+                        DigestReply {
+                            generation: self.service.cache_generation(),
+                            keys: Vec::new(),
+                            forest,
+                        }
+                    }
+                };
+                self.queue_frame(codec.encode_frame(&reply));
+            }
             // A second hello, or a server-to-client kind from a client: the
             // peer is confused; tell it so and hang up.
             FrameKind::Hello
             | FrameKind::HelloReply
             | FrameKind::Response
             | FrameKind::WarmReply
-            | FrameKind::StatsReply => {
+            | FrameKind::StatsReply
+            | FrameKind::Pong
+            | FrameKind::DigestReply => {
                 self.queue_transport_error(ServiceError::transport(format!(
                     "unexpected {kind:?} frame after negotiation"
                 )));
@@ -1400,6 +1635,10 @@ impl ConnectionTask {
                         // became active — the client verifies it on arrival.
                         self.queue_frame(encode_json_frame(&reply));
                         self.negotiated = true;
+                        self.idle = self
+                            .config
+                            .read_idle_timeout
+                            .map(|timeout| self.handle.sleep(timeout));
                         None // fall through into the serving loop
                     }
                     Ok(hello) => {
@@ -1492,6 +1731,30 @@ impl Future for ConnectionTask {
                 TransportMetrics::add(&this.metrics.backpressure_stalls, 1);
             }
             progress |= this.process_frames();
+            if let Some(timeout) = this.config.read_idle_timeout {
+                if progress {
+                    // Any consumed frame (or completed dispatch) re-arms the
+                    // read-idle deadline.
+                    this.idle = Some(this.handle.sleep(timeout));
+                } else if let Some(idle) = this.idle.as_mut() {
+                    if Pin::new(idle).poll(cx).is_ready() {
+                        if this.pending.is_empty() && this.write_queue.is_empty() && !this.eof {
+                            // Connected but mute: reclaim the connection with
+                            // a structured goodbye instead of holding its
+                            // buffers and fd forever.
+                            this.queue_transport_error(ServiceError::transport(format!(
+                                "no frame received within the {timeout:?} read-idle deadline; \
+                                 closing",
+                            )));
+                        } else {
+                            // In-flight work or queued output keeps the
+                            // connection alive; give it a fresh window.
+                            this.idle = Some(this.handle.sleep(timeout));
+                        }
+                        progress = true;
+                    }
+                }
+            }
             if this.eof && this.pending.is_empty() && this.write_queue.is_empty() {
                 return Poll::Ready(());
             }
@@ -1539,6 +1802,10 @@ pub struct ClientConfig {
     /// [`Unauthenticated`](ServiceErrorKind::Unauthenticated) error.  The
     /// default reads `CORGI_CLUSTER_KEY` (see [`ClusterKey::from_env`]).
     pub cluster_key: Option<ClusterKey>,
+    /// Deterministic fault injection for this client's connect and send
+    /// paths (protocol 1.5 chaos testing; see [`crate::fault`]).  `None` —
+    /// the default — costs one pointer check per exchange.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ClientConfig {
@@ -1548,6 +1815,7 @@ impl Default for ClientConfig {
             read_timeout: Some(Duration::from_secs(600)),
             codecs: WireCodec::advertisement_from_env(),
             cluster_key: ClusterKey::from_env(),
+            fault_plan: None,
         }
     }
 }
@@ -1591,6 +1859,9 @@ struct ClientConn {
     /// verified and stripped.
     auth: Option<ClusterKey>,
     metrics: Arc<TransportMetrics>,
+    /// Fault injection hook ([`ClientConfig::fault_plan`]); `None` in
+    /// production.
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl ClientConn {
@@ -1615,10 +1886,37 @@ impl ClientConn {
                 "connection poisoned by an earlier stream desynchronization; reconnect",
             ));
         }
-        let frame = match &self.auth {
+        let mut frame = match &self.auth {
             Some(key) => key.seal(frame),
             None => frame,
         };
+        if let Some(plan) = &self.fault_plan {
+            match plan.check(FaultSite::ClientSend) {
+                None => {}
+                Some(FaultAction::Delay(pause)) => std::thread::sleep(pause),
+                // The send never happens; the receive path then times out (or
+                // hits the closed socket) and poisons the connection exactly
+                // as a real loss would.
+                Some(FaultAction::DropFrame) => {
+                    let result = read_frame_blocking(
+                        &mut self.stream,
+                        max_frame,
+                        Some(&self.metrics),
+                        self.auth.as_ref(),
+                    );
+                    self.poison();
+                    return result;
+                }
+                Some(FaultAction::CloseConnection) => {
+                    let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                }
+                Some(FaultAction::CorruptMac) => {
+                    if let Some(last) = frame.last_mut() {
+                        *last ^= 0xff;
+                    }
+                }
+            }
+        }
         let result =
             send_frame_blocking(&mut self.stream, &frame, Some(&self.metrics)).and_then(|()| {
                 read_frame_blocking(
@@ -1646,6 +1944,21 @@ impl TcpTransport {
         addr: impl ToSocketAddrs,
         config: ClientConfig,
     ) -> Result<Self, ServiceError> {
+        if let Some(plan) = &config.fault_plan {
+            // Level-triggered partitions fail the connect fast, endpoint by
+            // endpoint, exactly like an unreachable host would.
+            let partitioned = addr
+                .to_socket_addrs()
+                .ok()
+                .into_iter()
+                .flatten()
+                .any(|candidate| plan.is_partitioned(&candidate.to_string()));
+            if partitioned {
+                return Err(ServiceError::transport(
+                    "connect failed: endpoint is partitioned (injected)",
+                ));
+            }
+        }
         let stream = TcpStream::connect(addr)
             .map_err(|e| ServiceError::transport(format!("connect failed: {e}")))?;
         let _ = stream.set_nodelay(true);
@@ -1737,6 +2050,7 @@ impl TcpTransport {
                         poisoned: false,
                         auth: config.cluster_key.clone(),
                         metrics: Arc::clone(&metrics),
+                        fault_plan: config.fault_plan.clone(),
                     }),
                     tree: Arc::new(LocationTree::new(grid)),
                     prior: Arc::new(prior),
@@ -1828,6 +2142,84 @@ impl TcpTransport {
                 conn.poison();
                 Err(ServiceError::transport(format!(
                     "expected a StatsReply frame, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    /// One liveness round-trip (protocol 1.5): send a nonce, verify the
+    /// server echoes it.  Errors are transport failures; a mismatched nonce
+    /// is a desynchronized stream and poisons the connection like one.
+    pub fn ping(&self) -> Result<(), ServiceError> {
+        static NONCE: AtomicU64 = AtomicU64::new(1);
+        let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
+        let frame = self.codec.encode_frame(&Ping { nonce });
+        let mut conn = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        let (kind, payload) = conn.exchange(frame, self.max_frame)?;
+        if kind != FrameKind::Pong {
+            conn.poison();
+            return Err(ServiceError::transport(format!(
+                "expected a Pong frame, got {kind:?}"
+            )));
+        }
+        match self.codec.decode_payload::<Pong>(&payload) {
+            Ok(pong) if pong.nonce == nonce => Ok(()),
+            Ok(_) => {
+                conn.poison();
+                Err(ServiceError::transport(
+                    "pong echoed a different nonce; stream desynchronized",
+                ))
+            }
+            Err(e) => {
+                conn.poison();
+                Err(e)
+            }
+        }
+    }
+
+    /// Fetch the server's resident-cache digest (protocol 1.5): the
+    /// generation-tagged summary of `(privacy_level, δ)` keys it could serve
+    /// to a pull, bounded by the server's warm-key limit.
+    pub fn cache_digest(&self) -> Result<DigestReply, ServiceError> {
+        self.digest_exchange(DigestRequest { pull: None })
+    }
+
+    /// Pull one resident forest from the server's cache (protocol 1.5).
+    /// `Ok(None)` means the key was not resident (e.g. evicted since the
+    /// digest was taken) — the server never solves to answer a pull.
+    pub fn pull_resident(
+        &self,
+        key: MatrixRequest,
+    ) -> Result<Option<Arc<PrivacyForestResponse>>, ServiceError> {
+        self.digest_exchange(DigestRequest { pull: Some(key) })
+            .map(|reply| reply.forest)
+    }
+
+    fn digest_exchange(&self, request: DigestRequest) -> Result<DigestReply, ServiceError> {
+        let frame = self.codec.encode_frame(&request);
+        let mut conn = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        let (kind, payload) = conn.exchange(frame, self.max_frame)?;
+        match kind {
+            FrameKind::DigestReply => match self.codec.decode_payload(&payload) {
+                Ok(reply) => Ok(reply),
+                Err(e) => {
+                    conn.poison();
+                    Err(e)
+                }
+            },
+            FrameKind::Response => {
+                // The server refused at the transport level and is closing.
+                conn.poison();
+                let envelope: ResponseEnvelope = self.codec.decode_payload(&payload)?;
+                Err(envelope
+                    .into_result()
+                    .err()
+                    .unwrap_or_else(|| ServiceError::transport("unexpected forest reply")))
+            }
+            other => {
+                conn.poison();
+                Err(ServiceError::transport(format!(
+                    "expected a DigestReply frame, got {other:?}"
                 )))
             }
         }

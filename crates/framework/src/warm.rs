@@ -132,6 +132,70 @@ impl WarmPush {
     }
 }
 
+/// Anti-entropy digest exchange (protocol 1.5): ask a peer what its cache
+/// holds, or pull one resident key from it.
+///
+/// A restarted shard rejoins warm by sending an empty request (`pull: None`)
+/// to each healthy peer, diffing the returned key summary against its own
+/// cache, and pulling each missing key with `pull: Some(key)` — the reply
+/// then carries the peer's resident forest, inserted locally via
+/// [`MatrixService::warm_insert`].  The whole flow is cache-only on both
+/// sides: re-joining costs network transfer, never an LP solve.  See
+/// [`TcpServer::rewarm_from_peers`](crate::TcpServer::rewarm_from_peers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DigestRequest {
+    /// `None` asks for the summary of resident keys; `Some(key)` pulls that
+    /// key's forest (cache-only — a key the peer does not hold comes back
+    /// with an absent forest, never a solve).
+    pub pull: Option<MatrixRequest>,
+}
+
+/// Reply to a [`DigestRequest`]: a summary of resident cache keys, or one
+/// pulled forest.
+///
+/// Bounded like `Warm` frames: a server truncates `keys` to its
+/// `max_warm_keys` (a digest is advisory — a truncated one just re-warms
+/// less, it never breaks correctness).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DigestReply {
+    /// The replying cache's generation counter: it advances on every insert,
+    /// so a puller can cheaply detect that a digest went stale mid-pull and
+    /// re-fetch the summary.
+    pub generation: u64,
+    /// Resident `(privacy_level, δ)` keys (empty in a pull reply).
+    pub keys: Vec<MatrixRequest>,
+    /// The pulled forest (`None` in a summary reply, or when the pulled key
+    /// was evicted between the digest and the pull).
+    pub forest: Option<Arc<PrivacyForestResponse>>,
+}
+
+/// Outcome of an anti-entropy re-warm
+/// ([`TcpServer::rewarm_from_peers`](crate::TcpServer::rewarm_from_peers)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewarmReport {
+    /// Peers whose digest was fetched successfully.
+    pub peers_reached: usize,
+    /// Distinct keys the digests named that were missing locally.
+    pub missing: usize,
+    /// Keys pulled and inserted into the local cache.
+    pub pulled: usize,
+    /// Keys named by a digest but already resident locally (including keys
+    /// pulled from an earlier peer in the same run).
+    pub already_resident: usize,
+    /// Keys that could not be pulled (peer evicted the key mid-run, pull
+    /// failed, or the local insert was rejected), with their errors.
+    pub failures: Vec<WarmFailure>,
+    /// Wall-clock duration of the run in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl RewarmReport {
+    /// Whether every missing key named by a reachable peer was pulled.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty() && self.pulled == self.missing
+    }
+}
+
 /// One key of a [`WarmRequest`] that failed to generate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WarmFailure {

@@ -16,7 +16,11 @@
 //!    own;
 //! 4. asks a peer shard directly for the same key — a pure cache hit;
 //! 5. shows that an unkeyed client is turned away with a structured
-//!    `Unauthenticated` rejection, not a silent desync.
+//!    `Unauthenticated` rejection, not a silent desync;
+//! 6. exercises the protocol 1.5 resilience frames: a `Ping` round trip (the
+//!    liveness probe behind the peer-health state machine) and a
+//!    `Digest`/`DigestReply` anti-entropy pull, re-warming a cold shard from
+//!    its peers without a single LP solve.
 //!
 //! Run with: `cargo run --release --example cluster`
 //!
@@ -161,7 +165,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cache = report.cache.expect("every shard stacks a cache");
         let cluster = report
             .cluster
-            .expect("every 1.4 server reports cluster stats");
+            .expect("every 1.4+ server reports cluster stats");
         println!(
             "  shard {endpoint}: {} resident / {} misses, {} pushes in ({} deduped), {} pushes out",
             cache.entries,
@@ -213,6 +217,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Shard {} now counts {rejections} auth rejection(s)",
         endpoints[0]
     );
+
+    // Protocol 1.5: a Ping round trip is the liveness probe behind the
+    // peer-health state machine, and a shard's digest summarizes its
+    // resident cache keys for anti-entropy re-warm.
+    stats_conns[0].ping()?;
+    let digest = stats_conns[0].cache_digest()?;
+    println!(
+        "\nShard {} answers pings; digest: generation {}, {} resident key(s)",
+        endpoints[0],
+        digest.generation,
+        digest.keys.len()
+    );
+
+    // A shard joining (or rejoining after a crash) with a cold cache pulls
+    // that working set from its peers instead of re-running the solver.
+    let cold_service = Arc::new(CachingService::with_defaults(ForestGenerator::new(
+        corgi::core::LocationTree::new(grid.clone()),
+        prior.clone(),
+        config,
+    )));
+    let cold = TcpServer::bind(
+        "127.0.0.1:0",
+        cold_service as Arc<dyn MatrixService>,
+        TransportConfig {
+            cluster_key: Some(key.clone()),
+            ..TransportConfig::default()
+        },
+    )?;
+    let report = cold.rewarm_from_peers(&endpoints, client_config.clone());
+    println!(
+        "Cold shard re-warmed from {} peer(s): {} forest(s) pulled, complete: {}, {} ms, zero solves",
+        report.peers_reached,
+        report.pulled,
+        report.is_complete(),
+        report.elapsed_ms
+    );
+    cold.shutdown();
 
     let router_stats = router.cluster_stats();
     println!(

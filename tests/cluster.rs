@@ -262,7 +262,63 @@ fn push_queue_is_bounded_and_drops_oldest_when_a_peer_stalls() {
         peer.pushes_sent, 0,
         "nothing reached the dead peer: {peer:?}"
     );
+    // The drop counter must also be visible to an operator over the wire —
+    // the `Stats` frame carries the same per-peer row the in-process
+    // accessor does.
+    let stats_conn =
+        TcpTransport::connect_with(server.local_addr(), keyed_client(None, WireCodec::Json))
+            .unwrap();
+    let wire = stats_conn.server_stats().unwrap().cluster.unwrap();
+    let wire_peer = &wire.peers[0];
+    assert!(
+        wire_peer.pushes_dropped >= 5,
+        "drops travel the Stats frame: {wire_peer:?}"
+    );
+    assert_eq!(wire_peer.pushes_sent, 0, "{wire_peer:?}");
     server.shutdown();
+}
+
+#[test]
+fn key_rotation_window_accepts_either_generation() {
+    // Mid-rotation, half the fleet signs with the new key while the other
+    // half still signs with the old one.  Both directions must verify:
+    // a server on {new, prev old} accepts a client still on {old, prev new},
+    // and vice versa, because each side signs with its primary and verifies
+    // against primary-then-previous.
+    let new_server = ClusterKey::from_secret(b"rotation-new").with_previous(b"rotation-old");
+    let old_client = ClusterKey::from_secret(b"rotation-old").with_previous(b"rotation-new");
+    let shards = start_cluster(1, Some(new_server.clone()));
+    let addr = shards[0].server.local_addr();
+
+    // Old-primary client against new-primary server: full handshake plus a
+    // sealed request/response round trip.
+    let conn = TcpTransport::connect_with(addr, keyed_client(Some(old_client), WireCodec::Json))
+        .expect("rotation window accepts the previous key");
+    conn.privacy_forest(MatrixRequest {
+        privacy_level: 1,
+        delta: 0,
+    })
+    .expect("sealed request verifies under the rotation window");
+
+    // A client already on the new primary keeps working throughout.
+    TcpTransport::connect_with(addr, keyed_client(Some(new_server), WireCodec::Json))
+        .expect("the new primary still handshakes");
+
+    // A key from outside the window is still rejected.
+    match TcpTransport::connect_with(
+        addr,
+        keyed_client(
+            Some(ClusterKey::from_secret(b"rotation-unrelated")),
+            WireCodec::Json,
+        ),
+    ) {
+        Ok(_) => panic!("an unrelated key must not handshake"),
+        Err(error) => assert_eq!(error.kind, ServiceErrorKind::Unauthenticated, "{error}"),
+    }
+
+    for shard in shards {
+        shard.server.shutdown();
+    }
 }
 
 /// Read one raw frame (header + body) from the stream.  The body includes

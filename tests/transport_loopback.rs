@@ -811,6 +811,67 @@ fn soak_connection_churn_with_aborts_and_malformed_peers() {
 }
 
 #[test]
+fn mute_connections_are_reaped_at_the_read_idle_deadline() {
+    // Regression for the read-idle reaper: a connected-but-mute client must
+    // be closed with a structured goodbye once the deadline passes, while an
+    // active client on the same server re-arms its deadline with every frame
+    // and keeps working across several idle windows.
+    let caching = caching_stack();
+    let config = TransportConfig {
+        read_idle_timeout: Some(Duration::from_millis(400)),
+        ..TransportConfig::default()
+    };
+    let server = TcpServer::bind("127.0.0.1:0", caching as Arc<dyn MatrixService>, config)
+        .expect("binding a loopback server");
+    let addr = server.local_addr();
+    let request = MatrixRequest {
+        privacy_level: 1,
+        delta: 0,
+    };
+
+    // The mute peer handshakes, then goes silent.
+    let mut mute = TcpStream::connect(addr).unwrap();
+    mute.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    assert!(matches!(
+        send_hello(&mut mute, PROTOCOL_VERSION),
+        HelloReply::Accepted { .. }
+    ));
+
+    // Meanwhile the active client spends longer than one idle window making
+    // requests: each inbound frame re-arms its deadline, so it is never
+    // reaped.
+    let active = TcpTransport::connect(addr).unwrap();
+    for _ in 0..3 {
+        active
+            .privacy_forest(request)
+            .expect("an active connection outlives many idle windows");
+        std::thread::sleep(Duration::from_millis(250));
+    }
+
+    // By now the mute connection crossed its deadline: a structured Transport
+    // error naming the policy, then EOF — not a silent drop, never a hang.
+    let (kind, payload) = read_frame(&mut mute).unwrap();
+    assert_eq!(kind, FrameKind::Response as u8);
+    let reply: ResponseEnvelope =
+        serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert_eq!(reply.request_id, 0, "no request was in flight");
+    let error = reply.into_result().unwrap_err();
+    assert_eq!(error.kind, ServiceErrorKind::Transport);
+    assert!(error.message.contains("read-idle"), "{}", error.message);
+    let mut rest = Vec::new();
+    assert_eq!(rest.len(), mute.read_to_end(&mut rest).unwrap(), "reaped");
+    assert_eq!(rest.len(), 0, "the goodbye is the last frame");
+
+    // The reap is counted, and the active client still serves.
+    assert!(server.stats().transport_errors >= 1);
+    active
+        .privacy_forest(request)
+        .expect("the reaper only touches idle connections");
+    server.shutdown();
+}
+
+#[test]
 fn truncated_frame_is_bounded_by_the_handshake_deadline() {
     // A peer that sends half a frame and goes silent must not pin a
     // connection forever: the deadline closes it.
